@@ -1,0 +1,104 @@
+// Shared setup for the figure/table bench binaries.
+//
+// Every binary regenerates one table or figure of the paper's evaluation
+// section; they share the experiment constants here so the figures stay
+// mutually consistent (same farm capacities, same week, same seeds).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+
+#include "smoother/core/smoother.hpp"
+#include "smoother/sim/dispatch.hpp"
+#include "smoother/sim/experiments.hpp"
+#include "smoother/sim/report.hpp"
+#include "smoother/sim/scenario.hpp"
+#include "smoother/trace/batch_workload.hpp"
+#include "smoother/trace/google_cluster.hpp"
+#include "smoother/trace/web_workload.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/format.hpp"
+
+namespace smoother::bench {
+
+/// The paper's two installed wind capacities (Figs. 11-14).
+inline constexpr util::Kilowatts kCapacitySmall{976.0};
+inline constexpr util::Kilowatts kCapacityLarge{1525.0};
+
+/// Evaluation windows.
+inline const util::Minutes kWeek = util::days(7.0);
+inline const util::Minutes kMonth = util::days(30.0);
+
+/// Fixed seeds: the bench output is bit-reproducible run to run.
+inline constexpr std::uint64_t kSeedWind = 20110501;   // "May 2011"
+inline constexpr std::uint64_t kSeedWeb = 19950828;    // ITA log era
+inline constexpr std::uint64_t kSeedBatch = 20050209;  // archive log era
+
+/// The paper's evaluation cluster.
+inline constexpr std::size_t kServers = 11000;
+
+/// Figs. 11/13: switching times W/ Comp vs W/ FS across the five Table I
+/// web workloads, on high-volatility wind at the given installed capacity.
+inline void run_web_switching_sweep(util::Kilowatts capacity) {
+  const auto config = sim::default_config(capacity);
+  sim::TablePrinter table({"workload", "w_comp_switches", "w_fs_switches",
+                           "fs_vs_comp_%", "raw_switches"});
+  double total_comp = 0.0, total_fs = 0.0;
+  for (const auto& web : trace::WebWorkloadPresets::all()) {
+    const auto scenario = sim::make_web_scenario(
+        web, trace::WindSitePresets::texas_10(), capacity, kWeek, kSeedWeb);
+    const auto cmp = sim::run_switching_comparison(scenario.supply,
+                                                   scenario.demand, config);
+    total_comp += static_cast<double>(cmp.with_comp);
+    total_fs += static_cast<double>(cmp.with_fs);
+    table.add_row(
+        {web.name, std::to_string(cmp.with_comp), std::to_string(cmp.with_fs),
+         util::strfmt("%+.0f", 100.0 * (static_cast<double>(cmp.with_fs) -
+                                        static_cast<double>(cmp.with_comp)) /
+                                   static_cast<double>(cmp.with_comp)),
+         std::to_string(cmp.without_fs)});
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt(
+      "\nmean switching reduction of FS vs Comp: %.0f%%\n",
+      100.0 * (total_comp - total_fs) / total_comp);
+  std::cout << "paper shape: W/ FS below W/ Comp for every workload.\n";
+}
+
+/// Figs. 12/14: switching times W/ Comp vs W/ FS across the six Table III
+/// wind traces, against the NASA web workload.
+inline void run_wind_switching_sweep(util::Kilowatts capacity) {
+  const auto config = sim::default_config(capacity);
+  sim::TablePrinter table({"wind_trace", "group", "w_comp_switches",
+                           "w_fs_switches", "fs_vs_comp_%"});
+  double low_gain = 0.0, high_gain = 0.0;
+  const auto low_group = trace::WindSitePresets::low_volatility_group();
+  for (const auto& site : trace::WindSitePresets::all()) {
+    const bool is_low =
+        std::any_of(low_group.begin(), low_group.end(),
+                    [&](const auto& s) { return s.name == site.name; });
+    const auto scenario = sim::make_web_scenario(
+        trace::WebWorkloadPresets::nasa(), site, capacity, kWeek, kSeedWeb);
+    const auto cmp = sim::run_switching_comparison(scenario.supply,
+                                                   scenario.demand, config);
+    const double gain =
+        cmp.with_comp > 0
+            ? 100.0 * (static_cast<double>(cmp.with_comp) -
+                       static_cast<double>(cmp.with_fs)) /
+                  static_cast<double>(cmp.with_comp)
+            : 0.0;
+    (is_low ? low_gain : high_gain) += gain / 3.0;
+    table.add_row({site.name, is_low ? "low-vol" : "high-vol",
+                   std::to_string(cmp.with_comp), std::to_string(cmp.with_fs),
+                   util::strfmt("%+.0f", -gain)});
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt(
+      "\nmean FS-vs-Comp reduction: low-volatility %.0f%%, high-volatility "
+      "%.0f%%\n",
+      low_gain, high_gain);
+  std::cout << "paper shape: FS helps on every trace and most on the "
+               "high-volatility group.\n";
+}
+
+}  // namespace smoother::bench

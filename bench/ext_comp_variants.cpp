@@ -1,0 +1,72 @@
+// Extension: Comp-baseline fairness ablation.
+//
+// The paper's Comp is a cost-greedy storage controller that is SoC-blind
+// in its discharge decisions (our DispatchPolicy::kComp, burst discharge).
+// A fairer-to-the-baseline variant tracks the demand exactly
+// (kCompMatching). This bench shows both against FS, plus a hysteresis
+// (deadband) sensitivity on the switching metric itself, so the headline
+// comparisons cannot hide behind either modelling choice.
+#include "common.hpp"
+
+#include "smoother/core/metrics.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: Comp variants",
+      "burst vs demand-matching Comp vs FS, and deadband sensitivity");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+  const auto config = sim::default_config(kCapacitySmall);
+
+  // Effective supplies of each arm.
+  battery::Battery burst_battery(config.battery);
+  const auto burst = sim::dispatch(scenario.supply, scenario.demand,
+                                   sim::DispatchPolicy::kComp, &burst_battery);
+  battery::Battery match_battery(config.battery);
+  const auto matching =
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kCompMatching, &match_battery);
+  const core::Smoother middleware(config);
+  const auto fs_supply = middleware.smooth_supply(scenario.supply).supply;
+
+  sim::TablePrinter table({"arm", "switches_plain", "switches_db_2%",
+                           "switches_db_5%", "supply_roughness_kw",
+                           "spilled_kwh"});
+  const auto row = [&](const std::string& name,
+                       const util::TimeSeries& supply, double spilled) {
+    table.add_row(
+        {name,
+         std::to_string(core::energy_switching_times(supply, scenario.demand)),
+         std::to_string(core::energy_switching_times_hysteresis(
+             supply, scenario.demand, 0.02)),
+         std::to_string(core::energy_switching_times_hysteresis(
+             supply, scenario.demand, 0.05)),
+         util::strfmt("%.0f", stats::rms_successive_diff(supply.values())),
+         util::strfmt("%.0f", spilled)});
+  };
+  row("raw (no storage)", scenario.supply,
+      core::unusable_renewable(scenario.supply, scenario.demand).value());
+  row("Comp burst (paper's)", burst.effective_supply,
+      burst.spilled_renewable.value());
+  row("Comp demand-matching", matching.effective_supply,
+      matching.spilled_renewable.value());
+  row("W/ FS", fs_supply,
+      core::unusable_renewable(fs_supply, scenario.demand).value());
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading: the idealized demand-matching controller is a strong "
+         "baseline on crossing counts — its supply *tracks the demand* "
+         "whenever the battery has charge. But tracking the demand is not "
+         "a stable supply: its roughness stays near the raw trace's, so "
+         "the grid-side ROCOF problem the paper targets persists. FS is "
+         "the only arm that actually flattens the delivered supply "
+         "(roughness far below all others) while also cutting crossings. "
+         "Burst Comp (the paper's critique target) is worst on both.\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Extension: electricity-cost comparison of the paper's arms.
+//
+// The paper motivates Smoother with electricity bills but reports no cost
+// numbers; this bench prices each arm (raw / Comp burst / Comp matching /
+// FS / FS+AD) under a time-of-use tariff with a demand charge and
+// battery-wear amortization. AD shifts grid draw off the peak window as a
+// side effect of chasing renewable supply, so FS+AD should win on total
+// cost, not just on the paper's stability/utilization metrics.
+#include "common.hpp"
+
+#include "smoother/battery/wear.hpp"
+#include "smoother/sim/cost.hpp"
+
+namespace {
+
+using namespace smoother;
+
+struct Arm {
+  std::string name;
+  util::TimeSeries grid;
+  double battery_life = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: cost",
+      "weekly electricity cost of each arm (TOU + demand charge + wear)");
+
+  const auto scenario = sim::make_batch_scenario(
+      trace::BatchWorkloadPresets::hpc2n(), trace::WindSitePresets::texas_10(),
+      1.0, kWeek, kServers, kSeedBatch);
+  const auto config =
+      sim::default_config(util::Kilowatts{scenario.supply.max()});
+  const sim::CostModel cost_model;
+
+  std::vector<Arm> arms;
+
+  // Helper: grid power for a run report on the 1-minute grid.
+  const auto grid_of = [](const core::RunReport& report) {
+    const auto supply = report.smoothing.supply.resample(util::kOneMinute);
+    util::TimeSeries grid(supply.step(), supply.size());
+    for (std::size_t i = 0; i < supply.size(); ++i)
+      grid[i] = std::max(report.schedule.demand[i] - supply[i], 0.0);
+    return grid;
+  };
+  // Battery life burned, via the wear model on a SoC proxy: equivalent
+  // cycles at the battery's mean depth ~ cycles * full-depth cost.
+  const auto life_of = [&](double cycles) {
+    battery::WearTracker wear;
+    // Approximate: each equivalent full cycle swings the usable window.
+    wear.record_soc(0.1);
+    for (int c = 0; c < static_cast<int>(cycles + 0.5); ++c) {
+      wear.record_soc(1.0);
+      wear.record_soc(0.1);
+    }
+    return wear.life_consumed();
+  };
+
+  {
+    core::SmootherConfig off = config;
+    off.enable_flexible_smoothing = false;
+    off.enable_active_delay = false;
+    const auto report = core::Smoother(off).run(
+        scenario.supply, scenario.jobs, scenario.total_servers);
+    arms.push_back({"raw (no FS, no AD)", grid_of(report), 0.0});
+  }
+  {
+    core::SmootherConfig fs_only = config;
+    fs_only.enable_active_delay = false;
+    const auto report = core::Smoother(fs_only).run(
+        scenario.supply, scenario.jobs, scenario.total_servers);
+    arms.push_back({"W/ FS only", grid_of(report),
+                    life_of(report.battery_equivalent_cycles)});
+  }
+  {
+    core::SmootherConfig ad_only = config;
+    ad_only.enable_flexible_smoothing = false;
+    const auto report = core::Smoother(ad_only).run(
+        scenario.supply, scenario.jobs, scenario.total_servers);
+    arms.push_back({"W/ AD only", grid_of(report), 0.0});
+  }
+  {
+    const auto report = core::Smoother(config).run(
+        scenario.supply, scenario.jobs, scenario.total_servers);
+    arms.push_back({"W/ FS and W/ AD", grid_of(report),
+                    life_of(report.battery_equivalent_cycles)});
+  }
+  {
+    // Price-aware AD extension: grid-bound work drifts off-peak.
+    core::SmootherConfig priced = config;
+    priced.active_delay.offpeak_weight = 0.25;
+    const auto report = core::Smoother(priced).run(
+        scenario.supply, scenario.jobs, scenario.total_servers);
+    arms.push_back({"W/ FS + price-aware AD", grid_of(report),
+                    life_of(report.battery_equivalent_cycles)});
+  }
+
+  sim::TablePrinter table({"arm", "grid_kwh", "energy_cost_$",
+                           "demand_charge_$", "wear_cost_$", "total_$"});
+  for (const auto& arm : arms) {
+    const auto breakdown = cost_model.price(arm.grid, arm.battery_life,
+                                            config.battery.capacity);
+    table.add_row({arm.name,
+                   util::strfmt("%.0f", arm.grid.total_energy().value()),
+                   util::strfmt("%.2f", breakdown.grid_energy_cost),
+                   util::strfmt("%.2f", breakdown.demand_charge),
+                   util::strfmt("%.2f", breakdown.battery_wear_cost),
+                   util::strfmt("%.2f", breakdown.total())});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nreading: AD cuts the energy bill outright (half the grid "
+         "energy); FS adds a small wear cost but trims nothing else -- its "
+         "value is stability (switching), which this tariff does not "
+         "price. The price-aware AD arm is a cautionary ablation: it "
+         "minimizes the *energy* charge as designed, but by piling "
+         "deferred jobs into the off-peak window it concentrates grid "
+         "draw and the demand charge explodes. A deployment pairing "
+         "price-aware deferral with a demand-charge tariff must also cap "
+         "concurrent grid draw (peak-shaving, cf. EBuff [37]) -- left as "
+         "configured policy, not default behaviour.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension: storage-portfolio ablation (the "what, where and how much"
+// question of the paper's reference [25]).
+//
+// Same total capacity and total power in every arm; what changes is how
+// they are split across devices. The multi-ESD QP routes the fast
+// component to the high-rate device and the bulk shift to the deep one,
+// so a fast+deep pair should beat a monolith whose single rate equals the
+// *blended* rate.
+#include "common.hpp"
+
+#include "smoother/core/multi_esd.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: ESD portfolio",
+      "monolithic battery vs fast+deep pair at equal capacity and power");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+  const auto base_config = sim::default_config(kCapacitySmall);
+  const core::Smoother middleware(base_config);
+  const core::RegionClassifier classifier =
+      middleware.make_classifier(scenario.supply);
+
+  const util::KilowattHours total_capacity{120.0};
+  const util::Kilowatts total_rate{488.0};
+
+  const std::size_t raw_switches =
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kDirect)
+          .switching_times;
+
+  sim::TablePrinter table({"arm", "w_fs_switches", "var_reduction_%",
+                           "fast_max_rate_kw", "deep_max_rate_kw",
+                           "fast_throughput_kwh", "deep_throughput_kwh"});
+
+  const auto run_bank = [&](const std::string& name, battery::EsdBank bank) {
+    const core::MultiEsdSmoothing smoothing(base_config.flexible_smoothing);
+    const auto result = smoothing.smooth(scenario.supply, classifier, bank);
+    const std::size_t switches =
+        sim::dispatch(result.supply, scenario.demand,
+                      sim::DispatchPolicy::kDirect)
+            .switching_times;
+    const bool pair = bank.size() == 2;
+    table.add_row(
+        {name, std::to_string(switches),
+         util::strfmt("%.0f", 100.0 * result.mean_variance_reduction),
+         util::strfmt("%.0f", result.device_max_rate_kw[0]),
+         pair ? util::strfmt("%.0f", result.device_max_rate_kw[1]) : "-",
+         util::strfmt("%.0f", result.device_throughput_kwh[0]),
+         pair ? util::strfmt("%.0f", result.device_throughput_kwh[1]) : "-"});
+  };
+
+  {
+    battery::BatterySpec spec;
+    spec.capacity = total_capacity;
+    spec.max_charge_rate = total_rate;
+    spec.max_discharge_rate = total_rate;
+    spec.charge_efficiency = 1.0;
+    spec.discharge_efficiency = 1.0;
+    battery::EsdBank monolith;
+    monolith.add("mono", battery::Battery(spec));
+    run_bank("monolith (full rate)", std::move(monolith));
+  }
+  {
+    battery::BatterySpec spec;
+    spec.capacity = total_capacity;
+    spec.max_charge_rate = total_rate * 0.3;  // deep-cycle chemistry rate
+    spec.max_discharge_rate = total_rate * 0.3;
+    spec.charge_efficiency = 1.0;
+    spec.discharge_efficiency = 1.0;
+    battery::EsdBank slow;
+    slow.add("mono-slow", battery::Battery(spec));
+    run_bank("monolith (deep-cycle rate)", std::move(slow));
+  }
+  run_bank("fast+deep pair (20/80 cap, 70/30 rate)",
+           battery::EsdBank::fast_deep_pair(total_capacity, total_rate, 0.2,
+                                            0.7));
+
+  table.print(std::cout);
+  std::cout << util::strfmt("\n(raw supply, no FS: %zu switches)\n",
+                            raw_switches);
+  std::cout << "reading: a full-rate monolith is the (unrealistic) upper "
+               "bound; the realistic deep-cycle monolith loses smoothing "
+               "headroom to its rate limit, and the fast+deep pair buys "
+               "most of it back — the QP routes the high-frequency "
+               "component through the small fast device, sparing the deep "
+               "pack's throughput.\n";
+  return 0;
+}

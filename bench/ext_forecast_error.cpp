@@ -1,0 +1,64 @@
+// Extension: FS robustness to renewable-generation forecast error.
+//
+// The paper plans FS on known generation and cites 5-10 %-error prediction
+// models as the deployment-time source of that knowledge. This ablation
+// sweeps the forecast error and measures how much smoothing quality
+// survives: within-interval variance reduction, switching times, and the
+// battery activity wasted on mispredicted intervals.
+#include "common.hpp"
+
+#include "smoother/core/forecast.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: forecast error",
+      "FS quality vs renewable forecast error (paper cites 5-10% models)");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+  const auto config = sim::default_config(kCapacitySmall);
+  const core::Smoother middleware(config);
+  const core::RegionClassifier classifier =
+      middleware.make_classifier(scenario.supply);
+
+  const std::size_t raw_switches =
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kDirect)
+          .switching_times;
+
+  sim::TablePrinter table({"forecast_error_%", "bias_%", "w_fs_switches",
+                           "var_reduction_%", "battery_cycles"});
+  struct Arm {
+    double sigma;
+    double bias;
+  };
+  for (const Arm arm : {Arm{0.0, 0.0}, Arm{0.025, 0.0}, Arm{0.05, 0.0},
+                        Arm{0.10, 0.0}, Arm{0.20, 0.0}, Arm{0.30, 0.0},
+                        Arm{0.05, 0.10}, Arm{0.05, -0.10}}) {
+    battery::Battery battery(config.battery, config.initial_soc_fraction);
+    core::NoisyForecaster forecaster(arm.sigma, arm.bias, kSeedWind + 1);
+    const core::FlexibleSmoothing fs(config.flexible_smoothing);
+    const auto smoothing = fs.smooth_with_forecast(scenario.supply, classifier,
+                                                   battery, forecaster);
+    const std::size_t switches =
+        sim::dispatch(smoothing.supply, scenario.demand,
+                      sim::DispatchPolicy::kDirect)
+            .switching_times;
+    table.add_row(
+        {util::strfmt("%.1f", 100.0 * arm.sigma),
+         util::strfmt("%+.0f", 100.0 * arm.bias), std::to_string(switches),
+         util::strfmt("%.0f", 100.0 * smoothing.mean_variance_reduction()),
+         util::strfmt("%.1f", battery.equivalent_full_cycles())});
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt("\n(raw supply, no FS: %zu switches)\n",
+                            raw_switches);
+  std::cout << "expected shape: graceful degradation -- at the cited 5-10% "
+               "error FS keeps most of its benefit; optimistic bias hurts "
+               "more than pessimistic (planned discharges the battery "
+               "cannot back).\n";
+  return 0;
+}

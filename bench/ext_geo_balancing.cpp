@@ -1,0 +1,64 @@
+// Extension: geographic load balancing (Greenware-style, related work
+// [14]) composed with Active Delay.
+//
+// A two-site federation (volatile TX wind + calm CA wind, independently
+// generated so their lulls rarely coincide) against the same batch stream:
+// confining the jobs to one site vs greedy renewable-headroom balancing.
+#include "common.hpp"
+
+#include "smoother/sim/geo.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: geo balancing",
+      "two-site federation vs single site, Active Delay at every site");
+
+  // Two half-capacity farms: neither site alone covers the workload, so
+  // where the jobs land matters.
+  const auto horizon = util::days(4.0);
+  const util::Kilowatts per_site = kCapacitySmall * 0.5;
+  std::vector<sim::GeoSite> sites;
+  sites.push_back(sim::GeoSite{
+      "TX(10)",
+      sim::wind_power_series(trace::WindSitePresets::texas_10(), per_site,
+                             horizon, util::kOneMinute, kSeedWind),
+      kServers});
+  sites.push_back(sim::GeoSite{
+      "WY(16419)",
+      sim::wind_power_series(trace::WindSitePresets::wyoming_16419(),
+                             per_site, horizon, util::kOneMinute,
+                             kSeedWind + 1),
+      kServers});
+
+  const auto scenario = sim::make_batch_scenario(
+      trace::BatchWorkloadPresets::lanl_cm5(),
+      trace::WindSitePresets::texas_10(), 2.0, horizon, kServers, kSeedBatch);
+
+  sim::TablePrinter table({"policy", "jobs_site0", "jobs_site1",
+                           "renewable_used_kwh", "utilization",
+                           "deadline_misses"});
+  for (const auto policy : {sim::GeoPolicy::kSingleSite,
+                            sim::GeoPolicy::kRenewableHeadroom}) {
+    const auto result = sim::geo_schedule(scenario.jobs, sites, policy);
+    table.add_row({sim::to_string(policy),
+                   std::to_string(result.jobs_per_site[0]),
+                   std::to_string(result.jobs_per_site[1]),
+                   util::strfmt("%.0f", result.total_renewable_used.value()),
+                   util::strfmt("%.3f", result.total_renewable_utilization),
+                   std::to_string(result.total_deadline_misses)});
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt(
+      "\n(workload energy %.0f kWh; per-site generation: %s %.0f kWh, %s "
+      "%.0f kWh)\n",
+      scenario.workload_energy.value(), sites[0].name.c_str(),
+      sites[0].supply.total_energy().value(), sites[1].name.c_str(),
+      sites[1].supply.total_energy().value());
+  std::cout << "expected shape: balancing catches renewable energy the "
+               "single site would spill during its lulls — higher total "
+               "use from the same job stream. Composes with, not replaces, "
+               "Active Delay (each site still defers internally).\n";
+  return 0;
+}

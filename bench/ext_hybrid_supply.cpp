@@ -1,0 +1,71 @@
+// Extension: hybrid wind + solar supply.
+//
+// Night-peaking wind and day-peaking solar are complementary; for the same
+// total installed capacity the hybrid bus is flatter, which both reduces
+// what FS has to do and raises how much of the supply the workload can
+// catch. Three arms at equal installed capacity: wind-only, solar-only,
+// 60/40 hybrid — each raw and FS-smoothed.
+#include "common.hpp"
+
+#include "smoother/core/metrics.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: hybrid supply",
+      "wind-only vs solar-only vs wind+solar at equal installed capacity");
+
+  const trace::WebWorkloadModel web(trace::WebWorkloadPresets::nasa());
+  const auto demand = sim::dynamic_power_series(
+      web.generate(kWeek, util::kFiveMinutes, kSeedWeb),
+      sim::paper_datacenter());
+
+  struct Arm {
+    std::string name;
+    util::TimeSeries supply;
+  };
+  std::vector<Arm> arms;
+  arms.push_back(
+      {"wind only (976 kW)",
+       sim::make_hybrid_supply(trace::WindSitePresets::texas_10(),
+                               kCapacitySmall, util::Kilowatts{1e-6}, kWeek,
+                               util::kFiveMinutes, kSeedWind)});
+  arms.push_back(
+      {"solar only (976 kW)",
+       sim::make_hybrid_supply(trace::WindSitePresets::texas_10(),
+                               util::Kilowatts{1e-6}, kCapacitySmall, kWeek,
+                               util::kFiveMinutes, kSeedWind)});
+  arms.push_back(
+      {"hybrid 60/40",
+       sim::make_hybrid_supply(trace::WindSitePresets::texas_10(),
+                               kCapacitySmall * 0.6, kCapacitySmall * 0.4,
+                               kWeek, util::kFiveMinutes, kSeedWind)});
+
+  sim::TablePrinter table({"arm", "energy_kwh", "utilization",
+                           "raw_switches", "w_fs_switches",
+                           "supply_roughness_kw"});
+  for (const auto& arm : arms) {
+    auto config = sim::default_config(kCapacitySmall);
+    const auto raw =
+        sim::dispatch(arm.supply, demand, sim::DispatchPolicy::kDirect);
+    const core::Smoother middleware(config);
+    const auto smoothing = middleware.smooth_supply(arm.supply);
+    const std::size_t fs_switches =
+        sim::dispatch(smoothing.supply, demand, sim::DispatchPolicy::kDirect)
+            .switching_times;
+    table.add_row(
+        {arm.name, util::strfmt("%.0f", arm.supply.total_energy().value()),
+         util::strfmt("%.3f", raw.renewable_utilization),
+         std::to_string(raw.switching_times), std::to_string(fs_switches),
+         util::strfmt("%.0f",
+                      stats::rms_successive_diff(arm.supply.values()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: the hybrid arm uses a larger fraction of "
+               "its generation (day solar meets day demand; night wind "
+               "needs deferral) and hands FS a calmer input. Smoother is "
+               "source-agnostic: the same middleware ran all three arms.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension: receding-horizon (MPC-style) Flexible Smoothing.
+//
+// The paper plans each hour in isolation, which flattens every hour to its
+// own level and leaves steps at hour boundaries. Planning over L upcoming
+// intervals while executing only the first (classic model-predictive
+// control) removes those steps. This bench sweeps L and reports switching
+// times, typical (rms) and worst-case ramp rates, and battery activity —
+// with both perfect and 7.5 %-error forecasts, since a longer horizon
+// leans harder on the forecast.
+#include "common.hpp"
+
+#include "smoother/core/forecast.hpp"
+#include "smoother/core/metrics.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: receding horizon",
+      "FS lookahead sweep (L=1 is the paper's per-hour planner)");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+
+  std::cout << util::strfmt(
+      "raw supply: %zu switches, rms ramp %.1f kW, max ramp %.0f kW/min\n\n",
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kDirect)
+          .switching_times,
+      stats::rms_successive_diff(scenario.supply.values()),
+      core::max_ramp_rate_kw_per_min(scenario.supply));
+
+  for (const double forecast_sd : {0.0, 0.075}) {
+    std::cout << util::strfmt("# forecast error sd = %.1f%%\n",
+                              100.0 * forecast_sd);
+    sim::TablePrinter table({"lookahead", "w_fs_switches", "rms_ramp_kw",
+                             "max_ramp_kw_per_min", "battery_cycles"});
+    for (std::size_t lookahead : {1u, 2u, 3u, 6u}) {
+      auto config = sim::default_config(kCapacitySmall);
+      config.flexible_smoothing.lookahead_intervals = lookahead;
+      // A slightly wider battery makes the horizon effect visible.
+      config.battery = battery::spec_for_max_rate(kCapacitySmall * 0.5,
+                                                  util::kFiveMinutes, 4.0);
+      config.battery.charge_efficiency = 1.0;
+      config.battery.discharge_efficiency = 1.0;
+
+      const core::Smoother middleware(config);
+      const auto classifier = middleware.make_classifier(scenario.supply);
+      battery::Battery battery(config.battery, config.initial_soc_fraction);
+      const core::FlexibleSmoothing fs(config.flexible_smoothing);
+      core::SmoothingResult smoothing;
+      if (forecast_sd == 0.0) {
+        smoothing = fs.smooth(scenario.supply, classifier, battery);
+      } else {
+        core::NoisyForecaster forecaster(forecast_sd, 0.0, kSeedWind + 3);
+        smoothing = fs.smooth_with_forecast(scenario.supply, classifier,
+                                            battery, forecaster);
+      }
+      const std::size_t switches =
+          sim::dispatch(smoothing.supply, scenario.demand,
+                        sim::DispatchPolicy::kDirect)
+              .switching_times;
+      table.add_row(
+          {std::to_string(lookahead), std::to_string(switches),
+           util::strfmt("%.1f",
+                        stats::rms_successive_diff(smoothing.supply.values())),
+           util::strfmt("%.0f",
+                        core::max_ramp_rate_kw_per_min(smoothing.supply)),
+           util::strfmt("%.1f", battery.equivalent_full_cycles())});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "expected shape: longer lookahead smooths the hour-boundary "
+               "steps (lower rms/max ramp) at similar switching; with a "
+               "noisy forecast the marginal value of a long horizon "
+               "shrinks, since the tail of the plan rests on predictions.\n";
+  return 0;
+}

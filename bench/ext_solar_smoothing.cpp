@@ -1,0 +1,75 @@
+// Extension: Smoother on solar PV (paper contribution #3: "suitable for a
+// variety of renewable energy ... executing similar operations").
+//
+// Runs the identical region/FS/metrics machinery on PV supply from a calm
+// desert site and a cloud-broken coastal site — and exposes a subtlety the
+// paper's wind-only evaluation never hits: the Eq. 9 minimize-variance
+// objective treats the deterministic sunrise/sunset ramp as "fluctuation"
+// and staircases it, which can *add* supply/demand crossings on clear days.
+// The trend-aware objective (SmoothingObjective::kAroundTrend, paired with
+// detrended region classification) buffers only the cloud noise and lets
+// the ramp through. Both arms are reported.
+#include "common.hpp"
+
+#include "smoother/power/solar.hpp"
+#include "smoother/stats/descriptive.hpp"
+#include "smoother/trace/solar_model.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Extension: solar",
+      "Flexible Smoothing on PV supply (mean vs trend-aware objective)");
+
+  const power::PvArray array;  // 800 kW rated, like the E48
+  const trace::WebWorkloadModel web(trace::WebWorkloadPresets::nasa());
+  const auto demand = sim::dynamic_power_series(
+      web.generate(kWeek, util::kFiveMinutes, kSeedWeb),
+      sim::paper_datacenter());
+
+  sim::TablePrinter table({"site", "objective", "capacity_factor",
+                           "raw_switches", "w_fs_switches",
+                           "supply_roughness_kw", "battery_cycles"});
+  for (const auto& site :
+       {trace::SolarSitePresets::desert(), trace::SolarSitePresets::coastal()}) {
+    const trace::SolarIrradianceModel model(site);
+    const auto supply = array.power_series(
+        model.generate(kWeek, util::kFiveMinutes, kSeedWind));
+    const std::size_t raw =
+        sim::dispatch(supply, demand, sim::DispatchPolicy::kDirect)
+            .switching_times;
+
+    for (const auto objective : {core::SmoothingObjective::kAroundMean,
+                                 core::SmoothingObjective::kAroundTrend}) {
+      auto config = sim::default_config(array.spec().rated_power);
+      config.flexible_smoothing.objective = objective;
+      const core::Smoother middleware(config);
+      double cycles = 0.0;
+      const auto smoothing = middleware.smooth_supply(supply, &cycles);
+      const std::size_t switches =
+          sim::dispatch(smoothing.supply, demand, sim::DispatchPolicy::kDirect)
+              .switching_times;
+      table.add_row(
+          {site.name,
+           objective == core::SmoothingObjective::kAroundMean ? "mean (Eq.9)"
+                                                              : "trend-aware",
+           util::strfmt("%.3f",
+                        supply.mean() / array.spec().rated_power.value()),
+           std::to_string(raw), std::to_string(switches),
+           util::strfmt("%.1f", stats::rms_successive_diff(
+                                    smoothing.supply.values())),
+           util::strfmt("%.1f", cycles)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: on the cloudy coastal site both objectives cut "
+               "switching; on the clear desert site the mean objective "
+               "staircases the solar ramp — extra crossings vs raw, high "
+               "roughness, an order of magnitude more battery cycles — "
+               "while the trend-aware objective leaves clear ramps nearly "
+               "untouched (battery churn collapses, roughness drops, "
+               "switching returns to the raw level). Same middleware code "
+               "path as wind throughout.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 4/5: raw wind power vs the supply delivered after Flexible
+// Smoothing (the W/O FS vs W/ FS curves with the Region-II-1 circle).
+#include "common.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 5", "smoothed (W/ FS) vs original (W/O FS) wind power");
+
+  const auto raw = sim::wind_power_series(trace::WindSitePresets::texas_10(),
+                                          kCapacitySmall, util::days(1.0),
+                                          util::kFiveMinutes, kSeedWind + 5);
+  const auto config = sim::default_config(kCapacitySmall);
+  const core::Smoother middleware(config);
+  double cycles = 0.0;
+  const auto result = middleware.smooth_supply(raw, &cycles);
+
+  std::cout << "minute,raw_kw,smoothed_kw,region\n";
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::size_t interval = i / 12;
+    const std::string region =
+        interval < result.intervals.size()
+            ? core::to_string(result.intervals[interval].region)
+            : "-";
+    std::cout << util::strfmt("%.0f,%.1f,%.1f,%s\n", raw.time_at(i).value(),
+                              raw[i], result.supply[i], region.c_str());
+  }
+
+  std::cout << util::strfmt(
+      "\nwhole-day variance: raw %.0f -> smoothed %.0f (kW^2)\n",
+      raw.variance(), result.supply.variance());
+  std::cout << util::strfmt(
+      "within smoothed intervals: mean variance reduction %.0f%% across %zu "
+      "intervals; battery cycles %.1f\n",
+      100.0 * result.mean_variance_reduction(), result.smoothed_intervals,
+      cycles);
+  std::cout << "paper shape: Region-II-1 stretches become near-flat; "
+               "Region-I and Region-II-2 pass through untouched.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 8: the Active Delay schematic, reproduced with the real scheduler.
+//
+// Three deferrable jobs J1-J3 against a renewable pulse that arrives after
+// J2 would naively run. Without AD (Fig. 8a) J2 executes at arrival and
+// misses the renewable energy; with AD (Fig. 8b) J2 is delayed to the
+// window with the most renewable energy before its soft deadline.
+#include "common.hpp"
+
+#include "smoother/core/active_delay.hpp"
+
+namespace {
+
+using namespace smoother;
+
+sched::Job job(std::uint64_t id, double arrival, double runtime,
+               double deadline, double power) {
+  sched::Job j;
+  j.id = id;
+  j.arrival = util::Minutes{arrival};
+  j.runtime = util::Minutes{runtime};
+  j.deadline = util::Minutes{deadline};
+  j.servers = 1;
+  j.power = util::Kilowatts{power};
+  return j;
+}
+
+void print_schedule(const char* title, const sched::ScheduleResult& result,
+                    const sched::ScheduleRequest& request) {
+  std::cout << title << '\n';
+  sim::TablePrinter table({"job", "arrival_min", "start_min", "finish_min",
+                           "renewable_kwh", "met_deadline"});
+  for (const auto& placement : result.outcome.placements) {
+    const auto& j = *std::find_if(
+        request.jobs.begin(), request.jobs.end(),
+        [&](const sched::Job& candidate) {
+          return candidate.id == placement.job_id;
+        });
+    table.add_row({"J" + std::to_string(placement.job_id),
+                   util::strfmt("%.0f", j.arrival.value()),
+                   util::strfmt("%.0f", placement.start.value()),
+                   util::strfmt("%.0f", placement.finish.value()),
+                   util::strfmt("%.2f",
+                                placement.renewable_energy_used.value()),
+                   placement.met_deadline ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt("renewable used in total: %.2f kWh of %.2f "
+                            "generated (utilization %.2f)\n\n",
+                            result.outcome.renewable_energy_used.value(),
+                            request.renewable.total_energy().value(),
+                            result.outcome.renewable_energy_used.value() /
+                                request.renewable.total_energy().value());
+}
+
+}  // namespace
+
+int main() {
+  using namespace smoother;
+  sim::print_experiment_header(
+      std::cout, "Fig. 8", "Active Delay schematic with the real scheduler");
+
+  // Renewable: a pulse from minute 120 to 200 (the dotted curve's bump).
+  std::vector<double> values(360, 2.0);
+  for (std::size_t t = 120; t < 200; ++t) values[t] = 30.0;
+  sched::ScheduleRequest request;
+  request.renewable = util::TimeSeries(util::kOneMinute, std::move(values));
+  request.total_servers = 4;
+  request.jobs = {
+      job(1, 0.0, 60.0, 80.0, 20.0),      // J1: tight deadline, runs now
+      job(2, 40.0, 60.0, 300.0, 25.0),    // J2: slack -> AD delays it
+      job(3, 210.0, 60.0, 359.0, 18.0),   // J3: arrives after the pulse
+  };
+
+  const auto immediate = sched::ImmediateScheduler().schedule(request);
+  print_schedule("(a) without Active Delay — jobs run at arrival:", immediate,
+                 request);
+  const auto delayed = core::ActiveDelayScheduler().schedule(request);
+  print_schedule("(b) with Active Delay — J2 moves into the renewable pulse:",
+                 delayed, request);
+
+  std::cout << "paper shape: J2's execution shifts to the time with the "
+               "most renewable energy before its soft deadline (red dotted "
+               "line); J1 (no slack) and J3 (arrives late) are unchanged.\n";
+  return 0;
+}

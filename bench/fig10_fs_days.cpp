@@ -1,0 +1,70 @@
+// Fig. 10: four days of different wind-fluctuation intensity ("May 2, 14,
+// 18 and 23, 2011"), and the energy switching times with vs without
+// Flexible Smoothing on each day.
+//
+// Day presets are ordered smooth -> most fluctuating (May 2 analog first);
+// the paper's claim to reproduce: FS cuts switching the most on the most
+// fluctuating day and has little left to do on the calm one.
+#include "common.hpp"
+
+#include "smoother/stats/descriptive.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 10",
+      "switching times W/O FS vs W/ FS across four volatility days");
+
+  // Shared demand: NASA web workload on the evaluation fleet.
+  const trace::WebWorkloadModel web(trace::WebWorkloadPresets::nasa());
+  const auto demand = sim::dynamic_power_series(
+      web.generate(util::days(1.0), util::kFiveMinutes, kSeedWeb),
+      sim::paper_datacenter());
+
+  static constexpr const char* kDayNames[] = {"May-02 (calm)", "May-14",
+                                              "May-23", "May-18 (roughest)"};
+  sim::TablePrinter table({"day", "roughness_kw", "wo_fs_switches",
+                           "w_fs_switches", "reduction_%"});
+  for (std::size_t day = 0; day < 4; ++day) {
+    const trace::WindSpeedModel model(trace::fig10_day_params(day));
+    const auto supply =
+        power::TurbineCurve::enercon_e48().power_series(
+            model.generate_day(kSeedWind + day)) *
+        (kCapacitySmall.value() / 800.0);
+    auto config = sim::default_config(kCapacitySmall);
+    // A single day is too short to derive thresholds from itself alone;
+    // use a month of the same day-preset as history.
+    const auto history =
+        power::TurbineCurve::enercon_e48().power_series(
+            model.generate(util::days(28.0), util::kFiveMinutes,
+                           kSeedWind + 100 + day)) *
+        (kCapacitySmall.value() / 800.0);
+
+    const std::size_t raw =
+        sim::dispatch(supply, demand, sim::DispatchPolicy::kDirect)
+            .switching_times;
+    const core::Smoother middleware(config);
+    const auto classifier = middleware.make_classifier(history);
+    battery::Battery battery(config.battery, config.initial_soc_fraction);
+    const core::FlexibleSmoothing fs(config.flexible_smoothing);
+    const auto smoothing = fs.smooth(supply, classifier, battery);
+    const std::size_t smoothed =
+        sim::dispatch(smoothing.supply, demand, sim::DispatchPolicy::kDirect)
+            .switching_times;
+    const double reduction =
+        raw > 0 ? 100.0 * (static_cast<double>(raw) -
+                           static_cast<double>(smoothed)) /
+                      static_cast<double>(raw)
+                : 0.0;
+    table.add_row({kDayNames[day],
+                   util::strfmt("%.0f",
+                                stats::rms_successive_diff(supply.values())),
+                   std::to_string(raw), std::to_string(smoothed),
+                   util::strfmt("%.0f", reduction)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: the roughest day shows the largest absolute "
+               "switching-time drop; the calm day changes little.\n";
+  return 0;
+}

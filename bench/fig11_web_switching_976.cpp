@@ -1,0 +1,15 @@
+// Fig. 11: switching times W/ Comp vs W/ FS, Table I web workloads
+// (installed wind capacity 976 kW).
+#include "common.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 11",
+      "switching times W/ Comp vs W/ FS, Table I web workloads @ 976 kW");
+  run_web_switching_sweep(kCapacitySmall);
+  return 0;
+}

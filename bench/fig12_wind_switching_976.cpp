@@ -1,0 +1,15 @@
+// Fig. 12: switching times W/ Comp vs W/ FS, Table III wind traces
+// (installed wind capacity 976 kW).
+#include "common.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 12",
+      "switching times W/ Comp vs W/ FS, Table III wind traces @ 976 kW");
+  run_wind_switching_sweep(kCapacitySmall);
+  return 0;
+}

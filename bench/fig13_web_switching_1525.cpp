@@ -1,0 +1,15 @@
+// Fig. 13: switching times W/ Comp vs W/ FS, Table I web workloads
+// (installed wind capacity 1525 kW).
+#include "common.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 13",
+      "switching times W/ Comp vs W/ FS, Table I web workloads @ 1525 kW");
+  run_web_switching_sweep(kCapacityLarge);
+  return 0;
+}

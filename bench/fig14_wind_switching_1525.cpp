@@ -1,0 +1,15 @@
+// Fig. 14: switching times W/ Comp vs W/ FS, Table III wind traces
+// (installed wind capacity 1525 kW).
+#include "common.hpp"
+
+#include <algorithm>
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 14",
+      "switching times W/ Comp vs W/ FS, Table III wind traces @ 1525 kW");
+  run_wind_switching_sweep(kCapacityLarge);
+  return 0;
+}

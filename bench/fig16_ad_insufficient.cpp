@@ -1,0 +1,43 @@
+// Fig. 16: Active Delay with *insufficient* renewable power — the adjusted
+// demand soaks up nearly all of the scarce supply.
+#include "common.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 16", "Active Delay with insufficient renewable power");
+
+  const auto scenario = sim::make_batch_scenario(
+      trace::BatchWorkloadPresets::hpc2n(),
+      trace::WindSitePresets::colorado_11005(), /*supply_ratio=*/0.5,
+      util::days(2.0), kServers, kSeedBatch);
+  const auto config =
+      sim::default_config(util::Kilowatts{scenario.supply.max()});
+
+  core::SmootherConfig with_ad = config;
+  with_ad.enable_active_delay = true;
+  const auto ad = core::Smoother(with_ad).run(scenario.supply, scenario.jobs,
+                                              scenario.total_servers);
+  core::SmootherConfig no_ad = config;
+  no_ad.enable_active_delay = false;
+  const auto imm = core::Smoother(no_ad).run(scenario.supply, scenario.jobs,
+                                             scenario.total_servers);
+
+  const auto supply = ad.smoothing.supply.resample(util::kOneMinute);
+  std::cout << "minute,supply_kw,demand_initial_kw,demand_with_ad_kw\n";
+  for (std::size_t i = 0; i < supply.size(); i += 15)
+    std::cout << util::strfmt("%.0f,%.1f,%.1f,%.1f\n",
+                              supply.time_at(i).value(), supply[i],
+                              imm.schedule.demand[i], ad.schedule.demand[i]);
+
+  std::cout << util::strfmt(
+      "\nrenewable utilization: initial %.3f -> with AD %.3f "
+      "(supply %.0f kWh = 0.5x workload energy %.0f kWh)\n",
+      imm.renewable_utilization, ad.renewable_utilization,
+      scenario.renewable_energy.value(), scenario.workload_energy.value());
+  std::cout << "paper shape: with scarce supply AD pulls jobs onto every "
+               "windy stretch, driving utilization far above the immediate "
+               "schedule's.\n";
+  return 0;
+}

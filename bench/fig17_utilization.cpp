@@ -1,0 +1,43 @@
+// Fig. 17: renewable power utilization, "W/ FS and W/O AD" vs "W/ FS and
+// W/ AD", for the four Table II batch workloads under low and high
+// renewable supply. The paper's headline: +169.85 % on average, with the
+// biggest jump for HPC2N under low supply (0.19 -> 0.81).
+#include "common.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 17",
+      "renewable utilization without vs with Active Delay (FS always on)");
+
+  sim::TablePrinter table({"workload", "supply", "wo_ad", "w_ad",
+                           "improvement_%", "misses_wo", "misses_w"});
+  double improvement_sum = 0.0;
+  std::size_t arms = 0;
+  for (const auto& batch : trace::BatchWorkloadPresets::all()) {
+    for (double ratio : {0.5, 1.5}) {
+      const auto scenario = sim::make_batch_scenario(
+          batch, trace::WindSitePresets::colorado_11005(), ratio,
+          util::days(4.0), kServers, kSeedBatch);
+      const auto cmp = sim::run_utilization_comparison(
+          scenario, sim::default_config(util::Kilowatts{scenario.supply.max()}));
+      improvement_sum += cmp.improvement_percent();
+      ++arms;
+      table.add_row({batch.name, ratio < 1.0 ? "low (0.5x)" : "high (1.5x)",
+                     util::strfmt("%.3f", cmp.without_ad),
+                     util::strfmt("%.3f", cmp.with_ad),
+                     util::strfmt("%+.1f", cmp.improvement_percent()),
+                     std::to_string(cmp.deadline_misses_without),
+                     std::to_string(cmp.deadline_misses_with)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt(
+      "\naverage utilization improvement: %+.1f%% (paper: +169.85%%)\n",
+      improvement_sum / static_cast<double>(arms));
+  std::cout << "paper shape: AD improves every workload/supply arm; "
+               "utilization ends lower when supply is plentiful (the "
+               "workload can only absorb its own energy need).\n";
+  return 0;
+}

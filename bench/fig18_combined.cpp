@@ -1,0 +1,38 @@
+// Fig. 18: energy switching times of "W/O FS + W/ AD" vs "W/ FS + W/ AD"
+// across batch workloads and wind traces. The paper's claim: adding FS on
+// top of AD cuts switching times by more than 25 %.
+#include "common.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Fig. 18",
+      "switching times: W/O FS + W/ AD vs W/ FS + W/ AD");
+
+  const trace::WindSiteParams sites[] = {
+      trace::WindSitePresets::texas_10(),
+      trace::WindSitePresets::colorado_11005()};
+  sim::TablePrinter table(
+      {"workload", "wind", "wo_fs_w_ad", "w_fs_w_ad", "reduction_%"});
+  double reduction_sum = 0.0;
+  std::size_t arms = 0;
+  for (const auto& batch : trace::BatchWorkloadPresets::all()) {
+    for (const auto& site : sites) {
+      const auto scenario = sim::make_batch_scenario(
+          batch, site, 1.0, util::days(4.0), kServers, kSeedBatch + arms);
+      const auto cmp = sim::run_combined_comparison(
+          scenario, sim::default_config(util::Kilowatts{scenario.supply.max()}));
+      reduction_sum += cmp.reduction_percent();
+      ++arms;
+      table.add_row({batch.name, site.name, std::to_string(cmp.without_fs),
+                     std::to_string(cmp.with_fs),
+                     util::strfmt("%.1f", cmp.reduction_percent())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << util::strfmt(
+      "\naverage switching reduction: %.1f%% (paper: more than 25%%)\n",
+      reduction_sum / static_cast<double>(arms));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmark: scheduling throughput of Active Delay vs the baselines,
+// and a full one-day smoothing pass.
+#include <benchmark/benchmark.h>
+
+#include "smoother/core/active_delay.hpp"
+#include "smoother/core/smoother.hpp"
+#include "smoother/sim/experiments.hpp"
+#include "smoother/sim/scenario.hpp"
+
+namespace {
+
+using namespace smoother;
+
+sched::ScheduleRequest make_request(std::size_t num_jobs, std::uint64_t seed) {
+  const auto horizon = util::days(2.0);
+  sched::ScheduleRequest request;
+  request.total_servers = 11000;
+  request.renewable = sim::wind_power_series(
+      trace::WindSitePresets::colorado_11005(), util::Kilowatts{976.0},
+      horizon, util::kOneMinute, seed);
+
+  power::DatacenterSpec spec;
+  spec.server_count = request.total_servers;
+  const power::DatacenterPowerModel dc(spec);
+  trace::BatchWorkloadParams params = trace::BatchWorkloadPresets::hpc2n();
+  const trace::BatchWorkloadModel model(params);
+  auto jobs = model.generate(horizon, request.total_servers, dc, seed);
+  // Trim or repeat to the requested count for a clean sweep axis.
+  while (jobs.size() < num_jobs) {
+    auto extra = jobs;
+    for (auto& job : extra) job.id += jobs.size();
+    jobs.insert(jobs.end(), extra.begin(), extra.end());
+  }
+  jobs.resize(num_jobs);
+  request.jobs = std::move(jobs);
+  return request;
+}
+
+void BM_ActiveDelay(benchmark::State& state) {
+  const auto request =
+      make_request(static_cast<std::size_t>(state.range(0)), 11);
+  const core::ActiveDelayScheduler scheduler;
+  for (auto _ : state) {
+    auto result = scheduler.schedule(request);
+    benchmark::DoNotOptimize(result.outcome.placements.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActiveDelay)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_ImmediateScheduler(benchmark::State& state) {
+  const auto request =
+      make_request(static_cast<std::size_t>(state.range(0)), 11);
+  const sched::ImmediateScheduler scheduler;
+  for (auto _ : state) {
+    auto result = scheduler.schedule(request);
+    benchmark::DoNotOptimize(result.outcome.placements.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ImmediateScheduler)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_EdfScheduler(benchmark::State& state) {
+  const auto request =
+      make_request(static_cast<std::size_t>(state.range(0)), 11);
+  const sched::EdfScheduler scheduler;
+  for (auto _ : state) {
+    auto result = scheduler.schedule(request);
+    benchmark::DoNotOptimize(result.outcome.placements.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EdfScheduler)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_SmoothFullDay(benchmark::State& state) {
+  const auto supply = sim::wind_power_series(
+      trace::WindSitePresets::texas_10(), util::Kilowatts{976.0},
+      util::days(1.0), util::kFiveMinutes, 5);
+  const auto config = sim::default_config(util::Kilowatts{976.0});
+  const core::Smoother middleware(config);
+  for (auto _ : state) {
+    auto result = middleware.smooth_supply(supply);
+    benchmark::DoNotOptimize(result.supply.values().data());
+  }
+}
+BENCHMARK(BM_SmoothFullDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

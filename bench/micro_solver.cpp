@@ -1,0 +1,119 @@
+// Microbenchmark: the numerical kernels behind Flexible Smoothing.
+//
+// BM_FsQp measures one per-interval FS solve as a function of the interval
+// length m (the paper uses m = 12; larger m = finer points or longer
+// horizons). BM_Cholesky isolates the factorization, BM_GaussianFit the
+// turbine-curve fitting path.
+#include <benchmark/benchmark.h>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/battery/esd_bank.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/core/multi_esd.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/solver/cholesky.hpp"
+#include "smoother/solver/qp.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace {
+
+using namespace smoother;
+
+solver::QpProblem make_fs_like_problem(std::size_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  solver::QpProblem problem;
+  problem.p = solver::variance_quadratic_form(m);
+  std::vector<double> u(m);
+  for (double& v : u) v = rng.uniform(0.0, 70.0);  // kWh per 5-min point
+  problem.q = problem.p * u;
+  problem.a = solver::Matrix(2 * m, m);
+  problem.lower.assign(2 * m, 0.0);
+  problem.upper.assign(2 * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.a(i, i) = 1.0;
+    problem.lower[i] = -u[i];
+    problem.upper[i] = 36.6;
+    for (std::size_t t = 0; t <= i; ++t) problem.a(m + i, t) = 1.0;
+    problem.lower[m + i] = -18.0;
+    problem.upper[m + i] = 18.0;
+  }
+  return problem;
+}
+
+void BM_FsQp(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto problem = make_fs_like_problem(m, 42);
+  for (auto _ : state) {
+    const auto result = solver::solve_qp(problem);
+    benchmark::DoNotOptimize(result.x.data());
+  }
+  state.counters["iterations"] = 0;
+}
+BENCHMARK(BM_FsQp)->Arg(12)->Arg(24)->Arg(48)->Arg(96)->Arg(288);
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  solver::Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal(0.0, 1.0);
+  solver::Matrix a = b * b.transpose();
+  a.add_diagonal(static_cast<double>(n));
+  for (auto _ : state) {
+    auto factor = solver::Cholesky::factorize(a);
+    benchmark::DoNotOptimize(factor);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(12)->Arg(48)->Arg(192);
+
+void BM_GaussianFit(benchmark::State& state) {
+  const auto points = power::TurbineCurve::e48_reference_points();
+  std::vector<double> speeds, powers;
+  for (const auto& [v, p] : points) {
+    speeds.push_back(v);
+    powers.push_back(p);
+  }
+  for (auto _ : state) {
+    auto curve = power::GaussianSumCurve::fit(speeds, powers, 3);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(BM_GaussianFit);
+
+void BM_MultiEsdPlanInterval(benchmark::State& state) {
+  // Two-device portfolio QP: 24 variables, 60 rows.
+  core::MultiEsdSmoothing smoothing;
+  battery::EsdBank bank = battery::EsdBank::fast_deep_pair(
+      util::KilowattHours{80.0}, util::Kilowatts{488.0});
+  util::Rng rng(5);
+  util::TimeSeries generation(util::kFiveMinutes, 12);
+  for (std::size_t i = 0; i < 12; ++i)
+    generation[i] = rng.uniform(0.0, 800.0);
+  for (auto _ : state) {
+    auto plan = smoothing.plan_interval(generation, bank);
+    benchmark::DoNotOptimize(plan.schedules_kwh.data());
+  }
+}
+BENCHMARK(BM_MultiEsdPlanInterval);
+
+void BM_FsPlanInterval(benchmark::State& state) {
+  core::FlexibleSmoothing fs;
+  battery::BatterySpec spec = battery::spec_for_max_rate(
+      util::Kilowatts{488.0}, util::kFiveMinutes);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  battery::Battery battery(spec);
+  util::Rng rng(3);
+  util::TimeSeries generation(util::kFiveMinutes, 12);
+  for (std::size_t i = 0; i < 12; ++i)
+    generation[i] = rng.uniform(0.0, 800.0);
+  for (auto _ : state) {
+    auto plan = fs.plan_interval(generation, battery);
+    benchmark::DoNotOptimize(plan.schedule_kwh.data());
+  }
+}
+BENCHMARK(BM_FsPlanInterval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

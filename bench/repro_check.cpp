@@ -1,0 +1,140 @@
+// Reproduction self-check: asserts the paper's headline *shape* claims on
+// the canonical scenarios and exits non-zero if any fails. This is the
+// one binary to run after touching anything — CI for the science, not
+// just the code.
+//
+// Claims checked (paper Section IV):
+//   1. FS cuts energy switching times vs raw supply on high-volatility
+//      wind (Figs. 10-14).
+//   2. FS beats the Comp battery baseline there too (Figs. 11-14).
+//   3. FS helps more on high- than on low-volatility traces (Figs. 12/14).
+//   4. AD raises renewable utilization on every Table II workload under
+//      both supply levels (Fig. 17).
+//   5. FS on top of AD cuts switching times by more than 25 % on average
+//      (Fig. 18).
+//   6. The Fig. 6 trade-off: a higher Region-II-2 CDF level never
+//      increases switching, and the required battery rate never shrinks.
+#include "common.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << what << '\n';
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "repro check",
+      "headline shape claims of the paper, asserted");
+
+  const auto config = sim::default_config(kCapacitySmall);
+
+  // --- claims 1-3: switching times ------------------------------------------
+  {
+    const auto high = sim::make_web_scenario(
+        trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+        kCapacitySmall, kWeek, kSeedWeb);
+    const auto cmp_high =
+        sim::run_switching_comparison(high.supply, high.demand, config);
+    check(cmp_high.with_fs < cmp_high.without_fs,
+          "FS reduces switching vs raw supply (high-volatility wind)");
+    check(cmp_high.with_fs < cmp_high.with_comp,
+          "FS beats the Comp battery baseline");
+
+    const auto low = sim::make_web_scenario(
+        trace::WebWorkloadPresets::nasa(),
+        trace::WindSitePresets::california_9122(), kCapacitySmall, kWeek,
+        kSeedWeb);
+    const auto cmp_low =
+        sim::run_switching_comparison(low.supply, low.demand, config);
+    const double gain_high =
+        1.0 - static_cast<double>(cmp_high.with_fs) /
+                  static_cast<double>(cmp_high.without_fs);
+    const double gain_low =
+        cmp_low.without_fs > 0
+            ? 1.0 - static_cast<double>(cmp_low.with_fs) /
+                        static_cast<double>(cmp_low.without_fs)
+            : 0.0;
+    check(gain_high > gain_low,
+          "FS helps more on high- than low-volatility wind");
+  }
+
+  // --- claim 4: AD utilization ------------------------------------------------
+  {
+    bool all_improve = true;
+    for (const auto& batch : trace::BatchWorkloadPresets::all()) {
+      for (double ratio : {0.5, 1.5}) {
+        const auto scenario = sim::make_batch_scenario(
+            batch, trace::WindSitePresets::colorado_11005(), ratio,
+            util::days(3.0), kServers, kSeedBatch);
+        const auto cmp = sim::run_utilization_comparison(
+            scenario,
+            sim::default_config(util::Kilowatts{scenario.supply.max()}));
+        if (cmp.with_ad <= cmp.without_ad) all_improve = false;
+      }
+    }
+    check(all_improve,
+          "AD raises renewable utilization on every workload x supply arm");
+  }
+
+  // --- claim 5: FS + AD > 25 % ------------------------------------------------
+  {
+    double reduction_sum = 0.0;
+    std::size_t arms = 0;
+    for (const auto& batch : trace::BatchWorkloadPresets::all()) {
+      const auto scenario = sim::make_batch_scenario(
+          batch, trace::WindSitePresets::texas_10(), 1.0, util::days(3.0),
+          kServers, kSeedBatch + arms);
+      const auto cmp = sim::run_combined_comparison(
+          scenario,
+          sim::default_config(util::Kilowatts{scenario.supply.max()}));
+      reduction_sum += cmp.reduction_percent();
+      ++arms;
+    }
+    check(reduction_sum / static_cast<double>(arms) > 25.0,
+          "FS on top of AD cuts switching by more than 25% on average");
+  }
+
+  // --- claim 6: Fig. 6 monotonicity --------------------------------------------
+  {
+    const auto scenario = sim::make_web_scenario(
+        trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+        kCapacitySmall, kWeek, kSeedWind);
+    std::size_t prev_switches = SIZE_MAX;
+    double prev_rate = 0.0;
+    bool monotone = true;
+    for (double level : {0.85, 0.95, 0.995}) {
+      auto sweep_config = sim::default_config(kCapacitySmall);
+      sweep_config.extreme_cdf = level;
+      sweep_config.battery = battery::spec_for_max_rate(
+          kCapacitySmall, util::kFiveMinutes, 2.0);
+      sweep_config.battery.charge_efficiency = 1.0;
+      sweep_config.battery.discharge_efficiency = 1.0;
+      const core::Smoother middleware(sweep_config);
+      const auto smoothing = middleware.smooth_supply(scenario.supply);
+      const std::size_t switches =
+          sim::dispatch(smoothing.supply, scenario.demand,
+                        sim::DispatchPolicy::kDirect)
+              .switching_times;
+      if (switches > prev_switches ||
+          smoothing.required_max_rate_kw + 1e-9 < prev_rate)
+        monotone = false;
+      prev_switches = switches;
+      prev_rate = smoothing.required_max_rate_kw;
+    }
+    check(monotone,
+          "Fig. 6 trade-off: higher CDF level -> fewer switches, larger "
+          "required battery rate");
+  }
+
+  std::cout << (failures == 0 ? "\nALL HEADLINE CLAIMS REPRODUCED\n"
+                              : "\nSOME CLAIMS FAILED\n");
+  return failures == 0 ? 0 : 1;
+}

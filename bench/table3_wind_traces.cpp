@@ -1,0 +1,43 @@
+// Table III: the six wind power traces, their capacity factors and
+// volatility groups, measured through the E48 turbine curve over a month.
+#include "common.hpp"
+
+#include <numeric>
+
+#include "smoother/power/capacity_factor.hpp"
+#include "smoother/power/turbine.hpp"
+
+int main() {
+  using namespace smoother;
+  using namespace smoother::bench;
+  sim::print_experiment_header(
+      std::cout, "Table III",
+      "wind power traces: capacity factor and volatility group");
+
+  static const double kPaperCf[] = {17.9, 19.0, 17.9, 32.4, 29.9, 29.6};
+  sim::TablePrinter table({"site", "group", "paper_cf_%", "measured_cf_%",
+                           "mean_hourly_cf_variance"});
+  std::size_t i = 0;
+  for (const auto& site : trace::WindSitePresets::all()) {
+    const trace::WindSpeedModel model(site);
+    const auto speed = model.generate(kMonth, util::kFiveMinutes, kSeedWind);
+    const auto supply =
+        power::TurbineCurve::enercon_e48().power_series(speed);
+    const double cf = power::average_capacity_factor(
+        supply, util::Kilowatts{800.0});
+    const auto vars = power::interval_capacity_factor_variances(
+        supply, util::Kilowatts{800.0}, 12);
+    const double mean_var = std::accumulate(vars.begin(), vars.end(), 0.0) /
+                            static_cast<double>(vars.size());
+    table.add_row({site.name, i < 3 ? "low volatility" : "high volatility",
+                   util::strfmt("%.1f", kPaperCf[i]),
+                   util::strfmt("%.1f", 100.0 * cf),
+                   util::strfmt("%.5f", mean_var)});
+    ++i;
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape: low-volatility sites ~18-19% CF, "
+               "high-volatility ~30-32% CF, with clearly separated variance "
+               "levels between the groups.\n";
+  return 0;
+}

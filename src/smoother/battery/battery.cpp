@@ -1,0 +1,106 @@
+#include "smoother/battery/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smoother::battery {
+
+void BatterySpec::validate() const {
+  if (capacity <= util::KilowattHours{0.0})
+    throw std::invalid_argument("BatterySpec: capacity must be positive");
+  if (min_soc_fraction < 0.0 || max_soc_fraction > 1.0 ||
+      min_soc_fraction >= max_soc_fraction)
+    throw std::invalid_argument("BatterySpec: bad SoC corridor");
+  if (max_charge_rate <= util::Kilowatts{0.0} ||
+      max_discharge_rate <= util::Kilowatts{0.0})
+    throw std::invalid_argument("BatterySpec: rates must be positive");
+  if (charge_efficiency <= 0.0 || charge_efficiency > 1.0 ||
+      discharge_efficiency <= 0.0 || discharge_efficiency > 1.0)
+    throw std::invalid_argument("BatterySpec: efficiencies in (0,1]");
+}
+
+BatterySpec spec_for_max_rate(util::Kilowatts max_rate, util::Minutes sustain,
+                              double headroom) {
+  if (max_rate <= util::Kilowatts{0.0})
+    throw std::invalid_argument("spec_for_max_rate: rate must be positive");
+  if (sustain <= util::Minutes{0.0})
+    throw std::invalid_argument("spec_for_max_rate: sustain must be positive");
+  if (headroom < 1.0)
+    throw std::invalid_argument("spec_for_max_rate: headroom must be >= 1");
+  BatterySpec spec;
+  spec.capacity = util::energy(max_rate, sustain) * headroom;
+  spec.max_charge_rate = max_rate;
+  spec.max_discharge_rate = max_rate;
+  return spec;
+}
+
+Battery::Battery(BatterySpec spec, double initial_soc_fraction)
+    : spec_(spec), energy_{0.0} {
+  spec_.validate();
+  const double soc =
+      initial_soc_fraction < 0.0
+          ? 0.5 * (spec_.min_soc_fraction + spec_.max_soc_fraction)
+          : initial_soc_fraction;
+  if (soc < spec_.min_soc_fraction || soc > spec_.max_soc_fraction)
+    throw std::invalid_argument("Battery: initial SoC outside corridor");
+  energy_ = spec_.capacity * soc;
+}
+
+util::Kilowatts Battery::max_charge_power(util::Minutes dt) const {
+  if (dt <= util::Minutes{0.0})
+    throw std::invalid_argument("Battery: dt must be positive");
+  const util::KilowattHours room = spec_.max_energy() - energy_;
+  if (room <= util::KilowattHours{0.0}) return util::Kilowatts{0.0};
+  // Input power whose stored (efficiency-scaled) energy fills the room.
+  const util::Kilowatts soc_limit =
+      util::average_power(room, dt) / spec_.charge_efficiency;
+  return std::min(soc_limit, spec_.max_charge_rate);
+}
+
+util::Kilowatts Battery::max_discharge_power(util::Minutes dt) const {
+  if (dt <= util::Minutes{0.0})
+    throw std::invalid_argument("Battery: dt must be positive");
+  const util::KilowattHours avail = energy_ - spec_.min_energy();
+  if (avail <= util::KilowattHours{0.0}) return util::Kilowatts{0.0};
+  const util::Kilowatts soc_limit =
+      util::average_power(avail, dt) * spec_.discharge_efficiency;
+  return std::min(soc_limit, spec_.max_discharge_rate);
+}
+
+util::Kilowatts Battery::charge(util::Kilowatts power, util::Minutes dt) {
+  if (power < util::Kilowatts{0.0})
+    throw std::invalid_argument("Battery::charge: negative power");
+  const util::Kilowatts accepted = std::min(power, max_charge_power(dt));
+  const util::KilowattHours stored =
+      util::energy(accepted, dt) * spec_.charge_efficiency;
+  energy_ += stored;
+  total_charged_ += stored;
+  // Guard against floating-point overshoot of the ceiling.
+  energy_ = std::min(energy_, spec_.max_energy());
+  return accepted;
+}
+
+util::Kilowatts Battery::discharge(util::Kilowatts power, util::Minutes dt) {
+  if (power < util::Kilowatts{0.0})
+    throw std::invalid_argument("Battery::discharge: negative power");
+  const util::Kilowatts delivered = std::min(power, max_discharge_power(dt));
+  const util::KilowattHours drawn =
+      util::energy(delivered, dt) / spec_.discharge_efficiency;
+  energy_ -= drawn;
+  total_discharged_ += drawn;
+  energy_ = std::max(energy_, spec_.min_energy());
+  return delivered;
+}
+
+util::Kilowatts Battery::apply_signed(util::Kilowatts s, util::Minutes dt) {
+  if (s >= util::Kilowatts{0.0}) return discharge(s, dt);
+  return -charge(-s, dt);
+}
+
+double Battery::equivalent_full_cycles() const {
+  const util::KilowattHours window = spec_.max_energy() - spec_.min_energy();
+  if (window <= util::KilowattHours{0.0}) return 0.0;
+  return (total_charged_ + total_discharged_).value() / (2.0 * window.value());
+}
+
+}  // namespace smoother::battery

@@ -1,0 +1,107 @@
+// UPS battery / energy storage device (ESD) model.
+//
+// Flexible Smoothing executes its per-interval charge/discharge schedule
+// against this model. It enforces the real-world limits the paper calls out:
+// finite capacity, a state-of-charge corridor (never below 10 % — deep
+// discharge damages the battery [31] — and never above 100 %), and finite
+// charge/discharge power rates. Energy conversion losses are modelled with
+// separate charge and discharge efficiencies.
+#pragma once
+
+#include "smoother/util/units.hpp"
+
+namespace smoother::battery {
+
+/// Static battery parameters.
+struct BatterySpec {
+  util::KilowattHours capacity{100.0};
+  double min_soc_fraction = 0.10;  ///< floor of the SoC corridor
+  double max_soc_fraction = 1.00;  ///< ceiling of the SoC corridor
+  util::Kilowatts max_charge_rate{1000.0};
+  util::Kilowatts max_discharge_rate{1000.0};
+  double charge_efficiency = 0.95;     ///< grid->battery
+  double discharge_efficiency = 0.95;  ///< battery->load
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+
+  [[nodiscard]] util::KilowattHours min_energy() const {
+    return capacity * min_soc_fraction;
+  }
+  [[nodiscard]] util::KilowattHours max_energy() const {
+    return capacity * max_soc_fraction;
+  }
+};
+
+/// Sizes a battery per the paper's implementation note: capacity sustains
+/// one 5-minute time point of operation at the maximum charge/discharge
+/// rate. `headroom` widens the capacity beyond that minimum (1.0 = the
+/// paper's sizing; the paper notes a larger battery smooths better).
+[[nodiscard]] BatterySpec spec_for_max_rate(util::Kilowatts max_rate,
+                                            util::Minutes sustain,
+                                            double headroom = 1.0);
+
+/// Mutable battery state with rate- and SoC-limited operations.
+///
+/// Sign convention matches the paper's S vector: a *discharge* adds power to
+/// the system (positive s), a *charge* absorbs surplus power (negative s).
+class Battery {
+ public:
+  /// Starts at the given SoC fraction (default: mid-corridor). Throws
+  /// std::invalid_argument when the spec is invalid or the initial SoC is
+  /// outside the corridor.
+  explicit Battery(BatterySpec spec, double initial_soc_fraction = -1.0);
+
+  [[nodiscard]] const BatterySpec& spec() const { return spec_; }
+
+  /// Stored energy right now.
+  [[nodiscard]] util::KilowattHours energy() const { return energy_; }
+
+  /// State of charge as a fraction of capacity.
+  [[nodiscard]] double soc_fraction() const {
+    return energy_ / spec_.capacity;
+  }
+
+  /// Greatest power the battery can absorb for `dt` without breaking the
+  /// rate limit or the SoC ceiling (input power, before charge losses).
+  [[nodiscard]] util::Kilowatts max_charge_power(util::Minutes dt) const;
+
+  /// Greatest power the battery can deliver for `dt` without breaking the
+  /// rate limit or the SoC floor (output power, after discharge losses).
+  [[nodiscard]] util::Kilowatts max_discharge_power(util::Minutes dt) const;
+
+  /// Absorbs up to `power` for `dt`; returns the power actually accepted
+  /// (<= power, limited by rate and SoC ceiling). Negative requests throw.
+  util::Kilowatts charge(util::Kilowatts power, util::Minutes dt);
+
+  /// Delivers up to `power` for `dt`; returns the power actually delivered
+  /// (<= power, limited by rate and SoC floor). Negative requests throw.
+  util::Kilowatts discharge(util::Kilowatts power, util::Minutes dt);
+
+  /// Executes one signed step of a Flexible Smoothing schedule: s > 0
+  /// discharges |s|, s < 0 charges |s|. Returns the signed power actually
+  /// exchanged (same convention).
+  util::Kilowatts apply_signed(util::Kilowatts s, util::Minutes dt);
+
+  /// Total energy that has flowed in (at the cell, after charge losses).
+  [[nodiscard]] util::KilowattHours total_charged() const {
+    return total_charged_;
+  }
+
+  /// Total energy that has flowed out (at the cell, before discharge
+  /// losses).
+  [[nodiscard]] util::KilowattHours total_discharged() const {
+    return total_discharged_;
+  }
+
+  /// Equivalent full cycles so far: cell throughput / (2 * usable window).
+  [[nodiscard]] double equivalent_full_cycles() const;
+
+ private:
+  BatterySpec spec_;
+  util::KilowattHours energy_;
+  util::KilowattHours total_charged_{0.0};
+  util::KilowattHours total_discharged_{0.0};
+};
+
+}  // namespace smoother::battery

@@ -1,0 +1,90 @@
+#include "smoother/battery/esd_bank.hpp"
+
+#include <stdexcept>
+
+namespace smoother::battery {
+
+void EsdBank::add(std::string name, Battery battery) {
+  devices_.push_back(EsdDevice{std::move(name), std::move(battery)});
+}
+
+const EsdDevice& EsdBank::device(std::size_t i) const {
+  if (i >= devices_.size()) throw std::out_of_range("EsdBank::device");
+  return devices_[i];
+}
+
+EsdDevice& EsdBank::device(std::size_t i) {
+  if (i >= devices_.size()) throw std::out_of_range("EsdBank::device");
+  return devices_[i];
+}
+
+util::KilowattHours EsdBank::total_capacity() const {
+  util::KilowattHours total{0.0};
+  for (const auto& d : devices_) total += d.battery.spec().capacity;
+  return total;
+}
+
+util::KilowattHours EsdBank::total_energy() const {
+  util::KilowattHours total{0.0};
+  for (const auto& d : devices_) total += d.battery.energy();
+  return total;
+}
+
+util::Kilowatts EsdBank::total_charge_rate() const {
+  util::Kilowatts total{0.0};
+  for (const auto& d : devices_) total += d.battery.spec().max_charge_rate;
+  return total;
+}
+
+util::Kilowatts EsdBank::total_discharge_rate() const {
+  util::Kilowatts total{0.0};
+  for (const auto& d : devices_) total += d.battery.spec().max_discharge_rate;
+  return total;
+}
+
+double EsdBank::aggregate_equivalent_cycles() const {
+  // Weight each device's cycles by its usable window so a churned small
+  // device does not dominate the figure.
+  double weighted = 0.0;
+  double total_window = 0.0;
+  for (const auto& d : devices_) {
+    const double window = (d.battery.spec().max_energy() -
+                           d.battery.spec().min_energy())
+                              .value();
+    weighted += d.battery.equivalent_full_cycles() * window;
+    total_window += window;
+  }
+  return total_window > 0.0 ? weighted / total_window : 0.0;
+}
+
+EsdBank EsdBank::fast_deep_pair(util::KilowattHours total_capacity,
+                                util::Kilowatts total_rate,
+                                double fast_fraction, double rate_share) {
+  if (total_capacity <= util::KilowattHours{0.0} ||
+      total_rate <= util::Kilowatts{0.0})
+    throw std::invalid_argument("fast_deep_pair: need positive totals");
+  if (fast_fraction <= 0.0 || fast_fraction >= 1.0 || rate_share <= 0.0 ||
+      rate_share >= 1.0)
+    throw std::invalid_argument("fast_deep_pair: fractions in (0,1)");
+
+  BatterySpec fast;
+  fast.capacity = total_capacity * fast_fraction;
+  fast.max_charge_rate = total_rate * rate_share;
+  fast.max_discharge_rate = total_rate * rate_share;
+  fast.charge_efficiency = 1.0;
+  fast.discharge_efficiency = 1.0;
+
+  BatterySpec deep;
+  deep.capacity = total_capacity * (1.0 - fast_fraction);
+  deep.max_charge_rate = total_rate * (1.0 - rate_share);
+  deep.max_discharge_rate = total_rate * (1.0 - rate_share);
+  deep.charge_efficiency = 1.0;
+  deep.discharge_efficiency = 1.0;
+
+  EsdBank bank;
+  bank.add("fast", Battery(fast));
+  bank.add("deep", Battery(deep));
+  return bank;
+}
+
+}  // namespace smoother::battery

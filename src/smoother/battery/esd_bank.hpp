@@ -1,0 +1,67 @@
+// A bank of heterogeneous energy storage devices.
+//
+// Datacenters rarely deploy one monolithic battery: a typical design pairs
+// a small high-power device (flywheel/supercap-class, fast but shallow)
+// with a large high-energy one (lead-acid/Li-ion, deep but rate-limited) —
+// the "what, where and how much" question of the paper's reference [25].
+// EsdBank holds such a portfolio; the multi-ESD Flexible Smoothing planner
+// (core/flexible_smoothing.hpp) splits each interval's schedule across the
+// devices inside one QP.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+
+namespace smoother::battery {
+
+/// One named device in the bank.
+struct EsdDevice {
+  std::string name;
+  Battery battery;
+};
+
+/// Portfolio of storage devices sharing one bus.
+class EsdBank {
+ public:
+  EsdBank() = default;
+
+  /// Adds a device (takes the battery by value; it starts at its
+  /// constructor SoC).
+  void add(std::string name, Battery battery);
+
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+  [[nodiscard]] bool empty() const { return devices_.empty(); }
+
+  [[nodiscard]] const EsdDevice& device(std::size_t i) const;
+  [[nodiscard]] EsdDevice& device(std::size_t i);
+
+  /// Aggregate nameplate capacity.
+  [[nodiscard]] util::KilowattHours total_capacity() const;
+
+  /// Aggregate stored energy right now.
+  [[nodiscard]] util::KilowattHours total_energy() const;
+
+  /// Sum of the devices' max charge / discharge rates.
+  [[nodiscard]] util::Kilowatts total_charge_rate() const;
+  [[nodiscard]] util::Kilowatts total_discharge_rate() const;
+
+  /// Equivalent full cycles, throughput-weighted across devices.
+  [[nodiscard]] double aggregate_equivalent_cycles() const;
+
+  /// Classic two-device portfolio: a fast shallow device holding
+  /// `fast_fraction` of the energy but `rate_share` of the total power,
+  /// and a deep slow device with the rest. Both lossless (the paper's
+  /// ideal ESD), corridors [0.1, 1.0].
+  static EsdBank fast_deep_pair(util::KilowattHours total_capacity,
+                                util::Kilowatts total_rate,
+                                double fast_fraction = 0.2,
+                                double rate_share = 0.7);
+
+ private:
+  std::vector<EsdDevice> devices_;
+};
+
+}  // namespace smoother::battery

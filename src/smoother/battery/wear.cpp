@@ -1,0 +1,67 @@
+#include "smoother/battery/wear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::battery {
+
+WearTracker::WearTracker(WearModelParams params) : params_(params) {
+  if (params_.cycles_to_failure_at_full_depth <= 0.0)
+    throw std::invalid_argument("WearTracker: cycles_to_failure must be > 0");
+  if (params_.depth_exponent <= 0.0)
+    throw std::invalid_argument("WearTracker: depth_exponent must be > 0");
+}
+
+double WearTracker::cycle_cost(double depth) const {
+  if (depth <= 0.0) return 0.0;
+  // Cycles to failure at depth d: N(d) = N_full * d^(-k); one *half* cycle
+  // at depth d therefore consumes d^k / (2 * N_full) of the life.
+  return std::pow(depth, params_.depth_exponent) /
+         (2.0 * params_.cycles_to_failure_at_full_depth);
+}
+
+void WearTracker::record_soc(double soc_fraction) {
+  if (soc_fraction < 0.0 || soc_fraction > 1.0)
+    throw std::invalid_argument("WearTracker: SoC fraction outside [0,1]");
+  if (!has_last_) {
+    has_last_ = true;
+    last_soc_ = soc_fraction;
+    pending_.push_back(soc_fraction);
+    return;
+  }
+  const double delta = soc_fraction - last_soc_;
+  if (delta == 0.0) return;  // idle step: no movement, no reversal
+  throughput_ += std::abs(delta);
+  const int direction = delta > 0.0 ? 1 : -1;
+  if (last_direction_ != 0 && direction != last_direction_) {
+    ++direction_switches_;
+    // The previous SoC was a local extremum: it closes a half-cycle against
+    // the extremum before it.
+    pending_.push_back(last_soc_);
+    if (pending_.size() >= 2) {
+      const double a = pending_[pending_.size() - 2];
+      const double b = pending_[pending_.size() - 1];
+      half_cycles_.push_back(HalfCycle{std::abs(b - a)});
+    }
+  }
+  last_direction_ = direction;
+  last_soc_ = soc_fraction;
+}
+
+double WearTracker::life_consumed() const {
+  double life = 0.0;
+  for (const auto& hc : half_cycles_) life += cycle_cost(hc.depth);
+  // The open trailing ramp from the last extremum to the current SoC.
+  if (has_last_ && !pending_.empty())
+    life += cycle_cost(std::abs(last_soc_ - pending_.back()));
+  return life;
+}
+
+double life_consumed_by(std::span<const double> soc_trajectory,
+                        WearModelParams params) {
+  WearTracker tracker(params);
+  for (double soc : soc_trajectory) tracker.record_soc(soc);
+  return tracker.life_consumed();
+}
+
+}  // namespace smoother::battery

@@ -1,0 +1,341 @@
+#include "smoother/cli/commands.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+
+#include "smoother/core/active_delay.hpp"
+#include "smoother/core/metrics.hpp"
+#include "smoother/core/smoother.hpp"
+#include "smoother/power/solar.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/power/wind_farm.hpp"
+#include "smoother/sim/experiments.hpp"
+#include "smoother/sim/scenario.hpp"
+#include "smoother/trace/batch_workload.hpp"
+#include "smoother/trace/solar_model.hpp"
+#include "smoother/trace/swf.hpp"
+#include "smoother/trace/trace_io.hpp"
+#include "smoother/trace/web_workload.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/args.hpp"
+#include "smoother/util/format.hpp"
+
+namespace smoother::cli {
+
+namespace {
+
+using util::ArgError;
+using util::ArgParser;
+using util::ParsedArgs;
+
+/// Loads a series from a 2-column CSV regardless of the value column name.
+util::TimeSeries load_series_any(const std::string& path) {
+  const util::CsvTable table = util::CsvTable::load(path);
+  if (table.columns() < 2)
+    throw std::runtime_error(path + ": expected (minute, value) columns");
+  return trace::series_from_csv(table, table.header()[1]);
+}
+
+trace::WindSiteParams wind_site_by_name(const std::string& name) {
+  for (const auto& site : trace::WindSitePresets::all()) {
+    if (site.name.rfind(name, 0) == 0) return site;  // prefix match: "TX"
+  }
+  throw ArgError("unknown wind site '" + name +
+                 "' (use CA, OR, WA, TX, CO or WY)");
+}
+
+trace::WebWorkloadParams web_preset_by_name(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "calgary") return trace::WebWorkloadPresets::calgary();
+  if (name == "uofs") return trace::WebWorkloadPresets::u_of_s();
+  if (name == "nasa") return trace::WebWorkloadPresets::nasa();
+  if (name == "clark") return trace::WebWorkloadPresets::clark();
+  if (name == "ucb") return trace::WebWorkloadPresets::ucb();
+  throw ArgError("unknown web preset '" + name +
+                 "' (calgary, uofs, nasa, clark, ucb)");
+}
+
+trace::BatchWorkloadParams batch_preset_by_name(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "thunder") return trace::BatchWorkloadPresets::llnl_thunder();
+  if (name == "cm5") return trace::BatchWorkloadPresets::lanl_cm5();
+  if (name == "hpc2n") return trace::BatchWorkloadPresets::hpc2n();
+  if (name == "ross") return trace::BatchWorkloadPresets::sandia_ross();
+  throw ArgError("unknown batch preset '" + name +
+                 "' (thunder, cm5, hpc2n, ross)");
+}
+
+/// Shared wrapper: parse, run, map errors to exit codes.
+int with_parser(const ArgParser& parser, const std::vector<std::string>& args,
+                std::ostream& err,
+                const std::function<void(const ParsedArgs&)>& body) {
+  try {
+    const ParsedArgs parsed = parser.parse(args);
+    body(parsed);
+    return 0;
+  } catch (const ArgError& e) {
+    err << "error: " << e.what() << "\n\n" << parser.usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace
+
+int cmd_gen_wind(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser parser("smoother_cli gen-wind",
+                   "synthesize a wind power trace (Table III sites)");
+  parser.add_option("site", "wind site: CA, OR, WA, TX, CO or WY", "TX")
+      .add_option("capacity", "installed capacity in kW", "976")
+      .add_option("days", "trace length in days", "7")
+      .add_option("step-min", "sample step in minutes", "5")
+      .add_option("seed", "random seed", "1")
+      .add_required("out", "output CSV path");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto site = wind_site_by_name(a.get("site"));
+    const auto supply = sim::wind_power_series(
+        site, util::Kilowatts{a.number("capacity")},
+        util::days(a.number("days")), util::Minutes{a.number("step-min")},
+        a.unsigned_integer("seed"));
+    trace::save_series(supply, a.get("out"), "wind_kw");
+    out << util::strfmt(
+        "wrote %zu samples to %s (site %s, mean %.1f kW, peak %.1f kW)\n",
+        supply.size(), a.get("out").c_str(), site.name.c_str(), supply.mean(),
+        supply.max());
+  });
+}
+
+int cmd_gen_solar(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  ArgParser parser("smoother_cli gen-solar",
+                   "synthesize a PV power trace (desert/coastal presets)");
+  parser.add_option("site", "solar site: desert or coastal", "coastal")
+      .add_option("rated", "array DC rating in kW", "800")
+      .add_option("days", "trace length in days", "7")
+      .add_option("step-min", "sample step in minutes", "5")
+      .add_option("seed", "random seed", "1")
+      .add_required("out", "output CSV path");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto site = a.get("site") == "desert"
+                          ? trace::SolarSitePresets::desert()
+                          : trace::SolarSitePresets::coastal();
+    power::PvArraySpec spec;
+    spec.rated_power = util::Kilowatts{a.number("rated")};
+    const power::PvArray array(spec);
+    const trace::SolarIrradianceModel model(site);
+    const auto supply = array.power_series(
+        model.generate(util::days(a.number("days")),
+                       util::Minutes{a.number("step-min")},
+                       a.unsigned_integer("seed")));
+    trace::save_series(supply, a.get("out"), "solar_kw");
+    out << util::strfmt(
+        "wrote %zu samples to %s (site %s, mean %.1f kW, peak %.1f kW)\n",
+        supply.size(), a.get("out").c_str(), site.name.c_str(), supply.mean(),
+        supply.max());
+  });
+}
+
+int cmd_gen_web(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ArgParser parser("smoother_cli gen-web",
+                   "synthesize a web CPU-utilization trace (Table I)");
+  parser
+      .add_option("preset", "calgary, uofs, nasa, clark or ucb", "nasa")
+      .add_option("days", "trace length in days", "7")
+      .add_option("step-min", "sample step in minutes", "1")
+      .add_option("seed", "random seed", "1")
+      .add_required("out", "output CSV path");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto preset = web_preset_by_name(a.get("preset"));
+    const trace::WebWorkloadModel model(preset);
+    const auto mu = model.generate(util::days(a.number("days")),
+                                   util::Minutes{a.number("step-min")},
+                                   a.unsigned_integer("seed"));
+    trace::save_series(mu, a.get("out"), "cpu_utilization");
+    out << util::strfmt("wrote %zu samples to %s (%s, mean %.2f%%)\n",
+                        mu.size(), a.get("out").c_str(), preset.name.c_str(),
+                        100.0 * mu.mean());
+  });
+}
+
+int cmd_gen_batch(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  ArgParser parser("smoother_cli gen-batch",
+                   "synthesize a batch job set (Table II presets)");
+  parser.add_option("preset", "thunder, cm5, hpc2n or ross", "hpc2n")
+      .add_option("days", "horizon in days", "4")
+      .add_option("servers", "evaluation cluster size", "11000")
+      .add_option("seed", "random seed", "1")
+      .add_option("swf", "also write this SWF file", "")
+      .add_required("out", "output jobs CSV path");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto preset = batch_preset_by_name(a.get("preset"));
+    const auto servers =
+        static_cast<std::size_t>(a.unsigned_integer("servers"));
+    power::DatacenterSpec dc_spec;
+    dc_spec.server_count = servers;
+    const power::DatacenterPowerModel dc(dc_spec);
+    const trace::BatchWorkloadModel model(preset);
+    const auto horizon = util::days(a.number("days"));
+    const auto jobs =
+        model.generate(horizon, servers, dc, a.unsigned_integer("seed"));
+    trace::save_jobs(jobs, a.get("out"));
+    if (!a.get("swf").empty()) {
+      const auto records =
+          model.generate_swf(horizon, servers, a.unsigned_integer("seed"));
+      std::ofstream swf(a.get("swf"));
+      if (!swf) throw std::runtime_error("cannot open " + a.get("swf"));
+      trace::write_swf(swf, records);
+    }
+    out << util::strfmt(
+        "wrote %zu jobs to %s (%s, offered source utilization %.1f%%)\n",
+        jobs.size(), a.get("out").c_str(), preset.name.c_str(),
+        100.0 * trace::BatchWorkloadModel::offered_utilization(
+                    jobs, preset.source_processors, horizon));
+  });
+}
+
+int cmd_smooth(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  ArgParser parser("smoother_cli smooth",
+                   "run Flexible Smoothing over a supply trace");
+  parser.add_required("supply", "input supply CSV (minute,kW)")
+      .add_required("out", "output smoothed CSV path")
+      .add_option("capacity", "rated power in kW (0 = use trace max)", "0")
+      .add_option("stable-cdf", "Region-I CDF level", "0.25")
+      .add_option("extreme-cdf", "Region-II-2 CDF level", "0.95")
+      .add_flag("trend", "trend-aware objective (for solar-like ramps)");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto supply = load_series_any(a.get("supply"));
+    double capacity = a.number("capacity");
+    if (capacity <= 0.0) capacity = supply.max();
+    auto config = sim::default_config(util::Kilowatts{capacity});
+    config.stable_cdf = a.number("stable-cdf");
+    config.extreme_cdf = a.number("extreme-cdf");
+    if (a.flag("trend"))
+      config.flexible_smoothing.objective =
+          core::SmoothingObjective::kAroundTrend;
+    const core::Smoother middleware(config);
+    double cycles = 0.0;
+    const auto result = middleware.smooth_supply(supply, &cycles);
+    trace::save_series(result.supply, a.get("out"), "smoothed_kw");
+    out << util::strfmt(
+        "smoothed %zu/%zu intervals; mean variance reduction %.0f%%; "
+        "required max rate %.0f kW; battery cycles %.1f\nwrote %s\n",
+        result.smoothed_intervals, result.intervals.size(),
+        100.0 * result.mean_variance_reduction(), result.required_max_rate_kw,
+        cycles, a.get("out").c_str());
+  });
+}
+
+int cmd_schedule(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser parser("smoother_cli schedule",
+                   "schedule a job set against a supply trace");
+  parser.add_required("supply", "input supply CSV (minute,kW)")
+      .add_required("jobs", "input jobs CSV (from gen-batch)")
+      .add_option("policy", "ad, fifo or edf", "ad")
+      .add_option("servers", "cluster size", "11000")
+      .add_option("step-min", "scheduling slot in minutes", "1")
+      .add_option("demand-out", "write the demand series CSV here", "");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    // Validate the policy before touching any files (fail fast on typos).
+    std::unique_ptr<sched::Scheduler> scheduler;
+    const std::string policy = a.get("policy");
+    if (policy == "ad")
+      scheduler = std::make_unique<core::ActiveDelayScheduler>();
+    else if (policy == "fifo")
+      scheduler = std::make_unique<sched::ImmediateScheduler>();
+    else if (policy == "edf")
+      scheduler = std::make_unique<sched::EdfScheduler>();
+    else
+      throw ArgError("unknown policy '" + policy + "' (ad, fifo, edf)");
+
+    sched::ScheduleRequest request;
+    request.renewable = load_series_any(a.get("supply"))
+                            .resample(util::Minutes{a.number("step-min")});
+    request.jobs = trace::load_jobs(a.get("jobs"));
+    request.total_servers =
+        static_cast<std::size_t>(a.unsigned_integer("servers"));
+
+    const auto result = scheduler->schedule(request);
+    const double generated = request.renewable.total_energy().value();
+    out << util::strfmt(
+        "policy %s: %zu jobs, renewable used %.1f/%.1f kWh (%.1f%%), "
+        "deadline misses %zu, switching times %zu\n",
+        scheduler->name().c_str(), request.jobs.size(),
+        result.outcome.renewable_energy_used.value(), generated,
+        100.0 * result.outcome.renewable_energy_used.value() /
+            std::max(generated, 1e-9),
+        result.outcome.deadline_misses,
+        core::energy_switching_times(request.renewable, result.demand));
+    if (!a.get("demand-out").empty())
+      trace::save_series(result.demand, a.get("demand-out"), "demand_kw");
+  });
+}
+
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  ArgParser parser("smoother_cli metrics",
+                   "supply/demand metrics: switching, utilization, energy");
+  parser.add_required("supply", "supply CSV (minute,kW)")
+      .add_required("demand", "demand CSV (minute,kW)")
+      .add_option("deadband", "hysteresis fraction for switching", "0");
+  return with_parser(parser, args, err, [&](const ParsedArgs& a) {
+    const auto supply = load_series_any(a.get("supply"));
+    const auto demand = load_series_any(a.get("demand"));
+    const double deadband = a.number("deadband");
+    out << util::strfmt(
+        "switching times: %zu\nrenewable utilization: %.3f\n"
+        "renewable used: %.1f kWh\nunusable renewable: %.1f kWh\n"
+        "grid energy needed: %.1f kWh\n",
+        core::energy_switching_times_hysteresis(supply, demand, deadband),
+        core::renewable_utilization(supply, demand),
+        core::renewable_energy_used(supply, demand).value(),
+        core::unusable_renewable(supply, demand).value(),
+        core::grid_energy_needed(supply, demand).value());
+  });
+}
+
+std::vector<std::string> command_names() {
+  return {"gen-wind", "gen-solar", "gen-web", "gen-batch",
+          "smooth",   "schedule",  "metrics"};
+}
+
+std::string main_usage() {
+  std::string out =
+      "usage: smoother_cli <command> [options]\n\n"
+      "Smoother: smooth renewable power-aware middleware (ICDCS'19 "
+      "reproduction)\n\ncommands:\n";
+  out += "  gen-wind    synthesize a wind power trace (Table III sites)\n";
+  out += "  gen-solar   synthesize a PV power trace\n";
+  out += "  gen-web     synthesize a web utilization trace (Table I)\n";
+  out += "  gen-batch   synthesize a batch job set (Table II)\n";
+  out += "  smooth      run Flexible Smoothing over a supply trace\n";
+  out += "  schedule    schedule jobs against a supply (ad/fifo/edf)\n";
+  out += "  metrics     switching/utilization metrics of a supply,demand pair\n";
+  out += "\nrun 'smoother_cli <command> --help' equivalent: any bad option "
+         "prints that command's usage.\n";
+  return out;
+}
+
+int run_command(const std::string& command,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (command == "gen-wind") return cmd_gen_wind(args, out, err);
+  if (command == "gen-solar") return cmd_gen_solar(args, out, err);
+  if (command == "gen-web") return cmd_gen_web(args, out, err);
+  if (command == "gen-batch") return cmd_gen_batch(args, out, err);
+  if (command == "smooth") return cmd_smooth(args, out, err);
+  if (command == "schedule") return cmd_schedule(args, out, err);
+  if (command == "metrics") return cmd_metrics(args, out, err);
+  err << "unknown command '" << command << "'\n\n" << main_usage();
+  return 2;
+}
+
+}  // namespace smoother::cli

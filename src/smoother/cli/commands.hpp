@@ -1,0 +1,50 @@
+// Implementation of the `smoother_cli` subcommands.
+//
+// Kept as a library (rather than code in main) so the commands are unit
+// tested end-to-end: each command reads/writes CSV files and prints a
+// human-readable summary to `out`.
+//
+//   gen-wind    synthesize a wind power trace for a Table III site
+//   gen-solar   synthesize a PV power trace (desert/coastal preset)
+//   gen-web     synthesize a Table I web utilization trace
+//   gen-batch   synthesize a Table II batch job set (CSV and/or SWF)
+//   smooth      run Flexible Smoothing over a supply trace
+//   schedule    schedule a job set against a supply trace (ad/fifo/edf)
+//   metrics     switching times / utilization / energy split of a pair
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace smoother::cli {
+
+/// Dispatches one subcommand. Returns a process exit code (0 on success);
+/// usage/errors are written to `err`. Unknown commands return 2.
+int run_command(const std::string& command,
+                const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// Names of all subcommands (for help text).
+[[nodiscard]] std::vector<std::string> command_names();
+
+/// Top-level help text.
+[[nodiscard]] std::string main_usage();
+
+// Individual commands (exposed for tests).
+int cmd_gen_wind(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_gen_solar(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+int cmd_gen_web(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+int cmd_gen_batch(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err);
+int cmd_smooth(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+int cmd_schedule(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_metrics(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace smoother::cli

@@ -1,0 +1,217 @@
+#include "smoother/core/active_delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace smoother::core {
+
+namespace {
+
+using sched::ClusterTimeline;
+using sched::Job;
+using sched::Placement;
+
+std::size_t first_slot_at_or_after(util::Minutes t, util::Minutes step) {
+  if (t <= util::Minutes{0.0}) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(t.value() / step.value() - 1e-9));
+}
+
+/// Score (sum of per-slot values) the job would collect when started at
+/// every candidate slot in [first, last], evaluated with a sliding window.
+std::vector<double> window_gains(const std::vector<double>& slot_score,
+                                 std::size_t first, std::size_t last,
+                                 std::size_t length) {
+  std::vector<double> gains;
+  gains.reserve(last - first + 1);
+  double acc = 0.0;
+  for (std::size_t t = first; t < first + length; ++t) acc += slot_score[t];
+  gains.push_back(acc);
+  for (std::size_t start = first + 1; start <= last; ++start) {
+    acc -= slot_score[start - 1];
+    acc += slot_score[start + length - 1];
+    gains.push_back(acc);
+  }
+  return gains;
+}
+
+}  // namespace
+
+void ActiveDelayConfig::validate() const {
+  if (offpeak_weight < 0.0 || offpeak_weight >= 1.0)
+    throw std::invalid_argument(
+        "ActiveDelayConfig: offpeak_weight must be in [0, 1)");
+  if (!(0.0 <= peak_start_hour && peak_start_hour < peak_end_hour &&
+        peak_end_hour <= 24.0))
+    throw std::invalid_argument("ActiveDelayConfig: bad peak window");
+  if (max_grid_draw_kw < 0.0)
+    throw std::invalid_argument(
+        "ActiveDelayConfig: grid cap must be >= 0 (0 disables)");
+}
+
+ActiveDelayScheduler::ActiveDelayScheduler(ActiveDelayConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+sched::ScheduleResult ActiveDelayScheduler::schedule(
+    const sched::ScheduleRequest& request) const {
+  request.validate();
+  const util::TimeSeries& renewable = request.renewable;
+  const std::size_t slots = renewable.size();
+  const util::Minutes step = renewable.step();
+  const double slot_hours = step.value() / 60.0;
+
+  ClusterTimeline timeline(slots, step, request.total_servers);
+
+  // updateRemainRPower's ledger: renewable not yet claimed by any job.
+  std::vector<double> remaining(slots);
+  for (std::size_t i = 0; i < slots; ++i)
+    remaining[i] = std::max(renewable[i] - request.baseline_power.value(), 0.0);
+
+  // Peak-shaving ledger: grid headroom per slot if one more kW of demand
+  // lands there. headroom_t = cap + renewable_t - scheduled_demand_t.
+  const bool grid_capped = config_.max_grid_draw_kw > 0.0;
+  std::vector<double> grid_headroom;
+  if (grid_capped) {
+    grid_headroom.resize(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+      grid_headroom[i] = config_.max_grid_draw_kw + renewable[i] -
+                         request.baseline_power.value();
+  }
+
+  // Arrival order, slack-ascending within one arrival slot (queueJob).
+  std::vector<Job> order = request.jobs;
+  std::stable_sort(order.begin(), order.end(), [&](const Job& a, const Job& b) {
+    const std::size_t slot_a = first_slot_at_or_after(a.arrival, step);
+    const std::size_t slot_b = first_slot_at_or_after(b.arrival, step);
+    if (slot_a != slot_b) return slot_a < slot_b;
+    return a.slack_at(a.arrival) < b.slack_at(b.arrival);
+  });
+
+  std::vector<Placement> placements;
+  placements.reserve(order.size());
+  for (const Job& job : order) {
+    const std::size_t length = std::max<std::size_t>(
+        timeline.slots_for(job.runtime), 1);
+    const std::size_t arrival_slot = first_slot_at_or_after(job.arrival, step);
+
+    Placement placement;
+    placement.job_id = job.id;
+
+    if (arrival_slot >= slots) {  // arrives after the horizon: unschedulable
+      placement.start = timeline.horizon();
+      placement.finish = placement.start + job.runtime;
+      placement.met_deadline = false;
+      placements.push_back(placement);
+      continue;
+    }
+
+    // Candidate start range honouring the slack window and the horizon.
+    std::size_t chosen = slots;
+    if (job.deferrable_at(job.arrival)) {
+      const double latest_min = job.latest_start().value();
+      std::size_t last = arrival_slot;
+      if (latest_min > 0.0) {
+        last = std::min<std::size_t>(
+            static_cast<std::size_t>(latest_min / step.value() + 1e-9),
+            slots >= length ? slots - length : 0);
+      }
+      if (last >= arrival_slot && arrival_slot + length <= slots) {
+        // Per-slot score: usable renewable, plus the off-peak bonus when
+        // price awareness is enabled.
+        std::vector<double> slot_score(slots);
+        for (std::size_t t = 0; t < slots; ++t) {
+          slot_score[t] = std::min(remaining[t], job.power.value());
+          if (config_.offpeak_weight > 0.0) {
+            const double hour = std::fmod(
+                step.value() * static_cast<double>(t) / 60.0, 24.0);
+            const bool peak = hour >= config_.peak_start_hour &&
+                              hour < config_.peak_end_hour;
+            if (!peak)
+              slot_score[t] += config_.offpeak_weight * job.power.value();
+          }
+        }
+        const auto gains =
+            window_gains(slot_score, arrival_slot, last, length);
+        // Sliding-window minimum of the grid headroom (monotonic deque):
+        // a start is cap-feasible iff the job's power fits under the
+        // headroom everywhere in its window.
+        std::vector<double> window_min_headroom;
+        if (grid_capped) {
+          window_min_headroom.assign(gains.size(), 0.0);
+          std::deque<std::size_t> deque_idx;
+          for (std::size_t t = arrival_slot; t < arrival_slot + length - 1;
+               ++t) {
+            while (!deque_idx.empty() &&
+                   grid_headroom[deque_idx.back()] >= grid_headroom[t])
+              deque_idx.pop_back();
+            deque_idx.push_back(t);
+          }
+          for (std::size_t k = 0; k < gains.size(); ++k) {
+            const std::size_t tail = arrival_slot + k + length - 1;
+            while (!deque_idx.empty() &&
+                   grid_headroom[deque_idx.back()] >= grid_headroom[tail])
+              deque_idx.pop_back();
+            deque_idx.push_back(tail);
+            while (deque_idx.front() < arrival_slot + k)
+              deque_idx.pop_front();
+            window_min_headroom[k] = grid_headroom[deque_idx.front()];
+          }
+        }
+        double best_gain = -1.0;
+        for (std::size_t k = 0; k < gains.size(); ++k) {
+          const std::size_t start = arrival_slot + k;
+          if (!timeline.can_place(start, length, job.servers)) continue;
+          if (grid_capped && window_min_headroom[k] < job.power.value())
+            continue;  // would breach the grid cap somewhere in the window
+          const bool better = config_.prefer_early_on_tie
+                                  ? gains[k] > best_gain
+                                  : gains[k] >= best_gain;
+          if (better) {
+            best_gain = gains[k];
+            chosen = start;
+          }
+        }
+      }
+    }
+    if (chosen >= slots) {
+      // Non-deferrable, slack window infeasible, or capacity-blocked
+      // everywhere in the window: start as soon as possible (lines 19-21).
+      chosen = timeline.earliest_fit(arrival_slot, length, job.servers);
+    }
+
+    if (chosen >= slots) {
+      placement.start = timeline.horizon();
+      placement.finish = placement.start + job.runtime;
+      placement.met_deadline = false;
+      placements.push_back(placement);
+      continue;
+    }
+
+    timeline.place(chosen, length, job.servers, job.power);
+    // updateRemainRPower: claim the renewable power this job will consume.
+    double claimed_power_sum = 0.0;
+    const std::size_t end = std::min(chosen + length, slots);
+    for (std::size_t t = chosen; t < end; ++t) {
+      const double claimed = std::min(remaining[t], job.power.value());
+      remaining[t] -= claimed;
+      claimed_power_sum += claimed;
+      if (grid_capped) grid_headroom[t] -= job.power.value();
+    }
+    placement.start =
+        util::Minutes{step.value() * static_cast<double>(chosen)};
+    placement.finish = placement.start + job.runtime;
+    placement.met_deadline = placement.finish <= job.deadline;
+    placement.renewable_energy_used =
+        util::KilowattHours{claimed_power_sum * slot_hours};
+    placements.push_back(placement);
+  }
+
+  return sched::finalize_schedule(request, timeline, std::move(placements));
+}
+
+}  // namespace smoother::core

@@ -1,0 +1,77 @@
+// Active Delay (paper Section III-D, Algorithm 1).
+//
+// Active Delay defers batch jobs inside their slack window so their
+// execution overlaps the (smoothed) renewable supply as much as possible.
+// Per small time slot it:
+//
+//   1. pulls newly arrived requests from requestJob, computes each job's
+//      power demand (calWorkloadPower) and pushes it into queueJob ordered
+//      by ascending slack time (deadline - runtime - now);
+//   2. pops jobs in that order; a job with positive slack is evaluated at
+//      every feasible start time inside its slack window and started where
+//      it would consume the most renewable energy (lines 13-17); a job
+//      without slack starts immediately (lines 19-21);
+//   3. after each decision, the remaining renewable profile is updated
+//      (updateRemainRPower, line 18) so later jobs see only what is left.
+//
+// The candidate evaluation uses a sliding window over
+// g(t) = min(remaining_renewable(t), job_power), so scheduling one job is
+// O(window + runtime) instead of O(window * runtime).
+#pragma once
+
+#include "smoother/sched/scheduler.hpp"
+
+namespace smoother::core {
+
+/// Active Delay tuning.
+struct ActiveDelayConfig {
+  /// Start-time ties (equal renewable gain) break toward the earliest
+  /// start; setting this to false breaks toward the latest.
+  bool prefer_early_on_tie = true;
+
+  /// Price-aware extension (the "electricity price is low" half of the
+  /// deferral idea in the paper's related work [4,19,20]): when > 0, each
+  /// candidate slot's score gains `offpeak_weight * job_power` if the slot
+  /// falls outside the peak window, so grid-bound work drifts off-peak.
+  /// At 0 (default) the scheduler is exactly the paper's Algorithm 1:
+  /// renewable overlap only. Values in (0, 1) keep renewable dominant —
+  /// a fully renewable slot always beats a merely off-peak one.
+  double offpeak_weight = 0.0;
+  double peak_start_hour = 8.0;  ///< peak window [start, end), wall clock
+  double peak_end_hour = 22.0;
+
+  /// Peak-shaving extension (EBuff-style, related work [37]): when > 0,
+  /// candidate start times that would push the *grid* draw
+  /// (scheduled demand + this job - renewable) above this cap in any slot
+  /// are skipped. Deters the demand-charge blow-up that aggressive
+  /// deferral can cause. Jobs that fit nowhere under the cap fall back to
+  /// the uncapped earliest start (the deadline still wins over the cap).
+  /// 0 disables the cap.
+  double max_grid_draw_kw = 0.0;
+
+  /// Throws std::invalid_argument on a negative weight, weight >= 1, a
+  /// malformed peak window, or a negative grid cap.
+  void validate() const;
+};
+
+/// The Active Delay scheduler. Implements sched::Scheduler so it is
+/// drop-in comparable with the immediate/EDF baselines.
+class ActiveDelayScheduler final : public sched::Scheduler {
+ public:
+  /// Throws std::invalid_argument on an invalid config.
+  explicit ActiveDelayScheduler(ActiveDelayConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "active-delay"; }
+
+  /// Schedules the request's jobs against its renewable series. Per-job
+  /// renewable use is recorded in each Placement.
+  [[nodiscard]] sched::ScheduleResult schedule(
+      const sched::ScheduleRequest& request) const override;
+
+  [[nodiscard]] const ActiveDelayConfig& config() const { return config_; }
+
+ private:
+  ActiveDelayConfig config_;
+};
+
+}  // namespace smoother::core

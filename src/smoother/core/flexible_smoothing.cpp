@@ -1,0 +1,218 @@
+#include "smoother/core/flexible_smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::core {
+
+void FlexibleSmoothingConfig::validate() const {
+  if (points_per_interval < 2)
+    throw std::invalid_argument(
+        "FlexibleSmoothingConfig: need >= 2 points per interval");
+  if (max_discharge_capacity_fraction <= 0.0 ||
+      max_discharge_capacity_fraction > 1.0)
+    throw std::invalid_argument(
+        "FlexibleSmoothingConfig: discharge fraction in (0,1]");
+  if (lookahead_intervals == 0)
+    throw std::invalid_argument(
+        "FlexibleSmoothingConfig: lookahead must be >= 1 interval");
+}
+
+double SmoothingResult::mean_variance_reduction() const {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& plan : plans) {
+    if (plan.schedule_kwh.empty() || plan.variance_before <= 0.0) continue;
+    acc += (plan.variance_before - plan.variance_after) / plan.variance_before;
+    ++n;
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+FlexibleSmoothing::FlexibleSmoothing(FlexibleSmoothingConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+IntervalPlan FlexibleSmoothing::plan_interval(
+    const util::TimeSeries& generation,
+    const battery::Battery& battery) const {
+  const std::size_t m = generation.size();
+  if (m < 2)
+    throw std::invalid_argument(
+        "FlexibleSmoothing::plan_interval: need at least 2 samples");
+  const double dt_hours = generation.step().value() / 60.0;
+
+  // Energy generated per point (kWh), the paper's U vector.
+  std::vector<double> u(m);
+  for (std::size_t i = 0; i < m; ++i)
+    u[i] = std::max(generation[i], 0.0) * dt_hours;
+
+  const auto& spec = battery.spec();
+  const double capacity = spec.capacity.value();
+  const double b0 = battery.energy().value();
+  const double charge_cap = spec.max_charge_rate.value() * dt_hours;
+  const double discharge_cap =
+      std::min(spec.max_discharge_rate.value() * dt_hours,
+               config_.max_discharge_capacity_fraction * capacity);
+
+  // QP data: minimize Var(u + s) subject to the box (Eq. 10 + rate limits)
+  // and the SoC corridor (Eq. 11 in convex state-of-charge form).
+  solver::QpProblem problem;
+  problem.p = config_.objective == SmoothingObjective::kAroundTrend
+                  ? solver::detrended_variance_quadratic_form(m)
+                  : solver::variance_quadratic_form(m);
+  problem.q = problem.p * u;
+
+  const std::size_t rows = 2 * m;  // box rows then cumulative rows
+  problem.a = solver::Matrix(rows, m);
+  problem.lower.assign(rows, 0.0);
+  problem.upper.assign(rows, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.a(i, i) = 1.0;
+    problem.lower[i] = -std::min(u[i], charge_cap);  // charge <= u_i & rate
+    problem.upper[i] = discharge_cap;                // Eq. 10 discharge cap
+  }
+  // Cumulative rows: min_energy <= B0 - sum_{t<=i} s_t <= max_energy.
+  const double cum_lower = b0 - spec.max_energy().value();
+  const double cum_upper = b0 - spec.min_energy().value();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t t = 0; t <= i; ++t) problem.a(m + i, t) = 1.0;
+    problem.lower[m + i] = std::min(cum_lower, 0.0);
+    problem.upper[m + i] = std::max(cum_upper, 0.0);
+  }
+
+  const solver::QpResult solution = solver::solve_qp(problem, config_.qp);
+
+  IntervalPlan plan;
+  plan.solver_status = solution.status;
+  plan.variance_before = generation.variance();
+  if (solution.status == solver::QpStatus::kSolved ||
+      solution.status == solver::QpStatus::kMaxIterations) {
+    plan.schedule_kwh = solution.x;
+    // Clamp numerical fuzz back into the per-point box.
+    for (std::size_t i = 0; i < m; ++i)
+      plan.schedule_kwh[i] =
+          std::clamp(plan.schedule_kwh[i], problem.lower[i], problem.upper[i]);
+  } else {
+    plan.schedule_kwh.assign(m, 0.0);  // infeasible/numerical: do nothing
+  }
+
+  std::vector<double> smoothed_kw(m);
+  double max_rate = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double rate = plan.schedule_kwh[i] / dt_hours;
+    smoothed_kw[i] = generation[i] + rate;
+    max_rate = std::max(max_rate, std::abs(rate));
+  }
+  plan.variance_after = stats::variance(smoothed_kw);
+  plan.max_rate_kw = max_rate;
+  return plan;
+}
+
+util::TimeSeries FlexibleSmoothing::execute_plan(
+    const IntervalPlan& plan, const util::TimeSeries& generation,
+    battery::Battery& battery) const {
+  const std::size_t m = generation.size();
+  if (plan.schedule_kwh.size() < m)
+    throw std::invalid_argument(
+        "FlexibleSmoothing::execute_plan: plan shorter than the window");
+  const double dt_hours = generation.step().value() / 60.0;
+  util::TimeSeries supply(generation.step(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    util::Kilowatts requested{plan.schedule_kwh[i] / dt_hours};
+    // A plan computed on a forecast may ask to store more than is actually
+    // being generated; physically the charge can only come from the
+    // generation, so cap it at the actual output.
+    if (requested < util::Kilowatts{0.0})
+      requested = std::max(requested, util::Kilowatts{-generation[i]});
+    const util::Kilowatts actual =
+        battery.apply_signed(requested, generation.step());
+    supply[i] = std::max(generation[i] + actual.value(), 0.0);
+  }
+  return supply;
+}
+
+SmoothingResult FlexibleSmoothing::smooth(const util::TimeSeries& generation,
+                                          const RegionClassifier& classifier,
+                                          battery::Battery& battery) const {
+  PerfectForecaster perfect;
+  return smooth_with_forecast(generation, classifier, battery, perfect);
+}
+
+SmoothingResult FlexibleSmoothing::smooth_with_forecast(
+    const util::TimeSeries& generation, const RegionClassifier& classifier,
+    battery::Battery& battery, SupplyForecaster& forecaster) const {
+  if (classifier.config().points_per_interval != config_.points_per_interval)
+    throw std::invalid_argument(
+        "FlexibleSmoothing::smooth: classifier interval length differs");
+
+  SmoothingResult result;
+  result.supply = generation;  // start as pass-through; smoothed below
+  const std::size_t m = config_.points_per_interval;
+  const std::size_t interval_count = generation.size() / m;
+  result.intervals.reserve(interval_count);
+  result.plans.reserve(interval_count);
+
+  for (std::size_t k = 0; k < interval_count; ++k) {
+    const std::size_t first = k * m;
+    const util::TimeSeries window = generation.slice(first, m);
+    // The deployment-time decision runs on the forecast of the incoming
+    // interval; execution then faces the actual generation.
+    const util::TimeSeries predicted = forecaster.forecast(window);
+    const IntervalClass interval = classifier.classify_window(predicted, first);
+    result.intervals.push_back(interval);
+
+    IntervalPlan plan;
+    if (interval.region == Region::kSmoothable) {
+      if (config_.lookahead_intervals > 1) {
+        // Receding horizon: plan jointly over the upcoming L intervals
+        // (clamped at the series end), execute only this one.
+        const std::size_t horizon_points = std::min(
+            config_.lookahead_intervals * m, generation.size() - first);
+        util::TimeSeries horizon = generation.slice(first, horizon_points);
+        // This interval's samples come from the forecaster; the lookahead
+        // tail is forecast with the same corruption model.
+        for (std::size_t i = 0; i < m && i < horizon_points; ++i)
+          horizon[i] = predicted[i];
+        if (horizon_points > m) {
+          const util::TimeSeries tail_forecast = forecaster.forecast(
+              generation.slice(first + m, horizon_points - m));
+          for (std::size_t i = m; i < horizon_points; ++i)
+            horizon[i] = tail_forecast[i - m];
+        }
+        plan = plan_interval(horizon, battery);
+        plan.schedule_kwh.resize(m);  // execute the first interval only
+        // Report the executed portion's peak rate, not the whole horizon's.
+        const double dt_hours = generation.step().value() / 60.0;
+        plan.max_rate_kw = 0.0;
+        for (double s : plan.schedule_kwh)
+          plan.max_rate_kw =
+              std::max(plan.max_rate_kw, std::abs(s) / dt_hours);
+      } else {
+        plan = plan_interval(predicted, battery);
+      }
+      const util::TimeSeries smoothed = execute_plan(plan, window, battery);
+      for (std::size_t i = 0; i < smoothed.size(); ++i)
+        result.supply[first + i] = smoothed[i];
+      // Report the *achieved* variance change on the actual series; the
+      // plan's variance_after refers to the forecast it was computed on.
+      plan.variance_before = window.variance();
+      plan.variance_after = smoothed.variance();
+      result.required_max_rate_kw =
+          std::max(result.required_max_rate_kw, plan.max_rate_kw);
+      ++result.smoothed_intervals;
+    } else {
+      plan.variance_before = window.variance();
+      plan.variance_after = plan.variance_before;
+      plan.solver_status = solver::QpStatus::kSolved;  // nothing to solve
+    }
+    result.plans.push_back(std::move(plan));
+  }
+  return result;
+}
+
+}  // namespace smoother::core

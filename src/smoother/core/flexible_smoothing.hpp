@@ -1,0 +1,140 @@
+// Flexible Smoothing (paper Section III-C).
+//
+// At the start of every interval (one hour = m points of 5 minutes),
+// Flexible Smoothing computes the battery charge/discharge vector
+// S = [s_1 ... s_m] that minimizes the standard deviation of the power
+// actually delivered, A = U + S (Eq. 8-9), subject to the battery's
+// physical limits (Eq. 10-11):
+//
+//   * per point, a charge cannot exceed the energy generated at that point
+//     and a discharge cannot exceed 90 % of the battery capacity;
+//   * the running state of charge stays inside [0.1 M, M];
+//   * charge/discharge rate limits are enforced (the paper treats them as
+//     implicit in the capacity sizing; here they are explicit box bounds,
+//     which subsumes the paper's case).
+//
+// The minimum-variance objective is a convex quadratic, so the constrained
+// nonlinear program the paper hands to MATLAB is solved here exactly as a
+// QP via the ADMM solver. Planning is in energy units (kWh per point);
+// execution converts back to power and drives the Battery model, which is
+// the source of truth for what the schedule actually achieves.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/forecast.hpp"
+#include "smoother/core/region.hpp"
+#include "smoother/solver/qp.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::core {
+
+/// What the per-interval QP flattens.
+enum class SmoothingObjective {
+  /// The paper's Eq. 9: minimize the variance of the delivered supply
+  /// around the interval mean. Right for wind, whose fluctuation is noise.
+  kAroundMean,
+  /// Trend-aware extension: minimize the variance around the interval's
+  /// least-squares line, so deterministic ramps (the clear-sky solar
+  /// envelope, weather-front build-ups) pass through and only the noise on
+  /// top is buffered. Pair with RegionClassifierConfig::detrend.
+  kAroundTrend,
+};
+
+/// Flexible Smoothing configuration.
+struct FlexibleSmoothingConfig {
+  std::size_t points_per_interval = 12;     ///< m (one hour of 5-min points)
+  double max_discharge_capacity_fraction = 0.9;  ///< Eq. 10 discharge cap
+  SmoothingObjective objective = SmoothingObjective::kAroundMean;
+
+  /// Receding-horizon extension. The paper plans each hour in isolation,
+  /// which leaves level steps at interval boundaries (each hour flattens
+  /// to its own mean). With lookahead L > 1 the QP plans over L upcoming
+  /// intervals jointly but only the first interval's schedule is executed
+  /// before replanning — classic MPC. 1 = the paper's behaviour.
+  std::size_t lookahead_intervals = 1;
+
+  solver::QpSettings qp;                    ///< inner solver tuning
+
+  void validate() const;
+};
+
+/// The planned schedule for one interval.
+struct IntervalPlan {
+  /// Signed battery energy per point in kWh; positive discharges (paper's
+  /// sign convention for S).
+  std::vector<double> schedule_kwh;
+  double variance_before = 0.0;  ///< Var of U (power, kW^2)
+  double variance_after = 0.0;   ///< Var of U + S at the planned schedule
+  double max_rate_kw = 0.0;      ///< max |s_i| expressed as power
+  solver::QpStatus solver_status = solver::QpStatus::kNumericalError;
+};
+
+/// Result of smoothing a whole series.
+struct SmoothingResult {
+  util::TimeSeries supply;  ///< power delivered to the system (kW)
+  std::vector<IntervalClass> intervals;  ///< region labels per interval
+  std::vector<IntervalPlan> plans;       ///< one per interval (empty
+                                         ///< schedule when not smoothed)
+  double required_max_rate_kw = 0.0;     ///< Fig. 6 "Battery MaxVol"
+  std::size_t smoothed_intervals = 0;
+
+  /// Mean per-interval variance reduction over smoothed intervals (0 when
+  /// nothing was smoothed).
+  [[nodiscard]] double mean_variance_reduction() const;
+};
+
+/// Flexible Smoothing engine.
+class FlexibleSmoothing {
+ public:
+  /// Throws std::invalid_argument on bad config.
+  explicit FlexibleSmoothing(FlexibleSmoothingConfig config = {});
+
+  [[nodiscard]] const FlexibleSmoothingConfig& config() const {
+    return config_;
+  }
+
+  /// Plans a window: `generation` holds the generated power samples (kW)
+  /// of the upcoming window — one interval (m samples) in the paper's
+  /// per-hour mode, or several when called from the receding-horizon path.
+  /// `battery` provides capacity, rate limits and the current state of
+  /// charge. Pure function of its inputs — the battery is not mutated.
+  /// Throws std::invalid_argument for windows shorter than 2 samples.
+  [[nodiscard]] IntervalPlan plan_interval(
+      const util::TimeSeries& generation,
+      const battery::Battery& battery) const;
+
+  /// Executes a plan against the battery: applies each signed step and
+  /// returns the delivered power series (kW), which may deviate from the
+  /// plan when battery limits bind (e.g. round-trip losses).
+  [[nodiscard]] util::TimeSeries execute_plan(
+      const IntervalPlan& plan, const util::TimeSeries& generation,
+      battery::Battery& battery) const;
+
+  /// Full pipeline over a supply series: classify every interval with
+  /// `classifier`, plan + execute on Region-II-1 intervals, pass the others
+  /// through untouched (paper Fig. 5). The battery carries state across
+  /// intervals. Planning (and classification) see the true generation —
+  /// the paper's implicit perfect-forecast assumption.
+  [[nodiscard]] SmoothingResult smooth(const util::TimeSeries& generation,
+                                       const RegionClassifier& classifier,
+                                       battery::Battery& battery) const;
+
+  /// Same pipeline, but each interval is classified and planned against
+  /// `forecaster`'s prediction of that interval, while execution (and the
+  /// reported supply) use the actual generation. With PerfectForecaster
+  /// this reduces to smooth(); with a noisy forecaster it measures FS's
+  /// robustness to prediction error (paper cites 5-10 % models).
+  [[nodiscard]] SmoothingResult smooth_with_forecast(
+      const util::TimeSeries& generation, const RegionClassifier& classifier,
+      battery::Battery& battery, SupplyForecaster& forecaster) const;
+
+ private:
+  FlexibleSmoothingConfig config_;
+};
+
+}  // namespace smoother::core

@@ -1,0 +1,37 @@
+#include "smoother/core/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::core {
+
+NoisyForecaster::NoisyForecaster(double relative_sd, double bias,
+                                 std::uint64_t seed)
+    : relative_sd_(relative_sd), bias_(bias), rng_state_(seed) {
+  if (relative_sd < 0.0)
+    throw std::invalid_argument("NoisyForecaster: sd must be >= 0");
+  if (std::abs(bias) >= 1.0)
+    throw std::invalid_argument("NoisyForecaster: |bias| must be < 1");
+}
+
+util::TimeSeries NoisyForecaster::forecast(const util::TimeSeries& actual) {
+  util::Rng rng(rng_state_);
+  // Innovation variance such that the AR(1) error's stationary sd is
+  // relative_sd.
+  const double innovation_sd =
+      relative_sd_ * std::sqrt(1.0 - ar_coefficient_ * ar_coefficient_);
+  util::TimeSeries out(actual.step(), actual.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    error_state_ =
+        ar_coefficient_ * error_state_ + rng.normal(0.0, innovation_sd);
+    out[i] = std::max(actual[i] * (1.0 + bias_ + error_state_), 0.0);
+  }
+  // Advance the stream so successive intervals see fresh noise.
+  rng_state_ = rng.engine()();
+  return out;
+}
+
+}  // namespace smoother::core

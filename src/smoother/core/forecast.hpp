@@ -1,0 +1,69 @@
+// Renewable generation forecasting for Flexible Smoothing.
+//
+// FS plans each interval's charge/discharge schedule *before* the interval
+// happens, so in a real deployment it plans on a forecast. The paper keeps
+// prediction out of scope, citing LSSVM-GSA-style models with 5-10 % error
+// within 48 hours; this module supplies the interface FS plans through, a
+// perfect forecaster (the paper's effective assumption), and a configurable
+// noisy forecaster so the robustness of FS to forecast error can be
+// measured (bench/ext_forecast_error).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "smoother/util/time_series.hpp"
+
+namespace smoother::core {
+
+/// Produces the generation forecast FS plans against.
+class SupplyForecaster {
+ public:
+  virtual ~SupplyForecaster() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Forecast for an upcoming interval, given what the generation will
+  /// actually be (the simulator knows the future; the forecaster's job is
+  /// to corrupt it the way a real predictor would).
+  [[nodiscard]] virtual util::TimeSeries forecast(
+      const util::TimeSeries& actual) = 0;
+};
+
+/// The paper's implicit assumption: planning sees the true generation.
+class PerfectForecaster final : public SupplyForecaster {
+ public:
+  [[nodiscard]] std::string name() const override { return "perfect"; }
+  [[nodiscard]] util::TimeSeries forecast(
+      const util::TimeSeries& actual) override {
+    return actual;
+  }
+};
+
+/// Multiplicative-error forecaster: each point is scaled by
+/// (1 + bias + e_i) where e_i is AR(1) noise with the given standard
+/// deviation — adjacent forecast errors are correlated, as with real
+/// prediction models. Output is clamped at zero.
+class NoisyForecaster final : public SupplyForecaster {
+ public:
+  /// `relative_sd` ~ 0.05-0.10 matches the LSSVM-GSA error band the paper
+  /// cites. Throws std::invalid_argument for negative sd or |bias| >= 1.
+  NoisyForecaster(double relative_sd, double bias, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "noisy"; }
+  [[nodiscard]] util::TimeSeries forecast(
+      const util::TimeSeries& actual) override;
+
+  [[nodiscard]] double relative_sd() const { return relative_sd_; }
+  [[nodiscard]] double bias() const { return bias_; }
+
+ private:
+  double relative_sd_;
+  double bias_;
+  double error_state_ = 0.0;  ///< AR(1) carry across calls
+  double ar_coefficient_ = 0.7;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace smoother::core

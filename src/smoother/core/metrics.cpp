@@ -1,0 +1,83 @@
+#include "smoother/core/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smoother::core {
+
+namespace {
+void require_same_shape(const util::TimeSeries& a, const util::TimeSeries& b) {
+  if (a.step() != b.step() || a.size() != b.size())
+    throw std::invalid_argument("metrics: series shape mismatch");
+}
+}  // namespace
+
+std::size_t energy_switching_times(const util::TimeSeries& supply,
+                                   const util::TimeSeries& demand) {
+  return energy_switching_times_hysteresis(supply, demand, 0.0);
+}
+
+std::size_t energy_switching_times_hysteresis(const util::TimeSeries& supply,
+                                              const util::TimeSeries& demand,
+                                              double deadband) {
+  require_same_shape(supply, demand);
+  if (deadband < 0.0)
+    throw std::invalid_argument("metrics: deadband must be >= 0");
+  if (supply.empty()) return 0;
+
+  std::size_t switches = 0;
+  bool on_wind = supply[0] >= demand[0];
+  for (std::size_t i = 1; i < supply.size(); ++i) {
+    const double up_threshold = demand[i] * (1.0 + deadband);
+    const double down_threshold = demand[i] * (1.0 - deadband);
+    if (!on_wind && supply[i] >= up_threshold) {
+      on_wind = true;
+      ++switches;
+    } else if (on_wind && supply[i] < down_threshold) {
+      on_wind = false;
+      ++switches;
+    }
+  }
+  return switches;
+}
+
+util::KilowattHours renewable_energy_used(const util::TimeSeries& supply,
+                                          const util::TimeSeries& demand) {
+  require_same_shape(supply, demand);
+  return elementwise_min(supply, demand).total_energy();
+}
+
+double renewable_utilization(const util::TimeSeries& supply,
+                             const util::TimeSeries& demand) {
+  const util::KilowattHours generated = supply.total_energy();
+  if (generated <= util::KilowattHours{0.0}) return 0.0;
+  return renewable_energy_used(supply, demand) / generated;
+}
+
+util::KilowattHours unusable_renewable(const util::TimeSeries& supply,
+                                       const util::TimeSeries& demand) {
+  require_same_shape(supply, demand);
+  util::TimeSeries excess(supply.step(), supply.size());
+  for (std::size_t i = 0; i < supply.size(); ++i)
+    excess[i] = std::max(supply[i] - demand[i], 0.0);
+  return excess.total_energy();
+}
+
+util::KilowattHours grid_energy_needed(const util::TimeSeries& supply,
+                                       const util::TimeSeries& demand) {
+  require_same_shape(supply, demand);
+  util::TimeSeries deficit(supply.step(), supply.size());
+  for (std::size_t i = 0; i < supply.size(); ++i)
+    deficit[i] = std::max(demand[i] - supply[i], 0.0);
+  return deficit.total_energy();
+}
+
+double max_ramp_rate_kw_per_min(const util::TimeSeries& series) {
+  if (series.size() < 2) return 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i)
+    worst = std::max(worst, std::abs(series[i] - series[i - 1]));
+  return worst / series.step().value();
+}
+
+}  // namespace smoother::core

@@ -1,0 +1,57 @@
+// Evaluation metrics (paper Section III-B and IV).
+//
+// "Energy switching times" counts how often the cluster's power source
+// flips between wind and grid, iSwitch-style: whenever the renewable supply
+// crosses the demand level, the cluster migrates load between the
+// renewable-powered and grid-powered sides, and each migration is costly.
+// A deadband (hysteresis) variant is provided because real controllers
+// debounce marginal crossings; the paper's plain counting is the default.
+#pragma once
+
+#include <cstddef>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::core {
+
+/// Number of supply/demand crossings: transitions of the predicate
+/// supply >= demand between consecutive samples. Series must share a shape.
+[[nodiscard]] std::size_t energy_switching_times(
+    const util::TimeSeries& supply, const util::TimeSeries& demand);
+
+/// Hysteresis variant: the source switches to wind only when supply rises
+/// above demand * (1 + deadband) and back to grid only when it falls below
+/// demand * (1 - deadband). deadband = 0 reduces to the plain count.
+[[nodiscard]] std::size_t energy_switching_times_hysteresis(
+    const util::TimeSeries& supply, const util::TimeSeries& demand,
+    double deadband);
+
+/// Renewable energy actually used: per-sample min(supply, demand),
+/// integrated to kWh.
+[[nodiscard]] util::KilowattHours renewable_energy_used(
+    const util::TimeSeries& supply, const util::TimeSeries& demand);
+
+/// Renewable power utilization (paper Fig. 17): used / generated. Zero when
+/// nothing was generated.
+[[nodiscard]] double renewable_utilization(const util::TimeSeries& supply,
+                                           const util::TimeSeries& demand);
+
+/// Renewable energy that could not be used (the paper's Fig. 7 green area):
+/// per-sample max(supply - demand, 0), integrated to kWh.
+[[nodiscard]] util::KilowattHours unusable_renewable(
+    const util::TimeSeries& supply, const util::TimeSeries& demand);
+
+/// Energy that had to come from the grid: per-sample max(demand - supply,
+/// 0), integrated to kWh.
+[[nodiscard]] util::KilowattHours grid_energy_needed(
+    const util::TimeSeries& supply, const util::TimeSeries& demand);
+
+/// Largest step-to-step power change of a series, normalized per minute
+/// (kW/min). A proxy for the maximum rate-of-change-of-frequency (ROCOF)
+/// stress the paper says fluctuating renewables inflict on the grid: the
+/// sharper the delivered-power ramps, the harder frequency regulation has
+/// to work. Zero for series shorter than 2.
+[[nodiscard]] double max_ramp_rate_kw_per_min(const util::TimeSeries& series);
+
+}  // namespace smoother::core

@@ -1,0 +1,217 @@
+#include "smoother/core/multi_esd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::core {
+
+double MultiEsdPlan::net_kwh(std::size_t i) const {
+  double net = 0.0;
+  for (const auto& schedule : schedules_kwh) net += schedule.at(i);
+  return net;
+}
+
+MultiEsdSmoothing::MultiEsdSmoothing(FlexibleSmoothingConfig config)
+    : config_(config) {
+  config_.validate();
+  if (config_.lookahead_intervals != 1)
+    throw std::invalid_argument(
+        "MultiEsdSmoothing: receding horizon not supported (lookahead must "
+        "be 1)");
+}
+
+MultiEsdPlan MultiEsdSmoothing::plan_interval(
+    const util::TimeSeries& generation, const battery::EsdBank& bank) const {
+  const std::size_t m = generation.size();
+  if (m < 2)
+    throw std::invalid_argument(
+        "MultiEsdSmoothing::plan_interval: need at least 2 samples");
+  const std::size_t d_count = bank.size();
+  if (d_count == 0)
+    throw std::invalid_argument("MultiEsdSmoothing: empty ESD bank");
+  const double dt_hours = generation.step().value() / 60.0;
+
+  std::vector<double> u(m);
+  for (std::size_t i = 0; i < m; ++i)
+    u[i] = std::max(generation[i], 0.0) * dt_hours;
+
+  // Objective: Var(u + sum_d s_d). With x device-major, every (d, d')
+  // block of P is the same single-device variance form C, and q's block d
+  // is C*u.
+  const solver::Matrix c =
+      config_.objective == SmoothingObjective::kAroundTrend
+          ? solver::detrended_variance_quadratic_form(m)
+          : solver::variance_quadratic_form(m);
+  const std::size_t n = d_count * m;
+  solver::QpProblem problem;
+  problem.p = solver::Matrix(n, n);
+  for (std::size_t bd = 0; bd < d_count; ++bd)
+    for (std::size_t bd2 = 0; bd2 < d_count; ++bd2)
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+          problem.p(bd * m + i, bd2 * m + j) = c(i, j);
+  const solver::Vector cu = c * u;
+  problem.q.resize(n);
+  for (std::size_t bd = 0; bd < d_count; ++bd)
+    for (std::size_t i = 0; i < m; ++i) problem.q[bd * m + i] = cu[i];
+
+  // Rows: per-device box (d*m), shared net-charge (m), per-device
+  // cumulative corridor (d*m).
+  const std::size_t rows = 2 * d_count * m + m;
+  problem.a = solver::Matrix(rows, n);
+  problem.lower.assign(rows, 0.0);
+  problem.upper.assign(rows, 0.0);
+
+  double total_discharge_cap = 0.0;
+  for (std::size_t bd = 0; bd < d_count; ++bd) {
+    const auto& battery = bank.device(bd).battery;
+    const auto& spec = battery.spec();
+    const double charge_cap = spec.max_charge_rate.value() * dt_hours;
+    const double discharge_cap =
+        std::min(spec.max_discharge_rate.value() * dt_hours,
+                 config_.max_discharge_capacity_fraction *
+                     spec.capacity.value());
+    total_discharge_cap += discharge_cap;
+    const double b0 = battery.energy().value();
+    const double cum_lower = b0 - spec.max_energy().value();
+    const double cum_upper = b0 - spec.min_energy().value();
+    for (std::size_t i = 0; i < m; ++i) {
+      // Box row: rate limits only; the generation bound is the shared row.
+      const std::size_t box_row = bd * m + i;
+      problem.a(box_row, bd * m + i) = 1.0;
+      problem.lower[box_row] = -charge_cap;
+      problem.upper[box_row] = discharge_cap;
+      // Cumulative row for this device.
+      const std::size_t cum_row = d_count * m + m + bd * m + i;
+      for (std::size_t t = 0; t <= i; ++t)
+        problem.a(cum_row, bd * m + t) = 1.0;
+      problem.lower[cum_row] = std::min(cum_lower, 0.0);
+      problem.upper[cum_row] = std::max(cum_upper, 0.0);
+    }
+  }
+  // Shared net rows: -u_i <= sum_d s_di <= total discharge cap.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t net_row = d_count * m + i;
+    for (std::size_t bd = 0; bd < d_count; ++bd)
+      problem.a(net_row, bd * m + i) = 1.0;
+    problem.lower[net_row] = -u[i];
+    problem.upper[net_row] = total_discharge_cap;
+  }
+
+  const solver::QpResult solution = solver::solve_qp(problem, config_.qp);
+
+  MultiEsdPlan plan;
+  plan.solver_status = solution.status;
+  plan.variance_before = generation.variance();
+  plan.schedules_kwh.assign(d_count, std::vector<double>(m, 0.0));
+  plan.max_rate_kw.assign(d_count, 0.0);
+  if (solution.status == solver::QpStatus::kSolved ||
+      solution.status == solver::QpStatus::kMaxIterations) {
+    for (std::size_t bd = 0; bd < d_count; ++bd) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t box_row = bd * m + i;
+        plan.schedules_kwh[bd][i] =
+            std::clamp(solution.x[bd * m + i], problem.lower[box_row],
+                       problem.upper[box_row]);
+        plan.max_rate_kw[bd] = std::max(
+            plan.max_rate_kw[bd], std::abs(plan.schedules_kwh[bd][i]) /
+                                      dt_hours);
+      }
+    }
+  }
+
+  std::vector<double> smoothed_kw(m);
+  for (std::size_t i = 0; i < m; ++i)
+    smoothed_kw[i] = generation[i] + plan.net_kwh(i) / dt_hours;
+  plan.variance_after = stats::variance(smoothed_kw);
+  return plan;
+}
+
+util::TimeSeries MultiEsdSmoothing::execute_plan(
+    const MultiEsdPlan& plan, const util::TimeSeries& generation,
+    battery::EsdBank& bank) const {
+  const std::size_t m = generation.size();
+  if (plan.schedules_kwh.size() != bank.size())
+    throw std::invalid_argument(
+        "MultiEsdSmoothing::execute_plan: device count mismatch");
+  for (const auto& schedule : plan.schedules_kwh)
+    if (schedule.size() < m)
+      throw std::invalid_argument(
+          "MultiEsdSmoothing::execute_plan: plan shorter than the window");
+
+  const double dt_hours = generation.step().value() / 60.0;
+  util::TimeSeries supply(generation.step(), m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Execute charges before discharges so intra-bank transfers settle.
+    double net_flow = 0.0;
+    double charge_budget = generation[i];  // kW available to charge from
+    for (std::size_t bd = 0; bd < bank.size(); ++bd) {
+      const double requested_kw = plan.schedules_kwh[bd][i] / dt_hours;
+      if (requested_kw >= 0.0) continue;
+      const double capped =
+          std::max(requested_kw, -std::max(charge_budget, 0.0));
+      const util::Kilowatts actual = bank.device(bd).battery.apply_signed(
+          util::Kilowatts{capped}, generation.step());
+      net_flow += actual.value();
+      charge_budget += actual.value();  // actual is negative
+    }
+    for (std::size_t bd = 0; bd < bank.size(); ++bd) {
+      const double requested_kw = plan.schedules_kwh[bd][i] / dt_hours;
+      if (requested_kw < 0.0) continue;
+      const util::Kilowatts actual = bank.device(bd).battery.apply_signed(
+          util::Kilowatts{requested_kw}, generation.step());
+      net_flow += actual.value();
+    }
+    supply[i] = std::max(generation[i] + net_flow, 0.0);
+  }
+  return supply;
+}
+
+MultiEsdResult MultiEsdSmoothing::smooth(const util::TimeSeries& generation,
+                                         const RegionClassifier& classifier,
+                                         battery::EsdBank& bank) const {
+  if (classifier.config().points_per_interval != config_.points_per_interval)
+    throw std::invalid_argument(
+        "MultiEsdSmoothing::smooth: classifier interval length differs");
+
+  MultiEsdResult result;
+  result.supply = generation;
+  result.device_max_rate_kw.assign(bank.size(), 0.0);
+  result.device_throughput_kwh.assign(bank.size(), 0.0);
+  const std::size_t m = config_.points_per_interval;
+  const std::size_t interval_count = generation.size() / m;
+  double reduction_sum = 0.0;
+
+  for (std::size_t k = 0; k < interval_count; ++k) {
+    const std::size_t first = k * m;
+    const util::TimeSeries window = generation.slice(first, m);
+    const IntervalClass interval = classifier.classify_window(window, first);
+    result.intervals.push_back(interval);
+    if (interval.region != Region::kSmoothable) continue;
+
+    const MultiEsdPlan plan = plan_interval(window, bank);
+    const util::TimeSeries smoothed = execute_plan(plan, window, bank);
+    for (std::size_t i = 0; i < smoothed.size(); ++i)
+      result.supply[first + i] = smoothed[i];
+    ++result.smoothed_intervals;
+    if (window.variance() > 0.0)
+      reduction_sum +=
+          (window.variance() - smoothed.variance()) / window.variance();
+    for (std::size_t bd = 0; bd < bank.size(); ++bd) {
+      result.device_max_rate_kw[bd] =
+          std::max(result.device_max_rate_kw[bd], plan.max_rate_kw[bd]);
+      for (double s : plan.schedules_kwh[bd])
+        result.device_throughput_kwh[bd] += std::abs(s);
+    }
+  }
+  result.mean_variance_reduction =
+      result.smoothed_intervals > 0
+          ? reduction_sum / static_cast<double>(result.smoothed_intervals)
+          : 0.0;
+  return result;
+}
+
+}  // namespace smoother::core

@@ -1,0 +1,84 @@
+// Multi-ESD Flexible Smoothing.
+//
+// Splits each interval's charge/discharge schedule across a heterogeneous
+// storage portfolio (battery::EsdBank) inside one QP: the objective is
+// still the variance of the delivered supply A = U + sum_d S_d (mean- or
+// trend-based per the config), but each device carries its own rate box
+// and SoC corridor, and a shared per-point constraint keeps the *net*
+// charge within the energy actually generated (devices may exchange energy
+// through the bus, which is lossless here, so only the net draw matters).
+//
+// With a single device this reduces exactly to FlexibleSmoothing's QP; the
+// interesting case is a fast-shallow + deep-slow pair, where the QP
+// naturally routes the high-frequency component to the fast device and the
+// bulk shift to the deep one — the split a storage designer would hand-tune.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "smoother/battery/esd_bank.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/core/region.hpp"
+#include "smoother/util/time_series.hpp"
+
+namespace smoother::core {
+
+/// One interval's schedule across the bank.
+struct MultiEsdPlan {
+  /// schedules_kwh[d][i]: device d's signed energy at point i (positive
+  /// discharges, the paper's S convention).
+  std::vector<std::vector<double>> schedules_kwh;
+  double variance_before = 0.0;
+  double variance_after = 0.0;
+  std::vector<double> max_rate_kw;  ///< per device
+  solver::QpStatus solver_status = solver::QpStatus::kNumericalError;
+
+  /// Net signed energy at point i, summed over devices.
+  [[nodiscard]] double net_kwh(std::size_t i) const;
+};
+
+/// Whole-series result.
+struct MultiEsdResult {
+  util::TimeSeries supply;
+  std::vector<IntervalClass> intervals;
+  std::size_t smoothed_intervals = 0;
+  std::vector<double> device_max_rate_kw;   ///< observed, per device
+  std::vector<double> device_throughput_kwh;  ///< |energy| moved, per device
+  double mean_variance_reduction = 0.0;
+};
+
+/// The planner/executor.
+class MultiEsdSmoothing {
+ public:
+  /// Reuses FlexibleSmoothingConfig (interval length, discharge-cap
+  /// fraction, objective, QP settings); lookahead is not supported here
+  /// and must be 1. Throws std::invalid_argument otherwise.
+  explicit MultiEsdSmoothing(FlexibleSmoothingConfig config = {});
+
+  [[nodiscard]] const FlexibleSmoothingConfig& config() const {
+    return config_;
+  }
+
+  /// Plans one interval across the bank (pure; the bank is not mutated).
+  /// Throws std::invalid_argument on an empty bank or a window shorter
+  /// than 2 samples.
+  [[nodiscard]] MultiEsdPlan plan_interval(
+      const util::TimeSeries& generation,
+      const battery::EsdBank& bank) const;
+
+  /// Executes a plan device by device; returns the delivered supply.
+  [[nodiscard]] util::TimeSeries execute_plan(const MultiEsdPlan& plan,
+                                              const util::TimeSeries& generation,
+                                              battery::EsdBank& bank) const;
+
+  /// Full pipeline (analogous to FlexibleSmoothing::smooth).
+  [[nodiscard]] MultiEsdResult smooth(const util::TimeSeries& generation,
+                                      const RegionClassifier& classifier,
+                                      battery::EsdBank& bank) const;
+
+ private:
+  FlexibleSmoothingConfig config_;
+};
+
+}  // namespace smoother::core

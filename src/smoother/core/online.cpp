@@ -1,0 +1,133 @@
+#include "smoother/core/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "smoother/power/capacity_factor.hpp"
+#include "smoother/stats/cdf.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::core {
+
+void OnlineSmootherConfig::validate() const {
+  flexible_smoothing.validate();
+  if (flexible_smoothing.lookahead_intervals != 1)
+    throw std::invalid_argument(
+        "OnlineSmootherConfig: streaming mode cannot look ahead");
+  if (sample_step <= util::Minutes{0.0})
+    throw std::invalid_argument("OnlineSmootherConfig: step must be > 0");
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("OnlineSmootherConfig: rated power > 0");
+  if (warmup_intervals == 0)
+    throw std::invalid_argument("OnlineSmootherConfig: warmup must be >= 1");
+  if (history_intervals < warmup_intervals)
+    throw std::invalid_argument(
+        "OnlineSmootherConfig: history must cover the warmup");
+  if (!(0.0 <= stable_cdf && stable_cdf < extreme_cdf && extreme_cdf <= 1.0))
+    throw std::invalid_argument(
+        "OnlineSmootherConfig: need 0 <= stable < extreme <= 1");
+}
+
+OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
+                               battery::Battery battery)
+    : config_(config),
+      smoothing_(config.flexible_smoothing),
+      battery_(std::move(battery)),
+      output_(config.sample_step, std::vector<double>{}) {
+  config_.validate();
+  pending_.reserve(config_.flexible_smoothing.points_per_interval);
+}
+
+std::optional<OnlineIntervalRecord> OnlineSmoother::push(
+    double generation_kw) {
+  pending_.push_back(std::max(generation_kw, 0.0));
+  if (pending_.size() < config_.flexible_smoothing.points_per_interval)
+    return std::nullopt;
+  process_interval();
+  return records_.back();
+}
+
+void OnlineSmoother::process_interval() {
+  const util::TimeSeries window(config_.sample_step, pending_);
+
+  OnlineIntervalRecord record;
+  record.index = records_.size();
+  record.variance_before = window.variance();
+  record.variance_after = record.variance_before;
+
+  // Fluctuation measure consistent with the configured objective.
+  const util::TimeSeries cf =
+      power::capacity_factor_series(window, config_.rated_power);
+  record.cf_variance =
+      config_.flexible_smoothing.objective == SmoothingObjective::kAroundTrend
+          ? stats::detrended_variance(cf.values())
+          : cf.variance();
+
+  // Classify with the thresholds learned from *past* intervals only.
+  Region region = Region::kStable;
+  if (calibrated_) {
+    if (record.cf_variance >= thresholds_.extreme_above)
+      region = Region::kExtreme;
+    else if (record.cf_variance >= thresholds_.stable_below)
+      region = Region::kSmoothable;
+  }
+  record.region = region;
+  record.warmup = !calibrated_;
+
+  if (calibrated_ && region == Region::kSmoothable &&
+      (!previous_interval_.empty() || oracle_)) {
+    // Forecast of this interval as it would have looked at its start: the
+    // attached oracle if any, else persistence (the previous interval).
+    std::vector<double> predicted;
+    if (oracle_) {
+      predicted = oracle_(record.index);
+      if (predicted.size() != pending_.size())
+        throw std::runtime_error(
+            "OnlineSmoother: oracle returned wrong forecast length");
+      for (double& v : predicted) v = std::max(v, 0.0);
+    } else {
+      predicted = previous_interval_;
+    }
+    const util::TimeSeries forecast(config_.sample_step,
+                                    std::move(predicted));
+    const IntervalPlan plan = smoothing_.plan_interval(forecast, battery_);
+    const util::TimeSeries smoothed =
+        smoothing_.execute_plan(plan, window, battery_);
+    for (std::size_t i = 0; i < smoothed.size(); ++i)
+      output_.push_back(smoothed[i]);
+    record.smoothed = true;
+    record.variance_after = smoothed.variance();
+  } else {
+    for (double v : pending_) output_.push_back(v);
+  }
+
+  // Update the variance history and (re)derive thresholds for the future.
+  variance_history_.push_back(record.cf_variance);
+  while (variance_history_.size() > config_.history_intervals)
+    variance_history_.pop_front();
+  if (variance_history_.size() >= config_.warmup_intervals) {
+    refresh_thresholds();
+    calibrated_ = true;
+  }
+
+  previous_interval_ = pending_;
+  pending_.clear();
+  records_.push_back(record);
+}
+
+void OnlineSmoother::refresh_thresholds() {
+  const std::vector<double> history(variance_history_.begin(),
+                                    variance_history_.end());
+  const stats::EmpiricalCdf cdf(history);
+  // Epsilon floor: a degenerate history (all-constant supply) must map
+  // zero-variance intervals to Region-I, not Region-II-1.
+  thresholds_.stable_below =
+      std::max(cdf.value_at(config_.stable_cdf), 1e-12);
+  thresholds_.extreme_above = cdf.value_at(config_.extreme_cdf);
+  if (!(thresholds_.stable_below < thresholds_.extreme_above))
+    thresholds_.extreme_above = thresholds_.stable_below * (1.0 + 1e-9) +
+                                1e-12;
+}
+
+}  // namespace smoother::core

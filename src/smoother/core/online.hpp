@@ -1,0 +1,128 @@
+// Online (streaming) Smoother.
+//
+// The batch pipeline (FlexibleSmoothing::smooth) sees the whole trace; a
+// deployed middleware sees samples as they arrive. OnlineSmoother is the
+// stateful counterpart:
+//
+//   * samples are pushed one at a time; each completed interval is planned
+//     and executed before the next begins;
+//   * the interval about to start is predicted with a persistence forecast
+//     (next interval ~ the last one) unless a SupplyForecaster-backed
+//     oracle is attached, mirroring how a real predictor would slot in;
+//   * region thresholds are *learned online*: the first `warmup_intervals`
+//     pass through unsmoothed while their variances accumulate, then the
+//     CDF thresholds are derived and kept up to date over a sliding
+//     history window.
+//
+// push() returns the smoothed value for each completed sample with one
+// interval of latency (decisions are made at interval boundaries, as in
+// the paper).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/core/region.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::core {
+
+/// Streaming configuration.
+struct OnlineSmootherConfig {
+  FlexibleSmoothingConfig flexible_smoothing;
+  util::Minutes sample_step = util::kFiveMinutes;
+  util::Kilowatts rated_power{976.0};
+
+  /// Intervals to observe before smoothing starts (threshold learning).
+  std::size_t warmup_intervals = 24;
+
+  /// Sliding window of interval variances the thresholds derive from.
+  std::size_t history_intervals = 24 * 28;
+
+  /// CDF levels for the Region-I / Region-II-2 thresholds.
+  double stable_cdf = 0.25;
+  double extreme_cdf = 0.95;
+
+  void validate() const;
+};
+
+/// A completed interval's decision record.
+struct OnlineIntervalRecord {
+  std::size_t index = 0;          ///< interval sequence number
+  Region region = Region::kStable;
+  bool smoothed = false;
+  bool warmup = false;            ///< still learning thresholds
+  double cf_variance = 0.0;
+  double variance_before = 0.0;
+  double variance_after = 0.0;
+};
+
+/// The streaming middleware.
+class OnlineSmoother {
+ public:
+  /// Forecast oracle: called at each interval boundary with the index of
+  /// the interval about to be planned; returns the predicted samples
+  /// (points_per_interval of them). A deployment would back this with its
+  /// wind/solar predictor (the paper cites 5-10 %-error models). Without
+  /// one, the previous interval is used as a persistence forecast — cheap
+  /// but markedly weaker on 5-minute wind.
+  using ForecastOracle =
+      std::function<std::vector<double>(std::size_t interval_index)>;
+
+  /// Battery is owned by the smoother (moved in). Throws
+  /// std::invalid_argument on bad config.
+  OnlineSmoother(OnlineSmootherConfig config, battery::Battery battery);
+
+  /// Attaches (or clears, with nullptr) the forecast oracle.
+  void set_forecast_oracle(ForecastOracle oracle) {
+    oracle_ = std::move(oracle);
+  }
+
+  /// Pushes one generation sample (kW). When the sample completes an
+  /// interval, the interval is processed and its record returned; the
+  /// smoothed samples become available via output().
+  std::optional<OnlineIntervalRecord> push(double generation_kw);
+
+  /// All smoothed output produced so far (same step as the input;
+  /// trails the input by up to one interval).
+  [[nodiscard]] const util::TimeSeries& output() const { return output_; }
+
+  /// Intervals processed so far.
+  [[nodiscard]] const std::vector<OnlineIntervalRecord>& records() const {
+    return records_;
+  }
+
+  /// Current thresholds (defaults until warmup completes).
+  [[nodiscard]] const RegionThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+  /// True once warmup has completed and thresholds are data-derived.
+  [[nodiscard]] bool calibrated() const { return calibrated_; }
+
+  [[nodiscard]] const battery::Battery& battery() const { return battery_; }
+
+ private:
+  void process_interval();
+  void refresh_thresholds();
+
+  OnlineSmootherConfig config_;
+  FlexibleSmoothing smoothing_;
+  battery::Battery battery_;
+  ForecastOracle oracle_;
+  std::vector<double> pending_;          ///< samples of the open interval
+  std::vector<double> previous_interval_;  ///< persistence forecast source
+  std::deque<double> variance_history_;
+  RegionThresholds thresholds_;
+  bool calibrated_ = false;
+  util::TimeSeries output_;
+  std::vector<OnlineIntervalRecord> records_;
+};
+
+}  // namespace smoother::core

@@ -1,0 +1,120 @@
+#include "smoother/core/region.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "smoother/power/capacity_factor.hpp"
+#include "smoother/stats/cdf.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::core {
+
+std::string to_string(Region region) {
+  switch (region) {
+    case Region::kStable:
+      return "Region-I";
+    case Region::kSmoothable:
+      return "Region-II-1";
+    case Region::kExtreme:
+      return "Region-II-2";
+  }
+  return "?";
+}
+
+void RegionThresholds::validate() const {
+  if (stable_below < 0.0 || !(stable_below < extreme_above))
+    throw std::invalid_argument(
+        "RegionThresholds: need 0 <= stable_below < extreme_above");
+}
+
+RegionThresholds thresholds_from_history(const util::TimeSeries& power_history,
+                                         util::Kilowatts rated_power,
+                                         std::size_t points_per_interval,
+                                         double stable_cdf,
+                                         double extreme_cdf, bool detrend) {
+  if (!(0.0 <= stable_cdf && stable_cdf < extreme_cdf && extreme_cdf <= 1.0))
+    throw std::invalid_argument(
+        "thresholds_from_history: need 0 <= stable < extreme <= 1");
+  std::vector<double> variances;
+  if (detrend) {
+    const util::TimeSeries cf =
+        power::capacity_factor_series(power_history, rated_power);
+    if (points_per_interval == 0)
+      throw std::invalid_argument("thresholds_from_history: empty interval");
+    for (std::size_t first = 0; first + points_per_interval <= cf.size();
+         first += points_per_interval)
+      variances.push_back(stats::detrended_variance(
+          cf.values().subspan(first, points_per_interval)));
+  } else {
+    variances = power::interval_capacity_factor_variances(
+        power_history, rated_power, points_per_interval);
+  }
+  if (variances.empty())
+    throw std::invalid_argument(
+        "thresholds_from_history: history shorter than one interval");
+  const stats::EmpiricalCdf cdf(variances);
+  RegionThresholds thresholds;
+  thresholds.stable_below = cdf.value_at(stable_cdf);
+  thresholds.extreme_above = cdf.value_at(extreme_cdf);
+  if (!(thresholds.stable_below < thresholds.extreme_above)) {
+    // Degenerate history (e.g. constant supply): fall back to an epsilon
+    // split so the classifier still validates.
+    thresholds.extreme_above = thresholds.stable_below + 1e-12;
+  }
+  return thresholds;
+}
+
+RegionClassifier::RegionClassifier(RegionClassifierConfig config)
+    : config_(std::move(config)) {
+  if (config_.points_per_interval < 2)
+    throw std::invalid_argument(
+        "RegionClassifier: need at least 2 points per interval");
+  if (config_.rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("RegionClassifier: rated power must be > 0");
+  config_.thresholds.validate();
+}
+
+Region RegionClassifier::classify_variance(double cf_variance) const {
+  if (cf_variance < config_.thresholds.stable_below) return Region::kStable;
+  if (cf_variance >= config_.thresholds.extreme_above) return Region::kExtreme;
+  return Region::kSmoothable;
+}
+
+std::vector<IntervalClass> RegionClassifier::classify(
+    const util::TimeSeries& power) const {
+  const std::size_t m = config_.points_per_interval;
+  std::vector<IntervalClass> out;
+  out.reserve(power.size() / m);
+  for (std::size_t first = 0; first + m <= power.size(); first += m)
+    out.push_back(classify_window(power.slice(first, m), first));
+  return out;
+}
+
+IntervalClass RegionClassifier::classify_window(
+    const util::TimeSeries& window, std::size_t first_point) const {
+  if (window.size() != config_.points_per_interval)
+    throw std::invalid_argument(
+        "RegionClassifier::classify_window: wrong window length");
+  IntervalClass ic;
+  ic.first_point = first_point;
+  ic.points = window.size();
+  const util::TimeSeries cf =
+      power::capacity_factor_series(window, config_.rated_power);
+  ic.cf_variance = config_.detrend
+                       ? stats::detrended_variance(cf.values())
+                       : cf.variance();
+  ic.region = classify_variance(ic.cf_variance);
+  return ic;
+}
+
+std::array<double, 3> RegionClassifier::region_fractions(
+    const std::vector<IntervalClass>& intervals) {
+  std::array<double, 3> fractions{0.0, 0.0, 0.0};
+  if (intervals.empty()) return fractions;
+  for (const auto& ic : intervals)
+    fractions[static_cast<std::size_t>(ic.region)] += 1.0;
+  for (double& f : fractions) f /= static_cast<double>(intervals.size());
+  return fractions;
+}
+
+}  // namespace smoother::core

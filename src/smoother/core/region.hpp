@@ -1,0 +1,112 @@
+// Fluctuation-region classification (paper Section III-B).
+//
+// The wind power trace is cut into fixed intervals (one hour = 12 points of
+// 5 minutes) and each interval is assigned a region by its capacity-factor
+// variance (Eq. 6):
+//
+//   Region-I     variance below the lower threshold: stable supply (calm or
+//                rated-saturated turbine) — no smoothing needed;
+//   Region-II-1  moderate fluctuation — Flexible Smoothing runs here;
+//   Region-II-2  extreme fluctuation — smoothing it would need an outsized
+//                battery rate/capacity, so it is excluded (the paper sizes
+//                this region as the top 0.05-5 % of the variance CDF).
+//
+// Thresholds are derived from the supply history: the upper threshold is
+// the variance at a chosen CDF level (the paper uses 0.95), the lower one
+// at a small CDF level separating the flat intervals.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::core {
+
+/// Region label of one interval.
+enum class Region {
+  kStable,      ///< Region-I
+  kSmoothable,  ///< Region-II-1
+  kExtreme,     ///< Region-II-2
+};
+
+[[nodiscard]] std::string to_string(Region region);
+
+/// Variance thresholds separating the regions.
+struct RegionThresholds {
+  double stable_below = 1e-4;   ///< variance < this  => Region-I
+  double extreme_above = 4e-2;  ///< variance >= this => Region-II-2
+
+  /// Throws std::invalid_argument unless 0 <= stable_below < extreme_above.
+  void validate() const;
+};
+
+/// Classification of one interval.
+struct IntervalClass {
+  std::size_t first_point = 0;  ///< index of the interval's first sample
+  std::size_t points = 0;       ///< samples in the interval
+  double cf_variance = 0.0;     ///< Eq. 6 value
+  Region region = Region::kStable;
+};
+
+/// Classifier configuration.
+struct RegionClassifierConfig {
+  util::Kilowatts rated_power{800.0};  ///< P_rate of Eq. 6
+  std::size_t points_per_interval = 12;
+  RegionThresholds thresholds;
+
+  /// When set, the per-interval fluctuation measure is the capacity-factor
+  /// variance around the interval's least-squares *trend line* rather than
+  /// its mean (Eq. 6 as written). A deterministic ramp — the clear-sky
+  /// solar envelope, a steady wind front — then no longer counts as
+  /// fluctuation. Pair with SmoothingObjective::kAroundTrend.
+  bool detrend = false;
+};
+
+/// Derives thresholds from a supply history: `stable_cdf` and `extreme_cdf`
+/// are CDF levels on the per-interval variance distribution (the paper's
+/// Fig. 3/Fig. 6 procedure; extreme_cdf = 0.95 makes Region-II-2 the top
+/// 5 %). Throws std::invalid_argument when levels are not
+/// 0 <= stable < extreme <= 1 or when the history yields no intervals.
+[[nodiscard]] RegionThresholds thresholds_from_history(
+    const util::TimeSeries& power_history, util::Kilowatts rated_power,
+    std::size_t points_per_interval, double stable_cdf, double extreme_cdf,
+    bool detrend = false);
+
+/// Splits a supply series into intervals and labels each one.
+class RegionClassifier {
+ public:
+  explicit RegionClassifier(RegionClassifierConfig config);
+
+  [[nodiscard]] const RegionClassifierConfig& config() const {
+    return config_;
+  }
+
+  /// Classifies one interval's worth of samples.
+  [[nodiscard]] Region classify_variance(double cf_variance) const;
+
+  /// Classifies every complete interval of the series (a trailing partial
+  /// interval is dropped).
+  [[nodiscard]] std::vector<IntervalClass> classify(
+      const util::TimeSeries& power) const;
+
+  /// Classifies one interval's window directly (used when classification
+  /// must run on a *forecast* of the interval rather than the actual
+  /// series). `first_point` only labels the result. Throws
+  /// std::invalid_argument when the window length differs from the
+  /// configured interval length.
+  [[nodiscard]] IntervalClass classify_window(const util::TimeSeries& window,
+                                              std::size_t first_point) const;
+
+  /// Fraction of intervals labelled with each region, in enum order.
+  [[nodiscard]] static std::array<double, 3> region_fractions(
+      const std::vector<IntervalClass>& intervals);
+
+ private:
+  RegionClassifierConfig config_;
+};
+
+}  // namespace smoother::core

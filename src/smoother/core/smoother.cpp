@@ -1,0 +1,102 @@
+#include "smoother/core/smoother.hpp"
+
+#include <stdexcept>
+
+namespace smoother::core {
+
+void SmootherConfig::validate() const {
+  flexible_smoothing.validate();
+  battery.validate();
+  if (derive_thresholds) {
+    if (!(0.0 <= stable_cdf && stable_cdf < extreme_cdf && extreme_cdf <= 1.0))
+      throw std::invalid_argument(
+          "SmootherConfig: need 0 <= stable_cdf < extreme_cdf <= 1");
+  } else {
+    fixed_thresholds.validate();
+  }
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("SmootherConfig: rated power must be > 0");
+}
+
+Smoother::Smoother(SmootherConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+RegionClassifier Smoother::make_classifier(
+    const util::TimeSeries& history) const {
+  RegionClassifierConfig rc;
+  rc.rated_power = config_.rated_power;
+  rc.points_per_interval = config_.flexible_smoothing.points_per_interval;
+  rc.detrend = config_.flexible_smoothing.objective ==
+               SmoothingObjective::kAroundTrend;
+  rc.thresholds =
+      config_.derive_thresholds
+          ? thresholds_from_history(history, config_.rated_power,
+                                    rc.points_per_interval, config_.stable_cdf,
+                                    config_.extreme_cdf, rc.detrend)
+          : config_.fixed_thresholds;
+  return RegionClassifier(rc);
+}
+
+SmoothingResult Smoother::smooth_supply(const util::TimeSeries& raw,
+                                        double* battery_cycles) const {
+  const RegionClassifier classifier = make_classifier(raw);
+  if (!config_.enable_flexible_smoothing) {
+    SmoothingResult result;
+    result.supply = raw;
+    result.intervals = classifier.classify(raw);
+    result.plans.resize(result.intervals.size());
+    if (battery_cycles != nullptr) *battery_cycles = 0.0;
+    return result;
+  }
+  battery::Battery battery(config_.battery, config_.initial_soc_fraction);
+  const FlexibleSmoothing fs(config_.flexible_smoothing);
+  SmoothingResult result = fs.smooth(raw, classifier, battery);
+  if (battery_cycles != nullptr)
+    *battery_cycles = battery.equivalent_full_cycles();
+  return result;
+}
+
+sched::ScheduleResult Smoother::schedule_jobs(
+    std::vector<sched::Job> jobs, const util::TimeSeries& supply,
+    std::size_t total_servers, util::Kilowatts baseline_power) const {
+  sched::ScheduleRequest request;
+  request.jobs = std::move(jobs);
+  request.renewable = supply;
+  request.total_servers = total_servers;
+  request.baseline_power = baseline_power;
+  if (config_.enable_active_delay) {
+    const ActiveDelayScheduler scheduler(config_.active_delay);
+    return scheduler.schedule(request);
+  }
+  const sched::ImmediateScheduler scheduler;
+  return scheduler.schedule(request);
+}
+
+RunReport Smoother::run(const util::TimeSeries& raw_renewable,
+                        std::vector<sched::Job> jobs,
+                        std::size_t total_servers,
+                        util::Minutes schedule_step,
+                        util::Kilowatts baseline_power) const {
+  RunReport report;
+  report.smoothing =
+      smooth_supply(raw_renewable, &report.battery_equivalent_cycles);
+
+  const util::TimeSeries supply =
+      report.smoothing.supply.resample(schedule_step);
+  report.schedule =
+      schedule_jobs(std::move(jobs), supply, total_servers, baseline_power);
+
+  // Demand seen by the power system: scheduled workload plus the constant
+  // baseline.
+  util::TimeSeries total_demand = report.schedule.demand;
+  for (std::size_t i = 0; i < total_demand.size(); ++i)
+    total_demand[i] += baseline_power.value();
+
+  report.switching_times = energy_switching_times(supply, total_demand);
+  report.renewable_utilization = renewable_utilization(supply, total_demand);
+  report.grid_energy = grid_energy_needed(supply, total_demand);
+  return report;
+}
+
+}  // namespace smoother::core

@@ -1,0 +1,102 @@
+// The Smoother middleware facade (paper Section III).
+//
+// Smoother sits between a renewable generation feed and a cluster:
+//
+//   raw wind power --(Flexible Smoothing + battery)--> stable supply
+//   job requests  --(Active Delay)-----------------> deferred schedule
+//
+// and reports the paper's two headline metrics: energy switching times
+// (stability impact, Figs. 10-14, 18) and renewable power utilization
+// (Fig. 17). Both stages can be individually disabled, which is exactly how
+// the paper's W/O FS and W/O AD comparison arms are produced.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/active_delay.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/core/metrics.hpp"
+#include "smoother/core/region.hpp"
+#include "smoother/sched/scheduler.hpp"
+
+namespace smoother::core {
+
+/// End-to-end middleware configuration.
+struct SmootherConfig {
+  bool enable_flexible_smoothing = true;
+  bool enable_active_delay = true;
+
+  FlexibleSmoothingConfig flexible_smoothing;
+  ActiveDelayConfig active_delay;
+
+  battery::BatterySpec battery;
+  double initial_soc_fraction = -1.0;  ///< -1 = mid-corridor
+
+  /// Region thresholds: derived from the supply history at these CDF levels
+  /// when `derive_thresholds` is set (the paper's procedure, extreme at
+  /// 0.95), otherwise `fixed_thresholds` is used as-is.
+  bool derive_thresholds = true;
+  double stable_cdf = 0.25;
+  double extreme_cdf = 0.95;
+  RegionThresholds fixed_thresholds;
+
+  /// Rated power for capacity-factor computation (P_rate of Eq. 6).
+  util::Kilowatts rated_power{976.0};
+
+  void validate() const;
+};
+
+/// Everything one end-to-end run produces.
+struct RunReport {
+  SmoothingResult smoothing;          ///< stage 1 output
+  sched::ScheduleResult schedule;     ///< stage 2 output
+  std::size_t switching_times = 0;    ///< supply-vs-demand crossings
+  double renewable_utilization = 0.0; ///< used / generated
+  util::KilowattHours grid_energy{0.0};
+  double battery_equivalent_cycles = 0.0;
+};
+
+/// The middleware.
+class Smoother {
+ public:
+  /// Throws std::invalid_argument on inconsistent configuration.
+  explicit Smoother(SmootherConfig config);
+
+  [[nodiscard]] const SmootherConfig& config() const { return config_; }
+
+  /// Builds the region classifier for a given supply history (derives
+  /// thresholds when configured to).
+  [[nodiscard]] RegionClassifier make_classifier(
+      const util::TimeSeries& history) const;
+
+  /// Stage 1: smooth a raw renewable series. When FS is disabled the series
+  /// passes through unchanged (intervals still classified for reporting).
+  /// A fresh battery (from config) is used; its end state is reported in
+  /// the result via `battery_cycles`.
+  [[nodiscard]] SmoothingResult smooth_supply(
+      const util::TimeSeries& raw, double* battery_cycles = nullptr) const;
+
+  /// Stage 2: schedule jobs against a supply series (any step). Uses
+  /// Active Delay when enabled, otherwise the immediate baseline.
+  [[nodiscard]] sched::ScheduleResult schedule_jobs(
+      std::vector<sched::Job> jobs, const util::TimeSeries& supply,
+      std::size_t total_servers,
+      util::Kilowatts baseline_power = util::Kilowatts{0.0}) const;
+
+  /// End-to-end: smooth, resample the supply to `schedule_step`, schedule,
+  /// and compute the headline metrics. The raw series' step must be an
+  /// integer multiple (or divisor) of schedule_step.
+  [[nodiscard]] RunReport run(
+      const util::TimeSeries& raw_renewable, std::vector<sched::Job> jobs,
+      std::size_t total_servers,
+      util::Minutes schedule_step = util::kOneMinute,
+      util::Kilowatts baseline_power = util::Kilowatts{0.0}) const;
+
+ private:
+  SmootherConfig config_;
+};
+
+}  // namespace smoother::core

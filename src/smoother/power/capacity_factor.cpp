@@ -1,0 +1,43 @@
+#include "smoother/power/capacity_factor.hpp"
+
+#include <stdexcept>
+
+#include "smoother/stats/rolling.hpp"
+
+namespace smoother::power {
+
+namespace {
+void require_rated(util::Kilowatts rated_power) {
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("capacity factor: rated power must be > 0");
+}
+}  // namespace
+
+util::TimeSeries capacity_factor_series(const util::TimeSeries& power,
+                                        util::Kilowatts rated_power) {
+  require_rated(rated_power);
+  const double rate = rated_power.value();
+  return power.map([rate](double p) { return p / rate; });
+}
+
+double average_capacity_factor(const util::TimeSeries& power,
+                               util::Kilowatts rated_power) {
+  return capacity_factor_series(power, rated_power).mean();
+}
+
+double capacity_factor_variance(const util::TimeSeries& power,
+                                util::Kilowatts rated_power) {
+  return capacity_factor_series(power, rated_power).variance();
+}
+
+std::vector<double> interval_capacity_factor_variances(
+    const util::TimeSeries& power, util::Kilowatts rated_power,
+    std::size_t points_per_interval) {
+  if (points_per_interval == 0)
+    throw std::invalid_argument(
+        "interval_capacity_factor_variances: interval must be >= 1 point");
+  const util::TimeSeries cf = capacity_factor_series(power, rated_power);
+  return stats::windowed_variances(cf.values(), points_per_interval);
+}
+
+}  // namespace smoother::power

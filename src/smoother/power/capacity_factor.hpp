@@ -1,0 +1,41 @@
+// Capacity factor and capacity-factor variance (paper Eq. 6-7).
+//
+// The capacity factor of a power sample is P(t) / P_rate; the paper measures
+// wind fluctuation within an interval [0, T] as the population variance of
+// the capacity factors over that interval, and classifies intervals into
+// fluctuation regions by thresholding the CDF of these variances.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::power {
+
+/// Capacity-factor series: each power sample divided by the rated power.
+/// Throws std::invalid_argument when rated_power <= 0.
+[[nodiscard]] util::TimeSeries capacity_factor_series(
+    const util::TimeSeries& power, util::Kilowatts rated_power);
+
+/// Average capacity factor of the whole series (paper Eq. 7 over one
+/// interval; here over the full series).
+[[nodiscard]] double average_capacity_factor(const util::TimeSeries& power,
+                                             util::Kilowatts rated_power);
+
+/// Capacity-factor variance over one interval (paper Eq. 6): population
+/// variance of P(t)/P_rate across the samples.
+[[nodiscard]] double capacity_factor_variance(const util::TimeSeries& power,
+                                              util::Kilowatts rated_power);
+
+/// Per-interval capacity-factor variances: the series is cut into disjoint
+/// intervals of `points_per_interval` samples (a trailing partial interval
+/// is dropped) and Eq. 6 is evaluated on each. With 5-minute samples and
+/// points_per_interval = 12 this is the paper's hourly variance sequence
+/// whose CDF appears in Fig. 3.
+[[nodiscard]] std::vector<double> interval_capacity_factor_variances(
+    const util::TimeSeries& power, util::Kilowatts rated_power,
+    std::size_t points_per_interval);
+
+}  // namespace smoother::power

@@ -1,0 +1,72 @@
+#include "smoother/power/datacenter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smoother::power {
+
+void DatacenterSpec::validate() const {
+  if (server_count == 0)
+    throw std::invalid_argument("DatacenterSpec: no servers");
+  if (server_idle_watts < 0.0 || server_peak_watts < server_idle_watts)
+    throw std::invalid_argument("DatacenterSpec: need 0 <= idle <= peak");
+  if (pue < 1.0) throw std::invalid_argument("DatacenterSpec: PUE < 1");
+  if (network_fraction < 0.0 || network_fraction > 1.0)
+    throw std::invalid_argument("DatacenterSpec: network fraction in [0,1]");
+}
+
+DatacenterPowerModel::DatacenterPowerModel(DatacenterSpec spec) : spec_(spec) {
+  spec_.validate();
+}
+
+util::Kilowatts DatacenterPowerModel::server_power(double utilization) const {
+  const double mu = std::clamp(utilization, 0.0, 1.0);
+  const double per_server_watts =
+      spec_.server_idle_watts +
+      (spec_.server_peak_watts - spec_.server_idle_watts) * mu;
+  return util::Kilowatts{per_server_watts *
+                         static_cast<double>(spec_.server_count) / 1000.0};
+}
+
+util::Kilowatts DatacenterPowerModel::network_power() const {
+  return util::Kilowatts{spec_.network_fraction * spec_.server_peak_watts *
+                         static_cast<double>(spec_.server_count) / 1000.0};
+}
+
+util::Kilowatts DatacenterPowerModel::it_power(double utilization) const {
+  return server_power(utilization) + network_power();
+}
+
+util::Kilowatts DatacenterPowerModel::system_power(double utilization) const {
+  return it_power(utilization) * spec_.pue;
+}
+
+double DatacenterPowerModel::utilization_for(util::Kilowatts power) const {
+  const double lo = min_system_power().value();
+  const double hi = max_system_power().value();
+  if (hi <= lo) return 0.0;  // degenerate: idle == peak
+  return std::clamp((power.value() - lo) / (hi - lo), 0.0, 1.0);
+}
+
+util::TimeSeries DatacenterPowerModel::power_series(
+    const util::TimeSeries& utilization) const {
+  return utilization.map(
+      [this](double mu) { return system_power(mu).value(); });
+}
+
+util::Kilowatts DatacenterPowerModel::job_power(std::size_t servers,
+                                                double utilization) const {
+  const double mu = std::clamp(utilization, 0.0, 1.0);
+  const std::size_t used = std::min(servers, spec_.server_count);
+  // The job's servers run at mu above idle; idle power is the fleet's
+  // baseline and is not attributed to the job. Networking and cooling are
+  // attributed proportionally via the PUE and network fraction.
+  const double dynamic_watts =
+      (spec_.server_peak_watts - spec_.server_idle_watts) * mu *
+      static_cast<double>(used);
+  const double idle_watts =
+      spec_.server_idle_watts * static_cast<double>(used);
+  return util::Kilowatts{(dynamic_watts + idle_watts) * spec_.pue / 1000.0};
+}
+
+}  // namespace smoother::power

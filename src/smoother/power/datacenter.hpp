@@ -1,0 +1,80 @@
+// Datacenter power consumption model (paper Eq. 3-5).
+//
+//   P_system(t) = P_IT(t) * R_pue                       (Eq. 3)
+//   P_IT(t)     = P_server(t) + P_network(t)            (Eq. 4)
+//   P_server(t) = N * (p_idle + (p_full - p_idle) * mu) (Eq. 5, summed)
+//
+// with networking modelled as a constant fraction of total server peak power
+// (the paper: "approximately less than 10% of the total peak power of all
+// servers ... usually can be estimated as a constant").
+#pragma once
+
+#include <cstddef>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::power {
+
+/// Parameters of a homogeneous server fleet. Defaults are the paper's
+/// evaluation setup: 11,000 servers at 186 W peak / 62 W idle.
+struct DatacenterSpec {
+  std::size_t server_count = 11000;
+  double server_peak_watts = 186.0;
+  double server_idle_watts = 62.0;
+  double pue = 1.3;               ///< R_pue (cooling ~30% of total, §II-A)
+  double network_fraction = 0.10; ///< networking as a fraction of server peak
+
+  /// Throws std::invalid_argument on non-physical parameters (no servers,
+  /// idle above peak, PUE below 1, fraction outside [0,1]).
+  void validate() const;
+};
+
+/// Converts between cluster CPU utilization and electrical power.
+class DatacenterPowerModel {
+ public:
+  explicit DatacenterPowerModel(DatacenterSpec spec = {});
+
+  [[nodiscard]] const DatacenterSpec& spec() const { return spec_; }
+
+  /// Total server power at average utilization mu in [0, 1] (Eq. 5 summed
+  /// over N machines). Utilization is clamped into [0, 1].
+  [[nodiscard]] util::Kilowatts server_power(double utilization) const;
+
+  /// Constant networking power (Eq. 4's second term).
+  [[nodiscard]] util::Kilowatts network_power() const;
+
+  /// IT power: servers + network (Eq. 4).
+  [[nodiscard]] util::Kilowatts it_power(double utilization) const;
+
+  /// Whole-system power including cooling via PUE (Eq. 3).
+  [[nodiscard]] util::Kilowatts system_power(double utilization) const;
+
+  /// System power at zero and full utilization (the feasible power band).
+  [[nodiscard]] util::Kilowatts min_system_power() const {
+    return system_power(0.0);
+  }
+  [[nodiscard]] util::Kilowatts max_system_power() const {
+    return system_power(1.0);
+  }
+
+  /// Inverse of system_power: the utilization that would draw `power`,
+  /// clamped into [0, 1].
+  [[nodiscard]] double utilization_for(util::Kilowatts power) const;
+
+  /// Maps a utilization series (fractions in [0,1]) to a system power
+  /// series in kW.
+  [[nodiscard]] util::TimeSeries power_series(
+      const util::TimeSeries& utilization) const;
+
+  /// Power drawn by a job occupying `servers` machines at utilization `mu`
+  /// (its share of networking and cooling included). Used by Active Delay
+  /// to cost individual batch jobs.
+  [[nodiscard]] util::Kilowatts job_power(std::size_t servers,
+                                          double utilization) const;
+
+ private:
+  DatacenterSpec spec_;
+};
+
+}  // namespace smoother::power

@@ -1,0 +1,63 @@
+#include "smoother/power/solar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smoother::power {
+
+void PvArraySpec::validate() const {
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("PvArraySpec: rated power must be > 0");
+  if (stc_irradiance_wm2 <= 0.0)
+    throw std::invalid_argument("PvArraySpec: STC irradiance must be > 0");
+  if (temperature_coefficient_per_c > 0.0)
+    throw std::invalid_argument(
+        "PvArraySpec: temperature coefficient must be <= 0 (power drops "
+        "with heat)");
+  if (noct_celsius <= 20.0)
+    throw std::invalid_argument("PvArraySpec: NOCT must exceed 20 C");
+  if (system_losses < 0.0 || system_losses >= 1.0)
+    throw std::invalid_argument("PvArraySpec: losses in [0,1)");
+}
+
+PvArray::PvArray(PvArraySpec spec) : spec_(spec) { spec_.validate(); }
+
+double PvArray::cell_temperature(double ambient_celsius,
+                                 double irradiance_wm2) const {
+  return ambient_celsius +
+         (spec_.noct_celsius - 20.0) * std::max(irradiance_wm2, 0.0) / 800.0;
+}
+
+util::Kilowatts PvArray::output(double irradiance_wm2,
+                                double ambient_celsius) const {
+  const double g = std::max(irradiance_wm2, 0.0);
+  if (g == 0.0) return util::Kilowatts{0.0};
+  const double t_cell = cell_temperature(ambient_celsius, g);
+  const double thermal =
+      1.0 + spec_.temperature_coefficient_per_c * (t_cell - 25.0);
+  const double raw = spec_.rated_power.value() * (g / spec_.stc_irradiance_wm2) *
+                     std::max(thermal, 0.0) * (1.0 - spec_.system_losses);
+  return util::Kilowatts{
+      std::clamp(raw, 0.0, spec_.rated_power.value())};
+}
+
+util::TimeSeries PvArray::power_series(const util::TimeSeries& irradiance,
+                                       double ambient_celsius) const {
+  return irradiance.map([this, ambient_celsius](double g) {
+    return output(g, ambient_celsius).value();
+  });
+}
+
+util::TimeSeries PvArray::power_series(
+    const util::TimeSeries& irradiance,
+    const util::TimeSeries& ambient_celsius) const {
+  if (irradiance.step() != ambient_celsius.step() ||
+      irradiance.size() != ambient_celsius.size())
+    throw std::invalid_argument("PvArray::power_series: shape mismatch");
+  util::TimeSeries out(irradiance.step(), irradiance.size());
+  for (std::size_t i = 0; i < irradiance.size(); ++i)
+    out[i] = output(irradiance[i], ambient_celsius[i]).value();
+  return out;
+}
+
+}  // namespace smoother::power

@@ -1,0 +1,64 @@
+// Photovoltaic array model.
+//
+// The paper's contribution #3 claims Smoother "can be used for a variety of
+// renewable power sources, while executing similar operations" and works
+// wind out in detail. This module provides the solar leg of that claim: a
+// PV array that maps plane-of-array irradiance (W/m^2) and ambient
+// temperature to AC output power, using the standard single-point
+// efficiency model with NOCT cell-temperature correction:
+//
+//   P = P_rated * (G / G_stc) * [1 + gamma * (T_cell - 25 C)] * (1 - losses)
+//   T_cell = T_ambient + (NOCT - 20) * G / 800
+//
+// The same capacity-factor/region/FS machinery then applies unchanged —
+// which is exactly the "similar operations" the paper asserts.
+#pragma once
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::power {
+
+/// Static parameters of a PV array.
+struct PvArraySpec {
+  util::Kilowatts rated_power{800.0};  ///< DC rating at STC
+  double stc_irradiance_wm2 = 1000.0;  ///< standard test condition
+  double temperature_coefficient_per_c = -0.004;  ///< gamma (power/°C)
+  double noct_celsius = 45.0;          ///< nominal operating cell temp
+  double system_losses = 0.14;         ///< inverter, wiring, soiling
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+};
+
+/// Irradiance/temperature to power conversion.
+class PvArray {
+ public:
+  explicit PvArray(PvArraySpec spec = {});
+
+  [[nodiscard]] const PvArraySpec& spec() const { return spec_; }
+
+  /// Cell temperature for the given ambient and irradiance (NOCT model).
+  [[nodiscard]] double cell_temperature(double ambient_celsius,
+                                        double irradiance_wm2) const;
+
+  /// AC output power; clamped into [0, rated].
+  [[nodiscard]] util::Kilowatts output(double irradiance_wm2,
+                                       double ambient_celsius = 20.0) const;
+
+  /// Maps an irradiance series (W/m^2) to a power series (kW) at a fixed
+  /// ambient temperature.
+  [[nodiscard]] util::TimeSeries power_series(
+      const util::TimeSeries& irradiance,
+      double ambient_celsius = 20.0) const;
+
+  /// Same with a per-sample ambient-temperature series (shapes must match).
+  [[nodiscard]] util::TimeSeries power_series(
+      const util::TimeSeries& irradiance,
+      const util::TimeSeries& ambient_celsius) const;
+
+ private:
+  PvArraySpec spec_;
+};
+
+}  // namespace smoother::power

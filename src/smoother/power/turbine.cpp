@@ -1,0 +1,170 @@
+#include "smoother/power/turbine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/solver/least_squares.hpp"
+
+namespace smoother::power {
+
+GaussianSumCurve::GaussianSumCurve(std::vector<GaussianTerm> terms)
+    : terms_(std::move(terms)) {
+  if (terms_.empty() || terms_.size() > 5)
+    throw std::invalid_argument("GaussianSumCurve: need 1..5 terms (Eq. 2)");
+  for (const auto& t : terms_)
+    if (t.width == 0.0)
+      throw std::invalid_argument("GaussianSumCurve: zero width");
+}
+
+double GaussianSumCurve::operator()(double wind_speed) const {
+  double acc = 0.0;
+  for (const auto& t : terms_) {
+    const double z = (wind_speed - t.center) / t.width;
+    acc += t.amplitude * std::exp(-z * z);
+  }
+  return acc;
+}
+
+GaussianSumCurve GaussianSumCurve::fit(std::span<const double> speeds,
+                                       std::span<const double> powers,
+                                       std::size_t num_terms) {
+  if (speeds.empty() || speeds.size() != powers.size())
+    throw std::invalid_argument("GaussianSumCurve::fit: bad samples");
+  if (num_terms == 0 || num_terms > 5)
+    throw std::invalid_argument("GaussianSumCurve::fit: 1..5 terms");
+
+  const auto [lo_it, hi_it] = std::minmax_element(speeds.begin(), speeds.end());
+  const double lo = *lo_it, hi = *hi_it;
+  const double span = std::max(hi - lo, 1.0);
+  const double peak = *std::max_element(powers.begin(), powers.end());
+
+  // Parameters packed as [a1, b1, c1, a2, b2, c2, ...].
+  solver::Vector theta;
+  theta.reserve(num_terms * 3);
+  for (std::size_t i = 0; i < num_terms; ++i) {
+    const double frac =
+        num_terms == 1 ? 1.0
+                       : static_cast<double>(i + 1) / static_cast<double>(num_terms);
+    theta.push_back(peak * frac);           // amplitude, biased to the peak
+    theta.push_back(lo + span * frac);      // centers spread over the range
+    theta.push_back(span / static_cast<double>(num_terms));  // width
+  }
+
+  const auto residual = [&](std::span<const double> p) {
+    solver::Vector r(speeds.size());
+    for (std::size_t i = 0; i < speeds.size(); ++i) {
+      double model = 0.0;
+      for (std::size_t t = 0; t < num_terms; ++t) {
+        const double a = p[3 * t];
+        const double b = p[3 * t + 1];
+        const double c = p[3 * t + 2];
+        const double z = (speeds[i] - b) / (c == 0.0 ? 1e-9 : c);
+        model += a * std::exp(-z * z);
+      }
+      r[i] = model - powers[i];
+    }
+    return r;
+  };
+
+  const auto fit_result = solver::levenberg_marquardt(residual, theta);
+  if (fit_result.status == solver::LeastSquaresStatus::kStalled &&
+      fit_result.cost > 0.5 * peak * peak)
+    throw std::runtime_error("GaussianSumCurve::fit: LM failed to fit");
+
+  std::vector<GaussianTerm> terms;
+  terms.reserve(num_terms);
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    GaussianTerm term;
+    term.amplitude = fit_result.parameters[3 * t];
+    term.center = fit_result.parameters[3 * t + 1];
+    term.width = fit_result.parameters[3 * t + 2];
+    if (term.width == 0.0) term.width = 1e-9;
+    terms.push_back(term);
+  }
+  return GaussianSumCurve(std::move(terms));
+}
+
+double GaussianSumCurve::rms_error(std::span<const double> speeds,
+                                   std::span<const double> powers) const {
+  if (speeds.empty() || speeds.size() != powers.size())
+    throw std::invalid_argument("GaussianSumCurve::rms_error: bad samples");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    const double d = (*this)(speeds[i]) - powers[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(speeds.size()));
+}
+
+void TurbineSpec::validate() const {
+  if (!(util::MetresPerSecond{0.0} < cut_in && cut_in < rated_speed &&
+        rated_speed < cut_out))
+    throw std::invalid_argument(
+        "TurbineSpec: need 0 < cut-in < rated < cut-out");
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("TurbineSpec: rated power must be positive");
+}
+
+TurbineCurve::TurbineCurve(TurbineSpec spec, GaussianSumCurve partial_load)
+    : spec_(spec), partial_(std::move(partial_load)) {
+  spec_.validate();
+}
+
+util::Kilowatts TurbineCurve::output(util::MetresPerSecond speed) const {
+  const double v = speed.value();
+  if (v <= spec_.cut_in.value() || v > spec_.cut_out.value())
+    return util::Kilowatts{0.0};  // Eq. 1 rows 1 and 4
+  if (v > spec_.rated_speed.value())
+    return spec_.rated_power;  // Eq. 1 row 3
+  // Eq. 1 row 2: partial-load Gaussian curve, clamped into [0, rated].
+  const double raw = partial_(v);
+  return util::Kilowatts{std::clamp(raw, 0.0, spec_.rated_power.value())};
+}
+
+util::TimeSeries TurbineCurve::power_series(
+    const util::TimeSeries& wind_speed) const {
+  return wind_speed.map([this](double v) {
+    return output(util::MetresPerSecond{v}).value();
+  });
+}
+
+std::span<const std::pair<double, double>>
+TurbineCurve::e48_reference_points() {
+  // ENERCON E48 published power table in the partial-load band [23];
+  // speeds in m/s, power in kW (rated 800 kW at 14 m/s).
+  static constexpr std::array<std::pair<double, double>, 12> kPoints = {{
+      {3.0, 5.0},
+      {4.0, 25.0},
+      {5.0, 60.0},
+      {6.0, 110.0},
+      {7.0, 180.0},
+      {8.0, 275.0},
+      {9.0, 400.0},
+      {10.0, 555.0},
+      {11.0, 671.0},
+      {12.0, 750.0},
+      {13.0, 790.0},
+      {14.0, 800.0},
+  }};
+  return kPoints;
+}
+
+const TurbineCurve& TurbineCurve::enercon_e48() {
+  static const TurbineCurve curve = [] {
+    const auto points = e48_reference_points();
+    std::vector<double> speeds, powers;
+    speeds.reserve(points.size());
+    powers.reserve(points.size());
+    for (const auto& [v, p] : points) {
+      speeds.push_back(v);
+      powers.push_back(p);
+    }
+    GaussianSumCurve g = GaussianSumCurve::fit(speeds, powers, 3);
+    return TurbineCurve(TurbineSpec{}, std::move(g));
+  }();
+  return curve;
+}
+
+}  // namespace smoother::power

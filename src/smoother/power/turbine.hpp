@@ -1,0 +1,106 @@
+// Wind turbine output power models (paper Section II-B).
+//
+// The output power of a turbine is the piecewise function of Eq. 1:
+// zero below cut-in and above cut-out, the fitted curve G(v) between cut-in
+// and rated speed, and the rated power between rated and cut-out speed.
+// G(v) is a Gaussian sum (Eq. 2) fitted to measured (speed, power) samples
+// with the Levenberg-Marquardt solver, mirroring the paper's use of Gaussian
+// regression from "Optimal Harvesting Wind Power" [22].
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::power {
+
+/// One Gaussian term a * exp(-((v - b)/c)^2).
+struct GaussianTerm {
+  double amplitude = 0.0;  ///< a, in kW
+  double center = 0.0;     ///< b, in m/s
+  double width = 1.0;      ///< c, in m/s (must be nonzero)
+};
+
+/// Gaussian-sum curve G(v) = sum_i a_i exp(-((v-b_i)/c_i)^2), 1 <= n <= 5
+/// (paper Eq. 2).
+class GaussianSumCurve {
+ public:
+  /// Throws std::invalid_argument when terms is empty, has more than 5
+  /// entries, or any width is zero.
+  explicit GaussianSumCurve(std::vector<GaussianTerm> terms);
+
+  [[nodiscard]] double operator()(double wind_speed) const;
+  [[nodiscard]] const std::vector<GaussianTerm>& terms() const {
+    return terms_;
+  }
+
+  /// Fits an n-term Gaussian sum to samples by Levenberg-Marquardt with a
+  /// deterministic initialization (centers spread over the sample range).
+  /// Throws std::invalid_argument on empty/mismatched samples or n outside
+  /// [1, 5]; throws std::runtime_error when the fit fails to improve on the
+  /// initialization.
+  static GaussianSumCurve fit(std::span<const double> speeds,
+                              std::span<const double> powers,
+                              std::size_t num_terms);
+
+  /// Root-mean-square error of the curve against samples.
+  [[nodiscard]] double rms_error(std::span<const double> speeds,
+                                 std::span<const double> powers) const;
+
+ private:
+  std::vector<GaussianTerm> terms_;
+};
+
+/// Static parameters of a turbine type.
+struct TurbineSpec {
+  util::MetresPerSecond cut_in{3.0};
+  util::MetresPerSecond rated_speed{14.0};
+  util::MetresPerSecond cut_out{25.0};
+  util::Kilowatts rated_power{800.0};
+
+  /// Throws std::invalid_argument unless 0 < cut_in < rated < cut_out and
+  /// rated_power > 0.
+  void validate() const;
+};
+
+/// Complete turbine output model: Eq. 1 with a Gaussian-sum G(v).
+///
+/// The partial-load curve is clamped into [0, rated] so a slightly
+/// over/under-shooting fit can never produce negative power or exceed the
+/// rating, and scaled so that it meets the rated power continuously at the
+/// rated speed.
+class TurbineCurve {
+ public:
+  /// Throws std::invalid_argument if spec is invalid.
+  TurbineCurve(TurbineSpec spec, GaussianSumCurve partial_load);
+
+  /// Output power at the given wind speed (Eq. 1).
+  [[nodiscard]] util::Kilowatts output(util::MetresPerSecond speed) const;
+
+  /// Maps a wind-speed series (m/s) to a power series (kW).
+  [[nodiscard]] util::TimeSeries power_series(
+      const util::TimeSeries& wind_speed) const;
+
+  [[nodiscard]] const TurbineSpec& spec() const { return spec_; }
+  [[nodiscard]] const GaussianSumCurve& partial_load() const {
+    return partial_;
+  }
+
+  /// The ENERCON E48 preset of paper Fig. 1: cut-in 3 m/s, rated 14 m/s at
+  /// 800 kW, cut-out 25 m/s; its G(v) is LM-fitted once (cached) to the
+  /// published E48 power table.
+  static const TurbineCurve& enercon_e48();
+
+  /// Reference (speed, power) samples of the E48 partial-load region used
+  /// both by the preset fit and the tests.
+  static std::span<const std::pair<double, double>> e48_reference_points();
+
+ private:
+  TurbineSpec spec_;
+  GaussianSumCurve partial_;
+};
+
+}  // namespace smoother::power

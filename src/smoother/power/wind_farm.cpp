@@ -1,0 +1,25 @@
+#include "smoother/power/wind_farm.hpp"
+
+#include <stdexcept>
+
+namespace smoother::power {
+
+WindFarm::WindFarm(const TurbineCurve& turbine,
+                   util::Kilowatts installed_capacity)
+    : turbine_(&turbine),
+      capacity_(installed_capacity),
+      scale_(installed_capacity / turbine.spec().rated_power) {
+  if (installed_capacity <= util::Kilowatts{0.0})
+    throw std::invalid_argument("WindFarm: capacity must be positive");
+}
+
+util::Kilowatts WindFarm::output(util::MetresPerSecond speed) const {
+  return turbine_->output(speed) * scale_;
+}
+
+util::TimeSeries WindFarm::power_series(
+    const util::TimeSeries& wind_speed) const {
+  return turbine_->power_series(wind_speed) * scale_;
+}
+
+}  // namespace smoother::power

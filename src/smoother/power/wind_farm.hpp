@@ -1,0 +1,44 @@
+// Wind farm: a bank of identical turbines exposed as one aggregate source.
+//
+// The paper's experiments set the "total installed wind turbine capacity" to
+// 976 kW and 1525 kW; WindFarm scales a single turbine curve to an arbitrary
+// installed capacity (fractional turbine counts are allowed — the farm is an
+// aggregate, not a discrete inventory).
+#pragma once
+
+#include "smoother/power/turbine.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::power {
+
+/// Aggregate wind generation for a given installed capacity.
+class WindFarm {
+ public:
+  /// A farm of `turbine` units totalling `installed_capacity` of rated
+  /// power. Throws std::invalid_argument when the capacity is not positive.
+  WindFarm(const TurbineCurve& turbine, util::Kilowatts installed_capacity);
+
+  /// Farm output at a single wind speed (all turbines see the same wind).
+  [[nodiscard]] util::Kilowatts output(util::MetresPerSecond speed) const;
+
+  /// Farm power series for a wind-speed series (kW).
+  [[nodiscard]] util::TimeSeries power_series(
+      const util::TimeSeries& wind_speed) const;
+
+  [[nodiscard]] util::Kilowatts installed_capacity() const {
+    return capacity_;
+  }
+
+  /// Number of turbine-equivalents (capacity / turbine rating).
+  [[nodiscard]] double turbine_count() const { return scale_; }
+
+  [[nodiscard]] const TurbineCurve& turbine() const { return *turbine_; }
+
+ private:
+  const TurbineCurve* turbine_;  // non-owning; presets live forever
+  util::Kilowatts capacity_;
+  double scale_;
+};
+
+}  // namespace smoother::power

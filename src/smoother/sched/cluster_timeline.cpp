@@ -1,0 +1,74 @@
+#include "smoother/sched/cluster_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::sched {
+
+ClusterTimeline::ClusterTimeline(std::size_t slots, util::Minutes step,
+                                 std::size_t total_servers)
+    : step_(step),
+      total_servers_(total_servers),
+      used_servers_(slots, 0),
+      demand_(step, slots) {
+  if (slots == 0)
+    throw std::invalid_argument("ClusterTimeline: zero-slot horizon");
+  if (total_servers == 0)
+    throw std::invalid_argument("ClusterTimeline: zero-server cluster");
+  if (step <= util::Minutes{0.0})
+    throw std::invalid_argument("ClusterTimeline: step must be positive");
+}
+
+std::size_t ClusterTimeline::slot_of(util::Minutes t) const {
+  if (t < util::Minutes{0.0})
+    throw std::invalid_argument("ClusterTimeline::slot_of: negative time");
+  const auto idx = static_cast<std::size_t>(t.value() / step_.value());
+  return std::min(idx, slots() - 1);
+}
+
+std::size_t ClusterTimeline::slots_for(util::Minutes runtime) const {
+  if (runtime <= util::Minutes{0.0}) return 0;
+  return static_cast<std::size_t>(
+      std::ceil(runtime.value() / step_.value() - 1e-9));
+}
+
+std::size_t ClusterTimeline::free_servers(std::size_t slot) const {
+  if (slot >= slots()) throw std::out_of_range("ClusterTimeline::free_servers");
+  return total_servers_ - used_servers_[slot];
+}
+
+bool ClusterTimeline::can_place(std::size_t start_slot, std::size_t count,
+                                std::size_t servers) const {
+  if (servers > total_servers_) return false;
+  if (start_slot >= slots()) return false;
+  const std::size_t end = std::min(start_slot + count, slots());
+  for (std::size_t s = start_slot; s < end; ++s)
+    if (used_servers_[s] + servers > total_servers_) return false;
+  return true;
+}
+
+std::size_t ClusterTimeline::earliest_fit(std::size_t from, std::size_t count,
+                                          std::size_t servers) const {
+  for (std::size_t start = from; start < slots(); ++start)
+    if (can_place(start, count, servers)) return start;
+  return slots();
+}
+
+void ClusterTimeline::place(std::size_t start_slot, std::size_t count,
+                            std::size_t servers, util::Kilowatts power) {
+  if (!can_place(start_slot, count, servers))
+    throw std::logic_error("ClusterTimeline::place: capacity exceeded");
+  const std::size_t end = std::min(start_slot + count, slots());
+  for (std::size_t s = start_slot; s < end; ++s) {
+    used_servers_[s] += servers;
+    demand_[s] += power.value();
+  }
+}
+
+std::size_t ClusterTimeline::used_servers(std::size_t slot) const {
+  if (slot >= slots()) throw std::out_of_range("ClusterTimeline::used_servers");
+  return used_servers_[slot];
+}
+
+}  // namespace smoother::sched

@@ -1,0 +1,74 @@
+// Discrete-slot cluster occupancy and power timeline.
+//
+// All schedulers (the Active Delay core and the FIFO/EDF baselines) place
+// jobs onto this shared structure: a horizon divided into fixed slots (one
+// minute in the paper), a server-count capacity per slot, and the resulting
+// aggregate power-demand series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "smoother/sched/job.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::sched {
+
+/// Occupancy and power bookkeeping over a fixed horizon.
+class ClusterTimeline {
+ public:
+  /// `slots` windows of `step` minutes each on a cluster of `total_servers`.
+  /// Throws std::invalid_argument for a zero-sized horizon or cluster.
+  ClusterTimeline(std::size_t slots, util::Minutes step,
+                  std::size_t total_servers);
+
+  [[nodiscard]] std::size_t slots() const { return used_servers_.size(); }
+  [[nodiscard]] util::Minutes step() const { return step_; }
+  [[nodiscard]] std::size_t total_servers() const { return total_servers_; }
+
+  /// Duration of the whole horizon.
+  [[nodiscard]] util::Minutes horizon() const {
+    return util::Minutes{step_.value() * static_cast<double>(slots())};
+  }
+
+  /// Slot index containing time t (clamped to the last slot when t is at or
+  /// beyond the horizon end; negative t throws).
+  [[nodiscard]] std::size_t slot_of(util::Minutes t) const;
+
+  /// Number of slots a runtime occupies (ceiling).
+  [[nodiscard]] std::size_t slots_for(util::Minutes runtime) const;
+
+  /// Free servers in one slot.
+  [[nodiscard]] std::size_t free_servers(std::size_t slot) const;
+
+  /// True when `servers` machines are free over [start, start+count) slots.
+  /// Slot ranges reaching past the horizon are checked only up to the end.
+  [[nodiscard]] bool can_place(std::size_t start_slot, std::size_t count,
+                               std::size_t servers) const;
+
+  /// Earliest slot >= `from` at which the job fits; returns slots() when it
+  /// never fits within the horizon.
+  [[nodiscard]] std::size_t earliest_fit(std::size_t from, std::size_t count,
+                                         std::size_t servers) const;
+
+  /// Reserves the servers and adds `power` to the demand series over
+  /// [start, start+count) (truncated at the horizon). Throws
+  /// std::logic_error when capacity would be exceeded.
+  void place(std::size_t start_slot, std::size_t count, std::size_t servers,
+             util::Kilowatts power);
+
+  /// Aggregate power demand series accumulated from all placements (kW).
+  [[nodiscard]] const util::TimeSeries& demand() const { return demand_; }
+
+  /// Servers in use at a slot.
+  [[nodiscard]] std::size_t used_servers(std::size_t slot) const;
+
+ private:
+  util::Minutes step_;
+  std::size_t total_servers_;
+  std::vector<std::size_t> used_servers_;
+  util::TimeSeries demand_;
+};
+
+}  // namespace smoother::sched

@@ -1,0 +1,81 @@
+// The deferrable-workload job model (paper Section III-D).
+//
+// A job arrives at some time, needs a number of servers at some CPU
+// utilization for a runtime, and must finish by a soft deadline. Active
+// Delay's freedom is the job's slack time:
+//   slack(t) = deadline - runtime - t        (Algorithm 1 line 7)
+// A job with zero or negative slack is effectively real-time and must start
+// immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smoother/util/units.hpp"
+
+namespace smoother::sched {
+
+/// One schedulable unit of work.
+struct Job {
+  std::uint64_t id = 0;
+  util::Minutes arrival{0.0};   ///< when the request enters the system
+  util::Minutes runtime{0.0};   ///< execution length once started
+  util::Minutes deadline{0.0};  ///< absolute soft deadline for completion
+  std::size_t servers = 1;      ///< machines occupied while running
+  double cpu_utilization = 1.0; ///< per-occupied-machine utilization [0,1]
+  util::Kilowatts power{0.0};   ///< demand while running (calWorkloadPower)
+
+  /// Slack available at time `now` (can be negative when late).
+  [[nodiscard]] util::Minutes slack_at(util::Minutes now) const {
+    return deadline - runtime - now;
+  }
+
+  /// True when the job can still be deferred at `now` (slack > 0).
+  [[nodiscard]] bool deferrable_at(util::Minutes now) const {
+    return slack_at(now) > util::Minutes{0.0};
+  }
+
+  /// Latest start that still meets the deadline.
+  [[nodiscard]] util::Minutes latest_start() const {
+    return deadline - runtime;
+  }
+
+  /// Total energy the job consumes over its runtime.
+  [[nodiscard]] util::KilowattHours total_energy() const {
+    return util::energy(power, runtime);
+  }
+
+  /// Validates invariants (positive runtime, deadline after arrival +
+  /// runtime is *not* required — late jobs are legal — but runtime and
+  /// servers must be positive and utilization in [0,1]).
+  /// Throws std::invalid_argument on violation.
+  void validate() const;
+};
+
+/// A scheduling decision: when the job actually starts.
+struct Placement {
+  std::uint64_t job_id = 0;
+  util::Minutes start{0.0};
+  util::Minutes finish{0.0};
+  bool met_deadline = true;
+  util::KilowattHours renewable_energy_used{0.0};
+};
+
+/// Summary of a full schedule.
+struct ScheduleOutcome {
+  std::vector<Placement> placements;
+  util::KilowattHours total_energy{0.0};
+  util::KilowattHours renewable_energy_used{0.0};
+  std::size_t deadline_misses = 0;
+
+  /// Fraction of generated renewable energy the schedule consumed, given
+  /// the total generated amount.
+  [[nodiscard]] double renewable_utilization(
+      util::KilowattHours generated) const {
+    if (generated <= util::KilowattHours{0.0}) return 0.0;
+    return renewable_energy_used / generated;
+  }
+};
+
+}  // namespace smoother::sched

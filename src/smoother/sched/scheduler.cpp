@@ -1,0 +1,131 @@
+#include "smoother/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace smoother::sched {
+
+void Job::validate() const {
+  if (runtime <= util::Minutes{0.0})
+    throw std::invalid_argument("Job: runtime must be positive");
+  if (servers == 0) throw std::invalid_argument("Job: needs >= 1 server");
+  if (cpu_utilization < 0.0 || cpu_utilization > 1.0)
+    throw std::invalid_argument("Job: utilization outside [0,1]");
+  if (arrival < util::Minutes{0.0})
+    throw std::invalid_argument("Job: negative arrival");
+  if (power < util::Kilowatts{0.0})
+    throw std::invalid_argument("Job: negative power");
+}
+
+void ScheduleRequest::validate() const {
+  if (renewable.empty())
+    throw std::invalid_argument("ScheduleRequest: empty renewable series");
+  if (total_servers == 0)
+    throw std::invalid_argument("ScheduleRequest: zero-server cluster");
+  for (const Job& job : jobs) {
+    job.validate();
+    if (job.servers > total_servers)
+      throw std::invalid_argument("ScheduleRequest: job larger than cluster");
+  }
+}
+
+namespace {
+
+/// First slot whose window starts at or after t.
+std::size_t first_slot_at_or_after(const ClusterTimeline& timeline,
+                                   util::Minutes t) {
+  if (t <= util::Minutes{0.0}) return 0;
+  const double raw = t.value() / timeline.step().value();
+  return static_cast<std::size_t>(std::ceil(raw - 1e-9));
+}
+
+}  // namespace
+
+std::vector<Placement> place_greedy_in_order(std::vector<Job> order,
+                                             ClusterTimeline& timeline) {
+  std::vector<Placement> placements;
+  placements.reserve(order.size());
+  for (const Job& job : order) {
+    const std::size_t duration = timeline.slots_for(job.runtime);
+    const std::size_t from = first_slot_at_or_after(timeline, job.arrival);
+    const std::size_t start =
+        from >= timeline.slots()
+            ? timeline.slots()
+            : timeline.earliest_fit(from, duration, job.servers);
+    Placement placement;
+    placement.job_id = job.id;
+    if (start >= timeline.slots()) {
+      // Never fits inside the horizon: record as missed, schedule nothing.
+      placement.start = timeline.horizon();
+      placement.finish = placement.start + job.runtime;
+      placement.met_deadline = false;
+    } else {
+      timeline.place(start, duration, job.servers, job.power);
+      placement.start = util::Minutes{timeline.step().value() *
+                                      static_cast<double>(start)};
+      placement.finish = placement.start + job.runtime;
+      placement.met_deadline = placement.finish <= job.deadline;
+    }
+    placements.push_back(placement);
+  }
+  return placements;
+}
+
+ScheduleResult finalize_schedule(const ScheduleRequest& request,
+                                 const ClusterTimeline& timeline,
+                                 std::vector<Placement> placements) {
+  ScheduleResult result;
+  result.demand = timeline.demand();
+
+  const util::TimeSeries& renewable = request.renewable;
+  const double baseline = request.baseline_power.value();
+  util::TimeSeries used_by_workload(renewable.step(), renewable.size());
+  util::TimeSeries residual(renewable.step(), renewable.size());
+  for (std::size_t i = 0; i < renewable.size(); ++i) {
+    const double after_baseline = std::max(renewable[i] - baseline, 0.0);
+    const double used = std::min(result.demand[i], after_baseline);
+    used_by_workload[i] = used;
+    residual[i] = after_baseline - used;
+  }
+  result.residual_renewable = std::move(residual);
+
+  result.outcome.placements = std::move(placements);
+  result.outcome.total_energy = result.demand.total_energy();
+  result.outcome.renewable_energy_used = used_by_workload.total_energy();
+  result.outcome.deadline_misses = static_cast<std::size_t>(
+      std::count_if(result.outcome.placements.begin(),
+                    result.outcome.placements.end(),
+                    [](const Placement& p) { return !p.met_deadline; }));
+  return result;
+}
+
+ScheduleResult ImmediateScheduler::schedule(
+    const ScheduleRequest& request) const {
+  request.validate();
+  ClusterTimeline timeline(request.renewable.size(), request.renewable.step(),
+                           request.total_servers);
+  std::vector<Job> order = request.jobs;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.arrival < b.arrival;
+                   });
+  auto placements = place_greedy_in_order(std::move(order), timeline);
+  return finalize_schedule(request, timeline, std::move(placements));
+}
+
+ScheduleResult EdfScheduler::schedule(const ScheduleRequest& request) const {
+  request.validate();
+  ClusterTimeline timeline(request.renewable.size(), request.renewable.step(),
+                           request.total_servers);
+  std::vector<Job> order = request.jobs;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.deadline < b.deadline;
+                   });
+  auto placements = place_greedy_in_order(std::move(order), timeline);
+  return finalize_schedule(request, timeline, std::move(placements));
+}
+
+}  // namespace smoother::sched

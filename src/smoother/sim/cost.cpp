@@ -1,0 +1,66 @@
+#include "smoother/sim/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::sim {
+
+void TariffSpec::validate() const {
+  if (peak_price_per_kwh < 0.0 || offpeak_price_per_kwh < 0.0)
+    throw std::invalid_argument("TariffSpec: prices must be >= 0");
+  if (peak_price_per_kwh < offpeak_price_per_kwh)
+    throw std::invalid_argument("TariffSpec: peak must cost >= off-peak");
+  if (!(0.0 <= peak_start_hour && peak_start_hour < peak_end_hour &&
+        peak_end_hour <= 24.0))
+    throw std::invalid_argument("TariffSpec: bad peak window");
+  if (demand_charge_per_kw < 0.0 || battery_pack_price_per_kwh < 0.0)
+    throw std::invalid_argument("TariffSpec: charges must be >= 0");
+}
+
+bool TariffSpec::is_peak_hour(double hour_of_day) const {
+  return hour_of_day >= peak_start_hour && hour_of_day < peak_end_hour;
+}
+
+CostModel::CostModel(TariffSpec tariff) : tariff_(tariff) {
+  tariff_.validate();
+}
+
+double CostModel::grid_energy_cost(const util::TimeSeries& grid_power) const {
+  const double step_hours = grid_power.step().value() / 60.0;
+  double cost = 0.0;
+  for (std::size_t i = 0; i < grid_power.size(); ++i) {
+    const double hour =
+        std::fmod(grid_power.time_at(i).value() / 60.0, 24.0);
+    const double price = tariff_.is_peak_hour(hour)
+                             ? tariff_.peak_price_per_kwh
+                             : tariff_.offpeak_price_per_kwh;
+    cost += std::max(grid_power[i], 0.0) * step_hours * price;
+  }
+  return cost;
+}
+
+double CostModel::demand_charge(const util::TimeSeries& grid_power) const {
+  if (grid_power.empty()) return 0.0;
+  return std::max(grid_power.max(), 0.0) * tariff_.demand_charge_per_kw;
+}
+
+double CostModel::battery_wear_cost(double life_fraction,
+                                    util::KilowattHours capacity) const {
+  if (life_fraction < 0.0)
+    throw std::invalid_argument("CostModel: negative life fraction");
+  return life_fraction * capacity.value() * tariff_.battery_pack_price_per_kwh;
+}
+
+CostBreakdown CostModel::price(const util::TimeSeries& grid_power,
+                               double battery_life_fraction,
+                               util::KilowattHours battery_capacity) const {
+  CostBreakdown breakdown;
+  breakdown.grid_energy_cost = grid_energy_cost(grid_power);
+  breakdown.demand_charge = demand_charge(grid_power);
+  breakdown.battery_wear_cost =
+      battery_wear_cost(battery_life_fraction, battery_capacity);
+  return breakdown;
+}
+
+}  // namespace smoother::sim

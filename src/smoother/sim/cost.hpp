@@ -1,0 +1,79 @@
+// Electricity cost accounting.
+//
+// The paper motivates Smoother partly by electricity bills ("reducing the
+// cost of systems"); Multigreen, the Comp baseline, is literally a
+// cost-minimizing controller. This module prices a dispatch outcome so the
+// arms can be compared in dollars, with the three cost components real
+// datacenter tariffs have:
+//
+//   * time-of-use energy: peak vs off-peak grid price per kWh,
+//   * a demand charge on the billing-period peak grid draw (per kW),
+//   * battery wear: cycling consumes battery life, amortized against the
+//     pack's replacement cost.
+#pragma once
+
+#include "smoother/battery/wear.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::sim {
+
+/// Tariff and amortization parameters. Defaults are representative US
+/// commercial numbers (dollars).
+struct TariffSpec {
+  double peak_price_per_kwh = 0.14;
+  double offpeak_price_per_kwh = 0.06;
+  double peak_start_hour = 8.0;   ///< local time, inclusive
+  double peak_end_hour = 22.0;    ///< exclusive
+  double demand_charge_per_kw = 12.0;  ///< on the period's peak grid draw
+  double battery_pack_price_per_kwh = 300.0;  ///< replacement capex
+
+  /// Throws std::invalid_argument on inconsistent values.
+  void validate() const;
+
+  /// True when the (wall-clock) hour falls in the peak window.
+  [[nodiscard]] bool is_peak_hour(double hour_of_day) const;
+};
+
+/// Itemized cost of one run.
+struct CostBreakdown {
+  double grid_energy_cost = 0.0;
+  double demand_charge = 0.0;
+  double battery_wear_cost = 0.0;
+
+  [[nodiscard]] double total() const {
+    return grid_energy_cost + demand_charge + battery_wear_cost;
+  }
+};
+
+/// Prices grid usage and battery wear.
+class CostModel {
+ public:
+  explicit CostModel(TariffSpec tariff = {});
+
+  [[nodiscard]] const TariffSpec& tariff() const { return tariff_; }
+
+  /// Time-of-use cost of a grid power series (kW). The series' timestamps
+  /// are interpreted as wall-clock minutes from midnight of day 0.
+  [[nodiscard]] double grid_energy_cost(
+      const util::TimeSeries& grid_power) const;
+
+  /// Demand charge for the series' peak draw.
+  [[nodiscard]] double demand_charge(const util::TimeSeries& grid_power) const;
+
+  /// Wear cost of a battery whose life consumption over the run is
+  /// `life_fraction` (from battery::WearTracker::life_consumed()), for a
+  /// pack of the given capacity.
+  [[nodiscard]] double battery_wear_cost(double life_fraction,
+                                         util::KilowattHours capacity) const;
+
+  /// Full breakdown for one run.
+  [[nodiscard]] CostBreakdown price(const util::TimeSeries& grid_power,
+                                    double battery_life_fraction,
+                                    util::KilowattHours battery_capacity) const;
+
+ private:
+  TariffSpec tariff_;
+};
+
+}  // namespace smoother::sim

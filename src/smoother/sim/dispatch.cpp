@@ -1,0 +1,85 @@
+#include "smoother/sim/dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "smoother/core/metrics.hpp"
+
+namespace smoother::sim {
+
+std::string to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kDirect:
+      return "direct";
+    case DispatchPolicy::kComp:
+      return "comp";
+    case DispatchPolicy::kCompMatching:
+      return "comp-matching";
+  }
+  return "?";
+}
+
+DispatchResult dispatch(const util::TimeSeries& supply,
+                        const util::TimeSeries& demand,
+                        DispatchPolicy policy, battery::Battery* battery) {
+  if (supply.step() != demand.step() || supply.size() != demand.size())
+    throw std::invalid_argument("dispatch: series shape mismatch");
+  const bool uses_battery = policy != DispatchPolicy::kDirect;
+  if (uses_battery && battery == nullptr)
+    throw std::invalid_argument("dispatch: Comp policies need a battery");
+
+  const std::size_t n = supply.size();
+  const util::Minutes dt = supply.step();
+
+  DispatchResult result;
+  result.effective_supply = util::TimeSeries(dt, n);
+  result.grid_power = util::TimeSeries(dt, n);
+  result.battery_flow = util::TimeSeries(dt, n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = std::max(supply[i], 0.0);
+    const double d = std::max(demand[i], 0.0);
+    double flow = 0.0;  // + discharge, - charge
+    if (uses_battery) {
+      if (r >= d) {
+        // Load is covered; surplus charges the battery.
+        const util::Kilowatts accepted =
+            battery->charge(util::Kilowatts{r - d}, dt);
+        flow = -accepted.value();
+      } else if (policy == DispatchPolicy::kComp) {
+        // SoC-blind controller: dump stored energy at the maximum rate.
+        const util::Kilowatts delivered =
+            battery->discharge(battery->spec().max_discharge_rate, dt);
+        flow = delivered.value();
+      } else {
+        // Demand-matching controller: top up exactly to the demand.
+        const util::Kilowatts delivered =
+            battery->discharge(util::Kilowatts{d - r}, dt);
+        flow = delivered.value();
+      }
+    }
+    const double effective = r + flow;
+    result.effective_supply[i] = effective;
+    const double used = std::min(effective, d);
+    result.grid_power[i] = d - used;
+    result.battery_flow[i] = flow;
+  }
+
+  result.switching_times =
+      core::energy_switching_times(result.effective_supply, demand);
+  result.renewable_used =
+      core::renewable_energy_used(result.effective_supply, demand);
+  result.grid_energy = result.grid_power.total_energy();
+  result.spilled_renewable =
+      core::unusable_renewable(result.effective_supply, demand);
+  if (battery != nullptr)
+    result.battery_equivalent_cycles = battery->equivalent_full_cycles();
+  const util::KilowattHours generated = supply.total_energy();
+  result.renewable_utilization =
+      generated > util::KilowattHours{0.0}
+          ? result.renewable_used / generated
+          : 0.0;
+  return result;
+}
+
+}  // namespace smoother::sim

@@ -1,0 +1,105 @@
+#include "smoother/sim/experiments.hpp"
+
+namespace smoother::sim {
+
+core::SmootherConfig default_config(util::Kilowatts installed_capacity) {
+  core::SmootherConfig config;
+  config.rated_power = installed_capacity;
+  // Battery: max rate = half the installed capacity; capacity sustains one
+  // 5-minute point at that rate (the paper's sizing); lossless cells.
+  config.battery = battery::spec_for_max_rate(installed_capacity * 0.5,
+                                              util::kFiveMinutes);
+  config.battery.charge_efficiency = 1.0;
+  config.battery.discharge_efficiency = 1.0;
+  // Region-I = bottom 25 % of the variance CDF (flat intervals), and
+  // Region-II-2 = top 5 % (the paper's choice). The 25 % split trades more
+  // battery charge/discharge activity for markedly fewer switches — the
+  // Fig. 6 trade-off; bench/fig06_threshold_sweep sweeps it.
+  config.stable_cdf = 0.25;
+  config.extreme_cdf = 0.95;
+  return config;
+}
+
+SwitchingComparison run_switching_comparison(
+    const util::TimeSeries& supply, const util::TimeSeries& demand,
+    const core::SmootherConfig& config) {
+  SwitchingComparison result;
+
+  // Arm 1: raw supply, no storage.
+  result.without_fs =
+      dispatch(supply, demand, DispatchPolicy::kDirect).switching_times;
+
+  // Arm 2: raw supply + Multigreen-style battery.
+  {
+    battery::Battery comp_battery(config.battery,
+                                  config.initial_soc_fraction);
+    result.with_comp =
+        dispatch(supply, demand, DispatchPolicy::kComp, &comp_battery)
+            .switching_times;
+  }
+
+  // Arm 3: Flexible Smoothing.
+  {
+    core::SmootherConfig fs_config = config;
+    fs_config.enable_flexible_smoothing = true;
+    const core::Smoother middleware(fs_config);
+    const core::SmoothingResult smoothing = middleware.smooth_supply(supply);
+    result.with_fs =
+        dispatch(smoothing.supply, demand, DispatchPolicy::kDirect)
+            .switching_times;
+    result.fs_required_max_rate_kw = smoothing.required_max_rate_kw;
+    result.fs_smoothed_intervals =
+        static_cast<double>(smoothing.smoothed_intervals);
+  }
+  return result;
+}
+
+UtilizationComparison run_utilization_comparison(
+    const BatchScenario& scenario, const core::SmootherConfig& config) {
+  UtilizationComparison result;
+
+  core::SmootherConfig with_ad = config;
+  with_ad.enable_active_delay = true;
+  const core::RunReport ad_report =
+      core::Smoother(with_ad).run(scenario.supply, scenario.jobs,
+                                  scenario.total_servers, util::kOneMinute);
+  result.with_ad = ad_report.renewable_utilization;
+  result.deadline_misses_with = ad_report.schedule.outcome.deadline_misses;
+
+  core::SmootherConfig without_ad = config;
+  without_ad.enable_active_delay = false;
+  const core::RunReport immediate_report =
+      core::Smoother(without_ad).run(scenario.supply, scenario.jobs,
+                                     scenario.total_servers,
+                                     util::kOneMinute);
+  result.without_ad = immediate_report.renewable_utilization;
+  result.deadline_misses_without =
+      immediate_report.schedule.outcome.deadline_misses;
+  return result;
+}
+
+CombinedComparison run_combined_comparison(
+    const BatchScenario& scenario, const core::SmootherConfig& config) {
+  CombinedComparison result;
+
+  core::SmootherConfig no_fs = config;
+  no_fs.enable_flexible_smoothing = false;
+  no_fs.enable_active_delay = true;
+  result.without_fs =
+      core::Smoother(no_fs)
+          .run(scenario.supply, scenario.jobs, scenario.total_servers,
+               util::kOneMinute)
+          .switching_times;
+
+  core::SmootherConfig with_fs = config;
+  with_fs.enable_flexible_smoothing = true;
+  with_fs.enable_active_delay = true;
+  result.with_fs =
+      core::Smoother(with_fs)
+          .run(scenario.supply, scenario.jobs, scenario.total_servers,
+               util::kOneMinute)
+          .switching_times;
+  return result;
+}
+
+}  // namespace smoother::sim

@@ -1,0 +1,80 @@
+#include "smoother/sim/frequency.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::sim {
+
+void GridModelParams::validate() const {
+  if (nominal_frequency_hz <= 0.0)
+    throw std::invalid_argument("GridModelParams: f0 must be > 0");
+  if (base_power_kw <= 0.0)
+    throw std::invalid_argument("GridModelParams: base power must be > 0");
+  if (inertia_seconds <= 0.0)
+    throw std::invalid_argument("GridModelParams: inertia must be > 0");
+  if (load_damping < 0.0 || droop_gain_pu < 0.0 || droop_limit_pu < 0.0)
+    throw std::invalid_argument("GridModelParams: gains must be >= 0");
+  if (integration_step_s <= 0.0)
+    throw std::invalid_argument("GridModelParams: step must be > 0");
+}
+
+GridFrequencyModel::GridFrequencyModel(GridModelParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+FrequencyStats GridFrequencyModel::simulate(const util::TimeSeries& supply,
+                                            const util::TimeSeries& demand,
+                                            double band_hz) const {
+  if (supply.step() != demand.step() || supply.size() != demand.size())
+    throw std::invalid_argument("GridFrequencyModel: shape mismatch");
+  if (band_hz <= 0.0)
+    throw std::invalid_argument("GridFrequencyModel: band must be > 0");
+
+  FrequencyStats stats;
+  stats.band_hz = band_hz;
+  stats.frequency_hz = util::TimeSeries(supply.step(), supply.size());
+
+  const double f0 = params_.nominal_frequency_hz;
+  const double two_h = 2.0 * params_.inertia_seconds;
+  // Explicit Euler needs dt well under the system time constant
+  // 2H / (droop + damping); cap the step for stability regardless of the
+  // configured value.
+  const double stiffness =
+      params_.droop_gain_pu + params_.load_damping + 1e-9;
+  const double dt =
+      std::min(params_.integration_step_s, 0.2 * two_h / stiffness);
+  const double window_s = supply.step().value() * 60.0;
+  const auto inner_steps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(window_s / dt));
+
+  double delta_f_pu = 0.0;  // per-unit frequency deviation
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    // The renewable-side imbalance held over this window (zero-order hold).
+    const double imbalance_pu =
+        (supply[i] - demand[i]) / params_.base_power_kw;
+    for (std::size_t s = 0; s < inner_steps; ++s) {
+      // Primary reserve (droop) pushes against the deviation, saturating
+      // at its reserve limit.
+      const double droop_pu = std::clamp(
+          -params_.droop_gain_pu * delta_f_pu, -params_.droop_limit_pu,
+          params_.droop_limit_pu);
+      const double net_pu =
+          imbalance_pu + droop_pu - params_.load_damping * delta_f_pu;
+      const double dfdt_pu = net_pu / two_h;
+      stats.max_rocof_hz_per_s =
+          std::max(stats.max_rocof_hz_per_s, std::abs(dfdt_pu) * f0);
+      delta_f_pu += dfdt_pu * dt;
+      if (std::abs(delta_f_pu * f0) > band_hz)
+        stats.seconds_outside_band += dt;
+    }
+    const double deviation_hz = delta_f_pu * f0;
+    stats.max_deviation_hz =
+        std::max(stats.max_deviation_hz, std::abs(deviation_hz));
+    stats.frequency_hz[i] = f0 + deviation_hz;
+  }
+  return stats;
+}
+
+}  // namespace smoother::sim

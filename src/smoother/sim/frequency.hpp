@@ -1,0 +1,66 @@
+// Grid-frequency response simulation (swing equation).
+//
+// The paper motivates smoothing with grid stability: fluctuating renewable
+// injection "can generally degrade system frequency stabilization,
+// resulting in higher maximum rate-of-change-of-frequency (ROCOF)". This
+// module quantifies that claim for an islanded microgrid: the classic
+// single-machine swing equation with load damping,
+//
+//   d(Δf)/dt = f0 / (2 H S_base) * ΔP(t)  -  (D / (2 H)) * Δf
+//
+// where ΔP = supply − demand (kW, converted to per-unit on S_base), H is
+// the aggregate inertia constant (seconds), and D the load-damping factor.
+// The primary-control reserve is modelled as a proportional droop that
+// saturates — what a governor or grid-forming inverter would contribute.
+#pragma once
+
+#include <cstddef>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::sim {
+
+/// Microgrid dynamic parameters. Defaults describe a small islanded system
+/// dominated by inverter-based resources (low inertia).
+struct GridModelParams {
+  double nominal_frequency_hz = 50.0;
+  double base_power_kw = 2000.0;   ///< S_base
+  double inertia_seconds = 4.0;    ///< H
+  double load_damping = 1.0;       ///< D (pu power per pu frequency)
+  double droop_gain_pu = 20.0;     ///< primary reserve: pu power per pu freq
+  double droop_limit_pu = 0.10;    ///< reserve saturation (fraction of base)
+  double integration_step_s = 1.0; ///< inner Euler step
+
+  void validate() const;
+};
+
+/// Frequency-excursion statistics of one run.
+struct FrequencyStats {
+  double max_deviation_hz = 0.0;      ///< max |f - f0|
+  double max_rocof_hz_per_s = 0.0;    ///< max |df/dt|
+  double seconds_outside_band = 0.0;  ///< time with |Δf| > band
+  double band_hz = 0.2;               ///< the band used
+  util::TimeSeries frequency_hz;      ///< sampled at the input step
+};
+
+/// Simulates the frequency response to a supply/demand imbalance series.
+class GridFrequencyModel {
+ public:
+  explicit GridFrequencyModel(GridModelParams params = {});
+
+  [[nodiscard]] const GridModelParams& params() const { return params_; }
+
+  /// Runs the swing equation over the horizon. `supply` and `demand` must
+  /// share a shape; each sample's imbalance is held for its whole window
+  /// (zero-order hold) while the ODE integrates at integration_step_s.
+  /// `band_hz` sets the out-of-band accounting threshold.
+  [[nodiscard]] FrequencyStats simulate(const util::TimeSeries& supply,
+                                        const util::TimeSeries& demand,
+                                        double band_hz = 0.2) const;
+
+ private:
+  GridModelParams params_;
+};
+
+}  // namespace smoother::sim

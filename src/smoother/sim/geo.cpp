@@ -1,0 +1,140 @@
+#include "smoother/sim/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::sim {
+
+std::string to_string(GeoPolicy policy) {
+  switch (policy) {
+    case GeoPolicy::kSingleSite:
+      return "single-site";
+    case GeoPolicy::kRenewableHeadroom:
+      return "renewable-headroom";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Remaining renewable energy (kWh) at a site inside the job's feasible
+/// execution window [arrival, deadline], given what has been committed.
+double window_headroom_kwh(const util::TimeSeries& supply,
+                           const std::vector<double>& committed_kw,
+                           const sched::Job& job) {
+  const double step = supply.step().value();
+  const auto first = static_cast<std::size_t>(
+      std::max(job.arrival.value(), 0.0) / step);
+  const auto last = std::min<std::size_t>(
+      supply.size(),
+      static_cast<std::size_t>(std::max(job.deadline.value(), 0.0) / step) +
+          1);
+  double headroom = 0.0;
+  for (std::size_t t = first; t < last; ++t)
+    headroom += std::max(supply[t] - committed_kw[t], 0.0);
+  return headroom * step / 60.0;
+}
+
+}  // namespace
+
+GeoResult geo_schedule(const std::vector<sched::Job>& jobs,
+                       const std::vector<GeoSite>& sites, GeoPolicy policy,
+                       const core::ActiveDelayConfig& ad_config) {
+  if (sites.empty())
+    throw std::invalid_argument("geo_schedule: need at least one site");
+  for (const auto& site : sites) {
+    if (site.supply.step() != sites.front().supply.step() ||
+        site.supply.size() != sites.front().supply.size())
+      throw std::invalid_argument("geo_schedule: sites on different grids");
+    if (site.servers == 0)
+      throw std::invalid_argument("geo_schedule: empty site cluster");
+  }
+
+  // --- assignment ----------------------------------------------------------
+  std::vector<std::vector<sched::Job>> assigned(sites.size());
+  if (policy == GeoPolicy::kSingleSite) {
+    assigned[0] = jobs;
+  } else {
+    // Greedy headroom matching, most-constrained (least slack) jobs first.
+    std::vector<sched::Job> order = jobs;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const sched::Job& a, const sched::Job& b) {
+                       return a.slack_at(a.arrival) < b.slack_at(b.arrival);
+                     });
+    // Coarse per-site commitment ledger: the job's power spread over its
+    // runtime starting at arrival (the scheduler will refine the timing,
+    // but the ledger keeps the greedy pass from piling everything onto
+    // one windy site).
+    std::vector<std::vector<double>> committed(
+        sites.size(),
+        std::vector<double>(sites.front().supply.size(), 0.0));
+    for (const auto& job : order) {
+      std::size_t best_site = 0;
+      double best_headroom = -1.0;
+      for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (job.servers > sites[s].servers) continue;
+        const double headroom =
+            window_headroom_kwh(sites[s].supply, committed[s], job);
+        if (headroom > best_headroom) {
+          best_headroom = headroom;
+          best_site = s;
+        }
+      }
+      assigned[best_site].push_back(job);
+      // Commit the job's footprint where Active Delay will actually put
+      // it: the windiest still-free slots of its feasible window (a greedy
+      // approximation of the per-site schedule that follows).
+      const auto& supply = sites[best_site].supply;
+      auto& ledger = committed[best_site];
+      const double step = supply.step().value();
+      const auto first = static_cast<std::size_t>(
+          std::max(job.arrival.value(), 0.0) / step);
+      const auto last = std::min<std::size_t>(
+          supply.size(),
+          static_cast<std::size_t>(std::max(job.deadline.value(), 0.0) /
+                                   step) +
+              1);
+      auto span = static_cast<std::size_t>(
+          std::ceil(job.runtime.value() / step - 1e-9));
+      std::vector<std::size_t> slots;
+      slots.reserve(last - first);
+      for (std::size_t t = first; t < last; ++t) slots.push_back(t);
+      std::stable_sort(slots.begin(), slots.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return supply[a] - ledger[a] >
+                                supply[b] - ledger[b];
+                       });
+      for (std::size_t t : slots) {
+        if (span == 0) break;
+        ledger[t] += job.power.value();
+        --span;
+      }
+    }
+  }
+
+  // --- per-site Active Delay -------------------------------------------------
+  GeoResult result;
+  result.site_results.reserve(sites.size());
+  const core::ActiveDelayScheduler scheduler(ad_config);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    sched::ScheduleRequest request;
+    request.jobs = assigned[s];
+    request.renewable = sites[s].supply;
+    request.total_servers = sites[s].servers;
+    auto site_result = scheduler.schedule(request);
+    result.jobs_per_site.push_back(assigned[s].size());
+    result.total_renewable_used +=
+        site_result.outcome.renewable_energy_used;
+    result.total_generated += sites[s].supply.total_energy();
+    result.total_deadline_misses += site_result.outcome.deadline_misses;
+    result.site_results.push_back(std::move(site_result));
+  }
+  result.total_renewable_utilization =
+      result.total_generated > util::KilowattHours{0.0}
+          ? result.total_renewable_used / result.total_generated
+          : 0.0;
+  return result;
+}
+
+}  // namespace smoother::sim

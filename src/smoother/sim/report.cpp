@@ -1,0 +1,109 @@
+#include "smoother/sim/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::sim {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty())
+    throw std::invalid_argument("TablePrinter: no columns");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("TablePrinter: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(util::strfmt("%.6g", v));
+  add_row(std::move(formatted));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "  " << cells[c]
+         << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << columns_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  }
+}
+
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& description) {
+  os << "==========================================================\n"
+     << id << " - " << description << '\n'
+     << "==========================================================\n";
+}
+
+void print_series_csv(std::ostream& os, const std::string& name,
+                      const util::TimeSeries& series, std::size_t max_points) {
+  os << "minute," << name << '\n';
+  const std::size_t n = series.size();
+  const std::size_t stride =
+      (max_points == 0 || n <= max_points) ? 1 : (n + max_points - 1) / max_points;
+  for (std::size_t i = 0; i < n; i += stride)
+    os << series.time_at(i).value() << ',' << series[i] << '\n';
+}
+
+std::string sparkline(const util::TimeSeries& series, std::size_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (series.empty() || width == 0) return "";
+  const double lo = series.min();
+  const double hi = series.max();
+  const double span = hi - lo;
+  std::string out;
+  const std::size_t n = series.size();
+  for (std::size_t col = 0; col < width; ++col) {
+    // Average the samples mapping to this column.
+    const std::size_t begin = col * n / width;
+    const std::size_t end = std::max((col + 1) * n / width, begin + 1);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += series[i];
+    const double value = acc / static_cast<double>(end - begin);
+    const std::size_t level =
+        span <= 0.0 ? 0
+                    : std::min<std::size_t>(
+                          static_cast<std::size_t>((value - lo) / span * 7.999),
+                          7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace smoother::sim

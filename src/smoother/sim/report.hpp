@@ -1,0 +1,53 @@
+// Plain-text reporting helpers for the bench harness and examples.
+//
+// Every figure/table binary prints (a) a short header naming the paper
+// experiment and (b) machine-readable CSV-style rows, so the output can be
+// both eyeballed and re-plotted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+
+namespace smoother::sim {
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds a row of preformatted cells; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.6g.
+  void add_row(const std::vector<double>& cells);
+
+  /// Writes an aligned table with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a banner naming the experiment being reproduced.
+void print_experiment_header(std::ostream& os, const std::string& id,
+                             const std::string& description);
+
+/// Prints a series as CSV rows "minute,<name>", downsampled to at most
+/// `max_points` evenly spaced samples (0 = all).
+void print_series_csv(std::ostream& os, const std::string& name,
+                      const util::TimeSeries& series,
+                      std::size_t max_points = 0);
+
+/// Renders a coarse ASCII sparkline of a series (for quick visual checks).
+[[nodiscard]] std::string sparkline(const util::TimeSeries& series,
+                                    std::size_t width = 72);
+
+}  // namespace smoother::sim

@@ -1,0 +1,87 @@
+#include "smoother/solver/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::solver {
+
+std::optional<Cholesky> Cholesky::factorize(const Matrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
+  // Forward solve L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  // Backward solve Lᵀ x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Ldlt> Ldlt::factorize(const Matrix& a, double pivot_floor) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("Ldlt: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix l = Matrix::identity(n);
+  Vector d(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l(j, k) * l(j, k) * d[k];
+    if (std::abs(dj) < pivot_floor || !std::isfinite(dj)) return std::nullopt;
+    d[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k) * d[k];
+      l(i, j) = acc / dj;
+    }
+  }
+  return Ldlt(std::move(l), std::move(d));
+}
+
+Vector Ldlt::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Ldlt::solve: size");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc;  // L is unit lower triangular
+  }
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc;
+  }
+  return x;
+}
+
+}  // namespace smoother::solver

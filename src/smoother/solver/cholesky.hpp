@@ -1,0 +1,54 @@
+// Cholesky (LLᵀ) and LDLᵀ factorizations with triangular solves.
+//
+// The ADMM QP solver factorizes (P + sigma*I + rho*AᵀA) once per problem
+// and back-substitutes every iteration; LDLᵀ is also used by the
+// Levenberg-Marquardt normal equations.
+#pragma once
+
+#include <optional>
+
+#include "smoother/solver/matrix.hpp"
+
+namespace smoother::solver {
+
+/// LLᵀ factorization of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes `a`; returns std::nullopt when `a` is not (numerically)
+  /// positive definite. Only the lower triangle of `a` is read.
+  static std::optional<Cholesky> factorize(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
+
+  /// The lower-triangular factor.
+  [[nodiscard]] const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// LDLᵀ factorization (no square roots; tolerates semidefinite D entries
+/// down to a pivot floor).
+class Ldlt {
+ public:
+  /// Factorizes `a`; returns std::nullopt when a pivot falls below
+  /// `pivot_floor` in magnitude (singular or indefinite beyond tolerance).
+  static std::optional<Ldlt> factorize(const Matrix& a,
+                                       double pivot_floor = 1e-12);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
+
+ private:
+  Ldlt(Matrix l, Vector d) : l_(std::move(l)), d_(std::move(d)) {}
+  Matrix l_;  // unit lower triangular
+  Vector d_;  // diagonal
+};
+
+}  // namespace smoother::solver

@@ -1,0 +1,118 @@
+#include "smoother/solver/least_squares.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/solver/cholesky.hpp"
+
+namespace smoother::solver {
+
+std::string to_string(LeastSquaresStatus status) {
+  switch (status) {
+    case LeastSquaresStatus::kConverged:
+      return "converged";
+    case LeastSquaresStatus::kMaxIterations:
+      return "max-iterations";
+    case LeastSquaresStatus::kStalled:
+      return "stalled";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Central-difference Jacobian of the residual at theta.
+Matrix jacobian(const ResidualFn& residual, const Vector& theta,
+                std::size_t residual_size, double fd_step) {
+  const std::size_t p = theta.size();
+  Matrix jac(residual_size, p);
+  Vector probe = theta;
+  for (std::size_t j = 0; j < p; ++j) {
+    const double h = fd_step * std::max(std::abs(theta[j]), 1.0);
+    probe[j] = theta[j] + h;
+    const Vector r_plus = residual(probe);
+    probe[j] = theta[j] - h;
+    const Vector r_minus = residual(probe);
+    probe[j] = theta[j];
+    if (r_plus.size() != residual_size || r_minus.size() != residual_size)
+      throw std::logic_error("levenberg_marquardt: residual size changed");
+    for (std::size_t i = 0; i < residual_size; ++i)
+      jac(i, j) = (r_plus[i] - r_minus[i]) / (2.0 * h);
+  }
+  return jac;
+}
+
+double half_squared_norm(const Vector& r) {
+  double acc = 0.0;
+  for (double v : r) acc += v * v;
+  return 0.5 * acc;
+}
+
+}  // namespace
+
+LeastSquaresResult levenberg_marquardt(const ResidualFn& residual,
+                                       Vector initial,
+                                       const LeastSquaresSettings& settings) {
+  LeastSquaresResult result;
+  Vector theta = std::move(initial);
+  Vector r = residual(theta);
+  if (r.empty()) throw std::invalid_argument("levenberg_marquardt: empty residual");
+  const std::size_t m = r.size();
+  double cost = half_squared_norm(r);
+  double lambda = settings.initial_lambda;
+
+  std::size_t iter = 0;
+  for (; iter < settings.max_iterations; ++iter) {
+    const Matrix jac = jacobian(residual, theta, m, settings.fd_step);
+    const Vector grad = jac.transpose_times(r);  // Jᵀ r
+    if (norm_inf(grad) < settings.gradient_tolerance) {
+      result.status = LeastSquaresStatus::kConverged;
+      break;
+    }
+
+    const Matrix jtj = jac.transpose() * jac;
+    bool stepped = false;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      Matrix damped = jtj;
+      // Marquardt scaling: damp proportionally to the diagonal.
+      for (std::size_t i = 0; i < damped.rows(); ++i)
+        damped(i, i) += lambda * std::max(jtj(i, i), 1e-12);
+      const auto factor = Ldlt::factorize(damped);
+      if (factor) {
+        Vector neg_grad = grad;
+        for (double& g : neg_grad) g = -g;
+        const Vector step = factor->solve(neg_grad);
+        Vector candidate = theta;
+        for (std::size_t i = 0; i < candidate.size(); ++i)
+          candidate[i] += step[i];
+        const Vector r_new = residual(candidate);
+        const double cost_new = half_squared_norm(r_new);
+        if (std::isfinite(cost_new) && cost_new < cost) {
+          const double step_norm = norm2(step);
+          theta = std::move(candidate);
+          r = r_new;
+          cost = cost_new;
+          lambda = std::max(lambda * settings.lambda_down, 1e-12);
+          stepped = true;
+          if (step_norm < settings.step_tolerance)
+            result.status = LeastSquaresStatus::kConverged;
+          break;
+        }
+      }
+      lambda *= settings.lambda_up;
+    }
+    if (!stepped) {
+      result.status = LeastSquaresStatus::kStalled;
+      break;
+    }
+    if (result.status == LeastSquaresStatus::kConverged) break;
+  }
+
+  result.parameters = std::move(theta);
+  result.cost = cost;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace smoother::solver

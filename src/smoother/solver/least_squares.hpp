@@ -1,0 +1,56 @@
+// Nonlinear least squares via Levenberg-Marquardt.
+//
+// Used to fit the Gaussian-sum wind power curve G(v) of paper Eq. 2 to
+// sampled (wind speed, power) pairs, replacing MATLAB's `fit(..., 'gaussN')`.
+// The Jacobian is computed by central finite differences, which is accurate
+// enough for the smooth exponential models fitted here.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "smoother/solver/matrix.hpp"
+
+namespace smoother::solver {
+
+/// Residual function: given parameters, returns the residual vector
+/// r(theta) with r_i = model(x_i; theta) - y_i. The solver minimizes
+/// (1/2)||r||^2.
+using ResidualFn = std::function<Vector(std::span<const double>)>;
+
+struct LeastSquaresSettings {
+  std::size_t max_iterations = 200;
+  double gradient_tolerance = 1e-10;  ///< stop when ||Jᵀr||_inf below this
+  double step_tolerance = 1e-12;      ///< stop when the step is this small
+  double initial_lambda = 1e-3;       ///< LM damping
+  double lambda_up = 10.0;
+  double lambda_down = 0.5;
+  double fd_step = 1e-6;  ///< relative finite-difference step
+};
+
+enum class LeastSquaresStatus {
+  kConverged,
+  kMaxIterations,
+  kStalled,  ///< damping grew without any acceptable step
+};
+
+[[nodiscard]] std::string to_string(LeastSquaresStatus status);
+
+struct LeastSquaresResult {
+  LeastSquaresStatus status = LeastSquaresStatus::kMaxIterations;
+  Vector parameters;
+  double cost = 0.0;  ///< (1/2)||r||^2 at the returned parameters
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool ok() const {
+    return status == LeastSquaresStatus::kConverged;
+  }
+};
+
+/// Minimizes (1/2)||r(theta)||^2 starting from `initial`.
+[[nodiscard]] LeastSquaresResult levenberg_marquardt(
+    const ResidualFn& residual, Vector initial,
+    const LeastSquaresSettings& settings = {});
+
+}  // namespace smoother::solver

@@ -1,0 +1,105 @@
+// Dense linear algebra: the minimum needed by the QP and least-squares
+// solvers. Matrices are row-major; vectors are std::vector<double>.
+//
+// Problem sizes in Smoother are tiny (the per-hour Flexible Smoothing QP has
+// 12 variables), so the implementation favours clarity and exact shape
+// checking over blocking/vectorization.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smoother::solver {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Matrix from nested initializer lists; all rows must be equally long.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n-by-n identity.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(std::span<const double> d);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  [[nodiscard]] Matrix transpose() const;
+
+  [[nodiscard]] Matrix operator+(const Matrix& other) const;
+  [[nodiscard]] Matrix operator-(const Matrix& other) const;
+  [[nodiscard]] Matrix operator*(const Matrix& other) const;
+  [[nodiscard]] Matrix operator*(double s) const;
+
+  /// Matrix-vector product (x.size() must equal cols()).
+  [[nodiscard]] Vector operator*(std::span<const double> x) const;
+
+  /// yᵀ = xᵀ * this, i.e. transpose-product without materializing Aᵀ.
+  [[nodiscard]] Vector transpose_times(std::span<const double> x) const;
+
+  /// Adds s to every diagonal entry (square matrices only).
+  void add_diagonal(double s);
+
+  /// Max-abs entry difference; matrices must share a shape.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+  /// Human-readable rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  void require_same_shape(const Matrix& other) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> a);
+
+/// Infinity norm (max |a_i|); 0 for empty input.
+[[nodiscard]] double norm_inf(std::span<const double> a);
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Elementwise a - b.
+[[nodiscard]] Vector subtract(std::span<const double> a,
+                              std::span<const double> b);
+
+/// Elementwise a + b.
+[[nodiscard]] Vector add(std::span<const double> a, std::span<const double> b);
+
+/// alpha * a.
+[[nodiscard]] Vector scale(double alpha, std::span<const double> a);
+
+}  // namespace smoother::solver

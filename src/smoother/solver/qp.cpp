@@ -1,0 +1,192 @@
+#include "smoother/solver/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::solver {
+
+void QpProblem::validate() const {
+  const std::size_t n = q.size();
+  const std::size_t m = lower.size();
+  if (p.rows() != n || p.cols() != n)
+    throw std::invalid_argument("QpProblem: P must be n-by-n");
+  if (a.rows() != m || a.cols() != n)
+    throw std::invalid_argument("QpProblem: A must be m-by-n");
+  if (upper.size() != m)
+    throw std::invalid_argument("QpProblem: bound size mismatch");
+}
+
+double QpProblem::objective(std::span<const double> x) const {
+  const Vector px = p * x;
+  return 0.5 * dot(x, px) + dot(q, x);
+}
+
+double QpProblem::constraint_violation(std::span<const double> x) const {
+  const Vector ax = a * x;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::max(worst, lower[i] - ax[i]);
+    worst = std::max(worst, ax[i] - upper[i]);
+  }
+  return std::max(worst, 0.0);
+}
+
+std::string to_string(QpStatus status) {
+  switch (status) {
+    case QpStatus::kSolved:
+      return "solved";
+    case QpStatus::kMaxIterations:
+      return "max-iterations";
+    case QpStatus::kInfeasible:
+      return "infeasible";
+    case QpStatus::kNumericalError:
+      return "numerical-error";
+  }
+  return "?";
+}
+
+Matrix variance_quadratic_form(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("variance_quadratic_form: n == 0");
+  const double nn = static_cast<double>(n);
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      p(i, j) = (i == j ? 2.0 / nn : 0.0) - 2.0 / (nn * nn);
+  return p;
+}
+
+Matrix detrended_variance_quadratic_form(std::size_t n) {
+  if (n < 3)
+    throw std::invalid_argument(
+        "detrended_variance_quadratic_form: need n >= 3");
+  const double nn = static_cast<double>(n);
+  // Orthonormal basis of span{1, t}: e1 = 1/sqrt(n), e2 = centered time
+  // index normalized. M = I - e1 e1ᵀ - e2 e2ᵀ.
+  Vector e2(n);
+  const double mean_t = (nn - 1.0) / 2.0;
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    e2[i] = static_cast<double>(i) - mean_t;
+    norm_sq += e2[i] * e2[i];
+  }
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+  for (double& v : e2) v *= inv_norm;
+
+  Matrix p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double m_ij =
+          (i == j ? 1.0 : 0.0) - 1.0 / nn - e2[i] * e2[j];
+      p(i, j) = 2.0 / nn * m_ij;
+    }
+  }
+  return p;
+}
+
+QpResult solve_qp(const QpProblem& problem, const QpSettings& settings) {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.num_constraints();
+
+  QpResult result;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (problem.lower[i] > problem.upper[i]) {
+      result.status = QpStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  // KKT matrix K = P + sigma I + rho AᵀA, factorized once.
+  Matrix kkt = problem.p;
+  kkt.add_diagonal(settings.sigma);
+  const Matrix at = problem.a.transpose();
+  const Matrix ata = at * problem.a;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      kkt(r, c) += settings.rho * ata(r, c);
+  const auto factor = Cholesky::factorize(kkt);
+  if (!factor) {
+    result.status = QpStatus::kNumericalError;
+    return result;
+  }
+
+  Vector x(n, 0.0);
+  Vector z(m, 0.0);
+  Vector y(m, 0.0);
+  // Start z inside the bounds so the first iterations are sensible.
+  for (std::size_t i = 0; i < m; ++i)
+    z[i] = std::clamp(0.0, problem.lower[i], problem.upper[i]);
+
+  const double alpha = settings.alpha;
+  const double rho = settings.rho;
+
+  auto clamp_bounds = [&](Vector& v) {
+    for (std::size_t i = 0; i < m; ++i)
+      v[i] = std::clamp(v[i], problem.lower[i], problem.upper[i]);
+  };
+
+  std::size_t iter = 0;
+  for (; iter < settings.max_iterations; ++iter) {
+    // rhs = sigma x - q + Aᵀ (rho z - y)
+    Vector rz(m);
+    for (std::size_t i = 0; i < m; ++i) rz[i] = rho * z[i] - y[i];
+    Vector rhs = problem.a.transpose_times(rz);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] += settings.sigma * x[i] - problem.q[i];
+
+    const Vector x_tilde = factor->solve(rhs);
+    const Vector ax_tilde = problem.a * x_tilde;
+
+    // Over-relaxed updates.
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
+
+    Vector z_next(m);
+    for (std::size_t i = 0; i < m; ++i)
+      z_next[i] = alpha * ax_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho;
+    clamp_bounds(z_next);
+
+    for (std::size_t i = 0; i < m; ++i)
+      y[i] += rho * (alpha * ax_tilde[i] + (1.0 - alpha) * z[i] - z_next[i]);
+    z = std::move(z_next);
+
+    if ((iter + 1) % settings.check_interval != 0) continue;
+
+    // Residuals (OSQP eq. 24-25).
+    const Vector ax = problem.a * x;
+    const Vector px = problem.p * x;
+    const Vector aty = problem.a.transpose_times(y);
+    double prim = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      prim = std::max(prim, std::abs(ax[i] - z[i]));
+    double dual = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dual = std::max(dual, std::abs(px[i] + problem.q[i] + aty[i]));
+
+    const double eps_prim =
+        settings.eps_abs +
+        settings.eps_rel * std::max(norm_inf(ax), norm_inf(z));
+    const double eps_dual =
+        settings.eps_abs +
+        settings.eps_rel * std::max({norm_inf(px), norm_inf(problem.q),
+                                     norm_inf(aty)});
+    result.primal_residual = prim;
+    result.dual_residual = dual;
+    if (prim <= eps_prim && dual <= eps_dual) {
+      ++iter;
+      result.status = QpStatus::kSolved;
+      break;
+    }
+  }
+
+  if (result.status != QpStatus::kSolved)
+    result.status = QpStatus::kMaxIterations;
+  result.iterations = iter;
+  result.x = std::move(x);
+  result.z = std::move(z);
+  if (settings.polish) clamp_bounds(result.z);
+  result.objective = problem.objective(result.x);
+  return result;
+}
+
+}  // namespace smoother::solver

@@ -1,0 +1,106 @@
+// Convex quadratic programming via ADMM (operator splitting, OSQP-style).
+//
+//   minimize    (1/2) xᵀ P x + qᵀ x
+//   subject to  l <= A x <= u           (elementwise)
+//
+// with P symmetric positive semidefinite. The Flexible Smoothing problem
+// (paper Eq. 9-11) is exactly this shape after rewriting the variance
+// objective as a quadratic form and the battery state-of-charge corridor as
+// bounds on cumulative sums (rows of A form a lower-triangular all-ones
+// block).
+//
+// Algorithm (Stellato et al., "OSQP: an operator splitting solver for
+// quadratic programs"):
+//   x~      <- solve (P + sigma I + rho AᵀA) x~ = sigma x - q + Aᵀ(rho z - y)
+//   x+      <- alpha x~ + (1-alpha) x
+//   z+      <- clamp(A x~ * alpha + (1-alpha) z + y/rho, l, u)
+//   y+      <- y + rho (A x~ alpha + (1-alpha) z - z+)
+// The KKT matrix is factorized once (Cholesky) and reused every iteration.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "smoother/solver/cholesky.hpp"
+#include "smoother/solver/matrix.hpp"
+
+namespace smoother::solver {
+
+/// Problem data for the QP. Shapes: P is n-by-n, q has n entries, A is
+/// m-by-n, l and u have m entries with l <= u elementwise.
+struct QpProblem {
+  Matrix p;
+  Vector q;
+  Matrix a;
+  Vector lower;
+  Vector upper;
+
+  [[nodiscard]] std::size_t num_variables() const { return q.size(); }
+  [[nodiscard]] std::size_t num_constraints() const { return lower.size(); }
+
+  /// Validates shapes and bound ordering; throws std::invalid_argument.
+  void validate() const;
+
+  /// Objective value (1/2)xᵀPx + qᵀx.
+  [[nodiscard]] double objective(std::span<const double> x) const;
+
+  /// Worst elementwise constraint violation of x (0 when feasible).
+  [[nodiscard]] double constraint_violation(std::span<const double> x) const;
+};
+
+/// Solver tuning knobs; the defaults solve the FS problems to well below
+/// the accuracy that matters for battery scheduling.
+struct QpSettings {
+  double rho = 0.1;          ///< ADMM penalty
+  double sigma = 1e-6;       ///< regularization making the KKT system PD
+  double alpha = 1.6;        ///< over-relaxation in (0, 2)
+  double eps_abs = 1e-6;     ///< absolute convergence tolerance
+  double eps_rel = 1e-6;     ///< relative convergence tolerance
+  std::size_t max_iterations = 20000;
+  std::size_t check_interval = 10;  ///< residual check cadence
+  bool polish = true;  ///< clamp z to bounds and re-derive x report from x~
+};
+
+enum class QpStatus {
+  kSolved,          ///< converged within tolerances
+  kMaxIterations,   ///< best iterate returned, not converged
+  kInfeasible,      ///< problem bounds are inconsistent (l > u)
+  kNumericalError,  ///< KKT factorization failed
+};
+
+[[nodiscard]] std::string to_string(QpStatus status);
+
+/// Result of a QP solve. `x` is always populated for kSolved and
+/// kMaxIterations (best iterate so far).
+struct QpResult {
+  QpStatus status = QpStatus::kNumericalError;
+  Vector x;
+  Vector z;                ///< constraint-space iterate (A x projected)
+  double objective = 0.0;  ///< objective at x
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] bool ok() const { return status == QpStatus::kSolved; }
+};
+
+/// Solves the QP with ADMM. The problem is validated first
+/// (std::invalid_argument on shape errors).
+[[nodiscard]] QpResult solve_qp(const QpProblem& problem,
+                                const QpSettings& settings = {});
+
+/// Builds the quadratic form of the population-variance objective
+///   (1/2) xᵀ P x with P = (2/n) (I - (1/n) 1 1ᵀ),
+/// so that (1/2)xᵀPx equals Var(x). Minimizing Var(u + s) over s maps to
+/// P_s = P and q = P u (constant terms dropped).
+[[nodiscard]] Matrix variance_quadratic_form(std::size_t n);
+
+/// Detrended variant: (1/2)xᵀPx equals the mean squared residual of x
+/// around its own least-squares line, P = (2/n) M with M the projector
+/// onto the orthogonal complement of span{1, t}. Minimizing this flattens
+/// *noise* while letting a deterministic ramp (e.g. the clear-sky solar
+/// envelope) pass through. Requires n >= 3.
+[[nodiscard]] Matrix detrended_variance_quadratic_form(std::size_t n);
+
+}  // namespace smoother::solver

@@ -1,0 +1,48 @@
+#include "smoother/stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalCdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::probability_at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::value_at(double p) const {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("EmpiricalCdf::value_at: p not in [0,1]");
+  if (p == 0.0) return sorted_.front();
+  const double rank = p * static_cast<double>(sorted_.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;  // 1-based rank -> 0-based
+  index = std::min(index, sorted_.size() - 1);
+  return sorted_[index];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("EmpiricalCdf::curve: points < 2");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, probability_at(x));
+  }
+  return out;
+}
+
+}  // namespace smoother::stats

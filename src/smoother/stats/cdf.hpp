@@ -1,0 +1,45 @@
+// Empirical cumulative distribution function.
+//
+// The paper classifies wind-power intervals into fluctuation regions by
+// thresholding the CDF of the per-interval capacity-factor variance
+// (Fig. 3 / Fig. 6): "CDF value 0.95" means the variance below which 95 % of
+// intervals fall. EmpiricalCdf provides exactly that quantile lookup.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smoother::stats {
+
+/// Empirical CDF of a scalar sample.
+class EmpiricalCdf {
+ public:
+  /// Builds from a (not necessarily sorted) sample; throws
+  /// std::invalid_argument when the sample is empty.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double probability_at(double x) const;
+
+  /// Smallest sample value v with F(v) >= p (the p-quantile, p in [0,1]).
+  [[nodiscard]] double value_at(double p) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+
+  /// The sorted sample (support of the CDF).
+  [[nodiscard]] std::span<const double> sorted_sample() const {
+    return sorted_;
+  }
+
+  /// Evenly spaced (x, F(x)) points for plotting; `points` >= 2.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace smoother::stats

@@ -1,0 +1,142 @@
+#include "smoother/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::stats {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  if (count_ == 0) throw std::logic_error("Accumulator::min: no samples");
+  return min_;
+}
+
+double Accumulator::max() const {
+  if (count_ == 0) throw std::logic_error("Accumulator::max: no samples");
+  return max_;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance = acc.variance();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+double variance(std::span<const double> xs) { return summarize(xs).variance; }
+
+double mean(std::span<const double> xs) { return summarize(xs).mean; }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("correlation: size mismatch");
+  if (xs.empty()) throw std::invalid_argument("correlation: empty sample");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double detrended_variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 3) return 0.0;
+  // Least-squares line y = a + b*i over i = 0..n-1.
+  const double nn = static_cast<double>(n);
+  const double mean_i = (nn - 1.0) / 2.0;
+  const double mean_y = mean(xs);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i) - mean_i;
+    sxy += di * (xs[i] - mean_y);
+    sxx += di * di;
+  }
+  const double slope = sxx > 0.0 ? sxy / sxx : 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fitted =
+        mean_y + slope * (static_cast<double>(i) - mean_i);
+    acc += (xs[i] - fitted) * (xs[i] - fitted);
+  }
+  return acc / nn;
+}
+
+double rms_successive_diff(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double d = xs[i] - xs[i - 1];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace smoother::stats

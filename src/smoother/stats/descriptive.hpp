@@ -1,0 +1,78 @@
+// Descriptive statistics: streaming accumulator and one-shot summaries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smoother::stats {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (Chan et al. parallel combination).
+  void merge(const Accumulator& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Population variance (divide by n); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+
+  /// Sample variance (divide by n-1); 0 when fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const;
+
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary of `xs` (all-zero summary for empty input).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Population variance of `xs`.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Mean of `xs`; 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Linear-interpolated quantile (q in [0,1]) of a sample; the input need not
+/// be sorted. Throws std::invalid_argument for empty input or q outside
+/// [0,1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation of two equally sized samples; 0 when either side is
+/// constant. Throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] double correlation(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Root-mean-square of successive differences: a simple fluctuation
+/// (roughness) measure used to compare raw vs smoothed supply.
+[[nodiscard]] double rms_successive_diff(std::span<const double> xs);
+
+/// Population variance of the residuals around the sample's least-squares
+/// line over the index axis: "noise" variance with any linear trend (e.g.
+/// a sunrise ramp) removed. 0 for fewer than 3 samples.
+[[nodiscard]] double detrended_variance(std::span<const double> xs);
+
+}  // namespace smoother::stats

@@ -1,0 +1,63 @@
+#include "smoother/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins == 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_of(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bin];
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const auto bin = static_cast<std::size_t>((x - lo_) / width);
+  return std::min(bin, counts_.size() - 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar_len =
+        peak == 0 ? 0
+                  : (counts_[b] * width + peak / 2) / peak;
+    out += util::strfmt("%12.4g | %s (%zu)\n", bin_center(b),
+                        std::string(bar_len, '#').c_str(), counts_[b]);
+  }
+  return out;
+}
+
+}  // namespace smoother::stats

@@ -1,0 +1,44 @@
+// Fixed-bin histogram, used by the bench harness to summarize trace shapes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smoother::stats {
+
+/// Equal-width histogram over [lo, hi] with saturating edge bins: samples
+/// below lo land in the first bin, above hi in the last.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument when bins == 0 or lo >= hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+
+  /// Fraction of samples in `bin` (0 when the histogram is empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Center value of `bin`.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Index of the bin that would receive x.
+  [[nodiscard]] std::size_t bin_of(double x) const;
+
+  /// Multi-line ASCII rendering (one row per bin) for bench output.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace smoother::stats

@@ -1,0 +1,82 @@
+#include "smoother/stats/rolling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::stats {
+
+RollingVariance::RollingVariance(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("RollingVariance: capacity must be >= 1");
+}
+
+void RollingVariance::add(double x) {
+  window_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  if (window_.size() > capacity_) {
+    const double old = window_.front();
+    window_.pop_front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+  }
+}
+
+double RollingVariance::mean() const {
+  if (window_.empty()) return 0.0;
+  return sum_ / static_cast<double>(window_.size());
+}
+
+double RollingVariance::variance() const {
+  const std::size_t n = window_.size();
+  if (n < 2) return 0.0;
+  const double m = mean();
+  // Cancellation-prone for ill-scaled data, so recompute exactly when small.
+  // Window sizes here are tiny (12-60), so the exact pass is cheap and we
+  // prefer it outright.
+  double acc = 0.0;
+  for (double v : window_) acc += (v - m) * (v - m);
+  return std::max(acc / static_cast<double>(n), 0.0);
+}
+
+std::vector<double> windowed_variances(std::span<const double> xs,
+                                       std::size_t window) {
+  if (window == 0)
+    throw std::invalid_argument("windowed_variances: window must be >= 1");
+  std::vector<double> out;
+  out.reserve(xs.size() / window);
+  for (std::size_t start = 0; start + window <= xs.size(); start += window)
+    out.push_back(variance(xs.subspan(start, window)));
+  return out;
+}
+
+std::vector<double> windowed_means(std::span<const double> xs,
+                                   std::size_t window) {
+  if (window == 0)
+    throw std::invalid_argument("windowed_means: window must be >= 1");
+  std::vector<double> out;
+  out.reserve(xs.size() / window);
+  for (std::size_t start = 0; start + window <= xs.size(); start += window)
+    out.push_back(mean(xs.subspan(start, window)));
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  if (window == 0 || window % 2 == 0)
+    throw std::invalid_argument("moving_average: window must be odd and >= 1");
+  std::vector<double> out(xs.size());
+  const std::size_t half = window / 2;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, xs.size() - 1);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += xs[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+}  // namespace smoother::stats

@@ -1,0 +1,57 @@
+// Rolling (windowed) statistics over a series.
+//
+// The region classifier computes the capacity-factor variance over each
+// fixed-length interval (one hour of 5-minute points); RollingVariance and
+// `windowed_variances` provide that in O(n).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace smoother::stats {
+
+/// Fixed-capacity sliding-window mean/variance.
+///
+/// add() pushes a sample and evicts the oldest once the window is full.
+/// Variance is the population variance of the samples currently in the
+/// window, recomputed incrementally.
+class RollingVariance {
+ public:
+  /// Window of `capacity` samples; capacity must be >= 1.
+  explicit RollingVariance(std::size_t capacity);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return window_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return window_.size() == capacity_; }
+  [[nodiscard]] double mean() const;
+
+  /// Population variance of the current window; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Variance of each *disjoint* window of `window` consecutive samples.
+/// A final partial window (if any) is dropped, matching the paper's
+/// per-interval (hourly) variance computation.
+[[nodiscard]] std::vector<double> windowed_variances(
+    std::span<const double> xs, std::size_t window);
+
+/// Mean of each disjoint window of `window` consecutive samples.
+[[nodiscard]] std::vector<double> windowed_means(std::span<const double> xs,
+                                                 std::size_t window);
+
+/// Centered moving average with the given odd window; endpoints use the
+/// available shorter windows. Used for trend extraction in trace synthesis.
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> xs,
+                                                 std::size_t window);
+
+}  // namespace smoother::stats

@@ -1,0 +1,253 @@
+#include "smoother/trace/batch_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::trace {
+
+void BatchWorkloadParams::validate() const {
+  if (target_utilization <= 0.0 || target_utilization > 1.0)
+    throw std::invalid_argument("BatchWorkloadParams: target in (0,1]");
+  if (source_processors == 0)
+    throw std::invalid_argument("BatchWorkloadParams: source machine empty");
+  if (mean_runtime_minutes <= 0.0)
+    throw std::invalid_argument("BatchWorkloadParams: runtime > 0");
+  if (runtime_sigma <= 0.0)
+    throw std::invalid_argument("BatchWorkloadParams: sigma > 0");
+  if (mean_servers_per_job < 1.0)
+    throw std::invalid_argument("BatchWorkloadParams: servers >= 1");
+  if (max_servers_fraction <= 0.0 || max_servers_fraction > 1.0)
+    throw std::invalid_argument("BatchWorkloadParams: cap in (0,1]");
+  if (per_job_cpu_utilization <= 0.0 || per_job_cpu_utilization > 1.0)
+    throw std::invalid_argument("BatchWorkloadParams: cpu in (0,1]");
+  if (deadline_slack_min < 1.0 || deadline_slack_max < deadline_slack_min)
+    throw std::invalid_argument("BatchWorkloadParams: bad slack range");
+  if (arrival_diurnal_amplitude < 0.0 || arrival_diurnal_amplitude >= 1.0)
+    throw std::invalid_argument("BatchWorkloadParams: amplitude in [0,1)");
+}
+
+BatchWorkloadModel::BatchWorkloadModel(BatchWorkloadParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+namespace {
+
+struct DrawnJob {
+  double arrival_min;
+  double runtime_min;
+  std::size_t servers;
+  double cpu;
+  double slack_factor;
+};
+
+double job_work(const DrawnJob& j) {
+  return static_cast<double>(j.servers) * j.runtime_min * j.cpu;
+}
+
+}  // namespace
+
+std::vector<sched::Job> BatchWorkloadModel::generate(
+    util::Minutes horizon, std::size_t total_servers,
+    const power::DatacenterPowerModel& power_model,
+    std::uint64_t seed) const {
+  if (horizon <= util::Minutes{0.0})
+    throw std::invalid_argument("BatchWorkloadModel: horizon must be > 0");
+  if (total_servers == 0)
+    throw std::invalid_argument("BatchWorkloadModel: empty cluster");
+
+  util::Rng rng(seed);
+  // Load is defined against the source machine; sizes are additionally
+  // capped by the evaluation cluster.
+  const double n = static_cast<double>(params_.source_processors);
+  const double horizon_min = horizon.value();
+
+  // Log-normal runtime with the requested mean: mu = ln(mean) - sigma^2/2.
+  const double runtime_mu = std::log(params_.mean_runtime_minutes) -
+                            0.5 * params_.runtime_sigma * params_.runtime_sigma;
+  const std::size_t servers_cap = std::min(
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(params_.max_servers_fraction * n)),
+      total_servers);
+
+  auto draw_job = [&](double arrival) {
+    DrawnJob j;
+    j.arrival_min = arrival;
+    j.runtime_min =
+        std::max(rng.lognormal(runtime_mu, params_.runtime_sigma), 1.0);
+    const double raw_servers =
+        rng.exponential(1.0 / params_.mean_servers_per_job);
+    j.servers = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::ceil(raw_servers)), 1, servers_cap);
+    j.cpu = std::clamp(
+        params_.per_job_cpu_utilization * rng.uniform(0.85, 1.15), 0.05, 1.0);
+    j.slack_factor =
+        rng.uniform(params_.deadline_slack_min, params_.deadline_slack_max);
+    return j;
+  };
+
+  // Mean work per job approximates E[servers]*E[runtime]*cpu; the arrival
+  // rate offering `target` utilization follows from it. The exact level is
+  // then steered by trimming/extending below.
+  const double approx_mean_servers =
+      std::min(params_.mean_servers_per_job, 0.7 * static_cast<double>(servers_cap));
+  const double mean_work_per_job = approx_mean_servers *
+                                   params_.mean_runtime_minutes *
+                                   params_.per_job_cpu_utilization;
+  const double base_rate = params_.target_utilization * n / mean_work_per_job;
+
+  // Submission-rate day profile: production logs concentrate submissions in
+  // working hours. A Gaussian bump centred at 13:00 over a small night
+  // floor; `arrival_diurnal_amplitude` sets how deep the night trough is.
+  const double night_floor = 1.0 - params_.arrival_diurnal_amplitude;
+  auto rate_profile = [&](double minute) {
+    const double hour = std::fmod(minute / 60.0, 24.0);
+    const double z = (hour - 13.0) / 3.5;
+    return night_floor + (1.0 - night_floor) * 3.0 * std::exp(-z * z);
+  };
+
+  // Nonhomogeneous Poisson arrivals via thinning.
+  std::vector<DrawnJob> drawn;
+  const double rate_max = base_rate * (night_floor + (1.0 - night_floor) * 3.0);
+  double t = rate_max > 0.0 ? rng.exponential(rate_max) : horizon_min;
+  while (t < horizon_min) {
+    if (rng.uniform() < base_rate * rate_profile(t) / rate_max)
+      drawn.push_back(draw_job(t));
+    t += rng.exponential(rate_max);
+  }
+
+  // Steer the realized offered work to the target.
+  const double target_work = params_.target_utilization * n * horizon_min;
+  double work = 0.0;
+  for (const auto& j : drawn) work += job_work(j);
+  while (work > target_work && !drawn.empty()) {
+    const std::size_t victim = rng.uniform_index(drawn.size());
+    work -= job_work(drawn[victim]);
+    drawn.erase(drawn.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  const double profile_max = night_floor + (1.0 - night_floor) * 3.0;
+  while (work < target_work - 0.5 * mean_work_per_job) {
+    // Extra arrivals follow the same day profile (rejection sampling).
+    double arrival = rng.uniform(0.0, horizon_min);
+    while (rng.uniform() >= rate_profile(arrival) / profile_max)
+      arrival = rng.uniform(0.0, horizon_min);
+    DrawnJob j = draw_job(arrival);
+    work += job_work(j);
+    drawn.push_back(std::move(j));
+  }
+  std::sort(drawn.begin(), drawn.end(),
+            [](const DrawnJob& a, const DrawnJob& b) {
+              return a.arrival_min < b.arrival_min;
+            });
+
+  std::vector<sched::Job> jobs;
+  jobs.reserve(drawn.size());
+  std::uint64_t id = 1;
+  for (const auto& d : drawn) {
+    sched::Job job;
+    job.id = id++;
+    job.arrival = util::Minutes{d.arrival_min};
+    job.runtime = util::Minutes{d.runtime_min};
+    job.servers = d.servers;
+    job.cpu_utilization = d.cpu;
+    job.deadline = job.arrival + job.runtime * d.slack_factor;
+    job.power = power_model.job_power(job.servers, job.cpu_utilization);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<SwfRecord> BatchWorkloadModel::generate_swf(
+    util::Minutes horizon, std::size_t total_servers,
+    std::uint64_t seed) const {
+  power::DatacenterSpec spec;
+  spec.server_count = total_servers;
+  const power::DatacenterPowerModel model(spec);
+  const auto jobs = generate(horizon, total_servers, model, seed);
+  std::vector<SwfRecord> records;
+  records.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    SwfRecord r;
+    r.job_number = static_cast<std::int64_t>(job.id);
+    r.submit_time_s = job.arrival.value() * 60.0;
+    r.wait_time_s = 0.0;
+    r.run_time_s = job.runtime.value() * 60.0;
+    r.allocated_processors = static_cast<std::int64_t>(job.servers);
+    r.average_cpu_time_s = job.cpu_utilization * r.run_time_s;
+    r.requested_processors = r.allocated_processors;
+    r.requested_time_s = r.run_time_s * 1.2;
+    r.status = 1;
+    records.push_back(r);
+  }
+  return records;
+}
+
+double BatchWorkloadModel::offered_utilization(
+    const std::vector<sched::Job>& jobs, std::size_t processors,
+    util::Minutes horizon) {
+  if (processors == 0 || horizon <= util::Minutes{0.0}) return 0.0;
+  double work = 0.0;
+  for (const auto& job : jobs)
+    work += static_cast<double>(job.servers) * job.runtime.value() *
+            job.cpu_utilization;
+  return work / (static_cast<double>(processors) * horizon.value());
+}
+
+// ---------------------------------------------------------------------------
+// Table II presets. The four logs differ in load level and in job mix:
+// Thunder (capability machine, large long jobs), CM5 (many mid-size jobs),
+// HPC2N (smaller jobs, moderate load), Ross (light load).
+
+BatchWorkloadParams BatchWorkloadPresets::llnl_thunder() {
+  BatchWorkloadParams p;
+  p.name = "LLNL Thunder";
+  p.target_utilization = 0.867;
+  p.source_processors = 4008;  // Thunder's CPU count in the archive
+  p.mean_runtime_minutes = 240.0;
+  p.runtime_sigma = 1.2;
+  p.mean_servers_per_job = 128.0;
+  return p;
+}
+
+BatchWorkloadParams BatchWorkloadPresets::lanl_cm5() {
+  BatchWorkloadParams p;
+  p.name = "LANL CM5";
+  p.target_utilization = 0.744;
+  p.source_processors = 1024;  // the CM-5's node count
+  p.mean_runtime_minutes = 150.0;
+  p.runtime_sigma = 1.1;
+  p.mean_servers_per_job = 64.0;
+  return p;
+}
+
+BatchWorkloadParams BatchWorkloadPresets::hpc2n() {
+  BatchWorkloadParams p;
+  p.name = "HPC2N";
+  p.target_utilization = 0.601;
+  p.source_processors = 240;  // HPC2N Linux cluster size
+  p.mean_runtime_minutes = 90.0;
+  p.runtime_sigma = 1.3;
+  p.mean_servers_per_job = 12.0;
+  return p;
+}
+
+BatchWorkloadParams BatchWorkloadPresets::sandia_ross() {
+  BatchWorkloadParams p;
+  p.name = "Sandia Ross";
+  p.target_utilization = 0.499;
+  p.source_processors = 1524;  // Ross's CPU count in the archive
+  p.mean_runtime_minutes = 60.0;
+  p.runtime_sigma = 1.0;
+  p.mean_servers_per_job = 32.0;
+  return p;
+}
+
+std::vector<BatchWorkloadParams> BatchWorkloadPresets::all() {
+  return {llnl_thunder(), lanl_cm5(), hpc2n(), sandia_ross()};
+}
+
+}  // namespace smoother::trace

@@ -1,0 +1,72 @@
+#include "smoother/trace/google_cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::trace {
+
+void GoogleClusterParams::validate() const {
+  if (mean_utilization <= 0.0 || mean_utilization >= 1.0)
+    throw std::invalid_argument("GoogleClusterParams: mean in (0,1)");
+  if (diurnal_amplitude < 0.0 || weekly_amplitude < 0.0 ||
+      diurnal_amplitude + weekly_amplitude >= 1.0)
+    throw std::invalid_argument("GoogleClusterParams: amplitudes sum < 1");
+  if (noise_sd < 0.0)
+    throw std::invalid_argument("GoogleClusterParams: noise >= 0");
+  if (noise_reversion_per_hour <= 0.0)
+    throw std::invalid_argument("GoogleClusterParams: reversion > 0");
+}
+
+GoogleClusterModel::GoogleClusterModel(GoogleClusterParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+util::TimeSeries GoogleClusterModel::generate(util::Minutes duration,
+                                              util::Minutes step,
+                                              std::uint64_t seed) const {
+  if (duration <= util::Minutes{0.0} || step <= util::Minutes{0.0})
+    throw std::invalid_argument("GoogleClusterModel: duration/step > 0");
+  const auto count = static_cast<std::size_t>(duration.value() / step.value());
+  if (count == 0)
+    throw std::invalid_argument("GoogleClusterModel: duration shorter than step");
+
+  util::Rng rng(seed);
+  const double diurnal_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double weekly_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  const double theta = params_.noise_reversion_per_hour / 60.0;
+  const double decay = std::exp(-theta * step.value());
+  const double innovation_sd =
+      params_.noise_sd * std::sqrt(std::max(1.0 - decay * decay, 0.0));
+  double noise = 0.0;
+
+  util::TimeSeries series(step, count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = step.value() * static_cast<double>(i);
+    double level =
+        1.0 +
+        params_.diurnal_amplitude *
+            std::sin(2.0 * std::numbers::pi * t / (24.0 * 60.0) +
+                     diurnal_phase) +
+        params_.weekly_amplitude *
+            std::sin(2.0 * std::numbers::pi * t / (7.0 * 24.0 * 60.0) +
+                     weekly_phase);
+    level = level * params_.mean_utilization + noise;
+    series[i] = std::clamp(level, 0.0, 1.0);
+    noise = noise * decay + innovation_sd * rng.normal();
+  }
+
+  const double raw_mean = series.mean();
+  if (raw_mean <= 0.0)
+    throw std::logic_error("GoogleClusterModel: degenerate series");
+  const double scale = params_.mean_utilization / raw_mean;
+  return series.map(
+      [scale](double v) { return std::clamp(v * scale, 0.0, 1.0); });
+}
+
+}  // namespace smoother::trace

@@ -1,0 +1,148 @@
+#include "smoother/trace/solar_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::trace {
+
+void SolarSiteParams::validate() const {
+  if (peak_irradiance_wm2 <= 0.0)
+    throw std::invalid_argument("SolarSiteParams: peak must be > 0");
+  if (!(0.0 <= sunrise_hour && sunrise_hour < sunset_hour &&
+        sunset_hour <= 24.0))
+    throw std::invalid_argument("SolarSiteParams: bad sunrise/sunset");
+  if (envelope_exponent <= 0.0)
+    throw std::invalid_argument("SolarSiteParams: envelope exponent > 0");
+  if (mean_cloud_cover < 0.0 || mean_cloud_cover >= 1.0)
+    throw std::invalid_argument("SolarSiteParams: cloud cover in [0,1)");
+  if (cloud_reversion_per_hour <= 0.0 || cloud_volatility < 0.0)
+    throw std::invalid_argument("SolarSiteParams: bad cloud dynamics");
+  if (cloud_dips_per_day < 0.0 || dip_depth < 0.0 || dip_depth > 1.0 ||
+      dip_duration_minutes <= 0.0)
+    throw std::invalid_argument("SolarSiteParams: bad dip parameters");
+}
+
+SolarIrradianceModel::SolarIrradianceModel(SolarSiteParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+namespace {
+
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+struct Dip {
+  double center_minute;
+  double depth;
+  double half_width;
+};
+
+}  // namespace
+
+util::TimeSeries SolarIrradianceModel::generate(util::Minutes duration,
+                                                util::Minutes step,
+                                                std::uint64_t seed) const {
+  if (duration <= util::Minutes{0.0} || step <= util::Minutes{0.0})
+    throw std::invalid_argument("SolarIrradianceModel: duration/step > 0");
+  const auto count = static_cast<std::size_t>(duration.value() / step.value());
+  if (count == 0)
+    throw std::invalid_argument(
+        "SolarIrradianceModel: duration shorter than step");
+
+  util::Rng rng(seed);
+
+  // Fast cloud-edge dips, daytime-weighted via thinning against the
+  // clear-sky envelope later (we simply draw over the whole horizon; a dip
+  // landing at night has no effect anyway).
+  std::vector<Dip> dips;
+  {
+    const double rate_per_minute = params_.cloud_dips_per_day / (24.0 * 60.0);
+    if (rate_per_minute > 0.0 && params_.dip_depth > 0.0) {
+      double t = rng.exponential(rate_per_minute);
+      while (t < duration.value()) {
+        dips.push_back(Dip{t, params_.dip_depth * rng.uniform(0.5, 1.5),
+                           0.5 * params_.dip_duration_minutes *
+                               rng.uniform(0.6, 1.4)});
+        t += rng.exponential(rate_per_minute);
+      }
+    }
+  }
+
+  // Cloud cover: OU in logit space, mean-reverting to logit(mean_cover).
+  const double theta = params_.cloud_reversion_per_hour / 60.0;
+  const double dt = step.value();
+  const double decay = std::exp(-theta * dt);
+  const double innovation_sd =
+      params_.cloud_volatility * std::sqrt(std::max(1.0 - decay * decay, 0.0));
+  const double mean_logit =
+      std::log(std::max(params_.mean_cloud_cover, 1e-6) /
+               std::max(1.0 - params_.mean_cloud_cover, 1e-6));
+  double cloud_logit = mean_logit + rng.normal() * params_.cloud_volatility;
+
+  const double day_length = params_.sunset_hour - params_.sunrise_hour;
+  util::TimeSeries series(step, count);
+  std::size_t next_dip = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = dt * static_cast<double>(i);
+    const double hour = std::fmod(t / 60.0, 24.0);
+
+    double envelope = 0.0;
+    if (hour > params_.sunrise_hour && hour < params_.sunset_hour) {
+      const double phase =
+          (hour - params_.sunrise_hour) / day_length;  // in (0,1)
+      envelope = std::pow(std::sin(std::numbers::pi * phase),
+                          params_.envelope_exponent);
+    }
+
+    const double cover = logistic(cloud_logit);  // fraction of light blocked
+    double transmitted = 1.0 - cover;
+
+    while (next_dip < dips.size() &&
+           dips[next_dip].center_minute + dips[next_dip].half_width < t)
+      ++next_dip;
+    for (std::size_t d = next_dip; d < dips.size(); ++d) {
+      if (dips[d].center_minute - dips[d].half_width > t) break;
+      const double dist = std::abs(t - dips[d].center_minute);
+      const double strength =
+          std::min(dips[d].depth * (1.0 - dist / dips[d].half_width), 1.0);
+      transmitted *= (1.0 - strength);
+    }
+
+    series[i] = std::max(
+        params_.peak_irradiance_wm2 * envelope * transmitted, 0.0);
+    cloud_logit =
+        mean_logit + (cloud_logit - mean_logit) * decay +
+        innovation_sd * rng.normal();
+  }
+  return series;
+}
+
+SolarSiteParams SolarSitePresets::desert() {
+  SolarSiteParams p;
+  p.name = "desert";
+  p.mean_cloud_cover = 0.06;
+  p.cloud_reversion_per_hour = 0.2;
+  p.cloud_volatility = 0.4;
+  p.cloud_dips_per_day = 1.0;
+  p.dip_depth = 0.3;
+  return p;
+}
+
+SolarSiteParams SolarSitePresets::coastal() {
+  SolarSiteParams p;
+  p.name = "coastal";
+  p.mean_cloud_cover = 0.35;
+  p.cloud_reversion_per_hour = 1.2;
+  p.cloud_volatility = 1.1;
+  p.cloud_dips_per_day = 25.0;
+  p.dip_depth = 0.7;
+  p.dip_duration_minutes = 20.0;
+  return p;
+}
+
+}  // namespace smoother::trace

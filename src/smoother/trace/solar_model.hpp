@@ -1,0 +1,70 @@
+// Synthetic plane-of-array irradiance.
+//
+// Complements the wind model so the "variety of renewable energy" claim is
+// exercised end-to-end. The model composes:
+//
+//   * a clear-sky envelope: a day-length-aware half-sine raised to a power
+//     (accounting for air mass near the horizon), scaled by a seasonal
+//     peak;
+//   * a slow cloud-cover state (mean-reverting OU pushed through a logistic
+//     squash, so attenuation stays in (0, 1]);
+//   * fast cloud-edge transients (Poisson dips with triangular profiles) —
+//     the solar analog of wind gusts, and the thing FS has to smooth.
+//
+// Presets: a desert site (rare clouds, low volatility) and a coastal site
+// (broken clouds, high volatility).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::trace {
+
+/// Parameters of one synthetic solar site.
+struct SolarSiteParams {
+  std::string name = "solar";
+  double peak_irradiance_wm2 = 1000.0;  ///< clear-sky noon value
+  double sunrise_hour = 6.0;
+  double sunset_hour = 18.0;
+  double envelope_exponent = 1.2;       ///< half-sine shaping
+  double mean_cloud_cover = 0.25;       ///< long-run attenuation level [0,1)
+  double cloud_reversion_per_hour = 0.5;
+  double cloud_volatility = 0.8;        ///< OU innovation scale (logit space)
+  double cloud_dips_per_day = 0.0;      ///< fast transients
+  double dip_depth = 0.6;               ///< fractional attenuation at a dip
+  double dip_duration_minutes = 15.0;
+
+  void validate() const;
+};
+
+/// Named presets.
+struct SolarSitePresets {
+  static SolarSiteParams desert();   ///< low volatility, CF ~ 24 %
+  static SolarSiteParams coastal();  ///< high volatility, CF ~ 17 %
+};
+
+/// Generator for irradiance series (W/m^2).
+class SolarIrradianceModel {
+ public:
+  explicit SolarIrradianceModel(SolarSiteParams params);
+
+  [[nodiscard]] const SolarSiteParams& params() const { return params_; }
+
+  /// Deterministic in (params, seed, duration, step). Zero at night.
+  [[nodiscard]] util::TimeSeries generate(util::Minutes duration,
+                                          util::Minutes step,
+                                          std::uint64_t seed) const;
+
+  /// Convenience: one day at 5-minute resolution.
+  [[nodiscard]] util::TimeSeries generate_day(std::uint64_t seed) const {
+    return generate(util::kOneDay, util::kFiveMinutes, seed);
+  }
+
+ private:
+  SolarSiteParams params_;
+};
+
+}  // namespace smoother::trace

@@ -1,0 +1,125 @@
+#include "smoother/trace/swf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smoother::trace {
+
+namespace {
+
+/// Parses the 18 SWF fields from one line; returns std::nullopt when the
+/// line has too few fields or a non-numeric token.
+std::optional<SwfRecord> parse_line(const std::string& line) {
+  std::istringstream tokens(line);
+  double fields[18];
+  for (double& f : fields)
+    if (!(tokens >> f)) return std::nullopt;
+  SwfRecord r;
+  r.job_number = static_cast<std::int64_t>(fields[0]);
+  r.submit_time_s = fields[1];
+  r.wait_time_s = fields[2];
+  r.run_time_s = fields[3];
+  r.allocated_processors = static_cast<std::int64_t>(fields[4]);
+  r.average_cpu_time_s = fields[5];
+  r.used_memory_kb = fields[6];
+  r.requested_processors = static_cast<std::int64_t>(fields[7]);
+  r.requested_time_s = fields[8];
+  r.requested_memory_kb = fields[9];
+  r.status = static_cast<std::int64_t>(fields[10]);
+  r.user_id = static_cast<std::int64_t>(fields[11]);
+  r.group_id = static_cast<std::int64_t>(fields[12]);
+  r.application = static_cast<std::int64_t>(fields[13]);
+  r.queue = static_cast<std::int64_t>(fields[14]);
+  r.partition = static_cast<std::int64_t>(fields[15]);
+  r.preceding_job = static_cast<std::int64_t>(fields[16]);
+  r.think_time_s = fields[17];
+  return r;
+}
+
+}  // namespace
+
+std::vector<SwfRecord> parse_swf(std::istream& is, bool lenient) {
+  std::vector<SwfRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip leading whitespace to detect comments robustly.
+    const auto first =
+        std::find_if(line.begin(), line.end(),
+                     [](unsigned char c) { return !std::isspace(c); });
+    if (first == line.end() || *first == ';') continue;
+    auto record = parse_line(line);
+    if (!record) {
+      if (lenient) continue;
+      throw std::runtime_error("parse_swf: malformed line " +
+                               std::to_string(line_no));
+    }
+    records.push_back(*record);
+  }
+  return records;
+}
+
+std::vector<SwfRecord> load_swf(const std::string& path, bool lenient) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_swf: cannot open " + path);
+  return parse_swf(in, lenient);
+}
+
+void write_swf(std::ostream& os, const std::vector<SwfRecord>& records) {
+  os << "; SWF written by smoother::trace::write_swf\n";
+  for (const auto& r : records) {
+    os << r.job_number << ' ' << r.submit_time_s << ' ' << r.wait_time_s << ' '
+       << r.run_time_s << ' ' << r.allocated_processors << ' '
+       << r.average_cpu_time_s << ' ' << r.used_memory_kb << ' '
+       << r.requested_processors << ' ' << r.requested_time_s << ' '
+       << r.requested_memory_kb << ' ' << r.status << ' ' << r.user_id << ' '
+       << r.group_id << ' ' << r.application << ' ' << r.queue << ' '
+       << r.partition << ' ' << r.preceding_job << ' ' << r.think_time_s
+       << '\n';
+  }
+}
+
+std::vector<sched::Job> swf_to_jobs(
+    const std::vector<SwfRecord>& records,
+    const power::DatacenterPowerModel& power_model,
+    const SwfConversionOptions& options) {
+  if (options.deadline_slack_factor < 1.0)
+    throw std::invalid_argument("swf_to_jobs: slack factor must be >= 1");
+  std::vector<sched::Job> jobs;
+  jobs.reserve(records.size());
+  std::uint64_t next_id = 0;
+  for (const auto& r : records) {
+    if (!r.schedulable()) continue;
+    sched::Job job;
+    job.id = r.job_number >= 0 ? static_cast<std::uint64_t>(r.job_number)
+                               : next_id;
+    ++next_id;
+    job.arrival = util::Minutes{std::max(r.submit_time_s, 0.0) / 60.0};
+    double runtime_min = r.run_time_s / 60.0;
+    if (options.max_runtime_minutes > 0.0)
+      runtime_min = std::min(runtime_min, options.max_runtime_minutes);
+    job.runtime = util::Minutes{runtime_min};
+    const std::int64_t procs = r.allocated_processors > 0
+                                   ? r.allocated_processors
+                                   : r.requested_processors;
+    job.servers = static_cast<std::size_t>(procs);
+    // Average CPU time per processor over the runtime gives utilization.
+    if (r.average_cpu_time_s > 0.0 && r.run_time_s > 0.0)
+      job.cpu_utilization =
+          std::clamp(r.average_cpu_time_s / r.run_time_s, 0.0, 1.0);
+    else
+      job.cpu_utilization = options.default_utilization;
+    job.deadline =
+        job.arrival + job.runtime * options.deadline_slack_factor;
+    job.power = power_model.job_power(job.servers, job.cpu_utilization);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace smoother::trace

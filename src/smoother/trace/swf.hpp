@@ -1,0 +1,83 @@
+// Standard Workload Format (SWF) support.
+//
+// The Parallel Workloads Archive logs the paper cites (LLNL Thunder,
+// LANL CM5, HPC2N, Sandia Ross) are distributed in SWF: one job per line,
+// 18 whitespace-separated fields, ';'-prefixed header comments. This parser
+// lets real archive logs drive the Active Delay experiments; the synthetic
+// batch generator (batch_workload.hpp) emits the same record type, so both
+// paths share the conversion into scheduler jobs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smoother/power/datacenter.hpp"
+#include "smoother/sched/job.hpp"
+
+namespace smoother::trace {
+
+/// One SWF record. Field meanings follow the SWF v2.2 definition; -1 means
+/// "unknown" throughout, as in the archive files.
+struct SwfRecord {
+  std::int64_t job_number = -1;
+  double submit_time_s = -1.0;   ///< seconds from log start
+  double wait_time_s = -1.0;
+  double run_time_s = -1.0;
+  std::int64_t allocated_processors = -1;
+  double average_cpu_time_s = -1.0;
+  double used_memory_kb = -1.0;
+  std::int64_t requested_processors = -1;
+  double requested_time_s = -1.0;
+  double requested_memory_kb = -1.0;
+  std::int64_t status = -1;
+  std::int64_t user_id = -1;
+  std::int64_t group_id = -1;
+  std::int64_t application = -1;
+  std::int64_t queue = -1;
+  std::int64_t partition = -1;
+  std::int64_t preceding_job = -1;
+  double think_time_s = -1.0;
+
+  /// True when the record has the minimum data to schedule (positive
+  /// runtime and processor count).
+  [[nodiscard]] bool schedulable() const {
+    return run_time_s > 0.0 &&
+           (allocated_processors > 0 || requested_processors > 0);
+  }
+};
+
+/// Parses an SWF stream. Comment lines (leading ';') and blank lines are
+/// skipped; short/malformed lines throw std::runtime_error with the line
+/// number unless `lenient` is set, in which case they are dropped.
+[[nodiscard]] std::vector<SwfRecord> parse_swf(std::istream& is,
+                                               bool lenient = false);
+
+/// Loads an SWF file; throws std::runtime_error when unreadable.
+[[nodiscard]] std::vector<SwfRecord> load_swf(const std::string& path,
+                                              bool lenient = false);
+
+/// Serializes records back to SWF (one line each) for round-tripping.
+void write_swf(std::ostream& os, const std::vector<SwfRecord>& records);
+
+/// Options for converting SWF records into scheduler jobs.
+struct SwfConversionOptions {
+  /// Soft deadline = submit + runtime * slack_factor (the archives carry no
+  /// deadlines; the paper takes them "provided by users or estimated").
+  double deadline_slack_factor = 4.0;
+  /// Per-job CPU utilization when the record has no average CPU time.
+  double default_utilization = 0.85;
+  /// Records longer than this are clipped (0 disables clipping).
+  double max_runtime_minutes = 0.0;
+};
+
+/// Converts schedulable SWF records into jobs, costing each with
+/// `power_model.job_power`. Unschedulable records are skipped.
+[[nodiscard]] std::vector<sched::Job> swf_to_jobs(
+    const std::vector<SwfRecord>& records,
+    const power::DatacenterPowerModel& power_model,
+    const SwfConversionOptions& options = {});
+
+}  // namespace smoother::trace

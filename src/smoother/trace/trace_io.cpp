@@ -1,0 +1,87 @@
+#include "smoother/trace/trace_io.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::trace {
+
+util::CsvTable series_to_csv(const util::TimeSeries& series,
+                             const std::string& value_column) {
+  util::CsvTable table({"minute", value_column});
+  for (std::size_t i = 0; i < series.size(); ++i)
+    table.add_row({series.time_at(i).value(), series[i]});
+  return table;
+}
+
+util::TimeSeries series_from_csv(const util::CsvTable& table,
+                                 const std::string& value_column) {
+  const auto minutes = table.column("minute");
+  const auto values = table.column(value_column);
+  if (minutes.size() < 2)
+    throw std::runtime_error("series_from_csv: need at least two rows");
+  const double step = minutes[1] - minutes[0];
+  if (step <= 0.0)
+    throw std::runtime_error("series_from_csv: non-increasing time column");
+  for (std::size_t i = 1; i < minutes.size(); ++i) {
+    const double gap = minutes[i] - minutes[i - 1];
+    if (std::abs(gap - step) > 1e-6 * std::max(step, 1.0))
+      throw std::runtime_error("series_from_csv: non-uniform time grid");
+  }
+  return util::TimeSeries(util::Minutes{step}, values);
+}
+
+void save_series(const util::TimeSeries& series, const std::string& path,
+                 const std::string& value_column) {
+  series_to_csv(series, value_column).save(path);
+}
+
+util::TimeSeries load_series(const std::string& path,
+                             const std::string& value_column) {
+  return series_from_csv(util::CsvTable::load(path), value_column);
+}
+
+util::CsvTable jobs_to_csv(const std::vector<sched::Job>& jobs) {
+  util::CsvTable table({"id", "arrival_min", "runtime_min", "deadline_min",
+                        "servers", "cpu_utilization", "power_kw"});
+  for (const auto& job : jobs)
+    table.add_row({static_cast<double>(job.id), job.arrival.value(),
+                   job.runtime.value(), job.deadline.value(),
+                   static_cast<double>(job.servers), job.cpu_utilization,
+                   job.power.value()});
+  return table;
+}
+
+std::vector<sched::Job> jobs_from_csv(const util::CsvTable& table) {
+  std::vector<sched::Job> jobs;
+  jobs.reserve(table.rows());
+  const std::size_t id_col = table.column_index("id");
+  const std::size_t arrival_col = table.column_index("arrival_min");
+  const std::size_t runtime_col = table.column_index("runtime_min");
+  const std::size_t deadline_col = table.column_index("deadline_min");
+  const std::size_t servers_col = table.column_index("servers");
+  const std::size_t cpu_col = table.column_index("cpu_utilization");
+  const std::size_t power_col = table.column_index("power_kw");
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    sched::Job job;
+    job.id = static_cast<std::uint64_t>(table.cell(r, id_col));
+    job.arrival = util::Minutes{table.cell(r, arrival_col)};
+    job.runtime = util::Minutes{table.cell(r, runtime_col)};
+    job.deadline = util::Minutes{table.cell(r, deadline_col)};
+    job.servers = static_cast<std::size_t>(table.cell(r, servers_col));
+    job.cpu_utilization = table.cell(r, cpu_col);
+    job.power = util::Kilowatts{table.cell(r, power_col)};
+    job.validate();
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+void save_jobs(const std::vector<sched::Job>& jobs, const std::string& path) {
+  jobs_to_csv(jobs).save(path);
+}
+
+std::vector<sched::Job> load_jobs(const std::string& path) {
+  return jobs_from_csv(util::CsvTable::load(path));
+}
+
+}  // namespace smoother::trace

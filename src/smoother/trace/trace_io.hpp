@@ -1,0 +1,41 @@
+// Trace persistence: TimeSeries and job sets as CSV.
+//
+// Lets users export generated traces (or import their own measured ones)
+// and feed them back into the pipeline — the repo equivalent of pointing
+// the paper's MATLAB scripts at NREL/ITA files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smoother/sched/job.hpp"
+#include "smoother/util/csv.hpp"
+#include "smoother/util/time_series.hpp"
+
+namespace smoother::trace {
+
+/// Series -> CSV table with columns (minute, value).
+[[nodiscard]] util::CsvTable series_to_csv(const util::TimeSeries& series,
+                                           const std::string& value_column);
+
+/// CSV table -> series; expects a "minute" column with a uniform step and
+/// the named value column. Throws std::runtime_error on a non-uniform grid.
+[[nodiscard]] util::TimeSeries series_from_csv(const util::CsvTable& table,
+                                               const std::string& value_column);
+
+/// Saves/loads a series to/from a CSV file.
+void save_series(const util::TimeSeries& series, const std::string& path,
+                 const std::string& value_column = "value");
+[[nodiscard]] util::TimeSeries load_series(
+    const std::string& path, const std::string& value_column = "value");
+
+/// Jobs -> CSV (id, arrival_min, runtime_min, deadline_min, servers,
+/// cpu_utilization, power_kw) and back.
+[[nodiscard]] util::CsvTable jobs_to_csv(const std::vector<sched::Job>& jobs);
+[[nodiscard]] std::vector<sched::Job> jobs_from_csv(
+    const util::CsvTable& table);
+
+void save_jobs(const std::vector<sched::Job>& jobs, const std::string& path);
+[[nodiscard]] std::vector<sched::Job> load_jobs(const std::string& path);
+
+}  // namespace smoother::trace

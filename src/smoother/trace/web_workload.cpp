@@ -1,0 +1,160 @@
+#include "smoother/trace/web_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::trace {
+
+void WebWorkloadParams::validate() const {
+  if (mean_utilization <= 0.0 || mean_utilization >= 1.0)
+    throw std::invalid_argument("WebWorkloadParams: mean must be in (0,1)");
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0)
+    throw std::invalid_argument("WebWorkloadParams: amplitude in [0,1)");
+  if (weekend_factor <= 0.0 || weekend_factor > 1.0)
+    throw std::invalid_argument("WebWorkloadParams: weekend factor in (0,1]");
+  if (peak_hour < 0.0 || peak_hour >= 24.0)
+    throw std::invalid_argument("WebWorkloadParams: peak hour in [0,24)");
+  if (noise_sd < 0.0)
+    throw std::invalid_argument("WebWorkloadParams: noise must be >= 0");
+  if (spikes_per_week < 0.0 || spike_magnitude < 0.0 ||
+      spike_duration_minutes <= 0.0)
+    throw std::invalid_argument("WebWorkloadParams: bad spike parameters");
+}
+
+WebWorkloadModel::WebWorkloadModel(WebWorkloadParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+namespace {
+struct Spike {
+  double center_minute;
+  double magnitude;  // relative
+  double half_width;
+};
+}  // namespace
+
+util::TimeSeries WebWorkloadModel::generate(util::Minutes duration,
+                                            util::Minutes step,
+                                            std::uint64_t seed) const {
+  if (duration <= util::Minutes{0.0} || step <= util::Minutes{0.0})
+    throw std::invalid_argument("WebWorkloadModel: duration/step must be > 0");
+  const auto count = static_cast<std::size_t>(duration.value() / step.value());
+  if (count == 0)
+    throw std::invalid_argument("WebWorkloadModel: duration shorter than step");
+
+  util::Rng rng(seed);
+
+  std::vector<Spike> spikes;
+  {
+    const double rate_per_minute = params_.spikes_per_week / (7.0 * 24.0 * 60.0);
+    if (rate_per_minute > 0.0 && params_.spike_magnitude > 0.0) {
+      double t = rng.exponential(rate_per_minute);
+      while (t < duration.value()) {
+        spikes.push_back(Spike{
+            t, params_.spike_magnitude * rng.uniform(0.5, 1.5),
+            0.5 * params_.spike_duration_minutes * rng.uniform(0.7, 1.3)});
+        t += rng.exponential(rate_per_minute);
+      }
+    }
+  }
+
+  util::TimeSeries series(step, count);
+  std::size_t next_spike = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = step.value() * static_cast<double>(i);
+    const double hour_of_day = std::fmod(t / 60.0, 24.0);
+    const double day_index = std::floor(t / (24.0 * 60.0));
+    const bool weekend = std::fmod(day_index, 7.0) >= 5.0;
+
+    // Daily shape peaking at peak_hour.
+    const double phase =
+        2.0 * std::numbers::pi * (hour_of_day - params_.peak_hour) / 24.0;
+    double level = 1.0 + params_.diurnal_amplitude * std::cos(phase);
+    if (weekend) level *= params_.weekend_factor;
+
+    // Flash-crowd spikes (triangular pulses).
+    while (next_spike < spikes.size() &&
+           spikes[next_spike].center_minute + spikes[next_spike].half_width < t)
+      ++next_spike;
+    for (std::size_t s = next_spike; s < spikes.size(); ++s) {
+      if (spikes[s].center_minute - spikes[s].half_width > t) break;
+      const double dist = std::abs(t - spikes[s].center_minute);
+      level += spikes[s].magnitude * (1.0 - dist / spikes[s].half_width);
+    }
+
+    // Relative Poisson-like sampling noise.
+    level *= std::max(1.0 + rng.normal(0.0, params_.noise_sd), 0.0);
+    series[i] = std::max(level, 0.0);
+  }
+
+  // Rescale so the mean matches the Table I average exactly, then clamp.
+  const double raw_mean = series.mean();
+  if (raw_mean <= 0.0)
+    throw std::logic_error("WebWorkloadModel: degenerate series");
+  const double scale = params_.mean_utilization / raw_mean;
+  return series.map([scale](double v) { return std::clamp(v * scale, 0.0, 1.0); });
+}
+
+WebWorkloadParams WebWorkloadPresets::calgary() {
+  WebWorkloadParams p;
+  p.name = "Calgary";
+  p.mean_utilization = 0.0363;
+  p.diurnal_amplitude = 0.70;  // small departmental server: strong day/night
+  p.weekend_factor = 0.45;
+  p.peak_hour = 15.0;
+  return p;
+}
+
+WebWorkloadParams WebWorkloadPresets::u_of_s() {
+  WebWorkloadParams p;
+  p.name = "U of S";
+  p.mean_utilization = 0.0721;
+  p.diurnal_amplitude = 0.65;
+  p.weekend_factor = 0.50;
+  p.peak_hour = 14.0;
+  return p;
+}
+
+WebWorkloadParams WebWorkloadPresets::nasa() {
+  WebWorkloadParams p;
+  p.name = "NASA";
+  p.mean_utilization = 0.2889;
+  p.diurnal_amplitude = 0.50;
+  p.weekend_factor = 0.75;
+  p.peak_hour = 13.0;
+  p.spikes_per_week = 3.0;  // launch-day flash crowds
+  p.spike_magnitude = 1.0;
+  return p;
+}
+
+WebWorkloadParams WebWorkloadPresets::clark() {
+  WebWorkloadParams p;
+  p.name = "Clark";
+  p.mean_utilization = 0.3578;
+  p.diurnal_amplitude = 0.45;
+  p.weekend_factor = 0.80;
+  p.peak_hour = 20.0;  // ISP: evening peak
+  return p;
+}
+
+WebWorkloadParams WebWorkloadPresets::ucb() {
+  WebWorkloadParams p;
+  p.name = "UCB";
+  p.mean_utilization = 0.4604;
+  p.diurnal_amplitude = 0.40;
+  p.weekend_factor = 0.85;
+  p.peak_hour = 16.0;
+  return p;
+}
+
+std::vector<WebWorkloadParams> WebWorkloadPresets::all() {
+  return {calgary(), u_of_s(), nasa(), clark(), ucb()};
+}
+
+}  // namespace smoother::trace

@@ -1,0 +1,69 @@
+// Synthetic time-sensitive web workload (paper Table I).
+//
+// The paper converts request logs from the Internet Traffic Archive into a
+// CPU-utilization series with a linear analog (100 % at peak request rate,
+// 0 % at the minimum). The five traces differ mainly in average utilization
+// (Calgary 3.63 % ... UCB 46.04 %) and share the classic diurnal/weekly
+// request shape. The generator reproduces that shape — day/night swing,
+// weekday/weekend drop, Poisson sampling noise, occasional flash spikes —
+// and then rescales so the series mean equals the Table I average exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::trace {
+
+/// Parameters of one synthetic web workload.
+struct WebWorkloadParams {
+  std::string name = "web";
+  double mean_utilization = 0.20;     ///< Table I column, as a fraction
+  double diurnal_amplitude = 0.55;    ///< relative day/night swing
+  double weekend_factor = 0.65;       ///< weekend level vs weekday
+  double peak_hour = 14.0;            ///< local time of the daily peak
+  double noise_sd = 0.06;             ///< relative sampling noise
+  double spikes_per_week = 2.0;       ///< flash-crowd events
+  double spike_magnitude = 0.8;       ///< relative jump at a spike peak
+  double spike_duration_minutes = 45.0;
+
+  void validate() const;
+};
+
+/// The five Table I presets.
+struct WebWorkloadPresets {
+  static WebWorkloadParams calgary();  ///< CS dept server, 3.63 %
+  static WebWorkloadParams u_of_s();   ///< university server, 7.21 %
+  static WebWorkloadParams nasa();     ///< Kennedy Space Center, 28.89 %
+  static WebWorkloadParams clark();    ///< ClarkNet, 35.78 %
+  static WebWorkloadParams ucb();      ///< UC Berkeley IP, 46.04 %
+  static std::vector<WebWorkloadParams> all();
+};
+
+/// Generator for CPU-utilization series in [0, 1].
+class WebWorkloadModel {
+ public:
+  explicit WebWorkloadModel(WebWorkloadParams params);
+
+  [[nodiscard]] const WebWorkloadParams& params() const { return params_; }
+
+  /// Generates a utilization series; the mean equals
+  /// params().mean_utilization up to clamping residue (exact in practice
+  /// for the presets). Deterministic in (params, seed, duration, step).
+  [[nodiscard]] util::TimeSeries generate(util::Minutes duration,
+                                          util::Minutes step,
+                                          std::uint64_t seed) const;
+
+  /// One week at 1-minute resolution (the paper's evaluation window).
+  [[nodiscard]] util::TimeSeries generate_week(std::uint64_t seed) const {
+    return generate(util::days(7.0), util::kOneMinute, seed);
+  }
+
+ private:
+  WebWorkloadParams params_;
+};
+
+}  // namespace smoother::trace

@@ -1,0 +1,271 @@
+#include "smoother/trace/wind_speed_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::trace {
+
+void WindSiteParams::validate() const {
+  if (weibull_shape <= 0.0 || weibull_scale <= 0.0)
+    throw std::invalid_argument("WindSiteParams: Weibull params must be > 0");
+  if (reversion_per_hour <= 0.0)
+    throw std::invalid_argument("WindSiteParams: reversion must be > 0");
+  if (diurnal_amplitude < 0.0 || synoptic_amplitude < 0.0 ||
+      diurnal_amplitude + synoptic_amplitude >= 1.0)
+    throw std::invalid_argument(
+        "WindSiteParams: modulation amplitudes must be >= 0 and sum < 1");
+  if (synoptic_period_hours <= 0.0)
+    throw std::invalid_argument("WindSiteParams: synoptic period must be > 0");
+  if (gusts_per_day < 0.0 || gust_magnitude < 0.0 ||
+      gust_duration_minutes <= 0.0)
+    throw std::invalid_argument("WindSiteParams: bad gust parameters");
+  if (jitter_sd < 0.0)
+    throw std::invalid_argument("WindSiteParams: jitter must be >= 0");
+}
+
+WindSpeedModel::WindSpeedModel(WindSiteParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+}
+
+namespace {
+
+/// Standard normal CDF.
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+/// Weibull quantile function.
+double weibull_quantile(double u, double shape, double scale) {
+  u = std::clamp(u, 1e-12, 1.0 - 1e-12);
+  return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+}
+
+struct Gust {
+  double center_minute;
+  double magnitude;
+  double half_width;
+};
+
+/// Triangular pulse contribution of a gust at time t.
+double gust_speed(const Gust& g, double t) {
+  const double distance = std::abs(t - g.center_minute);
+  if (distance >= g.half_width) return 0.0;
+  return g.magnitude * (1.0 - distance / g.half_width);
+}
+
+}  // namespace
+
+util::TimeSeries WindSpeedModel::generate(util::Minutes duration,
+                                          util::Minutes step,
+                                          std::uint64_t seed) const {
+  if (duration <= util::Minutes{0.0} || step <= util::Minutes{0.0})
+    throw std::invalid_argument("WindSpeedModel: duration/step must be > 0");
+  const auto count = static_cast<std::size_t>(duration.value() / step.value());
+  if (count == 0)
+    throw std::invalid_argument("WindSpeedModel: duration shorter than step");
+
+  util::Rng rng(seed);
+  // Random phases decorrelate the deterministic modulation across seeds;
+  // a configured peak hour pins the diurnal phase instead.
+  const double random_diurnal_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double diurnal_phase =
+      params_.diurnal_peak_hour < 0.0
+          ? random_diurnal_phase
+          : std::numbers::pi / 2.0 -
+                2.0 * std::numbers::pi * params_.diurnal_peak_hour / 24.0;
+  const double synoptic_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  // Pre-draw gusts over the horizon (Poisson process).
+  std::vector<Gust> gusts;
+  {
+    const double rate_per_minute = params_.gusts_per_day / (24.0 * 60.0);
+    if (rate_per_minute > 0.0 && params_.gust_magnitude > 0.0) {
+      double t = rng.exponential(rate_per_minute);
+      while (t < duration.value()) {
+        Gust g;
+        g.center_minute = t;
+        g.magnitude = params_.gust_magnitude * rng.uniform(0.5, 1.5);
+        g.half_width = 0.5 * params_.gust_duration_minutes * rng.uniform(0.6, 1.4);
+        gusts.push_back(g);
+        t += rng.exponential(rate_per_minute);
+      }
+    }
+  }
+
+  // Stationary OU with unit variance: z' = z e^{-theta dt} + sqrt(1-e^{-2 theta dt}) N(0,1).
+  const double theta = params_.reversion_per_hour / 60.0;  // per minute
+  const double dt = step.value();
+  const double decay = std::exp(-theta * dt);
+  const double innovation_sd = std::sqrt(std::max(1.0 - decay * decay, 0.0));
+  double z = rng.normal();
+
+  util::TimeSeries series(step, count);
+  std::size_t next_gust = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = dt * static_cast<double>(i);
+    // Marginal transform: OU -> uniform -> Weibull.
+    const double base =
+        weibull_quantile(normal_cdf(z), params_.weibull_shape,
+                         params_.weibull_scale);
+    // Slow multiplicative modulation (diurnal + synoptic).
+    const double modulation =
+        1.0 +
+        params_.diurnal_amplitude *
+            std::sin(2.0 * std::numbers::pi * t / (24.0 * 60.0) +
+                     diurnal_phase) +
+        params_.synoptic_amplitude *
+            std::sin(2.0 * std::numbers::pi * t /
+                         (params_.synoptic_period_hours * 60.0) +
+                     synoptic_phase);
+    // Gusts active around t (gusts are sorted by construction).
+    double gust_total = 0.0;
+    while (next_gust < gusts.size() &&
+           gusts[next_gust].center_minute + gusts[next_gust].half_width < t)
+      ++next_gust;
+    for (std::size_t g = next_gust; g < gusts.size(); ++g) {
+      if (gusts[g].center_minute - gusts[g].half_width > t) break;
+      gust_total += gust_speed(gusts[g], t);
+    }
+    const double jitter =
+        params_.jitter_sd > 0.0 ? rng.normal(0.0, params_.jitter_sd) : 0.0;
+    series[i] = std::max(base * modulation + gust_total + jitter, 0.0);
+    z = z * decay + innovation_sd * rng.normal();
+  }
+  return series;
+}
+
+// ---------------------------------------------------------------------------
+// Presets. Scales are calibrated so the ENERCON E48 curve yields the
+// Table III capacity factors; volatility knobs separate the two groups'
+// capacity-factor variance by roughly an order of magnitude.
+
+WindSiteParams WindSitePresets::california_9122() {
+  WindSiteParams p;
+  p.name = "CA(9122)";
+  p.weibull_scale = 5.95;
+  p.reversion_per_hour = 0.15;
+  p.gusts_per_day = 2.0;
+  p.gust_magnitude = 1.0;
+  p.jitter_sd = 0.05;
+  return p;
+}
+
+WindSiteParams WindSitePresets::oregon_24258() {
+  WindSiteParams p;
+  p.name = "OR(24258)";
+  p.weibull_scale = 6.15;
+  p.reversion_per_hour = 0.18;
+  p.gusts_per_day = 2.5;
+  p.gust_magnitude = 1.1;
+  p.jitter_sd = 0.06;
+  return p;
+}
+
+WindSiteParams WindSitePresets::washington_29359() {
+  WindSiteParams p;
+  p.name = "WA(29359)";
+  p.weibull_scale = 5.95;
+  p.reversion_per_hour = 0.20;
+  p.gusts_per_day = 3.0;
+  p.gust_magnitude = 1.0;
+  p.jitter_sd = 0.07;
+  return p;
+}
+
+WindSiteParams WindSitePresets::texas_10() {
+  WindSiteParams p;
+  p.name = "TX(10)";
+  p.weibull_scale = 7.75;
+  p.reversion_per_hour = 1.6;
+  p.gusts_per_day = 18.0;
+  p.gust_magnitude = 3.0;
+  p.gust_duration_minutes = 20.0;
+  p.jitter_sd = 0.55;
+  return p;
+}
+
+WindSiteParams WindSitePresets::colorado_11005() {
+  WindSiteParams p;
+  p.name = "CO(11005)";
+  p.weibull_scale = 7.35;
+  p.reversion_per_hour = 1.4;
+  p.gusts_per_day = 15.0;
+  p.gust_magnitude = 2.8;
+  p.gust_duration_minutes = 22.0;
+  p.jitter_sd = 0.50;
+  return p;
+}
+
+WindSiteParams WindSitePresets::wyoming_16419() {
+  WindSiteParams p;
+  p.name = "WY(16419)";
+  p.weibull_scale = 7.50;
+  p.reversion_per_hour = 1.5;
+  p.gusts_per_day = 16.0;
+  p.gust_magnitude = 2.9;
+  p.gust_duration_minutes = 18.0;
+  p.jitter_sd = 0.52;
+  return p;
+}
+
+std::vector<WindSiteParams> WindSitePresets::low_volatility_group() {
+  return {california_9122(), oregon_24258(), washington_29359()};
+}
+
+std::vector<WindSiteParams> WindSitePresets::high_volatility_group() {
+  return {texas_10(), colorado_11005(), wyoming_16419()};
+}
+
+std::vector<WindSiteParams> WindSitePresets::all() {
+  auto out = low_volatility_group();
+  const auto high = high_volatility_group();
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+WindSiteParams fig10_day_params(std::size_t day_index) {
+  // Fig. 10 uses four days of increasing volatility: May 2 (smooth),
+  // May 14, May 23, May 18 (most fluctuating). Ordered here smooth->rough.
+  switch (day_index) {
+    case 0: {  // "May 2": calm, slow drift
+      WindSiteParams p = WindSitePresets::california_9122();
+      p.name = "May-02";
+      p.reversion_per_hour = 0.08;
+      p.gusts_per_day = 1.0;
+      p.jitter_sd = 0.03;
+      return p;
+    }
+    case 1: {  // "May 14": mildly variable
+      WindSiteParams p = WindSitePresets::oregon_24258();
+      p.name = "May-14";
+      p.weibull_scale = 6.8;
+      p.reversion_per_hour = 0.5;
+      p.gusts_per_day = 6.0;
+      p.gust_magnitude = 1.8;
+      p.jitter_sd = 0.2;
+      return p;
+    }
+    case 2: {  // "May 23": clearly volatile
+      WindSiteParams p = WindSitePresets::colorado_11005();
+      p.name = "May-23";
+      p.weibull_scale = 7.2;
+      return p;
+    }
+    case 3: {  // "May 18": most fluctuating day
+      WindSiteParams p = WindSitePresets::texas_10();
+      p.name = "May-18";
+      p.reversion_per_hour = 2.4;
+      p.gusts_per_day = 30.0;
+      p.gust_magnitude = 3.5;
+      p.jitter_sd = 0.8;
+      return p;
+    }
+    default:
+      throw std::out_of_range("fig10_day_params: day index 0..3");
+  }
+}
+
+}  // namespace smoother::trace

@@ -1,0 +1,138 @@
+#include "smoother/util/args.hpp"
+
+#include <charconv>
+
+namespace smoother::util {
+
+bool ParsedArgs::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+bool ParsedArgs::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ParsedArgs::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end())
+    throw ArgError("internal: option --" + name + " was never declared");
+  return it->second;
+}
+
+double ParsedArgs::number(const std::string& name) const {
+  const std::string raw = get(name);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc() || ptr != raw.data() + raw.size())
+    throw ArgError("--" + name + " expects a number, got '" + raw + "'");
+  return value;
+}
+
+std::int64_t ParsedArgs::integer(const std::string& name) const {
+  const std::string raw = get(name);
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc() || ptr != raw.data() + raw.size())
+    throw ArgError("--" + name + " expects an integer, got '" + raw + "'");
+  return value;
+}
+
+std::uint64_t ParsedArgs::unsigned_integer(const std::string& name) const {
+  const std::int64_t value = integer(name);
+  if (value < 0)
+    throw ArgError("--" + name + " must be non-negative");
+  return static_cast<std::uint64_t>(value);
+}
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.is_flag = true;
+  specs_.emplace_back(name, std::move(spec));
+  return *this;
+}
+
+ArgParser& ArgParser::add_option(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& default_value) {
+  Spec spec;
+  spec.help = help;
+  spec.default_value = default_value;
+  specs_.emplace_back(name, std::move(spec));
+  return *this;
+}
+
+ArgParser& ArgParser::add_required(const std::string& name,
+                                   const std::string& help) {
+  Spec spec;
+  spec.help = help;
+  spec.required = true;
+  specs_.emplace_back(name, std::move(spec));
+  return *this;
+}
+
+const ArgParser::Spec* ArgParser::find(const std::string& name) const {
+  for (const auto& [spec_name, spec] : specs_)
+    if (spec_name == name) return &spec;
+  return nullptr;
+}
+
+ParsedArgs ArgParser::parse(const std::vector<std::string>& args) const {
+  ParsedArgs parsed;
+  // Seed defaults.
+  for (const auto& [name, spec] : specs_) {
+    if (spec.is_flag)
+      parsed.flags_[name] = false;
+    else if (spec.default_value)
+      parsed.values_[name] = *spec.default_value;
+  }
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      parsed.positional_.push_back(arg);
+      continue;
+    }
+    const std::string name = arg.substr(2);
+    const Spec* spec = find(name);
+    if (spec == nullptr) throw ArgError("unknown option --" + name);
+    if (spec->is_flag) {
+      parsed.flags_[name] = true;
+      continue;
+    }
+    if (i + 1 >= args.size())
+      throw ArgError("--" + name + " expects a value");
+    parsed.values_[name] = args[++i];
+  }
+
+  for (const auto& [name, spec] : specs_) {
+    if (spec.required && parsed.values_.count(name) == 0)
+      throw ArgError("missing required option --" + name);
+  }
+  return parsed;
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ + " [options]\n  " + description_ +
+                    "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.is_flag) out += " <value>";
+    out += "\n      " + spec.help;
+    if (spec.required)
+      out += " (required)";
+    else if (spec.default_value)
+      out += " (default: " + *spec.default_value + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace smoother::util

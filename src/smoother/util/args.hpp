@@ -1,0 +1,87 @@
+// Minimal command-line argument parsing for the smoother_cli tool.
+//
+// Supports long options only (--name value), boolean flags (--name), typed
+// getters with validation, required options, and generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smoother::util {
+
+/// Thrown on unknown options, missing values/required options, or type
+/// errors; the message is user-facing.
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse result with typed access.
+class ParsedArgs {
+ public:
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  /// String value; throws ArgError when absent (required-but-missing is
+  /// caught at parse time, so this only fires for programmer errors).
+  [[nodiscard]] std::string get(const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters; throw ArgError on malformed numbers.
+  [[nodiscard]] double number(const std::string& name) const;
+  [[nodiscard]] std::int64_t integer(const std::string& name) const;
+  [[nodiscard]] std::uint64_t unsigned_integer(const std::string& name) const;
+
+  /// Positional arguments (anything not starting with --).
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  friend class ArgParser;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Declarative option table + parser.
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Boolean switch (--name).
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+
+  /// Option with a value and a default.
+  ArgParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+
+  /// Option that must be provided.
+  ArgParser& add_required(const std::string& name, const std::string& help);
+
+  /// Parses `args` (without the program name). Throws ArgError listing the
+  /// problem; call usage() for the help text.
+  [[nodiscard]] ParsedArgs parse(const std::vector<std::string>& args) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    bool required = false;
+    std::optional<std::string> default_value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::pair<std::string, Spec>> specs_;  // declaration order
+
+  [[nodiscard]] const Spec* find(const std::string& name) const;
+};
+
+}  // namespace smoother::util

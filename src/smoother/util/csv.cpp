@@ -1,0 +1,148 @@
+#include "smoother/util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smoother::util {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw std::invalid_argument("CsvTable: header must be non-empty");
+}
+
+void CsvTable::add_row(std::vector<double> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("CsvTable::add_row: column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<double>& CsvTable::row(std::size_t r) const {
+  if (r >= rows_.size()) throw std::out_of_range("CsvTable::row");
+  return rows_[r];
+}
+
+double CsvTable::cell(std::size_t r, std::size_t c) const {
+  if (c >= header_.size()) throw std::out_of_range("CsvTable::cell column");
+  return row(r)[c];
+}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    if (header_[i] == name) return i;
+  throw std::out_of_range("CsvTable: no column named '" + std::string(name) +
+                          "'");
+}
+
+std::vector<double> CsvTable::column(std::string_view name) const {
+  const std::size_t c = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[c]);
+  return out;
+}
+
+void CsvTable::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  char buf[64];
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      std::snprintf(buf, sizeof(buf), "%.10g", r[i]);
+      os << buf;
+    }
+    os << '\n';
+  }
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvTable::save: cannot open " + path);
+  write(out);
+  if (!out) throw std::runtime_error("CsvTable::save: write failed " + path);
+}
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      cells.emplace_back(line.substr(start));
+      break;
+    }
+    cells.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return cells;
+}
+
+namespace {
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  std::size_t b = 0, e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+double parse_cell(const std::string& raw, std::size_t line_no) {
+  const std::string cell = trim(raw);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (ec != std::errc() || ptr != cell.data() + cell.size())
+    throw std::runtime_error("CsvTable: non-numeric cell '" + cell +
+                             "' on line " + std::to_string(line_no));
+  return value;
+}
+
+}  // namespace
+
+CsvTable CsvTable::read(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 0;
+  // Header: first non-comment, non-blank line.
+  std::vector<std::string> header;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    for (auto& cell : split_csv_line(t)) header.push_back(trim(cell));
+    break;
+  }
+  if (header.empty()) throw std::runtime_error("CsvTable: missing header");
+  CsvTable table(std::move(header));
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto cells = split_csv_line(t);
+    if (cells.size() != table.columns())
+      throw std::runtime_error("CsvTable: ragged row on line " +
+                               std::to_string(line_no));
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) row.push_back(parse_cell(cell, line_no));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("CsvTable::load: cannot open " + path);
+  return read(in);
+}
+
+}  // namespace smoother::util

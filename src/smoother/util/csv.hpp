@@ -1,0 +1,65 @@
+// Minimal CSV reading/writing for traces and benchmark output.
+//
+// The dialect is deliberately small: comma separator, first row is the
+// header, numeric payload, '#'-prefixed comment lines are skipped. This is
+// what the bench harness emits and what the trace loaders consume.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smoother::util {
+
+/// An in-memory CSV table with a header row and numeric columns.
+class CsvTable {
+ public:
+  CsvTable() = default;
+
+  /// Creates an empty table with the given column names.
+  explicit CsvTable(std::vector<std::string> header);
+
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Appends a row; its size must equal columns().
+  void add_row(std::vector<double> row);
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t r) const;
+
+  /// Cell access by row index and column index.
+  [[nodiscard]] double cell(std::size_t r, std::size_t c) const;
+
+  /// Index of the named column; throws std::out_of_range when absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+
+  /// The full named column as a vector.
+  [[nodiscard]] std::vector<double> column(std::string_view name) const;
+
+  /// Serializes the table (header + rows, 10 significant digits).
+  void write(std::ostream& os) const;
+
+  /// Writes to a file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Parses a table from a stream; throws std::runtime_error on malformed
+  /// input (ragged rows, non-numeric cells).
+  static CsvTable read(std::istream& is);
+
+  /// Loads a table from a file; throws std::runtime_error on I/O failure.
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Splits one CSV line on commas (no quoting support, by design).
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
+
+}  // namespace smoother::util

@@ -1,0 +1,25 @@
+// printf-style std::string formatting (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace smoother::util {
+
+/// Returns the snprintf-formatted string. Throws std::runtime_error on a
+/// formatting error. Arguments must match the format string exactly, as
+/// with snprintf (no std::string — pass .c_str()).
+template <typename... Args>
+[[nodiscard]] std::string strfmt(const char* fmt, Args... args) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+  const int needed = std::snprintf(nullptr, 0, fmt, args...);
+  if (needed < 0) throw std::runtime_error("strfmt: encoding error");
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+#pragma GCC diagnostic pop
+  return out;
+}
+
+}  // namespace smoother::util

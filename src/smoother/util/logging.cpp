@@ -1,0 +1,41 @@
+#include "smoother/util/logging.hpp"
+
+#include <iostream>
+
+namespace smoother::util {
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  if (!enabled(level)) return;
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << '[' << log_level_name(level) << "] " << component << ": " << message
+     << '\n';
+}
+
+LogMessage::~LogMessage() {
+  if (Logger::instance().enabled(level_))
+    Logger::instance().write(level_, component_, stream_.str());
+}
+
+}  // namespace smoother::util

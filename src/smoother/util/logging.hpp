@@ -1,0 +1,73 @@
+// Small leveled logger used by the simulator and bench harness.
+//
+// Logging is stream-based and globally level-filtered; it is intentionally
+// not thread-hot-path material (the simulator logs per-interval decisions at
+// Debug, off by default).
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace smoother::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Name of a level ("DEBUG", "INFO", ...).
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// Global logger configuration. Defaults: Info level, stderr sink.
+class Logger {
+ public:
+  /// The process-wide logger instance.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Redirect output (tests use an ostringstream); pass nullptr for stderr.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Emits one record: "[LEVEL] component: message\n".
+  void write(LogLevel level, std::string_view component,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+
+  LogLevel level_ = LogLevel::kInfo;
+  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+};
+
+/// Builder for one log record; emits on destruction.
+///
+///   LogMessage(LogLevel::kInfo, "sim") << "interval " << i << " done";
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define SMOOTHER_LOG(level, component) \
+  ::smoother::util::LogMessage(::smoother::util::LogLevel::level, component)
+
+}  // namespace smoother::util

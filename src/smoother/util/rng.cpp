@@ -1,0 +1,100 @@
+#include "smoother/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace smoother::util {
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % n;
+  std::uint64_t draw = engine_();
+  while (draw >= limit) draw = engine_();
+  return draw % n;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  while (u1 <= 0x1.0p-60) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) {
+  if (lambda <= 0.0) throw std::invalid_argument("exponential: lambda <= 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::weibull(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0)
+    throw std::invalid_argument("weibull: shape and scale must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson: mean < 0");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; plenty for the
+    // request-count noise this project draws.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double threshold = std::exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > threshold) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  if (xm <= 0.0 || alpha <= 0.0)
+    throw std::invalid_argument("pareto: xm and alpha must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork() {
+  Xoshiro256 child = engine_;
+  engine_.jump();  // parent moves to a disjoint subsequence
+  return Rng(child);
+}
+
+}  // namespace smoother::util

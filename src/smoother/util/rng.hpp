@@ -1,0 +1,143 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in Smoother takes an explicit seed so that
+// traces, tests and benchmark figures are bit-reproducible across runs and
+// machines. The engine is xoshiro256** seeded through splitmix64, both
+// implemented here so the project does not depend on unspecified libstdc++
+// distribution internals.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace smoother::util {
+
+/// splitmix64: used to expand a single 64-bit seed into engine state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// streams from one seed.
+  constexpr void jump() {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> s = {0, 0, 0, 0};
+    for (std::uint64_t jump_word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (jump_word & (1ULL << bit)) {
+          for (std::size_t i = 0; i < 4; ++i) s[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = s;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience wrapper bundling an engine with the distributions Smoother's
+/// trace generators need. All draws are implemented locally (no libstdc++
+/// distributions) so that generated traces are identical on every platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Weibull with shape k (> 0) and scale lambda (> 0). The long-run
+  /// distribution of wind speed is classically Weibull with k around 2.
+  double weibull(double shape, double scale);
+
+  /// Poisson with the given mean. Knuth's method for small means,
+  /// normal approximation above 64 (adequate for request-count noise).
+  std::uint64_t poisson(double mean);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Log-normal: exp(normal(mu, sigma)). Used for batch job runtimes.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with minimum xm (> 0) and tail index alpha (> 0); heavy-tailed
+  /// sizes for batch jobs.
+  double pareto(double xm, double alpha);
+
+  Xoshiro256& engine() { return engine_; }
+
+  /// Fork an independent stream (jump-ahead); the parent stream advances.
+  Rng fork();
+
+ private:
+  explicit Rng(Xoshiro256 engine) : engine_(engine) {}
+
+  Xoshiro256 engine_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace smoother::util

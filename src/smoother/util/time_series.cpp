@@ -1,0 +1,165 @@
+#include "smoother/util/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace smoother::util {
+
+TimeSeries::TimeSeries(Minutes step, std::vector<double> values)
+    : step_(step), values_(std::move(values)) {
+  if (step.value() <= 0.0)
+    throw std::invalid_argument("TimeSeries: step must be positive");
+}
+
+TimeSeries::TimeSeries(Minutes step, std::size_t count)
+    : TimeSeries(step, std::vector<double>(count, 0.0)) {}
+
+double TimeSeries::at(std::size_t i) const {
+  if (i >= values_.size()) throw std::out_of_range("TimeSeries::at");
+  return values_[i];
+}
+
+std::size_t TimeSeries::index_at(Minutes t) const {
+  if (t.value() < 0.0 || t >= duration())
+    throw std::out_of_range("TimeSeries::index_at: time outside series");
+  return static_cast<std::size_t>(t.value() / step_.value());
+}
+
+TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
+  if (first + count > values_.size())
+    throw std::out_of_range("TimeSeries::slice");
+  return TimeSeries(
+      step_, std::vector<double>(values_.begin() + static_cast<std::ptrdiff_t>(first),
+                                 values_.begin() + static_cast<std::ptrdiff_t>(first + count)));
+}
+
+TimeSeries TimeSeries::downsample(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("downsample: factor == 0");
+  if (values_.size() % factor != 0)
+    throw std::invalid_argument("downsample: size not divisible by factor");
+  std::vector<double> out;
+  out.reserve(values_.size() / factor);
+  for (std::size_t i = 0; i < values_.size(); i += factor) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) acc += values_[i + j];
+    out.push_back(acc / static_cast<double>(factor));
+  }
+  return TimeSeries(Minutes{step_.value() * static_cast<double>(factor)},
+                    std::move(out));
+}
+
+TimeSeries TimeSeries::upsample(std::size_t factor) const {
+  if (factor == 0) throw std::invalid_argument("upsample: factor == 0");
+  std::vector<double> out;
+  out.reserve(values_.size() * factor);
+  for (double v : values_)
+    for (std::size_t j = 0; j < factor; ++j) out.push_back(v);
+  return TimeSeries(Minutes{step_.value() / static_cast<double>(factor)},
+                    std::move(out));
+}
+
+TimeSeries TimeSeries::resample(Minutes new_step) const {
+  if (new_step.value() <= 0.0)
+    throw std::invalid_argument("resample: step must be positive");
+  const double ratio = new_step.value() / step_.value();
+  if (ratio >= 1.0) {
+    const double factor = std::round(ratio);
+    if (std::abs(ratio - factor) > 1e-9)
+      throw std::invalid_argument("resample: steps are not integer multiples");
+    return downsample(static_cast<std::size_t>(factor));
+  }
+  const double factor = std::round(1.0 / ratio);
+  if (std::abs(1.0 / ratio - factor) > 1e-9)
+    throw std::invalid_argument("resample: steps are not integer multiples");
+  return upsample(static_cast<std::size_t>(factor));
+}
+
+TimeSeries TimeSeries::map(const std::function<double(double)>& fn) const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (double v : values_) out.push_back(fn(v));
+  return TimeSeries(step_, std::move(out));
+}
+
+void TimeSeries::require_same_shape(const TimeSeries& other) const {
+  if (step_ != other.step_ || values_.size() != other.values_.size())
+    throw std::invalid_argument("TimeSeries: shape mismatch");
+}
+
+TimeSeries TimeSeries::operator+(const TimeSeries& other) const {
+  require_same_shape(other);
+  std::vector<double> out(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    out[i] = values_[i] + other.values_[i];
+  return TimeSeries(step_, std::move(out));
+}
+
+TimeSeries TimeSeries::operator-(const TimeSeries& other) const {
+  require_same_shape(other);
+  std::vector<double> out(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    out[i] = values_[i] - other.values_[i];
+  return TimeSeries(step_, std::move(out));
+}
+
+TimeSeries TimeSeries::operator*(double scale) const {
+  std::vector<double> out(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) out[i] = values_[i] * scale;
+  return TimeSeries(step_, std::move(out));
+}
+
+TimeSeries TimeSeries::clamped(double lo, double hi) const {
+  if (lo > hi) throw std::invalid_argument("clamped: lo > hi");
+  return map([lo, hi](double v) { return std::clamp(v, lo, hi); });
+}
+
+double TimeSeries::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double TimeSeries::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double TimeSeries::variance() const {
+  if (values_.size() < 2) return 0.0;
+  const double mu = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(values_.size());
+}
+
+double TimeSeries::min() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::min: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::max() const {
+  if (values_.empty()) throw std::logic_error("TimeSeries::max: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+KilowattHours TimeSeries::total_energy() const {
+  return KilowattHours{sum() * step_.value() / 60.0};
+}
+
+TimeSeries elementwise_min(const TimeSeries& a, const TimeSeries& b) {
+  if (a.step() != b.step() || a.size() != b.size())
+    throw std::invalid_argument("elementwise_min: shape mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::min(a[i], b[i]);
+  return TimeSeries(a.step(), std::move(out));
+}
+
+TimeSeries elementwise_max(const TimeSeries& a, const TimeSeries& b) {
+  if (a.step() != b.step() || a.size() != b.size())
+    throw std::invalid_argument("elementwise_max: shape mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::max(a[i], b[i]);
+  return TimeSeries(a.step(), std::move(out));
+}
+
+}  // namespace smoother::util

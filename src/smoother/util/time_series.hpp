@@ -1,0 +1,125 @@
+// Uniformly-sampled time series: the common currency of Smoother.
+//
+// Wind power supply, cluster power demand and battery schedules are all
+// uniformly sampled series (typically 1-minute or 5-minute steps). The
+// container stores the step length explicitly so resampling between the
+// 5-minute renewable traces and the 1-minute scheduling slots is checked
+// rather than implicit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "smoother/util/units.hpp"
+
+namespace smoother::util {
+
+/// A uniformly sampled scalar time series.
+///
+/// `value(i)` is the average over the half-open window
+/// [start + i*step, start + (i+1)*step). Arithmetic between two series
+/// requires identical step and length (checked, throws std::invalid_argument).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Series of `values.size()` samples spaced `step` apart.
+  TimeSeries(Minutes step, std::vector<double> values);
+
+  /// Zero-filled series with `count` samples.
+  TimeSeries(Minutes step, std::size_t count);
+
+  [[nodiscard]] Minutes step() const { return step_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Total covered duration (size * step).
+  [[nodiscard]] Minutes duration() const {
+    return Minutes{step_.value() * static_cast<double>(values_.size())};
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+  double& operator[](std::size_t i) { return values_[i]; }
+
+  /// Bounds-checked access.
+  [[nodiscard]] double at(std::size_t i) const;
+
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<double> values() { return values_; }
+
+  /// Timestamp (minutes from series start) of sample i's window start.
+  [[nodiscard]] Minutes time_at(std::size_t i) const {
+    return Minutes{step_.value() * static_cast<double>(i)};
+  }
+
+  /// Index of the sample whose window contains time t; t must lie inside
+  /// the series, otherwise throws std::out_of_range.
+  [[nodiscard]] std::size_t index_at(Minutes t) const;
+
+  void push_back(double v) { values_.push_back(v); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Contiguous sub-series of `count` samples starting at `first`.
+  [[nodiscard]] TimeSeries slice(std::size_t first, std::size_t count) const;
+
+  /// Downsample by an integer factor, averaging each block. The series
+  /// length must be divisible by `factor`.
+  [[nodiscard]] TimeSeries downsample(std::size_t factor) const;
+
+  /// Upsample by an integer factor, repeating each sample (zero-order hold);
+  /// preserves the average level so energy totals are unchanged.
+  [[nodiscard]] TimeSeries upsample(std::size_t factor) const;
+
+  /// Resample to the requested step using downsample/upsample; the ratio of
+  /// steps must be an integer in one direction or the other.
+  [[nodiscard]] TimeSeries resample(Minutes new_step) const;
+
+  /// Elementwise transform.
+  [[nodiscard]] TimeSeries map(const std::function<double(double)>& fn) const;
+
+  /// Elementwise sum/difference of equally shaped series.
+  [[nodiscard]] TimeSeries operator+(const TimeSeries& other) const;
+  [[nodiscard]] TimeSeries operator-(const TimeSeries& other) const;
+  [[nodiscard]] TimeSeries operator*(double scale) const;
+
+  /// Clamp each sample into [lo, hi].
+  [[nodiscard]] TimeSeries clamped(double lo, double hi) const;
+
+  /// Sum of samples (not energy; multiply by step for that).
+  [[nodiscard]] double sum() const;
+
+  /// Mean of samples; 0 for an empty series.
+  [[nodiscard]] double mean() const;
+
+  /// Population variance of samples; 0 for series shorter than 1.
+  [[nodiscard]] double variance() const;
+
+  /// Smallest / largest sample; throws std::logic_error when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Integral of the series interpreted as power in kW: total energy in kWh.
+  [[nodiscard]] KilowattHours total_energy() const;
+
+  bool operator==(const TimeSeries&) const = default;
+
+ private:
+  void require_same_shape(const TimeSeries& other) const;
+
+  Minutes step_{1.0};
+  std::vector<double> values_;
+};
+
+/// Elementwise minimum of two equally shaped series: the usable overlap of
+/// supply and demand (how the paper computes renewable-energy use).
+[[nodiscard]] TimeSeries elementwise_min(const TimeSeries& a,
+                                         const TimeSeries& b);
+
+/// Elementwise maximum of two equally shaped series.
+[[nodiscard]] TimeSeries elementwise_max(const TimeSeries& a,
+                                         const TimeSeries& b);
+
+}  // namespace smoother::util

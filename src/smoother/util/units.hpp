@@ -1,0 +1,117 @@
+// Strongly-typed physical quantities used throughout Smoother.
+//
+// Power is carried in kilowatts (kW), energy in kilowatt-hours (kWh) and
+// durations in minutes. Each quantity is a thin value wrapper: it costs
+// nothing at runtime but stops a kW from being silently added to a kWh.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace smoother::util {
+
+/// CRTP value wrapper for a scalar physical quantity.
+///
+/// Derived types get full arithmetic against themselves and scaling by
+/// dimensionless doubles; cross-unit arithmetic must go through explicit
+/// conversion functions (e.g. Kilowatts * Minutes -> KilowattHours).
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// Raw magnitude in the unit the derived type documents.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value_ + b.value_};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value_ - b.value_};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value_}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value_ * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  constexpr Derived& operator+=(Derived b) {
+    value_ += b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value_ -= b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Electrical power in kilowatts.
+class Kilowatts : public Quantity<Kilowatts> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Electrical energy in kilowatt-hours.
+class KilowattHours : public Quantity<KilowattHours> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Time span in minutes. Trace steps in this project are typically one or
+/// five minutes; a full evaluation horizon is tens of thousands of minutes.
+class Minutes : public Quantity<Minutes> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Wind speed in metres per second.
+class MetresPerSecond : public Quantity<MetresPerSecond> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// Energy delivered by holding `p` for `dt`.
+[[nodiscard]] constexpr KilowattHours energy(Kilowatts p, Minutes dt) {
+  return KilowattHours{p.value() * dt.value() / 60.0};
+}
+
+/// Average power that delivers `e` over `dt`.
+[[nodiscard]] constexpr Kilowatts average_power(KilowattHours e, Minutes dt) {
+  return Kilowatts{e.value() * 60.0 / dt.value()};
+}
+
+/// Hours expressed in minutes.
+[[nodiscard]] constexpr Minutes hours(double h) { return Minutes{h * 60.0}; }
+
+/// Days expressed in minutes.
+[[nodiscard]] constexpr Minutes days(double d) { return Minutes{d * 24.0 * 60.0}; }
+
+inline constexpr Minutes kFiveMinutes{5.0};
+inline constexpr Minutes kOneMinute{1.0};
+inline constexpr Minutes kOneHour{60.0};
+inline constexpr Minutes kOneDay{24.0 * 60.0};
+
+}  // namespace smoother::util

@@ -1,0 +1,37 @@
+// Shared builders for the Smoother test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::test {
+
+/// Series from explicit values at the given step.
+inline util::TimeSeries series(std::vector<double> values,
+                               util::Minutes step = util::kFiveMinutes) {
+  return util::TimeSeries(step, std::move(values));
+}
+
+/// Constant series.
+inline util::TimeSeries constant_series(double value, std::size_t count,
+                                        util::Minutes step = util::kFiveMinutes) {
+  return util::TimeSeries(step, std::vector<double>(count, value));
+}
+
+/// Deterministic sawtooth in [lo, hi] with the given period in samples.
+inline util::TimeSeries sawtooth_series(double lo, double hi,
+                                        std::size_t period, std::size_t count,
+                                        util::Minutes step = util::kFiveMinutes) {
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double phase =
+        static_cast<double>(i % period) / static_cast<double>(period);
+    values[i] = lo + (hi - lo) * phase;
+  }
+  return util::TimeSeries(step, std::move(values));
+}
+
+}  // namespace smoother::test

@@ -1,0 +1,180 @@
+#include "smoother/core/active_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/sched/scheduler.hpp"
+
+namespace smoother::core {
+namespace {
+
+using sched::Job;
+using sched::ScheduleRequest;
+using util::Kilowatts;
+using util::Minutes;
+
+Job make_job(std::uint64_t id, double arrival, double runtime, double deadline,
+             std::size_t servers = 1, double power = 10.0) {
+  Job job;
+  job.id = id;
+  job.arrival = Minutes{arrival};
+  job.runtime = Minutes{runtime};
+  job.deadline = Minutes{deadline};
+  job.servers = servers;
+  job.cpu_utilization = 0.9;
+  job.power = Kilowatts{power};
+  return job;
+}
+
+/// Renewable that is zero except for a plateau [start, end) of `level` kW.
+util::TimeSeries pulse_supply(std::size_t slots, std::size_t start,
+                              std::size_t end, double level) {
+  std::vector<double> values(slots, 0.0);
+  for (std::size_t i = start; i < end && i < slots; ++i) values[i] = level;
+  return util::TimeSeries(util::kOneMinute, std::move(values));
+}
+
+TEST(ActiveDelay, DefersIntoRenewableWindow) {
+  // Renewable only in minutes 30-40; job arrives at 0 with plenty of slack.
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 30, 40, 50.0);
+  request.total_servers = 10;
+  request.jobs = {make_job(1, 0.0, 10.0, 59.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  ASSERT_EQ(result.outcome.placements.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 30.0);
+  EXPECT_TRUE(result.outcome.placements[0].met_deadline);
+  // The job's whole 10 kW demand runs inside the window.
+  EXPECT_NEAR(result.outcome.placements[0].renewable_energy_used.value(),
+              10.0 * 10.0 / 60.0, 1e-9);
+}
+
+TEST(ActiveDelay, NonDeferrableRunsImmediately) {
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 30, 40, 50.0);
+  request.total_servers = 10;
+  // deadline == arrival + runtime: zero slack.
+  request.jobs = {make_job(1, 5.0, 10.0, 15.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 5.0);
+}
+
+TEST(ActiveDelay, RespectsDeadlineWhenChoosingStart) {
+  // The renewable window opens after the latest feasible start; the job
+  // must NOT chase it past its deadline.
+  ScheduleRequest request;
+  request.renewable = pulse_supply(120, 100, 110, 50.0);
+  request.total_servers = 10;
+  request.jobs = {make_job(1, 0.0, 10.0, 50.0)};  // latest start = 40
+  const auto result = ActiveDelayScheduler().schedule(request);
+  EXPECT_LE(result.outcome.placements[0].start.value(), 40.0);
+  EXPECT_TRUE(result.outcome.placements[0].met_deadline);
+}
+
+TEST(ActiveDelay, UpdatesRemainingRenewableBetweenJobs) {
+  // Window fits one job's power only; the second job must look elsewhere
+  // (all else equal it takes the earliest start, minute 0).
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 30, 40, 10.0);
+  request.total_servers = 10;
+  request.jobs = {make_job(1, 0.0, 10.0, 59.0, 1, 10.0),
+                  make_job(2, 0.0, 10.0, 59.0, 1, 10.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  ASSERT_EQ(result.outcome.placements.size(), 2u);
+  const double first = result.outcome.placements[0].start.value();
+  const double second = result.outcome.placements[1].start.value();
+  EXPECT_DOUBLE_EQ(first, 30.0);
+  EXPECT_NE(second, 30.0);
+  // Aggregate renewable use equals the window's full content.
+  EXPECT_NEAR(result.outcome.renewable_energy_used.value(), 10.0 * 10.0 / 60.0,
+              1e-9);
+}
+
+TEST(ActiveDelay, SlackOrderingPrioritizesUrgentJobs) {
+  // Both arrive together; the small window fits one. The urgent job (less
+  // slack) is scheduled first and wins the window.
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 20, 30, 10.0);
+  request.total_servers = 1;  // force capacity conflict too
+  request.jobs = {make_job(1, 0.0, 10.0, 59.0, 1, 10.0),   // loose
+                  make_job(2, 0.0, 10.0, 35.0, 1, 10.0)};  // tight
+  const auto result = ActiveDelayScheduler().schedule(request);
+  ASSERT_EQ(result.outcome.placements.size(), 2u);
+  // Scheduling order is slack-ascending: job 2 first.
+  EXPECT_EQ(result.outcome.placements[0].job_id, 2u);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 20.0);
+  EXPECT_EQ(result.outcome.deadline_misses, 0u);
+}
+
+TEST(ActiveDelay, HonoursClusterCapacity) {
+  // Two 1-server jobs on a 1-server cluster with the same best window:
+  // they cannot overlap.
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 10, 40, 100.0);
+  request.total_servers = 1;
+  request.jobs = {make_job(1, 0.0, 10.0, 59.0), make_job(2, 0.0, 10.0, 59.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  const auto& a = result.outcome.placements[0];
+  const auto& b = result.outcome.placements[1];
+  const bool disjoint = a.finish <= b.start || b.finish <= a.start;
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(ActiveDelay, TieBreaksTowardEarliestStart) {
+  // Uniform renewable: every start is equally good; the default config
+  // starts as early as possible.
+  ScheduleRequest request;
+  request.renewable = test::constant_series(50.0, 60, util::kOneMinute);
+  request.total_servers = 10;
+  request.jobs = {make_job(1, 7.0, 10.0, 59.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 7.0);
+}
+
+TEST(ActiveDelay, BeatsImmediateOnRenewableUse) {
+  // Misaligned pulse: immediate runs at arrival (no wind), AD defers.
+  ScheduleRequest request;
+  request.renewable = pulse_supply(120, 60, 90, 40.0);
+  request.total_servers = 10;
+  for (int j = 0; j < 5; ++j)
+    request.jobs.push_back(
+        make_job(static_cast<std::uint64_t>(j + 1), 2.0 * j, 15.0, 119.0, 1,
+                 8.0));
+  const auto ad = ActiveDelayScheduler().schedule(request);
+  const auto immediate = sched::ImmediateScheduler().schedule(request);
+  EXPECT_GT(ad.outcome.renewable_energy_used.value(),
+            immediate.outcome.renewable_energy_used.value());
+}
+
+TEST(ActiveDelay, ArrivalBeyondHorizonIsMissed) {
+  ScheduleRequest request;
+  request.renewable = pulse_supply(30, 0, 30, 10.0);
+  request.total_servers = 4;
+  request.jobs = {make_job(1, 500.0, 10.0, 600.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  EXPECT_EQ(result.outcome.deadline_misses, 1u);
+  EXPECT_DOUBLE_EQ(result.demand.sum(), 0.0);
+}
+
+TEST(ActiveDelay, BaselinePowerReducesClaimableRenewable) {
+  ScheduleRequest request;
+  request.renewable = pulse_supply(60, 30, 40, 50.0);
+  request.baseline_power = Kilowatts{45.0};
+  request.total_servers = 10;
+  request.jobs = {make_job(1, 0.0, 10.0, 59.0, 1, 10.0)};
+  const auto result = ActiveDelayScheduler().schedule(request);
+  // Only 5 kW per slot is claimable inside the window.
+  EXPECT_NEAR(result.outcome.placements[0].renewable_energy_used.value(),
+              5.0 * 10.0 / 60.0, 1e-9);
+}
+
+TEST(ActiveDelay, NameAndConfig) {
+  ActiveDelayConfig config;
+  config.prefer_early_on_tie = false;
+  const ActiveDelayScheduler scheduler(config);
+  EXPECT_EQ(scheduler.name(), "active-delay");
+  EXPECT_FALSE(scheduler.config().prefer_early_on_tie);
+}
+
+}  // namespace
+}  // namespace smoother::core

@@ -1,0 +1,89 @@
+#include "smoother/util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::util {
+namespace {
+
+ArgParser demo_parser() {
+  ArgParser parser("demo", "a demo parser");
+  parser.add_flag("verbose", "talk more")
+      .add_option("seed", "random seed", "42")
+      .add_option("name", "a label", "default-name")
+      .add_required("out", "output path");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsAndRequired) {
+  const auto parsed = demo_parser().parse({"--out", "x.csv"});
+  EXPECT_FALSE(parsed.flag("verbose"));
+  EXPECT_EQ(parsed.get("seed"), "42");
+  EXPECT_EQ(parsed.get("out"), "x.csv");
+}
+
+TEST(ArgParser, MissingRequiredThrows) {
+  EXPECT_THROW((void)demo_parser().parse({}), ArgError);
+  EXPECT_THROW((void)demo_parser().parse({"--seed", "1"}), ArgError);
+}
+
+TEST(ArgParser, FlagsAndOverrides) {
+  const auto parsed = demo_parser().parse(
+      {"--verbose", "--seed", "7", "--out", "y.csv", "--name", "abc"});
+  EXPECT_TRUE(parsed.flag("verbose"));
+  EXPECT_EQ(parsed.get("seed"), "7");
+  EXPECT_EQ(parsed.get("name"), "abc");
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  EXPECT_THROW((void)demo_parser().parse({"--out", "x", "--bogus"}), ArgError);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  EXPECT_THROW((void)demo_parser().parse({"--out"}), ArgError);
+}
+
+TEST(ArgParser, Positionals) {
+  const auto parsed = demo_parser().parse({"--out", "x", "file1", "file2"});
+  ASSERT_EQ(parsed.positional().size(), 2u);
+  EXPECT_EQ(parsed.positional()[1], "file2");
+}
+
+TEST(ParsedArgs, TypedGetters) {
+  ArgParser parser("t", "typed");
+  parser.add_option("d", "double", "2.5")
+      .add_option("i", "int", "-3")
+      .add_option("u", "unsigned", "9");
+  const auto parsed = parser.parse({});
+  EXPECT_DOUBLE_EQ(parsed.number("d"), 2.5);
+  EXPECT_EQ(parsed.integer("i"), -3);
+  EXPECT_EQ(parsed.unsigned_integer("u"), 9u);
+}
+
+TEST(ParsedArgs, TypedGetterErrors) {
+  ArgParser parser("t", "typed");
+  parser.add_option("d", "double", "abc").add_option("u", "unsigned", "-1");
+  const auto parsed = parser.parse({});
+  EXPECT_THROW((void)parsed.number("d"), ArgError);
+  EXPECT_THROW((void)parsed.unsigned_integer("u"), ArgError);
+  EXPECT_THROW((void)parsed.get("never-declared"), ArgError);
+}
+
+TEST(ParsedArgs, HasDetectsPresence) {
+  ArgParser parser("t", "t");
+  parser.add_option("with-default", "x", "1").add_required("req", "y");
+  const auto parsed = parser.parse({"--req", "v"});
+  EXPECT_TRUE(parsed.has("with-default"));
+  EXPECT_TRUE(parsed.has("req"));
+  EXPECT_FALSE(parsed.has("nope"));
+}
+
+TEST(ArgParser, UsageListsEverything) {
+  const std::string usage = demo_parser().usage();
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("(default: 42)"), std::string::npos);
+  EXPECT_NE(usage.find("(required)"), std::string::npos);
+  EXPECT_NE(usage.find("demo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smoother::util

@@ -1,0 +1,145 @@
+#include "smoother/trace/batch_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smoother::trace {
+namespace {
+
+power::DatacenterPowerModel test_dc(std::size_t servers = 11000) {
+  power::DatacenterSpec spec;
+  spec.server_count = servers;
+  return power::DatacenterPowerModel(spec);
+}
+
+TEST(BatchWorkloadParams, Validation) {
+  BatchWorkloadParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.target_utilization = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = BatchWorkloadParams{};
+  p.source_processors = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = BatchWorkloadParams{};
+  p.mean_runtime_minutes = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = BatchWorkloadParams{};
+  p.deadline_slack_min = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = BatchWorkloadParams{};
+  p.deadline_slack_max = p.deadline_slack_min - 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(BatchWorkloadModel, Deterministic) {
+  const BatchWorkloadModel model(BatchWorkloadPresets::hpc2n());
+  const auto a = model.generate(util::days(2.0), 11000, test_dc(), 5);
+  const auto b = model.generate(util::days(2.0), 11000, test_dc(), 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].arrival.value(), b[i].arrival.value());
+    EXPECT_DOUBLE_EQ(a[i].runtime.value(), b[i].runtime.value());
+  }
+}
+
+TEST(BatchWorkloadModel, JobsAreWellFormed) {
+  const BatchWorkloadModel model(BatchWorkloadPresets::lanl_cm5());
+  const auto jobs = model.generate(util::days(3.0), 11000, test_dc(), 7);
+  ASSERT_FALSE(jobs.empty());
+  const auto horizon = util::days(3.0);
+  for (const auto& job : jobs) {
+    EXPECT_NO_THROW(job.validate());
+    EXPECT_GE(job.arrival.value(), 0.0);
+    EXPECT_LT(job.arrival.value(), horizon.value());
+    // Deadline leaves at least the configured minimum slack.
+    EXPECT_GE(job.deadline.value(),
+              job.arrival.value() + 6.0 * job.runtime.value() - 1e-6);
+    EXPECT_GT(job.power.value(), 0.0);
+    EXPECT_LE(job.servers, 11000u);
+  }
+}
+
+class BatchPresetTest : public testing::TestWithParam<BatchWorkloadParams> {};
+
+TEST_P(BatchPresetTest, OfferedUtilizationNearTableII) {
+  const BatchWorkloadModel model(GetParam());
+  const auto horizon = util::days(4.0);
+  const auto jobs = model.generate(horizon, 11000, test_dc(), 99);
+  const double offered = BatchWorkloadModel::offered_utilization(
+      jobs, GetParam().source_processors, horizon);
+  // The steering loop lands within half a mean job of the target.
+  EXPECT_NEAR(offered, GetParam().target_utilization,
+              0.12 * GetParam().target_utilization)
+      << GetParam().name;
+}
+
+TEST_P(BatchPresetTest, ArrivalsConcentrateInWorkingHours) {
+  const BatchWorkloadModel model(GetParam());
+  const auto jobs = model.generate(util::days(6.0), 11000, test_dc(), 3);
+  std::size_t daytime = 0, night = 0;
+  for (const auto& job : jobs) {
+    const double hour = std::fmod(job.arrival.value() / 60.0, 24.0);
+    if (hour >= 8.0 && hour < 18.0)
+      ++daytime;
+    else
+      ++night;
+  }
+  // 10 working hours vs 14 off hours, yet most arrivals are daytime.
+  EXPECT_GT(daytime, 2 * night) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, BatchPresetTest,
+    testing::Values(BatchWorkloadPresets::llnl_thunder(),
+                    BatchWorkloadPresets::lanl_cm5(),
+                    BatchWorkloadPresets::hpc2n(),
+                    BatchWorkloadPresets::sandia_ross()),
+    [](const testing::TestParamInfo<BatchWorkloadParams>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(BatchPresets, TableIIValues) {
+  const auto all = BatchWorkloadPresets::all();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all[0].target_utilization, 0.867);
+  EXPECT_DOUBLE_EQ(all[1].target_utilization, 0.744);
+  EXPECT_DOUBLE_EQ(all[2].target_utilization, 0.601);
+  EXPECT_DOUBLE_EQ(all[3].target_utilization, 0.499);
+}
+
+TEST(BatchWorkloadModel, SwfExportRoundTrips) {
+  const BatchWorkloadModel model(BatchWorkloadPresets::sandia_ross());
+  const auto records = model.generate_swf(util::days(2.0), 11000, 21);
+  ASSERT_FALSE(records.empty());
+  for (const auto& r : records) {
+    EXPECT_TRUE(r.schedulable());
+    EXPECT_GT(r.run_time_s, 0.0);
+    EXPECT_GT(r.allocated_processors, 0);
+  }
+  // Converting the exported records back yields the same job count.
+  const auto jobs = swf_to_jobs(records, test_dc());
+  EXPECT_EQ(jobs.size(), records.size());
+}
+
+TEST(BatchWorkloadModel, RejectsDegenerateInputs) {
+  const BatchWorkloadModel model(BatchWorkloadPresets::hpc2n());
+  EXPECT_THROW(model.generate(util::Minutes{0.0}, 100, test_dc(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(model.generate(util::days(1.0), 0, test_dc(), 1),
+               std::invalid_argument);
+}
+
+TEST(OfferedUtilization, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(
+      BatchWorkloadModel::offered_utilization({}, 100, util::days(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      BatchWorkloadModel::offered_utilization({}, 0, util::days(1.0)), 0.0);
+}
+
+}  // namespace
+}  // namespace smoother::trace

@@ -1,0 +1,188 @@
+#include "smoother/battery/battery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::battery {
+namespace {
+
+using util::KilowattHours;
+using util::Kilowatts;
+using util::Minutes;
+
+BatterySpec lossless_spec() {
+  BatterySpec spec;
+  spec.capacity = KilowattHours{100.0};
+  spec.max_charge_rate = Kilowatts{120.0};
+  spec.max_discharge_rate = Kilowatts{120.0};
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+TEST(BatterySpec, Validation) {
+  BatterySpec spec = lossless_spec();
+  EXPECT_NO_THROW(spec.validate());
+  spec.capacity = KilowattHours{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = lossless_spec();
+  spec.min_soc_fraction = 0.9;
+  spec.max_soc_fraction = 0.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = lossless_spec();
+  spec.max_charge_rate = Kilowatts{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = lossless_spec();
+  spec.charge_efficiency = 1.2;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(BatterySpec, EnergyWindow) {
+  const BatterySpec spec = lossless_spec();
+  EXPECT_DOUBLE_EQ(spec.min_energy().value(), 10.0);
+  EXPECT_DOUBLE_EQ(spec.max_energy().value(), 100.0);
+}
+
+TEST(SpecForMaxRate, PaperSizingRule) {
+  // Capacity sustains one 5-minute point at the max rate.
+  const BatterySpec spec =
+      spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes);
+  EXPECT_NEAR(spec.capacity.value(), 488.0 * 5.0 / 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(spec.max_charge_rate.value(), 488.0);
+  EXPECT_DOUBLE_EQ(spec.max_discharge_rate.value(), 488.0);
+  // Headroom widens the capacity.
+  const BatterySpec wide =
+      spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes, 6.0);
+  EXPECT_NEAR(wide.capacity.value(), 6.0 * spec.capacity.value(), 1e-9);
+  EXPECT_THROW((void)spec_for_max_rate(Kilowatts{0.0}, util::kFiveMinutes),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_for_max_rate(Kilowatts{1.0}, Minutes{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)spec_for_max_rate(Kilowatts{1.0}, util::kFiveMinutes, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Battery, InitialSocDefaultsToMidCorridor) {
+  const Battery battery(lossless_spec());
+  EXPECT_NEAR(battery.soc_fraction(), 0.55, 1e-12);
+}
+
+TEST(Battery, InitialSocValidated) {
+  EXPECT_THROW(Battery(lossless_spec(), 0.05), std::invalid_argument);
+  EXPECT_THROW(Battery(lossless_spec(), 1.01), std::invalid_argument);
+  const Battery ok(lossless_spec(), 0.10);
+  EXPECT_NEAR(ok.soc_fraction(), 0.10, 1e-12);
+}
+
+TEST(Battery, ChargeRespectsRateLimit) {
+  Battery battery(lossless_spec(), 0.2);
+  const Kilowatts accepted = battery.charge(Kilowatts{1000.0}, Minutes{60.0});
+  EXPECT_DOUBLE_EQ(accepted.value(), 80.0);  // SoC ceiling binds: 80 kWh room
+}
+
+TEST(Battery, ChargeRespectsSocCeiling) {
+  Battery battery(lossless_spec(), 0.95);
+  // Room = 5 kWh; an hour at 120 kW would overfill, so only 5 kW accepted.
+  const Kilowatts accepted = battery.charge(Kilowatts{120.0}, Minutes{60.0});
+  EXPECT_NEAR(accepted.value(), 5.0, 1e-9);
+  EXPECT_NEAR(battery.soc_fraction(), 1.0, 1e-9);
+}
+
+TEST(Battery, DischargeRespectsSocFloor) {
+  Battery battery(lossless_spec(), 0.15);
+  // Available above the floor: 5 kWh.
+  const Kilowatts delivered =
+      battery.discharge(Kilowatts{120.0}, Minutes{60.0});
+  EXPECT_NEAR(delivered.value(), 5.0, 1e-9);
+  EXPECT_NEAR(battery.soc_fraction(), 0.10, 1e-9);
+  // Nothing left above the floor.
+  EXPECT_DOUBLE_EQ(battery.max_discharge_power(Minutes{5.0}).value(), 0.0);
+}
+
+TEST(Battery, RateLimitBindsOverShortSteps) {
+  Battery battery(lossless_spec(), 0.5);
+  const Kilowatts accepted = battery.charge(Kilowatts{500.0}, Minutes{5.0});
+  EXPECT_DOUBLE_EQ(accepted.value(), 120.0);  // rate limit
+  const Kilowatts delivered =
+      battery.discharge(Kilowatts{500.0}, Minutes{5.0});
+  EXPECT_DOUBLE_EQ(delivered.value(), 120.0);
+}
+
+TEST(Battery, NegativeRequestsThrow) {
+  Battery battery(lossless_spec());
+  EXPECT_THROW(battery.charge(Kilowatts{-1.0}, Minutes{5.0}),
+               std::invalid_argument);
+  EXPECT_THROW(battery.discharge(Kilowatts{-1.0}, Minutes{5.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)battery.max_charge_power(Minutes{0.0}), std::invalid_argument);
+}
+
+TEST(Battery, ChargeEfficiencyLosesEnergy) {
+  BatterySpec spec = lossless_spec();
+  spec.charge_efficiency = 0.8;
+  Battery battery(spec, 0.5);
+  battery.charge(Kilowatts{60.0}, Minutes{60.0});  // 60 kWh in, 48 stored
+  EXPECT_NEAR(battery.energy().value(), 50.0 + 48.0, 1e-9);
+}
+
+TEST(Battery, DischargeEfficiencyDrawsMore) {
+  BatterySpec spec = lossless_spec();
+  spec.discharge_efficiency = 0.8;
+  Battery battery(spec, 0.5);
+  const Kilowatts delivered = battery.discharge(Kilowatts{8.0}, Minutes{60.0});
+  EXPECT_NEAR(delivered.value(), 8.0, 1e-9);
+  // 8 kWh delivered required 10 kWh from the cell.
+  EXPECT_NEAR(battery.energy().value(), 40.0, 1e-9);
+}
+
+TEST(Battery, ApplySignedFollowsPaperConvention) {
+  Battery battery(lossless_spec(), 0.5);
+  // Positive s discharges.
+  const Kilowatts out = battery.apply_signed(Kilowatts{12.0}, Minutes{60.0});
+  EXPECT_NEAR(out.value(), 12.0, 1e-9);
+  EXPECT_NEAR(battery.energy().value(), 38.0, 1e-9);
+  // Negative s charges; the return keeps the sign.
+  const Kilowatts in = battery.apply_signed(Kilowatts{-12.0}, Minutes{60.0});
+  EXPECT_NEAR(in.value(), -12.0, 1e-9);
+  EXPECT_NEAR(battery.energy().value(), 50.0, 1e-9);
+}
+
+TEST(Battery, EnergyConservationRoundTrip) {
+  Battery battery(lossless_spec(), 0.5);
+  const double before = battery.energy().value();
+  battery.charge(Kilowatts{30.0}, Minutes{30.0});
+  battery.discharge(Kilowatts{30.0}, Minutes{30.0});
+  EXPECT_NEAR(battery.energy().value(), before, 1e-9);
+}
+
+TEST(Battery, EquivalentFullCyclesCountsThroughput) {
+  Battery battery(lossless_spec(), 0.5);
+  // Usable window = 90 kWh; cycle 45 in + 45 out = half a full cycle.
+  battery.charge(Kilowatts{45.0}, Minutes{60.0});
+  battery.discharge(Kilowatts{45.0}, Minutes{60.0});
+  EXPECT_NEAR(battery.equivalent_full_cycles(), 0.5, 1e-9);
+  EXPECT_NEAR(battery.total_charged().value(), 45.0, 1e-9);
+  EXPECT_NEAR(battery.total_discharged().value(), 45.0, 1e-9);
+}
+
+TEST(Battery, SocStaysInCorridorUnderRandomOps) {
+  Battery battery(lossless_spec());
+  std::uint64_t state = 88172645463325252ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const double request = static_cast<double>(next() % 200);
+    if (next() % 2 == 0)
+      battery.charge(Kilowatts{request}, Minutes{5.0});
+    else
+      battery.discharge(Kilowatts{request}, Minutes{5.0});
+    EXPECT_GE(battery.soc_fraction(), 0.10 - 1e-9);
+    EXPECT_LE(battery.soc_fraction(), 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace smoother::battery

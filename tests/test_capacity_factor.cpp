@@ -1,0 +1,70 @@
+#include "smoother/power/capacity_factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::power {
+namespace {
+
+using util::Kilowatts;
+
+TEST(CapacityFactor, SeriesDividesByRated) {
+  const auto power = test::series({400.0, 800.0, 0.0});
+  const auto cf = capacity_factor_series(power, Kilowatts{800.0});
+  EXPECT_DOUBLE_EQ(cf[0], 0.5);
+  EXPECT_DOUBLE_EQ(cf[1], 1.0);
+  EXPECT_DOUBLE_EQ(cf[2], 0.0);
+}
+
+TEST(CapacityFactor, RejectsNonPositiveRated) {
+  const auto power = test::series({1.0});
+  EXPECT_THROW(capacity_factor_series(power, Kilowatts{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)average_capacity_factor(power, Kilowatts{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(CapacityFactor, AverageMatchesEq7) {
+  const auto power = test::series({200.0, 400.0, 600.0, 800.0});
+  EXPECT_DOUBLE_EQ(average_capacity_factor(power, Kilowatts{800.0}), 0.625);
+}
+
+TEST(CapacityFactor, VarianceMatchesEq6) {
+  // CF values: 0.25, 0.75 -> mean 0.5, population variance 0.0625.
+  const auto power = test::series({200.0, 600.0});
+  EXPECT_DOUBLE_EQ(capacity_factor_variance(power, Kilowatts{800.0}), 0.0625);
+}
+
+TEST(CapacityFactor, VarianceIsScaleFree) {
+  // Doubling both power and rated power leaves CF variance unchanged.
+  const auto power = test::series({100.0, 300.0, 250.0, 50.0});
+  const double v1 = capacity_factor_variance(power, Kilowatts{400.0});
+  const double v2 = capacity_factor_variance(power * 2.0, Kilowatts{800.0});
+  EXPECT_NEAR(v1, v2, 1e-12);
+}
+
+TEST(CapacityFactor, IntervalVariancesCutDisjointWindows) {
+  // Two hours of 5-min samples: first hour constant (variance 0), second
+  // hour alternating (variance > 0).
+  std::vector<double> values(24, 400.0);
+  for (std::size_t i = 12; i < 24; ++i) values[i] = (i % 2 == 0) ? 0.0 : 800.0;
+  const auto power = test::series(std::move(values));
+  const auto vars =
+      interval_capacity_factor_variances(power, Kilowatts{800.0}, 12);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_DOUBLE_EQ(vars[0], 0.0);
+  EXPECT_DOUBLE_EQ(vars[1], 0.25);
+}
+
+TEST(CapacityFactor, IntervalVariancesDropPartialTail) {
+  const auto power = test::constant_series(100.0, 30);
+  const auto vars =
+      interval_capacity_factor_variances(power, Kilowatts{800.0}, 12);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_THROW(interval_capacity_factor_variances(power, Kilowatts{800.0}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smoother::power

@@ -1,0 +1,84 @@
+#include "smoother/stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::stats {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, ProbabilityAtKnownPoints) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, ValueAtQuantiles) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.95), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 50.0);
+  EXPECT_THROW((void)cdf.value_at(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cdf.value_at(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, ValueAtInvertsProbabilityAt) {
+  util::Rng rng(21);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const EmpiricalCdf cdf(xs);
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double v = cdf.value_at(p);
+    // F(F^{-1}(p)) >= p, and strictly smaller values have F < p.
+    EXPECT_GE(cdf.probability_at(v), p);
+    EXPECT_LT(cdf.probability_at(v - 1e-9) + 1e-12, p + 1.0 / 1000 + 1e-9);
+  }
+}
+
+TEST(EmpiricalCdf, MinMaxAndSize) {
+  const std::vector<double> xs = {5.0, -2.0, 7.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.min(), -2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 7.0);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotoneAndSpansRange) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  const EmpiricalCdf cdf(xs);
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_DOUBLE_EQ(curve.front().first, cdf.min());
+  EXPECT_DOUBLE_EQ(curve.back().first, cdf.max());
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, DuplicateValues) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0, 5.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.probability_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.9), 5.0);
+}
+
+}  // namespace
+}  // namespace smoother::stats

@@ -1,0 +1,105 @@
+#include "smoother/solver/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::solver {
+namespace {
+
+/// Random SPD matrix A = B Bᵀ + n*I.
+Matrix random_spd(std::size_t n, util::Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal(0.0, 1.0);
+  Matrix a = b * b.transpose();
+  a.add_diagonal(static_cast<double>(n));
+  return a;
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  const Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  const auto chol = Cholesky::factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  const Vector x = chol->solve(Vector{8.0, 7.0});
+  // 4x + 2y = 8, 2x + 3y = 7 -> x = 1.25, y = 1.5
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(Cholesky, FactorReproducesMatrix) {
+  util::Rng rng(2);
+  const Matrix a = random_spd(6, rng);
+  const auto chol = Cholesky::factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix reconstructed = chol->lower() * chol->lower().transpose();
+  EXPECT_LT(reconstructed.max_abs_diff(a), 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix indefinite = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factorize(indefinite).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky::factorize(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, SolveValidatesSize) {
+  const auto chol = Cholesky::factorize(Matrix::identity(2));
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_THROW(chol->solve(Vector{1.0}), std::invalid_argument);
+  EXPECT_EQ(chol->dimension(), 2u);
+}
+
+TEST(Ldlt, SolvesRandomSystems) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 7;
+    const Matrix a = random_spd(n, rng);
+    Vector b(n);
+    for (double& v : b) v = rng.normal(0.0, 5.0);
+    const auto ldlt = Ldlt::factorize(a);
+    ASSERT_TRUE(ldlt.has_value());
+    const Vector x = ldlt->solve(b);
+    const Vector ax = a * x;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+  }
+}
+
+TEST(Ldlt, HandlesIndefiniteSystems) {
+  // LDLᵀ (unpivoted) still factorizes this indefinite matrix because no
+  // leading pivot vanishes.
+  const Matrix a = {{2.0, 1.0}, {1.0, -3.0}};
+  const auto ldlt = Ldlt::factorize(a);
+  ASSERT_TRUE(ldlt.has_value());
+  const Vector x = ldlt->solve(Vector{1.0, 1.0});
+  const Vector ax = a * x;
+  EXPECT_NEAR(ax[0], 1.0, 1e-12);
+  EXPECT_NEAR(ax[1], 1.0, 1e-12);
+}
+
+TEST(Ldlt, RejectsSingular) {
+  const Matrix singular = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(Ldlt::factorize(singular).has_value());
+}
+
+TEST(Ldlt, RejectsNonSquare) {
+  EXPECT_THROW(Ldlt::factorize(Matrix(3, 2)), std::invalid_argument);
+}
+
+TEST(CholeskyVsLdlt, AgreeOnSpd) {
+  util::Rng rng(7);
+  const Matrix a = random_spd(5, rng);
+  Vector b(5);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto chol = Cholesky::factorize(a);
+  const auto ldlt = Ldlt::factorize(a);
+  ASSERT_TRUE(chol && ldlt);
+  const Vector x1 = chol->solve(b);
+  const Vector x2 = ldlt->solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace smoother::solver

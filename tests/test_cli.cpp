@@ -1,0 +1,181 @@
+// End-to-end tests of the smoother_cli subcommands (through the library
+// entry points, with real files in the test temp dir).
+#include "smoother/cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "smoother/trace/swf.hpp"
+#include "smoother/trace/trace_io.hpp"
+
+namespace smoother::cli {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct CliRun {
+  int code = -1;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::string& command, const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  CliRun result;
+  result.code = run_command(command, args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(Cli, UnknownCommand) {
+  const auto result = run("frobnicate", {});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, CommandNamesListed) {
+  const auto names = command_names();
+  EXPECT_EQ(names.size(), 7u);
+  const std::string usage = main_usage();
+  for (const auto& name : names)
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, GenWindWritesLoadableSeries) {
+  const std::string path = temp_path("cli_wind.csv");
+  const auto result = run("gen-wind", {"--site", "CO", "--days", "1",
+                                       "--seed", "5", "--out", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("288 samples"), std::string::npos);
+  const auto series = trace::load_series(path, "wind_kw");
+  EXPECT_EQ(series.size(), 288u);
+  EXPECT_GE(series.min(), 0.0);
+}
+
+TEST(Cli, GenWindRejectsBadSite) {
+  const auto result =
+      run("gen-wind", {"--site", "ZZ", "--out", temp_path("x.csv")});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown wind site"), std::string::npos);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, GenWindRequiresOut) {
+  const auto result = run("gen-wind", {"--site", "TX"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, GenSolarWritesSeries) {
+  const std::string path = temp_path("cli_solar.csv");
+  const auto result =
+      run("gen-solar", {"--site", "desert", "--days", "1", "--out", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const auto series = trace::load_series(path, "solar_kw");
+  EXPECT_EQ(series.size(), 288u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);  // midnight
+}
+
+TEST(Cli, GenWebMeanMatchesPreset) {
+  const std::string path = temp_path("cli_web.csv");
+  const auto result = run(
+      "gen-web", {"--preset", "clark", "--days", "2", "--out", path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const auto series = trace::load_series(path, "cpu_utilization");
+  EXPECT_NEAR(series.mean(), 0.3578, 0.02);
+}
+
+TEST(Cli, GenBatchWritesJobsAndSwf) {
+  const std::string jobs_path = temp_path("cli_jobs.csv");
+  const std::string swf_path = temp_path("cli_jobs.swf");
+  const auto result =
+      run("gen-batch", {"--preset", "ross", "--days", "2", "--out", jobs_path,
+                        "--swf", swf_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  const auto jobs = trace::load_jobs(jobs_path);
+  EXPECT_FALSE(jobs.empty());
+  const auto records = trace::load_swf(swf_path);
+  EXPECT_EQ(records.size(), jobs.size());
+}
+
+TEST(Cli, SmoothPipeline) {
+  const std::string wind = temp_path("cli_wind2.csv");
+  ASSERT_EQ(run("gen-wind", {"--site", "TX", "--days", "2", "--out", wind})
+                .code,
+            0);
+  const std::string smoothed = temp_path("cli_smoothed.csv");
+  const auto result = run("smooth", {"--supply", wind, "--out", smoothed});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("variance reduction"), std::string::npos);
+  const auto before = trace::load_series(wind, "wind_kw");
+  const auto after = trace::load_series(smoothed, "smoothed_kw");
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_LT(after.variance(), before.variance() * 1.01);
+}
+
+TEST(Cli, SmoothTrendFlag) {
+  const std::string solar = temp_path("cli_solar2.csv");
+  ASSERT_EQ(
+      run("gen-solar", {"--site", "coastal", "--days", "2", "--out", solar})
+          .code,
+      0);
+  const std::string smoothed = temp_path("cli_solar_smoothed.csv");
+  const auto result =
+      run("smooth", {"--supply", solar, "--out", smoothed, "--trend"});
+  EXPECT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, SchedulePoliciesRankAsExpected) {
+  const std::string wind = temp_path("cli_wind3.csv");
+  const std::string jobs = temp_path("cli_jobs3.csv");
+  ASSERT_EQ(run("gen-wind", {"--site", "CO", "--days", "3", "--out", wind})
+                .code,
+            0);
+  ASSERT_EQ(run("gen-batch",
+                {"--preset", "hpc2n", "--days", "3", "--out", jobs})
+                .code,
+            0);
+  const auto ad = run("schedule", {"--supply", wind, "--jobs", jobs,
+                                   "--policy", "ad"});
+  const auto fifo = run("schedule", {"--supply", wind, "--jobs", jobs,
+                                     "--policy", "fifo"});
+  EXPECT_EQ(ad.code, 0) << ad.err;
+  EXPECT_EQ(fifo.code, 0) << fifo.err;
+  // Extract the "renewable used X/Y" figure and compare.
+  const auto used = [](const std::string& text) {
+    const auto pos = text.find("renewable used ");
+    return std::stod(text.substr(pos + 15));
+  };
+  EXPECT_GE(used(ad.out), used(fifo.out));
+}
+
+TEST(Cli, ScheduleRejectsBadPolicy) {
+  const auto result = run("schedule", {"--supply", "a", "--jobs", "b",
+                                       "--policy", "lifo"});
+  EXPECT_EQ(result.code, 2);
+}
+
+TEST(Cli, MetricsOnGeneratedPair) {
+  const std::string wind = temp_path("cli_wind4.csv");
+  ASSERT_EQ(run("gen-wind", {"--site", "TX", "--days", "1", "--out", wind})
+                .code,
+            0);
+  const auto result = run("metrics", {"--supply", wind, "--demand", wind});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("switching times: 0"), std::string::npos);
+  EXPECT_NE(result.out.find("utilization: 1.000"), std::string::npos);
+}
+
+TEST(Cli, MetricsMissingFileFailsCleanly) {
+  const auto result =
+      run("metrics", {"--supply", "/nonexistent.csv", "--demand", "/n2.csv"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smoother::cli

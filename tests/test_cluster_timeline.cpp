@@ -1,0 +1,83 @@
+#include "smoother/sched/cluster_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::sched {
+namespace {
+
+using util::Kilowatts;
+using util::Minutes;
+
+TEST(ClusterTimeline, Validation) {
+  EXPECT_THROW(ClusterTimeline(0, Minutes{1.0}, 10), std::invalid_argument);
+  EXPECT_THROW(ClusterTimeline(10, Minutes{1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(ClusterTimeline(10, Minutes{0.0}, 10), std::invalid_argument);
+}
+
+TEST(ClusterTimeline, SlotMath) {
+  const ClusterTimeline t(100, Minutes{5.0}, 10);
+  EXPECT_EQ(t.slots(), 100u);
+  EXPECT_DOUBLE_EQ(t.horizon().value(), 500.0);
+  EXPECT_EQ(t.slot_of(Minutes{0.0}), 0u);
+  EXPECT_EQ(t.slot_of(Minutes{4.9}), 0u);
+  EXPECT_EQ(t.slot_of(Minutes{5.0}), 1u);
+  EXPECT_EQ(t.slot_of(Minutes{9999.0}), 99u);  // clamps
+  EXPECT_THROW((void)t.slot_of(Minutes{-1.0}), std::invalid_argument);
+}
+
+TEST(ClusterTimeline, SlotsForCeils) {
+  const ClusterTimeline t(100, Minutes{5.0}, 10);
+  EXPECT_EQ(t.slots_for(Minutes{0.0}), 0u);
+  EXPECT_EQ(t.slots_for(Minutes{5.0}), 1u);
+  EXPECT_EQ(t.slots_for(Minutes{5.1}), 2u);
+  EXPECT_EQ(t.slots_for(Minutes{60.0}), 12u);
+}
+
+TEST(ClusterTimeline, PlaceAndCapacity) {
+  ClusterTimeline t(10, Minutes{1.0}, 10);
+  EXPECT_TRUE(t.can_place(0, 5, 10));
+  t.place(0, 5, 6, Kilowatts{12.0});
+  EXPECT_EQ(t.used_servers(0), 6u);
+  EXPECT_EQ(t.free_servers(4), 4u);
+  EXPECT_EQ(t.free_servers(5), 10u);
+  EXPECT_TRUE(t.can_place(0, 5, 4));
+  EXPECT_FALSE(t.can_place(0, 5, 5));
+  EXPECT_THROW(t.place(0, 5, 5, Kilowatts{1.0}), std::logic_error);
+  EXPECT_FALSE(t.can_place(10, 1, 1));  // beyond horizon
+}
+
+TEST(ClusterTimeline, DemandAccumulates) {
+  ClusterTimeline t(4, Minutes{1.0}, 100);
+  t.place(0, 2, 10, Kilowatts{5.0});
+  t.place(1, 2, 20, Kilowatts{7.0});
+  const auto& demand = t.demand();
+  EXPECT_DOUBLE_EQ(demand[0], 5.0);
+  EXPECT_DOUBLE_EQ(demand[1], 12.0);
+  EXPECT_DOUBLE_EQ(demand[2], 7.0);
+  EXPECT_DOUBLE_EQ(demand[3], 0.0);
+}
+
+TEST(ClusterTimeline, PlacementTruncatesAtHorizon) {
+  ClusterTimeline t(3, Minutes{1.0}, 5);
+  t.place(2, 10, 3, Kilowatts{1.0});  // runs off the end
+  EXPECT_EQ(t.used_servers(2), 3u);
+  EXPECT_DOUBLE_EQ(t.demand()[2], 1.0);
+}
+
+TEST(ClusterTimeline, EarliestFitSkipsBusySlots) {
+  ClusterTimeline t(10, Minutes{1.0}, 4);
+  t.place(2, 3, 4, Kilowatts{1.0});  // slots 2-4 fully busy
+  EXPECT_EQ(t.earliest_fit(0, 2, 2), 0u);
+  EXPECT_EQ(t.earliest_fit(1, 2, 2), 5u);  // 1 would overlap slot 2
+  EXPECT_EQ(t.earliest_fit(3, 1, 1), 5u);
+  EXPECT_EQ(t.earliest_fit(0, 1, 5), 10u);  // bigger than the cluster
+}
+
+TEST(ClusterTimeline, BoundsChecking) {
+  const ClusterTimeline t(3, Minutes{1.0}, 2);
+  EXPECT_THROW((void)t.free_servers(3), std::out_of_range);
+  EXPECT_THROW((void)t.used_servers(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace smoother::sched

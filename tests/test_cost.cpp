@@ -1,0 +1,100 @@
+#include "smoother/sim/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::sim {
+namespace {
+
+using util::KilowattHours;
+
+TEST(TariffSpec, Validation) {
+  TariffSpec tariff;
+  EXPECT_NO_THROW(tariff.validate());
+  tariff.peak_price_per_kwh = 0.01;  // below off-peak
+  EXPECT_THROW(tariff.validate(), std::invalid_argument);
+  tariff = TariffSpec{};
+  tariff.peak_start_hour = 23.0;
+  tariff.peak_end_hour = 8.0;
+  EXPECT_THROW(tariff.validate(), std::invalid_argument);
+  tariff = TariffSpec{};
+  tariff.demand_charge_per_kw = -1.0;
+  EXPECT_THROW(tariff.validate(), std::invalid_argument);
+}
+
+TEST(TariffSpec, PeakWindow) {
+  TariffSpec tariff;  // 8-22
+  EXPECT_FALSE(tariff.is_peak_hour(7.9));
+  EXPECT_TRUE(tariff.is_peak_hour(8.0));
+  EXPECT_TRUE(tariff.is_peak_hour(21.9));
+  EXPECT_FALSE(tariff.is_peak_hour(22.0));
+}
+
+TEST(CostModel, GridEnergyUsesTimeOfUse) {
+  TariffSpec tariff;
+  tariff.peak_price_per_kwh = 0.20;
+  tariff.offpeak_price_per_kwh = 0.10;
+  const CostModel model(tariff);
+  // 24 hourly samples of 100 kW: 14 peak hours + 10 off-peak hours.
+  const auto grid = test::constant_series(100.0, 24, util::kOneHour);
+  const double expected = 100.0 * (14.0 * 0.20 + 10.0 * 0.10);
+  EXPECT_NEAR(model.grid_energy_cost(grid), expected, 1e-9);
+}
+
+TEST(CostModel, OffPeakOnlySeries) {
+  const CostModel model;
+  // Six 5-minute samples starting at midnight: all off-peak.
+  const auto grid = test::constant_series(120.0, 6);
+  EXPECT_NEAR(model.grid_energy_cost(grid),
+              120.0 * 0.5 * model.tariff().offpeak_price_per_kwh, 1e-9);
+}
+
+TEST(CostModel, DemandChargeOnPeakDraw) {
+  const CostModel model;
+  const auto grid = test::series({10.0, 250.0, 40.0});
+  EXPECT_NEAR(model.demand_charge(grid),
+              250.0 * model.tariff().demand_charge_per_kw, 1e-9);
+  EXPECT_DOUBLE_EQ(model.demand_charge(util::TimeSeries{}), 0.0);
+}
+
+TEST(CostModel, NegativeGridPowerIgnored) {
+  const CostModel model;
+  const auto grid = test::series({-50.0, -10.0});
+  EXPECT_DOUBLE_EQ(model.grid_energy_cost(grid), 0.0);
+  EXPECT_DOUBLE_EQ(model.demand_charge(grid), 0.0);
+}
+
+TEST(CostModel, BatteryWearAmortizesPackPrice) {
+  TariffSpec tariff;
+  tariff.battery_pack_price_per_kwh = 400.0;
+  const CostModel model(tariff);
+  // 1 % of a 50 kWh pack's life = 0.01 * 50 * 400.
+  EXPECT_NEAR(model.battery_wear_cost(0.01, KilowattHours{50.0}), 200.0,
+              1e-9);
+  EXPECT_THROW((void)model.battery_wear_cost(-0.1, KilowattHours{50.0}),
+               std::invalid_argument);
+}
+
+TEST(CostModel, BreakdownSumsComponents) {
+  const CostModel model;
+  const auto grid = test::constant_series(100.0, 12);
+  const CostBreakdown b = model.price(grid, 0.002, KilowattHours{40.0});
+  EXPECT_NEAR(b.total(),
+              b.grid_energy_cost + b.demand_charge + b.battery_wear_cost,
+              1e-12);
+  EXPECT_GT(b.grid_energy_cost, 0.0);
+  EXPECT_GT(b.demand_charge, 0.0);
+  EXPECT_GT(b.battery_wear_cost, 0.0);
+}
+
+TEST(CostModel, CheaperWhenLessGridIsUsed) {
+  const CostModel model;
+  const auto heavy = test::constant_series(500.0, 288);
+  const auto light = test::constant_series(100.0, 288);
+  EXPECT_LT(model.price(light, 0.0, KilowattHours{1.0}).total(),
+            model.price(heavy, 0.0, KilowattHours{1.0}).total());
+}
+
+}  // namespace
+}  // namespace smoother::sim

@@ -1,0 +1,105 @@
+#include "smoother/power/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::power {
+namespace {
+
+using util::Kilowatts;
+
+TEST(DatacenterSpec, Validation) {
+  DatacenterSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.server_count = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = DatacenterSpec{};
+  spec.server_idle_watts = 200.0;  // above peak (186)
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = DatacenterSpec{};
+  spec.pue = 0.9;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = DatacenterSpec{};
+  spec.network_fraction = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DatacenterPowerModel, Eq5ServerPower) {
+  const DatacenterPowerModel model;  // 11000 servers, 186/62 W
+  // Idle fleet: 62 W * 11000 = 682 kW.
+  EXPECT_NEAR(model.server_power(0.0).value(), 682.0, 1e-9);
+  // Full fleet: 186 W * 11000 = 2046 kW.
+  EXPECT_NEAR(model.server_power(1.0).value(), 2046.0, 1e-9);
+  // Linear in between (Eq. 5): idle + (peak-idle)*mu.
+  EXPECT_NEAR(model.server_power(0.5).value(), 682.0 + 0.5 * 1364.0, 1e-9);
+}
+
+TEST(DatacenterPowerModel, UtilizationClamped) {
+  const DatacenterPowerModel model;
+  EXPECT_DOUBLE_EQ(model.server_power(-0.5).value(),
+                   model.server_power(0.0).value());
+  EXPECT_DOUBLE_EQ(model.server_power(1.5).value(),
+                   model.server_power(1.0).value());
+}
+
+TEST(DatacenterPowerModel, Eq4NetworkConstant) {
+  const DatacenterPowerModel model;
+  // 10 % of total server peak: 0.1 * 2046 kW.
+  EXPECT_NEAR(model.network_power().value(), 204.6, 1e-9);
+  EXPECT_NEAR(model.it_power(0.0).value(), 682.0 + 204.6, 1e-9);
+}
+
+TEST(DatacenterPowerModel, Eq3PueMultiplier) {
+  const DatacenterPowerModel model;
+  EXPECT_NEAR(model.system_power(1.0).value(), (2046.0 + 204.6) * 1.3, 1e-9);
+  EXPECT_DOUBLE_EQ(model.min_system_power().value(),
+                   model.system_power(0.0).value());
+  EXPECT_DOUBLE_EQ(model.max_system_power().value(),
+                   model.system_power(1.0).value());
+}
+
+TEST(DatacenterPowerModel, UtilizationForInvertsSystemPower) {
+  const DatacenterPowerModel model;
+  for (double mu : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(model.utilization_for(model.system_power(mu)), mu, 1e-9);
+  }
+  // Outside the band clamps.
+  EXPECT_DOUBLE_EQ(model.utilization_for(Kilowatts{0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(model.utilization_for(Kilowatts{1e9}), 1.0);
+}
+
+TEST(DatacenterPowerModel, PowerSeries) {
+  const DatacenterPowerModel model;
+  const util::TimeSeries mu = test::series({0.0, 1.0});
+  const util::TimeSeries power = model.power_series(mu);
+  EXPECT_DOUBLE_EQ(power[0], model.min_system_power().value());
+  EXPECT_DOUBLE_EQ(power[1], model.max_system_power().value());
+}
+
+TEST(DatacenterPowerModel, JobPowerScalesWithServersAndUtilization) {
+  const DatacenterPowerModel model;
+  const double one = model.job_power(1, 1.0).value();
+  // One server flat out: (62 + 124) W * PUE.
+  EXPECT_NEAR(one, 0.186 * 1.3, 1e-9);
+  EXPECT_NEAR(model.job_power(100, 1.0).value(), 100.0 * one, 1e-9);
+  EXPECT_LT(model.job_power(100, 0.2).value(),
+            model.job_power(100, 0.9).value());
+  // Larger than the fleet clamps to the fleet.
+  EXPECT_DOUBLE_EQ(model.job_power(50000, 1.0).value(),
+                   model.job_power(11000, 1.0).value());
+}
+
+TEST(DatacenterPowerModel, CustomSpec) {
+  DatacenterSpec spec;
+  spec.server_count = 100;
+  spec.server_peak_watts = 200.0;
+  spec.server_idle_watts = 100.0;
+  spec.pue = 2.0;
+  spec.network_fraction = 0.0;
+  const DatacenterPowerModel model(spec);
+  EXPECT_NEAR(model.system_power(0.5).value(), (10.0 + 5.0) * 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace smoother::power

@@ -1,0 +1,128 @@
+#include "smoother/sim/dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::sim {
+namespace {
+
+using test::constant_series;
+using test::series;
+using util::Kilowatts;
+using util::KilowattHours;
+
+battery::BatterySpec small_battery() {
+  battery::BatterySpec spec;
+  spec.capacity = KilowattHours{10.0};
+  spec.max_charge_rate = Kilowatts{120.0};
+  spec.max_discharge_rate = Kilowatts{120.0};
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+TEST(Dispatch, ValidatesInputs) {
+  const auto supply = constant_series(10.0, 4);
+  const auto short_demand = constant_series(10.0, 3);
+  EXPECT_THROW(dispatch(supply, short_demand, DispatchPolicy::kDirect),
+               std::invalid_argument);
+  EXPECT_THROW(dispatch(supply, supply, DispatchPolicy::kComp, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Dispatch, DirectPolicyPassesSupplyThrough) {
+  const auto supply = series({100.0, 20.0});
+  const auto demand = series({50.0, 60.0});
+  const auto result = dispatch(supply, demand, DispatchPolicy::kDirect);
+  EXPECT_EQ(result.effective_supply, supply);
+  EXPECT_NEAR(result.renewable_used.value(), 70.0 * 5.0 / 60.0, 1e-9);
+  EXPECT_NEAR(result.grid_energy.value(), 40.0 * 5.0 / 60.0, 1e-9);
+  EXPECT_NEAR(result.spilled_renewable.value(), 50.0 * 5.0 / 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.battery_equivalent_cycles, 0.0);
+}
+
+TEST(Dispatch, EnergyBalanceHolds) {
+  const auto supply = series({100.0, 20.0, 0.0, 80.0});
+  const auto demand = series({50.0, 60.0, 30.0, 80.0});
+  for (DispatchPolicy policy :
+       {DispatchPolicy::kDirect, DispatchPolicy::kComp,
+        DispatchPolicy::kCompMatching}) {
+    battery::Battery battery(small_battery());
+    const auto result = dispatch(supply, demand, policy, &battery);
+    // used + grid == demand
+    EXPECT_NEAR(result.renewable_used.value() + result.grid_energy.value(),
+                demand.total_energy().value(), 1e-9)
+        << to_string(policy);
+  }
+}
+
+TEST(Dispatch, CompMatchingBridgesShortDeficit) {
+  // Supply dips below demand for one step; the demand-matching battery
+  // (charged by the earlier surplus) erases the dip entirely.
+  const auto supply = series({100.0, 100.0, 40.0, 100.0});
+  const auto demand = constant_series(50.0, 4);
+  battery::Battery battery(small_battery(), 0.5);
+  const auto result =
+      dispatch(supply, demand, DispatchPolicy::kCompMatching, &battery);
+  EXPECT_DOUBLE_EQ(result.effective_supply[2], 50.0);
+  EXPECT_EQ(result.switching_times, 0u);
+  EXPECT_DOUBLE_EQ(result.grid_power[2], 0.0);
+}
+
+TEST(Dispatch, CompBurstOvershootsDeficit) {
+  // Same scenario with the paper's SoC-blind Comp: the battery dumps at
+  // max rate, overshooting the demand during the dip.
+  const auto supply = series({100.0, 100.0, 40.0, 100.0});
+  const auto demand = constant_series(50.0, 4);
+  battery::Battery battery(small_battery(), 0.5);
+  const auto result = dispatch(supply, demand, DispatchPolicy::kComp, &battery);
+  EXPECT_GT(result.effective_supply[2], 50.0);
+}
+
+TEST(Dispatch, CompChargesFromSurplusOnly) {
+  const auto supply = series({80.0, 80.0});
+  const auto demand = series({50.0, 50.0});
+  battery::Battery battery(small_battery(), 0.1);
+  const auto result = dispatch(supply, demand, DispatchPolicy::kComp, &battery);
+  // 30 kW surplus for 5 min = 2.5 kWh stored per step.
+  EXPECT_LT(result.battery_flow[0], 0.0);
+  EXPECT_NEAR(battery.energy().value(), 1.0 + 5.0, 1e-9);
+  EXPECT_GT(result.battery_equivalent_cycles, 0.0);
+}
+
+TEST(Dispatch, UtilizationComputedAgainstGeneration) {
+  const auto supply = series({100.0, 0.0});
+  const auto demand = series({50.0, 50.0});
+  const auto result = dispatch(supply, demand, DispatchPolicy::kDirect);
+  EXPECT_NEAR(result.renewable_utilization, 0.5, 1e-12);
+}
+
+TEST(Dispatch, SwitchingCountedOnEffectiveSupply) {
+  // Raw supply crosses the demand twice; the matching battery removes the
+  // crossings, so Comp-matching counts fewer switches than direct.
+  const auto supply = series({100.0, 30.0, 100.0, 30.0, 100.0});
+  const auto demand = constant_series(50.0, 5);
+  const auto direct = dispatch(supply, demand, DispatchPolicy::kDirect);
+  battery::Battery battery(small_battery(), 1.0);
+  const auto matching =
+      dispatch(supply, demand, DispatchPolicy::kCompMatching, &battery);
+  EXPECT_GT(direct.switching_times, matching.switching_times);
+}
+
+TEST(Dispatch, PolicyNames) {
+  EXPECT_EQ(to_string(DispatchPolicy::kDirect), "direct");
+  EXPECT_EQ(to_string(DispatchPolicy::kComp), "comp");
+  EXPECT_EQ(to_string(DispatchPolicy::kCompMatching), "comp-matching");
+}
+
+TEST(Dispatch, NegativeInputsClampedToZero) {
+  const auto supply = series({-10.0, 20.0});
+  const auto demand = series({10.0, -5.0});
+  const auto result = dispatch(supply, demand, DispatchPolicy::kDirect);
+  EXPECT_DOUBLE_EQ(result.effective_supply[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.grid_power[1], 0.0);
+}
+
+}  // namespace
+}  // namespace smoother::sim

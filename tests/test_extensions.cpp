@@ -1,0 +1,227 @@
+// Tests for the receding-horizon FS, the price-aware Active Delay and the
+// ramp-rate (ROCOF-proxy) metric.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/core/active_delay.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/core/metrics.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/stats/descriptive.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+using util::Minutes;
+
+// --- max ramp rate -----------------------------------------------------------
+
+TEST(MaxRampRate, HandComputed) {
+  // 5-minute steps; largest jump 300 kW -> 60 kW/min.
+  const auto series = test::series({100.0, 400.0, 350.0});
+  EXPECT_DOUBLE_EQ(max_ramp_rate_kw_per_min(series), 60.0);
+  EXPECT_DOUBLE_EQ(max_ramp_rate_kw_per_min(test::constant_series(5.0, 10)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(max_ramp_rate_kw_per_min(util::TimeSeries{}), 0.0);
+}
+
+TEST(MaxRampRate, TypicalRampDropsAndLookaheadHelpsWorstCase) {
+  // Per-hour FS flattens *within* intervals, so the typical (rms) ramp
+  // drops, but a level step at an hour boundary can keep the single worst
+  // ramp high — the receding-horizon planner exists to fix exactly that.
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, 3));
+  RegionClassifierConfig rc;
+  rc.rated_power = Kilowatts{800.0};
+  rc.thresholds.stable_below = 1e-8;
+  rc.thresholds.extreme_above = 1.0;
+  const RegionClassifier classifier(rc);
+  auto spec = battery::spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes,
+                                         4.0);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+
+  battery::Battery hourly_battery(spec);
+  const auto hourly =
+      FlexibleSmoothing().smooth(supply, classifier, hourly_battery);
+  EXPECT_LT(stats::rms_successive_diff(hourly.supply.values()),
+            stats::rms_successive_diff(supply.values()));
+
+  FlexibleSmoothingConfig mpc_config;
+  mpc_config.lookahead_intervals = 3;
+  battery::Battery mpc_battery(spec);
+  const auto mpc = FlexibleSmoothing(mpc_config).smooth(supply, classifier,
+                                                        mpc_battery);
+  EXPECT_LE(max_ramp_rate_kw_per_min(mpc.supply),
+            max_ramp_rate_kw_per_min(hourly.supply) + 1e-9);
+}
+
+// --- receding-horizon FS -----------------------------------------------------
+
+battery::BatterySpec fs_battery() {
+  auto spec = battery::spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes,
+                                         4.0);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+RegionClassifier lenient_classifier() {
+  RegionClassifierConfig rc;
+  rc.rated_power = Kilowatts{800.0};
+  rc.thresholds.stable_below = 1e-8;
+  rc.thresholds.extreme_above = 1.0;
+  return RegionClassifier(rc);
+}
+
+TEST(RecedingHorizon, ConfigValidation) {
+  FlexibleSmoothingConfig config;
+  config.lookahead_intervals = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.lookahead_intervals = 3;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(RecedingHorizon, LookaheadOneMatchesBaseline) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(1.0), util::kFiveMinutes, 9));
+  FlexibleSmoothingConfig base;
+  FlexibleSmoothingConfig one;
+  one.lookahead_intervals = 1;
+  battery::Battery b1(fs_battery()), b2(fs_battery());
+  const auto r1 = FlexibleSmoothing(base).smooth(supply, lenient_classifier(), b1);
+  const auto r2 = FlexibleSmoothing(one).smooth(supply, lenient_classifier(), b2);
+  EXPECT_EQ(r1.supply, r2.supply);
+}
+
+TEST(RecedingHorizon, ReducesBoundarySteps) {
+  // The per-hour planner flattens each hour to its own level, leaving
+  // steps at hour boundaries; the receding-horizon planner anticipates
+  // the next hours and ramps between levels, lowering overall roughness.
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(3.0), util::kFiveMinutes, 17));
+  const auto roughness_with = [&](std::size_t lookahead) {
+    FlexibleSmoothingConfig config;
+    config.lookahead_intervals = lookahead;
+    battery::Battery battery(fs_battery());
+    const auto result = FlexibleSmoothing(config).smooth(
+        supply, lenient_classifier(), battery);
+    return stats::rms_successive_diff(result.supply.values());
+  };
+  EXPECT_LT(roughness_with(3), roughness_with(1));
+}
+
+TEST(RecedingHorizon, SocCorridorStillHolds) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, 23));
+  FlexibleSmoothingConfig config;
+  config.lookahead_intervals = 4;
+  battery::Battery battery(fs_battery());
+  (void)FlexibleSmoothing(config).smooth(supply, lenient_classifier(),
+                                         battery);
+  EXPECT_GE(battery.soc_fraction(), 0.10 - 1e-9);
+  EXPECT_LE(battery.soc_fraction(), 1.0 + 1e-9);
+}
+
+TEST(RecedingHorizon, HandlesSeriesEndGracefully) {
+  // Lookahead longer than what is left must clamp, not throw.
+  const auto supply = test::sawtooth_series(0.0, 500.0, 6, 24);  // 2 hours
+  FlexibleSmoothingConfig config;
+  config.lookahead_intervals = 6;
+  battery::Battery battery(fs_battery());
+  const auto result = FlexibleSmoothing(config).smooth(
+      supply, lenient_classifier(), battery);
+  EXPECT_EQ(result.supply.size(), supply.size());
+  EXPECT_EQ(result.intervals.size(), 2u);
+}
+
+// --- price-aware Active Delay -------------------------------------------------
+
+TEST(PriceAwareAd, ConfigValidation) {
+  ActiveDelayConfig config;
+  config.offpeak_weight = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.offpeak_weight = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = ActiveDelayConfig{};
+  config.peak_start_hour = 23.0;
+  config.peak_end_hour = 8.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_THROW(ActiveDelayScheduler{config}, std::invalid_argument);
+}
+
+sched::Job deferrable_job(double arrival, double runtime, double deadline) {
+  sched::Job job;
+  job.id = 1;
+  job.arrival = Minutes{arrival};
+  job.runtime = Minutes{runtime};
+  job.deadline = Minutes{deadline};
+  job.servers = 1;
+  job.power = Kilowatts{10.0};
+  return job;
+}
+
+TEST(PriceAwareAd, ZeroRenewableShiftsWorkOffPeak) {
+  // No renewable at all: the plain Algorithm 1 sees every slot as equal
+  // and starts at arrival (10:00, peak); the price-aware variant waits for
+  // the 22:00 off-peak boundary.
+  sched::ScheduleRequest request;
+  request.renewable =
+      test::constant_series(0.0, 24 * 60, util::kOneMinute);  // one day
+  request.total_servers = 4;
+  request.jobs = {deferrable_job(10.0 * 60.0, 60.0, 24.0 * 60.0)};
+
+  const auto plain = ActiveDelayScheduler().schedule(request);
+  EXPECT_DOUBLE_EQ(plain.outcome.placements[0].start.value(), 600.0);
+
+  ActiveDelayConfig price;
+  price.offpeak_weight = 0.3;
+  const auto aware = ActiveDelayScheduler(price).schedule(request);
+  EXPECT_DOUBLE_EQ(aware.outcome.placements[0].start.value(), 22.0 * 60.0);
+  EXPECT_TRUE(aware.outcome.placements[0].met_deadline);
+}
+
+TEST(PriceAwareAd, RenewableStillDominates) {
+  // A fully renewable window inside the peak beats an off-peak dry slot
+  // as long as the weight stays below 1.
+  sched::ScheduleRequest request;
+  std::vector<double> values(24 * 60, 0.0);
+  for (std::size_t t = 12 * 60; t < 13 * 60; ++t) values[t] = 50.0;  // noon
+  request.renewable = util::TimeSeries(util::kOneMinute, std::move(values));
+  request.total_servers = 4;
+  request.jobs = {deferrable_job(9.0 * 60.0, 60.0, 24.0 * 60.0)};
+
+  ActiveDelayConfig price;
+  price.offpeak_weight = 0.5;
+  const auto result = ActiveDelayScheduler(price).schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 12.0 * 60.0);
+}
+
+TEST(PriceAwareAd, DefaultIsExactlyAlgorithmOne) {
+  // offpeak_weight = 0 must reproduce the plain scheduler bit-for-bit.
+  const trace::WindSpeedModel model(trace::WindSitePresets::colorado_11005());
+  sched::ScheduleRequest request;
+  request.renewable = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(1.0), util::kOneMinute, 5));
+  request.total_servers = 64;
+  for (int j = 0; j < 20; ++j) {
+    auto job = deferrable_job(30.0 * j, 45.0, 30.0 * j + 600.0);
+    job.id = static_cast<std::uint64_t>(j + 1);
+    request.jobs.push_back(job);
+  }
+  const auto a = ActiveDelayScheduler().schedule(request);
+  const auto b = ActiveDelayScheduler(ActiveDelayConfig{}).schedule(request);
+  ASSERT_EQ(a.outcome.placements.size(), b.outcome.placements.size());
+  for (std::size_t i = 0; i < a.outcome.placements.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.outcome.placements[i].start.value(),
+                     b.outcome.placements[i].start.value());
+}
+
+}  // namespace
+}  // namespace smoother::core

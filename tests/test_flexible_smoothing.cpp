@@ -1,0 +1,223 @@
+#include "smoother/core/flexible_smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "helpers.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+using util::KilowattHours;
+using util::Minutes;
+
+battery::BatterySpec fs_battery_spec() {
+  // Paper sizing: max rate 488 kW, capacity = one 5-min point at that rate.
+  battery::BatterySpec spec =
+      battery::spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+RegionClassifier lenient_classifier() {
+  RegionClassifierConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.points_per_interval = 12;
+  config.thresholds.stable_below = 1e-8;
+  config.thresholds.extreme_above = 1.0;  // smooth everything non-flat
+  return RegionClassifier(config);
+}
+
+TEST(FlexibleSmoothingConfig, Validation) {
+  FlexibleSmoothingConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.points_per_interval = 1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = FlexibleSmoothingConfig{};
+  config.max_discharge_capacity_fraction = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.max_discharge_capacity_fraction = 1.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FlexibleSmoothing, PlanValidatesSampleCount) {
+  // plan_interval accepts any window of >= 2 samples (the receding-horizon
+  // path plans multi-interval windows); degenerate windows throw.
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto tiny = test::constant_series(100.0, 1);
+  EXPECT_THROW(fs.plan_interval(tiny, battery), std::invalid_argument);
+  const auto odd = test::constant_series(100.0, 7);
+  EXPECT_NO_THROW(fs.plan_interval(odd, battery));
+}
+
+TEST(FlexibleSmoothing, PlanReducesVariance) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  EXPECT_EQ(plan.solver_status, solver::QpStatus::kSolved);
+  EXPECT_LT(plan.variance_after, plan.variance_before);
+  EXPECT_GT(plan.variance_before, 0.0);
+}
+
+TEST(FlexibleSmoothing, PlanIsPureWithRespectToBattery) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const double soc_before = battery.soc_fraction();
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  (void)fs.plan_interval(generation, battery);
+  EXPECT_DOUBLE_EQ(battery.soc_fraction(), soc_before);
+}
+
+TEST(FlexibleSmoothing, PlanHonoursEq10Box) {
+  const FlexibleSmoothing fs;
+  const auto spec = fs_battery_spec();
+  battery::Battery battery(spec);
+  const auto generation = test::sawtooth_series(0.0, 800.0, 12, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  const double dt_hours = 5.0 / 60.0;
+  const double discharge_cap = std::min(
+      spec.max_discharge_rate.value() * dt_hours, 0.9 * spec.capacity.value());
+  for (std::size_t i = 0; i < plan.schedule_kwh.size(); ++i) {
+    const double s = plan.schedule_kwh[i];
+    EXPECT_LE(s, discharge_cap + 1e-6);
+    // Charging cannot exceed the energy generated at that point.
+    EXPECT_GE(s, -(generation[i] * dt_hours) - 1e-6);
+  }
+}
+
+TEST(FlexibleSmoothing, PlanHonoursEq11SocCorridor) {
+  const FlexibleSmoothing fs;
+  const auto spec = fs_battery_spec();
+  battery::Battery battery(spec, 0.55);
+  const auto generation = test::sawtooth_series(0.0, 800.0, 4, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  double cumulative = 0.0;
+  for (double s : plan.schedule_kwh) {
+    cumulative += s;
+    const double soc = battery.energy().value() - cumulative;
+    EXPECT_GE(soc, spec.min_energy().value() - 1e-6);
+    EXPECT_LE(soc, spec.max_energy().value() + 1e-6);
+  }
+}
+
+TEST(FlexibleSmoothing, FlatGenerationNeedsNoAction) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::constant_series(300.0, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  for (double s : plan.schedule_kwh) EXPECT_NEAR(s, 0.0, 1e-4);
+  EXPECT_NEAR(plan.variance_after, 0.0, 1e-6);
+}
+
+TEST(FlexibleSmoothing, ExecutePlanDeliversSmoothedSupply) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  const auto supply = fs.execute_plan(plan, generation, battery);
+  ASSERT_EQ(supply.size(), 12u);
+  // Lossless battery with a feasible plan: execution matches the plan.
+  EXPECT_NEAR(supply.variance(), plan.variance_after,
+              plan.variance_before * 0.05 + 1e-6);
+  for (std::size_t i = 0; i < supply.size(); ++i) EXPECT_GE(supply[i], 0.0);
+}
+
+TEST(FlexibleSmoothing, ExecuteConservesEnergyWithLosslessBattery) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const double battery_before = battery.energy().value();
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  const auto supply = fs.execute_plan(plan, generation, battery);
+  const double battery_delta = battery.energy().value() - battery_before;
+  // supply energy = generation energy - energy parked in the battery.
+  EXPECT_NEAR(supply.total_energy().value(),
+              generation.total_energy().value() - battery_delta, 1e-6);
+}
+
+TEST(FlexibleSmoothing, SmoothRequiresMatchingIntervalLength) {
+  FlexibleSmoothingConfig config;
+  config.points_per_interval = 6;
+  const FlexibleSmoothing fs(config);
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::constant_series(100.0, 24);
+  EXPECT_THROW(fs.smooth(generation, lenient_classifier(), battery),
+               std::invalid_argument);
+}
+
+TEST(FlexibleSmoothing, SmoothOnlyTouchesSmoothableIntervals) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  // Interval 1 flat (Region-I), interval 2 wavy (Region-II-1).
+  std::vector<double> values(12, 250.0);
+  const auto wavy = test::sawtooth_series(50.0, 450.0, 6, 12);
+  values.insert(values.end(), wavy.values().begin(), wavy.values().end());
+  const auto generation = test::series(std::move(values));
+
+  const auto result = fs.smooth(generation, lenient_classifier(), battery);
+  EXPECT_EQ(result.smoothed_intervals, 1u);
+  ASSERT_EQ(result.intervals.size(), 2u);
+  EXPECT_EQ(result.intervals[0].region, Region::kStable);
+  EXPECT_EQ(result.intervals[1].region, Region::kSmoothable);
+  // Region-I passes through bit-identically.
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_DOUBLE_EQ(result.supply[i], generation[i]);
+  // Region-II-1 is altered and smoother.
+  const auto before = generation.slice(12, 12);
+  const auto after = result.supply.slice(12, 12);
+  EXPECT_LT(after.variance(), before.variance());
+}
+
+TEST(FlexibleSmoothing, SmoothTracksRequiredMaxRate) {
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::sawtooth_series(0.0, 700.0, 6, 48);
+  const auto result = fs.smooth(generation, lenient_classifier(), battery);
+  EXPECT_GT(result.required_max_rate_kw, 0.0);
+  EXPECT_LE(result.required_max_rate_kw, 488.0 + 1e-6);
+  double plan_max = 0.0;
+  for (const auto& plan : result.plans)
+    plan_max = std::max(plan_max, plan.max_rate_kw);
+  EXPECT_DOUBLE_EQ(result.required_max_rate_kw, plan_max);
+}
+
+TEST(FlexibleSmoothing, MeanVarianceReduction) {
+  SmoothingResult result;
+  result.plans.resize(2);
+  result.plans[0].schedule_kwh = {1.0};
+  result.plans[0].variance_before = 100.0;
+  result.plans[0].variance_after = 25.0;
+  result.plans[1].schedule_kwh = {1.0};
+  result.plans[1].variance_before = 10.0;
+  result.plans[1].variance_after = 5.0;
+  EXPECT_NEAR(result.mean_variance_reduction(), (0.75 + 0.5) / 2.0, 1e-12);
+  SmoothingResult empty;
+  EXPECT_DOUBLE_EQ(empty.mean_variance_reduction(), 0.0);
+}
+
+TEST(FlexibleSmoothing, EndToEndOnSyntheticWind) {
+  // Property: over a volatile synthetic day, smoothing must not violate the
+  // battery corridor and must cut the mean within-interval variance.
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto speed = model.generate_day(33);
+  const auto generation =
+      power::TurbineCurve::enercon_e48().power_series(speed);
+
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery_spec());
+  const auto result = fs.smooth(generation, lenient_classifier(), battery);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+  EXPECT_GT(result.mean_variance_reduction(), 0.2);
+  EXPECT_GE(battery.soc_fraction(), 0.10 - 1e-9);
+  EXPECT_LE(battery.soc_fraction(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace smoother::core

@@ -1,0 +1,174 @@
+#include "smoother/core/forecast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/core/flexible_smoothing.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/stats/descriptive.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+
+TEST(PerfectForecaster, ReturnsInputUnchanged) {
+  PerfectForecaster forecaster;
+  const auto series = test::sawtooth_series(10.0, 90.0, 4, 12);
+  EXPECT_EQ(forecaster.forecast(series), series);
+  EXPECT_EQ(forecaster.name(), "perfect");
+}
+
+TEST(NoisyForecaster, Validation) {
+  EXPECT_THROW(NoisyForecaster(-0.1, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(NoisyForecaster(0.1, 1.0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(NoisyForecaster(0.1, -0.05, 1));
+}
+
+TEST(NoisyForecaster, ZeroErrorIsNearPerfect) {
+  NoisyForecaster forecaster(0.0, 0.0, 7);
+  const auto series = test::sawtooth_series(10.0, 90.0, 4, 12);
+  const auto predicted = forecaster.forecast(series);
+  for (std::size_t i = 0; i < series.size(); ++i)
+    EXPECT_NEAR(predicted[i], series[i], 1e-9);
+}
+
+TEST(NoisyForecaster, ErrorMagnitudeTracksSigma) {
+  const auto series = test::constant_series(100.0, 2000, util::kFiveMinutes);
+  NoisyForecaster forecaster(0.08, 0.0, 11);
+  const auto predicted = forecaster.forecast(series);
+  std::vector<double> errors;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    errors.push_back((predicted[i] - series[i]) / series[i]);
+  const auto summary = stats::summarize(errors);
+  EXPECT_NEAR(summary.mean, 0.0, 0.02);
+  EXPECT_NEAR(summary.stddev, 0.08, 0.02);
+}
+
+TEST(NoisyForecaster, BiasShiftsTheForecast) {
+  const auto series = test::constant_series(100.0, 2000, util::kFiveMinutes);
+  NoisyForecaster optimistic(0.01, 0.10, 5);
+  const auto predicted = optimistic.forecast(series);
+  EXPECT_NEAR(predicted.mean(), 110.0, 2.0);
+}
+
+TEST(NoisyForecaster, ErrorsAreTemporallyCorrelated) {
+  // AR(1) errors: adjacent errors correlate strongly; distant ones do not.
+  const auto series = test::constant_series(100.0, 4000, util::kFiveMinutes);
+  NoisyForecaster forecaster(0.1, 0.0, 3);
+  const auto predicted = forecaster.forecast(series);
+  std::vector<double> err;
+  for (std::size_t i = 0; i < series.size(); ++i)
+    err.push_back(predicted[i] - series[i]);
+  std::vector<double> lead(err.begin(), err.end() - 1);
+  std::vector<double> lag(err.begin() + 1, err.end());
+  EXPECT_GT(stats::correlation(lead, lag), 0.4);
+}
+
+TEST(NoisyForecaster, NeverNegative) {
+  const auto series = test::constant_series(1.0, 500, util::kFiveMinutes);
+  NoisyForecaster wild(0.9, -0.5, 13);
+  const auto predicted = wild.forecast(series);
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    EXPECT_GE(predicted[i], 0.0);
+}
+
+TEST(NoisyForecaster, SuccessiveCallsDiffer) {
+  const auto series = test::constant_series(100.0, 12, util::kFiveMinutes);
+  NoisyForecaster forecaster(0.1, 0.0, 2);
+  const auto a = forecaster.forecast(series);
+  const auto b = forecaster.forecast(series);
+  EXPECT_NE(a, b);
+}
+
+// --- FS under forecast error -----------------------------------------------
+
+RegionClassifier lenient_classifier() {
+  RegionClassifierConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.thresholds.stable_below = 1e-8;
+  config.thresholds.extreme_above = 1.0;
+  return RegionClassifier(config);
+}
+
+battery::BatterySpec fs_battery() {
+  auto spec = battery::spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+util::TimeSeries volatile_supply() {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  return power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, 77));
+}
+
+TEST(SmoothWithForecast, PerfectForecastMatchesPlainSmooth) {
+  const auto supply = volatile_supply();
+  const FlexibleSmoothing fs;
+  battery::Battery b1(fs_battery()), b2(fs_battery());
+  PerfectForecaster perfect;
+  const auto plain = fs.smooth(supply, lenient_classifier(), b1);
+  const auto forecasted =
+      fs.smooth_with_forecast(supply, lenient_classifier(), b2, perfect);
+  EXPECT_EQ(plain.supply, forecasted.supply);
+  EXPECT_EQ(plain.smoothed_intervals, forecasted.smoothed_intervals);
+}
+
+TEST(SmoothWithForecast, ModestErrorStillSmooths) {
+  const auto supply = volatile_supply();
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery());
+  NoisyForecaster forecaster(0.075, 0.0, 9);  // the paper's 5-10 % band
+  const auto result = fs.smooth_with_forecast(supply, lenient_classifier(),
+                                              battery, forecaster);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+  EXPECT_GT(result.mean_variance_reduction(), 0.2);
+}
+
+TEST(SmoothWithForecast, DegradesGracefullyWithError) {
+  const auto supply = volatile_supply();
+  const FlexibleSmoothing fs;
+  const auto reduction_at = [&](double sigma) {
+    battery::Battery battery(fs_battery());
+    NoisyForecaster forecaster(sigma, 0.0, 21);
+    return fs
+        .smooth_with_forecast(supply, lenient_classifier(), battery,
+                              forecaster)
+        .mean_variance_reduction();
+  };
+  const double at_zero = reduction_at(0.0);
+  const double at_thirty = reduction_at(0.30);
+  EXPECT_GT(at_zero, at_thirty);   // more error, less smoothing
+  EXPECT_GT(at_thirty, 0.0);       // but still net-positive
+}
+
+TEST(SmoothWithForecast, BatteryCorridorHoldsUnderError) {
+  const auto supply = volatile_supply();
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery());
+  NoisyForecaster forecaster(0.25, 0.1, 4);
+  (void)fs.smooth_with_forecast(supply, lenient_classifier(), battery,
+                                forecaster);
+  EXPECT_GE(battery.soc_fraction(), 0.10 - 1e-9);
+  EXPECT_LE(battery.soc_fraction(), 1.0 + 1e-9);
+}
+
+TEST(SmoothWithForecast, ChargeNeverExceedsActualGeneration) {
+  // Optimistic forecast wants to store more than is generated; execution
+  // must cap the charge at the actual output, keeping supply >= 0 without
+  // clamping artifacts.
+  const FlexibleSmoothing fs;
+  battery::Battery battery(fs_battery(), 0.15);
+  const auto actual = test::constant_series(50.0, 12);
+  NoisyForecaster optimistic(0.01, 0.6, 8);  // forecasts ~80 kW
+  const auto result = fs.smooth_with_forecast(
+      actual, lenient_classifier(), battery, optimistic);
+  for (std::size_t i = 0; i < result.supply.size(); ++i)
+    EXPECT_GE(result.supply[i], -1e-9);
+}
+
+}  // namespace
+}  // namespace smoother::core

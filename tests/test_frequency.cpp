@@ -1,0 +1,114 @@
+#include "smoother/sim/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/core/smoother.hpp"
+#include "smoother/sim/experiments.hpp"
+#include "smoother/sim/scenario.hpp"
+#include "smoother/stats/rolling.hpp"
+
+namespace smoother::sim {
+namespace {
+
+TEST(GridModelParams, Validation) {
+  GridModelParams params;
+  EXPECT_NO_THROW(params.validate());
+  params.inertia_seconds = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = GridModelParams{};
+  params.base_power_kw = -1.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params = GridModelParams{};
+  params.integration_step_s = 0.0;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(GridFrequencyModel, BalancedSystemStaysAtNominal) {
+  const GridFrequencyModel model;
+  const auto supply = test::constant_series(500.0, 24);
+  const auto stats = model.simulate(supply, supply);
+  EXPECT_DOUBLE_EQ(stats.max_deviation_hz, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_rocof_hz_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.seconds_outside_band, 0.0);
+  for (std::size_t i = 0; i < stats.frequency_hz.size(); ++i)
+    EXPECT_DOUBLE_EQ(stats.frequency_hz[i], 50.0);
+}
+
+TEST(GridFrequencyModel, StepImbalanceInitialRocofIsAnalytic) {
+  // First integration step from rest: df/dt = f0 * dP_pu / (2H).
+  GridModelParams params;
+  params.base_power_kw = 1000.0;
+  params.inertia_seconds = 5.0;
+  const GridFrequencyModel model(params);
+  const auto supply = test::constant_series(600.0, 4);
+  const auto demand = test::constant_series(500.0, 4);  // +0.1 pu surplus
+  const auto stats = model.simulate(supply, demand);
+  const double analytic = 50.0 * 0.1 / (2.0 * 5.0);
+  EXPECT_NEAR(stats.max_rocof_hz_per_s, analytic, 1e-9);
+  // Surplus pushes the frequency up.
+  EXPECT_GT(stats.frequency_hz[0], 50.0);
+}
+
+TEST(GridFrequencyModel, DroopAndDampingBoundTheExcursion) {
+  // Sustained +0.1 pu surplus: steady state df_pu = dP / (droop + damping)
+  // as long as the droop is unsaturated.
+  GridModelParams params;
+  params.droop_gain_pu = 20.0;
+  params.load_damping = 1.0;
+  params.droop_limit_pu = 0.5;
+  const GridFrequencyModel model(params);
+  const auto supply = test::constant_series(2200.0, 288);
+  const auto demand = test::constant_series(2000.0, 288);  // +0.1 pu
+  const auto stats = model.simulate(supply, demand, 1.0);
+  const double expected_ss = 50.0 * 0.1 / 21.0;
+  EXPECT_NEAR(stats.frequency_hz[stats.frequency_hz.size() - 1] - 50.0,
+              expected_ss, 0.01);
+}
+
+TEST(GridFrequencyModel, ShapeMismatchThrows) {
+  const GridFrequencyModel model;
+  EXPECT_THROW(model.simulate(test::constant_series(1.0, 3),
+                              test::constant_series(1.0, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(model.simulate(test::constant_series(1.0, 3),
+                              test::constant_series(1.0, 3), 0.0),
+               std::invalid_argument);
+}
+
+TEST(GridFrequencyModel, RougherInjectionMeansHigherRocof) {
+  const GridFrequencyModel model;
+  const auto calm = test::sawtooth_series(480.0, 520.0, 12, 288);
+  const auto rough = test::sawtooth_series(200.0, 800.0, 2, 288);
+  const auto demand = test::constant_series(500.0, 288);
+  EXPECT_GT(model.simulate(rough, demand).max_rocof_hz_per_s,
+            model.simulate(calm, demand).max_rocof_hz_per_s);
+}
+
+TEST(GridFrequencyModel, FsSmoothedSupplyStressesTheGridLess) {
+  // The paper's stability claim, quantified: frequency response to the
+  // fluctuating component (supply minus its rolling hourly mean) is gentler
+  // after Flexible Smoothing.
+  const auto scenario = make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      util::Kilowatts{976.0}, util::days(2.0), 77);
+  const auto config = default_config(util::Kilowatts{976.0});
+  const core::Smoother middleware(config);
+  const auto smoothing = middleware.smooth_supply(scenario.supply);
+
+  const GridFrequencyModel model;
+  const auto fluctuation_stats = [&](const util::TimeSeries& series) {
+    const auto trend = stats::moving_average(series.values(), 13);
+    const util::TimeSeries baseline(series.step(),
+                                    std::vector<double>(trend.begin(),
+                                                        trend.end()));
+    return model.simulate(series, baseline);
+  };
+  const auto raw = fluctuation_stats(scenario.supply);
+  const auto smoothed = fluctuation_stats(smoothing.supply);
+  EXPECT_LT(smoothed.max_rocof_hz_per_s, raw.max_rocof_hz_per_s);
+  EXPECT_LE(smoothed.seconds_outside_band, raw.seconds_outside_band);
+}
+
+}  // namespace
+}  // namespace smoother::sim

@@ -1,0 +1,105 @@
+// Fuzz-style robustness tests: hostile inputs must fail cleanly (clear
+// exceptions or lenient skips), never crash or corrupt state.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "smoother/core/active_delay.hpp"
+#include "smoother/trace/swf.hpp"
+#include "smoother/util/csv.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother {
+namespace {
+
+std::string random_garbage_line(util::Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "0123456789 .-+eE;#abcXYZ\t,|%$\xc3\xa9";
+  const std::size_t length = rng.uniform_index(60);
+  std::string line;
+  for (std::size_t i = 0; i < length; ++i)
+    line += kAlphabet[rng.uniform_index(sizeof(kAlphabet) - 1)];
+  return line;
+}
+
+TEST(Fuzz, SwfLenientParserNeverThrows) {
+  util::Rng rng(0xf00d);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream input;
+    const std::size_t lines = rng.uniform_index(30);
+    for (std::size_t l = 0; l < lines; ++l)
+      input << random_garbage_line(rng) << '\n';
+    // Sprinkle a valid record so some rounds produce output.
+    if (round % 3 == 0)
+      input << "1 0 0 600 8 -1 -1 8 600 -1 1 1 1 -1 1 -1 -1 -1\n";
+    EXPECT_NO_THROW({
+      const auto records = trace::parse_swf(input, /*lenient=*/true);
+      for (const auto& r : records) (void)r.schedulable();
+    }) << "round "
+       << round;
+  }
+}
+
+TEST(Fuzz, SwfStrictParserThrowsOrParses) {
+  util::Rng rng(0xbeef);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream input;
+    input << random_garbage_line(rng) << '\n';
+    try {
+      (void)trace::parse_swf(input);
+    } catch (const std::runtime_error&) {
+      // acceptable: strict mode reports the malformed line
+    }
+  }
+}
+
+TEST(Fuzz, CsvReaderThrowsCleanlyOnGarbage) {
+  util::Rng rng(0xcafe);
+  for (int round = 0; round < 50; ++round) {
+    std::stringstream input;
+    const std::size_t lines = 1 + rng.uniform_index(10);
+    for (std::size_t l = 0; l < lines; ++l)
+      input << random_garbage_line(rng) << '\n';
+    try {
+      const auto table = util::CsvTable::read(input);
+      // If it parsed, the table must be internally consistent.
+      for (std::size_t r = 0; r < table.rows(); ++r)
+        EXPECT_EQ(table.row(r).size(), table.columns());
+    } catch (const std::runtime_error&) {
+      // acceptable
+    }
+  }
+}
+
+TEST(Fuzz, SchedulerSurvivesAdversarialJobMixes) {
+  // Extreme runtimes, arrivals at/beyond the horizon, zero-slack and
+  // absurd-slack jobs, cluster-sized jobs.
+  util::Rng rng(0xdead);
+  for (int round = 0; round < 20; ++round) {
+    sched::ScheduleRequest request;
+    request.total_servers = 8;
+    request.renewable = util::TimeSeries(
+        util::kOneMinute, std::vector<double>(120, rng.uniform(0.0, 50.0)));
+    const std::size_t jobs = 1 + rng.uniform_index(12);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      sched::Job job;
+      job.id = j;
+      job.arrival = util::Minutes{rng.uniform(0.0, 200.0)};  // may be outside
+      job.runtime = util::Minutes{rng.uniform(0.5, 500.0)};
+      job.deadline = job.arrival +
+                     job.runtime * rng.uniform(1.0, 3.0) *
+                         (rng.bernoulli(0.3) ? 0.1 : 1.0);  // some impossible
+      job.servers = 1 + rng.uniform_index(8);
+      job.power = util::Kilowatts{rng.uniform(0.1, 30.0)};
+      request.jobs.push_back(job);
+    }
+    EXPECT_NO_THROW({
+      const auto result = core::ActiveDelayScheduler().schedule(request);
+      EXPECT_EQ(result.outcome.placements.size(), request.jobs.size());
+    }) << "round "
+       << round;
+  }
+}
+
+}  // namespace
+}  // namespace smoother

@@ -1,0 +1,71 @@
+#include "smoother/trace/google_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "smoother/power/datacenter.hpp"
+
+namespace smoother::trace {
+namespace {
+
+TEST(GoogleClusterParams, Validation) {
+  GoogleClusterParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.mean_utilization = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = GoogleClusterParams{};
+  p.diurnal_amplitude = 0.7;
+  p.weekly_amplitude = 0.4;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = GoogleClusterParams{};
+  p.noise_reversion_per_hour = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(GoogleClusterModel, MonthShape) {
+  const GoogleClusterModel model;
+  const auto month = model.generate_month(1);
+  EXPECT_EQ(month.size(), 30u * 288u);
+  EXPECT_DOUBLE_EQ(month.step().value(), 5.0);
+}
+
+TEST(GoogleClusterModel, Deterministic) {
+  const GoogleClusterModel model;
+  EXPECT_EQ(model.generate_month(4), model.generate_month(4));
+  EXPECT_NE(model.generate_month(4), model.generate_month(5));
+}
+
+TEST(GoogleClusterModel, MeanAndBounds) {
+  const GoogleClusterModel model;
+  const auto month = model.generate_month(2);
+  EXPECT_NEAR(month.mean(), model.params().mean_utilization, 0.01);
+  for (std::size_t i = 0; i < month.size(); ++i) {
+    EXPECT_GE(month[i], 0.0);
+    EXPECT_LE(month[i], 1.0);
+  }
+}
+
+TEST(GoogleClusterModel, Fig9PowerBandIsPlausible) {
+  // Through the paper's Eq. 3-5 model (11,000 servers) the month's power
+  // should live between the idle floor and the full-load ceiling, with a
+  // visible ripple (Fig. 9's band).
+  const GoogleClusterModel model;
+  const power::DatacenterPowerModel dc;
+  const auto power = dc.power_series(model.generate_month(3));
+  EXPECT_GT(power.min(), dc.min_system_power().value() - 1e-9);
+  EXPECT_LT(power.max(), dc.max_system_power().value() + 1e-9);
+  EXPECT_GT(power.max() - power.min(), 100.0);  // >100 kW ripple
+  // Level around 1.2-2.2 MW as in Fig. 9.
+  EXPECT_GT(power.mean(), 1200.0);
+  EXPECT_LT(power.mean(), 2200.0);
+}
+
+TEST(GoogleClusterModel, RejectsDegenerateRequests) {
+  const GoogleClusterModel model;
+  EXPECT_THROW(model.generate(util::Minutes{0.0}, util::kFiveMinutes, 1),
+               std::invalid_argument);
+  EXPECT_THROW(model.generate(util::Minutes{1.0}, util::kFiveMinutes, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smoother::trace

@@ -1,0 +1,70 @@
+#include "smoother/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smoother::stats {
+namespace {
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  EXPECT_EQ(h.bin_of(-1.0), 0u);   // below range saturates low
+  EXPECT_EQ(h.bin_of(0.5), 0u);
+  EXPECT_EQ(h.bin_of(2.0), 1u);
+  EXPECT_EQ(h.bin_of(9.99), 4u);
+  EXPECT_EQ(h.bin_of(10.0), 4u);   // at/above range saturates high
+  EXPECT_EQ(h.bin_of(99.0), 4u);
+}
+
+TEST(Histogram, CountsAndFractions) {
+  Histogram h(0.0, 4.0, 4);
+  h.add_all(std::vector<double>{0.5, 1.5, 1.7, 3.5});
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_THROW((void)h.count(4), std::out_of_range);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW((void)h.bin_center(5), std::out_of_range);
+}
+
+TEST(Histogram, RenderContainsAllBins) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  // Two lines, the fuller bin gets the longer bar.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("(2)"), std::string::npos);
+  EXPECT_NE(out.find("(1)"), std::string::npos);
+}
+
+TEST(Histogram, RenderOnEmptyHistogram) {
+  Histogram h(0.0, 1.0, 3);
+  const std::string out = h.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smoother::stats

@@ -1,0 +1,151 @@
+// End-to-end pipeline tests: miniature versions of the paper's experiments
+// exercising every library together through the public API only.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "smoother/core/metrics.hpp"
+#include "smoother/core/smoother.hpp"
+#include "smoother/power/capacity_factor.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/power/wind_farm.hpp"
+#include "smoother/sim/dispatch.hpp"
+#include "smoother/sim/experiments.hpp"
+#include "smoother/sim/scenario.hpp"
+#include "smoother/stats/cdf.hpp"
+#include "smoother/trace/trace_io.hpp"
+
+namespace smoother {
+namespace {
+
+using util::Kilowatts;
+
+TEST(Integration, WindToPowerToRegionsPipeline) {
+  // Speed synthesis -> turbine curve -> farm -> CF variance -> CDF ->
+  // thresholds -> classification: the Fig. 2/3 pipeline.
+  const trace::WindSpeedModel model(trace::WindSitePresets::wyoming_16419());
+  const auto speed = model.generate(util::days(7.0), util::kFiveMinutes, 70);
+  const power::WindFarm farm(power::TurbineCurve::enercon_e48(),
+                             Kilowatts{1525.0});
+  const auto supply = farm.power_series(speed);
+
+  const auto variances = power::interval_capacity_factor_variances(
+      supply, farm.installed_capacity(), 12);
+  ASSERT_EQ(variances.size(), supply.size() / 12);
+  const stats::EmpiricalCdf cdf(variances);
+  EXPECT_LT(cdf.value_at(0.25), cdf.value_at(0.95));
+
+  const auto thresholds = core::thresholds_from_history(
+      supply, farm.installed_capacity(), 12, 0.25, 0.95);
+  core::RegionClassifierConfig config;
+  config.rated_power = farm.installed_capacity();
+  config.thresholds = thresholds;
+  const core::RegionClassifier classifier(config);
+  const auto intervals = classifier.classify(supply);
+  EXPECT_EQ(intervals.size(), variances.size());
+}
+
+TEST(Integration, SmoothingLowersSupplyRoughness) {
+  const auto supply =
+      sim::wind_power_series(trace::WindSitePresets::texas_10(),
+                             Kilowatts{976.0}, util::days(3.0),
+                             util::kFiveMinutes, 123);
+  const auto config = sim::default_config(Kilowatts{976.0});
+  const core::Smoother middleware(config);
+  const auto result = middleware.smooth_supply(supply);
+
+  // Energy approximately conserved (battery shifts, doesn't consume —
+  // allow the battery's net SoC drift of at most its capacity).
+  EXPECT_NEAR(result.supply.total_energy().value(),
+              supply.total_energy().value(),
+              config.battery.capacity.value() + 1e-6);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+}
+
+TEST(Integration, RoundTripTracesThroughCsv) {
+  // Generated supply survives a save/load cycle and produces identical
+  // downstream metrics.
+  const auto supply =
+      sim::wind_power_series(trace::WindSitePresets::oregon_24258(),
+                             Kilowatts{976.0}, util::days(1.0),
+                             util::kFiveMinutes, 8);
+  const std::string path = testing::TempDir() + "/supply.csv";
+  trace::save_series(supply, path, "wind_kw");
+  const auto loaded = trace::load_series(path, "wind_kw");
+  ASSERT_EQ(loaded.size(), supply.size());
+  const auto demand =
+      util::TimeSeries(util::kFiveMinutes,
+                       std::vector<double>(supply.size(), 150.0));
+  EXPECT_EQ(core::energy_switching_times(supply, demand),
+            core::energy_switching_times(loaded, demand));
+}
+
+TEST(Integration, FullMiddlewareRunOnBatchScenario) {
+  const auto scenario = sim::make_batch_scenario(
+      trace::BatchWorkloadPresets::hpc2n(),
+      trace::WindSitePresets::texas_10(), 1.0, util::days(2.0), 11000, 31);
+  auto config = sim::default_config(Kilowatts{scenario.supply.max()});
+
+  const core::Smoother middleware(config);
+  const core::RunReport report =
+      middleware.run(scenario.supply, scenario.jobs, scenario.total_servers);
+
+  // Report internally consistent.
+  const double generated =
+      report.smoothing.supply.total_energy().value();
+  const double used =
+      report.schedule.outcome.renewable_energy_used.value();
+  EXPECT_LE(used, generated + 1e-6);
+  EXPECT_NEAR(report.renewable_utilization, used / generated, 0.05);
+  EXPECT_EQ(report.schedule.outcome.placements.size(), scenario.jobs.size());
+}
+
+TEST(Integration, PaperOrderingAcrossArms) {
+  // One scenario, four arms: raw, Comp, FS, FS+AD. The paper's ordering on
+  // switching times must hold end to end.
+  const Kilowatts capacity{976.0};
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::clark(), trace::WindSitePresets::texas_10(),
+      capacity, util::days(7.0), 4242);
+  const auto config = sim::default_config(capacity);
+
+  const auto raw =
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kDirect);
+  battery::Battery comp_battery(config.battery);
+  const auto comp =
+      sim::dispatch(scenario.supply, scenario.demand,
+                    sim::DispatchPolicy::kComp, &comp_battery);
+  const core::Smoother middleware(config);
+  const auto smoothing = middleware.smooth_supply(scenario.supply);
+  const auto fs = sim::dispatch(smoothing.supply, scenario.demand,
+                                sim::DispatchPolicy::kDirect);
+
+  EXPECT_LT(fs.switching_times, raw.switching_times);
+  EXPECT_LE(fs.switching_times, comp.switching_times);
+  EXPECT_LE(comp.switching_times, raw.switching_times);
+}
+
+TEST(Integration, SwfJobsDriveActiveDelay) {
+  // SWF-exported jobs feed straight back into the scheduler.
+  const trace::BatchWorkloadModel model(trace::BatchWorkloadPresets::hpc2n());
+  const auto records = model.generate_swf(util::days(1.0), 11000, 17);
+  power::DatacenterSpec spec;
+  spec.server_count = 11000;
+  const power::DatacenterPowerModel dc(spec);
+  const auto jobs = trace::swf_to_jobs(records, dc);
+  ASSERT_FALSE(jobs.empty());
+
+  sched::ScheduleRequest request;
+  request.jobs = jobs;
+  request.total_servers = 11000;
+  request.renewable = sim::wind_power_series(
+      trace::WindSitePresets::colorado_11005(), Kilowatts{976.0},
+      util::days(2.0), util::kOneMinute, 5);
+  const core::ActiveDelayScheduler scheduler;
+  const auto result = scheduler.schedule(request);
+  EXPECT_EQ(result.outcome.placements.size(), jobs.size());
+}
+
+}  // namespace
+}  // namespace smoother

@@ -1,0 +1,106 @@
+#include "smoother/solver/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::solver {
+namespace {
+
+TEST(LevenbergMarquardt, FitsLineExactly) {
+  // y = 2x + 1 sampled exactly; residual r_i = (a x_i + b) - y_i.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+  const auto residual = [&](std::span<const double> p) {
+    Vector r(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      r[i] = p[0] * xs[i] + p[1] - ys[i];
+    return r;
+  };
+  const auto result = levenberg_marquardt(residual, {0.0, 0.0});
+  EXPECT_TRUE(result.ok()) << to_string(result.status);
+  EXPECT_NEAR(result.parameters[0], 2.0, 1e-6);
+  EXPECT_NEAR(result.parameters[1], 1.0, 1e-6);
+  EXPECT_NEAR(result.cost, 0.0, 1e-10);
+}
+
+TEST(LevenbergMarquardt, RecoversGaussianParameters) {
+  // One Gaussian bump with known parameters, noiseless samples.
+  const double a = 5.0, b = 3.0, c = 1.5;
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x <= 6.0; x += 0.25) {
+    xs.push_back(x);
+    const double z = (x - b) / c;
+    ys.push_back(a * std::exp(-z * z));
+  }
+  const auto residual = [&](std::span<const double> p) {
+    Vector r(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double z = (xs[i] - p[1]) / p[2];
+      r[i] = p[0] * std::exp(-z * z) - ys[i];
+    }
+    return r;
+  };
+  const auto result = levenberg_marquardt(residual, {3.0, 2.0, 1.0});
+  EXPECT_TRUE(result.ok());
+  EXPECT_NEAR(result.parameters[0], a, 1e-4);
+  EXPECT_NEAR(result.parameters[1], b, 1e-4);
+  EXPECT_NEAR(std::abs(result.parameters[2]), c, 1e-4);
+}
+
+TEST(LevenbergMarquardt, NoisyFitStaysClose) {
+  util::Rng rng(8);
+  std::vector<double> xs, ys;
+  for (double x = -2.0; x <= 2.0; x += 0.05) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x * x - 2.0 * x + 0.5 + rng.normal(0.0, 0.05));
+  }
+  const auto residual = [&](std::span<const double> p) {
+    Vector r(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      r[i] = p[0] * xs[i] * xs[i] + p[1] * xs[i] + p[2] - ys[i];
+    return r;
+  };
+  const auto result = levenberg_marquardt(residual, {0.0, 0.0, 0.0});
+  EXPECT_TRUE(result.ok());
+  EXPECT_NEAR(result.parameters[0], 3.0, 0.05);
+  EXPECT_NEAR(result.parameters[1], -2.0, 0.05);
+  EXPECT_NEAR(result.parameters[2], 0.5, 0.05);
+}
+
+TEST(LevenbergMarquardt, RejectsEmptyResidual) {
+  const auto residual = [](std::span<const double>) { return Vector{}; };
+  EXPECT_THROW(levenberg_marquardt(residual, {1.0}), std::invalid_argument);
+}
+
+TEST(LevenbergMarquardt, AlreadyOptimalConvergesImmediately) {
+  const auto residual = [](std::span<const double> p) {
+    return Vector{p[0] - 7.0};
+  };
+  const auto result = levenberg_marquardt(residual, {7.0});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(LevenbergMarquardt, RespectsIterationBudget) {
+  // Rosenbrock-style hard valley; tiny budget must stop early but cleanly.
+  const auto residual = [](std::span<const double> p) {
+    return Vector{10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]};
+  };
+  LeastSquaresSettings settings;
+  settings.max_iterations = 2;
+  const auto result = levenberg_marquardt(residual, {-1.2, 1.0}, settings);
+  EXPECT_EQ(result.status, LeastSquaresStatus::kMaxIterations);
+  EXPECT_EQ(result.parameters.size(), 2u);
+}
+
+TEST(LeastSquaresStatusNames, Distinct) {
+  EXPECT_EQ(to_string(LeastSquaresStatus::kConverged), "converged");
+  EXPECT_EQ(to_string(LeastSquaresStatus::kMaxIterations), "max-iterations");
+  EXPECT_EQ(to_string(LeastSquaresStatus::kStalled), "stalled");
+}
+
+}  // namespace
+}  // namespace smoother::solver

@@ -1,0 +1,64 @@
+#include "smoother/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smoother::util {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(&buffer_);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+  std::ostringstream buffer_;
+};
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  SMOOTHER_LOG(kInfo, "test") << "hello " << 42;
+  EXPECT_EQ(buffer_.str(), "[INFO] test: hello 42\n");
+}
+
+TEST_F(LoggingTest, SuppressesBelowLevel) {
+  SMOOTHER_LOG(kDebug, "test") << "invisible";
+  EXPECT_TRUE(buffer_.str().empty());
+}
+
+TEST_F(LoggingTest, LevelChangeTakesEffect) {
+  Logger::instance().set_level(LogLevel::kError);
+  SMOOTHER_LOG(kWarn, "test") << "still invisible";
+  EXPECT_TRUE(buffer_.str().empty());
+  SMOOTHER_LOG(kError, "test") << "visible";
+  EXPECT_NE(buffer_.str().find("[ERROR] test: visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  SMOOTHER_LOG(kError, "test") << "nope";
+  EXPECT_TRUE(buffer_.str().empty());
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_EQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Logging, EnabledPredicate) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+  Logger::instance().set_level(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace smoother::util

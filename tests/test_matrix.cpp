@@ -1,0 +1,138 @@
+#include "smoother/solver/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::solver {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix eye = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  const std::vector<double> d = {2.0, 5.0};
+  const Matrix diag = Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transpose(), m);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{10.0, 20.0}, {30.0, 40.0}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ((a * 2.0)(1, 0), 6.0);
+  const Matrix wrong(3, 2);
+  EXPECT_THROW(a + wrong, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  const Matrix wide(2, 3);
+  EXPECT_THROW(wide * a, std::invalid_argument);
+}
+
+TEST(Matrix, VectorProducts) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x = {1.0, 10.0};
+  const Vector y = m * x;
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[2], 65.0);
+  const Vector z = {1.0, 1.0, 1.0};
+  const Vector mt_z = m.transpose_times(z);
+  ASSERT_EQ(mt_z.size(), 2u);
+  EXPECT_DOUBLE_EQ(mt_z[0], 9.0);
+  EXPECT_DOUBLE_EQ(mt_z[1], 12.0);
+  EXPECT_THROW(m * z, std::invalid_argument);
+  EXPECT_THROW(m.transpose_times(x), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeTimesMatchesExplicitTranspose) {
+  const Matrix m = {{1.0, -2.0, 0.5}, {3.0, 4.0, -1.0}};
+  const Vector x = {2.0, -3.0};
+  const Vector fast = m.transpose_times(x);
+  const Vector slow = m.transpose() * x;
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i)
+    EXPECT_DOUBLE_EQ(fast[i], slow[i]);
+}
+
+TEST(Matrix, AddDiagonal) {
+  Matrix m = Matrix::identity(2);
+  m.add_diagonal(3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  Matrix rect(2, 3);
+  EXPECT_THROW(rect.add_diagonal(1.0), std::logic_error);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  const Matrix a = {{1.0, 2.0}};
+  const Matrix b = {{1.5, -1.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 3.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a = {3.0, 4.0};
+  const Vector b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 4.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+  Vector y = {1.0, 1.0};
+  axpy(2.0, b, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  const Vector c = {1.0};
+  EXPECT_THROW((void)dot(a, c), std::invalid_argument);
+}
+
+TEST(VectorOps, AddSubtractScale) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(add(a, b)[1], 22.0);
+  EXPECT_DOUBLE_EQ(subtract(b, a)[0], 9.0);
+  EXPECT_DOUBLE_EQ(scale(3.0, a)[1], 6.0);
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  const Matrix m = {{1.5, 2.0}};
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smoother::solver

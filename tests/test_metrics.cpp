@@ -1,0 +1,115 @@
+#include "smoother/core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::core {
+namespace {
+
+using test::constant_series;
+using test::series;
+
+TEST(SwitchingTimes, CountsCrossings) {
+  // supply vs constant demand of 10: states are W G W G -> 3 switches.
+  const auto supply = series({15.0, 5.0, 12.0, 3.0});
+  const auto demand = constant_series(10.0, 4);
+  EXPECT_EQ(energy_switching_times(supply, demand), 3u);
+}
+
+TEST(SwitchingTimes, NoSwitchWhenAlwaysOneSide) {
+  const auto demand = constant_series(10.0, 5);
+  EXPECT_EQ(energy_switching_times(constant_series(20.0, 5), demand), 0u);
+  EXPECT_EQ(energy_switching_times(constant_series(1.0, 5), demand), 0u);
+}
+
+TEST(SwitchingTimes, EqualityCountsAsOnWind) {
+  const auto supply = series({10.0, 9.0, 10.0});
+  const auto demand = constant_series(10.0, 3);
+  // W G W -> 2 switches.
+  EXPECT_EQ(energy_switching_times(supply, demand), 2u);
+}
+
+TEST(SwitchingTimes, EmptyAndSingleSeries) {
+  const util::TimeSeries empty;
+  EXPECT_EQ(energy_switching_times(empty, empty), 0u);
+  const auto one = constant_series(5.0, 1);
+  EXPECT_EQ(energy_switching_times(one, one), 0u);
+}
+
+TEST(SwitchingTimes, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      (void)energy_switching_times(constant_series(1.0, 3), constant_series(1.0, 4)),
+      std::invalid_argument);
+}
+
+TEST(SwitchingTimesHysteresis, DeadbandSuppressesChatter) {
+  // Supply oscillates +-2% around the demand: plain counting sees many
+  // switches, a 5% deadband sees none.
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(i % 2 ? 102.0 : 98.0);
+  const auto supply = series(std::move(values));
+  const auto demand = constant_series(100.0, 20);
+  EXPECT_EQ(energy_switching_times(supply, demand), 19u);
+  EXPECT_EQ(energy_switching_times_hysteresis(supply, demand, 0.05), 0u);
+}
+
+TEST(SwitchingTimesHysteresis, LargeSwingsStillSwitch) {
+  const auto supply = series({150.0, 50.0, 150.0, 50.0});
+  const auto demand = constant_series(100.0, 4);
+  EXPECT_EQ(energy_switching_times_hysteresis(supply, demand, 0.1), 3u);
+}
+
+TEST(SwitchingTimesHysteresis, NegativeDeadbandThrows) {
+  const auto s = constant_series(1.0, 2);
+  EXPECT_THROW((void)energy_switching_times_hysteresis(s, s, -0.1),
+               std::invalid_argument);
+}
+
+TEST(RenewableEnergyUsed, MinOfSupplyAndDemand) {
+  const auto supply = series({100.0, 20.0});
+  const auto demand = series({50.0, 60.0});
+  // min: 50, 20 over 5-min steps -> (70) * 5/60 kWh.
+  EXPECT_NEAR(renewable_energy_used(supply, demand).value(), 70.0 * 5.0 / 60.0,
+              1e-9);
+}
+
+TEST(RenewableUtilization, UsedOverGenerated) {
+  const auto supply = series({100.0, 100.0});
+  const auto demand = series({50.0, 150.0});
+  // used = 50 + 100 = 150 of 200 generated.
+  EXPECT_NEAR(renewable_utilization(supply, demand), 0.75, 1e-12);
+}
+
+TEST(RenewableUtilization, ZeroGeneration) {
+  const auto supply = constant_series(0.0, 3);
+  const auto demand = constant_series(10.0, 3);
+  EXPECT_DOUBLE_EQ(renewable_utilization(supply, demand), 0.0);
+}
+
+TEST(UnusableRenewable, Fig7GreenArea) {
+  const auto supply = series({100.0, 20.0});
+  const auto demand = series({50.0, 60.0});
+  EXPECT_NEAR(unusable_renewable(supply, demand).value(), 50.0 * 5.0 / 60.0,
+              1e-9);
+}
+
+TEST(GridEnergyNeeded, DeficitOnly) {
+  const auto supply = series({100.0, 20.0});
+  const auto demand = series({50.0, 60.0});
+  EXPECT_NEAR(grid_energy_needed(supply, demand).value(), 40.0 * 5.0 / 60.0,
+              1e-9);
+}
+
+TEST(EnergyBalance, UsedPlusUnusableEqualsGenerated) {
+  const auto supply = series({120.0, 30.0, 80.0, 0.0});
+  const auto demand = series({50.0, 60.0, 80.0, 10.0});
+  const double used = renewable_energy_used(supply, demand).value();
+  const double spilled = unusable_renewable(supply, demand).value();
+  EXPECT_NEAR(used + spilled, supply.total_energy().value(), 1e-9);
+  const double grid = grid_energy_needed(supply, demand).value();
+  EXPECT_NEAR(used + grid, demand.total_energy().value(), 1e-9);
+}
+
+}  // namespace
+}  // namespace smoother::core

@@ -1,0 +1,206 @@
+#include "smoother/core/multi_esd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother {
+namespace {
+
+using battery::Battery;
+using battery::BatterySpec;
+using battery::EsdBank;
+using core::MultiEsdPlan;
+using core::MultiEsdSmoothing;
+using util::Kilowatts;
+using util::KilowattHours;
+
+// --- EsdBank -----------------------------------------------------------------
+
+BatterySpec make_spec(double capacity_kwh, double rate_kw) {
+  BatterySpec spec;
+  spec.capacity = KilowattHours{capacity_kwh};
+  spec.max_charge_rate = Kilowatts{rate_kw};
+  spec.max_discharge_rate = Kilowatts{rate_kw};
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return spec;
+}
+
+TEST(EsdBank, Aggregates) {
+  EsdBank bank;
+  EXPECT_TRUE(bank.empty());
+  bank.add("a", Battery(make_spec(10.0, 100.0)));
+  bank.add("b", Battery(make_spec(30.0, 50.0)));
+  EXPECT_EQ(bank.size(), 2u);
+  EXPECT_DOUBLE_EQ(bank.total_capacity().value(), 40.0);
+  EXPECT_DOUBLE_EQ(bank.total_charge_rate().value(), 150.0);
+  EXPECT_DOUBLE_EQ(bank.total_discharge_rate().value(), 150.0);
+  EXPECT_NEAR(bank.total_energy().value(), 0.55 * 40.0, 1e-9);
+  EXPECT_EQ(bank.device(1).name, "b");
+  EXPECT_THROW((void)bank.device(2), std::out_of_range);
+}
+
+TEST(EsdBank, FastDeepPairSplit) {
+  const EsdBank bank = EsdBank::fast_deep_pair(
+      KilowattHours{100.0}, Kilowatts{400.0}, 0.2, 0.7);
+  ASSERT_EQ(bank.size(), 2u);
+  EXPECT_DOUBLE_EQ(bank.device(0).battery.spec().capacity.value(), 20.0);
+  EXPECT_DOUBLE_EQ(bank.device(1).battery.spec().capacity.value(), 80.0);
+  EXPECT_DOUBLE_EQ(bank.device(0).battery.spec().max_charge_rate.value(),
+                   280.0);
+  EXPECT_DOUBLE_EQ(bank.device(1).battery.spec().max_charge_rate.value(),
+                   120.0);
+  EXPECT_THROW(EsdBank::fast_deep_pair(KilowattHours{0.0}, Kilowatts{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      EsdBank::fast_deep_pair(KilowattHours{1.0}, Kilowatts{1.0}, 1.5, 0.5),
+      std::invalid_argument);
+}
+
+// --- MultiEsdSmoothing --------------------------------------------------------
+
+core::RegionClassifier lenient_classifier() {
+  core::RegionClassifierConfig rc;
+  rc.rated_power = Kilowatts{800.0};
+  rc.thresholds.stable_below = 1e-8;
+  rc.thresholds.extreme_above = 1.0;
+  return core::RegionClassifier(rc);
+}
+
+TEST(MultiEsd, RejectsEmptyBankAndLookahead) {
+  MultiEsdSmoothing smoothing;
+  EsdBank empty;
+  const auto window = test::sawtooth_series(100.0, 500.0, 6, 12);
+  EXPECT_THROW((void)smoothing.plan_interval(window, empty),
+               std::invalid_argument);
+  core::FlexibleSmoothingConfig config;
+  config.lookahead_intervals = 2;
+  EXPECT_THROW(MultiEsdSmoothing{config}, std::invalid_argument);
+}
+
+TEST(MultiEsd, SingleDeviceMatchesFlexibleSmoothing) {
+  // With one device the multi-ESD QP is the same problem as the paper's.
+  const auto window = test::sawtooth_series(100.0, 500.0, 6, 12);
+  EsdBank bank;
+  bank.add("only", Battery(make_spec(40.0, 488.0)));
+  Battery solo(make_spec(40.0, 488.0));
+
+  MultiEsdSmoothing multi;
+  core::FlexibleSmoothing single;
+  const MultiEsdPlan multi_plan = multi.plan_interval(window, bank);
+  const core::IntervalPlan single_plan = single.plan_interval(window, solo);
+  ASSERT_EQ(multi_plan.schedules_kwh.size(), 1u);
+  EXPECT_NEAR(multi_plan.variance_after, single_plan.variance_after,
+              0.05 * single_plan.variance_before + 1e-6);
+}
+
+TEST(MultiEsd, PlanRespectsPerDeviceLimits) {
+  const auto window = test::sawtooth_series(0.0, 700.0, 4, 12);
+  const EsdBank bank = EsdBank::fast_deep_pair(KilowattHours{60.0},
+                                               Kilowatts{400.0}, 0.25, 0.75);
+  MultiEsdSmoothing smoothing;
+  const MultiEsdPlan plan = smoothing.plan_interval(window, bank);
+  ASSERT_EQ(plan.schedules_kwh.size(), 2u);
+  const double dt_hours = 5.0 / 60.0;
+  for (std::size_t d = 0; d < 2; ++d) {
+    const auto& spec = bank.device(d).battery.spec();
+    const double rate_cap = spec.max_charge_rate.value() * dt_hours;
+    const double discharge_cap =
+        std::min(spec.max_discharge_rate.value() * dt_hours,
+                 0.9 * spec.capacity.value());
+    double cumulative = 0.0;
+    const double b0 = bank.device(d).battery.energy().value();
+    for (double s : plan.schedules_kwh[d]) {
+      EXPECT_GE(s, -rate_cap - 1e-6);
+      EXPECT_LE(s, discharge_cap + 1e-6);
+      cumulative += s;
+      const double soc = b0 - cumulative;
+      // ADMM tolerances allow ~1e-4 constraint fuzz on the cumulative rows
+      // (the battery enforces the corridor exactly at execution).
+      EXPECT_GE(soc, spec.min_energy().value() - 1e-3);
+      EXPECT_LE(soc, spec.max_energy().value() + 1e-3);
+    }
+  }
+  // Shared net-charge bound: total charging never exceeds the generation.
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_GE(plan.net_kwh(i), -window[i] * dt_hours - 1e-6);
+}
+
+TEST(MultiEsd, FastDeviceAbsorbsTheFastComponent) {
+  // High-frequency sawtooth: the QP should route most of the movement
+  // through the high-rate device.
+  const auto window = test::sawtooth_series(100.0, 600.0, 2, 12);
+  const EsdBank bank = EsdBank::fast_deep_pair(KilowattHours{60.0},
+                                               Kilowatts{400.0}, 0.2, 0.8);
+  MultiEsdSmoothing smoothing;
+  const MultiEsdPlan plan = smoothing.plan_interval(window, bank);
+  double fast_throughput = 0.0, deep_throughput = 0.0;
+  for (double s : plan.schedules_kwh[0]) fast_throughput += std::abs(s);
+  for (double s : plan.schedules_kwh[1]) deep_throughput += std::abs(s);
+  EXPECT_GT(fast_throughput, deep_throughput);
+}
+
+TEST(MultiEsd, SplitBeatsRateLimitedMonolith) {
+  // Same total capacity; the monolith has the *deep* device's (low) rate,
+  // the portfolio adds a fast shallow device. The portfolio must smooth a
+  // spiky interval at least as well.
+  const auto window = test::sawtooth_series(0.0, 700.0, 2, 12);
+  Battery monolith(make_spec(60.0, 100.0));
+  core::FlexibleSmoothing single;
+  const auto mono_plan = single.plan_interval(window, monolith);
+
+  EsdBank bank;
+  bank.add("fast", Battery(make_spec(12.0, 300.0)));
+  bank.add("deep", Battery(make_spec(48.0, 100.0)));
+  MultiEsdSmoothing multi;
+  const auto split_plan = multi.plan_interval(window, bank);
+  EXPECT_LE(split_plan.variance_after, mono_plan.variance_after + 1e-6);
+  EXPECT_LT(split_plan.variance_after, 0.9 * mono_plan.variance_after);
+}
+
+TEST(MultiEsd, ExecuteConservesEnergy) {
+  const auto window = test::sawtooth_series(100.0, 500.0, 6, 12);
+  EsdBank bank = EsdBank::fast_deep_pair(KilowattHours{60.0},
+                                         Kilowatts{400.0});
+  const double before = bank.total_energy().value();
+  MultiEsdSmoothing smoothing;
+  const auto plan = smoothing.plan_interval(window, bank);
+  const auto supply = smoothing.execute_plan(plan, window, bank);
+  const double delta = bank.total_energy().value() - before;
+  EXPECT_NEAR(supply.total_energy().value(),
+              window.total_energy().value() - delta, 1e-6);
+  for (std::size_t i = 0; i < supply.size(); ++i) EXPECT_GE(supply[i], 0.0);
+}
+
+TEST(MultiEsd, SmoothEndToEnd) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, 44));
+  EsdBank bank = EsdBank::fast_deep_pair(KilowattHours{80.0},
+                                         Kilowatts{488.0});
+  MultiEsdSmoothing smoothing;
+  const auto result = smoothing.smooth(supply, lenient_classifier(), bank);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+  EXPECT_GT(result.mean_variance_reduction, 0.3);
+  ASSERT_EQ(result.device_max_rate_kw.size(), 2u);
+  // Rates within device limits.
+  EXPECT_LE(result.device_max_rate_kw[0],
+            bank.device(0).battery.spec().max_discharge_rate.value() + 1e-6);
+  EXPECT_LE(result.device_max_rate_kw[1],
+            bank.device(1).battery.spec().max_discharge_rate.value() + 1e-6);
+  // Both devices participated.
+  EXPECT_GT(result.device_throughput_kwh[0], 0.0);
+  EXPECT_GT(result.device_throughput_kwh[1], 0.0);
+  // SoC corridors hold at the end.
+  for (std::size_t d = 0; d < bank.size(); ++d) {
+    const auto& b = bank.device(d).battery;
+    EXPECT_GE(b.soc_fraction(), b.spec().min_soc_fraction - 1e-9);
+    EXPECT_LE(b.soc_fraction(), b.spec().max_soc_fraction + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace smoother

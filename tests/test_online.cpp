@@ -1,0 +1,193 @@
+#include "smoother/core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+
+OnlineSmootherConfig small_config() {
+  OnlineSmootherConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.warmup_intervals = 4;
+  config.history_intervals = 48;
+  return config;
+}
+
+battery::Battery small_battery() {
+  auto spec = battery::spec_for_max_rate(Kilowatts{488.0}, util::kFiveMinutes,
+                                         2.0);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return battery::Battery(spec);
+}
+
+util::TimeSeries wind_day(std::uint64_t seed, double days = 2.0) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  return power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(days), util::kFiveMinutes, seed));
+}
+
+TEST(OnlineSmootherConfig, Validation) {
+  OnlineSmootherConfig config = small_config();
+  EXPECT_NO_THROW(config.validate());
+  config.warmup_intervals = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.history_intervals = 2;  // below warmup
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.flexible_smoothing.lookahead_intervals = 2;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.stable_cdf = 0.99;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(OnlineSmoother, EmitsOneRecordPerCompletedInterval) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  int records = 0;
+  for (int i = 0; i < 12 * 5; ++i) {
+    const auto record = smoother.push(300.0);
+    if (record) {
+      ++records;
+      EXPECT_EQ(record->index, static_cast<std::size_t>(records - 1));
+    }
+  }
+  EXPECT_EQ(records, 5);
+  EXPECT_EQ(smoother.output().size(), 60u);
+  EXPECT_EQ(smoother.records().size(), 5u);
+}
+
+TEST(OnlineSmoother, WarmupPassesThroughUnsmoothed) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  const auto supply = wind_day(5);
+  std::size_t warmup_records = 0;
+  for (std::size_t i = 0; i < 4 * 12; ++i) {
+    const auto record = smoother.push(supply[i]);
+    if (record) {
+      EXPECT_TRUE(record->warmup);
+      EXPECT_FALSE(record->smoothed);
+      ++warmup_records;
+    }
+  }
+  EXPECT_EQ(warmup_records, 4u);
+  // Warmup output is bit-identical to the input.
+  for (std::size_t i = 0; i < smoother.output().size(); ++i)
+    EXPECT_DOUBLE_EQ(smoother.output()[i], supply[i]);
+  EXPECT_TRUE(smoother.calibrated());  // 4 intervals = warmup complete
+}
+
+double mean_reduction(const OnlineSmoother& smoother) {
+  std::size_t smoothed = 0;
+  double reduction = 0.0;
+  for (const auto& record : smoother.records()) {
+    if (!record.smoothed || record.variance_before <= 0.0) continue;
+    ++smoothed;
+    reduction += (record.variance_before - record.variance_after) /
+                 record.variance_before;
+  }
+  return smoothed == 0 ? 0.0 : reduction / static_cast<double>(smoothed);
+}
+
+TEST(OnlineSmoother, SmoothsAfterCalibrationWithOracle) {
+  // With a real predictor (here: a perfect oracle, the paper's effective
+  // assumption) the online pipeline smooths like the batch one.
+  OnlineSmoother smoother(small_config(), small_battery());
+  const auto supply = wind_day(21, 3.0);
+  smoother.set_forecast_oracle([&](std::size_t interval) {
+    std::vector<double> predicted(12);
+    for (std::size_t i = 0; i < 12; ++i)
+      predicted[i] = supply[interval * 12 + i];
+    return predicted;
+  });
+  for (std::size_t i = 0; i < supply.size(); ++i) smoother.push(supply[i]);
+
+  EXPECT_TRUE(smoother.calibrated());
+  std::size_t smoothed = 0;
+  for (const auto& record : smoother.records())
+    if (record.smoothed) ++smoothed;
+  ASSERT_GT(smoothed, 5u);
+  EXPECT_GT(mean_reduction(smoother), 0.4);
+  // Thresholds were learned (non-default).
+  EXPECT_NE(smoother.thresholds().stable_below,
+            RegionThresholds{}.stable_below);
+}
+
+TEST(OnlineSmoother, PersistenceForecastIsWeakerThanOracle) {
+  // Documented honestly: persistence on 5-minute wind is a poor predictor;
+  // the oracle must beat it, and persistence must not blow the corridor.
+  const auto supply = wind_day(21, 3.0);
+
+  OnlineSmoother persistence(small_config(), small_battery());
+  for (std::size_t i = 0; i < supply.size(); ++i) persistence.push(supply[i]);
+
+  OnlineSmoother oracle(small_config(), small_battery());
+  oracle.set_forecast_oracle([&](std::size_t interval) {
+    std::vector<double> predicted(12);
+    for (std::size_t i = 0; i < 12; ++i)
+      predicted[i] = supply[interval * 12 + i];
+    return predicted;
+  });
+  for (std::size_t i = 0; i < supply.size(); ++i) oracle.push(supply[i]);
+
+  EXPECT_GT(mean_reduction(oracle), mean_reduction(persistence));
+  EXPECT_GE(persistence.battery().soc_fraction(), 0.10 - 1e-9);
+}
+
+TEST(OnlineSmoother, OracleLengthValidated) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  smoother.set_forecast_oracle(
+      [](std::size_t) { return std::vector<double>(5, 1.0); });
+  const auto supply = wind_day(3, 1.0);
+  EXPECT_THROW(
+      {
+        for (std::size_t i = 0; i < supply.size(); ++i)
+          smoother.push(supply[i]);
+      },
+      std::runtime_error);
+}
+
+TEST(OnlineSmoother, OutputTrailsInputByAtMostOneInterval) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  const auto supply = wind_day(9);
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    smoother.push(supply[i]);
+    const std::size_t completed = (i + 1) / 12;
+    EXPECT_EQ(smoother.output().size(), completed * 12);
+  }
+}
+
+TEST(OnlineSmoother, BatteryCorridorHolds) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  const auto supply = wind_day(33, 4.0);
+  for (std::size_t i = 0; i < supply.size(); ++i) smoother.push(supply[i]);
+  EXPECT_GE(smoother.battery().soc_fraction(), 0.10 - 1e-9);
+  EXPECT_LE(smoother.battery().soc_fraction(), 1.0 + 1e-9);
+}
+
+TEST(OnlineSmoother, NegativeInputClampedToZero) {
+  OnlineSmoother smoother(small_config(), small_battery());
+  for (int i = 0; i < 12; ++i) smoother.push(-50.0);
+  for (std::size_t i = 0; i < smoother.output().size(); ++i)
+    EXPECT_DOUBLE_EQ(smoother.output()[i], 0.0);
+}
+
+TEST(OnlineSmoother, ConstantSupplyNeverSmoothed) {
+  // Constant supply: every interval variance is 0; after calibration the
+  // thresholds are degenerate-but-valid and nothing is labelled smoothable.
+  OnlineSmoother smoother(small_config(), small_battery());
+  for (int i = 0; i < 12 * 10; ++i) smoother.push(250.0);
+  for (const auto& record : smoother.records())
+    EXPECT_FALSE(record.smoothed);
+  for (std::size_t i = 0; i < smoother.output().size(); ++i)
+    EXPECT_DOUBLE_EQ(smoother.output()[i], 250.0);
+}
+
+}  // namespace
+}  // namespace smoother::core

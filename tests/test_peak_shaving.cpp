@@ -1,0 +1,162 @@
+// Tests for the grid-draw cap (peak shaving) in Active Delay and the
+// hybrid wind+solar supply builder.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/core/active_delay.hpp"
+#include "smoother/sim/scenario.hpp"
+
+namespace smoother {
+namespace {
+
+using sched::Job;
+using sched::ScheduleRequest;
+using util::Kilowatts;
+using util::Minutes;
+
+Job small_job(std::uint64_t id, double arrival, double runtime,
+              double deadline, double power_kw) {
+  Job job;
+  job.id = id;
+  job.arrival = Minutes{arrival};
+  job.runtime = Minutes{runtime};
+  job.deadline = Minutes{deadline};
+  job.servers = 1;
+  job.power = Kilowatts{power_kw};
+  return job;
+}
+
+TEST(PeakShaving, ConfigValidation) {
+  core::ActiveDelayConfig config;
+  config.max_grid_draw_kw = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.max_grid_draw_kw = 0.0;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(PeakShaving, CapSpreadsJobsApart) {
+  // Zero renewable, four 10 kW jobs with plenty of slack: uncapped AD
+  // stacks them all at their arrival slot (25 kW peak grid draw exceeds a
+  // 15 kW cap); with the cap only one job fits at a time.
+  ScheduleRequest request;
+  request.renewable = test::constant_series(0.0, 240, util::kOneMinute);
+  request.total_servers = 10;
+  for (int j = 0; j < 4; ++j)
+    request.jobs.push_back(
+        small_job(static_cast<std::uint64_t>(j + 1), 0.0, 30.0, 239.0, 10.0));
+
+  const auto uncapped = core::ActiveDelayScheduler().schedule(request);
+  EXPECT_GT(uncapped.demand.max(), 15.0);
+
+  core::ActiveDelayConfig config;
+  config.max_grid_draw_kw = 15.0;
+  const auto capped = core::ActiveDelayScheduler(config).schedule(request);
+  // Grid draw = demand (no renewable): never above the cap.
+  EXPECT_LE(capped.demand.max(), 15.0 + 1e-9);
+  EXPECT_EQ(capped.outcome.deadline_misses, 0u);
+}
+
+TEST(PeakShaving, RenewableRaisesTheEffectiveCap) {
+  // A 30 kW renewable plateau lets three 10 kW jobs run concurrently under
+  // a 5 kW grid cap, but only inside the plateau.
+  ScheduleRequest request;
+  std::vector<double> values(240, 0.0);
+  for (std::size_t t = 60; t < 120; ++t) values[t] = 30.0;
+  request.renewable = util::TimeSeries(util::kOneMinute, std::move(values));
+  request.total_servers = 10;
+  for (int j = 0; j < 3; ++j)
+    request.jobs.push_back(
+        small_job(static_cast<std::uint64_t>(j + 1), 0.0, 30.0, 239.0, 10.0));
+
+  core::ActiveDelayConfig config;
+  config.max_grid_draw_kw = 5.0;
+  const auto result = core::ActiveDelayScheduler(config).schedule(request);
+  for (const auto& placement : result.outcome.placements) {
+    EXPECT_GE(placement.start.value(), 60.0);
+    EXPECT_LE(placement.finish.value(), 120.0 + 1e-9);
+  }
+  // Grid draw stays under the cap everywhere.
+  for (std::size_t t = 0; t < result.demand.size(); ++t)
+    EXPECT_LE(std::max(result.demand[t] - request.renewable[t], 0.0),
+              5.0 + 1e-9);
+}
+
+TEST(PeakShaving, DeadlineBeatsTheCap) {
+  // A job that can fit nowhere under the cap still runs (fallback to the
+  // earliest start) — the soft deadline wins over the tariff.
+  ScheduleRequest request;
+  request.renewable = test::constant_series(0.0, 100, util::kOneMinute);
+  request.total_servers = 10;
+  request.jobs = {small_job(1, 0.0, 20.0, 99.0, 50.0)};
+  core::ActiveDelayConfig config;
+  config.max_grid_draw_kw = 10.0;  // job alone breaches it
+  const auto result = core::ActiveDelayScheduler(config).schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 0.0);
+  EXPECT_TRUE(result.outcome.placements[0].met_deadline);
+}
+
+TEST(PeakShaving, ZeroCapMeansDisabled) {
+  ScheduleRequest request;
+  request.renewable = test::constant_series(0.0, 120, util::kOneMinute);
+  request.total_servers = 10;
+  for (int j = 0; j < 3; ++j)
+    request.jobs.push_back(
+        small_job(static_cast<std::uint64_t>(j + 1), 0.0, 30.0, 119.0, 10.0));
+  const auto plain = core::ActiveDelayScheduler().schedule(request);
+  core::ActiveDelayConfig config;  // max_grid_draw_kw = 0
+  const auto same = core::ActiveDelayScheduler(config).schedule(request);
+  for (std::size_t i = 0; i < plain.outcome.placements.size(); ++i)
+    EXPECT_DOUBLE_EQ(plain.outcome.placements[i].start.value(),
+                     same.outcome.placements[i].start.value());
+}
+
+// --- hybrid supply -----------------------------------------------------------
+
+TEST(HybridSupply, SumsWindAndSolar) {
+  const auto hybrid = sim::make_hybrid_supply(
+      trace::WindSitePresets::texas_10(), Kilowatts{600.0}, Kilowatts{400.0},
+      util::days(2.0), util::kFiveMinutes, 7);
+  EXPECT_EQ(hybrid.size(), 2u * 288u);
+  EXPECT_GE(hybrid.min(), 0.0);
+  // Peak cannot exceed combined installed capacity.
+  EXPECT_LE(hybrid.max(), 1000.0 + 1e-6);
+}
+
+TEST(HybridSupply, Deterministic) {
+  const auto a = sim::make_hybrid_supply(
+      trace::WindSitePresets::colorado_11005(), Kilowatts{500.0},
+      Kilowatts{500.0}, util::days(1.0), util::kFiveMinutes, 9);
+  const auto b = sim::make_hybrid_supply(
+      trace::WindSitePresets::colorado_11005(), Kilowatts{500.0},
+      Kilowatts{500.0}, util::days(1.0), util::kFiveMinutes, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HybridSupply, SolarFillsTheDaytime) {
+  // With the same seed, adding solar raises the 10-16h average far more
+  // than the night average.
+  const auto wind_only = sim::make_hybrid_supply(
+      trace::WindSitePresets::texas_10(), Kilowatts{600.0}, Kilowatts{1e-6},
+      util::days(10.0), util::kFiveMinutes, 5);
+  const auto hybrid = sim::make_hybrid_supply(
+      trace::WindSitePresets::texas_10(), Kilowatts{600.0}, Kilowatts{400.0},
+      util::days(10.0), util::kFiveMinutes, 5);
+  double day_gain = 0.0, night_gain = 0.0;
+  std::size_t day_n = 0, night_n = 0;
+  for (std::size_t i = 0; i < hybrid.size(); ++i) {
+    const double hour = std::fmod(hybrid.time_at(i).value() / 60.0, 24.0);
+    const double gain = hybrid[i] - wind_only[i];
+    if (hour >= 10.0 && hour < 16.0) {
+      day_gain += gain;
+      ++day_n;
+    } else if (hour < 4.0 || hour >= 22.0) {
+      night_gain += gain;
+      ++night_n;
+    }
+  }
+  EXPECT_GT(day_gain / static_cast<double>(day_n),
+            10.0 * std::max(night_gain / static_cast<double>(night_n), 0.1));
+}
+
+}  // namespace
+}  // namespace smoother

@@ -1,0 +1,203 @@
+#include "smoother/solver/qp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "smoother/stats/descriptive.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::solver {
+namespace {
+
+TEST(QpProblem, ValidateShapes) {
+  QpProblem p;
+  p.p = Matrix::identity(2);
+  p.q = {0.0, 0.0};
+  p.a = Matrix::identity(2);
+  p.lower = {0.0, 0.0};
+  p.upper = {1.0, 1.0};
+  EXPECT_NO_THROW(p.validate());
+  p.q = {0.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(QpSolve, UnconstrainedQuadraticReachesMinimum) {
+  // min (x0-3)^2 + (x1+1)^2 -> P = 2I, q = (-6, 2); loose bounds.
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {-6.0, 2.0};
+  p.a = Matrix::identity(2);
+  p.lower = {-100.0, -100.0};
+  p.upper = {100.0, 100.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+}
+
+TEST(QpSolve, ActiveBoxConstraint) {
+  // Same objective but x0 <= 1: optimum sits on the bound.
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {-6.0, 2.0};
+  p.a = Matrix::identity(2);
+  p.lower = {-100.0, -100.0};
+  p.upper = {1.0, 100.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], -1.0, 1e-4);
+}
+
+TEST(QpSolve, GeneralConstraintRow) {
+  // min x0^2 + x1^2 subject to x0 + x1 = 2 (tight equality via l = u).
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {0.0, 0.0};
+  p.a = Matrix{{1.0, 1.0}};
+  p.lower = {2.0};
+  p.upper = {2.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(QpSolve, DetectsInconsistentBounds) {
+  QpProblem p;
+  p.p = Matrix::identity(1);
+  p.q = {0.0};
+  p.a = Matrix::identity(1);
+  p.lower = {1.0};
+  p.upper = {-1.0};
+  const QpResult r = solve_qp(p);
+  EXPECT_EQ(r.status, QpStatus::kInfeasible);
+}
+
+TEST(QpSolve, SemidefiniteObjective) {
+  // P = [[2,0],[0,0]] (PSD, singular): minimize x0^2 + x1 subject to
+  // box on x1 so the linear term drives x1 to its lower bound.
+  QpProblem p;
+  p.p = Matrix{{2.0, 0.0}, {0.0, 0.0}};
+  p.q = {0.0, 1.0};
+  p.a = Matrix::identity(2);
+  p.lower = {-10.0, -5.0};
+  p.upper = {10.0, 5.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 0.0, 1e-3);
+  EXPECT_NEAR(r.x[1], -5.0, 1e-3);
+}
+
+TEST(QpSolve, ObjectiveValueReported) {
+  QpProblem p;
+  p.p = Matrix::identity(1) * 2.0;
+  p.q = {-4.0};
+  p.a = Matrix::identity(1);
+  p.lower = {-10.0};
+  p.upper = {10.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  // min x^2 - 4x at x=2 -> objective = 4 - 8 = -4.
+  EXPECT_NEAR(r.objective, -4.0, 1e-4);
+}
+
+TEST(VarianceQuadraticForm, EqualsVariance) {
+  util::Rng rng(11);
+  for (std::size_t n : {2u, 5u, 12u}) {
+    const Matrix p = variance_quadratic_form(n);
+    Vector x(n);
+    for (double& v : x) v = rng.uniform(-10.0, 10.0);
+    const Vector px = p * x;
+    const double quad = 0.5 * dot(x, px);
+    EXPECT_NEAR(quad, stats::variance(x), 1e-9);
+  }
+  EXPECT_THROW(variance_quadratic_form(0), std::invalid_argument);
+}
+
+TEST(VarianceQuadraticForm, ShiftInvariance) {
+  // Adding a constant to every coordinate must not change the objective.
+  const std::size_t n = 6;
+  const Matrix p = variance_quadratic_form(n);
+  util::Rng rng(3);
+  Vector x(n);
+  for (double& v : x) v = rng.uniform(0.0, 5.0);
+  Vector shifted = x;
+  for (double& v : shifted) v += 42.0;
+  EXPECT_NEAR(0.5 * dot(x, p * x), 0.5 * dot(shifted, p * shifted), 1e-9);
+}
+
+// Property sweep: random feasible QPs must satisfy first-order optimality.
+class RandomQpTest : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomQpTest, SatisfiesKktConditions) {
+  const auto [n_int, seed] = GetParam();
+  const auto n = static_cast<std::size_t>(n_int);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+
+  // SPD objective.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal(0.0, 1.0);
+  QpProblem problem;
+  problem.p = b * b.transpose();
+  problem.p.add_diagonal(0.5);
+  problem.q.resize(n);
+  for (double& v : problem.q) v = rng.normal(0.0, 2.0);
+  problem.a = Matrix::identity(n);
+  problem.lower.assign(n, -1.0);
+  problem.upper.assign(n, 1.0);
+
+  const QpResult r = solve_qp(problem);
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_LE(problem.constraint_violation(r.x), 1e-5);
+
+  // Projected-gradient optimality: for interior coordinates the gradient
+  // must vanish; at bounds it must point outward.
+  const Vector grad = add(problem.p * r.x, problem.q);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r.x[i] > -1.0 + 1e-4 && r.x[i] < 1.0 - 1e-4) {
+      EXPECT_NEAR(grad[i], 0.0, 1e-3) << "interior coordinate " << i;
+    } else if (r.x[i] <= -1.0 + 1e-4) {
+      EXPECT_GE(grad[i], -1e-3) << "lower-bound coordinate " << i;
+    } else {
+      EXPECT_LE(grad[i], 1e-3) << "upper-bound coordinate " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomQpTest,
+    testing::Combine(testing::Values(2, 4, 8, 12, 24),
+                     testing::Values(1, 2, 3)),
+    [](const testing::TestParamInfo<RandomQpTest::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(QpSolve, MaxIterationsStillReturnsIterate) {
+  QpProblem p;
+  p.p = Matrix::identity(2) * 2.0;
+  p.q = {-6.0, 2.0};
+  p.a = Matrix::identity(2);
+  p.lower = {-100.0, -100.0};
+  p.upper = {100.0, 100.0};
+  QpSettings settings;
+  settings.max_iterations = 3;
+  settings.check_interval = 1;
+  const QpResult r = solve_qp(p, settings);
+  EXPECT_EQ(r.status, QpStatus::kMaxIterations);
+  EXPECT_EQ(r.x.size(), 2u);
+}
+
+TEST(QpStatusNames, AllDistinct) {
+  EXPECT_EQ(to_string(QpStatus::kSolved), "solved");
+  EXPECT_EQ(to_string(QpStatus::kMaxIterations), "max-iterations");
+  EXPECT_EQ(to_string(QpStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(QpStatus::kNumericalError), "numerical-error");
+}
+
+}  // namespace
+}  // namespace smoother::solver

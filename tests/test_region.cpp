@@ -1,0 +1,141 @@
+#include "smoother/core/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/power/turbine.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+
+RegionClassifierConfig config_with(double stable, double extreme) {
+  RegionClassifierConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.points_per_interval = 12;
+  config.thresholds.stable_below = stable;
+  config.thresholds.extreme_above = extreme;
+  return config;
+}
+
+TEST(RegionThresholds, Validation) {
+  RegionThresholds t;
+  EXPECT_NO_THROW(t.validate());
+  t.stable_below = 0.5;
+  t.extreme_above = 0.4;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t.stable_below = -1.0;
+  t.extreme_above = 1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(RegionClassifier, ConfigValidation) {
+  RegionClassifierConfig config = config_with(1e-4, 1e-2);
+  config.points_per_interval = 1;
+  EXPECT_THROW(RegionClassifier{config}, std::invalid_argument);
+  config = config_with(1e-4, 1e-2);
+  config.rated_power = Kilowatts{0.0};
+  EXPECT_THROW(RegionClassifier{config}, std::invalid_argument);
+}
+
+TEST(RegionClassifier, VarianceBands) {
+  const RegionClassifier classifier(config_with(1e-4, 1e-2));
+  EXPECT_EQ(classifier.classify_variance(0.0), Region::kStable);
+  EXPECT_EQ(classifier.classify_variance(5e-5), Region::kStable);
+  EXPECT_EQ(classifier.classify_variance(1e-4), Region::kSmoothable);
+  EXPECT_EQ(classifier.classify_variance(5e-3), Region::kSmoothable);
+  EXPECT_EQ(classifier.classify_variance(1e-2), Region::kExtreme);
+  EXPECT_EQ(classifier.classify_variance(1.0), Region::kExtreme);
+}
+
+TEST(RegionClassifier, ClassifiesSeriesIntervals) {
+  // Three hourly intervals: flat, moderately wavy, violently alternating.
+  std::vector<double> values;
+  for (int i = 0; i < 12; ++i) values.push_back(400.0);
+  for (int i = 0; i < 12; ++i) values.push_back(400.0 + (i % 2 ? 60.0 : -60.0));
+  for (int i = 0; i < 12; ++i) values.push_back(i % 2 ? 800.0 : 0.0);
+  const auto series = test::series(std::move(values));
+
+  const RegionClassifier classifier(config_with(1e-4, 1e-1));
+  const auto intervals = classifier.classify(series);
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0].region, Region::kStable);
+  EXPECT_EQ(intervals[1].region, Region::kSmoothable);
+  EXPECT_EQ(intervals[2].region, Region::kExtreme);
+  EXPECT_EQ(intervals[1].first_point, 12u);
+  EXPECT_EQ(intervals[1].points, 12u);
+  EXPECT_NEAR(intervals[0].cf_variance, 0.0, 1e-12);
+}
+
+TEST(RegionClassifier, CalmAndRatedSaturationAreStable) {
+  // Paper: Region-I covers both "no wind" and "rated plateau" situations.
+  const RegionClassifier classifier(config_with(1e-4, 1e-2));
+  const auto calm = test::constant_series(0.0, 12);
+  const auto rated = test::constant_series(800.0, 12);
+  EXPECT_EQ(classifier.classify(calm)[0].region, Region::kStable);
+  EXPECT_EQ(classifier.classify(rated)[0].region, Region::kStable);
+}
+
+TEST(RegionClassifier, RegionFractions) {
+  std::vector<IntervalClass> intervals(4);
+  intervals[0].region = Region::kStable;
+  intervals[1].region = Region::kSmoothable;
+  intervals[2].region = Region::kSmoothable;
+  intervals[3].region = Region::kExtreme;
+  const auto fractions = RegionClassifier::region_fractions(intervals);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.25);
+  EXPECT_DOUBLE_EQ(fractions[1], 0.5);
+  EXPECT_DOUBLE_EQ(fractions[2], 0.25);
+  const auto empty = RegionClassifier::region_fractions({});
+  EXPECT_DOUBLE_EQ(empty[0], 0.0);
+}
+
+TEST(ThresholdsFromHistory, MatchesRequestedCdfLevels) {
+  // A month of volatile wind: with stable=0.25 and extreme=0.95 the
+  // classifier should label ~25 % Region-I and ~5 % Region-II-2.
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const auto speed = model.generate(util::days(28.0), util::kFiveMinutes, 3);
+  const auto power = power::TurbineCurve::enercon_e48().power_series(speed);
+
+  const auto thresholds =
+      thresholds_from_history(power, Kilowatts{800.0}, 12, 0.25, 0.95);
+  RegionClassifierConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.thresholds = thresholds;
+  const RegionClassifier classifier(config);
+  const auto fractions =
+      RegionClassifier::region_fractions(classifier.classify(power));
+  EXPECT_NEAR(fractions[0], 0.25, 0.03);
+  EXPECT_NEAR(fractions[2], 0.05, 0.03);
+}
+
+TEST(ThresholdsFromHistory, Validation) {
+  const auto series = test::constant_series(10.0, 24);
+  EXPECT_THROW(
+      (void)thresholds_from_history(series, Kilowatts{800.0}, 12, 0.9, 0.5),
+      std::invalid_argument);
+  const auto tiny = test::constant_series(10.0, 6);
+  EXPECT_THROW(
+      (void)thresholds_from_history(tiny, Kilowatts{800.0}, 12, 0.2, 0.9),
+      std::invalid_argument);
+}
+
+TEST(ThresholdsFromHistory, DegenerateHistoryStillValidates) {
+  // Constant supply: every interval variance is zero; the fallback epsilon
+  // split must still produce a valid threshold pair.
+  const auto series = test::constant_series(10.0, 48);
+  const auto thresholds =
+      thresholds_from_history(series, Kilowatts{800.0}, 12, 0.2, 0.9);
+  EXPECT_NO_THROW(thresholds.validate());
+}
+
+TEST(RegionNames, Strings) {
+  EXPECT_EQ(to_string(Region::kStable), "Region-I");
+  EXPECT_EQ(to_string(Region::kSmoothable), "Region-II-1");
+  EXPECT_EQ(to_string(Region::kExtreme), "Region-II-2");
+}
+
+}  // namespace
+}  // namespace smoother::core

@@ -1,0 +1,87 @@
+#include "smoother/sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "smoother/util/format.hpp"
+
+namespace smoother::sim {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyColumns) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RowWidthValidated) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::string("x")}), std::invalid_argument);
+}
+
+TEST(TablePrinter, PrintsAlignedTable) {
+  TablePrinter table({"workload", "switches"});
+  table.add_row({std::string("NASA"), std::string("254")});
+  table.add_row(std::vector<double>{1.0, 316.0});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("workload"), std::string::npos);
+  EXPECT_NE(text.find("NASA"), std::string::npos);
+  EXPECT_NE(text.find("316"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, PrintsCsv) {
+  TablePrinter table({"x", "y"});
+  table.add_row(std::vector<double>{1.0, 2.5});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,y\n1,2.5\n");
+}
+
+TEST(ExperimentHeader, NamesTheExperiment) {
+  std::ostringstream out;
+  print_experiment_header(out, "Fig. 11", "switching times");
+  EXPECT_NE(out.str().find("Fig. 11"), std::string::npos);
+  EXPECT_NE(out.str().find("switching times"), std::string::npos);
+}
+
+TEST(SeriesCsv, PrintsAllPointsByDefault) {
+  std::ostringstream out;
+  print_series_csv(out, "v", test::series({1.0, 2.0, 3.0}));
+  EXPECT_EQ(out.str(), "minute,v\n0,1\n5,2\n10,3\n");
+}
+
+TEST(SeriesCsv, DownsamplesToMaxPoints) {
+  std::ostringstream out;
+  print_series_csv(out, "v", test::constant_series(1.0, 100), 10);
+  // Header plus at most 10 data lines.
+  const std::string text = out.str();
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_LE(lines, 11);
+  EXPECT_GE(lines, 10);
+}
+
+TEST(Sparkline, ShapeAndBounds) {
+  const auto rising = test::sawtooth_series(0.0, 10.0, 64, 64);
+  const std::string line = sparkline(rising, 8);
+  EXPECT_EQ(line.size(), 8u);
+  // Rising series: last glyph darker than first.
+  EXPECT_NE(line.front(), line.back());
+  EXPECT_TRUE(sparkline(util::TimeSeries{}, 8).empty());
+}
+
+TEST(Sparkline, ConstantSeriesIsFlat) {
+  const std::string line = sparkline(test::constant_series(5.0, 32), 8);
+  for (char c : line) EXPECT_EQ(c, line[0]);
+}
+
+TEST(Strfmt, FormatsLikeSnprintf) {
+  EXPECT_EQ(util::strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(util::strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(util::strfmt("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace smoother::sim

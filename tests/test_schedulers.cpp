@@ -1,0 +1,163 @@
+#include "smoother/sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::sched {
+namespace {
+
+using util::Kilowatts;
+using util::Minutes;
+
+Job make_job(std::uint64_t id, double arrival, double runtime, double deadline,
+             std::size_t servers = 1, double power = 10.0) {
+  Job job;
+  job.id = id;
+  job.arrival = Minutes{arrival};
+  job.runtime = Minutes{runtime};
+  job.deadline = Minutes{deadline};
+  job.servers = servers;
+  job.cpu_utilization = 0.9;
+  job.power = Kilowatts{power};
+  return job;
+}
+
+ScheduleRequest base_request(std::size_t slots = 60,
+                             std::size_t servers = 10) {
+  ScheduleRequest request;
+  request.renewable = test::constant_series(50.0, slots, util::kOneMinute);
+  request.total_servers = servers;
+  return request;
+}
+
+TEST(Job, SlackAndHelpers) {
+  const Job job = make_job(1, 10.0, 30.0, 100.0);
+  EXPECT_DOUBLE_EQ(job.slack_at(Minutes{10.0}).value(), 60.0);
+  EXPECT_TRUE(job.deferrable_at(Minutes{10.0}));
+  EXPECT_FALSE(job.deferrable_at(Minutes{70.0}));
+  EXPECT_DOUBLE_EQ(job.latest_start().value(), 70.0);
+  EXPECT_DOUBLE_EQ(job.total_energy().value(), 5.0);  // 10 kW * 0.5 h
+}
+
+TEST(Job, Validation) {
+  Job job = make_job(1, 0.0, 10.0, 100.0);
+  EXPECT_NO_THROW(job.validate());
+  job.runtime = Minutes{0.0};
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+  job = make_job(1, 0.0, 10.0, 100.0);
+  job.servers = 0;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+  job = make_job(1, 0.0, 10.0, 100.0);
+  job.cpu_utilization = 1.5;
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+  job = make_job(1, -5.0, 10.0, 100.0);
+  EXPECT_THROW(job.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleRequest, Validation) {
+  ScheduleRequest request = base_request();
+  request.jobs.push_back(make_job(1, 0.0, 5.0, 50.0));
+  EXPECT_NO_THROW(request.validate());
+  request.jobs.push_back(make_job(2, 0.0, 5.0, 50.0, 11));  // > cluster
+  EXPECT_THROW(request.validate(), std::invalid_argument);
+  request.jobs.clear();
+  request.renewable = util::TimeSeries{};
+  EXPECT_THROW(request.validate(), std::invalid_argument);
+}
+
+TEST(ImmediateScheduler, StartsAtArrival) {
+  ScheduleRequest request = base_request();
+  request.jobs = {make_job(1, 0.0, 10.0, 100.0), make_job(2, 7.0, 5.0, 100.0)};
+  const auto result = ImmediateScheduler().schedule(request);
+  ASSERT_EQ(result.outcome.placements.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[1].start.value(), 7.0);
+  EXPECT_EQ(result.outcome.deadline_misses, 0u);
+}
+
+TEST(ImmediateScheduler, QueuesWhenClusterFull) {
+  ScheduleRequest request = base_request(60, 2);
+  // Two jobs fill the cluster for 10 minutes; the third waits.
+  request.jobs = {make_job(1, 0.0, 10.0, 100.0, 1),
+                  make_job(2, 0.0, 10.0, 100.0, 1),
+                  make_job(3, 0.0, 10.0, 100.0, 2)};
+  const auto result = ImmediateScheduler().schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[2].start.value(), 10.0);
+}
+
+TEST(ImmediateScheduler, FractionalArrivalRoundsUpToNextSlot) {
+  ScheduleRequest request = base_request();
+  request.jobs = {make_job(1, 2.5, 5.0, 100.0)};
+  const auto result = ImmediateScheduler().schedule(request);
+  EXPECT_DOUBLE_EQ(result.outcome.placements[0].start.value(), 3.0);
+}
+
+TEST(EdfScheduler, PrioritizesTightDeadlines) {
+  ScheduleRequest request = base_request(60, 1);
+  // Both arrive at 0 on a 1-server cluster; EDF must run the tight one
+  // first even though it was listed second.
+  request.jobs = {make_job(1, 0.0, 10.0, 1000.0), make_job(2, 0.0, 10.0, 20.0)};
+  const auto result = EdfScheduler().schedule(request);
+  const auto& placements = result.outcome.placements;
+  ASSERT_EQ(placements.size(), 2u);
+  // Placements follow scheduling order: job 2 first.
+  EXPECT_EQ(placements[0].job_id, 2u);
+  EXPECT_DOUBLE_EQ(placements[0].start.value(), 0.0);
+  EXPECT_EQ(placements[1].job_id, 1u);
+  EXPECT_DOUBLE_EQ(placements[1].start.value(), 10.0);
+  EXPECT_EQ(result.outcome.deadline_misses, 0u);
+}
+
+TEST(ImmediateVsEdf, EdfMissesFewerDeadlinesUnderContention) {
+  ScheduleRequest request = base_request(120, 1);
+  // FIFO order: loose deadline first starves the tight one.
+  request.jobs = {make_job(1, 0.0, 30.0, 500.0), make_job(2, 1.0, 10.0, 15.0)};
+  const auto fifo = ImmediateScheduler().schedule(request);
+  const auto edf = EdfScheduler().schedule(request);
+  EXPECT_GT(fifo.outcome.deadline_misses, edf.outcome.deadline_misses);
+}
+
+TEST(FinalizeSchedule, RenewableAccounting) {
+  ScheduleRequest request = base_request(10);
+  request.jobs = {make_job(1, 0.0, 10.0, 100.0, 1, 30.0)};
+  const auto result = ImmediateScheduler().schedule(request);
+  // Demand 30 kW against 50 kW renewable for 10 minutes.
+  EXPECT_NEAR(result.outcome.total_energy.value(), 30.0 * 10.0 / 60.0, 1e-9);
+  EXPECT_NEAR(result.outcome.renewable_energy_used.value(), 30.0 * 10.0 / 60.0,
+              1e-9);
+  for (std::size_t i = 0; i < result.residual_renewable.size(); ++i)
+    EXPECT_NEAR(result.residual_renewable[i], 20.0, 1e-9);
+}
+
+TEST(FinalizeSchedule, BaselineConsumesRenewableFirst) {
+  ScheduleRequest request = base_request(10);
+  request.baseline_power = Kilowatts{45.0};
+  request.jobs = {make_job(1, 0.0, 10.0, 100.0, 1, 30.0)};
+  const auto result = ImmediateScheduler().schedule(request);
+  // Only 5 kW of renewable is left for the workload.
+  EXPECT_NEAR(result.outcome.renewable_energy_used.value(), 5.0 * 10.0 / 60.0,
+              1e-9);
+  for (std::size_t i = 0; i < result.residual_renewable.size(); ++i)
+    EXPECT_NEAR(result.residual_renewable[i], 0.0, 1e-9);
+}
+
+TEST(FinalizeSchedule, MissedJobCounted) {
+  ScheduleRequest request = base_request(10, 1);
+  // Second job cannot start before its deadline passes.
+  request.jobs = {make_job(1, 0.0, 10.0, 100.0), make_job(2, 0.0, 5.0, 8.0)};
+  const auto result = ImmediateScheduler().schedule(request);
+  EXPECT_EQ(result.outcome.deadline_misses, 1u);
+}
+
+TEST(ScheduleOutcome, RenewableUtilizationHelper) {
+  ScheduleOutcome outcome;
+  outcome.renewable_energy_used = util::KilowattHours{25.0};
+  EXPECT_DOUBLE_EQ(outcome.renewable_utilization(util::KilowattHours{100.0}),
+                   0.25);
+  EXPECT_DOUBLE_EQ(outcome.renewable_utilization(util::KilowattHours{0.0}),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace smoother::sched

@@ -1,0 +1,161 @@
+#include "smoother/core/smoother.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/trace/batch_workload.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::core {
+namespace {
+
+using util::Kilowatts;
+using util::Minutes;
+
+SmootherConfig small_config() {
+  SmootherConfig config;
+  config.rated_power = Kilowatts{800.0};
+  config.battery = battery::spec_for_max_rate(Kilowatts{400.0},
+                                              util::kFiveMinutes);
+  config.battery.charge_efficiency = 1.0;
+  config.battery.discharge_efficiency = 1.0;
+  config.stable_cdf = 0.25;
+  config.extreme_cdf = 0.95;
+  return config;
+}
+
+util::TimeSeries volatile_day(std::uint64_t seed = 21) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  return power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, seed));
+}
+
+TEST(SmootherConfig, Validation) {
+  SmootherConfig config = small_config();
+  EXPECT_NO_THROW(config.validate());
+  config.stable_cdf = 0.99;  // above extreme
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.rated_power = Kilowatts{0.0};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = small_config();
+  config.derive_thresholds = false;
+  config.fixed_thresholds.stable_below = 1.0;
+  config.fixed_thresholds.extreme_above = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_THROW(Smoother{config}, std::invalid_argument);
+}
+
+TEST(Smoother, MakeClassifierDerivesThresholds) {
+  const Smoother middleware(small_config());
+  const auto supply = volatile_day();
+  const RegionClassifier classifier = middleware.make_classifier(supply);
+  const auto fractions =
+      RegionClassifier::region_fractions(classifier.classify(supply));
+  EXPECT_NEAR(fractions[0], 0.25, 0.06);
+  EXPECT_NEAR(fractions[2], 0.05, 0.06);
+}
+
+TEST(Smoother, MakeClassifierFixedThresholds) {
+  SmootherConfig config = small_config();
+  config.derive_thresholds = false;
+  config.fixed_thresholds.stable_below = 1e-3;
+  config.fixed_thresholds.extreme_above = 1e-1;
+  const Smoother middleware(config);
+  const auto classifier = middleware.make_classifier(volatile_day());
+  EXPECT_DOUBLE_EQ(classifier.config().thresholds.stable_below, 1e-3);
+  EXPECT_DOUBLE_EQ(classifier.config().thresholds.extreme_above, 1e-1);
+}
+
+TEST(Smoother, SmoothSupplyReducesIntervalVariance) {
+  const Smoother middleware(small_config());
+  const auto raw = volatile_day();
+  double cycles = -1.0;
+  const SmoothingResult result = middleware.smooth_supply(raw, &cycles);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+  EXPECT_GT(result.mean_variance_reduction(), 0.0);
+  EXPECT_GT(cycles, 0.0);
+  EXPECT_EQ(result.supply.size(), raw.size());
+}
+
+TEST(Smoother, DisabledFsPassesThrough) {
+  SmootherConfig config = small_config();
+  config.enable_flexible_smoothing = false;
+  const Smoother middleware(config);
+  const auto raw = volatile_day();
+  double cycles = -1.0;
+  const SmoothingResult result = middleware.smooth_supply(raw, &cycles);
+  EXPECT_EQ(result.supply, raw);
+  EXPECT_EQ(result.smoothed_intervals, 0u);
+  EXPECT_DOUBLE_EQ(cycles, 0.0);
+  EXPECT_FALSE(result.intervals.empty());  // still classified for reporting
+}
+
+TEST(Smoother, ScheduleJobsUsesConfiguredPolicy) {
+  sched::Job job;
+  job.id = 1;
+  job.arrival = Minutes{0.0};
+  job.runtime = Minutes{10.0};
+  job.deadline = Minutes{100.0};
+  job.servers = 1;
+  job.power = Kilowatts{10.0};
+
+  // Renewable pulse at minutes 60-80 only.
+  std::vector<double> values(120, 0.0);
+  for (std::size_t i = 60; i < 80; ++i) values[i] = 20.0;
+  const util::TimeSeries supply(util::kOneMinute, std::move(values));
+
+  SmootherConfig with_ad = small_config();
+  with_ad.enable_active_delay = true;
+  const auto ad_result =
+      Smoother(with_ad).schedule_jobs({job}, supply, 100);
+  EXPECT_DOUBLE_EQ(ad_result.outcome.placements[0].start.value(), 60.0);
+
+  SmootherConfig without_ad = small_config();
+  without_ad.enable_active_delay = false;
+  const auto fifo_result =
+      Smoother(without_ad).schedule_jobs({job}, supply, 100);
+  EXPECT_DOUBLE_EQ(fifo_result.outcome.placements[0].start.value(), 0.0);
+}
+
+TEST(Smoother, RunProducesConsistentReport) {
+  const auto supply = volatile_day(5);
+  power::DatacenterSpec dc_spec;
+  dc_spec.server_count = 2000;
+  const power::DatacenterPowerModel dc(dc_spec);
+  const trace::BatchWorkloadModel workload(trace::BatchWorkloadPresets::hpc2n());
+  const auto jobs = workload.generate(util::days(2.0), 2000, dc, 9);
+
+  const Smoother middleware(small_config());
+  const RunReport report = middleware.run(supply, jobs, 2000);
+
+  EXPECT_GE(report.renewable_utilization, 0.0);
+  EXPECT_LE(report.renewable_utilization, 1.0);
+  EXPECT_GE(report.grid_energy.value(), 0.0);
+  EXPECT_GT(report.battery_equivalent_cycles, 0.0);
+  EXPECT_EQ(report.schedule.outcome.placements.size(), jobs.size());
+  // The scheduling grid is 1-minute while the raw series is 5-minute.
+  EXPECT_DOUBLE_EQ(report.schedule.demand.step().value(), 1.0);
+}
+
+TEST(Smoother, FsReducesSwitchingOnVolatileSupply) {
+  const auto supply = volatile_day(13);
+  power::DatacenterSpec dc_spec;
+  dc_spec.server_count = 2000;
+  const power::DatacenterPowerModel dc(dc_spec);
+  const trace::BatchWorkloadModel workload(
+      trace::BatchWorkloadPresets::sandia_ross());
+  const auto jobs = workload.generate(util::days(2.0), 2000, dc, 4);
+
+  SmootherConfig with_fs = small_config();
+  SmootherConfig without_fs = small_config();
+  without_fs.enable_flexible_smoothing = false;
+
+  const RunReport smoothed = Smoother(with_fs).run(supply, jobs, 2000);
+  const RunReport raw = Smoother(without_fs).run(supply, jobs, 2000);
+  EXPECT_LT(smoothed.switching_times, raw.switching_times);
+}
+
+}  // namespace
+}  // namespace smoother::core

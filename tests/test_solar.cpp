@@ -1,0 +1,161 @@
+#include "smoother/power/solar.hpp"
+#include "smoother/trace/solar_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "smoother/power/capacity_factor.hpp"
+
+namespace smoother {
+namespace {
+
+using power::PvArray;
+using power::PvArraySpec;
+using trace::SolarIrradianceModel;
+using trace::SolarSiteParams;
+using trace::SolarSitePresets;
+using util::Kilowatts;
+
+TEST(PvArraySpec, Validation) {
+  PvArraySpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.rated_power = Kilowatts{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = PvArraySpec{};
+  spec.temperature_coefficient_per_c = 0.01;  // power rising with heat
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = PvArraySpec{};
+  spec.system_losses = 1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = PvArraySpec{};
+  spec.noct_celsius = 15.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(PvArray, ZeroIrradianceZeroOutput) {
+  const PvArray array;
+  EXPECT_DOUBLE_EQ(array.output(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(array.output(-50.0).value(), 0.0);
+}
+
+TEST(PvArray, OutputScalesWithIrradiance) {
+  const PvArray array;
+  const double half = array.output(500.0, 20.0).value();
+  const double full = array.output(1000.0, 20.0).value();
+  EXPECT_GT(full, half);
+  // Roughly linear (cell heating bends it slightly below 2x).
+  EXPECT_NEAR(full / half, 2.0, 0.15);
+}
+
+TEST(PvArray, HotCellsProduceLess) {
+  const PvArray array;
+  EXPECT_LT(array.output(800.0, 40.0).value(),
+            array.output(800.0, 5.0).value());
+}
+
+TEST(PvArray, CellTemperatureNoctModel) {
+  const PvArray array;  // NOCT 45
+  // At 800 W/m^2 and 20 C ambient the cell sits exactly at NOCT.
+  EXPECT_NEAR(array.cell_temperature(20.0, 800.0), 45.0, 1e-9);
+  EXPECT_NEAR(array.cell_temperature(20.0, 0.0), 20.0, 1e-9);
+}
+
+TEST(PvArray, NeverExceedsRatedNorNegative) {
+  const PvArray array;
+  for (double g = 0.0; g <= 1500.0; g += 50.0) {
+    for (double t : {-10.0, 20.0, 45.0}) {
+      const double p = array.output(g, t).value();
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, array.spec().rated_power.value());
+    }
+  }
+}
+
+TEST(PvArray, SeriesOverloadsAgree) {
+  const PvArray array;
+  const auto irradiance = test::series({0.0, 400.0, 900.0});
+  const auto temps = test::constant_series(25.0, 3);
+  const auto fixed = array.power_series(irradiance, 25.0);
+  const auto per_sample = array.power_series(irradiance, temps);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(fixed[i], per_sample[i]);
+  const auto wrong = test::constant_series(25.0, 2);
+  EXPECT_THROW(array.power_series(irradiance, wrong), std::invalid_argument);
+}
+
+TEST(SolarSiteParams, Validation) {
+  SolarSiteParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.sunrise_hour = 19.0;  // after sunset
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SolarSiteParams{};
+  p.mean_cloud_cover = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = SolarSiteParams{};
+  p.dip_depth = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(SolarIrradianceModel, NightIsDark) {
+  const SolarIrradianceModel model(SolarSitePresets::coastal());
+  const auto day = model.generate_day(3);
+  for (std::size_t i = 0; i < day.size(); ++i) {
+    const double hour = std::fmod(day.time_at(i).value() / 60.0, 24.0);
+    if (hour < 5.9 || hour > 18.1) EXPECT_DOUBLE_EQ(day[i], 0.0);
+    EXPECT_GE(day[i], 0.0);
+    EXPECT_LE(day[i], 1000.0 + 1e-9);
+  }
+}
+
+TEST(SolarIrradianceModel, Deterministic) {
+  const SolarIrradianceModel model(SolarSitePresets::desert());
+  EXPECT_EQ(model.generate_day(9), model.generate_day(9));
+  EXPECT_NE(model.generate_day(9), model.generate_day(10));
+}
+
+TEST(SolarIrradianceModel, NoonBrighterThanMorning) {
+  const SolarIrradianceModel model(SolarSitePresets::desert());
+  const auto day = model.generate_day(1);
+  const auto at = [&](double hour) {
+    return day[static_cast<std::size_t>(hour * 12.0)];
+  };
+  EXPECT_GT(at(12.0), at(7.0));
+  EXPECT_GT(at(12.0), at(17.0));
+}
+
+TEST(SolarIrradianceModel, CoastalIsMoreVolatileThanDesert) {
+  const power::PvArray array;
+  const SolarIrradianceModel desert(SolarSitePresets::desert());
+  const SolarIrradianceModel coastal(SolarSitePresets::coastal());
+  double desert_var = 0.0, coastal_var = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto pd = array.power_series(
+        desert.generate(util::days(7.0), util::kFiveMinutes, seed));
+    const auto pc = array.power_series(
+        coastal.generate(util::days(7.0), util::kFiveMinutes, seed));
+    const auto vd = power::interval_capacity_factor_variances(
+        pd, array.spec().rated_power, 12);
+    const auto vc = power::interval_capacity_factor_variances(
+        pc, array.spec().rated_power, 12);
+    for (double v : vd) desert_var += v;
+    for (double v : vc) coastal_var += v;
+  }
+  EXPECT_GT(coastal_var, 2.0 * desert_var);
+}
+
+TEST(SolarIrradianceModel, CapacityFactorPlausible) {
+  const power::PvArray array;
+  const SolarIrradianceModel model(SolarSitePresets::desert());
+  const auto supply = array.power_series(
+      model.generate(util::days(14.0), util::kFiveMinutes, 4));
+  const double cf = power::average_capacity_factor(
+      supply, array.spec().rated_power);
+  // Fixed-tilt PV in a sunny climate: capacity factor ~15-30 %.
+  EXPECT_GT(cf, 0.12);
+  EXPECT_LT(cf, 0.35);
+}
+
+}  // namespace
+}  // namespace smoother

@@ -1,0 +1,147 @@
+#include "smoother/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::stats {
+namespace {
+
+TEST(Accumulator, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 6.2);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - 6.2) * (x - 6.2);
+  EXPECT_NEAR(acc.variance(), m2 / 5.0, 1e-12);
+  EXPECT_NEAR(acc.sample_variance(), m2 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 16.0);
+  EXPECT_NEAR(acc.sum(), 31.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyAndSingleSample) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_THROW((void)acc.min(), std::logic_error);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  util::Rng rng(3);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    whole.add(x);
+    (i < 250 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffset) {
+  // Classic catastrophic-cancellation case: huge mean, tiny variance.
+  Accumulator acc;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.add(x);
+  EXPECT_NEAR(acc.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, MatchesAccumulator) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.8);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(s.variance), 1e-12);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> up = {10.0, 20.0, 30.0};
+  const std::vector<double> down = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSideIsZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> flat = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(correlation(xs, flat), 0.0);
+}
+
+TEST(Correlation, Validation) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)correlation(xs, ys), std::invalid_argument);
+  EXPECT_THROW((void)correlation({}, {}), std::invalid_argument);
+}
+
+TEST(RmsSuccessiveDiff, HandComputed) {
+  const std::vector<double> xs = {0.0, 3.0, 3.0, -1.0};
+  // diffs: 3, 0, -4 -> rms = sqrt((9+0+16)/3)
+  EXPECT_NEAR(rms_successive_diff(xs), std::sqrt(25.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(rms_successive_diff({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms_successive_diff(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(RmsSuccessiveDiff, SmoothSeriesScoresLower) {
+  std::vector<double> smooth, rough;
+  util::Rng rng(9);
+  double level = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    level += rng.normal(0.0, 0.1);
+    smooth.push_back(level);
+    rough.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_LT(rms_successive_diff(smooth), rms_successive_diff(rough));
+}
+
+}  // namespace
+}  // namespace smoother::stats

@@ -1,0 +1,105 @@
+#include "smoother/trace/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smoother::trace {
+namespace {
+
+constexpr const char* kSampleSwf =
+    "; Computer: Test cluster\n"
+    "; MaxProcs: 64\n"
+    "\n"
+    "1 0 10 3600 16 3240 -1 16 7200 -1 1 1 1 -1 1 -1 -1 -1\n"
+    "2 600 0 1800 -1 -1 -1 32 1800 -1 1 2 1 -1 1 -1 -1 -1\n"
+    "3 1200 5 0 8 0 -1 8 600 -1 0 3 1 -1 1 -1 -1 -1\n";
+
+TEST(Swf, ParsesRecordsAndSkipsComments) {
+  std::stringstream in(kSampleSwf);
+  const auto records = parse_swf(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].job_number, 1);
+  EXPECT_DOUBLE_EQ(records[0].submit_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(records[0].run_time_s, 3600.0);
+  EXPECT_EQ(records[0].allocated_processors, 16);
+  EXPECT_DOUBLE_EQ(records[0].average_cpu_time_s, 3240.0);
+  EXPECT_EQ(records[1].allocated_processors, -1);
+  EXPECT_EQ(records[1].requested_processors, 32);
+}
+
+TEST(Swf, SchedulablePredicate) {
+  std::stringstream in(kSampleSwf);
+  const auto records = parse_swf(in);
+  EXPECT_TRUE(records[0].schedulable());
+  EXPECT_TRUE(records[1].schedulable());   // requested procs fallback
+  EXPECT_FALSE(records[2].schedulable());  // zero runtime
+}
+
+TEST(Swf, StrictModeRejectsMalformedLines) {
+  std::stringstream in("1 2 3\n");
+  EXPECT_THROW(parse_swf(in), std::runtime_error);
+}
+
+TEST(Swf, LenientModeDropsMalformedLines) {
+  std::stringstream in(
+      "1 2 3\n"
+      "1 0 10 3600 16 -1 -1 16 7200 -1 1 1 1 -1 1 -1 -1 -1\n");
+  const auto records = parse_swf(in, /*lenient=*/true);
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  std::stringstream in(kSampleSwf);
+  const auto records = parse_swf(in);
+  std::stringstream buffer;
+  write_swf(buffer, records);
+  const auto back = parse_swf(buffer);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(back[i].job_number, records[i].job_number);
+    EXPECT_DOUBLE_EQ(back[i].run_time_s, records[i].run_time_s);
+    EXPECT_EQ(back[i].allocated_processors, records[i].allocated_processors);
+  }
+}
+
+TEST(Swf, LoadMissingFileThrows) {
+  EXPECT_THROW(load_swf("/nonexistent/file.swf"), std::runtime_error);
+}
+
+TEST(SwfToJobs, ConvertsSchedulableRecords) {
+  std::stringstream in(kSampleSwf);
+  const auto records = parse_swf(in);
+  const power::DatacenterPowerModel dc;
+  const auto jobs = swf_to_jobs(records, dc);
+  ASSERT_EQ(jobs.size(), 2u);  // third record is unschedulable
+  EXPECT_EQ(jobs[0].id, 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival.value(), 0.0);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime.value(), 60.0);
+  EXPECT_EQ(jobs[0].servers, 16u);
+  // utilization = cpu time / runtime = 3240/3600.
+  EXPECT_NEAR(jobs[0].cpu_utilization, 0.9, 1e-9);
+  // Default slack factor of 4: deadline = arrival + 4 * runtime.
+  EXPECT_DOUBLE_EQ(jobs[0].deadline.value(), 240.0);
+  EXPECT_GT(jobs[0].power.value(), 0.0);
+  // Record 2 lacks CPU time: default utilization applies.
+  EXPECT_DOUBLE_EQ(jobs[1].cpu_utilization, 0.85);
+  EXPECT_EQ(jobs[1].servers, 32u);
+}
+
+TEST(SwfToJobs, OptionsRespected) {
+  std::stringstream in(kSampleSwf);
+  const auto records = parse_swf(in);
+  const power::DatacenterPowerModel dc;
+  SwfConversionOptions options;
+  options.deadline_slack_factor = 2.0;
+  options.max_runtime_minutes = 30.0;
+  const auto jobs = swf_to_jobs(records, dc, options);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime.value(), 30.0);  // clipped from 60
+  EXPECT_DOUBLE_EQ(jobs[0].deadline.value(), 60.0);
+  options.deadline_slack_factor = 0.5;
+  EXPECT_THROW(swf_to_jobs(records, dc, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smoother::trace

@@ -1,0 +1,158 @@
+#include "smoother/util/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "helpers.hpp"
+
+namespace smoother::util {
+namespace {
+
+using test::series;
+
+TEST(TimeSeries, ConstructionValidatesStep) {
+  EXPECT_THROW(TimeSeries(Minutes{0.0}, 3), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(Minutes{-1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, BasicAccessors) {
+  const TimeSeries s = series({1.0, 2.0, 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.step().value(), 5.0);
+  EXPECT_DOUBLE_EQ(s.duration().value(), 15.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s.at(2), 3.0);
+  EXPECT_THROW((void)s.at(3), std::out_of_range);
+}
+
+TEST(TimeSeries, TimeAndIndexMapping) {
+  const TimeSeries s = series({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.time_at(2).value(), 10.0);
+  EXPECT_EQ(s.index_at(Minutes{0.0}), 0u);
+  EXPECT_EQ(s.index_at(Minutes{4.9}), 0u);
+  EXPECT_EQ(s.index_at(Minutes{5.0}), 1u);
+  EXPECT_EQ(s.index_at(Minutes{19.9}), 3u);
+  EXPECT_THROW((void)s.index_at(Minutes{20.0}), std::out_of_range);
+  EXPECT_THROW((void)s.index_at(Minutes{-1.0}), std::out_of_range);
+}
+
+TEST(TimeSeries, Slice) {
+  const TimeSeries s = series({1.0, 2.0, 3.0, 4.0, 5.0});
+  const TimeSeries sub = s.slice(1, 3);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub[0], 2.0);
+  EXPECT_DOUBLE_EQ(sub[2], 4.0);
+  EXPECT_THROW(s.slice(3, 3), std::out_of_range);
+}
+
+TEST(TimeSeries, DownsampleAveragesBlocks) {
+  const TimeSeries s = series({1.0, 3.0, 10.0, 20.0});
+  const TimeSeries d = s.downsample(2);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 15.0);
+  EXPECT_DOUBLE_EQ(d.step().value(), 10.0);
+  EXPECT_THROW(s.downsample(3), std::invalid_argument);
+  EXPECT_THROW(s.downsample(0), std::invalid_argument);
+}
+
+TEST(TimeSeries, UpsampleHoldsValues) {
+  const TimeSeries s = series({4.0, 8.0});
+  const TimeSeries u = s.upsample(5);
+  ASSERT_EQ(u.size(), 10u);
+  EXPECT_DOUBLE_EQ(u[0], 4.0);
+  EXPECT_DOUBLE_EQ(u[4], 4.0);
+  EXPECT_DOUBLE_EQ(u[5], 8.0);
+  EXPECT_DOUBLE_EQ(u.step().value(), 1.0);
+}
+
+TEST(TimeSeries, ResamplePreservesEnergyBothWays) {
+  const TimeSeries s = series({100.0, 300.0, 200.0, 400.0});
+  const TimeSeries down = s.resample(Minutes{10.0});
+  const TimeSeries up = s.resample(Minutes{1.0});
+  EXPECT_NEAR(down.total_energy().value(), s.total_energy().value(), 1e-9);
+  EXPECT_NEAR(up.total_energy().value(), s.total_energy().value(), 1e-9);
+}
+
+TEST(TimeSeries, ResampleRejectsNonIntegerRatio) {
+  const TimeSeries s = series({1.0, 2.0});
+  EXPECT_THROW(s.resample(Minutes{3.0}), std::invalid_argument);
+}
+
+TEST(TimeSeries, ArithmeticAndShapeChecks) {
+  const TimeSeries a = series({1.0, 2.0});
+  const TimeSeries b = series({10.0, 20.0});
+  const TimeSeries sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 11.0);
+  const TimeSeries diff = b - a;
+  EXPECT_DOUBLE_EQ(diff[1], 18.0);
+  const TimeSeries scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled[1], 6.0);
+  const TimeSeries other_len = series({1.0, 2.0, 3.0});
+  EXPECT_THROW(a + other_len, std::invalid_argument);
+  const TimeSeries other_step = series({1.0, 2.0}, Minutes{1.0});
+  EXPECT_THROW(a + other_step, std::invalid_argument);
+}
+
+TEST(TimeSeries, MapAndClamp) {
+  const TimeSeries s = series({-5.0, 0.5, 9.0});
+  const TimeSeries doubled = s.map([](double v) { return 2.0 * v; });
+  EXPECT_DOUBLE_EQ(doubled[0], -10.0);
+  const TimeSeries clamped = s.clamped(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(clamped[0], 0.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 0.5);
+  EXPECT_DOUBLE_EQ(clamped[2], 1.0);
+  EXPECT_THROW(s.clamped(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, Statistics) {
+  const TimeSeries s = series({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 5.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(TimeSeries, EmptyStatistics) {
+  const TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.max(), std::logic_error);
+}
+
+TEST(TimeSeries, TotalEnergyIntegratesPower) {
+  // 120 kW for four 5-minute samples = 120 * 20/60 = 40 kWh.
+  const TimeSeries s = test::constant_series(120.0, 4);
+  EXPECT_DOUBLE_EQ(s.total_energy().value(), 40.0);
+}
+
+TEST(TimeSeries, ElementwiseMinMax) {
+  const TimeSeries a = series({1.0, 5.0, 3.0});
+  const TimeSeries b = series({2.0, 4.0, 3.0});
+  const TimeSeries lo = elementwise_min(a, b);
+  const TimeSeries hi = elementwise_max(a, b);
+  EXPECT_DOUBLE_EQ(lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(lo[1], 4.0);
+  EXPECT_DOUBLE_EQ(hi[0], 2.0);
+  EXPECT_DOUBLE_EQ(hi[1], 5.0);
+  EXPECT_DOUBLE_EQ(hi[2], 3.0);
+  const TimeSeries c = series({1.0});
+  EXPECT_THROW(elementwise_min(a, c), std::invalid_argument);
+}
+
+TEST(TimeSeries, PushBackAndReserve) {
+  TimeSeries s(Minutes{1.0}, std::vector<double>{});
+  s.reserve(3);
+  s.push_back(1.0);
+  s.push_back(2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}
+
+}  // namespace
+}  // namespace smoother::util

@@ -1,0 +1,95 @@
+#include "smoother/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::trace {
+namespace {
+
+TEST(TraceIo, SeriesCsvRoundTrip) {
+  const auto original = test::series({10.5, 20.25, 30.0, 0.0});
+  const auto table = series_to_csv(original, "power_kw");
+  EXPECT_EQ(table.rows(), 4u);
+  EXPECT_EQ(table.header()[1], "power_kw");
+  const auto back = series_from_csv(table, "power_kw");
+  EXPECT_EQ(back, original);
+}
+
+TEST(TraceIo, SeriesFromCsvValidatesGrid) {
+  util::CsvTable short_table({"minute", "v"});
+  short_table.add_row({0.0, 1.0});
+  EXPECT_THROW(series_from_csv(short_table, "v"), std::runtime_error);
+
+  util::CsvTable ragged({"minute", "v"});
+  ragged.add_row({0.0, 1.0});
+  ragged.add_row({5.0, 2.0});
+  ragged.add_row({12.0, 3.0});  // non-uniform gap
+  EXPECT_THROW(series_from_csv(ragged, "v"), std::runtime_error);
+
+  util::CsvTable backwards({"minute", "v"});
+  backwards.add_row({5.0, 1.0});
+  backwards.add_row({0.0, 2.0});
+  EXPECT_THROW(series_from_csv(backwards, "v"), std::runtime_error);
+}
+
+TEST(TraceIo, SeriesFileRoundTrip) {
+  const auto original = test::series({1.0, 2.0, 3.0}, util::kOneMinute);
+  const std::string path = testing::TempDir() + "/series.csv";
+  save_series(original, path, "wind_kw");
+  const auto back = load_series(path, "wind_kw");
+  EXPECT_EQ(back, original);
+}
+
+TEST(TraceIo, JobsCsvRoundTrip) {
+  std::vector<sched::Job> jobs(2);
+  jobs[0].id = 7;
+  jobs[0].arrival = util::Minutes{10.0};
+  jobs[0].runtime = util::Minutes{60.0};
+  jobs[0].deadline = util::Minutes{400.0};
+  jobs[0].servers = 16;
+  jobs[0].cpu_utilization = 0.75;
+  jobs[0].power = util::Kilowatts{3.5};
+  jobs[1].id = 8;
+  jobs[1].arrival = util::Minutes{30.0};
+  jobs[1].runtime = util::Minutes{15.0};
+  jobs[1].deadline = util::Minutes{120.0};
+  jobs[1].servers = 4;
+  jobs[1].cpu_utilization = 0.9;
+  jobs[1].power = util::Kilowatts{0.8};
+
+  const auto table = jobs_to_csv(jobs);
+  const auto back = jobs_from_csv(table);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, 7u);
+  EXPECT_DOUBLE_EQ(back[0].arrival.value(), 10.0);
+  EXPECT_DOUBLE_EQ(back[0].runtime.value(), 60.0);
+  EXPECT_DOUBLE_EQ(back[0].deadline.value(), 400.0);
+  EXPECT_EQ(back[0].servers, 16u);
+  EXPECT_DOUBLE_EQ(back[0].cpu_utilization, 0.75);
+  EXPECT_DOUBLE_EQ(back[0].power.value(), 3.5);
+  EXPECT_EQ(back[1].servers, 4u);
+}
+
+TEST(TraceIo, JobsFileRoundTrip) {
+  std::vector<sched::Job> jobs(1);
+  jobs[0].id = 1;
+  jobs[0].runtime = util::Minutes{5.0};
+  jobs[0].deadline = util::Minutes{50.0};
+  jobs[0].servers = 2;
+  const std::string path = testing::TempDir() + "/jobs.csv";
+  save_jobs(jobs, path);
+  const auto back = load_jobs(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0].runtime.value(), 5.0);
+}
+
+TEST(TraceIo, JobsFromCsvValidates) {
+  util::CsvTable table({"id", "arrival_min", "runtime_min", "deadline_min",
+                        "servers", "cpu_utilization", "power_kw"});
+  table.add_row({1.0, 0.0, -5.0, 10.0, 2.0, 0.5, 1.0});  // negative runtime
+  EXPECT_THROW(jobs_from_csv(table), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smoother::trace

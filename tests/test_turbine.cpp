@@ -1,0 +1,117 @@
+#include "smoother/power/turbine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::power {
+namespace {
+
+using util::Kilowatts;
+using util::MetresPerSecond;
+
+TEST(GaussianSumCurve, ValidatesTerms) {
+  EXPECT_THROW(GaussianSumCurve({}), std::invalid_argument);
+  EXPECT_THROW(GaussianSumCurve(std::vector<GaussianTerm>(6)),
+               std::invalid_argument);
+  GaussianTerm bad;
+  bad.width = 0.0;
+  EXPECT_THROW(GaussianSumCurve({bad}), std::invalid_argument);
+}
+
+TEST(GaussianSumCurve, EvaluatesSum) {
+  const GaussianSumCurve curve({{100.0, 5.0, 2.0}, {50.0, 10.0, 1.0}});
+  EXPECT_NEAR(curve(5.0), 100.0 + 50.0 * std::exp(-25.0), 1e-9);
+  EXPECT_NEAR(curve(10.0), 50.0 + 100.0 * std::exp(-6.25), 1e-9);
+}
+
+TEST(GaussianSumCurve, FitRecoversSingleTerm) {
+  const GaussianSumCurve truth({{200.0, 8.0, 3.0}});
+  std::vector<double> xs, ys;
+  for (double v = 2.0; v <= 14.0; v += 0.5) {
+    xs.push_back(v);
+    ys.push_back(truth(v));
+  }
+  const GaussianSumCurve fitted = GaussianSumCurve::fit(xs, ys, 1);
+  EXPECT_LT(fitted.rms_error(xs, ys), 1.0);
+}
+
+TEST(GaussianSumCurve, FitValidation) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(GaussianSumCurve::fit(xs, ys, 1), std::invalid_argument);
+  const std::vector<double> ok = {1.0, 2.0};
+  EXPECT_THROW(GaussianSumCurve::fit(xs, ok, 0), std::invalid_argument);
+  EXPECT_THROW(GaussianSumCurve::fit(xs, ok, 6), std::invalid_argument);
+}
+
+TEST(TurbineSpec, Validation) {
+  TurbineSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.cut_in = MetresPerSecond{20.0};  // above rated
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = TurbineSpec{};
+  spec.rated_power = Kilowatts{0.0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(TurbineCurve, PiecewiseRegionsOfEq1) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  // Below cut-in: zero.
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{3.0}).value(), 0.0);
+  // Partial-load: strictly between 0 and rated.
+  const double at8 = e48.output(MetresPerSecond{8.0}).value();
+  EXPECT_GT(at8, 0.0);
+  EXPECT_LT(at8, 800.0);
+  // Rated plateau.
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{16.0}).value(), 800.0);
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{25.0}).value(), 800.0);
+  // Above cut-out: shut down.
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{25.1}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(e48.output(MetresPerSecond{40.0}).value(), 0.0);
+}
+
+TEST(TurbineCurve, E48FitMatchesPublishedTable) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  for (const auto& [speed, power] : TurbineCurve::e48_reference_points()) {
+    const double predicted = e48.output(MetresPerSecond{speed}).value();
+    if (speed <= 3.0) continue;  // at cut-in Eq. 1 forces exactly zero
+    EXPECT_NEAR(predicted, power, 20.0)
+        << "speed " << speed << " m/s";  // within 2.5 % of rated
+  }
+}
+
+TEST(TurbineCurve, PartialLoadIsMonotoneForE48) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  double prev = 0.0;
+  for (double v = 3.1; v <= 14.0; v += 0.1) {
+    const double p = e48.output(MetresPerSecond{v}).value();
+    // Fit ripple near the rated plateau may dip by a fraction of a kW.
+    EXPECT_GE(p, prev - 0.5) << "at " << v;
+    prev = p;
+  }
+}
+
+TEST(TurbineCurve, OutputNeverExceedsRatedNorNegative) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  for (double v = 0.0; v <= 30.0; v += 0.05) {
+    const double p = e48.output(MetresPerSecond{v}).value();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 800.0);
+  }
+}
+
+TEST(TurbineCurve, PowerSeriesMapsSpeeds) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  const util::TimeSeries speeds = test::series({2.0, 8.0, 20.0, 30.0});
+  const util::TimeSeries power = e48.power_series(speeds);
+  ASSERT_EQ(power.size(), 4u);
+  EXPECT_DOUBLE_EQ(power[0], 0.0);
+  EXPECT_GT(power[1], 0.0);
+  EXPECT_DOUBLE_EQ(power[2], 800.0);
+  EXPECT_DOUBLE_EQ(power[3], 0.0);
+}
+
+}  // namespace
+}  // namespace smoother::power

@@ -1,0 +1,62 @@
+#include "smoother/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smoother::util {
+namespace {
+
+TEST(Units, ArithmeticWithinOneUnit) {
+  const Kilowatts a{10.0};
+  const Kilowatts b{2.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 12.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.5);
+  EXPECT_DOUBLE_EQ((-b).value(), -2.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 2.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  EXPECT_DOUBLE_EQ(Kilowatts{10.0} / Kilowatts{4.0}, 2.5);
+  EXPECT_DOUBLE_EQ(KilowattHours{9.0} / KilowattHours{3.0}, 3.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Kilowatts p{1.0};
+  p += Kilowatts{2.0};
+  EXPECT_DOUBLE_EQ(p.value(), 3.0);
+  p -= Kilowatts{0.5};
+  EXPECT_DOUBLE_EQ(p.value(), 2.5);
+  p *= 4.0;
+  EXPECT_DOUBLE_EQ(p.value(), 10.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Kilowatts{1.0}, Kilowatts{2.0});
+  EXPECT_GE(Minutes{5.0}, Minutes{5.0});
+  EXPECT_EQ(Kilowatts{3.0}, Kilowatts{3.0});
+  EXPECT_NE(Kilowatts{3.0}, Kilowatts{4.0});
+}
+
+TEST(Units, EnergyFromPowerAndDuration) {
+  // 600 kW held for 5 minutes = 50 kWh.
+  EXPECT_DOUBLE_EQ(energy(Kilowatts{600.0}, kFiveMinutes).value(), 50.0);
+  // 1 kW for a day = 24 kWh.
+  EXPECT_DOUBLE_EQ(energy(Kilowatts{1.0}, kOneDay).value(), 24.0);
+}
+
+TEST(Units, AveragePowerInvertsEnergy) {
+  const Kilowatts p{123.0};
+  const Minutes dt{7.0};
+  EXPECT_NEAR(average_power(energy(p, dt), dt).value(), p.value(), 1e-12);
+}
+
+TEST(Units, HoursAndDaysHelpers) {
+  EXPECT_DOUBLE_EQ(hours(2.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(days(1.5).value(), 2160.0);
+  EXPECT_DOUBLE_EQ(kOneHour.value(), 60.0);
+  EXPECT_DOUBLE_EQ(kOneDay.value(), 1440.0);
+}
+
+}  // namespace
+}  // namespace smoother::util

@@ -1,0 +1,108 @@
+#include "smoother/battery/wear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smoother::battery {
+namespace {
+
+TEST(WearTracker, ValidatesParams) {
+  WearModelParams params;
+  params.cycles_to_failure_at_full_depth = 0.0;
+  EXPECT_THROW(WearTracker{params}, std::invalid_argument);
+  params = WearModelParams{};
+  params.depth_exponent = -1.0;
+  EXPECT_THROW(WearTracker{params}, std::invalid_argument);
+}
+
+TEST(WearTracker, RejectsOutOfRangeSoc) {
+  WearTracker tracker;
+  EXPECT_THROW(tracker.record_soc(-0.1), std::invalid_argument);
+  EXPECT_THROW(tracker.record_soc(1.1), std::invalid_argument);
+}
+
+TEST(WearTracker, CountsDirectionSwitches) {
+  WearTracker tracker;
+  for (double soc : {0.5, 0.6, 0.7, 0.6, 0.5, 0.6}) tracker.record_soc(soc);
+  // up,up,down,down,up -> two reversals.
+  EXPECT_EQ(tracker.direction_switches(), 2u);
+}
+
+TEST(WearTracker, IdleStepsDoNotSwitch) {
+  WearTracker tracker;
+  for (double soc : {0.5, 0.6, 0.6, 0.6, 0.7}) tracker.record_soc(soc);
+  EXPECT_EQ(tracker.direction_switches(), 0u);
+}
+
+TEST(WearTracker, ThroughputAccumulates) {
+  WearTracker tracker;
+  for (double soc : {0.2, 0.8, 0.3}) tracker.record_soc(soc);
+  EXPECT_NEAR(tracker.total_throughput(), 0.6 + 0.5, 1e-12);
+}
+
+TEST(WearTracker, FullCycleCostsOneOverCyclesToFailure) {
+  WearModelParams params;
+  params.cycles_to_failure_at_full_depth = 1000.0;
+  params.depth_exponent = 1.0;
+  WearTracker tracker(params);
+  // 0 -> 1 -> 0: one full cycle = two half cycles at depth 1.
+  tracker.record_soc(0.0);
+  tracker.record_soc(1.0);
+  tracker.record_soc(0.0);
+  EXPECT_NEAR(tracker.life_consumed(), 1.0 / 1000.0, 1e-12);
+}
+
+TEST(WearTracker, ShallowCyclesWearLessThanProportional) {
+  WearModelParams params;
+  params.depth_exponent = 1.5;  // depth-sensitive chemistry
+  // Ten 10%-cycles vs one 100%-cycle moving the same total charge.
+  WearTracker shallow(params);
+  shallow.record_soc(0.0);
+  for (int i = 0; i < 10; ++i) {
+    shallow.record_soc(0.1);
+    shallow.record_soc(0.0);
+  }
+  WearTracker deep(params);
+  deep.record_soc(0.0);
+  deep.record_soc(1.0);
+  deep.record_soc(0.0);
+  EXPECT_NEAR(shallow.total_throughput(), deep.total_throughput(), 1e-12);
+  EXPECT_LT(shallow.life_consumed(), deep.life_consumed());
+}
+
+TEST(WearTracker, OpenRampIsIncluded) {
+  WearModelParams params;
+  params.cycles_to_failure_at_full_depth = 100.0;
+  params.depth_exponent = 1.0;
+  WearTracker tracker(params);
+  tracker.record_soc(0.2);
+  tracker.record_soc(0.7);  // open half-cycle of depth 0.5
+  EXPECT_NEAR(tracker.life_consumed(), 0.5 / 200.0, 1e-12);
+}
+
+TEST(WearTracker, MonotoneUnderMoreCycling) {
+  WearTracker a, b;
+  for (double soc : {0.5, 0.7, 0.5}) {
+    a.record_soc(soc);
+    b.record_soc(soc);
+  }
+  const double one_cycle = a.life_consumed();
+  for (double soc : {0.7, 0.5}) b.record_soc(soc);
+  EXPECT_GT(b.life_consumed(), one_cycle);
+}
+
+TEST(LifeConsumedBy, OneShotMatchesStreaming) {
+  const std::vector<double> trajectory = {0.3, 0.6, 0.4, 0.9, 0.2};
+  WearTracker tracker;
+  for (double soc : trajectory) tracker.record_soc(soc);
+  EXPECT_DOUBLE_EQ(life_consumed_by(trajectory), tracker.life_consumed());
+}
+
+TEST(LifeConsumedBy, ConstantTrajectoryIsFree) {
+  EXPECT_DOUBLE_EQ(life_consumed_by(std::vector<double>(10, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(life_consumed_by(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace smoother::battery

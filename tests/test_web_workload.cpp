@@ -1,0 +1,130 @@
+#include "smoother/trace/web_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smoother::trace {
+namespace {
+
+TEST(WebWorkloadParams, Validation) {
+  WebWorkloadParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.mean_utilization = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WebWorkloadParams{};
+  p.mean_utilization = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WebWorkloadParams{};
+  p.diurnal_amplitude = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WebWorkloadParams{};
+  p.weekend_factor = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WebWorkloadParams{};
+  p.peak_hour = 24.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(WebWorkloadModel, Deterministic) {
+  const WebWorkloadModel model(WebWorkloadPresets::nasa());
+  EXPECT_EQ(model.generate_week(9), model.generate_week(9));
+  EXPECT_NE(model.generate_week(9), model.generate_week(10));
+}
+
+TEST(WebWorkloadModel, BoundedInUnitInterval) {
+  const WebWorkloadModel model(WebWorkloadPresets::ucb());
+  const auto week = model.generate_week(3);
+  for (std::size_t i = 0; i < week.size(); ++i) {
+    EXPECT_GE(week[i], 0.0);
+    EXPECT_LE(week[i], 1.0);
+  }
+}
+
+TEST(WebWorkloadModel, WeekShape) {
+  const WebWorkloadModel model(WebWorkloadPresets::calgary());
+  const auto week = model.generate_week(1);
+  EXPECT_EQ(week.size(), 7u * 24u * 60u);
+  EXPECT_DOUBLE_EQ(week.step().value(), 1.0);
+}
+
+class WebPresetTest : public testing::TestWithParam<WebWorkloadParams> {};
+
+TEST_P(WebPresetTest, MeanMatchesTableI) {
+  const WebWorkloadModel model(GetParam());
+  const auto week = model.generate_week(123);
+  // The generator rescales to the Table I mean; clamping residue is the
+  // only slack, and it is tiny for all presets.
+  EXPECT_NEAR(week.mean(), GetParam().mean_utilization,
+              GetParam().mean_utilization * 0.02)
+      << GetParam().name;
+}
+
+TEST_P(WebPresetTest, DiurnalSwingPresent) {
+  const WebWorkloadModel model(GetParam());
+  const auto week = model.generate_week(5);
+  // Hour-of-day averages must swing by at least 30 % of the overall mean.
+  std::array<double, 24> hourly{};
+  std::array<std::size_t, 24> counts{};
+  for (std::size_t i = 0; i < week.size(); ++i) {
+    const auto hour = static_cast<std::size_t>(
+        std::fmod(week.time_at(i).value() / 60.0, 24.0));
+    hourly[hour] += week[i];
+    ++counts[hour];
+  }
+  double lo = 1e9, hi = -1e9;
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double avg = hourly[h] / static_cast<double>(counts[h]);
+    lo = std::min(lo, avg);
+    hi = std::max(hi, avg);
+  }
+  EXPECT_GT(hi - lo, 0.3 * week.mean()) << GetParam().name;
+}
+
+TEST_P(WebPresetTest, WeekendsAreQuieter) {
+  WebWorkloadParams params = GetParam();
+  params.noise_sd = 0.0;
+  params.spikes_per_week = 0.0;
+  const WebWorkloadModel model(params);
+  const auto week = model.generate_week(5);
+  double weekday = 0.0, weekend = 0.0;
+  std::size_t weekday_n = 0, weekend_n = 0;
+  for (std::size_t i = 0; i < week.size(); ++i) {
+    const double day = std::floor(week.time_at(i).value() / (24.0 * 60.0));
+    if (day >= 5.0) {
+      weekend += week[i];
+      ++weekend_n;
+    } else {
+      weekday += week[i];
+      ++weekday_n;
+    }
+  }
+  EXPECT_LT(weekend / static_cast<double>(weekend_n),
+            weekday / static_cast<double>(weekday_n))
+      << params.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, WebPresetTest,
+    testing::Values(WebWorkloadPresets::calgary(), WebWorkloadPresets::u_of_s(),
+                    WebWorkloadPresets::nasa(), WebWorkloadPresets::clark(),
+                    WebWorkloadPresets::ucb()),
+    [](const testing::TestParamInfo<WebWorkloadParams>& info) {
+      std::string name = info.param.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(WebPresets, TableIValues) {
+  const auto all = WebWorkloadPresets::all();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_DOUBLE_EQ(all[0].mean_utilization, 0.0363);
+  EXPECT_DOUBLE_EQ(all[1].mean_utilization, 0.0721);
+  EXPECT_DOUBLE_EQ(all[2].mean_utilization, 0.2889);
+  EXPECT_DOUBLE_EQ(all[3].mean_utilization, 0.3578);
+  EXPECT_DOUBLE_EQ(all[4].mean_utilization, 0.4604);
+}
+
+}  // namespace
+}  // namespace smoother::trace

@@ -1,0 +1,46 @@
+#include "smoother/power/wind_farm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace smoother::power {
+namespace {
+
+using util::Kilowatts;
+using util::MetresPerSecond;
+
+TEST(WindFarm, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(WindFarm(TurbineCurve::enercon_e48(), Kilowatts{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(WindFarm(TurbineCurve::enercon_e48(), Kilowatts{-10.0}),
+               std::invalid_argument);
+}
+
+TEST(WindFarm, ScalesSingleTurbineLinearly) {
+  const TurbineCurve& e48 = TurbineCurve::enercon_e48();
+  const WindFarm farm(e48, Kilowatts{1600.0});  // two E48 equivalents
+  EXPECT_DOUBLE_EQ(farm.turbine_count(), 2.0);
+  const MetresPerSecond v{9.0};
+  EXPECT_NEAR(farm.output(v).value(), 2.0 * e48.output(v).value(), 1e-9);
+}
+
+TEST(WindFarm, FractionalCapacityAllowed) {
+  const WindFarm farm(TurbineCurve::enercon_e48(), Kilowatts{976.0});
+  EXPECT_NEAR(farm.turbine_count(), 1.22, 1e-9);
+  EXPECT_DOUBLE_EQ(farm.installed_capacity().value(), 976.0);
+  // At rated wind the farm produces exactly its installed capacity.
+  EXPECT_NEAR(farm.output(MetresPerSecond{20.0}).value(), 976.0, 1e-9);
+}
+
+TEST(WindFarm, PowerSeriesMatchesPerSampleOutput) {
+  const WindFarm farm(TurbineCurve::enercon_e48(), Kilowatts{1525.0});
+  const util::TimeSeries speeds = test::series({4.0, 10.0, 18.0});
+  const util::TimeSeries power = farm.power_series(speeds);
+  for (std::size_t i = 0; i < speeds.size(); ++i)
+    EXPECT_DOUBLE_EQ(power[i],
+                     farm.output(MetresPerSecond{speeds[i]}).value());
+}
+
+}  // namespace
+}  // namespace smoother::power

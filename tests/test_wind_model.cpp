@@ -1,0 +1,159 @@
+#include "smoother/trace/wind_speed_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "smoother/power/capacity_factor.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/stats/descriptive.hpp"
+
+namespace smoother::trace {
+namespace {
+
+using util::Kilowatts;
+
+TEST(WindSiteParams, Validation) {
+  WindSiteParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.weibull_scale = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WindSiteParams{};
+  p.reversion_per_hour = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WindSiteParams{};
+  p.diurnal_amplitude = 0.6;
+  p.synoptic_amplitude = 0.5;  // sum >= 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = WindSiteParams{};
+  p.gust_duration_minutes = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(WindSpeedModel, DeterministicPerSeed) {
+  const WindSpeedModel model(WindSitePresets::california_9122());
+  const auto a = model.generate_day(42);
+  const auto b = model.generate_day(42);
+  EXPECT_EQ(a, b);
+  const auto c = model.generate_day(43);
+  EXPECT_NE(a, c);
+}
+
+TEST(WindSpeedModel, ShapeAndNonNegativity) {
+  const WindSpeedModel model(WindSitePresets::texas_10());
+  const auto day = model.generate_day(7);
+  EXPECT_EQ(day.size(), 288u);  // 24h of 5-min points
+  EXPECT_DOUBLE_EQ(day.step().value(), 5.0);
+  for (std::size_t i = 0; i < day.size(); ++i) EXPECT_GE(day[i], 0.0);
+}
+
+TEST(WindSpeedModel, RejectsDegenerateRequests) {
+  const WindSpeedModel model(WindSitePresets::california_9122());
+  EXPECT_THROW(model.generate(util::Minutes{0.0}, util::kFiveMinutes, 1),
+               std::invalid_argument);
+  EXPECT_THROW(model.generate(util::Minutes{2.0}, util::kFiveMinutes, 1),
+               std::invalid_argument);
+}
+
+TEST(WindSpeedModel, PinnedDiurnalPeakHour) {
+  WindSiteParams params = WindSitePresets::california_9122();
+  params.diurnal_amplitude = 0.4;
+  params.synoptic_amplitude = 0.0;
+  params.jitter_sd = 0.0;
+  params.gusts_per_day = 0.0;
+  params.diurnal_peak_hour = 2.0;
+  const WindSpeedModel model(params);
+  // Average several days: the 0-6h window must be windier than 12-18h.
+  const auto week = model.generate(util::days(10.0), util::kFiveMinutes, 5);
+  double night = 0.0, day = 0.0;
+  std::size_t night_n = 0, day_n = 0;
+  for (std::size_t i = 0; i < week.size(); ++i) {
+    const double hour = std::fmod(week.time_at(i).value() / 60.0, 24.0);
+    if (hour < 6.0) {
+      night += week[i];
+      ++night_n;
+    } else if (hour >= 12.0 && hour < 18.0) {
+      day += week[i];
+      ++day_n;
+    }
+  }
+  EXPECT_GT(night / static_cast<double>(night_n),
+            day / static_cast<double>(day_n));
+}
+
+/// Table III calibration: generated capacity factors (through the E48
+/// curve) must sit near the published site values.
+struct SiteExpectation {
+  WindSiteParams params;
+  double expected_cf;
+  bool high_volatility;
+};
+
+class WindPresetTest : public testing::TestWithParam<SiteExpectation> {};
+
+TEST_P(WindPresetTest, CapacityFactorNearTableIII) {
+  const auto& [params, expected_cf, high] = GetParam();
+  const WindSpeedModel model(params);
+  const auto speed = model.generate(util::days(28.0), util::kFiveMinutes, 42);
+  const auto power =
+      power::TurbineCurve::enercon_e48().power_series(speed);
+  const double cf = power::average_capacity_factor(power, Kilowatts{800.0});
+  EXPECT_NEAR(cf, expected_cf, 0.05) << params.name;
+}
+
+TEST_P(WindPresetTest, VolatilityGroupSeparation) {
+  const auto& [params, expected_cf, high] = GetParam();
+  const WindSpeedModel model(params);
+  const auto speed = model.generate(util::days(14.0), util::kFiveMinutes, 11);
+  const auto power =
+      power::TurbineCurve::enercon_e48().power_series(speed);
+  const auto vars =
+      power::interval_capacity_factor_variances(power, Kilowatts{800.0}, 12);
+  const double mean_var =
+      std::accumulate(vars.begin(), vars.end(), 0.0) /
+      static_cast<double>(vars.size());
+  if (high)
+    EXPECT_GT(mean_var, 0.015) << params.name;
+  else
+    EXPECT_LT(mean_var, 0.015) << params.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, WindPresetTest,
+    testing::Values(
+        SiteExpectation{WindSitePresets::california_9122(), 0.179, false},
+        SiteExpectation{WindSitePresets::oregon_24258(), 0.190, false},
+        SiteExpectation{WindSitePresets::washington_29359(), 0.179, false},
+        SiteExpectation{WindSitePresets::texas_10(), 0.324, true},
+        SiteExpectation{WindSitePresets::colorado_11005(), 0.299, true},
+        SiteExpectation{WindSitePresets::wyoming_16419(), 0.296, true}),
+    [](const testing::TestParamInfo<SiteExpectation>& info) {
+      std::string name = info.param.params.name;
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(WindPresets, GroupsContainThreeSitesEach) {
+  EXPECT_EQ(WindSitePresets::low_volatility_group().size(), 3u);
+  EXPECT_EQ(WindSitePresets::high_volatility_group().size(), 3u);
+  EXPECT_EQ(WindSitePresets::all().size(), 6u);
+}
+
+TEST(Fig10Days, VolatilityIsMonotoneInDayIndex) {
+  // The four Fig. 10 day presets are ordered smooth -> most fluctuating.
+  const auto& e48 = power::TurbineCurve::enercon_e48();
+  std::vector<double> roughness;
+  for (std::size_t day = 0; day < 4; ++day) {
+    const WindSpeedModel model(fig10_day_params(day));
+    const auto power = e48.power_series(model.generate_day(17));
+    roughness.push_back(stats::rms_successive_diff(power.values()));
+  }
+  EXPECT_LT(roughness[0], roughness[1]);
+  EXPECT_LT(roughness[1], roughness[3]);
+  EXPECT_LT(roughness[2], roughness[3]);
+  EXPECT_THROW(fig10_day_params(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace smoother::trace

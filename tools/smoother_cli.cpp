@@ -1,0 +1,23 @@
+// smoother_cli: command-line front end for the Smoother library.
+//
+// See smoother::cli::main_usage() (printed on no/unknown command) and the
+// per-command --help-style usage printed on any argument error.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "smoother/cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << smoother::cli::main_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::cout << smoother::cli::main_usage();
+    return 0;
+  }
+  std::vector<std::string> args(argv + 2, argv + argc);
+  return smoother::cli::run_command(command, args, std::cout, std::cerr);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_battery_sizing.dir/ext_battery_sizing.cpp.o"
+  "CMakeFiles/ext_battery_sizing.dir/ext_battery_sizing.cpp.o.d"
+  "ext_battery_sizing"
+  "ext_battery_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_battery_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

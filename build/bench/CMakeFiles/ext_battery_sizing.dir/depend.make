@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_battery_sizing.
+# This may be replaced when dependencies are built.

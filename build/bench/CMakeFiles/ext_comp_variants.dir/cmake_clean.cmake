@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_comp_variants.dir/ext_comp_variants.cpp.o"
+  "CMakeFiles/ext_comp_variants.dir/ext_comp_variants.cpp.o.d"
+  "ext_comp_variants"
+  "ext_comp_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_comp_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cost_analysis.dir/ext_cost_analysis.cpp.o"
+  "CMakeFiles/ext_cost_analysis.dir/ext_cost_analysis.cpp.o.d"
+  "ext_cost_analysis"
+  "ext_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_esd_portfolio.dir/ext_esd_portfolio.cpp.o"
+  "CMakeFiles/ext_esd_portfolio.dir/ext_esd_portfolio.cpp.o.d"
+  "ext_esd_portfolio"
+  "ext_esd_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_esd_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

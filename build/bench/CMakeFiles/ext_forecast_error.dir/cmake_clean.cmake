@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_forecast_error.dir/ext_forecast_error.cpp.o"
+  "CMakeFiles/ext_forecast_error.dir/ext_forecast_error.cpp.o.d"
+  "ext_forecast_error"
+  "ext_forecast_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_forecast_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

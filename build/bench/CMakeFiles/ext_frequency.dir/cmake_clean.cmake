@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_frequency.dir/ext_frequency.cpp.o"
+  "CMakeFiles/ext_frequency.dir/ext_frequency.cpp.o.d"
+  "ext_frequency"
+  "ext_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

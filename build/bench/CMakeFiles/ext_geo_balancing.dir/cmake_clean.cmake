@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_geo_balancing.dir/ext_geo_balancing.cpp.o"
+  "CMakeFiles/ext_geo_balancing.dir/ext_geo_balancing.cpp.o.d"
+  "ext_geo_balancing"
+  "ext_geo_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_geo_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hybrid_supply.dir/ext_hybrid_supply.cpp.o"
+  "CMakeFiles/ext_hybrid_supply.dir/ext_hybrid_supply.cpp.o.d"
+  "ext_hybrid_supply"
+  "ext_hybrid_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hybrid_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_receding_horizon.dir/ext_receding_horizon.cpp.o"
+  "CMakeFiles/ext_receding_horizon.dir/ext_receding_horizon.cpp.o.d"
+  "ext_receding_horizon"
+  "ext_receding_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_receding_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

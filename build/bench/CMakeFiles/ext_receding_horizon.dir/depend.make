@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_receding_horizon.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_solar_smoothing.dir/ext_solar_smoothing.cpp.o"
+  "CMakeFiles/ext_solar_smoothing.dir/ext_solar_smoothing.cpp.o.d"
+  "ext_solar_smoothing"
+  "ext_solar_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_solar_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

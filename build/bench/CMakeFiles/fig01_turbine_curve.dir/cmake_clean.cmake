@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_turbine_curve.dir/fig01_turbine_curve.cpp.o"
+  "CMakeFiles/fig01_turbine_curve.dir/fig01_turbine_curve.cpp.o.d"
+  "fig01_turbine_curve"
+  "fig01_turbine_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_turbine_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_regions.dir/fig02_regions.cpp.o"
+  "CMakeFiles/fig02_regions.dir/fig02_regions.cpp.o.d"
+  "fig02_regions"
+  "fig02_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

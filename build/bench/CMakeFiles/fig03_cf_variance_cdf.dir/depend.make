@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_cf_variance_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_smoothing.dir/fig05_smoothing.cpp.o"
+  "CMakeFiles/fig05_smoothing.dir/fig05_smoothing.cpp.o.d"
+  "fig05_smoothing"
+  "fig05_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

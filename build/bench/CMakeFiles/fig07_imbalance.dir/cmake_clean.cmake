@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_imbalance.dir/fig07_imbalance.cpp.o"
+  "CMakeFiles/fig07_imbalance.dir/fig07_imbalance.cpp.o.d"
+  "fig07_imbalance"
+  "fig07_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

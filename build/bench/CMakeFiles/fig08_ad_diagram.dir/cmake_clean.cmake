@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ad_diagram.dir/fig08_ad_diagram.cpp.o"
+  "CMakeFiles/fig08_ad_diagram.dir/fig08_ad_diagram.cpp.o.d"
+  "fig08_ad_diagram"
+  "fig08_ad_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ad_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_google_power.dir/fig09_google_power.cpp.o"
+  "CMakeFiles/fig09_google_power.dir/fig09_google_power.cpp.o.d"
+  "fig09_google_power"
+  "fig09_google_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_google_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

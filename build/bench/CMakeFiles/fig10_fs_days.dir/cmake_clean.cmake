@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fs_days.dir/fig10_fs_days.cpp.o"
+  "CMakeFiles/fig10_fs_days.dir/fig10_fs_days.cpp.o.d"
+  "fig10_fs_days"
+  "fig10_fs_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fs_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

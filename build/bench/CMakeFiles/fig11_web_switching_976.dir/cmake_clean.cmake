@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_web_switching_976.dir/fig11_web_switching_976.cpp.o"
+  "CMakeFiles/fig11_web_switching_976.dir/fig11_web_switching_976.cpp.o.d"
+  "fig11_web_switching_976"
+  "fig11_web_switching_976.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_web_switching_976.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

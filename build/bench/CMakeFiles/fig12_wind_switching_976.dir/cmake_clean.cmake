@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_wind_switching_976.dir/fig12_wind_switching_976.cpp.o"
+  "CMakeFiles/fig12_wind_switching_976.dir/fig12_wind_switching_976.cpp.o.d"
+  "fig12_wind_switching_976"
+  "fig12_wind_switching_976.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_wind_switching_976.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_wind_switching_976.
+# This may be replaced when dependencies are built.

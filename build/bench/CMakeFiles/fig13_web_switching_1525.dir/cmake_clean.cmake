@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_web_switching_1525.dir/fig13_web_switching_1525.cpp.o"
+  "CMakeFiles/fig13_web_switching_1525.dir/fig13_web_switching_1525.cpp.o.d"
+  "fig13_web_switching_1525"
+  "fig13_web_switching_1525.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_web_switching_1525.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

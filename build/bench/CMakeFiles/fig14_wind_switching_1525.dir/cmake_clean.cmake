@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_wind_switching_1525.dir/fig14_wind_switching_1525.cpp.o"
+  "CMakeFiles/fig14_wind_switching_1525.dir/fig14_wind_switching_1525.cpp.o.d"
+  "fig14_wind_switching_1525"
+  "fig14_wind_switching_1525.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_wind_switching_1525.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

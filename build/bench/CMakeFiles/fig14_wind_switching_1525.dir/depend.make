@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_wind_switching_1525.
+# This may be replaced when dependencies are built.

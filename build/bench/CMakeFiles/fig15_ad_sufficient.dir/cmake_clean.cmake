@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ad_sufficient.dir/fig15_ad_sufficient.cpp.o"
+  "CMakeFiles/fig15_ad_sufficient.dir/fig15_ad_sufficient.cpp.o.d"
+  "fig15_ad_sufficient"
+  "fig15_ad_sufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ad_sufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ad_insufficient.dir/fig16_ad_insufficient.cpp.o"
+  "CMakeFiles/fig16_ad_insufficient.dir/fig16_ad_insufficient.cpp.o.d"
+  "fig16_ad_insufficient"
+  "fig16_ad_insufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ad_insufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_ad_insufficient.
+# This may be replaced when dependencies are built.

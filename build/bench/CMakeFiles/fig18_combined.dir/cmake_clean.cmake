@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_combined.dir/fig18_combined.cpp.o"
+  "CMakeFiles/fig18_combined.dir/fig18_combined.cpp.o.d"
+  "fig18_combined"
+  "fig18_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

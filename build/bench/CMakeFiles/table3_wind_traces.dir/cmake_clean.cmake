@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wind_traces.dir/table3_wind_traces.cpp.o"
+  "CMakeFiles/table3_wind_traces.dir/table3_wind_traces.cpp.o.d"
+  "table3_wind_traces"
+  "table3_wind_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wind_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

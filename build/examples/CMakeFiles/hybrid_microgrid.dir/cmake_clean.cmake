@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_microgrid.dir/hybrid_microgrid.cpp.o"
+  "CMakeFiles/hybrid_microgrid.dir/hybrid_microgrid.cpp.o.d"
+  "hybrid_microgrid"
+  "hybrid_microgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_microgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

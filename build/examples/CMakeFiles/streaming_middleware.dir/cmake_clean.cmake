@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_middleware.dir/streaming_middleware.cpp.o"
+  "CMakeFiles/streaming_middleware.dir/streaming_middleware.cpp.o.d"
+  "streaming_middleware"
+  "streaming_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

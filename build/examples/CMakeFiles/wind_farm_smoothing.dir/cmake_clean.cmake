@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wind_farm_smoothing.dir/wind_farm_smoothing.cpp.o"
+  "CMakeFiles/wind_farm_smoothing.dir/wind_farm_smoothing.cpp.o.d"
+  "wind_farm_smoothing"
+  "wind_farm_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wind_farm_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/battery/battery.cpp" "src/smoother/battery/CMakeFiles/smoother_battery.dir/battery.cpp.o" "gcc" "src/smoother/battery/CMakeFiles/smoother_battery.dir/battery.cpp.o.d"
+  "/root/repo/src/smoother/battery/esd_bank.cpp" "src/smoother/battery/CMakeFiles/smoother_battery.dir/esd_bank.cpp.o" "gcc" "src/smoother/battery/CMakeFiles/smoother_battery.dir/esd_bank.cpp.o.d"
+  "/root/repo/src/smoother/battery/wear.cpp" "src/smoother/battery/CMakeFiles/smoother_battery.dir/wear.cpp.o" "gcc" "src/smoother/battery/CMakeFiles/smoother_battery.dir/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_battery.dir/battery.cpp.o"
+  "CMakeFiles/smoother_battery.dir/battery.cpp.o.d"
+  "CMakeFiles/smoother_battery.dir/esd_bank.cpp.o"
+  "CMakeFiles/smoother_battery.dir/esd_bank.cpp.o.d"
+  "CMakeFiles/smoother_battery.dir/wear.cpp.o"
+  "CMakeFiles/smoother_battery.dir/wear.cpp.o.d"
+  "libsmoother_battery.a"
+  "libsmoother_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

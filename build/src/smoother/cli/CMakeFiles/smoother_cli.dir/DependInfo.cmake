@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/cli/commands.cpp" "src/smoother/cli/CMakeFiles/smoother_cli.dir/commands.cpp.o" "gcc" "src/smoother/cli/CMakeFiles/smoother_cli.dir/commands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/sim/CMakeFiles/smoother_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/core/CMakeFiles/smoother_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/trace/CMakeFiles/smoother_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/sched/CMakeFiles/smoother_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/battery/CMakeFiles/smoother_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/power/CMakeFiles/smoother_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/stats/CMakeFiles/smoother_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/solver/CMakeFiles/smoother_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_cli.dir/commands.cpp.o"
+  "CMakeFiles/smoother_cli.dir/commands.cpp.o.d"
+  "libsmoother_cli.a"
+  "libsmoother_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

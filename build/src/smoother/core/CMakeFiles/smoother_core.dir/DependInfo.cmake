@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/core/active_delay.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/active_delay.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/active_delay.cpp.o.d"
+  "/root/repo/src/smoother/core/flexible_smoothing.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/flexible_smoothing.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/flexible_smoothing.cpp.o.d"
+  "/root/repo/src/smoother/core/forecast.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/forecast.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/forecast.cpp.o.d"
+  "/root/repo/src/smoother/core/metrics.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/metrics.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/smoother/core/multi_esd.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/multi_esd.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/multi_esd.cpp.o.d"
+  "/root/repo/src/smoother/core/online.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/online.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/online.cpp.o.d"
+  "/root/repo/src/smoother/core/region.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/region.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/region.cpp.o.d"
+  "/root/repo/src/smoother/core/smoother.cpp" "src/smoother/core/CMakeFiles/smoother_core.dir/smoother.cpp.o" "gcc" "src/smoother/core/CMakeFiles/smoother_core.dir/smoother.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/stats/CMakeFiles/smoother_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/solver/CMakeFiles/smoother_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/power/CMakeFiles/smoother_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/battery/CMakeFiles/smoother_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/sched/CMakeFiles/smoother_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_core.dir/active_delay.cpp.o"
+  "CMakeFiles/smoother_core.dir/active_delay.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/flexible_smoothing.cpp.o"
+  "CMakeFiles/smoother_core.dir/flexible_smoothing.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/forecast.cpp.o"
+  "CMakeFiles/smoother_core.dir/forecast.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/metrics.cpp.o"
+  "CMakeFiles/smoother_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/multi_esd.cpp.o"
+  "CMakeFiles/smoother_core.dir/multi_esd.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/online.cpp.o"
+  "CMakeFiles/smoother_core.dir/online.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/region.cpp.o"
+  "CMakeFiles/smoother_core.dir/region.cpp.o.d"
+  "CMakeFiles/smoother_core.dir/smoother.cpp.o"
+  "CMakeFiles/smoother_core.dir/smoother.cpp.o.d"
+  "libsmoother_core.a"
+  "libsmoother_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/power/capacity_factor.cpp" "src/smoother/power/CMakeFiles/smoother_power.dir/capacity_factor.cpp.o" "gcc" "src/smoother/power/CMakeFiles/smoother_power.dir/capacity_factor.cpp.o.d"
+  "/root/repo/src/smoother/power/datacenter.cpp" "src/smoother/power/CMakeFiles/smoother_power.dir/datacenter.cpp.o" "gcc" "src/smoother/power/CMakeFiles/smoother_power.dir/datacenter.cpp.o.d"
+  "/root/repo/src/smoother/power/solar.cpp" "src/smoother/power/CMakeFiles/smoother_power.dir/solar.cpp.o" "gcc" "src/smoother/power/CMakeFiles/smoother_power.dir/solar.cpp.o.d"
+  "/root/repo/src/smoother/power/turbine.cpp" "src/smoother/power/CMakeFiles/smoother_power.dir/turbine.cpp.o" "gcc" "src/smoother/power/CMakeFiles/smoother_power.dir/turbine.cpp.o.d"
+  "/root/repo/src/smoother/power/wind_farm.cpp" "src/smoother/power/CMakeFiles/smoother_power.dir/wind_farm.cpp.o" "gcc" "src/smoother/power/CMakeFiles/smoother_power.dir/wind_farm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/stats/CMakeFiles/smoother_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/solver/CMakeFiles/smoother_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_power.dir/capacity_factor.cpp.o"
+  "CMakeFiles/smoother_power.dir/capacity_factor.cpp.o.d"
+  "CMakeFiles/smoother_power.dir/datacenter.cpp.o"
+  "CMakeFiles/smoother_power.dir/datacenter.cpp.o.d"
+  "CMakeFiles/smoother_power.dir/solar.cpp.o"
+  "CMakeFiles/smoother_power.dir/solar.cpp.o.d"
+  "CMakeFiles/smoother_power.dir/turbine.cpp.o"
+  "CMakeFiles/smoother_power.dir/turbine.cpp.o.d"
+  "CMakeFiles/smoother_power.dir/wind_farm.cpp.o"
+  "CMakeFiles/smoother_power.dir/wind_farm.cpp.o.d"
+  "libsmoother_power.a"
+  "libsmoother_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

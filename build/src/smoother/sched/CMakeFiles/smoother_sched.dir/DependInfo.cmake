@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/sched/cluster_timeline.cpp" "src/smoother/sched/CMakeFiles/smoother_sched.dir/cluster_timeline.cpp.o" "gcc" "src/smoother/sched/CMakeFiles/smoother_sched.dir/cluster_timeline.cpp.o.d"
+  "/root/repo/src/smoother/sched/scheduler.cpp" "src/smoother/sched/CMakeFiles/smoother_sched.dir/scheduler.cpp.o" "gcc" "src/smoother/sched/CMakeFiles/smoother_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

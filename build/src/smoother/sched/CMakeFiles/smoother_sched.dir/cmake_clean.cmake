@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_sched.dir/cluster_timeline.cpp.o"
+  "CMakeFiles/smoother_sched.dir/cluster_timeline.cpp.o.d"
+  "CMakeFiles/smoother_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/smoother_sched.dir/scheduler.cpp.o.d"
+  "libsmoother_sched.a"
+  "libsmoother_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_sim.dir/cost.cpp.o"
+  "CMakeFiles/smoother_sim.dir/cost.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/dispatch.cpp.o"
+  "CMakeFiles/smoother_sim.dir/dispatch.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/experiments.cpp.o"
+  "CMakeFiles/smoother_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/frequency.cpp.o"
+  "CMakeFiles/smoother_sim.dir/frequency.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/geo.cpp.o"
+  "CMakeFiles/smoother_sim.dir/geo.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/report.cpp.o"
+  "CMakeFiles/smoother_sim.dir/report.cpp.o.d"
+  "CMakeFiles/smoother_sim.dir/scenario.cpp.o"
+  "CMakeFiles/smoother_sim.dir/scenario.cpp.o.d"
+  "libsmoother_sim.a"
+  "libsmoother_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

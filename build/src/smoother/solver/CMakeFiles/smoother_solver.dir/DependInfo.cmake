@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/solver/cholesky.cpp" "src/smoother/solver/CMakeFiles/smoother_solver.dir/cholesky.cpp.o" "gcc" "src/smoother/solver/CMakeFiles/smoother_solver.dir/cholesky.cpp.o.d"
+  "/root/repo/src/smoother/solver/least_squares.cpp" "src/smoother/solver/CMakeFiles/smoother_solver.dir/least_squares.cpp.o" "gcc" "src/smoother/solver/CMakeFiles/smoother_solver.dir/least_squares.cpp.o.d"
+  "/root/repo/src/smoother/solver/matrix.cpp" "src/smoother/solver/CMakeFiles/smoother_solver.dir/matrix.cpp.o" "gcc" "src/smoother/solver/CMakeFiles/smoother_solver.dir/matrix.cpp.o.d"
+  "/root/repo/src/smoother/solver/qp.cpp" "src/smoother/solver/CMakeFiles/smoother_solver.dir/qp.cpp.o" "gcc" "src/smoother/solver/CMakeFiles/smoother_solver.dir/qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

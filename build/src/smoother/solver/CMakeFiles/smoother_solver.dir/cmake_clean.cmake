@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_solver.dir/cholesky.cpp.o"
+  "CMakeFiles/smoother_solver.dir/cholesky.cpp.o.d"
+  "CMakeFiles/smoother_solver.dir/least_squares.cpp.o"
+  "CMakeFiles/smoother_solver.dir/least_squares.cpp.o.d"
+  "CMakeFiles/smoother_solver.dir/matrix.cpp.o"
+  "CMakeFiles/smoother_solver.dir/matrix.cpp.o.d"
+  "CMakeFiles/smoother_solver.dir/qp.cpp.o"
+  "CMakeFiles/smoother_solver.dir/qp.cpp.o.d"
+  "libsmoother_solver.a"
+  "libsmoother_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/stats/cdf.cpp" "src/smoother/stats/CMakeFiles/smoother_stats.dir/cdf.cpp.o" "gcc" "src/smoother/stats/CMakeFiles/smoother_stats.dir/cdf.cpp.o.d"
+  "/root/repo/src/smoother/stats/descriptive.cpp" "src/smoother/stats/CMakeFiles/smoother_stats.dir/descriptive.cpp.o" "gcc" "src/smoother/stats/CMakeFiles/smoother_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/smoother/stats/histogram.cpp" "src/smoother/stats/CMakeFiles/smoother_stats.dir/histogram.cpp.o" "gcc" "src/smoother/stats/CMakeFiles/smoother_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/smoother/stats/rolling.cpp" "src/smoother/stats/CMakeFiles/smoother_stats.dir/rolling.cpp.o" "gcc" "src/smoother/stats/CMakeFiles/smoother_stats.dir/rolling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_stats.dir/cdf.cpp.o"
+  "CMakeFiles/smoother_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/smoother_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/smoother_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/smoother_stats.dir/histogram.cpp.o"
+  "CMakeFiles/smoother_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/smoother_stats.dir/rolling.cpp.o"
+  "CMakeFiles/smoother_stats.dir/rolling.cpp.o.d"
+  "libsmoother_stats.a"
+  "libsmoother_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

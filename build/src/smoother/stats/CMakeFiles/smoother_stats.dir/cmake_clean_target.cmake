@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmoother_stats.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/trace/batch_workload.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/batch_workload.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/batch_workload.cpp.o.d"
+  "/root/repo/src/smoother/trace/google_cluster.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/google_cluster.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/google_cluster.cpp.o.d"
+  "/root/repo/src/smoother/trace/solar_model.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/solar_model.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/solar_model.cpp.o.d"
+  "/root/repo/src/smoother/trace/swf.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/swf.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/swf.cpp.o.d"
+  "/root/repo/src/smoother/trace/trace_io.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/trace_io.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/smoother/trace/web_workload.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/web_workload.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/web_workload.cpp.o.d"
+  "/root/repo/src/smoother/trace/wind_speed_model.cpp" "src/smoother/trace/CMakeFiles/smoother_trace.dir/wind_speed_model.cpp.o" "gcc" "src/smoother/trace/CMakeFiles/smoother_trace.dir/wind_speed_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smoother/util/CMakeFiles/smoother_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/power/CMakeFiles/smoother_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/sched/CMakeFiles/smoother_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/stats/CMakeFiles/smoother_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smoother/solver/CMakeFiles/smoother_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_trace.dir/batch_workload.cpp.o"
+  "CMakeFiles/smoother_trace.dir/batch_workload.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/google_cluster.cpp.o"
+  "CMakeFiles/smoother_trace.dir/google_cluster.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/solar_model.cpp.o"
+  "CMakeFiles/smoother_trace.dir/solar_model.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/swf.cpp.o"
+  "CMakeFiles/smoother_trace.dir/swf.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/smoother_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/web_workload.cpp.o"
+  "CMakeFiles/smoother_trace.dir/web_workload.cpp.o.d"
+  "CMakeFiles/smoother_trace.dir/wind_speed_model.cpp.o"
+  "CMakeFiles/smoother_trace.dir/wind_speed_model.cpp.o.d"
+  "libsmoother_trace.a"
+  "libsmoother_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoother/util/args.cpp" "src/smoother/util/CMakeFiles/smoother_util.dir/args.cpp.o" "gcc" "src/smoother/util/CMakeFiles/smoother_util.dir/args.cpp.o.d"
+  "/root/repo/src/smoother/util/csv.cpp" "src/smoother/util/CMakeFiles/smoother_util.dir/csv.cpp.o" "gcc" "src/smoother/util/CMakeFiles/smoother_util.dir/csv.cpp.o.d"
+  "/root/repo/src/smoother/util/logging.cpp" "src/smoother/util/CMakeFiles/smoother_util.dir/logging.cpp.o" "gcc" "src/smoother/util/CMakeFiles/smoother_util.dir/logging.cpp.o.d"
+  "/root/repo/src/smoother/util/rng.cpp" "src/smoother/util/CMakeFiles/smoother_util.dir/rng.cpp.o" "gcc" "src/smoother/util/CMakeFiles/smoother_util.dir/rng.cpp.o.d"
+  "/root/repo/src/smoother/util/time_series.cpp" "src/smoother/util/CMakeFiles/smoother_util.dir/time_series.cpp.o" "gcc" "src/smoother/util/CMakeFiles/smoother_util.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

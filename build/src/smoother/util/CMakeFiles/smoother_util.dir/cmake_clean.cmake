@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_util.dir/args.cpp.o"
+  "CMakeFiles/smoother_util.dir/args.cpp.o.d"
+  "CMakeFiles/smoother_util.dir/csv.cpp.o"
+  "CMakeFiles/smoother_util.dir/csv.cpp.o.d"
+  "CMakeFiles/smoother_util.dir/logging.cpp.o"
+  "CMakeFiles/smoother_util.dir/logging.cpp.o.d"
+  "CMakeFiles/smoother_util.dir/rng.cpp.o"
+  "CMakeFiles/smoother_util.dir/rng.cpp.o.d"
+  "CMakeFiles/smoother_util.dir/time_series.cpp.o"
+  "CMakeFiles/smoother_util.dir/time_series.cpp.o.d"
+  "libsmoother_util.a"
+  "libsmoother_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmoother_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_active_delay.dir/test_active_delay.cpp.o"
+  "CMakeFiles/test_active_delay.dir/test_active_delay.cpp.o.d"
+  "test_active_delay"
+  "test_active_delay.pdb"
+  "test_active_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_active_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

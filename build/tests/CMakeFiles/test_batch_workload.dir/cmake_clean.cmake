@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_workload.dir/test_batch_workload.cpp.o"
+  "CMakeFiles/test_batch_workload.dir/test_batch_workload.cpp.o.d"
+  "test_batch_workload"
+  "test_batch_workload.pdb"
+  "test_batch_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

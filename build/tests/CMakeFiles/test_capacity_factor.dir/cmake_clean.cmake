@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacity_factor.dir/test_capacity_factor.cpp.o"
+  "CMakeFiles/test_capacity_factor.dir/test_capacity_factor.cpp.o.d"
+  "test_capacity_factor"
+  "test_capacity_factor.pdb"
+  "test_capacity_factor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacity_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_timeline.dir/test_cluster_timeline.cpp.o"
+  "CMakeFiles/test_cluster_timeline.dir/test_cluster_timeline.cpp.o.d"
+  "test_cluster_timeline"
+  "test_cluster_timeline.pdb"
+  "test_cluster_timeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexible_smoothing.dir/test_flexible_smoothing.cpp.o"
+  "CMakeFiles/test_flexible_smoothing.dir/test_flexible_smoothing.cpp.o.d"
+  "test_flexible_smoothing"
+  "test_flexible_smoothing.pdb"
+  "test_flexible_smoothing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexible_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

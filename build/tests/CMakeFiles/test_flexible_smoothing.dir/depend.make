@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flexible_smoothing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_google_cluster.dir/test_google_cluster.cpp.o"
+  "CMakeFiles/test_google_cluster.dir/test_google_cluster.cpp.o.d"
+  "test_google_cluster"
+  "test_google_cluster.pdb"
+  "test_google_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_google_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_esd.dir/test_multi_esd.cpp.o"
+  "CMakeFiles/test_multi_esd.dir/test_multi_esd.cpp.o.d"
+  "test_multi_esd"
+  "test_multi_esd.pdb"
+  "test_multi_esd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_esd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peak_shaving.dir/test_peak_shaving.cpp.o"
+  "CMakeFiles/test_peak_shaving.dir/test_peak_shaving.cpp.o.d"
+  "test_peak_shaving"
+  "test_peak_shaving.pdb"
+  "test_peak_shaving[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peak_shaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rolling.dir/test_rolling.cpp.o"
+  "CMakeFiles/test_rolling.dir/test_rolling.cpp.o.d"
+  "test_rolling"
+  "test_rolling.pdb"
+  "test_rolling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

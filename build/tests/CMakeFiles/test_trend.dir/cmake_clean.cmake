@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trend.dir/test_trend.cpp.o"
+  "CMakeFiles/test_trend.dir/test_trend.cpp.o.d"
+  "test_trend"
+  "test_trend.pdb"
+  "test_trend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

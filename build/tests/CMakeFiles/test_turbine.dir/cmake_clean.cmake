@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turbine.dir/test_turbine.cpp.o"
+  "CMakeFiles/test_turbine.dir/test_turbine.cpp.o.d"
+  "test_turbine"
+  "test_turbine.pdb"
+  "test_turbine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turbine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

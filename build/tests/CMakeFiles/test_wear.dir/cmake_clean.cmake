@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear.dir/test_wear.cpp.o"
+  "CMakeFiles/test_wear.dir/test_wear.cpp.o.d"
+  "test_wear"
+  "test_wear.pdb"
+  "test_wear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_web_workload.dir/test_web_workload.cpp.o"
+  "CMakeFiles/test_web_workload.dir/test_web_workload.cpp.o.d"
+  "test_web_workload"
+  "test_web_workload.pdb"
+  "test_web_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_web_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wind_farm.dir/test_wind_farm.cpp.o"
+  "CMakeFiles/test_wind_farm.dir/test_wind_farm.cpp.o.d"
+  "test_wind_farm"
+  "test_wind_farm.pdb"
+  "test_wind_farm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wind_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

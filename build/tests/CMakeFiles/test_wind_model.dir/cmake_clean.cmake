@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wind_model.dir/test_wind_model.cpp.o"
+  "CMakeFiles/test_wind_model.dir/test_wind_model.cpp.o.d"
+  "test_wind_model"
+  "test_wind_model.pdb"
+  "test_wind_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wind_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

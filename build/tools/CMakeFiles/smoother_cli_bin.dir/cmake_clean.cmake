@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoother_cli_bin.dir/smoother_cli.cpp.o"
+  "CMakeFiles/smoother_cli_bin.dir/smoother_cli.cpp.o.d"
+  "smoother_cli"
+  "smoother_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoother_cli_bin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,9 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "smoother/core/smoother.hpp"
+#include "smoother/runtime/sweep_runner.hpp"
 #include "smoother/sim/dispatch.hpp"
 #include "smoother/sim/experiments.hpp"
 #include "smoother/sim/report.hpp"
@@ -17,6 +21,7 @@
 #include "smoother/trace/google_cluster.hpp"
 #include "smoother/trace/web_workload.hpp"
 #include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/args.hpp"
 #include "smoother/util/format.hpp"
 
 namespace smoother::bench {
@@ -36,6 +41,28 @@ inline constexpr std::uint64_t kSeedBatch = 20050209;  // archive log era
 
 /// The paper's evaluation cluster.
 inline constexpr std::size_t kServers = 11000;
+
+/// Shared bench flag: `--threads N` selects the worker count for binaries
+/// whose grids run on runtime::SweepRunner (0 = one worker per hardware
+/// thread, 1 = strictly serial). Results are ordered by grid index, so the
+/// printed output is identical for every thread count; binaries keep the
+/// harness convention of running with no arguments.
+inline std::size_t parse_threads_flag(int argc, char** argv) {
+  util::ArgParser parser(argv[0], "regenerates one figure/table of the "
+                                  "paper's evaluation");
+  parser.add_option("threads",
+                    "worker threads for grid sweeps (0 = all hardware "
+                    "threads, 1 = serial)",
+                    "0");
+  try {
+    const auto parsed =
+        parser.parse(std::vector<std::string>(argv + 1, argv + argc));
+    return static_cast<std::size_t>(parsed.unsigned_integer("threads"));
+  } catch (const util::ArgError& error) {
+    std::cerr << error.what() << "\n" << parser.usage();
+    std::exit(2);
+  }
+}
 
 /// Figs. 11/13: switching times W/ Comp vs W/ FS across the five Table I
 /// web workloads, on high-volatility wind at the given installed capacity.

@@ -8,9 +8,10 @@
 // variance reduction and the battery activity.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smoother;
   using namespace smoother::bench;
+  const std::size_t threads = parse_threads_flag(argc, argv);
   sim::print_experiment_header(
       std::cout, "Extension: battery sizing",
       "smoothing quality vs battery capacity headroom (paper's remark)");
@@ -25,26 +26,36 @@ int main() {
 
   sim::TablePrinter table({"headroom", "capacity_kwh", "w_fs_switches",
                            "var_reduction_%", "battery_cycles"});
-  for (double headroom : {1.0, 2.0, 4.0, 6.0, 12.0}) {
-    auto config = sim::default_config(kCapacitySmall);
-    config.battery = battery::spec_for_max_rate(
-        kCapacitySmall * 0.5, util::kFiveMinutes, headroom);
-    config.battery.charge_efficiency = 1.0;
-    config.battery.discharge_efficiency = 1.0;
-    const core::Smoother middleware(config);
-    double cycles = 0.0;
-    const auto smoothing = middleware.smooth_supply(scenario.supply, &cycles);
-    const std::size_t switches =
-        sim::dispatch(smoothing.supply, scenario.demand,
-                      sim::DispatchPolicy::kDirect)
-            .switching_times;
-    table.add_row(
-        {util::strfmt("x%.0f", headroom),
-         util::strfmt("%.0f", config.battery.capacity.value()),
-         std::to_string(switches),
-         util::strfmt("%.0f", 100.0 * smoothing.mean_variance_reduction()),
-         util::strfmt("%.1f", cycles)});
-  }
+  runtime::ParamGrid grid;
+  grid.axis("headroom", {1.0, 2.0, 4.0, 6.0, 12.0});
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "ext-battery-sizing"});
+  auto rows = runner.run_grid(
+      grid,
+      [&](const runtime::ParamGrid::Point& point,
+          runtime::TaskContext&) -> std::vector<std::string> {
+        const double headroom = point["headroom"];
+        auto config = sim::default_config(kCapacitySmall);
+        config.battery = battery::spec_for_max_rate(
+            kCapacitySmall * 0.5, util::kFiveMinutes, headroom);
+        config.battery.charge_efficiency = 1.0;
+        config.battery.discharge_efficiency = 1.0;
+        const core::Smoother middleware(config);
+        double cycles = 0.0;
+        const auto smoothing =
+            middleware.smooth_supply(scenario.supply, &cycles);
+        const std::size_t switches =
+            sim::dispatch(smoothing.supply, scenario.demand,
+                          sim::DispatchPolicy::kDirect)
+                .switching_times;
+        return {util::strfmt("x%.0f", headroom),
+                util::strfmt("%.0f", config.battery.capacity.value()),
+                std::to_string(switches),
+                util::strfmt("%.0f",
+                             100.0 * smoothing.mean_variance_reduction()),
+                util::strfmt("%.1f", cycles)};
+      });
+  for (auto& row : rows) table.add_row(std::move(row.value));
   table.print(std::cout);
   std::cout << util::strfmt("\n(raw supply, no FS: %zu switches)\n", raw);
   std::cout << "expected shape: bigger battery -> stronger smoothing and "

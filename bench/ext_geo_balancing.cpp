@@ -8,29 +8,44 @@
 
 #include "smoother/sim/geo.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smoother;
   using namespace smoother::bench;
+  const std::size_t threads = parse_threads_flag(argc, argv);
   sim::print_experiment_header(
       std::cout, "Extension: geo balancing",
       "two-site federation vs single site, Active Delay at every site");
 
   // Two half-capacity farms: neither site alone covers the workload, so
-  // where the jobs land matters.
+  // where the jobs land matters. Site supplies are independent traces, so
+  // their (expensive) generation is itself a two-task sweep; the fixed
+  // per-site seeds keep the traces identical for every --threads.
   const auto horizon = util::days(4.0);
   const util::Kilowatts per_site = kCapacitySmall * 0.5;
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "ext-geo-balancing"});
+
+  struct SiteSpec {
+    const char* name;
+    trace::WindSiteParams params;
+    std::uint64_t seed;
+  };
+  const std::vector<SiteSpec> site_specs = {
+      {"TX(10)", trace::WindSitePresets::texas_10(), kSeedWind},
+      {"WY(16419)", trace::WindSitePresets::wyoming_16419(), kSeedWind + 1},
+  };
+  auto site_results =
+      runner.run(site_specs.size(), [&](runtime::TaskContext& ctx) {
+        const SiteSpec& spec = site_specs[ctx.index];
+        return sim::GeoSite{
+            spec.name,
+            sim::wind_power_series(spec.params, per_site, horizon,
+                                   util::kOneMinute, spec.seed),
+            kServers};
+      });
   std::vector<sim::GeoSite> sites;
-  sites.push_back(sim::GeoSite{
-      "TX(10)",
-      sim::wind_power_series(trace::WindSitePresets::texas_10(), per_site,
-                             horizon, util::kOneMinute, kSeedWind),
-      kServers});
-  sites.push_back(sim::GeoSite{
-      "WY(16419)",
-      sim::wind_power_series(trace::WindSitePresets::wyoming_16419(),
-                             per_site, horizon, util::kOneMinute,
-                             kSeedWind + 1),
-      kServers});
+  sites.reserve(site_results.size());
+  for (auto& result : site_results) sites.push_back(std::move(result.value));
 
   const auto scenario = sim::make_batch_scenario(
       trace::BatchWorkloadPresets::lanl_cm5(),
@@ -39,16 +54,21 @@ int main() {
   sim::TablePrinter table({"policy", "jobs_site0", "jobs_site1",
                            "renewable_used_kwh", "utilization",
                            "deadline_misses"});
-  for (const auto policy : {sim::GeoPolicy::kSingleSite,
-                            sim::GeoPolicy::kRenewableHeadroom}) {
-    const auto result = sim::geo_schedule(scenario.jobs, sites, policy);
-    table.add_row({sim::to_string(policy),
-                   std::to_string(result.jobs_per_site[0]),
-                   std::to_string(result.jobs_per_site[1]),
-                   util::strfmt("%.0f", result.total_renewable_used.value()),
-                   util::strfmt("%.3f", result.total_renewable_utilization),
-                   std::to_string(result.total_deadline_misses)});
-  }
+  const std::vector<sim::GeoPolicy> policies = {
+      sim::GeoPolicy::kSingleSite, sim::GeoPolicy::kRenewableHeadroom};
+  auto policy_rows = runner.run(
+      policies.size(),
+      [&](runtime::TaskContext& ctx) -> std::vector<std::string> {
+        const auto policy = policies[ctx.index];
+        const auto result = sim::geo_schedule(scenario.jobs, sites, policy);
+        return {sim::to_string(policy),
+                std::to_string(result.jobs_per_site[0]),
+                std::to_string(result.jobs_per_site[1]),
+                util::strfmt("%.0f", result.total_renewable_used.value()),
+                util::strfmt("%.3f", result.total_renewable_utilization),
+                std::to_string(result.total_deadline_misses)};
+      });
+  for (auto& row : policy_rows) table.add_row(std::move(row.value));
   table.print(std::cout);
   std::cout << util::strfmt(
       "\n(workload energy %.0f kWh; per-site generation: %s %.0f kWh, %s "

@@ -11,9 +11,10 @@
 // switching gain.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smoother;
   using namespace smoother::bench;
+  const std::size_t threads = parse_threads_flag(argc, argv);
   sim::print_experiment_header(
       std::cout, "Fig. 6",
       "threshold sweep: switching times and required battery rate vs CDF");
@@ -27,52 +28,74 @@ int main() {
                     sim::DispatchPolicy::kDirect)
           .switching_times;
 
+  // Both sweeps are pure functions of their grid point (the scenario is
+  // shared read-only), so they run on the work-stealing pool; ordered
+  // collection keeps the printed table identical for every --threads.
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "fig06-threshold-sweep"});
+
   sim::TablePrinter table({"cdf_level", "wo_smooth_switches",
                            "w_smooth_switches", "battery_maxvol_kw",
                            "battery_capacity_kwh", "smoothed_intervals",
                            "battery_cycles"});
-  for (double level : {0.80, 0.85, 0.90, 0.95, 0.98, 0.995, 1.0}) {
-    auto config = sim::default_config(kCapacitySmall);
-    config.extreme_cdf = level;
-    // Give FS a generous battery so the *required* rate is observed, not
-    // clipped: the sweep asks how big a battery each level would need.
-    config.battery = battery::spec_for_max_rate(kCapacitySmall,
-                                                util::kFiveMinutes, 2.0);
-    config.battery.charge_efficiency = 1.0;
-    config.battery.discharge_efficiency = 1.0;
-    const core::Smoother middleware(config);
-    double cycles = 0.0;
-    const auto smoothing = middleware.smooth_supply(scenario.supply, &cycles);
-    const std::size_t switches =
-        sim::dispatch(smoothing.supply, scenario.demand,
-                      sim::DispatchPolicy::kDirect)
-            .switching_times;
-    const double maxvol = smoothing.required_max_rate_kw;
-    table.add_row({util::strfmt("%.3f", level), std::to_string(raw_switches),
-                   std::to_string(switches), util::strfmt("%.0f", maxvol),
-                   util::strfmt("%.1f", maxvol / 12.0),
-                   std::to_string(smoothing.smoothed_intervals),
-                   util::strfmt("%.1f", cycles)});
-  }
+  runtime::ParamGrid level_grid;
+  level_grid.axis("cdf_level", {0.80, 0.85, 0.90, 0.95, 0.98, 0.995, 1.0});
+  auto level_rows = runner.run_grid(
+      level_grid,
+      [&](const runtime::ParamGrid::Point& point,
+          runtime::TaskContext&) -> std::vector<std::string> {
+        const double level = point["cdf_level"];
+        auto config = sim::default_config(kCapacitySmall);
+        config.extreme_cdf = level;
+        // Give FS a generous battery so the *required* rate is observed,
+        // not clipped: the sweep asks how big a battery each level needs.
+        config.battery = battery::spec_for_max_rate(kCapacitySmall,
+                                                    util::kFiveMinutes, 2.0);
+        config.battery.charge_efficiency = 1.0;
+        config.battery.discharge_efficiency = 1.0;
+        const core::Smoother middleware(config);
+        double cycles = 0.0;
+        const auto smoothing =
+            middleware.smooth_supply(scenario.supply, &cycles);
+        const std::size_t switches =
+            sim::dispatch(smoothing.supply, scenario.demand,
+                          sim::DispatchPolicy::kDirect)
+                .switching_times;
+        const double maxvol = smoothing.required_max_rate_kw;
+        return {util::strfmt("%.3f", level), std::to_string(raw_switches),
+                std::to_string(switches), util::strfmt("%.0f", maxvol),
+                util::strfmt("%.1f", maxvol / 12.0),
+                std::to_string(smoothing.smoothed_intervals),
+                util::strfmt("%.1f", cycles)};
+      });
+  for (auto& row : level_rows) table.add_row(std::move(row.value));
   table.print(std::cout);
 
   std::cout << "\n# Region-I ablation (stable_cdf sweep at extreme_cdf=0.95):\n";
   sim::TablePrinter ablation({"stable_cdf", "w_smooth_switches",
                               "smoothed_intervals", "battery_cycles"});
-  for (double stable : {0.0, 0.10, 0.25, 0.40, 0.60}) {
-    auto config = sim::default_config(kCapacitySmall);
-    config.stable_cdf = stable;
-    const core::Smoother middleware(config);
-    double cycles = 0.0;
-    const auto smoothing = middleware.smooth_supply(scenario.supply, &cycles);
-    const std::size_t switches =
-        sim::dispatch(smoothing.supply, scenario.demand,
-                      sim::DispatchPolicy::kDirect)
-            .switching_times;
-    ablation.add_row({util::strfmt("%.2f", stable), std::to_string(switches),
-                      std::to_string(smoothing.smoothed_intervals),
-                      util::strfmt("%.1f", cycles)});
-  }
+  runtime::ParamGrid stable_grid;
+  stable_grid.axis("stable_cdf", {0.0, 0.10, 0.25, 0.40, 0.60});
+  auto ablation_rows = runner.run_grid(
+      stable_grid,
+      [&](const runtime::ParamGrid::Point& point,
+          runtime::TaskContext&) -> std::vector<std::string> {
+        const double stable = point["stable_cdf"];
+        auto config = sim::default_config(kCapacitySmall);
+        config.stable_cdf = stable;
+        const core::Smoother middleware(config);
+        double cycles = 0.0;
+        const auto smoothing =
+            middleware.smooth_supply(scenario.supply, &cycles);
+        const std::size_t switches =
+            sim::dispatch(smoothing.supply, scenario.demand,
+                          sim::DispatchPolicy::kDirect)
+                .switching_times;
+        return {util::strfmt("%.2f", stable), std::to_string(switches),
+                std::to_string(smoothing.smoothed_intervals),
+                util::strfmt("%.1f", cycles)};
+      });
+  for (auto& row : ablation_rows) ablation.add_row(std::move(row.value));
   ablation.print(std::cout);
 
   std::cout << "\npaper shape: raising the CDF level smooths more intervals "

@@ -1,0 +1,145 @@
+// Microbenchmark of the smoother::runtime subsystem itself.
+//
+// Two workloads, each measured at 1/2/4/8 worker threads:
+//   * sweep   — the Fig. 6 threshold-sweep grid, widened to 28 points
+//               (7 CDF levels x 4 stable_cdf splits) so there is enough
+//               parallel slack to measure; each task is one full
+//               smooth + dispatch pass over a week-long trace.
+//   * tiny    — 10,000 near-empty tasks through ThreadPool::submit, the
+//               pure scheduling-overhead number (tasks/sec).
+//
+// Emits BENCH_runtime.json (and the same JSON on stdout) so future PRs
+// have a perf trajectory to regress against, and asserts that the sweep
+// results are byte-identical across thread counts — the determinism
+// contract, checked on every bench run.
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace smoother;
+using namespace smoother::bench;
+
+struct SweepMeasurement {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  std::string digest;  ///< serialized results, for the determinism check
+};
+
+/// One full threshold-sweep grid pass; returns total wall ms and the
+/// serialized per-point results.
+SweepMeasurement run_threshold_grid(const sim::WebScenario& scenario,
+                                    std::size_t threads) {
+  runtime::ParamGrid grid;
+  grid.axis("cdf_level", {0.80, 0.85, 0.90, 0.95, 0.98, 0.995, 1.0})
+      .axis("stable_cdf", {0.0, 0.10, 0.25, 0.40});
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "micro-runtime-sweep"});
+  const auto results = runner.run_grid(
+      grid, [&scenario](const runtime::ParamGrid::Point& point,
+                        runtime::TaskContext&) {
+        auto config = sim::default_config(kCapacitySmall);
+        config.extreme_cdf = point["cdf_level"];
+        config.stable_cdf = point["stable_cdf"];
+        const core::Smoother middleware(config);
+        const auto smoothing = middleware.smooth_supply(scenario.supply);
+        return sim::dispatch(smoothing.supply, scenario.demand,
+                             sim::DispatchPolicy::kDirect)
+            .switching_times;
+      });
+  std::ostringstream digest;
+  for (const auto& result : results)
+    digest << result.index << ":" << result.value << ";";
+  SweepMeasurement measurement;
+  measurement.threads = threads;
+  measurement.wall_ms = runner.last_wall_ms();
+  measurement.digest = digest.str();
+  return measurement;
+}
+
+/// Scheduling overhead: 10k trivial tasks through submit(), in tasks/sec.
+double tiny_task_throughput(std::size_t threads) {
+  constexpr std::size_t kTasks = 10000;
+  runtime::ThreadPool pool(threads);
+  std::atomic<std::size_t> done{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kTasks; ++i)
+    (void)pool.submit([&done] { done.fetch_add(1); });
+  pool.help_while([&done] { return done.load() == kTasks; });
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(kTasks) / elapsed.count();
+}
+
+}  // namespace
+
+int main() {
+  sim::print_experiment_header(
+      std::cout, "micro: runtime",
+      "serial-vs-parallel speedup of the work-stealing sweep engine");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+
+  const std::vector<std::size_t> ladder = {1, 2, 4, 8};
+
+  // Best-of-3 per thread count keeps scheduling noise out of the
+  // trajectory the JSON records.
+  std::vector<SweepMeasurement> sweep;
+  for (const std::size_t threads : ladder) {
+    SweepMeasurement best;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto measurement = run_threshold_grid(scenario, threads);
+      if (rep == 0 || measurement.wall_ms < best.wall_ms) best = measurement;
+    }
+    sweep.push_back(best);
+  }
+  for (auto& measurement : sweep)
+    measurement.speedup = sweep.front().wall_ms / measurement.wall_ms;
+
+  bool deterministic = true;
+  for (const auto& measurement : sweep)
+    deterministic = deterministic &&
+                    (measurement.digest == sweep.front().digest);
+
+  std::vector<double> tiny;
+  tiny.reserve(ladder.size());
+  for (const std::size_t threads : ladder)
+    tiny.push_back(tiny_task_throughput(threads));
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"micro_runtime\",\n"
+       << "  \"grid\": \"fig06_threshold_sweep (7 levels x 4 splits)\",\n"
+       << "  \"grid_tasks\": 28,\n"
+       << "  \"hardware_concurrency\": "
+       << runtime::resolve_thread_count(0) << ",\n"
+       << "  \"deterministic_across_threads\": "
+       << (deterministic ? "true" : "false") << ",\n"
+       << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    json << util::strfmt(
+        "    {\"threads\": %zu, \"wall_ms\": %.2f, \"speedup\": %.2f}%s\n",
+        sweep[i].threads, sweep[i].wall_ms, sweep[i].speedup,
+        i + 1 < sweep.size() ? "," : "");
+  json << "  ],\n"
+       << "  \"tiny_tasks\": [\n";
+  for (std::size_t i = 0; i < tiny.size(); ++i)
+    json << util::strfmt(
+        "    {\"threads\": %zu, \"tasks_per_sec\": %.0f}%s\n", ladder[i],
+        tiny[i], i + 1 < tiny.size() ? "," : "");
+  json << "  ]\n}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_runtime.json");
+  out << json.str();
+  std::cout << "\nwrote BENCH_runtime.json"
+            << (deterministic
+                    ? "; sweep results byte-identical at every thread count.\n"
+                    : "; WARNING: results differed across thread counts!\n");
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+#include "smoother/runtime/sweep_runner.hpp"
+
+namespace smoother::runtime {
+
+double ParamGrid::Point::operator[](const std::string& name) const {
+  for (const auto& [axis_name, value] : values)
+    if (axis_name == name) return value;
+  throw std::out_of_range("ParamGrid::Point: unknown axis '" + name + "'");
+}
+
+ParamGrid& ParamGrid::axis(std::string name, std::vector<double> values) {
+  if (values.empty())
+    throw std::invalid_argument("ParamGrid: axis '" + name + "' is empty");
+  axes_.emplace_back(std::move(name), std::move(values));
+  return *this;
+}
+
+std::size_t ParamGrid::size() const {
+  if (axes_.empty()) return 0;
+  std::size_t product = 1;
+  for (const auto& [name, values] : axes_) product *= values.size();
+  return product;
+}
+
+ParamGrid::Point ParamGrid::at(std::size_t index) const {
+  if (index >= size())
+    throw std::out_of_range("ParamGrid::at: index past the grid end");
+  Point point;
+  point.index = index;
+  point.values.reserve(axes_.size());
+  // Mixed-radix decode, last axis fastest: matches nested for-loops
+  // written in axis declaration order.
+  std::size_t remainder = index;
+  std::size_t stride = size();
+  for (const auto& [name, values] : axes_) {
+    stride /= values.size();
+    const std::size_t digit = remainder / stride;
+    remainder %= stride;
+    point.values.emplace_back(name, values[digit]);
+  }
+  return point;
+}
+
+}  // namespace smoother::runtime

@@ -1,0 +1,148 @@
+// SweepRunner: parallel execution of named parameter grids.
+//
+// The unit of work is one grid point (one scenario evaluation). The runner
+// executes points on a work-stealing ThreadPool, hands each task its own
+// deterministic Rng stream (TaskRng), captures per-task wall time, and
+// collects results *ordered by grid index* — so the output of a sweep is
+// byte-identical at --threads 1 and --threads 64, and a serial run is just
+// the degenerate single-thread case.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "smoother/runtime/task_rng.hpp"
+#include "smoother/runtime/thread_pool.hpp"
+
+namespace smoother::runtime {
+
+/// Cartesian product of named value axes, enumerated in nested-loop order
+/// (the first axis varies slowest) so a sweep's index order matches the
+/// serial for-loops it replaces.
+class ParamGrid {
+ public:
+  /// One enumerated grid point: the value of every axis plus its index.
+  struct Point {
+    std::size_t index = 0;
+    std::vector<std::pair<std::string, double>> values;
+
+    /// Axis value by name; throws std::out_of_range for unknown names.
+    [[nodiscard]] double operator[](const std::string& name) const;
+  };
+
+  /// Appends an axis. Returns *this so grids read as a builder chain.
+  ParamGrid& axis(std::string name, std::vector<double> values);
+
+  /// Number of grid points (product of axis sizes; 0 with no axes).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] std::size_t axis_count() const { return axes_.size(); }
+
+  /// Decodes the point at `index` (mixed-radix, first axis slowest).
+  [[nodiscard]] Point at(std::size_t index) const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<double>>> axes_;
+};
+
+/// Everything a sweep task may depend on besides its parameters: its grid
+/// index and its private deterministic random stream.
+struct TaskContext {
+  std::size_t index = 0;
+  util::Rng rng;
+};
+
+/// One collected task result.
+template <class T>
+struct SweepResult {
+  std::size_t index;
+  double wall_ms;  ///< this task's own wall time
+  T value;
+};
+
+struct SweepOptions {
+  std::size_t threads = 0;  ///< 0 = hardware_concurrency; 1 = strictly serial
+  std::uint64_t seed = 0;   ///< root seed for per-task Rng streams
+  std::string name;         ///< sweep label for logs/JSON
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {})
+      : options_(std::move(options)) {}
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  [[nodiscard]] std::size_t threads() const {
+    return options_.threads == 1 ? 1 : resolve_thread_count(options_.threads);
+  }
+
+  [[nodiscard]] const std::string& name() const { return options_.name; }
+
+  /// Wall time of the most recent run()/run_grid() call, in milliseconds.
+  [[nodiscard]] double last_wall_ms() const { return last_wall_ms_; }
+
+  /// Executes fn(ctx) for task indices [0, task_count); returns results
+  /// ordered by index. With threads == 1 the tasks run in index order on
+  /// the calling thread (no pool) — the serial baseline. Exceptions from
+  /// tasks propagate (first one wins).
+  template <class F>
+  auto run(std::size_t task_count, F&& fn)
+      -> std::vector<SweepResult<std::invoke_result_t<F&, TaskContext&>>> {
+    using T = std::invoke_result_t<F&, TaskContext&>;
+    const TaskRng rng(options_.seed);
+    auto one = [&fn, &rng](std::size_t i) -> SweepResult<T> {
+      TaskContext ctx{i, rng.for_task(i)};
+      const auto start = std::chrono::steady_clock::now();
+      T value = fn(ctx);
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      return SweepResult<T>{i, elapsed.count(), std::move(value)};
+    };
+
+    const auto sweep_start = std::chrono::steady_clock::now();
+    std::vector<SweepResult<T>> results;
+    if (threads() == 1) {
+      results.reserve(task_count);
+      for (std::size_t i = 0; i < task_count; ++i) results.push_back(one(i));
+    } else {
+      results = pool().parallel_map(task_count, one);
+    }
+    const std::chrono::duration<double, std::milli> sweep_elapsed =
+        std::chrono::steady_clock::now() - sweep_start;
+    last_wall_ms_ = sweep_elapsed.count();
+    return results;
+  }
+
+  /// Grid variant: fn(point, ctx) per grid point, ordered by grid index.
+  template <class F>
+  auto run_grid(const ParamGrid& grid, F&& fn)
+      -> std::vector<SweepResult<
+          std::invoke_result_t<F&, const ParamGrid::Point&, TaskContext&>>> {
+    return run(grid.size(), [&grid, &fn](TaskContext& ctx) {
+      const ParamGrid::Point point = grid.at(ctx.index);
+      return fn(point, ctx);
+    });
+  }
+
+ private:
+  ThreadPool& pool() {
+    if (!pool_) pool_ = std::make_unique<ThreadPool>(threads());
+    return *pool_;
+  }
+
+  SweepOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  double last_wall_ms_ = 0.0;
+};
+
+}  // namespace smoother::runtime

@@ -1,0 +1,41 @@
+// Deterministic per-task random streams.
+//
+// A parallel sweep must produce bit-identical results whether it runs on
+// 1 thread or 64, and regardless of which worker executes which task. A
+// shared Rng cannot deliver that — draw order would depend on scheduling.
+// TaskRng instead *splits* the root seed into one independent stream per
+// task index (util::Rng::split, a pure function of (seed, index)), the
+// approach FoundationDB's deterministic simulation popularised: randomness
+// is keyed by logical identity, never by execution order.
+#pragma once
+
+#include <cstdint>
+
+#include "smoother/util/rng.hpp"
+
+namespace smoother::runtime {
+
+class TaskRng {
+ public:
+  explicit TaskRng(std::uint64_t root_seed) : root_seed_(root_seed) {}
+
+  [[nodiscard]] std::uint64_t root_seed() const { return root_seed_; }
+
+  /// The independent stream for one task. Pure: any thread may call this
+  /// concurrently, and the result depends only on (root_seed, task_index).
+  [[nodiscard]] util::Rng for_task(std::uint64_t task_index) const {
+    return util::Rng(root_seed_).split(task_index);
+  }
+
+  /// A named sub-stream within one task, for tasks that need several
+  /// independent generators (e.g. one per wind site).
+  [[nodiscard]] util::Rng for_task(std::uint64_t task_index,
+                                   std::uint64_t substream) const {
+    return util::Rng(root_seed_).split(task_index).split(substream);
+  }
+
+ private:
+  std::uint64_t root_seed_;
+};
+
+}  // namespace smoother::runtime

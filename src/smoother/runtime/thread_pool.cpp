@@ -1,0 +1,122 @@
+#include "smoother/runtime/thread_pool.hpp"
+
+namespace smoother::runtime {
+
+thread_local const ThreadPool* ThreadPool::tl_pool_ = nullptr;
+thread_local std::size_t ThreadPool::tl_index_ = 0;
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t count = resolve_thread_count(thread_count);
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true);
+  {
+    // Taking the lock orders the store against a worker's predicate check,
+    // so no worker can park after missing the stop signal.
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+  }
+  park_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::push(std::function<void()> task) {
+  // A worker submitting to its own pool pushes onto its own deque bottom
+  // (LIFO — depth-first, cache-warm); external submitters round-robin
+  // across the deques so load starts spread out.
+  std::size_t target = 0;
+  if (tl_pool_ == this) {
+    target = tl_index_;
+  } else {
+    target = next_queue_.fetch_add(1) % queues_.size();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lock(park_mutex_);
+  }
+  park_cv_.notify_one();
+}
+
+bool ThreadPool::pop_own(std::size_t index, std::function<void()>& out) {
+  Queue& queue = *queues_[index];
+  const std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  out = std::move(queue.tasks.back());  // owner end: bottom (LIFO)
+  queue.tasks.pop_back();
+  queued_.fetch_sub(1);
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t thief, std::function<void()>& out) {
+  const std::size_t count = queues_.size();
+  for (std::size_t offset = 1; offset < count; ++offset) {
+    Queue& victim = *queues_[(thief + offset) % count];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.front());  // thief end: top (FIFO)
+    victim.tasks.pop_front();
+    queued_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::steal_any(std::function<void()>& out) {
+  for (auto& entry : queues_) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->tasks.empty()) continue;
+    out = std::move(entry->tasks.front());
+    entry->tasks.pop_front();
+    queued_.fetch_sub(1);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_pending_task() {
+  std::function<void()> task;
+  const bool found = (tl_pool_ == this)
+                         ? (pop_own(tl_index_, task) || steal(tl_index_, task))
+                         : steal_any(task);
+  if (!found) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool_ = this;
+  tl_index_ = index;
+  for (;;) {
+    std::function<void()> task;
+    if (pop_own(index, task) || steal(index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    park_cv_.wait(lock, [this] {
+      return stopping_.load() || queued_.load() > 0;
+    });
+    // Graceful shutdown: only exit once every queued task has been taken;
+    // tasks still *executing* on other workers may push more, which keeps
+    // queued_ > 0 and keeps us alive until the pool is truly drained.
+    if (stopping_.load() && queued_.load() == 0) return;
+  }
+}
+
+}  // namespace smoother::runtime

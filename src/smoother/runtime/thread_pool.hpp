@@ -1,0 +1,174 @@
+// Work-stealing thread pool: the execution engine behind Smoother's
+// parallel sweeps and benches.
+//
+// Structure (Chase–Lev discipline, mutex-guarded deques):
+//   * one deque per worker; the owner pushes and pops at the *bottom*
+//     (LIFO, keeps the hot task cache-warm), thieves steal from the *top*
+//     (FIFO, takes the oldest — usually largest — piece of work);
+//   * idle workers park on a condition variable and are woken by submits;
+//   * shutdown is graceful: the destructor lets every already-submitted
+//     task run to completion before joining.
+//
+// Each per-worker deque is guarded by its own mutex rather than the
+// lock-free Chase–Lev protocol: contention is one cheap lock per *task*
+// (Smoother's tasks are whole scenario evaluations, micro- to milli-
+// seconds each), and the mutex variant is trivially ThreadSanitizer-clean.
+//
+// Determinism contract: the pool schedules tasks in an unspecified order
+// on an unspecified thread. Anything that must be reproducible therefore
+// derives its randomness from the *task index* (see task_rng.hpp), never
+// from shared mutable state or the executing thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smoother::runtime {
+
+/// Resolves a requested thread count: 0 means "all hardware threads"
+/// (never less than 1).
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+ public:
+  /// Starts `thread_count` workers (0 = hardware_concurrency).
+  explicit ThreadPool(std::size_t thread_count = 0);
+
+  /// Graceful shutdown: every task submitted before destruction runs to
+  /// completion (including tasks those tasks submit), then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return queues_.size(); }
+
+  /// Schedules `f(args...)` and returns a future for its result. An
+  /// exception thrown by the task is captured and rethrown by
+  /// `future.get()`.
+  template <class F, class... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
+    using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... captured = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(captured)...);
+        });
+    std::future<R> future = task->get_future();
+    push([task] { (*task)(); });
+    return future;
+  }
+
+  /// Calls `fn(i)` for every i in [0, n), distributed over the pool; the
+  /// calling thread participates, so the call also works from inside a
+  /// pool task (nested parallelism) and on a pool whose workers are all
+  /// busy. Blocks until every index ran. The first exception thrown by any
+  /// `fn(i)` is rethrown here (remaining indices are skipped; in-flight
+  /// ones finish).
+  template <class F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    struct State {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> finished_runners{0};
+      std::atomic<bool> failed{false};
+      std::mutex error_mutex;
+      std::exception_ptr error;
+    };
+    auto state = std::make_shared<State>();
+    // The caller outlives the loop (it blocks below), so runners may hold
+    // plain references to fn.
+    auto body = [state, &fn, n] {
+      std::size_t i = 0;
+      while (!state->failed.load() && (i = state->next.fetch_add(1)) < n) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->error) state->error = std::current_exception();
+          state->failed.store(true);
+        }
+      }
+    };
+    // One runner per worker (capped by n); the caller is an extra runner.
+    const std::size_t runners = std::min(worker_count(), n);
+    for (std::size_t r = 0; r < runners; ++r) {
+      push([state, body] {
+        body();
+        state->finished_runners.fetch_add(1);
+      });
+    }
+    body();
+    // Help drain the pool while waiting so nested parallel_for calls and
+    // fully-busy pools make progress instead of deadlocking.
+    help_while([&] { return state->finished_runners.load() == runners; });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+
+  /// parallel_for that collects `fn(i)` into a vector ordered by index.
+  template <class F>
+  auto parallel_map(std::size_t n, F&& fn)
+      -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+    using R = std::invoke_result_t<F&, std::size_t>;
+    std::vector<std::optional<R>> slots(n);
+    parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Runs queued tasks on the calling thread until `done()` returns true.
+  /// Safe from worker threads and external threads alike; the building
+  /// block for blocking on pool work without occupying a worker.
+  template <class Pred>
+  void help_while(Pred done) {
+    while (!done()) {
+      if (!run_pending_task()) std::this_thread::yield();
+    }
+  }
+
+  /// Pops (or steals) one queued task and runs it on the calling thread.
+  /// Returns false when no task was available.
+  bool run_pending_task();
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void push(std::function<void()> task);
+  void worker_loop(std::size_t index);
+  bool pop_own(std::size_t index, std::function<void()>& out);
+  bool steal(std::size_t thief, std::function<void()>& out);
+  bool steal_any(std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Worker identity of the current thread (set inside worker_loop); lets
+  // push() go to the calling worker's own deque bottom.
+  static thread_local const ThreadPool* tl_pool_;
+  static thread_local std::size_t tl_index_;
+};
+
+}  // namespace smoother::runtime

@@ -1,5 +1,7 @@
 #include "smoother/sim/experiments.hpp"
 
+#include "smoother/runtime/sweep_runner.hpp"
+
 namespace smoother::sim {
 
 core::SmootherConfig default_config(util::Kilowatts installed_capacity) {
@@ -100,6 +102,45 @@ CombinedComparison run_combined_comparison(
                util::kOneMinute)
           .switching_times;
   return result;
+}
+
+std::vector<TimedComparison<SwitchingComparison>> run_switching_comparisons(
+    const std::vector<WebScenario>& scenarios,
+    const core::SmootherConfig& config, std::size_t threads) {
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "switching-comparisons"});
+  auto results = runner.run(
+      scenarios.size(),
+      [&scenarios, &config](runtime::TaskContext& ctx) {
+        const WebScenario& scenario = scenarios[ctx.index];
+        return run_switching_comparison(scenario.supply, scenario.demand,
+                                        config);
+      });
+  std::vector<TimedComparison<SwitchingComparison>> out;
+  out.reserve(results.size());
+  for (auto& result : results)
+    out.push_back({scenarios[result.index].name, result.value,
+                   result.wall_ms});
+  return out;
+}
+
+std::vector<TimedComparison<UtilizationComparison>>
+run_utilization_comparisons(const std::vector<BatchScenario>& scenarios,
+                            const core::SmootherConfig& config,
+                            std::size_t threads) {
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "utilization-comparisons"});
+  auto results = runner.run(
+      scenarios.size(),
+      [&scenarios, &config](runtime::TaskContext& ctx) {
+        return run_utilization_comparison(scenarios[ctx.index], config);
+      });
+  std::vector<TimedComparison<UtilizationComparison>> out;
+  out.reserve(results.size());
+  for (auto& result : results)
+    out.push_back({scenarios[result.index].name, result.value,
+                   result.wall_ms});
+  return out;
 }
 
 }  // namespace smoother::sim

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "smoother/core/smoother.hpp"
 #include "smoother/sim/dispatch.hpp"
@@ -76,5 +78,30 @@ struct CombinedComparison {
 
 [[nodiscard]] CombinedComparison run_combined_comparison(
     const BatchScenario& scenario, const core::SmootherConfig& config);
+
+// ---------------------------------------------------------------------------
+// Parallel variants: the same arms evaluated over *many* scenarios at once
+// on the smoother::runtime work-stealing pool. Results come back ordered by
+// scenario index with per-scenario wall time, so output is identical for
+// any thread count; threads == 1 is the serial loop these replace,
+// threads == 0 means one worker per hardware thread.
+
+/// One scenario's comparison plus the wall time its evaluation took.
+template <class T>
+struct TimedComparison {
+  std::string name;
+  T comparison;
+  double wall_ms = 0.0;
+};
+
+[[nodiscard]] std::vector<TimedComparison<SwitchingComparison>>
+run_switching_comparisons(const std::vector<WebScenario>& scenarios,
+                          const core::SmootherConfig& config,
+                          std::size_t threads = 0);
+
+[[nodiscard]] std::vector<TimedComparison<UtilizationComparison>>
+run_utilization_comparisons(const std::vector<BatchScenario>& scenarios,
+                            const core::SmootherConfig& config,
+                            std::size_t threads = 0);
 
 }  // namespace smoother::sim

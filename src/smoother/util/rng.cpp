@@ -94,7 +94,26 @@ double Rng::pareto(double xm, double alpha) {
 Rng Rng::fork() {
   Xoshiro256 child = engine_;
   engine_.jump();  // parent moves to a disjoint subsequence
-  return Rng(child);
+  // Forked children keep split() usable: each fork gets a distinct derived
+  // seed (the fork counter is part of the identity, so repeated forks of
+  // the same parent split into distinct stream families).
+  return Rng(child,
+             derive_stream_seed(seed_, 0x8000000000000000ULL + forks_++));
+}
+
+std::uint64_t Rng::derive_stream_seed(std::uint64_t seed,
+                                      std::uint64_t stream_id) {
+  // Two rounds of splitmix64 finalization over (seed, stream_id). A single
+  // xor would make streams of nearby ids correlate; running the id through
+  // the full avalanche mixer first decorrelates them. stream_id 0 is also
+  // distinct from the base seed itself.
+  SplitMix64 id_mixer(stream_id ^ 0xa3ec647659359acdULL);
+  SplitMix64 seed_mixer(seed ^ id_mixer.next());
+  return seed_mixer.next();
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  return Rng(derive_stream_seed(seed_, stream_id));
 }
 
 }  // namespace smoother::util

@@ -89,7 +89,7 @@ class Xoshiro256 {
 /// distributions) so that generated traces are identical on every platform.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Uniform in [0, 1).
   double uniform();
@@ -132,10 +132,28 @@ class Rng {
   /// Fork an independent stream (jump-ahead); the parent stream advances.
   Rng fork();
 
+  /// Derive the independent stream `stream_id` of this generator's seed.
+  ///
+  /// Unlike fork(), split() is a pure function of the construction seed and
+  /// the stream id: it does not advance the parent, the same id always
+  /// yields the same stream, and the order in which ids are requested is
+  /// irrelevant. This is the primitive behind deterministic parallelism —
+  /// task i draws from split(i), so results are bit-identical no matter
+  /// how tasks are scheduled across threads.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
+  /// The seed value used to derive split() streams from (seed, stream_id).
+  /// Exposed so tests can pin the derivation.
+  static std::uint64_t derive_stream_seed(std::uint64_t seed,
+                                          std::uint64_t stream_id);
+
  private:
-  explicit Rng(Xoshiro256 engine) : engine_(engine) {}
+  explicit Rng(Xoshiro256 engine, std::uint64_t seed)
+      : engine_(engine), seed_(seed) {}
 
   Xoshiro256 engine_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t forks_ = 0;
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
 };

@@ -89,6 +89,61 @@ TEST(CombinedExperiment, FsPlusAdReducesSwitching) {
   EXPECT_GT(comparison.reduction_percent(), 25.0);
 }
 
+TEST(ParallelExperiments, SwitchingMatchesSerialArmForArm) {
+  // The parallel variant must agree with per-scenario serial calls, keep
+  // input order, and do so for any thread count.
+  const Kilowatts capacity{976.0};
+  const auto config = default_config(capacity);
+  std::vector<WebScenario> scenarios;
+  for (const auto& web : trace::WebWorkloadPresets::all())
+    scenarios.push_back(make_web_scenario(web,
+                                          trace::WindSitePresets::texas_10(),
+                                          capacity, util::days(2.0), 7));
+  const auto serial = run_switching_comparisons(scenarios, config, 1);
+  const auto parallel = run_switching_comparisons(scenarios, config, 4);
+  ASSERT_EQ(serial.size(), scenarios.size());
+  ASSERT_EQ(parallel.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(serial[i].name, scenarios[i].name);
+    EXPECT_EQ(parallel[i].name, scenarios[i].name);
+    EXPECT_EQ(parallel[i].comparison.without_fs,
+              serial[i].comparison.without_fs);
+    EXPECT_EQ(parallel[i].comparison.with_comp,
+              serial[i].comparison.with_comp);
+    EXPECT_EQ(parallel[i].comparison.with_fs, serial[i].comparison.with_fs);
+    EXPECT_GE(parallel[i].wall_ms, 0.0);
+
+    const auto direct = run_switching_comparison(scenarios[i].supply,
+                                                 scenarios[i].demand, config);
+    EXPECT_EQ(serial[i].comparison.with_fs, direct.with_fs);
+  }
+}
+
+TEST(ParallelExperiments, UtilizationMatchesSerial) {
+  std::vector<BatchScenario> scenarios;
+  scenarios.push_back(make_batch_scenario(
+      trace::BatchWorkloadPresets::hpc2n(),
+      trace::WindSitePresets::colorado_11005(), 0.5, util::days(1.0), 11000,
+      77));
+  scenarios.push_back(make_batch_scenario(
+      trace::BatchWorkloadPresets::lanl_cm5(),
+      trace::WindSitePresets::texas_10(), 1.0, util::days(1.0), 11000, 5));
+  const auto config = default_config(Kilowatts{scenarios[0].supply.max()});
+  const auto serial = run_utilization_comparisons(scenarios, config, 1);
+  const auto parallel = run_utilization_comparisons(scenarios, config, 2);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(serial[i].name, scenarios[i].name);
+    EXPECT_DOUBLE_EQ(parallel[i].comparison.with_ad,
+                     serial[i].comparison.with_ad);
+    EXPECT_DOUBLE_EQ(parallel[i].comparison.without_ad,
+                     serial[i].comparison.without_ad);
+    EXPECT_EQ(parallel[i].comparison.deadline_misses_with,
+              serial[i].comparison.deadline_misses_with);
+  }
+}
+
 TEST(CombinedExperiment, ReductionPercentHelper) {
   CombinedComparison c;
   c.without_fs = 100;

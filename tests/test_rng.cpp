@@ -168,6 +168,106 @@ TEST(Rng, ForkIsDeterministic) {
   for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
 }
 
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(123), b(123);
+  Rng sa = a.split(7);
+  Rng sb = b.split(7);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(sa.uniform(), sb.uniform());
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(55), b(55);
+  (void)a.split(1);
+  (void)a.split(2);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SplitOrderDoesNotMatter) {
+  // split() is a pure function of (seed, stream_id): requesting streams in
+  // any order — even interleaved with draws — yields the same streams.
+  Rng forward(321);
+  Rng s1 = forward.split(1);
+  Rng s2 = forward.split(2);
+
+  Rng backward(321);
+  Rng t2 = backward.split(2);
+  for (int i = 0; i < 10; ++i) (void)backward.uniform();
+  Rng t1 = backward.split(1);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(s1.uniform(), t1.uniform());
+    EXPECT_DOUBLE_EQ(s2.uniform(), t2.uniform());
+  }
+}
+
+TEST(Rng, SplitStreamsDifferFromParentAndEachOther) {
+  Rng parent(77);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int equal_parent = 0, equal_sibling = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double p = parent.uniform();
+    const double u0 = s0.uniform();
+    const double u1 = s1.uniform();
+    if (p == u0) ++equal_parent;
+    if (u0 == u1) ++equal_sibling;
+  }
+  EXPECT_LT(equal_parent, 5);
+  EXPECT_LT(equal_sibling, 5);
+}
+
+TEST(Rng, SplitStreamsDoNotCorrelate) {
+  // Pearson correlation between sibling streams (including the adjacent-id
+  // pairs a weak mixer would couple) stays near zero.
+  Rng root(2024);
+  const int n = 20000;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    Rng a = root.split(id);
+    Rng b = root.split(id + 1);
+    double sum_a = 0.0, sum_b = 0.0, sum_ab = 0.0, sum_a2 = 0.0,
+           sum_b2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double x = a.uniform();
+      const double y = b.uniform();
+      sum_a += x;
+      sum_b += y;
+      sum_ab += x * y;
+      sum_a2 += x * x;
+      sum_b2 += y * y;
+    }
+    const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+    const double var_a = sum_a2 / n - (sum_a / n) * (sum_a / n);
+    const double var_b = sum_b2 / n - (sum_b / n) * (sum_b / n);
+    const double correlation = cov / std::sqrt(var_a * var_b);
+    EXPECT_NEAR(correlation, 0.0, 0.03)
+        << "streams " << id << " and " << id + 1 << " correlate";
+  }
+}
+
+TEST(Rng, SplitOfSplitIsIndependent) {
+  // Nested splitting (task -> substream) keeps producing fresh streams.
+  Rng root(11);
+  Rng task = root.split(3);
+  Rng sub0 = task.split(0);
+  Rng sub1 = task.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (sub0.uniform() == sub1.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkedChildrenSplitIntoDistinctFamilies) {
+  Rng parent(500);
+  Rng child_a = parent.fork();
+  Rng child_b = parent.fork();
+  Rng sa = child_a.split(0);
+  Rng sb = child_b.split(0);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (sa.uniform() == sb.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
 TEST(Xoshiro, KnownBitsAreStable) {
   // Regression pin: the first outputs for a fixed seed must never change,
   // or every generated trace in the repo silently changes.

@@ -1,0 +1,185 @@
+#include "smoother/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smoother::runtime {
+namespace {
+
+TEST(ThreadPool, StartsAndStopsCleanly) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.worker_count(), threads);
+  }
+  // No tasks submitted at all: destructor must still return.
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitForwardsArguments) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([](int a, const std::string& b) { return b + std::to_string(a); },
+                  7, std::string("x"));
+  EXPECT_EQ(future.get(), "x7");
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, QueuedTasksFinishBeforeShutdown) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i)
+      (void)pool.submit([&count] { count.fetch_add(1); });
+    // Destructor drains the queues before joining (graceful shutdown).
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, NestedSubmissionCompletes) {
+  std::atomic<int> inner_done{0};
+  {
+    ThreadPool pool(2);
+    auto outer = pool.submit([&pool, &inner_done] {
+      // A task submitting more tasks must not deadlock, even when every
+      // worker is occupied; help_while lets the waiting task drain the
+      // pool itself.
+      std::vector<std::future<void>> inner;
+      inner.reserve(16);
+      for (int i = 0; i < 16; ++i)
+        inner.push_back(pool.submit([&inner_done] { inner_done.fetch_add(1); }));
+      pool.help_while([&inner_done] { return inner_done.load() == 16; });
+      for (auto& f : inner) f.get();
+      return true;
+    });
+    EXPECT_TRUE(outer.get());
+  }
+  EXPECT_EQ(inner_done.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForOnSingleWorkerPool) {
+  // The degenerate pool: one worker, nested parallelism. The caller
+  // participates in its own loops, so this terminates.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, StressTenThousandTinyTasks) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(10000);
+  for (std::size_t i = 0; i < 10000; ++i)
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 10000u * 9999u / 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::invalid_argument("boom");
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  ThreadPool pool(4);
+  const auto squares =
+      pool.parallel_map(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 64u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, ParallelMapMoveOnlyResults) {
+  ThreadPool pool(2);
+  auto ptrs = pool.parallel_map(
+      8, [](std::size_t i) { return std::make_unique<std::size_t>(i); });
+  for (std::size_t i = 0; i < ptrs.size(); ++i) EXPECT_EQ(*ptrs[i], i);
+}
+
+TEST(ThreadPool, HelpWhileFromExternalThreadRunsTasks) {
+  ThreadPool pool(1);
+  // Saturate the single worker with a task that waits for a flag only an
+  // external helper can set by executing the second task.
+  std::atomic<bool> flag{false};
+  auto blocker = pool.submit([&pool, &flag] {
+    pool.help_while([&flag] { return flag.load(); });
+  });
+  (void)pool.submit([&flag] { flag.store(true); });
+  blocker.get();
+  EXPECT_TRUE(flag.load());
+}
+
+TEST(ThreadPool, RunPendingTaskReportsEmptiness) {
+  ThreadPool pool(2);
+  // Eventually the queues drain; afterwards there is nothing to run.
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&ran] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_FALSE(pool.run_pending_task());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(250);
+      for (int i = 0; i < 250; ++i)
+        futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+}  // namespace
+}  // namespace smoother::runtime

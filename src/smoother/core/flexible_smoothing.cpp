@@ -38,8 +38,8 @@ FlexibleSmoothing::FlexibleSmoothing(FlexibleSmoothingConfig config)
 }
 
 IntervalPlan FlexibleSmoothing::plan_interval(
-    const util::TimeSeries& generation,
-    const battery::Battery& battery) const {
+    const util::TimeSeries& generation, const battery::Battery& battery,
+    const solver::QpSettings* qp_override) const {
   const std::size_t m = generation.size();
   if (m < 2)
     throw std::invalid_argument(
@@ -85,7 +85,8 @@ IntervalPlan FlexibleSmoothing::plan_interval(
     problem.upper[m + i] = std::max(cum_upper, 0.0);
   }
 
-  const solver::QpResult solution = solver::solve_qp(problem, config_.qp);
+  const solver::QpResult solution =
+      solver::solve_qp(problem, qp_override ? *qp_override : config_.qp);
 
   IntervalPlan plan;
   plan.solver_status = solution.status;

@@ -103,10 +103,13 @@ class FlexibleSmoothing {
   /// per-hour mode, or several when called from the receding-horizon path.
   /// `battery` provides capacity, rate limits and the current state of
   /// charge. Pure function of its inputs — the battery is not mutated.
+  /// `qp_override`, when non-null, replaces the configured solver settings
+  /// for this one plan (live solver retuning; the fault-injection harness
+  /// uses it to force non-convergence through the real code path).
   /// Throws std::invalid_argument for windows shorter than 2 samples.
   [[nodiscard]] IntervalPlan plan_interval(
-      const util::TimeSeries& generation,
-      const battery::Battery& battery) const;
+      const util::TimeSeries& generation, const battery::Battery& battery,
+      const solver::QpSettings* qp_override = nullptr) const;
 
   /// Executes a plan against the battery: applies each signed step and
   /// returns the delivered power series (kW), which may deviate from the

@@ -1,7 +1,9 @@
 #include "smoother/core/online.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "smoother/power/capacity_factor.hpp"
@@ -9,6 +11,32 @@
 #include "smoother/stats/descriptive.hpp"
 
 namespace smoother::core {
+
+namespace {
+
+/// The guard inherits the smoother's rated power unless explicitly set.
+resilience::TelemetryGuardConfig guard_config(
+    const OnlineSmootherConfig& config) {
+  resilience::TelemetryGuardConfig guard = config.telemetry_guard;
+  if (guard.rated_power_kw <= 0.0)
+    guard.rated_power_kw = config.rated_power.value();
+  return guard;
+}
+
+resilience::FallbackReason fallback_reason_for(resilience::FaultKind kind) {
+  switch (kind) {
+    case resilience::FaultKind::kOracleThrow:
+    case resilience::FaultKind::kOracleBadLength:
+    case resilience::FaultKind::kOracleStale:
+      return resilience::FallbackReason::kOracleFailed;
+    case resilience::FaultKind::kSolverFailure:
+      return resilience::FallbackReason::kSolverNotConverged;
+    default:
+      return resilience::FallbackReason::kInternalError;
+  }
+}
+
+}  // namespace
 
 void OnlineSmootherConfig::validate() const {
   flexible_smoothing.validate();
@@ -27,6 +55,13 @@ void OnlineSmootherConfig::validate() const {
   if (!(0.0 <= stable_cdf && stable_cdf < extreme_cdf && extreme_cdf <= 1.0))
     throw std::invalid_argument(
         "OnlineSmootherConfig: need 0 <= stable < extreme <= 1");
+  telemetry_guard.validate();
+  if (recovery_intervals == 0)
+    throw std::invalid_argument(
+        "OnlineSmootherConfig: recovery hysteresis must be >= 1 interval");
+  if (!(max_faulted_fraction >= 0.0 && max_faulted_fraction <= 1.0))
+    throw std::invalid_argument(
+        "OnlineSmootherConfig: max faulted fraction in [0,1]");
 }
 
 OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
@@ -34,6 +69,7 @@ OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
     : config_(config),
       smoothing_(config.flexible_smoothing),
       battery_(std::move(battery)),
+      guard_(guard_config(config)),
       output_(config.sample_step, std::vector<double>{}) {
   config_.validate();
   pending_.reserve(config_.flexible_smoothing.points_per_interval);
@@ -41,7 +77,21 @@ OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
 
 std::optional<OnlineIntervalRecord> OnlineSmoother::push(
     double generation_kw) {
-  pending_.push_back(std::max(generation_kw, 0.0));
+  return accept_sample(guard_.sanitize(generation_kw));
+}
+
+std::optional<OnlineIntervalRecord> OnlineSmoother::push_missing() {
+  return accept_sample(guard_.fill_gap());
+}
+
+std::optional<OnlineIntervalRecord> OnlineSmoother::accept_sample(
+    resilience::GuardedSample sample) {
+  ++health_.samples_seen;
+  if (sample.fault != resilience::FaultKind::kNone) {
+    health_.record_sample_fault(sample.fault);
+    ++pending_faulted_;
+  }
+  pending_.push_back(std::max(sample.value_kw, 0.0));
   if (pending_.size() < config_.flexible_smoothing.points_per_interval)
     return std::nullopt;
   process_interval();
@@ -49,12 +99,15 @@ std::optional<OnlineIntervalRecord> OnlineSmoother::push(
 }
 
 void OnlineSmoother::process_interval() {
+  using resilience::FallbackReason;
+
   const util::TimeSeries window(config_.sample_step, pending_);
 
   OnlineIntervalRecord record;
   record.index = records_.size();
   record.variance_before = window.variance();
   record.variance_after = record.variance_before;
+  record.degraded = mode_ == Mode::kDegraded;
 
   // Fluctuation measure consistent with the configured objective.
   const util::TimeSeries cf =
@@ -75,34 +128,84 @@ void OnlineSmoother::process_interval() {
   record.region = region;
   record.warmup = !calibrated_;
 
-  if (calibrated_ && region == Region::kSmoothable &&
-      (!previous_interval_.empty() || oracle_)) {
-    // Forecast of this interval as it would have looked at its start: the
-    // attached oracle if any, else persistence (the previous interval).
-    std::vector<double> predicted;
-    if (oracle_) {
-      predicted = oracle_(record.index);
-      if (predicted.size() != pending_.size())
-        throw std::runtime_error(
-            "OnlineSmoother: oracle returned wrong forecast length");
-      for (double& v : predicted) v = std::max(v, 0.0);
+  // Per-interval health inputs. The battery monitor is polled exactly once
+  // per interval; an interval whose window is mostly guard-fabricated data
+  // is not planned on.
+  const bool battery_ok =
+      !battery_monitor_ || battery_monitor_(record.index);
+  const bool telemetry_ok =
+      static_cast<double>(pending_faulted_) <=
+      config_.max_faulted_fraction * static_cast<double>(pending_.size());
+
+  const bool smoothable = calibrated_ && region == Region::kSmoothable &&
+                          (!previous_interval_.empty() || oracle_);
+
+  std::optional<util::TimeSeries> delivered;
+  if (!telemetry_ok) {
+    // Most of the window is guard-fabricated data: the variance
+    // classification itself rests on invented samples, so regardless of
+    // the region label the interval is not planned on — it passes through.
+    record.fallback = FallbackReason::kTelemetryUnreliable;
+  } else if (!battery_ok) {
+    // Recorded whatever the region: the interval was processed without the
+    // battery. (Keying the fallback on the injected fault alone — never on
+    // the corruption-sensitive region label — is what keeps measured
+    // fallback curves monotone in the injected fault rate.)
+    record.fallback = FallbackReason::kBatteryFaulted;
+  } else if (smoothable) {
+    if (mode_ == Mode::kDegraded) {
+      record.fallback = FallbackReason::kDegradedHold;
     } else {
-      predicted = previous_interval_;
+      auto planned = plan_and_execute(record.index, window);
+      if (planned) {
+        delivered = std::move(planned.value());
+      } else {
+        health_.record_interval_fault(planned.error().kind);
+        record.fallback = fallback_reason_for(planned.error().kind);
+      }
     }
-    const util::TimeSeries forecast(config_.sample_step,
-                                    std::move(predicted));
-    const IntervalPlan plan = smoothing_.plan_interval(forecast, battery_);
-    const util::TimeSeries smoothed =
-        smoothing_.execute_plan(plan, window, battery_);
-    for (std::size_t i = 0; i < smoothed.size(); ++i)
-      output_.push_back(smoothed[i]);
+    // Degraded handling: keep the stream smooth with the cheap
+    // persistence-tracking plan (the battery is usable on this branch);
+    // telemetry- and battery-faulted intervals pass through untouched.
+    if (!delivered && !previous_interval_.empty())
+      delivered = execute_fallback_plan(window);
+  }
+
+  if (delivered) {
+    for (std::size_t i = 0; i < delivered->size(); ++i)
+      output_.push_back((*delivered)[i]);
     record.smoothed = true;
-    record.variance_after = smoothed.variance();
+    record.variance_after = delivered->variance();
   } else {
     for (double v : pending_) output_.push_back(v);
   }
 
-  // Update the variance history and (re)derive thresholds for the future.
+  // Degraded-mode state machine. Any observed fault zeroes the healthy
+  // streak and enters degraded mode; `recovery_intervals` consecutive
+  // healthy intervals re-arm the QP path.
+  ++health_.intervals_seen;
+  health_.record_fallback(record.fallback);
+  const bool fault_observed =
+      !telemetry_ok || !battery_ok ||
+      record.fallback == FallbackReason::kOracleFailed ||
+      record.fallback == FallbackReason::kSolverNotConverged ||
+      record.fallback == FallbackReason::kInternalError;
+  if (fault_observed) {
+    healthy_streak_ = 0;
+    if (mode_ == Mode::kNormal) {
+      mode_ = Mode::kDegraded;
+      ++health_.degraded_entries;
+    }
+  } else if (mode_ == Mode::kDegraded &&
+             ++healthy_streak_ >= config_.recovery_intervals) {
+    mode_ = Mode::kNormal;
+    healthy_streak_ = 0;
+    ++health_.recoveries;
+  }
+
+  // Commit the stream state unconditionally — an interval that fell back
+  // must advance the pipeline exactly like a planned one, or every
+  // subsequent interval would be misaligned.
   variance_history_.push_back(record.cf_variance);
   while (variance_history_.size() > config_.history_intervals)
     variance_history_.pop_front();
@@ -113,7 +216,76 @@ void OnlineSmoother::process_interval() {
 
   previous_interval_ = pending_;
   pending_.clear();
+  pending_faulted_ = 0;
   records_.push_back(record);
+}
+
+resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(
+    std::size_t index, const util::TimeSeries& window) {
+  using resilience::Error;
+  using resilience::FaultKind;
+  try {
+    auto forecast = fetch_forecast(index);
+    if (!forecast) return forecast.error();
+    const util::TimeSeries predicted(config_.sample_step,
+                                     std::move(forecast.value()));
+    std::optional<solver::QpSettings> qp_override;
+    if (solver_hook_) qp_override = solver_hook_(index);
+    const IntervalPlan plan = smoothing_.plan_interval(
+        predicted, battery_, qp_override ? &*qp_override : nullptr);
+    if (plan.solver_status != solver::QpStatus::kSolved)
+      return Error{FaultKind::kSolverFailure,
+                   "QP status " + solver::to_string(plan.solver_status)};
+    return smoothing_.execute_plan(plan, window, battery_);
+  } catch (const std::exception& e) {
+    return Error{FaultKind::kInternalError, e.what()};
+  } catch (...) {
+    return Error{FaultKind::kInternalError, "non-exception thrown"};
+  }
+}
+
+resilience::Result<std::vector<double>> OnlineSmoother::fetch_forecast(
+    std::size_t index) {
+  using resilience::Error;
+  using resilience::FaultKind;
+  if (!oracle_) return previous_interval_;
+  std::vector<double> predicted;
+  try {
+    predicted = oracle_(index);
+  } catch (const std::exception& e) {
+    return Error{FaultKind::kOracleThrow, e.what()};
+  } catch (...) {
+    return Error{FaultKind::kOracleThrow, "oracle threw a non-exception"};
+  }
+  if (predicted.size() != pending_.size())
+    return Error{FaultKind::kOracleBadLength,
+                 "oracle returned " + std::to_string(predicted.size()) +
+                     " samples, expected " + std::to_string(pending_.size())};
+  for (double& v : predicted) {
+    if (!std::isfinite(v))
+      return Error{FaultKind::kOracleBadLength,
+                   "oracle returned a non-finite sample"};
+    v = std::max(v, 0.0);
+  }
+  return predicted;
+}
+
+util::TimeSeries OnlineSmoother::execute_fallback_plan(
+    const util::TimeSeries& window) {
+  // Persistence-tracking moving average: steer every point toward the
+  // previous interval's mean. One subtraction per point instead of a QP;
+  // execute_plan clamps the schedule to what the battery and the actual
+  // generation admit, so the corridor and rate limits hold by construction.
+  double target = 0.0;
+  for (double v : previous_interval_) target += v;
+  target /= static_cast<double>(previous_interval_.size());
+
+  const double dt_hours = config_.sample_step.value() / 60.0;
+  IntervalPlan plan;
+  plan.schedule_kwh.resize(window.size());
+  for (std::size_t i = 0; i < window.size(); ++i)
+    plan.schedule_kwh[i] = (target - window[i]) * dt_hours;
+  return smoothing_.execute_plan(plan, window, battery_);
 }
 
 void OnlineSmoother::refresh_thresholds() {

@@ -17,6 +17,19 @@
 // push() returns the smoothed value for each completed sample with one
 // interval of latency (decisions are made at interval boundaries, as in
 // the paper).
+//
+// Because the smoother sits in a live power path, the streaming hot path is
+// hardened: a resilience::TelemetryGuard sanitizes every sample, and a
+// degraded-mode state machine keeps the stream flowing when the forecast
+// oracle fails, the QP does not converge, or the battery is reported
+// unavailable. Failed intervals fall back per-interval — a cheap
+// persistence-tracking plan when the battery is usable, pass-through
+// otherwise — the reason is recorded on the OnlineIntervalRecord and
+// counted in the HealthReport, and the smoother probes its way back to the
+// QP-planned path after `recovery_intervals` consecutive healthy intervals.
+// After construction, push() never throws: failures become fallbacks, not
+// exceptions. On clean input every guard and fallback layer is a no-op and
+// the output is bit-identical to the unhardened pipeline.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +41,9 @@
 #include "smoother/battery/battery.hpp"
 #include "smoother/core/flexible_smoothing.hpp"
 #include "smoother/core/region.hpp"
+#include "smoother/resilience/health.hpp"
+#include "smoother/resilience/result.hpp"
+#include "smoother/resilience/telemetry_guard.hpp"
 #include "smoother/util/time_series.hpp"
 #include "smoother/util/units.hpp"
 
@@ -49,6 +65,18 @@ struct OnlineSmootherConfig {
   double stable_cdf = 0.25;
   double extreme_cdf = 0.95;
 
+  /// Telemetry sanitization. rated_power_kw is filled in from rated_power
+  /// at construction when left at 0.
+  resilience::TelemetryGuardConfig telemetry_guard;
+
+  /// Consecutive healthy intervals required to leave degraded mode and
+  /// resume QP planning (recovery hysteresis).
+  std::size_t recovery_intervals = 3;
+
+  /// An interval with more than this fraction of guard-repaired samples is
+  /// not planned on — the window is mostly fabricated data.
+  double max_faulted_fraction = 0.5;
+
   void validate() const;
 };
 
@@ -56,8 +84,10 @@ struct OnlineSmootherConfig {
 struct OnlineIntervalRecord {
   std::size_t index = 0;          ///< interval sequence number
   Region region = Region::kStable;
-  bool smoothed = false;
+  bool smoothed = false;          ///< battery engaged (QP plan or fallback)
   bool warmup = false;            ///< still learning thresholds
+  bool degraded = false;          ///< processed while in degraded mode
+  resilience::FallbackReason fallback = resilience::FallbackReason::kNone;
   double cf_variance = 0.0;
   double variance_before = 0.0;
   double variance_after = 0.0;
@@ -71,9 +101,21 @@ class OnlineSmoother {
   /// (points_per_interval of them). A deployment would back this with its
   /// wind/solar predictor (the paper cites 5-10 %-error models). Without
   /// one, the previous interval is used as a persistence forecast — cheap
-  /// but markedly weaker on 5-minute wind.
+  /// but markedly weaker on 5-minute wind. An oracle that throws, returns
+  /// the wrong length or returns non-finite values does not kill the
+  /// stream; the interval falls back (FallbackReason::kOracleFailed).
   using ForecastOracle =
       std::function<std::vector<double>(std::size_t interval_index)>;
+
+  /// Battery health monitor: polled once per interval; false marks the
+  /// battery unavailable (maintenance, BMS fault, injected outage) and the
+  /// interval passes through untouched.
+  using BatteryMonitor = std::function<bool(std::size_t interval_index)>;
+
+  /// Per-interval solver retuning hook: a returned value replaces the
+  /// configured QpSettings for that interval's plan.
+  using SolverSettingsHook =
+      std::function<std::optional<solver::QpSettings>(std::size_t)>;
 
   /// Battery is owned by the smoother (moved in). Throws
   /// std::invalid_argument on bad config.
@@ -84,10 +126,24 @@ class OnlineSmoother {
     oracle_ = std::move(oracle);
   }
 
+  /// Attaches (or clears) the battery health monitor.
+  void set_battery_monitor(BatteryMonitor monitor) {
+    battery_monitor_ = std::move(monitor);
+  }
+
+  /// Attaches (or clears) the solver retuning hook.
+  void set_solver_settings_hook(SolverSettingsHook hook) {
+    solver_hook_ = std::move(hook);
+  }
+
   /// Pushes one generation sample (kW). When the sample completes an
   /// interval, the interval is processed and its record returned; the
-  /// smoothed samples become available via output().
+  /// smoothed samples become available via output(). Never throws.
   std::optional<OnlineIntervalRecord> push(double generation_kw);
+
+  /// Reports a missing sample (telemetry gap); the guard fills it by
+  /// persistence. Same return contract as push().
+  std::optional<OnlineIntervalRecord> push_missing();
 
   /// All smoothed output produced so far (same step as the input;
   /// trails the input by up to one interval).
@@ -106,16 +162,44 @@ class OnlineSmoother {
   /// True once warmup has completed and thresholds are data-derived.
   [[nodiscard]] bool calibrated() const { return calibrated_; }
 
+  /// True while the recovery hysteresis keeps the QP path disabled.
+  [[nodiscard]] bool degraded() const { return mode_ == Mode::kDegraded; }
+
+  /// Fault / fallback / recovery counters since construction.
+  [[nodiscard]] const resilience::HealthReport& health() const {
+    return health_;
+  }
+
   [[nodiscard]] const battery::Battery& battery() const { return battery_; }
 
  private:
+  enum class Mode { kNormal, kDegraded };
+
+  std::optional<OnlineIntervalRecord> accept_sample(
+      resilience::GuardedSample sample);
   void process_interval();
+  /// The fallible planning step: forecast -> QP plan -> execute. Returns
+  /// the delivered series, or the fault that forced a fallback.
+  resilience::Result<util::TimeSeries> plan_and_execute(std::size_t index,
+                                                        const util::TimeSeries&
+                                                            window);
+  resilience::Result<std::vector<double>> fetch_forecast(std::size_t index);
+  /// Cheap degraded-mode plan: track the previous interval's mean with the
+  /// battery, no QP. Returns the delivered series.
+  util::TimeSeries execute_fallback_plan(const util::TimeSeries& window);
   void refresh_thresholds();
 
   OnlineSmootherConfig config_;
   FlexibleSmoothing smoothing_;
   battery::Battery battery_;
   ForecastOracle oracle_;
+  BatteryMonitor battery_monitor_;
+  SolverSettingsHook solver_hook_;
+  resilience::TelemetryGuard guard_;
+  resilience::HealthReport health_;
+  Mode mode_ = Mode::kNormal;
+  std::size_t healthy_streak_ = 0;
+  std::size_t pending_faulted_ = 0;  ///< guard-repaired samples this interval
   std::vector<double> pending_;          ///< samples of the open interval
   std::vector<double> previous_interval_;  ///< persistence forecast source
   std::deque<double> variance_history_;

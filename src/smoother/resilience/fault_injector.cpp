@@ -1,0 +1,150 @@
+#include "smoother/resilience/fault_injector.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace smoother::resilience {
+
+namespace {
+
+// Fault-stream ids for Rng::split. Arbitrary distinct constants; changing
+// them changes every injected fault pattern, so they are frozen here.
+// Each telemetry sub-kind draws from its own stream: with one shared
+// cumulative draw the slice boundaries move as rates change, so the set of
+// *detectable* faults (NaN/dropout/overrange) would not be nested in the
+// rate — a detectable fault could turn into an undetectable stuck-at.
+constexpr std::uint64_t kStreamTelemetryNan = 0x7e1e;
+constexpr std::uint64_t kStreamTelemetryDropout = 0xd409;
+constexpr std::uint64_t kStreamTelemetrySpike = 0x591c;
+constexpr std::uint64_t kStreamTelemetryStuck = 0x57cc;
+constexpr std::uint64_t kStreamBattery = 0xba77;
+constexpr std::uint64_t kStreamOracle = 0x0a1e;
+constexpr std::uint64_t kStreamSolver = 0x501e;
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0))
+    throw std::invalid_argument(std::string("FaultInjectorConfig: ") + name +
+                                " must be in [0,1]");
+}
+
+}  // namespace
+
+void FaultInjectorConfig::validate() const {
+  check_rate(telemetry_nan_rate, "telemetry_nan_rate");
+  check_rate(telemetry_dropout_rate, "telemetry_dropout_rate");
+  check_rate(telemetry_spike_rate, "telemetry_spike_rate");
+  check_rate(telemetry_stuck_rate, "telemetry_stuck_rate");
+  check_rate(battery_outage_rate, "battery_outage_rate");
+  check_rate(oracle_throw_rate, "oracle_throw_rate");
+  check_rate(oracle_bad_length_rate, "oracle_bad_length_rate");
+  check_rate(oracle_stale_rate, "oracle_stale_rate");
+  check_rate(solver_failure_rate, "solver_failure_rate");
+  if (telemetry_nan_rate + telemetry_dropout_rate + telemetry_spike_rate +
+          telemetry_stuck_rate >
+      1.0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: telemetry rates must sum to <= 1");
+  if (oracle_throw_rate + oracle_bad_length_rate + oracle_stale_rate > 1.0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: oracle rates must sum to <= 1");
+  if (stuck_window_samples == 0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: stuck window must be >= 1 sample");
+  if (battery_outage_intervals == 0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: outage window must be >= 1 interval");
+  if (spike_multiplier <= 1.0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: spike multiplier must be > 1");
+  if (battery_capacity_fade < 0.0 || battery_capacity_fade >= 1.0)
+    throw std::invalid_argument(
+        "FaultInjectorConfig: capacity fade must be in [0,1)");
+}
+
+FaultInjector::FaultInjector(FaultInjectorConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  config_.validate();
+}
+
+double FaultInjector::draw(std::uint64_t stream, std::uint64_t index) const {
+  return util::Rng(seed_).split(stream).split(index).uniform();
+}
+
+double FaultInjector::corrupt_sample(std::size_t index, double clean_kw) {
+  // Fixed priority NaN > dropout > spike > stuck-window. Every sub-kind's
+  // per-index draw comes from its own stream, so each sub-kind's trigger
+  // set — and their union, and the detectable subset — is nested in the
+  // rate, which is exactly what makes measured fallback curves monotone.
+  if (draw(kStreamTelemetryNan, index) < config_.telemetry_nan_rate) {
+    count(FaultKind::kTelemetryNaN);
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (draw(kStreamTelemetryDropout, index) < config_.telemetry_dropout_rate) {
+    count(FaultKind::kTelemetryDropout);
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (draw(kStreamTelemetrySpike, index) < config_.telemetry_spike_rate) {
+    count(FaultKind::kTelemetrySpike);
+    return clean_kw * config_.spike_multiplier;
+  }
+  // A stuck window that opened at j covers samples [j, j + window); the
+  // replayed value is the last clean sample delivered before the window,
+  // so membership is checked before updating last_clean_kw_.
+  if (config_.telemetry_stuck_rate > 0.0) {
+    const std::size_t window = config_.stuck_window_samples;
+    const std::size_t lo = index + 1 >= window ? index + 1 - window : 0;
+    for (std::size_t j = lo; j <= index; ++j)
+      if (draw(kStreamTelemetryStuck, j) < config_.telemetry_stuck_rate) {
+        count(FaultKind::kTelemetryStuck);
+        return last_clean_kw_;
+      }
+  }
+  last_clean_kw_ = clean_kw;
+  return clean_kw;
+}
+
+bool FaultInjector::battery_available(std::size_t interval) const {
+  if (config_.battery_outage_rate <= 0.0) return true;
+  const std::size_t window = config_.battery_outage_intervals;
+  const std::size_t lo = interval + 1 >= window ? interval + 1 - window : 0;
+  for (std::size_t j = lo; j <= interval; ++j)
+    if (draw(kStreamBattery, j) < config_.battery_outage_rate) return false;
+  return true;
+}
+
+bool FaultInjector::solver_should_fail(std::size_t interval) const {
+  return config_.solver_failure_rate > 0.0 &&
+         draw(kStreamSolver, interval) < config_.solver_failure_rate;
+}
+
+battery::BatterySpec FaultInjector::faded_spec(battery::BatterySpec spec) const {
+  spec.capacity = spec.capacity * (1.0 - config_.battery_capacity_fade);
+  return spec;
+}
+
+FaultInjector::Oracle FaultInjector::wrap_oracle(Oracle inner) {
+  return [this, inner = std::move(inner)](std::size_t interval) {
+    const double u = draw(kStreamOracle, interval);
+    double cum = config_.oracle_throw_rate;
+    if (u < cum) {
+      count(FaultKind::kOracleThrow);
+      throw std::runtime_error("injected: forecast oracle outage");
+    }
+    cum += config_.oracle_bad_length_rate;
+    if (u < cum) {
+      count(FaultKind::kOracleBadLength);
+      std::vector<double> forecast = inner(interval);
+      forecast.resize(forecast.size() / 2);
+      return forecast;
+    }
+    cum += config_.oracle_stale_rate;
+    if (u < cum) {
+      count(FaultKind::kOracleStale);
+      // Plausible-but-wrong: the forecast of three intervals ago.
+      return inner(interval >= 3 ? interval - 3 : 0);
+    }
+    return inner(interval);
+  };
+}
+
+}  // namespace smoother::resilience

@@ -1,0 +1,113 @@
+// Deterministic fault injection for the online middleware path.
+//
+// The injector corrupts the world around OnlineSmoother the way real
+// deployments do: telemetry faults per sample (NaN, dropout, spike,
+// stuck-at), battery faults per interval (outage windows, capacity fade),
+// forecast-oracle failures (exceptions, wrong length, stale data) and
+// forced QP non-convergence.
+//
+// Every decision is a *pure function of (seed, fault stream, index)*, built
+// on util::Rng::split — the same keyed-by-logical-identity discipline the
+// runtime subsystem uses for parallel sweeps. Two consequences:
+//
+//   * a sweep over fault rates is deterministic for any thread count and
+//     any call order (ext_fault_injection relies on this);
+//   * fault sets are *nested* in the rate — every fault injected at rate r
+//     is also injected at rate r' > r — so measured fallback curves are
+//     monotone by construction, not just statistically.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/resilience/result.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::resilience {
+
+/// Fault probabilities. Telemetry rates are per sample; battery, oracle and
+/// solver rates are per interval. Telemetry sub-kinds trigger independently
+/// (each from its own split stream) with fixed priority NaN > dropout >
+/// spike > stuck, so at most one fault fires per sample; the three oracle
+/// rates are cumulative within one per-interval draw. Each group must sum
+/// to <= 1.
+struct FaultInjectorConfig {
+  double telemetry_nan_rate = 0.0;
+  double telemetry_dropout_rate = 0.0;
+  double telemetry_spike_rate = 0.0;
+  double telemetry_stuck_rate = 0.0;  ///< probability a stuck window starts
+  std::size_t stuck_window_samples = 6;
+  double spike_multiplier = 10.0;  ///< spike = clean sample * multiplier
+
+  double battery_outage_rate = 0.0;  ///< probability an outage window starts
+  std::size_t battery_outage_intervals = 4;
+  double battery_capacity_fade = 0.0;  ///< fraction of capacity lost
+
+  double oracle_throw_rate = 0.0;
+  double oracle_bad_length_rate = 0.0;
+  double oracle_stale_rate = 0.0;
+
+  double solver_failure_rate = 0.0;  ///< force QP non-convergence
+
+  /// Throws std::invalid_argument on rates outside [0,1] or cumulative
+  /// groups summing beyond 1.
+  void validate() const;
+};
+
+class FaultInjector {
+ public:
+  /// Oracle shape mirrors core::OnlineSmoother::ForecastOracle (spelled out
+  /// here because resilience sits below core in the layering).
+  using Oracle = std::function<std::vector<double>(std::size_t)>;
+
+  FaultInjector(FaultInjectorConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const FaultInjectorConfig& config() const { return config_; }
+
+  /// Corrupts the clean sample at stream position `index`. Call with
+  /// samples in order: stuck-at replays the last clean value seen before
+  /// the stuck window opened. NaN and dropout faults return quiet NaN.
+  double corrupt_sample(std::size_t index, double clean_kw);
+
+  /// Battery availability for the interval: false inside an injected
+  /// outage window. Pure in the interval index.
+  [[nodiscard]] bool battery_available(std::size_t interval) const;
+
+  /// Whether the QP should be forced to non-convergence this interval.
+  [[nodiscard]] bool solver_should_fail(std::size_t interval) const;
+
+  /// The spec with the configured capacity fade applied.
+  [[nodiscard]] battery::BatterySpec faded_spec(
+      battery::BatterySpec spec) const;
+
+  /// Wraps a forecast oracle: per interval it may throw, truncate the
+  /// forecast, or substitute the forecast of an earlier interval.
+  [[nodiscard]] Oracle wrap_oracle(Oracle inner);
+
+  /// Ground-truth injection counters by FaultKind (what was injected, as
+  /// opposed to what the guard detected).
+  [[nodiscard]] const std::array<std::uint64_t, kFaultKindCount>& injected()
+      const {
+    return injected_;
+  }
+  [[nodiscard]] std::uint64_t injected_of(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  /// Uniform [0,1) draw keyed by (seed, stream, index).
+  [[nodiscard]] double draw(std::uint64_t stream, std::uint64_t index) const;
+
+  void count(FaultKind kind) { ++injected_[static_cast<std::size_t>(kind)]; }
+
+  FaultInjectorConfig config_;
+  std::uint64_t seed_;
+  double last_clean_kw_ = 0.0;  ///< stuck-at replay source
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace smoother::resilience

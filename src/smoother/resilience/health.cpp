@@ -1,0 +1,43 @@
+#include "smoother/resilience/health.hpp"
+
+#include <sstream>
+
+namespace smoother::resilience {
+
+void HealthReport::record_sample_fault(FaultKind kind) {
+  if (kind == FaultKind::kNone) return;
+  ++samples_faulted;
+  ++faults[static_cast<std::size_t>(kind)];
+}
+
+void HealthReport::record_interval_fault(FaultKind kind) {
+  if (kind == FaultKind::kNone) return;
+  ++faults[static_cast<std::size_t>(kind)];
+}
+
+void HealthReport::record_fallback(FallbackReason reason) {
+  if (reason == FallbackReason::kNone) return;
+  ++intervals_fallback;
+  ++fallbacks[static_cast<std::size_t>(reason)];
+}
+
+double HealthReport::fallback_rate() const {
+  if (intervals_seen == 0) return 0.0;
+  return static_cast<double>(intervals_fallback) /
+         static_cast<double>(intervals_seen);
+}
+
+std::string HealthReport::summary() const {
+  std::ostringstream os;
+  os << "samples=" << samples_seen << " faulted=" << samples_faulted
+     << " intervals=" << intervals_seen << " fallback=" << intervals_fallback;
+  for (std::size_t i = 1; i < kFallbackReasonCount; ++i)
+    if (fallbacks[i] > 0)
+      os << " " << to_string(static_cast<FallbackReason>(i)) << "="
+         << fallbacks[i];
+  os << " degraded_entries=" << degraded_entries
+     << " recoveries=" << recoveries;
+  return os.str();
+}
+
+}  // namespace smoother::resilience

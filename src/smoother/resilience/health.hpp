@@ -1,0 +1,50 @@
+// Health counters for the streaming middleware.
+//
+// A production middleware is judged as much by its observability as by its
+// output: operators need to see how many samples were sanitized, how often
+// the planner fell back, and whether the pipeline is currently degraded.
+// HealthReport is a plain counter block — cheap enough to update on every
+// sample — that OnlineSmoother exposes and ext_fault_injection aggregates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "smoother/resilience/result.hpp"
+
+namespace smoother::resilience {
+
+struct HealthReport {
+  std::uint64_t samples_seen = 0;
+  std::uint64_t samples_faulted = 0;  ///< sanitized by the TelemetryGuard
+  std::array<std::uint64_t, kFaultKindCount> faults{};  ///< by FaultKind
+
+  std::uint64_t intervals_seen = 0;
+  std::uint64_t intervals_fallback = 0;  ///< any reason != kNone
+  std::array<std::uint64_t, kFallbackReasonCount> fallbacks{};
+
+  std::uint64_t degraded_entries = 0;  ///< normal -> degraded transitions
+  std::uint64_t recoveries = 0;        ///< degraded -> normal transitions
+
+  /// A telemetry sample the guard had to repair.
+  void record_sample_fault(FaultKind kind);
+  /// An interval-boundary fault (oracle, solver, battery, internal).
+  void record_interval_fault(FaultKind kind);
+  void record_fallback(FallbackReason reason);
+
+  [[nodiscard]] std::uint64_t faults_of(FaultKind kind) const {
+    return faults[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t fallbacks_of(FallbackReason reason) const {
+    return fallbacks[static_cast<std::size_t>(reason)];
+  }
+
+  /// Fraction of processed intervals that fell back (0 with no intervals).
+  [[nodiscard]] double fallback_rate() const;
+
+  /// One-line counter dump for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace smoother::resilience

@@ -1,0 +1,53 @@
+#include "smoother/resilience/result.hpp"
+
+namespace smoother::resilience {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTelemetryNaN:
+      return "telemetry-nan";
+    case FaultKind::kTelemetryDropout:
+      return "telemetry-dropout";
+    case FaultKind::kTelemetrySpike:
+      return "telemetry-spike";
+    case FaultKind::kTelemetryStuck:
+      return "telemetry-stuck";
+    case FaultKind::kBatteryOutage:
+      return "battery-outage";
+    case FaultKind::kOracleThrow:
+      return "oracle-throw";
+    case FaultKind::kOracleBadLength:
+      return "oracle-bad-length";
+    case FaultKind::kOracleStale:
+      return "oracle-stale";
+    case FaultKind::kSolverFailure:
+      return "solver-failure";
+    case FaultKind::kInternalError:
+      return "internal-error";
+  }
+  return "?";
+}
+
+std::string to_string(FallbackReason reason) {
+  switch (reason) {
+    case FallbackReason::kNone:
+      return "none";
+    case FallbackReason::kTelemetryUnreliable:
+      return "telemetry-unreliable";
+    case FallbackReason::kBatteryFaulted:
+      return "battery-faulted";
+    case FallbackReason::kOracleFailed:
+      return "oracle-failed";
+    case FallbackReason::kSolverNotConverged:
+      return "solver-not-converged";
+    case FallbackReason::kDegradedHold:
+      return "degraded-hold";
+    case FallbackReason::kInternalError:
+      return "internal-error";
+  }
+  return "?";
+}
+
+}  // namespace smoother::resilience

@@ -1,0 +1,81 @@
+// Error taxonomy for the online middleware path.
+//
+// A deployed Smoother sits in the live power path of a datacenter; the
+// streaming pipeline must not die mid-stream because a sensor emitted NaN,
+// the forecast service threw, or the QP stopped one iteration short of its
+// tolerance. The streaming hot path therefore reports failures as values —
+// a FaultKind classifying *what went wrong* plus a FallbackReason recording
+// *how the interval was handled instead* — and reserves exceptions for
+// construction-time configuration errors, where dying early is correct.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smoother::resilience {
+
+/// What went wrong. Telemetry kinds classify single samples; the battery,
+/// oracle and solver kinds classify interval-boundary failures.
+enum class FaultKind {
+  kNone = 0,
+  kTelemetryNaN,        ///< non-finite sample (NaN or +-inf)
+  kTelemetryDropout,    ///< sample never arrived (gap in the stream)
+  kTelemetrySpike,      ///< implausible magnitude vs rated power
+  kTelemetryStuck,      ///< sensor repeats a previous reading (undetectable
+                        ///< at the guard; injected for robustness testing)
+  kBatteryOutage,       ///< battery reported unavailable for the interval
+  kOracleThrow,         ///< forecast oracle raised an exception
+  kOracleBadLength,     ///< forecast of the wrong length
+  kOracleStale,         ///< forecast for an earlier interval (plausible but
+                        ///< wrong; injected for robustness testing)
+  kSolverFailure,       ///< QP did not reach kSolved
+  kInternalError,       ///< unexpected exception inside the interval path
+};
+inline constexpr std::size_t kFaultKindCount = 11;
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// How an interval that could not take the planned QP path was handled.
+enum class FallbackReason {
+  kNone = 0,             ///< normal QP-planned interval
+  kTelemetryUnreliable,  ///< too many faulted samples to trust the window
+  kBatteryFaulted,       ///< battery unavailable: pass-through
+  kOracleFailed,         ///< oracle threw / wrong length: cheap plan
+  kSolverNotConverged,   ///< QP status != kSolved: cheap plan
+  kDegradedHold,         ///< healthy interval inside the recovery window
+  kInternalError,        ///< defensive catch-all around the interval path
+};
+inline constexpr std::size_t kFallbackReasonCount = 7;
+
+[[nodiscard]] std::string to_string(FallbackReason reason);
+
+/// A classified failure with a human-readable message.
+struct Error {
+  FaultKind kind = FaultKind::kNone;
+  std::string message;
+};
+
+/// Value-or-Error, the return shape of fallible hot-path steps. Deliberately
+/// minimal: the streaming loop only ever asks "did it work, and if not,
+/// what kind of fault was it".
+template <class T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() { return *value_; }
+  [[nodiscard]] const T& value() const { return *value_; }
+  [[nodiscard]] const Error& error() const { return error_; }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+}  // namespace smoother::resilience

@@ -1,0 +1,41 @@
+#include "smoother/resilience/telemetry_guard.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smoother::resilience {
+
+void TelemetryGuardConfig::validate() const {
+  if (!std::isfinite(rated_power_kw) || rated_power_kw < 0.0)
+    throw std::invalid_argument(
+        "TelemetryGuardConfig: rated power must be finite and >= 0");
+  if (!std::isfinite(spike_clamp_factor) || spike_clamp_factor < 1.0)
+    throw std::invalid_argument(
+        "TelemetryGuardConfig: spike clamp factor must be >= 1");
+}
+
+TelemetryGuard::TelemetryGuard(TelemetryGuardConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+GuardedSample TelemetryGuard::sanitize(double raw_kw) {
+  if (!config_.enabled) return {raw_kw, FaultKind::kNone};
+  if (!std::isfinite(raw_kw)) return {last_good_kw_, FaultKind::kTelemetryNaN};
+  if (config_.rated_power_kw > 0.0) {
+    const double bound = config_.spike_clamp_factor * config_.rated_power_kw;
+    if (raw_kw > bound)
+      return {config_.rated_power_kw, FaultKind::kTelemetrySpike};
+    // A large negative reading is just as implausible for a generator; the
+    // closest physical value is "not generating".
+    if (raw_kw < -bound) return {0.0, FaultKind::kTelemetrySpike};
+  }
+  last_good_kw_ = raw_kw;
+  return {raw_kw, FaultKind::kNone};
+}
+
+GuardedSample TelemetryGuard::fill_gap() {
+  return {last_good_kw_, FaultKind::kTelemetryDropout};
+}
+
+}  // namespace smoother::resilience

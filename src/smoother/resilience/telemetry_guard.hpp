@@ -1,0 +1,62 @@
+// Telemetry sanitization in front of the streaming pipeline.
+//
+// Real generation telemetry drops samples, emits NaN after sensor resets,
+// and spikes to implausible magnitudes on electrical transients. The guard
+// sits directly in front of OnlineSmoother::push and turns every raw sample
+// into a usable one: non-finite values and dropouts are gap-filled by
+// persistence (the last good sample), spikes beyond a multiple of the rated
+// power are clamped to rated power. Each repair is classified with the
+// FaultKind it corrects so the caller can count it and, when too much of an
+// interval was repaired, decline to plan on the fabricated data.
+//
+// On clean input the guard is a no-op: the value passes through untouched
+// (bit-identical) and no fault is recorded.
+#pragma once
+
+#include "smoother/resilience/result.hpp"
+
+namespace smoother::resilience {
+
+struct TelemetryGuardConfig {
+  bool enabled = true;
+
+  /// Physical plausibility bound: samples above
+  /// `spike_clamp_factor * rated_power_kw` (or below its negative) are
+  /// spikes. 0 rated power disables the spike check.
+  double rated_power_kw = 0.0;
+  double spike_clamp_factor = 3.0;
+
+  /// Throws std::invalid_argument on non-physical parameters.
+  void validate() const;
+};
+
+/// One sanitized sample: the usable value plus what (if anything) was wrong
+/// with the raw reading.
+struct GuardedSample {
+  double value_kw = 0.0;
+  FaultKind fault = FaultKind::kNone;
+};
+
+class TelemetryGuard {
+ public:
+  explicit TelemetryGuard(TelemetryGuardConfig config);
+
+  [[nodiscard]] const TelemetryGuardConfig& config() const { return config_; }
+
+  /// Sanitizes one raw sample. Never throws; always returns a finite value.
+  GuardedSample sanitize(double raw_kw);
+
+  /// Reports a missing sample (telemetry gap): returns the persistence
+  /// fill, classified as kTelemetryDropout.
+  GuardedSample fill_gap();
+
+  /// The last value accepted as good (persistence source); 0 until the
+  /// first good sample arrives.
+  [[nodiscard]] double last_good_kw() const { return last_good_kw_; }
+
+ private:
+  TelemetryGuardConfig config_;
+  double last_good_kw_ = 0.0;
+};
+
+}  // namespace smoother::resilience

@@ -1,6 +1,7 @@
 #include "smoother/util/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -96,14 +97,24 @@ std::string trim(std::string s) {
   return s.substr(b, e - b);
 }
 
-double parse_cell(const std::string& raw, std::size_t line_no) {
+double parse_cell(const std::string& raw, std::size_t line_no,
+                  std::size_t column, const std::string& column_name) {
   const std::string cell = trim(raw);
   double value = 0.0;
   const auto [ptr, ec] =
       std::from_chars(cell.data(), cell.data() + cell.size(), value);
   if (ec != std::errc() || ptr != cell.data() + cell.size())
     throw std::runtime_error("CsvTable: non-numeric cell '" + cell +
-                             "' on line " + std::to_string(line_no));
+                             "' on line " + std::to_string(line_no) +
+                             ", column " + std::to_string(column + 1) + " ('" +
+                             column_name + "')");
+  // from_chars accepts "nan"/"inf" spellings; a trace with non-finite cells
+  // is corrupt and must not leak garbage into downstream pipelines.
+  if (!std::isfinite(value))
+    throw std::runtime_error("CsvTable: non-finite cell '" + cell +
+                             "' on line " + std::to_string(line_no) +
+                             ", column " + std::to_string(column + 1) + " ('" +
+                             column_name + "')");
   return value;
 }
 
@@ -129,11 +140,14 @@ CsvTable CsvTable::read(std::istream& is) {
     if (t.empty() || t[0] == '#') continue;
     const auto cells = split_csv_line(t);
     if (cells.size() != table.columns())
-      throw std::runtime_error("CsvTable: ragged row on line " +
-                               std::to_string(line_no));
+      throw std::runtime_error(
+          "CsvTable: ragged row on line " + std::to_string(line_no) + ": got " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(table.columns()));
     std::vector<double> row;
     row.reserve(cells.size());
-    for (const auto& cell : cells) row.push_back(parse_cell(cell, line_no));
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      row.push_back(parse_cell(cells[c], line_no, c, table.header()[c]));
     table.add_row(std::move(row));
   }
   return table;

@@ -48,7 +48,8 @@ class CsvTable {
   void save(const std::string& path) const;
 
   /// Parses a table from a stream; throws std::runtime_error on malformed
-  /// input (ragged rows, non-numeric cells).
+  /// input (ragged rows, non-numeric or non-finite cells), naming the
+  /// offending line and column.
   static CsvTable read(std::istream& is);
 
   /// Loads a table from a file; throws std::runtime_error on I/O failure.

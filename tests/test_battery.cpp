@@ -164,6 +164,50 @@ TEST(Battery, EquivalentFullCyclesCountsThroughput) {
   EXPECT_NEAR(battery.total_discharged().value(), 45.0, 1e-9);
 }
 
+TEST(Battery, ChargeAtExactCeilingAcceptsNothing) {
+  Battery battery(lossless_spec(), 1.0);
+  const Kilowatts accepted = battery.charge(Kilowatts{120.0}, Minutes{5.0});
+  EXPECT_DOUBLE_EQ(accepted.value(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.soc_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(battery.max_charge_power(Minutes{5.0}).value(), 0.0);
+  // A signed charge step at the ceiling is likewise a no-op.
+  EXPECT_DOUBLE_EQ(battery.apply_signed(Kilowatts{-50.0}, Minutes{5.0}).value(),
+                   0.0);
+}
+
+TEST(Battery, DischargeAtExactFloorDeliversNothing) {
+  Battery battery(lossless_spec(), 0.10);
+  const Kilowatts delivered =
+      battery.discharge(Kilowatts{120.0}, Minutes{5.0});
+  EXPECT_DOUBLE_EQ(delivered.value(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.soc_fraction(), 0.10);
+  EXPECT_DOUBLE_EQ(battery.max_discharge_power(Minutes{5.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.apply_signed(Kilowatts{50.0}, Minutes{5.0}).value(),
+                   0.0);
+}
+
+TEST(BatterySpec, DegenerateSpecsRejected) {
+  // Zero (and negative) capacity or rates are non-physical and must be
+  // caught at validation, not surface later as NaN SoC or division blowups.
+  BatterySpec spec = lossless_spec();
+  spec.capacity = KilowattHours{0.0};
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+  spec.capacity = KilowattHours{-5.0};
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+  spec = lossless_spec();
+  spec.max_charge_rate = Kilowatts{0.0};
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+  spec = lossless_spec();
+  spec.max_discharge_rate = Kilowatts{0.0};
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+  spec = lossless_spec();
+  spec.charge_efficiency = 0.0;
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+  spec = lossless_spec();
+  spec.discharge_efficiency = 0.0;
+  EXPECT_THROW(Battery{spec}, std::invalid_argument);
+}
+
 TEST(Battery, SocStaysInCorridorUnderRandomOps) {
   Battery battery(lossless_spec());
   std::uint64_t state = 88172645463325252ULL;

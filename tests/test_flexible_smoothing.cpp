@@ -202,6 +202,57 @@ TEST(FlexibleSmoothing, MeanVarianceReduction) {
   EXPECT_DOUBLE_EQ(empty.mean_variance_reduction(), 0.0);
 }
 
+TEST(FlexibleSmoothing, PlanSurfacesMaxIterationsStatus) {
+  // A starved iteration budget must surface as kMaxIterations on the plan,
+  // not as a throw or a silently-wrong schedule.
+  FlexibleSmoothingConfig config;
+  config.qp.max_iterations = 1;
+  config.qp.check_interval = 10;  // never reaches a convergence check
+  const FlexibleSmoothing fs(config);
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  EXPECT_EQ(plan.solver_status, solver::QpStatus::kMaxIterations);
+  ASSERT_EQ(plan.schedule_kwh.size(), 12u);
+}
+
+TEST(FlexibleSmoothing, PlanSurfacesNumericalErrorStatus) {
+  // A negative ADMM penalty makes the KKT system indefinite, so the
+  // Cholesky factorization fails: the status must say so.
+  FlexibleSmoothingConfig config;
+  config.qp.sigma = -1e3;
+  const FlexibleSmoothing fs(config);
+  battery::Battery battery(fs_battery_spec());
+  const auto generation = test::sawtooth_series(100.0, 500.0, 6, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  EXPECT_EQ(plan.solver_status, solver::QpStatus::kNumericalError);
+}
+
+TEST(FlexibleSmoothing, ExecutingUnconvergedPlanKeepsBatterySafe) {
+  // Even a garbage schedule from an unconverged solve must not push the
+  // battery outside its SoC corridor or rate limits — execute_plan clamps
+  // every step through the Battery model.
+  FlexibleSmoothingConfig config;
+  config.qp.max_iterations = 1;
+  config.qp.check_interval = 10;
+  const FlexibleSmoothing fs(config);
+  const auto spec = fs_battery_spec();
+  battery::Battery battery(spec, 0.15);
+  const auto generation = test::sawtooth_series(0.0, 800.0, 4, 12);
+  const IntervalPlan plan = fs.plan_interval(generation, battery);
+  ASSERT_NE(plan.solver_status, solver::QpStatus::kSolved);
+  const auto supply = fs.execute_plan(plan, generation, battery);
+  ASSERT_EQ(supply.size(), generation.size());
+  EXPECT_GE(battery.soc_fraction(), spec.min_soc_fraction - 1e-9);
+  EXPECT_LE(battery.soc_fraction(), spec.max_soc_fraction + 1e-9);
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    EXPECT_GE(supply[i], -1e-9);  // never delivers negative power
+    // Delivered power never exceeds generation + the discharge rate limit.
+    EXPECT_LE(supply[i],
+              generation[i] + spec.max_discharge_rate.value() + 1e-9);
+  }
+}
+
 TEST(FlexibleSmoothing, EndToEndOnSyntheticWind) {
   // Property: over a volatile synthetic day, smoothing must not violate the
   // battery corridor and must cut the mean within-interval variance.

@@ -140,17 +140,66 @@ TEST(OnlineSmoother, PersistenceForecastIsWeakerThanOracle) {
   EXPECT_GE(persistence.battery().soc_fraction(), 0.10 - 1e-9);
 }
 
-TEST(OnlineSmoother, OracleLengthValidated) {
+TEST(OnlineSmoother, BadOracleLengthFallsBackInsteadOfThrowing) {
+  // A misbehaving forecast service must not kill the stream: the interval
+  // falls back (recorded on the record) and the pipeline stays aligned.
   OnlineSmoother smoother(small_config(), small_battery());
   smoother.set_forecast_oracle(
       [](std::size_t) { return std::vector<double>(5, 1.0); });
-  const auto supply = wind_day(3, 1.0);
-  EXPECT_THROW(
-      {
-        for (std::size_t i = 0; i < supply.size(); ++i)
-          smoother.push(supply[i]);
-      },
-      std::runtime_error);
+  const auto supply = wind_day(3, 2.0);
+  EXPECT_NO_THROW({
+    for (std::size_t i = 0; i < supply.size(); ++i) smoother.push(supply[i]);
+  });
+  EXPECT_EQ(smoother.records().size(), supply.size() / 12);
+  EXPECT_EQ(smoother.output().size(), supply.size());
+  std::size_t fallbacks = 0;
+  for (const auto& record : smoother.records())
+    if (record.fallback == resilience::FallbackReason::kOracleFailed)
+      ++fallbacks;
+  EXPECT_GT(fallbacks, 0u);
+  EXPECT_EQ(smoother.health().fallbacks_of(
+                resilience::FallbackReason::kOracleFailed),
+            fallbacks);
+}
+
+TEST(OnlineSmoother, ThrowingOracleKeepsStreamAligned) {
+  // Regression for the exception-safety bug: an oracle failure mid-stream
+  // used to leave the open interval's samples behind, misaligning every
+  // subsequent interval. Now intervals commit atomically; once the oracle
+  // heals, the smoother recovers and plans again.
+  auto config = small_config();
+  config.recovery_intervals = 2;
+  OnlineSmoother smoother(config, small_battery());
+  const auto supply = wind_day(21, 3.0);
+  std::size_t calls = 0;
+  smoother.set_forecast_oracle([&](std::size_t interval) {
+    if (++calls <= 2) throw std::runtime_error("forecast service down");
+    std::vector<double> predicted(12);
+    for (std::size_t i = 0; i < 12; ++i)
+      predicted[i] = supply[interval * 12 + i];
+    return predicted;
+  });
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    smoother.push(supply[i]);
+    // Alignment invariant: output advances in whole intervals.
+    EXPECT_EQ(smoother.output().size(), ((i + 1) / 12) * 12);
+  }
+  EXPECT_EQ(smoother.records().size(), supply.size() / 12);
+  std::size_t oracle_fallbacks = 0, planned = 0;
+  for (const auto& record : smoother.records()) {
+    if (record.fallback == resilience::FallbackReason::kOracleFailed)
+      ++oracle_fallbacks;
+    if (record.smoothed &&
+        record.fallback == resilience::FallbackReason::kNone)
+      ++planned;
+  }
+  EXPECT_EQ(oracle_fallbacks, 2u);
+  EXPECT_GT(planned, 0u);  // QP path resumed after recovery
+  EXPECT_FALSE(smoother.degraded());
+  // Each throw happens in normal mode (the oracle is only consulted
+  // there), so two throws mean two degraded episodes, each recovered.
+  EXPECT_EQ(smoother.health().degraded_entries, 2u);
+  EXPECT_EQ(smoother.health().recoveries, 2u);
 }
 
 TEST(OnlineSmoother, OutputTrailsInputByAtMostOneInterval) {

@@ -1,0 +1,537 @@
+// smoother::resilience: telemetry guard, fault injector, error taxonomy,
+// health counters, and the OnlineSmoother degraded-mode state machine.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "smoother/core/online.hpp"
+#include "smoother/resilience/fault_injector.hpp"
+#include "smoother/resilience/health.hpp"
+#include "smoother/resilience/result.hpp"
+#include "smoother/resilience/telemetry_guard.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::resilience {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TelemetryGuardConfig guard_config() {
+  TelemetryGuardConfig config;
+  config.rated_power_kw = 1000.0;
+  return config;
+}
+
+TEST(TelemetryGuardConfig, Validation) {
+  EXPECT_NO_THROW(guard_config().validate());
+  TelemetryGuardConfig config = guard_config();
+  config.rated_power_kw = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = guard_config();
+  config.spike_clamp_factor = 0.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(TelemetryGuard, CleanSamplesPassThroughBitIdentical) {
+  TelemetryGuard guard(guard_config());
+  for (double v : {0.0, 1.5, 499.125, 1000.0, 2999.999}) {
+    const GuardedSample sample = guard.sanitize(v);
+    EXPECT_EQ(sample.value_kw, v);  // exact, not approximate
+    EXPECT_EQ(sample.fault, FaultKind::kNone);
+  }
+}
+
+TEST(TelemetryGuard, NonFiniteFilledByPersistence) {
+  TelemetryGuard guard(guard_config());
+  guard.sanitize(420.0);
+  for (double bad : {kNaN, kInf, -kInf}) {
+    const GuardedSample sample = guard.sanitize(bad);
+    EXPECT_DOUBLE_EQ(sample.value_kw, 420.0);
+    EXPECT_EQ(sample.fault, FaultKind::kTelemetryNaN);
+  }
+  // Before any good sample the fill is 0.
+  TelemetryGuard fresh(guard_config());
+  EXPECT_DOUBLE_EQ(fresh.sanitize(kNaN).value_kw, 0.0);
+}
+
+TEST(TelemetryGuard, SpikesClampedAgainstRatedPower) {
+  TelemetryGuard guard(guard_config());  // bound = 3 * 1000
+  const GuardedSample high = guard.sanitize(25000.0);
+  EXPECT_DOUBLE_EQ(high.value_kw, 1000.0);
+  EXPECT_EQ(high.fault, FaultKind::kTelemetrySpike);
+  const GuardedSample low = guard.sanitize(-25000.0);
+  EXPECT_DOUBLE_EQ(low.value_kw, 0.0);
+  EXPECT_EQ(low.fault, FaultKind::kTelemetrySpike);
+  // A spike does not poison the persistence source.
+  guard.sanitize(640.0);
+  guard.sanitize(25000.0);
+  EXPECT_DOUBLE_EQ(guard.last_good_kw(), 640.0);
+}
+
+TEST(TelemetryGuard, GapFillReportsDropout) {
+  TelemetryGuard guard(guard_config());
+  guard.sanitize(333.0);
+  const GuardedSample gap = guard.fill_gap();
+  EXPECT_DOUBLE_EQ(gap.value_kw, 333.0);
+  EXPECT_EQ(gap.fault, FaultKind::kTelemetryDropout);
+}
+
+TEST(TelemetryGuard, DisabledGuardIsTransparent) {
+  TelemetryGuardConfig config = guard_config();
+  config.enabled = false;
+  TelemetryGuard guard(config);
+  EXPECT_TRUE(std::isnan(guard.sanitize(kNaN).value_kw));
+  EXPECT_DOUBLE_EQ(guard.sanitize(1e9).value_kw, 1e9);
+}
+
+TEST(Taxonomy, ToStringCoversEveryValue) {
+  for (std::size_t i = 0; i < kFaultKindCount; ++i)
+    EXPECT_NE(to_string(static_cast<FaultKind>(i)), "?");
+  for (std::size_t i = 0; i < kFallbackReasonCount; ++i)
+    EXPECT_NE(to_string(static_cast<FallbackReason>(i)), "?");
+}
+
+TEST(ResultType, CarriesValueOrError) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> bad(Error{FaultKind::kOracleThrow, "down"});
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().kind, FaultKind::kOracleThrow);
+  EXPECT_EQ(bad.error().message, "down");
+}
+
+TEST(HealthReport, CountsFaultsAndFallbacks) {
+  HealthReport health;
+  health.samples_seen = 10;
+  health.record_sample_fault(FaultKind::kTelemetryNaN);
+  health.record_sample_fault(FaultKind::kTelemetryNaN);
+  health.record_interval_fault(FaultKind::kSolverFailure);
+  health.intervals_seen = 4;
+  health.record_fallback(FallbackReason::kSolverNotConverged);
+  health.record_fallback(FallbackReason::kNone);  // no-op
+  EXPECT_EQ(health.samples_faulted, 2u);
+  EXPECT_EQ(health.faults_of(FaultKind::kTelemetryNaN), 2u);
+  EXPECT_EQ(health.faults_of(FaultKind::kSolverFailure), 1u);
+  EXPECT_EQ(health.intervals_fallback, 1u);
+  EXPECT_DOUBLE_EQ(health.fallback_rate(), 0.25);
+  EXPECT_NE(health.summary().find("solver-not-converged=1"),
+            std::string::npos);
+}
+
+FaultInjectorConfig mixed_faults(double rate) {
+  FaultInjectorConfig config;
+  config.telemetry_nan_rate = rate / 4.0;
+  config.telemetry_dropout_rate = rate / 4.0;
+  config.telemetry_spike_rate = rate / 4.0;
+  config.telemetry_stuck_rate = rate / 4.0;
+  config.battery_outage_rate = rate;
+  config.oracle_throw_rate = rate / 3.0;
+  config.oracle_bad_length_rate = rate / 3.0;
+  config.oracle_stale_rate = rate / 3.0;
+  config.solver_failure_rate = rate;
+  return config;
+}
+
+TEST(FaultInjectorConfig, Validation) {
+  EXPECT_NO_THROW(mixed_faults(0.3).validate());
+  FaultInjectorConfig config;
+  config.telemetry_nan_rate = 0.6;
+  config.telemetry_dropout_rate = 0.6;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = FaultInjectorConfig{};
+  config.solver_failure_rate = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = FaultInjectorConfig{};
+  config.battery_capacity_fade = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = FaultInjectorConfig{};
+  config.spike_multiplier = 1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  FaultInjector a(mixed_faults(0.2), 99);
+  FaultInjector b(mixed_faults(0.2), 99);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double clean = 100.0 + static_cast<double>(i);
+    const double va = a.corrupt_sample(i, clean);
+    const double vb = b.corrupt_sample(i, clean);
+    if (std::isnan(va))
+      EXPECT_TRUE(std::isnan(vb));
+    else
+      EXPECT_DOUBLE_EQ(va, vb);
+    EXPECT_EQ(a.battery_available(i), b.battery_available(i));
+    EXPECT_EQ(a.solver_should_fail(i), b.solver_should_fail(i));
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(FaultInjector, FaultSetsAreNestedInTheRate) {
+  // Keyed-by-index draws make the faults injected at a low rate a subset
+  // of those at any higher rate — the property that makes the bench's
+  // fallback-vs-rate curves monotone by construction.
+  FaultInjector low(mixed_faults(0.08), 7);
+  FaultInjector high(mixed_faults(0.32), 7);
+  std::size_t low_faults = 0, high_faults = 0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    // Strictly increasing clean values so any corruption is detectable.
+    const double clean = static_cast<double>(i + 1);
+    const bool low_faulted = low.corrupt_sample(i, clean) != clean;
+    const bool high_faulted = high.corrupt_sample(i, clean) != clean;
+    if (low_faulted) {
+      EXPECT_TRUE(high_faulted) << "fault at rate 0.08 missing at 0.32, i="
+                                << i;
+      ++low_faults;
+    }
+    if (high_faulted) ++high_faults;
+    if (!low.battery_available(i)) EXPECT_FALSE(high.battery_available(i));
+    if (low.solver_should_fail(i)) EXPECT_TRUE(high.solver_should_fail(i));
+  }
+  EXPECT_GT(low_faults, 0u);
+  EXPECT_GT(high_faults, low_faults);
+}
+
+TEST(FaultInjector, ZeroRateInjectsNothing) {
+  FaultInjector injector(FaultInjectorConfig{}, 3);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(injector.corrupt_sample(i, 50.0 + static_cast<double>(i)),
+                     50.0 + static_cast<double>(i));
+    EXPECT_TRUE(injector.battery_available(i));
+    EXPECT_FALSE(injector.solver_should_fail(i));
+  }
+  for (std::size_t k = 0; k < kFaultKindCount; ++k)
+    EXPECT_EQ(injector.injected()[k], 0u);
+}
+
+TEST(FaultInjector, BatteryOutagesSpanConfiguredWindows) {
+  FaultInjectorConfig config;
+  config.battery_outage_rate = 0.05;
+  config.battery_outage_intervals = 4;
+  FaultInjector injector(config, 11);
+  // Every unavailable stretch is at least the window long (overlapping
+  // starts can extend it).
+  std::size_t run = 0, runs = 0;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    if (!injector.battery_available(i)) {
+      ++run;
+    } else if (run > 0) {
+      EXPECT_GE(run, 4u);
+      run = 0;
+      ++runs;
+    }
+  }
+  EXPECT_GT(runs, 0u);
+}
+
+TEST(FaultInjector, StuckWindowsReplayTheLastCleanValue) {
+  FaultInjectorConfig config;
+  config.telemetry_stuck_rate = 0.05;
+  config.stuck_window_samples = 5;
+  FaultInjector injector(config, 23);
+  double last_clean = 0.0;
+  bool saw_stuck = false;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const double clean = static_cast<double>(i + 1);
+    const double out = injector.corrupt_sample(i, clean);
+    if (out != clean) {
+      saw_stuck = true;
+      EXPECT_DOUBLE_EQ(out, last_clean);
+    } else {
+      last_clean = clean;
+    }
+  }
+  EXPECT_TRUE(saw_stuck);
+  EXPECT_GT(injector.injected_of(FaultKind::kTelemetryStuck), 0u);
+}
+
+TEST(FaultInjector, WrappedOracleInjectsEveryFailureKind) {
+  FaultInjectorConfig config;
+  config.oracle_throw_rate = 0.2;
+  config.oracle_bad_length_rate = 0.2;
+  config.oracle_stale_rate = 0.2;
+  FaultInjector injector(config, 5);
+  auto oracle = injector.wrap_oracle([](std::size_t interval) {
+    return std::vector<double>(12, static_cast<double>(interval));
+  });
+  std::size_t throws = 0, truncated = 0, stale = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    try {
+      const auto forecast = oracle(i);
+      if (forecast.size() != 12)
+        ++truncated;
+      else if (forecast[0] != static_cast<double>(i))
+        ++stale;
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  EXPECT_GT(throws, 0u);
+  EXPECT_GT(truncated, 0u);
+  EXPECT_GT(stale, 0u);
+  EXPECT_EQ(injector.injected_of(FaultKind::kOracleThrow), throws);
+  EXPECT_EQ(injector.injected_of(FaultKind::kOracleBadLength), truncated);
+}
+
+TEST(FaultInjector, FadedSpecShrinksCapacityOnly) {
+  FaultInjectorConfig config;
+  config.battery_capacity_fade = 0.25;
+  FaultInjector injector(config, 1);
+  battery::BatterySpec spec;
+  spec.capacity = util::KilowattHours{200.0};
+  const auto faded = injector.faded_spec(spec);
+  EXPECT_DOUBLE_EQ(faded.capacity.value(), 150.0);
+  EXPECT_DOUBLE_EQ(faded.max_charge_rate.value(),
+                   spec.max_charge_rate.value());
+}
+
+}  // namespace
+}  // namespace smoother::resilience
+
+// ---------------------------------------------------------------------------
+// OnlineSmoother integration: degraded-mode state machine and the soak test.
+// ---------------------------------------------------------------------------
+namespace smoother::core {
+namespace {
+
+using resilience::FallbackReason;
+using resilience::FaultInjector;
+using resilience::FaultInjectorConfig;
+
+OnlineSmootherConfig streaming_config() {
+  OnlineSmootherConfig config;
+  config.rated_power = util::Kilowatts{800.0};
+  config.warmup_intervals = 4;
+  config.history_intervals = 48;
+  config.recovery_intervals = 3;
+  return config;
+}
+
+battery::Battery streaming_battery() {
+  auto spec = battery::spec_for_max_rate(util::Kilowatts{488.0},
+                                         util::kFiveMinutes, 2.0);
+  spec.charge_efficiency = 1.0;
+  spec.discharge_efficiency = 1.0;
+  return battery::Battery(spec);
+}
+
+/// Sawtooth supply: every interval fluctuates identically, so every
+/// post-warmup interval is classified smoothable (threshold degeneracy is
+/// handled by the epsilon floor) and persistence forecasts are exact.
+std::vector<double> sawtooth_supply(std::size_t samples) {
+  std::vector<double> supply(samples);
+  for (std::size_t i = 0; i < samples; ++i)
+    supply[i] = 200.0 + 50.0 * static_cast<double>(i % 12);
+  return supply;
+}
+
+TEST(OnlineResilience, CleanInputKeepsEveryCounterAtZero) {
+  OnlineSmoother smoother(streaming_config(), streaming_battery());
+  const auto supply = sawtooth_supply(12 * 40);
+  for (double v : supply) smoother.push(v);
+  EXPECT_EQ(smoother.health().samples_faulted, 0u);
+  EXPECT_EQ(smoother.health().intervals_fallback, 0u);
+  EXPECT_EQ(smoother.health().degraded_entries, 0u);
+  EXPECT_FALSE(smoother.degraded());
+  for (const auto& record : smoother.records())
+    EXPECT_EQ(record.fallback, FallbackReason::kNone);
+}
+
+TEST(OnlineResilience, BatteryOutageFallsBackToPassThrough) {
+  OnlineSmoother smoother(streaming_config(), streaming_battery());
+  std::size_t polls = 0;
+  smoother.set_battery_monitor([&](std::size_t interval) {
+    ++polls;
+    return !(interval >= 10 && interval < 14);
+  });
+  const auto supply = sawtooth_supply(12 * 20);
+  for (double v : supply) smoother.push(v);
+  ASSERT_EQ(smoother.records().size(), 20u);
+  EXPECT_EQ(polls, 20u);  // exactly one poll per interval
+  for (std::size_t k = 10; k < 14; ++k) {
+    EXPECT_EQ(smoother.records()[k].fallback, FallbackReason::kBatteryFaulted);
+    EXPECT_FALSE(smoother.records()[k].smoothed);
+    // Pass-through: output of the faulted interval equals its input.
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_DOUBLE_EQ(smoother.output()[k * 12 + i], supply[k * 12 + i]);
+  }
+  EXPECT_EQ(smoother.health().fallbacks_of(FallbackReason::kBatteryFaulted),
+            4u);
+  EXPECT_FALSE(smoother.degraded());  // outage cleared, hysteresis elapsed
+  EXPECT_EQ(smoother.health().recoveries, 1u);
+}
+
+TEST(OnlineResilience, ForcedSolverFailureUsesCheapFallbackPlan) {
+  OnlineSmoother smoother(streaming_config(), streaming_battery());
+  solver::QpSettings crippled;
+  crippled.max_iterations = 0;  // guaranteed kMaxIterations
+  std::size_t forced = 0;
+  smoother.set_solver_settings_hook(
+      [&](std::size_t interval) -> std::optional<solver::QpSettings> {
+        if (interval == 8) {
+          ++forced;
+          return crippled;
+        }
+        return std::nullopt;
+      });
+  const auto supply = sawtooth_supply(12 * 20);
+  for (double v : supply) smoother.push(v);
+  EXPECT_EQ(forced, 1u);
+  const auto& record = smoother.records()[8];
+  EXPECT_EQ(record.fallback, FallbackReason::kSolverNotConverged);
+  // The cheap plan still engages the battery and the corridor holds.
+  EXPECT_TRUE(record.smoothed);
+  EXPECT_GE(smoother.battery().soc_fraction(), 0.10 - 1e-9);
+  EXPECT_LE(smoother.battery().soc_fraction(), 1.0 + 1e-9);
+  // Hysteresis: the next recovery_intervals smoothable intervals hold.
+  EXPECT_EQ(smoother.records()[9].fallback, FallbackReason::kDegradedHold);
+  EXPECT_TRUE(smoother.records()[9].degraded);
+  // And the QP path resumes afterwards.
+  bool resumed = false;
+  for (std::size_t k = 12; k < smoother.records().size(); ++k)
+    resumed = resumed ||
+              (smoother.records()[k].smoothed &&
+               smoother.records()[k].fallback == FallbackReason::kNone);
+  EXPECT_TRUE(resumed);
+}
+
+TEST(OnlineResilience, MostlyFaultedIntervalIsNotPlannedOn) {
+  OnlineSmoother smoother(streaming_config(), streaming_battery());
+  const auto supply = sawtooth_supply(12 * 20);
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    // Interval 10: 7 of 12 samples lost (above the 50% threshold).
+    const bool corrupt = i / 12 == 10 && i % 12 < 7;
+    smoother.push(corrupt ? kNaN : supply[i]);
+  }
+  EXPECT_EQ(smoother.records()[10].fallback,
+            FallbackReason::kTelemetryUnreliable);
+  EXPECT_FALSE(smoother.records()[10].smoothed);
+  EXPECT_EQ(smoother.health().samples_faulted, 7u);
+  EXPECT_FALSE(smoother.degraded());  // recovered on the clean tail
+}
+
+TEST(OnlineResilience, PushMissingGapFillsAndCounts) {
+  OnlineSmoother smoother(streaming_config(), streaming_battery());
+  smoother.push(500.0);
+  const auto record = smoother.push_missing();
+  EXPECT_FALSE(record.has_value());
+  EXPECT_EQ(smoother.health().faults_of(
+                resilience::FaultKind::kTelemetryDropout),
+            1u);
+  for (int i = 0; i < 10; ++i) smoother.push(500.0);
+  // The gap was filled by persistence: a flat interval stays flat.
+  EXPECT_DOUBLE_EQ(smoother.output()[1], 500.0);
+}
+
+// The acceptance soak: >= 10k intervals mixing every fault kind, no
+// exception escapes, stream stays aligned, corridor holds, and the
+// smoother is back in normal QP-planned mode once faults clear.
+TEST(OnlineResilience, TenThousandIntervalMixedFaultSoak) {
+  OnlineSmootherConfig config;
+  config.flexible_smoothing.points_per_interval = 4;
+  config.flexible_smoothing.qp.max_iterations = 2000;
+  config.rated_power = util::Kilowatts{800.0};
+  config.warmup_intervals = 8;
+  config.history_intervals = 96;
+  config.recovery_intervals = 3;
+  auto spec = battery::spec_for_max_rate(util::Kilowatts{400.0},
+                                         util::kFiveMinutes, 2.0);
+
+  FaultInjectorConfig faults;
+  faults.telemetry_nan_rate = 0.02;
+  faults.telemetry_dropout_rate = 0.02;
+  faults.telemetry_spike_rate = 0.02;
+  faults.telemetry_stuck_rate = 0.02;
+  faults.battery_outage_rate = 0.03;
+  faults.battery_capacity_fade = 0.10;
+  faults.oracle_throw_rate = 0.05;
+  faults.oracle_bad_length_rate = 0.05;
+  faults.oracle_stale_rate = 0.05;
+  faults.solver_failure_rate = 0.05;
+  FaultInjector injector(faults, 2026);
+
+  OnlineSmoother smoother(config,
+                          battery::Battery(injector.faded_spec(spec)));
+
+  constexpr std::size_t kFaultyIntervals = 10000;
+  constexpr std::size_t kCleanTail = 50;
+  constexpr std::size_t kPoints = 4;
+  const std::size_t total_samples =
+      (kFaultyIntervals + kCleanTail) * kPoints;
+
+  // Synthetic smoothable supply: slow sinusoid + deterministic noise.
+  util::Rng rng(77);
+  std::vector<double> clean(total_samples);
+  for (std::size_t i = 0; i < total_samples; ++i)
+    clean[i] = 400.0 + 200.0 * std::sin(static_cast<double>(i) / 17.0) +
+               rng.uniform(0.0, 120.0);
+
+  const auto perfect = [&](std::size_t interval) {
+    std::vector<double> predicted(kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i)
+      predicted[i] = clean[interval * kPoints + i];
+    return predicted;
+  };
+  const std::size_t faulty_samples = kFaultyIntervals * kPoints;
+  // Faults stop at the tail: the wrapped (fault-injecting) oracle serves
+  // the first kFaultyIntervals, the clean one serves the rest.
+  auto faulty_oracle = injector.wrap_oracle(perfect);
+  smoother.set_forecast_oracle([&, faulty_oracle](std::size_t interval) {
+    return interval * kPoints < faulty_samples ? faulty_oracle(interval)
+                                               : perfect(interval);
+  });
+  solver::QpSettings crippled = config.flexible_smoothing.qp;
+  crippled.max_iterations = 0;
+  smoother.set_battery_monitor([&](std::size_t interval) {
+    return interval * kPoints >= faulty_samples ||
+           injector.battery_available(interval);
+  });
+  smoother.set_solver_settings_hook(
+      [&](std::size_t interval) -> std::optional<solver::QpSettings> {
+        if (interval * kPoints < faulty_samples &&
+            injector.solver_should_fail(interval))
+          return crippled;
+        return std::nullopt;
+      });
+
+  for (std::size_t i = 0; i < total_samples; ++i) {
+    const double raw =
+        i < faulty_samples ? injector.corrupt_sample(i, clean[i]) : clean[i];
+    ASSERT_NO_THROW(smoother.push(raw)) << "sample " << i;
+  }
+
+  // Alignment and corridor invariants.
+  ASSERT_EQ(smoother.records().size(), kFaultyIntervals + kCleanTail);
+  EXPECT_EQ(smoother.output().size(), total_samples);
+  EXPECT_GE(smoother.battery().soc_fraction(),
+            smoother.battery().spec().min_soc_fraction - 1e-9);
+  EXPECT_LE(smoother.battery().soc_fraction(), 1.0 + 1e-9);
+
+  // Every fault kind was actually exercised.
+  const auto& health = smoother.health();
+  EXPECT_GT(health.samples_faulted, 0u);
+  EXPECT_GT(health.fallbacks_of(FallbackReason::kBatteryFaulted), 0u);
+  EXPECT_GT(health.fallbacks_of(FallbackReason::kOracleFailed), 0u);
+  EXPECT_GT(health.fallbacks_of(FallbackReason::kSolverNotConverged), 0u);
+  EXPECT_GT(health.fallbacks_of(FallbackReason::kDegradedHold), 0u);
+  EXPECT_GT(health.recoveries, 0u);
+
+  // Faults cleared for the tail: the smoother must be back in normal mode
+  // and planning with the QP again.
+  EXPECT_FALSE(smoother.degraded());
+  std::size_t planned_tail = 0;
+  for (std::size_t k = kFaultyIntervals + config.recovery_intervals;
+       k < smoother.records().size(); ++k) {
+    EXPECT_EQ(smoother.records()[k].fallback, FallbackReason::kNone);
+    if (smoother.records()[k].smoothed) ++planned_tail;
+  }
+  EXPECT_GT(planned_tail, 0u);
+}
+
+}  // namespace
+}  // namespace smoother::core

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Configure, build and run the test suite under ASan+UBSan.
+#
+# The resilience acceptance gate: the >=10k-interval mixed-fault soak (and
+# the rest of the fault-injection tests) must run clean under both
+# sanitizers. By default only the resilience-focused subset runs, which
+# keeps the loop fast; pass --full for the whole suite.
+#
+# Usage:
+#   tools/run_sanitized_tests.sh           # resilience subset
+#   tools/run_sanitized_tests.sh --full    # every test
+#
+# The sanitized build lives in build-asan/ next to the normal build/ and is
+# configured via the SMOOTHER_SANITIZE CMake option ("address,undefined").
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="$repo/build-asan"
+filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing"
+if [[ "${1:-}" == "--full" ]]; then
+  filter=""
+fi
+
+cmake -B "$build" -S "$repo" \
+  -DSMOOTHER_SANITIZE=address,undefined \
+  -DSMOOTHER_BUILD_BENCH=OFF \
+  -DSMOOTHER_BUILD_EXAMPLES=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+
+export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+cd "$build"
+if [[ -n "$filter" ]]; then
+  ctest --output-on-failure -j "$(nproc)" -R "$filter"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi
+echo "sanitized test pass complete (ASan+UBSan)."

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "smoother/core/smoother.hpp"
 #include "smoother/runtime/sweep_runner.hpp"
 #include "smoother/sim/dispatch.hpp"
@@ -42,31 +43,10 @@ inline constexpr std::uint64_t kSeedBatch = 20050209;  // archive log era
 /// The paper's evaluation cluster.
 inline constexpr std::size_t kServers = 11000;
 
-/// Shared bench flag: `--threads N` selects the worker count for binaries
-/// whose grids run on runtime::SweepRunner (0 = one worker per hardware
-/// thread, 1 = strictly serial). Results are ordered by grid index, so the
-/// printed output is identical for every thread count; binaries keep the
-/// harness convention of running with no arguments.
-inline std::size_t parse_threads_flag(int argc, char** argv) {
-  util::ArgParser parser(argv[0], "regenerates one figure/table of the "
-                                  "paper's evaluation");
-  parser.add_option("threads",
-                    "worker threads for grid sweeps (0 = all hardware "
-                    "threads, 1 = serial)",
-                    "0");
-  try {
-    const auto parsed =
-        parser.parse(std::vector<std::string>(argv + 1, argv + argc));
-    return static_cast<std::size_t>(parsed.unsigned_integer("threads"));
-  } catch (const util::ArgError& error) {
-    std::cerr << error.what() << "\n" << parser.usage();
-    std::exit(2);
-  }
-}
-
 /// Figs. 11/13: switching times W/ Comp vs W/ FS across the five Table I
 /// web workloads, on high-volatility wind at the given installed capacity.
-inline void run_web_switching_sweep(util::Kilowatts capacity) {
+inline void run_web_switching_sweep(util::Kilowatts capacity,
+                                    std::ostream& out = std::cout) {
   const auto config = sim::default_config(capacity);
   sim::TablePrinter table({"workload", "w_comp_switches", "w_fs_switches",
                            "fs_vs_comp_%", "raw_switches"});
@@ -85,16 +65,17 @@ inline void run_web_switching_sweep(util::Kilowatts capacity) {
                                    static_cast<double>(cmp.with_comp)),
          std::to_string(cmp.without_fs)});
   }
-  table.print(std::cout);
-  std::cout << util::strfmt(
+  table.print(out);
+  out << util::strfmt(
       "\nmean switching reduction of FS vs Comp: %.0f%%\n",
       100.0 * (total_comp - total_fs) / total_comp);
-  std::cout << "paper shape: W/ FS below W/ Comp for every workload.\n";
+  out << "paper shape: W/ FS below W/ Comp for every workload.\n";
 }
 
 /// Figs. 12/14: switching times W/ Comp vs W/ FS across the six Table III
 /// wind traces, against the NASA web workload.
-inline void run_wind_switching_sweep(util::Kilowatts capacity) {
+inline void run_wind_switching_sweep(util::Kilowatts capacity,
+                                     std::ostream& out = std::cout) {
   const auto config = sim::default_config(capacity);
   sim::TablePrinter table({"wind_trace", "group", "w_comp_switches",
                            "w_fs_switches", "fs_vs_comp_%"});
@@ -119,13 +100,13 @@ inline void run_wind_switching_sweep(util::Kilowatts capacity) {
                    std::to_string(cmp.with_comp), std::to_string(cmp.with_fs),
                    util::strfmt("%+.0f", -gain)});
   }
-  table.print(std::cout);
-  std::cout << util::strfmt(
+  table.print(out);
+  out << util::strfmt(
       "\nmean FS-vs-Comp reduction: low-volatility %.0f%%, high-volatility "
       "%.0f%%\n",
       low_gain, high_gain);
-  std::cout << "paper shape: FS helps on every trace and most on the "
-               "high-volatility group.\n";
+  out << "paper shape: FS helps on every trace and most on the "
+         "high-volatility group.\n";
 }
 
 }  // namespace smoother::bench

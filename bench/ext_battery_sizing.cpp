@@ -11,7 +11,8 @@
 int main(int argc, char** argv) {
   using namespace smoother;
   using namespace smoother::bench;
-  const std::size_t threads = parse_threads_flag(argc, argv);
+  const smoother::bench::Harness harness(argc, argv);
+  const std::size_t threads = harness.threads();
   sim::print_experiment_header(
       std::cout, "Extension: battery sizing",
       "smoothing quality vs battery capacity headroom (paper's remark)");

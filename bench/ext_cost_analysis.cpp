@@ -23,7 +23,8 @@ struct Arm {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother::bench;
   sim::print_experiment_header(
       std::cout, "Extension: cost",

@@ -165,7 +165,8 @@ std::string digest(const std::vector<runtime::SweepResult<CellResult>>& grid) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = parse_threads_flag(argc, argv);
+  const smoother::bench::Harness harness(argc, argv);
+  const std::size_t threads = harness.threads();
   sim::print_experiment_header(
       std::cout, "ext: fault injection",
       "online-middleware fallback behaviour under injected faults "

@@ -24,7 +24,8 @@ sim::FrequencyStats fluctuation_response(const sim::GridFrequencyModel& grid,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother::bench;
   sim::print_experiment_header(
       std::cout, "Extension: grid frequency",

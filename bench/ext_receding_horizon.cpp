@@ -13,7 +13,8 @@
 #include "smoother/core/metrics.hpp"
 #include "smoother/stats/descriptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

@@ -15,7 +15,8 @@
 #include "smoother/stats/descriptive.hpp"
 #include "smoother/trace/solar_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

@@ -2,7 +2,8 @@
 // Smoothing (the W/O FS vs W/ FS curves with the Region-II-1 circle).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

@@ -14,7 +14,8 @@
 int main(int argc, char** argv) {
   using namespace smoother;
   using namespace smoother::bench;
-  const std::size_t threads = parse_threads_flag(argc, argv);
+  const smoother::bench::Harness harness(argc, argv);
+  const std::size_t threads = harness.threads();
   sim::print_experiment_header(
       std::cout, "Fig. 6",
       "threshold sweep: switching times and required battery rate vs CDF");

@@ -35,7 +35,9 @@ void print_schedule(const char* title, const sched::ScheduleResult& result,
         [&](const sched::Job& candidate) {
           return candidate.id == placement.job_id;
         });
-    table.add_row({"J" + std::to_string(placement.job_id),
+    table.add_row({util::strfmt("J%llu",
+                                static_cast<unsigned long long>(
+                                    placement.job_id)),
                    util::strfmt("%.0f", j.arrival.value()),
                    util::strfmt("%.0f", placement.start.value()),
                    util::strfmt("%.0f", placement.finish.value()),
@@ -54,7 +56,8 @@ void print_schedule(const char* title, const sched::ScheduleResult& result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   sim::print_experiment_header(
       std::cout, "Fig. 8", "Active Delay schematic with the real scheduler");

@@ -6,7 +6,8 @@
 #include "smoother/power/datacenter.hpp"
 #include "smoother/stats/descriptive.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

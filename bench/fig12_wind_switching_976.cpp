@@ -4,7 +4,8 @@
 
 #include <algorithm>
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

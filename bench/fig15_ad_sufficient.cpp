@@ -3,7 +3,8 @@
 // the demand-coverable renewable energy.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

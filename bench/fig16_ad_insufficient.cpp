@@ -2,7 +2,8 @@
 // demand soaks up nearly all of the scarce supply.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

@@ -4,7 +4,8 @@
 // biggest jump for HPC2N under low supply (0.19 -> 0.81).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

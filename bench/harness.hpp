@@ -1,0 +1,208 @@
+// bench::Harness — the one entry point every bench binary goes through.
+//
+// Replaces the old free-function flag parsing (parse_threads_flag): the
+// harness owns the ArgParser, so every figure/table/micro binary accepts
+// the same flags with the same semantics and none of them defines its own
+// parser:
+//
+//   --threads N       worker count for SweepRunner grids (0 = all hardware
+//                     threads, 1 = strictly serial). Results are ordered by
+//                     grid index, so printed output is identical for every
+//                     thread count.
+//   --metrics-out F   enable the smoother::obs layer for the run and write
+//                     the collected metrics + trace to F as JSON. Without
+//                     the flag no registry/tracer is installed and every
+//                     instrumentation site is a single relaxed null-check —
+//                     the figure outputs are byte-identical either way.
+//
+// The harness also centralizes the experiment constants (seeds, installed
+// capacities) behind accessors and exposes the output sink the binaries
+// print their tables to, so a future run could redirect it wholesale.
+//
+// Pass-through mode (HarnessOptions::pass_through_unknown) is for the
+// google-benchmark micros: the harness consumes its own flags and leaves
+// everything else (--benchmark_filter=..., --benchmark_format=...) in argv
+// for benchmark::Initialize to pick up.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
+#include "smoother/util/args.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::bench {
+
+struct HarnessOptions {
+  std::string description =
+      "regenerates one figure/table of the paper's evaluation";
+  /// Leave unrecognized arguments in argv (google-benchmark micros) instead
+  /// of rejecting them with usage + exit(2).
+  bool pass_through_unknown = false;
+};
+
+class Harness {
+ public:
+  /// The fixed experiment seeds; the bench output is bit-reproducible run
+  /// to run because every stochastic input derives from these.
+  struct Seeds {
+    std::uint64_t wind = 20110501;   ///< "May 2011"
+    std::uint64_t web = 19950828;    ///< ITA log era
+    std::uint64_t batch = 20050209;  ///< archive log era
+  };
+
+  /// Parses argv. On a flag error prints the problem + usage and exits
+  /// with status 2 (the old parse_threads_flag contract). In pass-through
+  /// mode, consumed flags are removed from argv and argc is updated.
+  Harness(int& argc, char** argv, HarnessOptions options = HarnessOptions{})
+      : program_(argc > 0 ? argv[0] : "bench") {
+    if (options.pass_through_unknown) {
+      parse_pass_through(argc, argv);
+    } else {
+      parse_strict(argc, argv, options.description);
+    }
+    if (!metrics_path_.empty()) {
+      registry_.emplace();
+      tracer_.emplace();
+      metrics_scope_.emplace(&*registry_);
+      tracer_scope_.emplace(&*tracer_);
+    }
+  }
+
+  /// Uninstalls the obs layer and writes the metrics file (if requested).
+  ~Harness() {
+    // Scopes first: no instrumentation may fire while we serialize.
+    tracer_scope_.reset();
+    metrics_scope_.reset();
+    if (!metrics_path_.empty()) write_metrics_file();
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// --threads value (0 = one worker per hardware thread, 1 = serial).
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// The shared experiment seeds.
+  [[nodiscard]] static constexpr Seeds seeds() { return Seeds{}; }
+
+  /// The paper's two installed wind capacities (Figs. 11-14).
+  [[nodiscard]] static constexpr util::Kilowatts capacity_small() {
+    return util::Kilowatts{976.0};
+  }
+  [[nodiscard]] static constexpr util::Kilowatts capacity_large() {
+    return util::Kilowatts{1525.0};
+  }
+
+  /// Where the binary's tables/figures go. One sink for the whole binary so
+  /// output can be redirected in one place.
+  [[nodiscard]] std::ostream& out() const { return *out_; }
+
+  /// True when --metrics-out enabled the obs layer for this run.
+  [[nodiscard]] bool metrics_enabled() const { return registry_.has_value(); }
+
+  [[nodiscard]] const std::string& metrics_path() const {
+    return metrics_path_;
+  }
+
+  /// The harness-owned registry/tracer (null without --metrics-out). These
+  /// are also installed as the process-global instances for the harness's
+  /// lifetime, so instrumented library code reports here automatically.
+  [[nodiscard]] obs::MetricsRegistry* metrics() {
+    return registry_ ? &*registry_ : nullptr;
+  }
+  [[nodiscard]] obs::Tracer* tracer() {
+    return tracer_ ? &*tracer_ : nullptr;
+  }
+
+ private:
+  void parse_strict(int argc, char** argv, const std::string& description) {
+    util::ArgParser parser(program_, description);
+    parser.add_option("threads",
+                      "worker threads for grid sweeps (0 = all hardware "
+                      "threads, 1 = serial)",
+                      "0");
+    parser.add_option("metrics-out",
+                      "write collected obs metrics + trace to FILE as JSON "
+                      "(empty = observability off)",
+                      "");
+    try {
+      const auto parsed =
+          parser.parse(std::vector<std::string>(argv + 1, argv + argc));
+      threads_ =
+          static_cast<std::size_t>(parsed.unsigned_integer("threads"));
+      metrics_path_ = parsed.get("metrics-out");
+    } catch (const util::ArgError& error) {
+      std::cerr << error.what() << "\n" << parser.usage();
+      std::exit(2);
+    }
+  }
+
+  /// Manual scan for pass-through mode: pull out `--threads N` /
+  /// `--metrics-out F` (space- or =-separated), compact argv around them.
+  void parse_pass_through(int& argc, char** argv) {
+    int write = 1;
+    for (int read = 1; read < argc; ++read) {
+      const std::string arg = argv[read];
+      auto value_of = [&](const std::string& flag,
+                          std::string& out) -> bool {
+        if (arg == flag) {
+          if (read + 1 >= argc) {
+            std::cerr << program_ << ": " << flag << " needs a value\n";
+            std::exit(2);
+          }
+          out = argv[++read];
+          return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+          out = arg.substr(flag.size() + 1);
+          return true;
+        }
+        return false;
+      };
+      std::string value;
+      if (value_of("--threads", value)) {
+        threads_ = static_cast<std::size_t>(std::strtoull(
+            value.c_str(), nullptr, 10));
+      } else if (value_of("--metrics-out", value)) {
+        metrics_path_ = value;
+      } else {
+        argv[write++] = argv[read];
+      }
+    }
+    argc = write;
+    argv[argc] = nullptr;
+  }
+
+  void write_metrics_file() const {
+    std::ofstream file(metrics_path_);
+    if (!file) {
+      std::cerr << program_ << ": cannot write " << metrics_path_ << "\n";
+      return;
+    }
+    file << "{\n  \"bench\": \"" << program_ << "\",\n  \"metrics\": "
+         << registry_->to_json() << ",\n  \"trace\": [";
+    const std::vector<std::string> events = tracer_->lines();
+    for (std::size_t i = 0; i < events.size(); ++i)
+      file << (i == 0 ? "\n    " : ",\n    ") << events[i];
+    file << (events.empty() ? "]" : "\n  ]") << "\n}\n";
+  }
+
+  std::string program_;
+  std::size_t threads_ = 0;
+  std::string metrics_path_;
+  std::ostream* out_ = &std::cout;
+  std::optional<obs::MetricsRegistry> registry_;
+  std::optional<obs::Tracer> tracer_;
+  std::optional<obs::GlobalMetricsScope> metrics_scope_;
+  std::optional<obs::GlobalTracerScope> tracer_scope_;
+};
+
+}  // namespace smoother::bench

@@ -1,0 +1,188 @@
+// Microbenchmark of the smoother::obs layer itself.
+//
+// The observability contract is "free when off, cheap when on":
+//   * off — no registry/tracer installed; every instrumentation site in
+//     the solver / online smoother / runtime collapses to one relaxed
+//     atomic load and a null check;
+//   * on  — counters are relaxed atomic adds, histograms a bucket scan,
+//     spans one mutex-guarded string append per completed span.
+//
+// Measured here, on the Fig. 6 threshold-sweep grid (28 full smooth +
+// dispatch passes over a week-long trace, run at --threads):
+//   * wall time with obs off vs obs fully on (registry + tracer), best of
+//     five — asserted to stay within a 5 % overhead budget;
+//   * byte-identity of the sweep results with obs on vs off — the layer
+//     must observe, never perturb;
+//   * raw instrument throughput (counter adds/sec, histogram records/sec,
+//     spans/sec) so the per-op cost has a trajectory to regress against.
+//
+// Emits BENCH_obs.json (and the same JSON on stdout). Exits non-zero when
+// the overhead budget or the identity check fails, so ctest catches a
+// regression in either.
+#include <fstream>
+#include <sstream>
+
+#include "common.hpp"
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/profile.hpp"
+#include "smoother/obs/trace.hpp"
+
+namespace {
+
+using namespace smoother;
+using namespace smoother::bench;
+
+struct SweepSample {
+  double wall_ms = 0.0;
+  std::string digest;       ///< serialized results, for the identity check
+  std::uint64_t events = 0; ///< trace events collected (obs-on runs)
+};
+
+/// One full fig06-style threshold-sweep grid pass.
+SweepSample run_threshold_grid(const sim::WebScenario& scenario,
+                               std::size_t threads) {
+  runtime::ParamGrid grid;
+  grid.axis("cdf_level", {0.80, 0.85, 0.90, 0.95, 0.98, 0.995, 1.0})
+      .axis("stable_cdf", {0.0, 0.10, 0.25, 0.40});
+  runtime::SweepRunner runner(
+      runtime::SweepOptions{threads, 0, "micro-obs-sweep"});
+  const auto results = runner.run_grid(
+      grid, [&scenario](const runtime::ParamGrid::Point& point,
+                        runtime::TaskContext&) {
+        auto config = sim::default_config(kCapacitySmall);
+        config.extreme_cdf = point["cdf_level"];
+        config.stable_cdf = point["stable_cdf"];
+        const core::Smoother middleware(config);
+        const auto smoothing = middleware.smooth_supply(scenario.supply);
+        return sim::dispatch(smoothing.supply, scenario.demand,
+                             sim::DispatchPolicy::kDirect)
+            .switching_times;
+      });
+  std::ostringstream digest;
+  for (const auto& result : results)
+    digest << result.index << ":" << result.value << ";";
+  SweepSample sample;
+  sample.wall_ms = runner.last_wall_ms();
+  sample.digest = digest.str();
+  return sample;
+}
+
+/// Best-of-N grid pass, optionally with the full obs layer installed.
+SweepSample best_of(const sim::WebScenario& scenario, std::size_t threads,
+                    int reps, bool with_obs) {
+  SweepSample best;
+  for (int rep = 0; rep < reps; ++rep) {
+    SweepSample sample;
+    if (with_obs) {
+      obs::MetricsRegistry registry;
+      obs::Tracer tracer;
+      const obs::GlobalMetricsScope metrics_scope(&registry);
+      const obs::GlobalTracerScope tracer_scope(&tracer);
+      sample = run_threshold_grid(scenario, threads);
+      sample.events = tracer.event_count();
+    } else {
+      sample = run_threshold_grid(scenario, threads);
+    }
+    if (rep == 0 || sample.wall_ms < best.wall_ms) {
+      const std::uint64_t events = std::max(best.events, sample.events);
+      best = sample;
+      best.events = events;
+    }
+  }
+  return best;
+}
+
+/// Raw instrument throughput, ops/sec over `ops` operations.
+template <class Op>
+double ops_per_sec(std::size_t ops, Op&& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) op(i);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(ops) / elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
+  sim::print_experiment_header(
+      std::cout, "micro: obs",
+      "overhead and identity of the metrics/tracing layer on the Fig. 6 "
+      "sweep");
+
+  const auto scenario = sim::make_web_scenario(
+      trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
+      kCapacitySmall, kWeek, kSeedWind);
+
+  constexpr int kReps = 5;
+  const std::size_t threads = harness.threads();
+  const SweepSample off = best_of(scenario, threads, kReps, false);
+  const SweepSample on = best_of(scenario, threads, kReps, true);
+
+  const double overhead_pct =
+      off.wall_ms > 0.0 ? 100.0 * (on.wall_ms - off.wall_ms) / off.wall_ms
+                        : 0.0;
+  const bool within_budget = overhead_pct < 5.0;
+  const bool identical = on.digest == off.digest;
+
+  // Raw instrument cost (obs on): these run outside the sweep so the
+  // numbers isolate the instrument, not the workload.
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("micro.counter");
+  const double counter_ops = ops_per_sec(
+      10'000'000, [&counter](std::size_t) { counter.add(1); });
+  obs::Histogram& histogram = registry.timing_histogram("micro.hist");
+  const double histogram_ops = ops_per_sec(
+      1'000'000, [&histogram](std::size_t i) {
+        histogram.record(static_cast<double>(i % 512));
+      });
+  obs::Tracer tracer;
+  const double span_ops = ops_per_sec(100'000, [&tracer](std::size_t i) {
+    obs::Span span(&tracer, "micro-span");
+    span.field("i", i);
+  });
+  // And the off path: a dead counter lookup through the null global.
+  const double off_ops = ops_per_sec(10'000'000, [](std::size_t) {
+    obs::MetricsRegistry* metrics = obs::global_metrics();
+    if (metrics != nullptr) metrics->counter("never").add(1);
+  });
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"micro_obs\",\n"
+       << "  \"grid\": \"fig06_threshold_sweep (7 levels x 4 splits)\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"hardware_concurrency\": " << runtime::resolve_thread_count(0)
+       << ",\n"
+       << util::strfmt("  \"wall_ms_obs_off\": %.2f,\n", off.wall_ms)
+       << util::strfmt("  \"wall_ms_obs_on\": %.2f,\n", on.wall_ms)
+       << util::strfmt("  \"overhead_pct\": %.2f,\n", overhead_pct)
+       << "  \"overhead_budget_pct\": 5.0,\n"
+       << "  \"within_budget\": " << (within_budget ? "true" : "false")
+       << ",\n"
+       << "  \"outputs_identical\": " << (identical ? "true" : "false")
+       << ",\n"
+       << "  \"trace_events_per_sweep\": " << on.events << ",\n"
+       << util::strfmt("  \"counter_adds_per_sec\": %.0f,\n", counter_ops)
+       << util::strfmt("  \"histogram_records_per_sec\": %.0f,\n",
+                       histogram_ops)
+       << util::strfmt("  \"spans_per_sec\": %.0f,\n", span_ops)
+       << util::strfmt("  \"disabled_site_checks_per_sec\": %.0f\n", off_ops)
+       << "}\n";
+
+  std::cout << json.str();
+  std::ofstream out("BENCH_obs.json");
+  out << json.str();
+  std::cout << "\nwrote BENCH_obs.json";
+  if (!identical)
+    std::cout << "; ERROR: sweep results changed with observability on!";
+  if (!within_budget)
+    std::cout << util::strfmt("; ERROR: obs overhead %.2f%% over the 5%% "
+                              "budget!",
+                              overhead_pct);
+  if (identical && within_budget)
+    std::cout << "; obs on/off byte-identical, overhead within budget.";
+  std::cout << "\n";
+  return identical && within_budget ? 0 : 1;
+}

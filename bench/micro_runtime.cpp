@@ -76,7 +76,8 @@ double tiny_task_throughput(std::size_t threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   sim::print_experiment_header(
       std::cout, "micro: runtime",
       "serial-vs-parallel speedup of the work-stealing sweep engine");

@@ -2,6 +2,8 @@
 // and a full one-day smoothing pass.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
+
 #include "smoother/core/active_delay.hpp"
 #include "smoother/core/smoother.hpp"
 #include "smoother/sim/experiments.hpp"
@@ -87,4 +89,16 @@ BENCHMARK(BM_SmoothFullDay);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Harness integration: consume the shared bench flags (--threads /
+// --metrics-out), leave google-benchmark's own flags for Initialize.
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(
+      argc, argv,
+      smoother::bench::HarnessOptions{.description = "scheduler microbenchmarks",
+                                      .pass_through_unknown = true});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,8 @@
 // turbine-curve fitting path.
 #include <benchmark/benchmark.h>
 
+#include "harness.hpp"
+
 #include "smoother/battery/battery.hpp"
 #include "smoother/battery/esd_bank.hpp"
 #include "smoother/core/flexible_smoothing.hpp"
@@ -116,4 +118,16 @@ BENCHMARK(BM_FsPlanInterval);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Harness integration: consume the shared bench flags (--threads /
+// --metrics-out), leave google-benchmark's own flags for Initialize.
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(
+      argc, argv,
+      smoother::bench::HarnessOptions{.description = "solver/smoothing microbenchmarks",
+                                      .pass_through_unknown = true});
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,8 @@ void check(bool ok, const std::string& what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

@@ -7,7 +7,8 @@
 #include "smoother/power/capacity_factor.hpp"
 #include "smoother/power/turbine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const smoother::bench::Harness harness(argc, argv);
   using namespace smoother;
   using namespace smoother::bench;
   sim::print_experiment_header(

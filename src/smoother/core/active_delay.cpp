@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
+
 namespace smoother::core {
 
 namespace {
@@ -60,6 +63,16 @@ ActiveDelayScheduler::ActiveDelayScheduler(ActiveDelayConfig config)
 sched::ScheduleResult ActiveDelayScheduler::schedule(
     const sched::ScheduleRequest& request) const {
   request.validate();
+
+  // Observability: one registry/tracer load per schedule() call. Everything
+  // recorded here is a deterministic function of the request.
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  obs::Span span(obs::global_tracer(), "ad-schedule");
+  std::size_t jobs_shifted = 0;      // placed later than their arrival slot
+  std::size_t shift_slots = 0;       // total slots of deliberate delay
+  std::size_t unschedulable = 0;     // did not fit inside the horizon
+  double slack_consumed_min = 0.0;   // shift expressed in minutes
+
   const util::TimeSeries& renewable = request.renewable;
   const std::size_t slots = renewable.size();
   const util::Minutes step = renewable.step();
@@ -107,6 +120,7 @@ sched::ScheduleResult ActiveDelayScheduler::schedule(
       placement.finish = placement.start + job.runtime;
       placement.met_deadline = false;
       placements.push_back(placement);
+      ++unschedulable;
       continue;
     }
 
@@ -189,9 +203,16 @@ sched::ScheduleResult ActiveDelayScheduler::schedule(
       placement.finish = placement.start + job.runtime;
       placement.met_deadline = false;
       placements.push_back(placement);
+      ++unschedulable;
       continue;
     }
 
+    if (chosen > arrival_slot) {
+      ++jobs_shifted;
+      shift_slots += chosen - arrival_slot;
+      slack_consumed_min +=
+          step.value() * static_cast<double>(chosen - arrival_slot);
+    }
     timeline.place(chosen, length, job.servers, job.power);
     // updateRemainRPower: claim the renewable power this job will consume.
     double claimed_power_sum = 0.0;
@@ -210,6 +231,27 @@ sched::ScheduleResult ActiveDelayScheduler::schedule(
         util::KilowattHours{claimed_power_sum * slot_hours};
     placements.push_back(placement);
   }
+
+  std::size_t deadline_misses = 0;
+  for (const Placement& p : placements)
+    if (!p.met_deadline) ++deadline_misses;
+
+  if (metrics != nullptr) {
+    metrics->counter("sched.ad.schedules").add(1);
+    metrics->counter("sched.ad.jobs").add(order.size());
+    metrics->counter("sched.ad.jobs_shifted").add(jobs_shifted);
+    metrics->counter("sched.ad.shift_slots").add(shift_slots);
+    metrics->counter("sched.ad.unschedulable").add(unschedulable);
+    metrics->counter("sched.ad.deadline_misses").add(deadline_misses);
+    metrics->gauge("sched.ad.last_slack_consumed_minutes")
+        .set(slack_consumed_min);
+  }
+  span.field("jobs", order.size())
+      .field("slots", slots)
+      .field("jobs_shifted", jobs_shifted)
+      .field("shift_slots", shift_slots)
+      .field("slack_consumed_minutes", slack_consumed_min)
+      .field("deadline_misses", deadline_misses);
 
   return sched::finalize_schedule(request, timeline, std::move(placements));
 }

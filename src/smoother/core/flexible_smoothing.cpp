@@ -90,6 +90,9 @@ IntervalPlan FlexibleSmoothing::plan_interval(
 
   IntervalPlan plan;
   plan.solver_status = solution.status;
+  plan.solver_iterations = solution.iterations;
+  plan.solver_primal_residual = solution.primal_residual;
+  plan.solver_dual_residual = solution.dual_residual;
   plan.variance_before = generation.variance();
   if (solution.status == solver::QpStatus::kSolved ||
       solution.status == solver::QpStatus::kMaxIterations) {

@@ -72,6 +72,12 @@ struct IntervalPlan {
   double variance_after = 0.0;   ///< Var of U + S at the planned schedule
   double max_rate_kw = 0.0;      ///< max |s_i| expressed as power
   solver::QpStatus solver_status = solver::QpStatus::kNumericalError;
+
+  /// Solver telemetry surfaced from the QpResult (all zero when the
+  /// interval needed no solve): ADMM iteration count and final residuals.
+  std::size_t solver_iterations = 0;
+  double solver_primal_residual = 0.0;
+  double solver_dual_residual = 0.0;
 };
 
 /// Result of smoothing a whole series.

@@ -1,11 +1,13 @@
 #include "smoother/core/online.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "smoother/obs/trace.hpp"
 #include "smoother/power/capacity_factor.hpp"
 #include "smoother/stats/cdf.hpp"
 #include "smoother/stats/descriptive.hpp"
@@ -66,9 +68,14 @@ void OnlineSmootherConfig::validate() const {
 
 OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
                                battery::Battery battery)
+    : OnlineSmoother(std::move(config), std::move(battery), Hooks{}) {}
+
+OnlineSmoother::OnlineSmoother(OnlineSmootherConfig config,
+                               battery::Battery battery, Hooks hooks)
     : config_(config),
       smoothing_(config.flexible_smoothing),
       battery_(std::move(battery)),
+      hooks_(std::move(hooks)),
       guard_(guard_config(config)),
       output_(config.sample_step, std::vector<double>{}) {
   config_.validate();
@@ -101,6 +108,14 @@ std::optional<OnlineIntervalRecord> OnlineSmoother::accept_sample(
 void OnlineSmoother::process_interval() {
   using resilience::FallbackReason;
 
+  // Observability: one registry/tracer load per interval (not per sample);
+  // all recorded values are deterministic counts except the plan-latency
+  // timing histogram and the span's wall_ms, which are the explicitly
+  // marked wall-clock fields.
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  obs::Span span(obs::global_tracer(), "interval-plan");
+  const auto interval_start = std::chrono::steady_clock::now();
+
   const util::TimeSeries window(config_.sample_step, pending_);
 
   OnlineIntervalRecord record;
@@ -132,13 +147,14 @@ void OnlineSmoother::process_interval() {
   // per interval; an interval whose window is mostly guard-fabricated data
   // is not planned on.
   const bool battery_ok =
-      !battery_monitor_ || battery_monitor_(record.index);
+      !hooks_.battery_monitor || hooks_.battery_monitor(record.index);
   const bool telemetry_ok =
       static_cast<double>(pending_faulted_) <=
       config_.max_faulted_fraction * static_cast<double>(pending_.size());
 
   const bool smoothable = calibrated_ && region == Region::kSmoothable &&
-                          (!previous_interval_.empty() || oracle_);
+                          (!previous_interval_.empty() ||
+                           hooks_.forecast_oracle);
 
   std::optional<util::TimeSeries> delivered;
   if (!telemetry_ok) {
@@ -156,7 +172,7 @@ void OnlineSmoother::process_interval() {
     if (mode_ == Mode::kDegraded) {
       record.fallback = FallbackReason::kDegradedHold;
     } else {
-      auto planned = plan_and_execute(record.index, window);
+      auto planned = plan_and_execute(record.index, window, record);
       if (planned) {
         delivered = std::move(planned.value());
       } else {
@@ -203,6 +219,8 @@ void OnlineSmoother::process_interval() {
     ++health_.recoveries;
   }
 
+  const std::size_t faulted_samples = pending_faulted_;
+
   // Commit the stream state unconditionally — an interval that fell back
   // must advance the pipeline exactly like a planned one, or every
   // subsequent interval would be misaligned.
@@ -218,10 +236,61 @@ void OnlineSmoother::process_interval() {
   pending_.clear();
   pending_faulted_ = 0;
   records_.push_back(record);
+
+  // Telemetry publication: deterministic tallies first, then the
+  // plan-latency timing histogram (the one wall-clock metric), then the
+  // span fields and the observer callback.
+  const double plan_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - interval_start)
+          .count();
+  if (metrics != nullptr) {
+    metrics->counter("core.online.intervals").add(1);
+    metrics->counter("core.online.region." + to_string(record.region)).add(1);
+    if (record.fallback != FallbackReason::kNone)
+      metrics
+          ->counter("core.online.fallback." +
+                    resilience::to_string(record.fallback))
+          .add(1);
+    if (record.smoothed) metrics->counter("core.online.smoothed").add(1);
+    metrics->counter("core.online.samples_seen").add(window.size());
+    if (faulted_samples > 0)
+      metrics->counter("core.online.samples_faulted").add(faulted_samples);
+    metrics->timing_histogram("core.online.plan_ms").record(plan_wall_ms);
+  }
+  span.field("index", record.index)
+      .field("region", to_string(record.region))
+      .field("fallback", resilience::to_string(record.fallback))
+      .field("smoothed", record.smoothed ? 1 : 0)
+      .field("solver_iterations", record.solver_iterations);
+
+  if (hooks_.observer != nullptr) {
+    obs::IntervalEvent event;
+    event.index = record.index;
+    event.region = to_string(record.region);
+    event.fallback = resilience::to_string(record.fallback);
+    event.smoothed = record.smoothed;
+    event.warmup = record.warmup;
+    event.degraded = record.degraded;
+    event.cf_variance = record.cf_variance;
+    event.variance_before = record.variance_before;
+    event.variance_after = record.variance_after;
+    event.solver_iterations = record.solver_iterations;
+    event.plan_wall_ms = plan_wall_ms;
+    try {
+      hooks_.observer->on_interval(event);
+    } catch (...) {
+      // Observer contract: the hot path is no-throw; a misbehaving observer
+      // is counted, never propagated.
+      if (metrics != nullptr)
+        metrics->counter("core.online.observer_errors").add(1);
+    }
+  }
 }
 
 resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(
-    std::size_t index, const util::TimeSeries& window) {
+    std::size_t index, const util::TimeSeries& window,
+    OnlineIntervalRecord& record) {
   using resilience::Error;
   using resilience::FaultKind;
   try {
@@ -230,9 +299,10 @@ resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(
     const util::TimeSeries predicted(config_.sample_step,
                                      std::move(forecast.value()));
     std::optional<solver::QpSettings> qp_override;
-    if (solver_hook_) qp_override = solver_hook_(index);
+    if (hooks_.solver_settings) qp_override = hooks_.solver_settings(index);
     const IntervalPlan plan = smoothing_.plan_interval(
         predicted, battery_, qp_override ? &*qp_override : nullptr);
+    record.solver_iterations = plan.solver_iterations;
     if (plan.solver_status != solver::QpStatus::kSolved)
       return Error{FaultKind::kSolverFailure,
                    "QP status " + solver::to_string(plan.solver_status)};
@@ -248,10 +318,10 @@ resilience::Result<std::vector<double>> OnlineSmoother::fetch_forecast(
     std::size_t index) {
   using resilience::Error;
   using resilience::FaultKind;
-  if (!oracle_) return previous_interval_;
+  if (!hooks_.forecast_oracle) return previous_interval_;
   std::vector<double> predicted;
   try {
-    predicted = oracle_(index);
+    predicted = hooks_.forecast_oracle(index);
   } catch (const std::exception& e) {
     return Error{FaultKind::kOracleThrow, e.what()};
   } catch (...) {

@@ -41,6 +41,8 @@
 #include "smoother/battery/battery.hpp"
 #include "smoother/core/flexible_smoothing.hpp"
 #include "smoother/core/region.hpp"
+#include "smoother/obs/interval_observer.hpp"
+#include "smoother/obs/metrics.hpp"
 #include "smoother/resilience/health.hpp"
 #include "smoother/resilience/result.hpp"
 #include "smoother/resilience/telemetry_guard.hpp"
@@ -91,6 +93,7 @@ struct OnlineIntervalRecord {
   double cf_variance = 0.0;
   double variance_before = 0.0;
   double variance_after = 0.0;
+  std::size_t solver_iterations = 0;  ///< ADMM iterations (0: no QP ran)
 };
 
 /// The streaming middleware.
@@ -117,23 +120,48 @@ class OnlineSmoother {
   using SolverSettingsHook =
       std::function<std::optional<solver::QpSettings>(std::size_t)>;
 
+  /// Every extension point of the streaming smoother, in one value. This
+  /// is the single hooks entry point: pass at construction or replace
+  /// wholesale with set_hooks(); the individual setters below are thin
+  /// deprecated forwarders kept for one release.
+  ///
+  /// The observer is non-owning and called once per completed interval
+  /// (after the interval's output is committed) with an
+  /// obs::IntervalEvent; obs::TracingIntervalObserver plugs the metrics/
+  /// tracing layer in through it. Observer exceptions are swallowed (the
+  /// hot path is no-throw) and counted as `core.online.observer_errors`.
+  struct Hooks {
+    ForecastOracle forecast_oracle;
+    BatteryMonitor battery_monitor;
+    SolverSettingsHook solver_settings;
+    /// Non-owning; null disables observation.
+    obs::IntervalObserver* observer = nullptr;
+  };
+
   /// Battery is owned by the smoother (moved in). Throws
   /// std::invalid_argument on bad config.
   OnlineSmoother(OnlineSmootherConfig config, battery::Battery battery);
+  OnlineSmoother(OnlineSmootherConfig config, battery::Battery battery,
+                 Hooks hooks);
 
-  /// Attaches (or clears, with nullptr) the forecast oracle.
+  /// Replaces all hooks at once (clear by passing a default Hooks{}).
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  [[nodiscard]] const Hooks& hooks() const { return hooks_; }
+
+  /// Deprecated: use Hooks/set_hooks(). Forwards to hooks_.forecast_oracle.
   void set_forecast_oracle(ForecastOracle oracle) {
-    oracle_ = std::move(oracle);
+    hooks_.forecast_oracle = std::move(oracle);
   }
 
-  /// Attaches (or clears) the battery health monitor.
+  /// Deprecated: use Hooks/set_hooks(). Forwards to hooks_.battery_monitor.
   void set_battery_monitor(BatteryMonitor monitor) {
-    battery_monitor_ = std::move(monitor);
+    hooks_.battery_monitor = std::move(monitor);
   }
 
-  /// Attaches (or clears) the solver retuning hook.
+  /// Deprecated: use Hooks/set_hooks(). Forwards to hooks_.solver_settings.
   void set_solver_settings_hook(SolverSettingsHook hook) {
-    solver_hook_ = std::move(hook);
+    hooks_.solver_settings = std::move(hook);
   }
 
   /// Pushes one generation sample (kW). When the sample completes an
@@ -179,10 +207,11 @@ class OnlineSmoother {
       resilience::GuardedSample sample);
   void process_interval();
   /// The fallible planning step: forecast -> QP plan -> execute. Returns
-  /// the delivered series, or the fault that forced a fallback.
-  resilience::Result<util::TimeSeries> plan_and_execute(std::size_t index,
-                                                        const util::TimeSeries&
-                                                            window);
+  /// the delivered series, or the fault that forced a fallback; solver
+  /// telemetry (iteration count) is written onto `record` either way.
+  resilience::Result<util::TimeSeries> plan_and_execute(
+      std::size_t index, const util::TimeSeries& window,
+      OnlineIntervalRecord& record);
   resilience::Result<std::vector<double>> fetch_forecast(std::size_t index);
   /// Cheap degraded-mode plan: track the previous interval's mean with the
   /// battery, no QP. Returns the delivered series.
@@ -192,9 +221,7 @@ class OnlineSmoother {
   OnlineSmootherConfig config_;
   FlexibleSmoothing smoothing_;
   battery::Battery battery_;
-  ForecastOracle oracle_;
-  BatteryMonitor battery_monitor_;
-  SolverSettingsHook solver_hook_;
+  Hooks hooks_;
   resilience::TelemetryGuard guard_;
   resilience::HealthReport health_;
   Mode mode_ = Mode::kNormal;

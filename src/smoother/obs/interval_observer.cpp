@@ -1,0 +1,27 @@
+#include "smoother/obs/interval_observer.hpp"
+
+namespace smoother::obs {
+
+void TracingIntervalObserver::on_interval(const IntervalEvent& event) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("obs.observer.intervals").add(1);
+    metrics_->counter("obs.observer.region." + event.region).add(1);
+    if (event.fallback != "none")
+      metrics_->counter("obs.observer.fallback." + event.fallback).add(1);
+  }
+  if (tracer_ != nullptr) {
+    Span span(tracer_, "interval-observe");
+    span.field("index", event.index)
+        .field("region", event.region)
+        .field("fallback", event.fallback)
+        .field("smoothed", std::uint64_t{event.smoothed ? 1u : 0u})
+        .field("warmup", std::uint64_t{event.warmup ? 1u : 0u})
+        .field("degraded", std::uint64_t{event.degraded ? 1u : 0u})
+        .field("cf_variance", event.cf_variance)
+        .field("variance_before", event.variance_before)
+        .field("variance_after", event.variance_after)
+        .field("solver_iterations", event.solver_iterations);
+  }
+}
+
+}  // namespace smoother::obs

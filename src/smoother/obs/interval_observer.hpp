@@ -1,0 +1,64 @@
+// The observer half of OnlineSmoother's hooks API.
+//
+// core::OnlineSmoother::Hooks carries an IntervalObserver*; after every
+// completed interval the smoother converts its OnlineIntervalRecord into
+// the layer-neutral IntervalEvent below and invokes the observer. The
+// indirection keeps the dependency arrow pointing one way (core -> obs):
+// obs defines the event vocabulary, core translates into it, and any
+// observer — the bundled TracingIntervalObserver, a test probe, a live
+// dashboard feed — plugs in without core knowing its type.
+//
+// Observer contract: called synchronously on the thread driving push(),
+// once per completed interval, after the interval's output is committed.
+// Implementations must not throw (the streaming hot path is no-throw);
+// exceptions are swallowed and counted under
+// `core.online.observer_errors`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
+
+namespace smoother::obs {
+
+/// Layer-neutral snapshot of one completed streaming interval. Region and
+/// fallback are carried as the names core::to_string produces, so the
+/// event is self-describing in serialized logs.
+struct IntervalEvent {
+  std::size_t index = 0;
+  std::string region;    ///< "stable" / "smoothable" / "extreme"
+  std::string fallback;  ///< "none" or the FallbackReason name
+  bool smoothed = false;
+  bool warmup = false;
+  bool degraded = false;
+  double cf_variance = 0.0;
+  double variance_before = 0.0;
+  double variance_after = 0.0;
+  std::size_t solver_iterations = 0;  ///< 0 when no QP ran
+  double plan_wall_ms = 0.0;  ///< wall-clock (timing field; see obs rules)
+};
+
+class IntervalObserver {
+ public:
+  virtual ~IntervalObserver() = default;
+  virtual void on_interval(const IntervalEvent& event) = 0;
+};
+
+/// The bundled observer: mirrors each interval event into a tracer span
+/// ("interval-observe") and/or per-region & per-fallback counters.
+/// Either sink may be null.
+class TracingIntervalObserver final : public IntervalObserver {
+ public:
+  TracingIntervalObserver(Tracer* tracer, MetricsRegistry* metrics)
+      : tracer_(tracer), metrics_(metrics) {}
+
+  void on_interval(const IntervalEvent& event) override;
+
+ private:
+  Tracer* tracer_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace smoother::obs

@@ -1,0 +1,206 @@
+#include "smoother/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+/// Numbers in exports: integers print bare, doubles with enough digits to
+/// round-trip counters-as-doubles and residual-scale values alike.
+std::string json_number(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15)
+    return util::strfmt("%lld", static_cast<long long>(value));
+  return util::strfmt("%.10g", value);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, bool timing)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      timing_(timing) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size => overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_)
+    counts.push_back(bucket.load(std::memory_order_relaxed));
+  return counts;
+}
+
+const std::vector<double>& default_latency_bounds_ms() {
+  static const std::vector<double> bounds = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,   2.5,
+      5.0,  10.0,  25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+  return bounds;
+}
+
+std::uint64_t MetricsRegistry::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds), false))
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::timing_histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(default_latency_bounds_ms(),
+                                                  true))
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.emplace(name, gauge->value());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.buckets = histogram->bucket_counts();
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    data.timing = histogram->timing();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << util::strfmt("%llu", static_cast<unsigned long long>(value));
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"timing\": "
+       << (data.timing ? "true" : "false") << ", \"count\": "
+       << util::strfmt("%llu", static_cast<unsigned long long>(data.count))
+       << ", \"sum\": " << json_number(data.sum) << ", \"bounds\": [";
+    for (std::size_t i = 0; i < data.bounds.size(); ++i)
+      os << (i ? ", " : "") << json_number(data.bounds[i]);
+    os << "], \"buckets\": [";
+    for (std::size_t i = 0; i < data.buckets.size(); ++i)
+      os << (i ? ", " : "")
+         << util::strfmt("%llu",
+                         static_cast<unsigned long long>(data.buckets[i]));
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+util::CsvTable MetricsRegistry::to_csv() const {
+  // Numeric-only payload (the CSV layer rejects text cells), so the metric
+  // and field names live in the header: one column per (metric, field).
+  const MetricsSnapshot snap = snapshot();
+  std::vector<std::string> header;
+  std::vector<double> row;
+  for (const auto& [name, value] : snap.counters) {
+    header.push_back(name + ".count");
+    row.push_back(static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    header.push_back(name + ".value");
+    row.push_back(value);
+  }
+  for (const auto& [name, data] : snap.histograms) {
+    for (std::size_t i = 0; i < data.buckets.size(); ++i) {
+      header.push_back(
+          i < data.bounds.size()
+              ? name + util::strfmt(".le_%g", data.bounds[i])
+              : name + ".overflow");
+      row.push_back(static_cast<double>(data.buckets[i]));
+    }
+    header.push_back(name + ".count");
+    row.push_back(static_cast<double>(data.count));
+    header.push_back(name + ".sum");
+    row.push_back(data.sum);
+  }
+  util::CsvTable table(std::move(header));
+  table.add_row(std::move(row));
+  return table;
+}
+
+MetricsRegistry* global_metrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+void install_global_metrics(MetricsRegistry* registry) {
+  g_metrics.store(registry, std::memory_order_release);
+}
+
+}  // namespace smoother::obs

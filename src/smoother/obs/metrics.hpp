@@ -1,0 +1,190 @@
+// MetricsRegistry: the lock-cheap counter/gauge/histogram store behind
+// Smoother's observability layer (smoother::obs).
+//
+// Design rules, in descending order of importance:
+//
+//   * Recording must never perturb the computation being observed. All
+//     instruments are write-only from the hot path's point of view; the
+//     *values* recorded are deterministic functions of the run (counts,
+//     iteration totals, residuals) — wall-clock time may only enter
+//     through histograms explicitly created with `timing_histogram`,
+//     which are marked `"timing": true` in every export so consumers can
+//     exclude them from determinism comparisons.
+//   * Updates are lock-free: counters and histogram buckets are single
+//     atomic fetch-adds, gauges a single atomic store. The registry mutex
+//     is only taken to *create or look up* an instrument by name; hot
+//     paths cache the returned reference (instrument addresses are stable
+//     for the registry's lifetime).
+//   * Export order is deterministic: instruments serialize sorted by name
+//     regardless of registration order or thread interleaving.
+//
+// A process-global registry pointer (install_global_metrics) lets deep
+// call sites — the QP solver, the thread pool — record without threading
+// a registry through every signature. It defaults to null, in which case
+// every instrumentation site is a single relaxed atomic load and a
+// branch: observability off costs nothing measurable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smoother/util/csv.hpp"
+
+namespace smoother::obs {
+
+/// Adds `delta` to an atomic double (CAS loop; std::atomic<double>::fetch_add
+/// is C++20 but not yet reliably lowered on every libstdc++ we build on).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (queue depth, configured thread count, ...).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at creation and
+/// never change, so recording is one binary search plus one atomic add.
+/// An implicit overflow bucket catches values past the last bound.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; they are inclusive upper edges.
+  Histogram(std::vector<double> bounds, bool timing);
+
+  void record(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts; size is bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Wall-clock histograms are excluded from determinism comparisons.
+  [[nodiscard]] bool timing() const { return timing_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds+overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  bool timing_ = false;
+};
+
+/// The default bucket ladder for timing histograms, in milliseconds.
+[[nodiscard]] const std::vector<double>& default_latency_bounds_ms();
+
+/// A full point-in-time copy of one registry, for exporters and tests.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    bool timing = false;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Named instrument store. Thread-safe; see the header comment for the
+/// locking discipline.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-unique generation id. Hot call sites cache instrument handles
+  /// keyed on (registry pointer, id); the id makes the cache immune to a
+  /// new registry reusing a freed one's address.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Finds or creates the named instrument. References stay valid for the
+  /// registry's lifetime — hot paths should call once and cache.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first creation; a later lookup with
+  /// different bounds returns the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Histogram whose recorded values are wall-clock milliseconds; marked
+  /// `"timing": true` in exports (the only place wall time may appear).
+  Histogram& timing_histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// sorted; histograms carry bounds/buckets/count/sum/timing.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Flat three-column table: metric, field, value. Counter rows use
+  /// field "count"; gauge rows "value"; histogram rows one per bucket
+  /// ("le_<bound>", "overflow") plus "count" and "sum".
+  [[nodiscard]] util::CsvTable to_csv() const;
+
+ private:
+  static std::uint64_t next_id();
+
+  const std::uint64_t id_ = next_id();
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-global registry used by call sites too deep to thread a
+/// registry into (solver, thread pool). Null by default = off.
+[[nodiscard]] MetricsRegistry* global_metrics();
+void install_global_metrics(MetricsRegistry* registry);
+
+/// RAII installer: installs a registry (and restores the previous one on
+/// destruction), so tests and benches can scope observability.
+class GlobalMetricsScope {
+ public:
+  explicit GlobalMetricsScope(MetricsRegistry* registry)
+      : previous_(global_metrics()) {
+    install_global_metrics(registry);
+  }
+  ~GlobalMetricsScope() { install_global_metrics(previous_); }
+  GlobalMetricsScope(const GlobalMetricsScope&) = delete;
+  GlobalMetricsScope& operator=(const GlobalMetricsScope&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace smoother::obs

@@ -1,0 +1,56 @@
+// ScopedTimer: the profiling hook feeding timing histograms.
+//
+// Wraps one scope's wall time and records it (in milliseconds) into a
+// timing histogram on destruction. This is the *only* sanctioned route
+// for wall-clock time into the metrics layer — timing histograms are
+// marked `"timing": true` in every export, so determinism checks can
+// mask them (see obs/metrics.hpp).
+//
+//   void hot_path() {
+//     obs::ScopedTimer timer(registry, "core.online.plan_ms");
+//     ...work...
+//   }                      // records elapsed ms into the histogram
+//
+// With a null registry the timer never reads the clock: observability
+// off means genuinely zero work, not just discarded samples.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "smoother/obs/metrics.hpp"
+
+namespace smoother::obs {
+
+class ScopedTimer {
+ public:
+  /// Looks up (or creates) the timing histogram once; null registry = no-op.
+  ScopedTimer(MetricsRegistry* registry, std::string_view histogram_name)
+      : histogram_(registry != nullptr
+                       ? &registry->timing_histogram(histogram_name)
+                       : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Pre-resolved-handle variant for call sites that cache the histogram.
+  explicit ScopedTimer(Histogram* timing_histogram)
+      : histogram_(timing_histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    histogram_->record(elapsed.count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace smoother::obs

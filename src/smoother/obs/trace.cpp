@@ -1,0 +1,218 @@
+#include "smoother/obs/trace.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+/// Innermost live span of the current thread (the parent of a new span).
+thread_local const Span* tl_span_top = nullptr;
+
+/// In-place escape: appends `text` to `out` JSON-escaped. The common case
+/// (no specials) is a single bulk append — spans serialize per QP solve,
+/// so this path avoids the temporary a return-by-value escape would make.
+void append_escaped(std::string& out, std::string_view text) {
+  std::size_t plain_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c != '"' && c != '\\' && static_cast<unsigned char>(c) >= 0x20)
+      continue;
+    out.append(text.substr(plain_start, i - plain_start));
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += util::strfmt(
+            "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+    }
+    plain_start = i + 1;
+  }
+  out.append(text.substr(plain_start));
+}
+
+template <class Int>
+void append_int(std::string& out, Int value) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, result.ptr);
+}
+
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    append_int(out, static_cast<long long>(value));
+    return;
+  }
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof buf, "%.10g", value);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> Tracer::lines() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::write(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& line : lines_) os << line << '\n';
+}
+
+void Tracer::emit(std::string line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(std::move(line));
+}
+
+std::uint64_t Tracer::next_seq() {
+  return seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer* global_tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void install_global_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text);
+  return out;
+}
+
+Span::Span(Tracer* tracer, std::string_view name)
+    : tracer_(tracer), name_(name) {
+  if (!tracer_) return;
+  seq_ = tracer_->next_seq();
+  if (tl_span_top != nullptr) {
+    parent_ = static_cast<std::int64_t>(tl_span_top->seq_);
+    depth_ = tl_span_top->depth_ + 1;
+  }
+  enclosing_ = tl_span_top;
+  tl_span_top = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!tracer_) return;
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start_;
+  tl_span_top = enclosing_;
+
+  std::string line;
+  line.reserve(64 + name_.size() + fields_json_.size());
+  line += "{\"type\":\"span\",\"name\":\"";
+  append_escaped(line, name_);
+  line += "\",\"seq\":";
+  append_int(line, seq_);
+  line += ",\"parent\":";
+  append_int(line, parent_);
+  line += ",\"depth\":";
+  append_int(line, depth_);
+  line += ",\"fields\":{";
+  line += fields_json_;
+  // wall_ms is the one wall-clock field in the schema; consumers mask it
+  // when comparing runs (determinism contract, see header).
+  char buf[48];
+  const int n =
+      std::snprintf(buf, sizeof buf, "},\"wall_ms\":%.3f}", elapsed.count());
+  if (n > 0) line.append(buf, static_cast<std::size_t>(n));
+  tracer_->emit(std::move(line));
+}
+
+void Span::append_key(std::string_view key) {
+  if (!fields_json_.empty()) fields_json_ += ',';
+  fields_json_ += '"';
+  append_escaped(fields_json_, key);
+  fields_json_ += "\":";
+}
+
+Span& Span::field(std::string_view key, std::uint64_t value) {
+  if (!tracer_) return *this;
+  append_key(key);
+  append_int(fields_json_, value);
+  return *this;
+}
+
+Span& Span::field(std::string_view key, std::int64_t value) {
+  if (!tracer_) return *this;
+  append_key(key);
+  append_int(fields_json_, value);
+  return *this;
+}
+
+Span& Span::field(std::string_view key, double value) {
+  if (!tracer_) return *this;
+  append_key(key);
+  append_number(fields_json_, value);
+  return *this;
+}
+
+Span& Span::field(std::string_view key, std::string_view value) {
+  if (!tracer_) return *this;
+  append_key(key);
+  fields_json_ += '"';
+  append_escaped(fields_json_, value);
+  fields_json_ += '"';
+  return *this;
+}
+
+void LogCaptureSink::write(util::LogLevel level, std::string_view component,
+                           std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  tracer_.emit("{\"type\":\"log\",\"level\":\"" +
+               std::string(util::log_level_name(level)) +
+               "\",\"component\":\"" + json_escape(component) +
+               "\",\"message\":\"" + json_escape(message) + "\"}");
+}
+
+}  // namespace smoother::obs

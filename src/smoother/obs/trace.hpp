@@ -1,0 +1,149 @@
+// Structured tracing: RAII spans serialized as JSON-lines events.
+//
+// A Span marks one unit of middleware work — an interval plan, a QP
+// solve, an Active Delay schedule, a sweep task. Spans nest via a
+// per-thread stack: a span opened while another is live on the same
+// thread records that span as its parent. On destruction each span emits
+// one JSON object on its own line:
+//
+//   {"type":"span","name":"qp-solve","seq":3,"parent":2,"depth":1,
+//    "fields":{"iterations":181,"status":"solved"},"wall_ms":0.412}
+//
+// Event-log determinism contract: every field except `wall_ms` is a
+// deterministic function of the computation (indices, counts, enum
+// names). Two runs of the same deterministic workload produce identical
+// logs once `wall_ms` values are masked — test_obs asserts exactly this,
+// and tools/check_metrics_json.py validates the schema. `seq` numbering
+// and emit order are deterministic for single-threaded tracing; spans
+// emitted concurrently from pool workers (e.g. sweep-task spans) are
+// deterministic per-span but interleave in an unspecified order, so
+// parallel trace logs should be compared as multisets of lines.
+//
+// Log capture: LogCaptureSink adapts util::Logger's sink interface so
+// WARN+ log records appear in the same event stream as
+// {"type":"log",...} lines (see util/logging.hpp for the sink contract).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "smoother/util/logging.hpp"
+
+namespace smoother::obs {
+
+/// Collects JSON-lines events. Thread-safe; events append under a mutex.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// All events emitted so far, one JSON object per line.
+  [[nodiscard]] std::string events() const;
+  /// The same events as individual lines (for embedding in a JSON array).
+  [[nodiscard]] std::vector<std::string> lines() const;
+  [[nodiscard]] std::size_t event_count() const;
+  void clear();
+
+  /// Writes the buffered events to a stream (JSON-lines file).
+  void write(std::ostream& os) const;
+
+  /// Appends one raw JSON-lines event (must be a single line). Span and
+  /// LogCaptureSink use this; tests may too.
+  void emit(std::string line);
+
+  /// Next event sequence number (atomically incremented per span open).
+  std::uint64_t next_seq();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// Process-global tracer for deep call sites; null = tracing off.
+[[nodiscard]] Tracer* global_tracer();
+void install_global_tracer(Tracer* tracer);
+
+/// RAII tracer installer (restores the previous tracer on destruction).
+class GlobalTracerScope {
+ public:
+  explicit GlobalTracerScope(Tracer* tracer) : previous_(global_tracer()) {
+    install_global_tracer(tracer);
+  }
+  ~GlobalTracerScope() { install_global_tracer(previous_); }
+  GlobalTracerScope(const GlobalTracerScope&) = delete;
+  GlobalTracerScope& operator=(const GlobalTracerScope&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// One traced unit of work. Construct with the tracer (null = no-op);
+/// add fields while the work runs; the event is emitted on destruction.
+/// Fields keep insertion order so the serialized form is reproducible.
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// No-op when the tracer is null — fields cost nothing with tracing off.
+  Span& field(std::string_view key, std::uint64_t value);
+  Span& field(std::string_view key, std::int64_t value);
+  Span& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  Span& field(std::string_view key, double value);
+  Span& field(std::string_view key, std::string_view value);
+
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+ private:
+  /// Appends `"key":` (escaped, comma-separated) to the field buffer.
+  void append_key(std::string_view key);
+
+  Tracer* tracer_;
+  std::string name_;
+  std::uint64_t seq_ = 0;
+  std::int64_t parent_ = -1;
+  std::size_t depth_ = 0;
+  /// Comma-joined `"key":value` pairs, built in place — one growing buffer
+  /// instead of per-field string allocations (this runs per QP solve).
+  std::string fields_json_;
+  std::chrono::steady_clock::time_point start_;
+  const Span* enclosing_ = nullptr;  // per-thread stack link
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// util::LogSink adapter: forwards every record at or above `min_level`
+/// into the tracer as {"type":"log","level":...,"component":...,
+/// "message":...} events. Install with util::Logger::set_capture_sink to
+/// tee records into the trace while the primary sink keeps printing.
+class LogCaptureSink final : public util::LogSink {
+ public:
+  explicit LogCaptureSink(Tracer& tracer,
+                          util::LogLevel min_level = util::LogLevel::kWarn)
+      : tracer_(tracer), min_level_(min_level) {}
+
+  void write(util::LogLevel level, std::string_view component,
+             std::string_view message) override;
+
+ private:
+  Tracer& tracer_;
+  util::LogLevel min_level_;
+};
+
+}  // namespace smoother::obs

@@ -22,6 +22,31 @@ std::size_t ParamGrid::size() const {
   return product;
 }
 
+void SweepRunner::publish_metrics(std::size_t task_count) {
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  if (metrics == nullptr) return;
+  metrics->counter("runtime.sweep.runs").add(1);
+  metrics->counter("runtime.sweep.tasks").add(task_count);
+  metrics->timing_histogram("runtime.sweep.wall_ms").record(last_wall_ms_);
+  if (!pool_) return;  // serial run: no pool statistics to report
+  for (std::size_t w = 0; w < pool_->worker_count(); ++w) {
+    const std::string prefix =
+        "runtime.pool.worker_" + std::to_string(w) + ".";
+    metrics->gauge(prefix + "executed")
+        .set(static_cast<double>(pool_->tasks_executed(w)));
+    metrics->gauge(prefix + "stolen")
+        .set(static_cast<double>(pool_->tasks_stolen(w)));
+  }
+  metrics->gauge("runtime.pool.external.executed")
+      .set(static_cast<double>(pool_->external_tasks_executed()));
+  metrics->gauge("runtime.pool.external.stolen")
+      .set(static_cast<double>(pool_->external_tasks_stolen()));
+  metrics->gauge("runtime.pool.total_executed")
+      .set(static_cast<double>(pool_->total_tasks_executed()));
+  metrics->gauge("runtime.pool.total_stolen")
+      .set(static_cast<double>(pool_->total_tasks_stolen()));
+}
+
 ParamGrid::Point ParamGrid::at(std::size_t index) const {
   if (index >= size())
     throw std::out_of_range("ParamGrid::at: index past the grid end");

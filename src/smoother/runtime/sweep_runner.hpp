@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
 #include "smoother/runtime/task_rng.hpp"
 #include "smoother/runtime/thread_pool.hpp"
 
@@ -100,7 +102,13 @@ class SweepRunner {
       -> std::vector<SweepResult<std::invoke_result_t<F&, TaskContext&>>> {
     using T = std::invoke_result_t<F&, TaskContext&>;
     const TaskRng rng(options_.seed);
-    auto one = [&fn, &rng](std::size_t i) -> SweepResult<T> {
+    // Each task gets a "sweep-task" span. With threads > 1 the spans are
+    // emitted in completion order (a multiset, not a sequence — compare
+    // traces accordingly); at threads == 1 the trace is byte-stable.
+    auto one = [this, &fn, &rng](std::size_t i) -> SweepResult<T> {
+      obs::Span span(obs::global_tracer(), "sweep-task");
+      span.field("index", i);
+      if (!options_.name.empty()) span.field("sweep", options_.name);
       TaskContext ctx{i, rng.for_task(i)};
       const auto start = std::chrono::steady_clock::now();
       T value = fn(ctx);
@@ -120,6 +128,7 @@ class SweepRunner {
     const std::chrono::duration<double, std::milli> sweep_elapsed =
         std::chrono::steady_clock::now() - sweep_start;
     last_wall_ms_ = sweep_elapsed.count();
+    publish_metrics(task_count);
     return results;
   }
 
@@ -139,6 +148,13 @@ class SweepRunner {
     if (!pool_) pool_ = std::make_unique<ThreadPool>(threads());
     return *pool_;
   }
+
+  /// Publishes sweep/pool statistics to the installed registry (no-op when
+  /// none is installed). Task and run counts are deterministic; wall times
+  /// go to a timing histogram and the pool's per-worker executed/stolen
+  /// tallies are scheduling-dependent diagnostics (gauges of cumulative
+  /// counts).
+  void publish_metrics(std::size_t task_count);
 
   SweepOptions options_;
   std::unique_ptr<ThreadPool> pool_;

@@ -14,8 +14,11 @@ std::size_t resolve_thread_count(std::size_t requested) {
 ThreadPool::ThreadPool(std::size_t thread_count) {
   const std::size_t count = resolve_thread_count(thread_count);
   queues_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i)
+  stats_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     queues_.push_back(std::make_unique<Queue>());
+    stats_.push_back(std::make_unique<WorkerStats>());
+  }
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -89,12 +92,40 @@ bool ThreadPool::steal_any(std::function<void()>& out) {
   return false;
 }
 
+void ThreadPool::count_task(bool stolen) {
+  // Worker threads tally on their own padded slot; helper threads (the
+  // blocked caller of parallel_for, external run_pending_task users) share
+  // the "external" slot.
+  WorkerStats& slot =
+      (tl_pool_ == this) ? *stats_[tl_index_] : external_stats_;
+  slot.executed.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) slot.stolen.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadPool::total_tasks_executed() const {
+  std::uint64_t total = external_tasks_executed();
+  for (std::size_t i = 0; i < stats_.size(); ++i) total += tasks_executed(i);
+  return total;
+}
+
+std::uint64_t ThreadPool::total_tasks_stolen() const {
+  std::uint64_t total = external_tasks_stolen();
+  for (std::size_t i = 0; i < stats_.size(); ++i) total += tasks_stolen(i);
+  return total;
+}
+
 bool ThreadPool::run_pending_task() {
   std::function<void()> task;
-  const bool found = (tl_pool_ == this)
-                         ? (pop_own(tl_index_, task) || steal(tl_index_, task))
-                         : steal_any(task);
+  bool stolen = false;
+  bool found = false;
+  if (tl_pool_ == this) {
+    found = pop_own(tl_index_, task);
+    if (!found) found = stolen = steal(tl_index_, task);
+  } else {
+    found = stolen = steal_any(task);
+  }
   if (!found) return false;
+  count_task(stolen);
   task();
   return true;
 }
@@ -104,7 +135,9 @@ void ThreadPool::worker_loop(std::size_t index) {
   tl_index_ = index;
   for (;;) {
     std::function<void()> task;
-    if (pop_own(index, task) || steal(index, task)) {
+    bool stolen = false;
+    if (pop_own(index, task) || (stolen = steal(index, task))) {
+      count_task(stolen);
       task();
       continue;
     }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -145,12 +146,41 @@ class ThreadPool {
   /// Returns false when no task was available.
   bool run_pending_task();
 
+  /// Cumulative scheduling statistics since construction. Per-worker
+  /// executed/stolen tallies plus an "external" slot for non-worker
+  /// threads helping via run_pending_task()/parallel_for(). The counts are
+  /// exact but scheduling-dependent (which worker ran which task is not
+  /// deterministic); consumers must treat them as diagnostics, never as
+  /// part of a reproducible result.
+  [[nodiscard]] std::uint64_t tasks_executed(std::size_t worker) const {
+    return stats_[worker]->executed.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tasks_stolen(std::size_t worker) const {
+    return stats_[worker]->stolen.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t external_tasks_executed() const {
+    return external_stats_.executed.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t external_tasks_stolen() const {
+    return external_stats_.stolen.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_tasks_executed() const;
+  [[nodiscard]] std::uint64_t total_tasks_stolen() const;
+
  private:
   struct Queue {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
   };
 
+  /// Padded to a cache line so one worker's tally never false-shares with
+  /// its neighbour's.
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+  };
+
+  void count_task(bool stolen);
   void push(std::function<void()> task);
   void worker_loop(std::size_t index);
   bool pop_own(std::size_t index, std::function<void()>& out);
@@ -158,6 +188,8 @@ class ThreadPool {
   bool steal_any(std::function<void()>& out);
 
   std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<WorkerStats>> stats_;
+  WorkerStats external_stats_;
   std::vector<std::thread> workers_;
   std::mutex park_mutex_;
   std::condition_variable park_cv_;

@@ -4,7 +4,58 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/profile.hpp"
+#include "smoother/obs/trace.hpp"
+
 namespace smoother::solver {
+
+namespace {
+
+/// solve_qp's instrument handles, resolved once per (registry, thread)
+/// instead of by-name on every solve — the name lookup is a mutex + map
+/// walk, far more than the relaxed add it guards. Keyed on the registry's
+/// generation id so a new registry at a recycled address re-resolves.
+struct SolverInstruments {
+  obs::MetricsRegistry* registry = nullptr;
+  std::uint64_t registry_id = 0;
+  obs::Counter* solves = nullptr;
+  obs::Counter* infeasible = nullptr;
+  obs::Counter* factorizations = nullptr;
+  obs::Counter* numerical_errors = nullptr;
+  obs::Counter* iterations = nullptr;
+  obs::Counter* reuse_hits = nullptr;
+  obs::Counter* not_converged = nullptr;
+  obs::Gauge* last_primal = nullptr;
+  obs::Gauge* last_dual = nullptr;
+  obs::Histogram* solve_ms = nullptr;
+  obs::Histogram* iterations_hist = nullptr;
+};
+
+SolverInstruments* solver_instruments(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return nullptr;
+  thread_local SolverInstruments cache;
+  if (cache.registry != metrics || cache.registry_id != metrics->id()) {
+    cache.registry = metrics;
+    cache.registry_id = metrics->id();
+    cache.solves = &metrics->counter("solver.qp.solves");
+    cache.infeasible = &metrics->counter("solver.qp.infeasible");
+    cache.factorizations = &metrics->counter("solver.qp.factorizations");
+    cache.numerical_errors = &metrics->counter("solver.qp.numerical_errors");
+    cache.iterations = &metrics->counter("solver.qp.iterations");
+    cache.reuse_hits = &metrics->counter("solver.qp.factorization_reuse_hits");
+    cache.not_converged = &metrics->counter("solver.qp.not_converged");
+    cache.last_primal = &metrics->gauge("solver.qp.last_primal_residual");
+    cache.last_dual = &metrics->gauge("solver.qp.last_dual_residual");
+    cache.solve_ms = &metrics->timing_histogram("solver.qp.solve_ms");
+    cache.iterations_hist = &metrics->histogram(
+        "solver.qp.iterations_hist",
+        {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 20000});
+  }
+  return &cache;
+}
+
+}  // namespace
 
 void QpProblem::validate() const {
   const std::size_t n = q.size();
@@ -89,10 +140,20 @@ QpResult solve_qp(const QpProblem& problem, const QpSettings& settings) {
   const std::size_t n = problem.num_variables();
   const std::size_t m = problem.num_constraints();
 
+  // Observability (off = one relaxed load each): the qp-solve span and the
+  // solver counters that would otherwise die inside QpResult.
+  SolverInstruments* inst = solver_instruments(obs::global_metrics());
+  obs::Span span(obs::global_tracer(), "qp-solve");
+  span.field("variables", n).field("constraints", m);
+  obs::ScopedTimer solve_timer(inst ? inst->solve_ms : nullptr);
+  if (inst != nullptr) inst->solves->add(1);
+
   QpResult result;
   for (std::size_t i = 0; i < m; ++i) {
     if (problem.lower[i] > problem.upper[i]) {
       result.status = QpStatus::kInfeasible;
+      span.field("status", to_string(result.status));
+      if (inst != nullptr) inst->infeasible->add(1);
       return result;
     }
   }
@@ -106,8 +167,11 @@ QpResult solve_qp(const QpProblem& problem, const QpSettings& settings) {
     for (std::size_t c = 0; c < n; ++c)
       kkt(r, c) += settings.rho * ata(r, c);
   const auto factor = Cholesky::factorize(kkt);
+  if (inst != nullptr) inst->factorizations->add(1);
   if (!factor) {
     result.status = QpStatus::kNumericalError;
+    span.field("status", to_string(result.status));
+    if (inst != nullptr) inst->numerical_errors->add(1);
     return result;
   }
 
@@ -186,6 +250,24 @@ QpResult solve_qp(const QpProblem& problem, const QpSettings& settings) {
   result.z = std::move(z);
   if (settings.polish) clamp_bounds(result.z);
   result.objective = problem.objective(result.x);
+
+  span.field("status", to_string(result.status))
+      .field("iterations", result.iterations)
+      .field("primal_residual", result.primal_residual)
+      .field("dual_residual", result.dual_residual);
+  if (inst != nullptr) {
+    inst->iterations->add(result.iterations);
+    // The KKT factor is computed once and reused by every ADMM iteration
+    // after the first — the reuse count is what makes the one-factorization
+    // design pay.
+    if (result.iterations > 1)
+      inst->reuse_hits->add(result.iterations - 1);
+    if (result.status == QpStatus::kMaxIterations)
+      inst->not_converged->add(1);
+    inst->last_primal->set(result.primal_residual);
+    inst->last_dual->set(result.dual_residual);
+    inst->iterations_hist->record(static_cast<double>(result.iterations));
+  }
   return result;
 }
 

@@ -20,17 +20,33 @@ std::string_view log_level_name(LogLevel level) {
   return "?";
 }
 
+void StreamLogSink::write(LogLevel level, std::string_view component,
+                          std::string_view message) {
+  std::ostream& os = os_ != nullptr ? *os_ : std::cerr;
+  os << '[' << log_level_name(level) << "] " << component << ": " << message
+     << '\n';
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  if (sink == nullptr) {
+    sink_ = nullptr;  // default stderr sink
+    return;
+  }
+  redirect_sink_ = StreamLogSink(sink);
+  sink_ = &redirect_sink_;
+}
+
 void Logger::write(LogLevel level, std::string_view component,
                    std::string_view message) {
   if (!enabled(level)) return;
-  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
-  os << '[' << log_level_name(level) << "] " << component << ": " << message
-     << '\n';
+  LogSink& primary = sink_ != nullptr ? *sink_ : stderr_sink_;
+  primary.write(level, component, message);
+  if (capture_ != nullptr) capture_->write(level, component, message);
 }
 
 LogMessage::~LogMessage() {

@@ -3,8 +3,33 @@
 // Logging is stream-based and globally level-filtered; it is intentionally
 // not thread-hot-path material (the simulator logs per-interval decisions at
 // Debug, off by default).
+//
+// Sink contract
+// -------------
+// Output goes through the pluggable LogSink interface. Rules a sink
+// implementation must follow:
+//
+//   * write() is called only for records that passed the level filter —
+//     sinks do not re-filter (except an explicit tee like
+//     obs::LogCaptureSink, which applies its own minimum level).
+//   * write() receives the raw (level, component, message) triple and owns
+//     all formatting; StreamLogSink renders the classic
+//     "[LEVEL] component: message\n" form.
+//   * Sinks are non-owning from the Logger's point of view: the caller
+//     keeps the sink alive for as long as it is installed (install
+//     nullptr, or a replacement, before destroying it).
+//   * write() may be called from any thread; the Logger performs no
+//     locking of its own, so a sink that can race must synchronize
+//     internally (stderr's stream inserter is atomic enough for the
+//     line-at-a-time records produced here).
+//
+// Two sinks are installed at once: the *primary* sink (defaults to a
+// stderr StreamLogSink) and an optional *capture* sink that tees every
+// record also sent to the primary — smoother::obs uses this to record
+// WARN+ events into trace logs without silencing the console.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <sstream>
 #include <string>
@@ -17,6 +42,47 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 /// Name of a level ("DEBUG", "INFO", ...).
 [[nodiscard]] std::string_view log_level_name(LogLevel level);
 
+/// Pluggable output target; see the sink contract above.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(LogLevel level, std::string_view component,
+                     std::string_view message) = 0;
+};
+
+/// Renders "[LEVEL] component: message\n" to an ostream (stderr default).
+class StreamLogSink final : public LogSink {
+ public:
+  /// nullptr targets std::cerr (resolved at write time, so a sink built
+  /// before std::cerr is used remains safe).
+  explicit StreamLogSink(std::ostream* os = nullptr) : os_(os) {}
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Invokes a callback per record; the adapter for tests and exporters
+/// that want records as data rather than text.
+class CallbackLogSink final : public LogSink {
+ public:
+  using Callback =
+      std::function<void(LogLevel, std::string_view, std::string_view)>;
+
+  explicit CallbackLogSink(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message) override {
+    if (callback_) callback_(level, component, message);
+  }
+
+ private:
+  Callback callback_;
+};
+
 /// Global logger configuration. Defaults: Info level, stderr sink.
 class Logger {
  public:
@@ -26,14 +92,25 @@ class Logger {
   void set_level(LogLevel level) { level_ = level; }
   [[nodiscard]] LogLevel level() const { return level_; }
 
-  /// Redirect output (tests use an ostringstream); pass nullptr for stderr.
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  /// Installs the primary sink (non-owning); nullptr restores the default
+  /// stderr StreamLogSink.
+  void set_log_sink(LogSink* sink) { sink_ = sink; }
+
+  /// Installs a tee: every record written to the primary sink is also
+  /// sent here (non-owning; nullptr clears). obs::LogCaptureSink plugs in
+  /// through this to mirror WARN+ records into trace event logs.
+  void set_capture_sink(LogSink* sink) { capture_ = sink; }
+
+  /// Back-compat stream redirect (tests use an ostringstream); pass
+  /// nullptr for stderr. Wraps the stream in an internal StreamLogSink
+  /// and installs it as the primary sink.
+  void set_sink(std::ostream* sink);
 
   [[nodiscard]] bool enabled(LogLevel level) const {
     return static_cast<int>(level) >= static_cast<int>(level_);
   }
 
-  /// Emits one record: "[LEVEL] component: message\n".
+  /// Emits one record through the primary sink and the capture tee.
   void write(LogLevel level, std::string_view component,
              std::string_view message);
 
@@ -41,7 +118,10 @@ class Logger {
   Logger() = default;
 
   LogLevel level_ = LogLevel::kInfo;
-  std::ostream* sink_ = nullptr;  // nullptr => std::cerr
+  LogSink* sink_ = nullptr;     // nullptr => default stderr sink
+  LogSink* capture_ = nullptr;  // optional tee
+  StreamLogSink stderr_sink_{nullptr};
+  StreamLogSink redirect_sink_{nullptr};  // backs set_sink(std::ostream*)
 };
 
 /// Builder for one log record; emits on destruction.

@@ -1,0 +1,494 @@
+// smoother::obs — registry semantics, span nesting & JSON-lines shape,
+// determinism (two runs identical modulo wall-clock fields), and
+// thread-safety under runtime::ThreadPool (also the TSan suite's target).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "smoother/obs/interval_observer.hpp"
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/profile.hpp"
+#include "smoother/obs/trace.hpp"
+#include "smoother/runtime/thread_pool.hpp"
+#include "smoother/solver/qp.hpp"
+#include "smoother/util/logging.hpp"
+
+namespace smoother {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::GlobalMetricsScope;
+using obs::GlobalTracerScope;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::Span;
+using obs::Tracer;
+
+/// Replaces every wall-clock field with a constant so deterministic runs
+/// compare equal (the documented determinism contract of the trace log).
+std::string mask_wall_ms(const std::string& text) {
+  static const std::regex wall("\"wall_ms\":[0-9]+\\.[0-9]+");
+  return std::regex_replace(text, wall, "\"wall_ms\":0");
+}
+
+// --- Registry semantics ----------------------------------------------------
+
+TEST(ObsCounter, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(3.5);
+  gauge.set(-1.25);
+  EXPECT_EQ(gauge.value(), -1.25);
+}
+
+TEST(ObsHistogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 10.0, 100.0}, /*timing=*/false);
+  hist.record(0.5);    // <= 1
+  hist.record(1.0);    // == 1 lands in the first bucket (inclusive edge)
+  hist.record(10.0);   // second bucket
+  hist.record(99.9);   // third
+  hist.record(1000.0); // overflow
+  EXPECT_EQ(hist.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 10.0 + 99.9 + 1000.0);
+  EXPECT_FALSE(hist.timing());
+}
+
+TEST(ObsHistogram, RejectsEmptyOrUnsortedBounds) {
+  EXPECT_THROW(Histogram({}, false), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}, false), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}, false), std::invalid_argument);
+}
+
+TEST(ObsRegistry, LookupReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&registry.counter("y"), &a);
+  EXPECT_EQ(&registry.gauge("g"), &registry.gauge("g"));
+}
+
+TEST(ObsRegistry, HistogramBoundsApplyOnlyOnFirstCreation) {
+  MetricsRegistry registry;
+  Histogram& first = registry.histogram("h", {1.0, 2.0});
+  Histogram& again = registry.histogram("h", {5.0, 6.0, 7.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsRegistry, TimingHistogramIsMarkedAndUsesLatencyLadder) {
+  MetricsRegistry registry;
+  Histogram& timing = registry.timing_histogram("t_ms");
+  EXPECT_TRUE(timing.timing());
+  EXPECT_EQ(timing.bounds(), obs::default_latency_bounds_ms());
+  EXPECT_FALSE(registry.histogram("plain", {1.0}).timing());
+}
+
+TEST(ObsRegistry, GenerationIdsAreProcessUnique) {
+  // Hot-path handle caches key on (pointer, id); a fresh registry at a
+  // recycled address must present a different id.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), 0u);
+}
+
+TEST(ObsRegistry, SnapshotCapturesAllInstrumentKinds) {
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(2.5);
+  registry.histogram("h", {1.0, 2.0}).record(1.5);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("c"), 7u);
+  EXPECT_EQ(snap.gauges.at("g"), 2.5);
+  const auto& h = snap.histograms.at("h");
+  EXPECT_EQ(h.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h.buckets, (std::vector<std::uint64_t>{0, 1, 0}));
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.5);
+  EXPECT_FALSE(h.timing);
+}
+
+TEST(ObsRegistry, JsonExportIsSortedAndTyped) {
+  MetricsRegistry registry;
+  registry.counter("z.second").add(2);
+  registry.counter("a.first").add(1);
+  registry.gauge("g").set(0.5);
+  registry.timing_histogram("lat_ms").record(0.02);
+
+  const std::string json = registry.to_json();
+  // Counters serialize sorted by name regardless of registration order.
+  EXPECT_LT(json.find("\"a.first\": 1"), json.find("\"z.second\": 2"));
+  EXPECT_NE(json.find("\"g\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"timing\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(ObsRegistry, CsvExportOneColumnPerField) {
+  MetricsRegistry registry;
+  registry.counter("c").add(3);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h", {10.0}).record(4.0);
+
+  const util::CsvTable table = registry.to_csv();
+  std::ostringstream os;
+  table.write(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("c.count"), std::string::npos);
+  EXPECT_NE(csv.find("g.value"), std::string::npos);
+  EXPECT_NE(csv.find("h.le_10"), std::string::npos);
+  EXPECT_NE(csv.find("h.overflow"), std::string::npos);
+  EXPECT_NE(csv.find("h.sum"), std::string::npos);
+}
+
+TEST(ObsGlobals, ScopesInstallAndRestore) {
+  MetricsRegistry* before = obs::global_metrics();
+  MetricsRegistry outer_registry;
+  {
+    GlobalMetricsScope outer(&outer_registry);
+    EXPECT_EQ(obs::global_metrics(), &outer_registry);
+    MetricsRegistry inner_registry;
+    {
+      GlobalMetricsScope inner(&inner_registry);
+      EXPECT_EQ(obs::global_metrics(), &inner_registry);
+    }
+    EXPECT_EQ(obs::global_metrics(), &outer_registry);
+  }
+  EXPECT_EQ(obs::global_metrics(), before);
+
+  Tracer tracer;
+  Tracer* tracer_before = obs::global_tracer();
+  {
+    GlobalTracerScope scope(&tracer);
+    EXPECT_EQ(obs::global_tracer(), &tracer);
+  }
+  EXPECT_EQ(obs::global_tracer(), tracer_before);
+}
+
+TEST(ObsProfile, ScopedTimerRecordsIntoTimingHistogram) {
+  MetricsRegistry registry;
+  { obs::ScopedTimer timer(&registry, "scope_ms"); }
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto& h = snap.histograms.at("scope_ms");
+  EXPECT_TRUE(h.timing);
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_GE(h.sum, 0.0);
+  // Null registry: never touches the clock, records nothing.
+  obs::ScopedTimer noop(nullptr, "ignored");
+}
+
+// --- Span nesting & JSON-lines round-trip ----------------------------------
+
+TEST(ObsSpan, NullTracerIsInert) {
+  Span span(nullptr, "noop");
+  EXPECT_FALSE(span.active());
+  span.field("k", 1).field("s", "v");  // must not crash or allocate a line
+}
+
+TEST(ObsSpan, EmitsExactJsonLinesWithNesting) {
+  Tracer tracer;
+  {
+    Span root(&tracer, "root");
+    root.field("count", std::uint64_t{7}).field("name", "a\"b");
+    {
+      Span child(&tracer, "child");
+      child.field("x", 1.5);
+    }
+  }
+  const std::vector<std::string> lines = tracer.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  // The child closes (and serializes) first; parent/depth point at root.
+  EXPECT_EQ(mask_wall_ms(lines[0]),
+            "{\"type\":\"span\",\"name\":\"child\",\"seq\":1,\"parent\":0,"
+            "\"depth\":1,\"fields\":{\"x\":1.5},\"wall_ms\":0}");
+  EXPECT_EQ(mask_wall_ms(lines[1]),
+            "{\"type\":\"span\",\"name\":\"root\",\"seq\":0,\"parent\":-1,"
+            "\"depth\":0,\"fields\":{\"count\":7,\"name\":\"a\\\"b\"},"
+            "\"wall_ms\":0}");
+}
+
+TEST(ObsSpan, FieldFormatting) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "fmt");
+    span.field("neg", std::int64_t{-3})
+        .field("whole", 3.0)
+        .field("frac", 0.125)
+        .field("inf", std::numeric_limits<double>::infinity());
+  }
+  const std::string line = mask_wall_ms(tracer.events());
+  // Whole doubles print bare, fractions round-trip, non-finite -> null.
+  EXPECT_NE(line.find("\"neg\":-3,\"whole\":3,\"frac\":0.125,\"inf\":null"),
+            std::string::npos);
+}
+
+TEST(ObsSpan, SiblingSpansShareParent) {
+  Tracer tracer;
+  {
+    Span root(&tracer, "root");
+    { Span a(&tracer, "a"); }
+    { Span b(&tracer, "b"); }
+  }
+  const std::vector<std::string> lines = tracer.lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"name\":\"a\",\"seq\":1,\"parent\":0,\"depth\":1"),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"b\",\"seq\":2,\"parent\":0,\"depth\":1"),
+            std::string::npos);
+}
+
+TEST(ObsSpan, NestingStackIsPerThread) {
+  Tracer tracer;
+  {
+    Span root(&tracer, "root");
+    std::thread other([&] {
+      // A span on another thread must not adopt this thread's live root.
+      Span detached(&tracer, "detached");
+    });
+    other.join();
+  }
+  const std::vector<std::string> lines = tracer.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"name\":\"detached\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"parent\":-1,\"depth\":0"), std::string::npos);
+}
+
+TEST(ObsTrace, JsonEscapeHandlesSpecialsAndControls) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsTrace, ClearResetsEventsAndSequence) {
+  Tracer tracer;
+  { Span span(&tracer, "one"); }
+  EXPECT_EQ(tracer.event_count(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  { Span span(&tracer, "two"); }
+  EXPECT_NE(tracer.events().find("\"seq\":0"), std::string::npos);
+}
+
+TEST(ObsTrace, LogCaptureSinkTeesWarnAndAbove) {
+  Tracer tracer;
+  obs::LogCaptureSink capture(tracer, util::LogLevel::kWarn);
+  std::ostringstream quiet;
+  util::Logger::instance().set_sink(&quiet);
+  util::Logger::instance().set_capture_sink(&capture);
+
+  SMOOTHER_LOG(kInfo, "obs-test") << "below threshold";
+  SMOOTHER_LOG(kWarn, "obs-test") << "captured \"quoted\"";
+
+  util::Logger::instance().set_capture_sink(nullptr);
+  util::Logger::instance().set_sink(nullptr);
+
+  const std::vector<std::string> lines = tracer.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"log\",\"level\":\"WARN\",\"component\":\"obs-test\","
+            "\"message\":\"captured \\\"quoted\\\"\"}");
+}
+
+TEST(ObsObserver, TracingIntervalObserverEmitsSpanAndCounters) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  obs::TracingIntervalObserver observer(&tracer, &registry);
+
+  obs::IntervalEvent event;
+  event.index = 3;
+  event.region = "smoothable";
+  event.fallback = "none";
+  event.smoothed = true;
+  observer.on_interval(event);
+
+  EXPECT_EQ(tracer.event_count(), 1u);
+  EXPECT_NE(tracer.events().find("interval-observe"), std::string::npos);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_FALSE(snap.counters.empty());
+}
+
+// --- Determinism -----------------------------------------------------------
+
+void instrumented_workload(MetricsRegistry& registry, Tracer& tracer) {
+  Span outer(&tracer, "outer");
+  outer.field("layer", "test");
+  registry.counter("work.items").add(3);
+  Histogram& sizes = registry.histogram("work.sizes", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 5; ++i) {
+    Span inner(&tracer, "inner");
+    inner.field("i", i);
+    sizes.record(static_cast<double>(i * i));
+  }
+  registry.gauge("work.last").set(41.5);
+}
+
+TEST(ObsDeterminism, IdenticalRunsProduceIdenticalExports) {
+  MetricsRegistry registry_a, registry_b;
+  Tracer tracer_a, tracer_b;
+  instrumented_workload(registry_a, tracer_a);
+  instrumented_workload(registry_b, tracer_b);
+  // No timing histograms in the workload, so the full JSON must match; the
+  // trace matches once wall_ms — the one wall-clock field — is masked.
+  EXPECT_EQ(registry_a.to_json(), registry_b.to_json());
+  EXPECT_EQ(mask_wall_ms(tracer_a.events()), mask_wall_ms(tracer_b.events()));
+}
+
+solver::QpProblem small_feasible_qp() {
+  solver::QpProblem problem;
+  problem.p = solver::variance_quadratic_form(3);
+  problem.q = {0.0, 0.0, 0.0};
+  problem.a = solver::Matrix{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0},
+                             {0.0, 0.0, 1.0}};
+  problem.lower = {1.0, 2.0, 3.0};
+  problem.upper = {4.0, 5.0, 6.0};
+  return problem;
+}
+
+TEST(ObsDeterminism, InstrumentedSolverRunsCompareEqualModuloTiming) {
+  auto run = [](MetricsRegistry& registry, Tracer& tracer) {
+    GlobalMetricsScope metrics_scope(&registry);
+    GlobalTracerScope tracer_scope(&tracer);
+    const solver::QpResult result =
+        solver::solve_qp(small_feasible_qp(), solver::QpSettings{});
+    EXPECT_EQ(result.status, solver::QpStatus::kSolved);
+  };
+  MetricsRegistry registry_a, registry_b;
+  Tracer tracer_a, tracer_b;
+  run(registry_a, tracer_a);
+  run(registry_b, tracer_b);
+
+  EXPECT_EQ(mask_wall_ms(tracer_a.events()), mask_wall_ms(tracer_b.events()));
+
+  const MetricsSnapshot a = registry_a.snapshot();
+  const MetricsSnapshot b = registry_b.snapshot();
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (const auto& [name, data] : a.histograms) {
+    const auto& other = b.histograms.at(name);
+    EXPECT_EQ(data.timing, other.timing) << name;
+    if (data.timing) continue;  // wall-clock histograms are exempt
+    EXPECT_EQ(data.buckets, other.buckets) << name;
+    EXPECT_EQ(data.count, other.count) << name;
+    EXPECT_DOUBLE_EQ(data.sum, other.sum) << name;
+  }
+  EXPECT_GT(a.counters.at("solver.qp.solves"), 0u);
+  EXPECT_GT(a.counters.at("solver.qp.iterations"), 0u);
+}
+
+TEST(ObsDeterminism, SolverRecordsNothingWhenObservabilityOff) {
+  // With no global registry installed, the same solve must leave no trace:
+  // the off path is a relaxed load and a branch, never a registration.
+  MetricsRegistry sentinel;
+  const std::string empty_json = sentinel.to_json();
+  const solver::QpResult result =
+      solver::solve_qp(small_feasible_qp(), solver::QpSettings{});
+  EXPECT_EQ(result.status, solver::QpStatus::kSolved);
+  EXPECT_EQ(sentinel.to_json(), empty_json);
+}
+
+// --- Thread-safety under runtime::ThreadPool (TSan suite) ------------------
+
+TEST(ObsThreading, ConcurrentRecordingIsExact) {
+  constexpr std::size_t kTasks = 8192;
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("pool.items");
+  Histogram& hist = registry.histogram("pool.values", {2.0, 4.0, 6.0});
+
+  runtime::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    counter.add(1);
+    hist.record(static_cast<double>(i % 8));
+    registry.gauge("pool.last").set(static_cast<double>(i));
+  });
+
+  EXPECT_EQ(counter.value(), kTasks);
+  EXPECT_EQ(hist.count(), kTasks);
+  // i % 8 spreads evenly: 3 values <= 2, 2 more <= 4, 2 more <= 6, 1 over.
+  EXPECT_EQ(hist.bucket_counts(),
+            (std::vector<std::uint64_t>{kTasks / 8 * 3, kTasks / 8 * 2,
+                                        kTasks / 8 * 2, kTasks / 8}));
+}
+
+TEST(ObsThreading, ConcurrentLookupReturnsOneInstrumentPerName) {
+  MetricsRegistry registry;
+  runtime::ThreadPool pool(4);
+  std::vector<Counter*> seen(256);
+  pool.parallel_for(seen.size(), [&](std::size_t i) {
+    seen[i] = &registry.counter("contended");
+    seen[i]->add(1);
+  });
+  for (const Counter* counter : seen) EXPECT_EQ(counter, seen[0]);
+  EXPECT_EQ(seen[0]->value(), seen.size());
+}
+
+TEST(ObsThreading, ConcurrentSpansEmitOnceEachWithUniqueSeq) {
+  constexpr std::size_t kTasks = 2048;
+  Tracer tracer;
+  runtime::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    Span span(&tracer, "task");
+    span.field("index", static_cast<std::uint64_t>(i));
+  });
+
+  const std::vector<std::string> lines = tracer.lines();
+  ASSERT_EQ(lines.size(), kTasks);
+  // Concurrent emission interleaves in an unspecified order; compare as a
+  // set: every index exactly once, every seq exactly once.
+  std::set<std::string> indices;
+  std::set<std::string> seqs;
+  const std::regex index_re("\"index\":([0-9]+)");
+  const std::regex seq_re("\"seq\":([0-9]+)");
+  for (const std::string& line : lines) {
+    std::smatch match;
+    ASSERT_TRUE(std::regex_search(line, match, index_re)) << line;
+    indices.insert(match[1]);
+    ASSERT_TRUE(std::regex_search(line, match, seq_re)) << line;
+    seqs.insert(match[1]);
+  }
+  EXPECT_EQ(indices.size(), kTasks);
+  EXPECT_EQ(seqs.size(), kTasks);
+}
+
+TEST(ObsThreading, PoolStatsAccountForEveryTask) {
+  constexpr std::size_t kTasks = 512;
+  runtime::ThreadPool pool(3);
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([i] { return i; }));
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(futures[i].get(), i);
+
+  // Which worker ran (or stole) each task is scheduling-dependent; the
+  // totals are exact.
+  EXPECT_EQ(pool.total_tasks_executed() + pool.external_tasks_executed(),
+            kTasks);
+  EXPECT_LE(pool.total_tasks_stolen(), pool.total_tasks_executed());
+}
+
+}  // namespace
+}  // namespace smoother

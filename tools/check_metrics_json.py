@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate a --metrics-out file emitted by the bench harness.
+
+The harness (bench/harness.hpp) writes one JSON document per run:
+
+    {"bench": "<binary>",
+     "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+     "trace": [<JSON-lines span/log events, one object per entry>]}
+
+This checker enforces the schema plus the layer's internal invariants
+(histogram bucket arithmetic, span nesting fields, the wall_ms timing
+contract), so the ctest smoke targets fail when an exporter regresses.
+
+Usage:
+    check_metrics_json.py FILE [--require-span NAME]... \
+        [--require-counter NAME]...
+"""
+
+import argparse
+import json
+import sys
+
+SPAN_KEYS = {"type", "name", "seq", "parent", "depth", "fields", "wall_ms"}
+LOG_KEYS = {"type", "level", "component", "message"}
+
+
+def fail(message):
+    print(f"check_metrics_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition, message):
+    if not condition:
+        fail(message)
+
+
+def check_counters(counters):
+    expect(isinstance(counters, dict), "metrics.counters must be an object")
+    for name, value in counters.items():
+        expect(isinstance(value, int) and not isinstance(value, bool),
+               f"counter {name!r} must be an integer, got {value!r}")
+        expect(value >= 0, f"counter {name!r} is negative: {value}")
+
+
+def check_gauges(gauges):
+    expect(isinstance(gauges, dict), "metrics.gauges must be an object")
+    for name, value in gauges.items():
+        expect(isinstance(value, (int, float)) and not isinstance(value, bool),
+               f"gauge {name!r} must be a number, got {value!r}")
+
+
+def check_histograms(histograms):
+    expect(isinstance(histograms, dict), "metrics.histograms must be an object")
+    for name, data in histograms.items():
+        expect(isinstance(data, dict), f"histogram {name!r} must be an object")
+        for key in ("timing", "count", "sum", "bounds", "buckets"):
+            expect(key in data, f"histogram {name!r} missing {key!r}")
+        expect(isinstance(data["timing"], bool),
+               f"histogram {name!r}: timing must be a bool")
+        bounds = data["bounds"]
+        buckets = data["buckets"]
+        expect(len(bounds) >= 1, f"histogram {name!r}: empty bounds")
+        expect(all(a < b for a, b in zip(bounds, bounds[1:])),
+               f"histogram {name!r}: bounds not strictly increasing")
+        expect(len(buckets) == len(bounds) + 1,
+               f"histogram {name!r}: want {len(bounds) + 1} buckets "
+               f"(bounds + overflow), got {len(buckets)}")
+        expect(all(isinstance(b, int) and b >= 0 for b in buckets),
+               f"histogram {name!r}: buckets must be non-negative integers")
+        expect(sum(buckets) == data["count"],
+               f"histogram {name!r}: bucket sum {sum(buckets)} != "
+               f"count {data['count']}")
+
+
+def check_trace(trace):
+    expect(isinstance(trace, list), "trace must be an array")
+    seqs = set()
+    for i, event in enumerate(trace):
+        expect(isinstance(event, dict), f"trace[{i}] must be an object")
+        kind = event.get("type")
+        if kind == "span":
+            expect(set(event) == SPAN_KEYS,
+                   f"trace[{i}] span keys {sorted(event)} != "
+                   f"{sorted(SPAN_KEYS)}")
+            expect(isinstance(event["seq"], int) and event["seq"] >= 0,
+                   f"trace[{i}]: bad seq {event['seq']!r}")
+            expect(event["seq"] not in seqs,
+                   f"trace[{i}]: duplicate seq {event['seq']}")
+            seqs.add(event["seq"])
+            expect(isinstance(event["parent"], int) and event["parent"] >= -1,
+                   f"trace[{i}]: bad parent {event['parent']!r}")
+            expect(isinstance(event["depth"], int) and event["depth"] >= 0,
+                   f"trace[{i}]: bad depth {event['depth']!r}")
+            expect((event["parent"] == -1) == (event["depth"] == 0),
+                   f"trace[{i}]: parent/depth disagree about being a root")
+            expect(isinstance(event["fields"], dict),
+                   f"trace[{i}]: fields must be an object")
+            # wall_ms is the one sanctioned wall-clock field; it lives
+            # outside fields so maskers can target it without parsing.
+            expect(isinstance(event["wall_ms"], (int, float))
+                   and event["wall_ms"] >= 0,
+                   f"trace[{i}]: bad wall_ms {event['wall_ms']!r}")
+            expect("wall_ms" not in event["fields"],
+                   f"trace[{i}]: wall_ms must not appear inside fields")
+        elif kind == "log":
+            expect(set(event) == LOG_KEYS,
+                   f"trace[{i}] log keys {sorted(event)} != "
+                   f"{sorted(LOG_KEYS)}")
+            expect(event["level"] in ("DEBUG", "INFO", "WARN", "ERROR"),
+                   f"trace[{i}]: unknown level {event['level']!r}")
+        else:
+            fail(f"trace[{i}]: unknown event type {kind!r}")
+    return {event["name"] for event in trace if event.get("type") == "span"}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="--metrics-out JSON file to validate")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span with this name is present")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this counter is present and > 0")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{args.file}: {error}")
+
+    expect(isinstance(doc, dict), "top level must be an object")
+    expect(set(doc) == {"bench", "metrics", "trace"},
+           f"top-level keys {sorted(doc)} != ['bench', 'metrics', 'trace']")
+    expect(isinstance(doc["bench"], str) and doc["bench"],
+           "bench must be a non-empty string")
+    metrics = doc["metrics"]
+    expect(isinstance(metrics, dict) and
+           set(metrics) == {"counters", "gauges", "histograms"},
+           "metrics must hold exactly counters/gauges/histograms")
+    check_counters(metrics["counters"])
+    check_gauges(metrics["gauges"])
+    check_histograms(metrics["histograms"])
+    span_names = check_trace(doc["trace"])
+
+    for name in args.require_span:
+        expect(name in span_names,
+               f"required span {name!r} absent (saw {sorted(span_names)})")
+    for name in args.require_counter:
+        expect(metrics["counters"].get(name, 0) > 0,
+               f"required counter {name!r} absent or zero")
+
+    print(f"check_metrics_json: OK: {args.file} "
+          f"({len(metrics['counters'])} counters, "
+          f"{len(doc['trace'])} trace events)")
+
+
+if __name__ == "__main__":
+    main()

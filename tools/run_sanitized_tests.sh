@@ -1,40 +1,48 @@
 #!/usr/bin/env bash
-# Configure, build and run the test suite under ASan+UBSan.
+# Configure, build and run the test suite under sanitizers, in two phases:
 #
-# The resilience acceptance gate: the >=10k-interval mixed-fault soak (and
-# the rest of the fault-injection tests) must run clean under both
-# sanitizers. By default only the resilience-focused subset runs, which
-# keeps the loop fast; pass --full for the whole suite.
+#   1. ASan+UBSan (build-asan/): the resilience acceptance gate — the
+#      >=10k-interval mixed-fault soak and friends must run clean — plus
+#      the obs exporter/trace tests.
+#   2. TSan (build-tsan/): the concurrency surface — obs recording from
+#      pool workers, the work-stealing ThreadPool, and SweepRunner.
+#
+# By default each phase runs its focused subset, which keeps the loop
+# fast; pass --full to run the whole suite under both.
 #
 # Usage:
-#   tools/run_sanitized_tests.sh           # resilience subset
-#   tools/run_sanitized_tests.sh --full    # every test
-#
-# The sanitized build lives in build-asan/ next to the normal build/ and is
-# configured via the SMOOTHER_SANITIZE CMake option ("address,undefined").
+#   tools/run_sanitized_tests.sh           # focused subsets
+#   tools/run_sanitized_tests.sh --full    # every test, both sanitizers
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build="$repo/build-asan"
-filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing"
+asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs"
+tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid"
 if [[ "${1:-}" == "--full" ]]; then
-  filter=""
+  asan_filter=""
+  tsan_filter=""
 fi
 
-cmake -B "$build" -S "$repo" \
-  -DSMOOTHER_SANITIZE=address,undefined \
-  -DSMOOTHER_BUILD_BENCH=OFF \
-  -DSMOOTHER_BUILD_EXAMPLES=OFF \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$(nproc)"
+run_phase() {
+  local build="$1" sanitize="$2" filter="$3"
+  cmake -B "$build" -S "$repo" \
+    -DSMOOTHER_SANITIZE="$sanitize" \
+    -DSMOOTHER_BUILD_BENCH=OFF \
+    -DSMOOTHER_BUILD_EXAMPLES=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  if [[ -n "$filter" ]]; then
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)" -R "$filter"
+  else
+    ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+  fi
+}
 
 export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+run_phase "$repo/build-asan" "address,undefined" "$asan_filter"
+echo "phase 1/2 complete (ASan+UBSan)."
 
-cd "$build"
-if [[ -n "$filter" ]]; then
-  ctest --output-on-failure -j "$(nproc)" -R "$filter"
-else
-  ctest --output-on-failure -j "$(nproc)"
-fi
-echo "sanitized test pass complete (ASan+UBSan)."
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+run_phase "$repo/build-tsan" "thread" "$tsan_filter"
+echo "phase 2/2 complete (TSan). sanitized test pass complete."

@@ -19,6 +19,9 @@ void FlexibleSmoothingConfig::validate() const {
   if (lookahead_intervals == 0)
     throw std::invalid_argument(
         "FlexibleSmoothingConfig: lookahead must be >= 1 interval");
+  if (warm_start && !reuse_solver)
+    throw std::invalid_argument(
+        "FlexibleSmoothingConfig: warm_start requires reuse_solver");
 }
 
 double SmoothingResult::mean_variance_reduction() const {
@@ -35,6 +38,22 @@ double SmoothingResult::mean_variance_reduction() const {
 FlexibleSmoothing::FlexibleSmoothing(FlexibleSmoothingConfig config)
     : config_(config) {
   config_.validate();
+}
+
+void FlexibleSmoothing::reset_solver_warm_starts() const {
+  for (auto& [m, qp_solver] : solver_cache_) qp_solver.reset_warm_start();
+}
+
+SolverCacheStats FlexibleSmoothing::solver_cache_stats() const {
+  SolverCacheStats stats;
+  stats.solvers = solver_cache_.size();
+  for (const auto& [m, qp_solver] : solver_cache_) {
+    stats.setups += qp_solver.setup_count();
+    stats.solves += qp_solver.solve_count();
+    stats.warm_starts += qp_solver.warm_start_count();
+    stats.factorization_reuse += qp_solver.factorization_reuse_count();
+  }
+  return stats;
 }
 
 IntervalPlan FlexibleSmoothing::plan_interval(
@@ -85,8 +104,22 @@ IntervalPlan FlexibleSmoothing::plan_interval(
     problem.upper[m + i] = std::max(cum_upper, 0.0);
   }
 
-  const solver::QpResult solution =
-      solver::solve_qp(problem, qp_override ? *qp_override : config_.qp);
+  // Route through the per-horizon solver cache when enabled: every interval
+  // of length m shares P and A, so the cached solver reuses its KKT
+  // factorization; with warm_start on it also seeds ADMM from the previous
+  // interval's iterates. An override bypasses the cache — retuned settings
+  // (the fault harness forces non-convergence this way) must not pollute
+  // the warm state.
+  const solver::QpSettings& qp_settings =
+      qp_override ? *qp_override : config_.qp;
+  solver::QpResult solution;
+  if (config_.reuse_solver && qp_override == nullptr) {
+    solver::QpSolver& qp_solver = solver_cache_[m];
+    if (!config_.warm_start) qp_solver.reset_warm_start();
+    solution = qp_solver.solve(problem, qp_settings);
+  } else {
+    solution = solver::solve_qp(problem, qp_settings);
+  }
 
   IntervalPlan plan;
   plan.solver_status = solution.status;
@@ -153,6 +186,11 @@ SmoothingResult FlexibleSmoothing::smooth_with_forecast(
   if (classifier.config().points_per_interval != config_.points_per_interval)
     throw std::invalid_argument(
         "FlexibleSmoothing::smooth: classifier interval length differs");
+
+  // A full-series run is a self-contained replay: start it cold so repeated
+  // runs on one instance are bit-identical (warm-start still accrues across
+  // the intervals *within* the run).
+  reset_solver_warm_starts();
 
   SmoothingResult result;
   result.supply = generation;  // start as pass-through; smoothed below

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "smoother/core/forecast.hpp"
 #include "smoother/core/region.hpp"
 #include "smoother/solver/qp.hpp"
+#include "smoother/solver/qp_solver.hpp"
 #include "smoother/util/time_series.hpp"
 #include "smoother/util/units.hpp"
 
@@ -60,7 +62,39 @@ struct FlexibleSmoothingConfig {
 
   solver::QpSettings qp;                    ///< inner solver tuning
 
+  /// Reuse a stateful solver::QpSolver per horizon length: consecutive
+  /// intervals of the same length share P and A, so the KKT factorization
+  /// is built once and reused for every interval. Bitwise-neutral — the
+  /// cached factor is the same matrix a one-shot solve would have computed,
+  /// so the ADMM iterates are identical. Disable to force the one-shot
+  /// solve_qp path per interval (the warm-start bench's control arm).
+  bool reuse_solver = true;
+
+  /// Additionally warm-start each solve from the previous interval's
+  /// iterates (requires reuse_solver). This cuts ADMM iterations sharply
+  /// (see micro_qp_warmstart) but is NOT bitwise-neutral, and not by
+  /// low-order bits: the around-mean variance form is singular along the
+  /// all-ones direction (adding a constant to the schedule shifts the mean,
+  /// not the variance), so the per-interval QP has a whole segment of
+  /// optima and ADMM's limit point depends on its initialization.
+  /// Warm-starting selects a different — equally optimal — schedule, which
+  /// downstream threshold logic (switching counts) then amplifies. No
+  /// tolerance tightening reconciles that, so the batch/figure path keeps
+  /// cold iterates by default; the streaming OnlineSmoother path, which has
+  /// no byte-exact baseline, enables it.
+  bool warm_start = false;
+
   void validate() const;
+};
+
+/// Aggregate lifecycle counters across the per-horizon solver cache (see
+/// FlexibleSmoothing::solver_cache_stats).
+struct SolverCacheStats {
+  std::size_t solvers = 0;             ///< distinct horizon lengths seen
+  std::size_t setups = 0;              ///< KKT factorizations built
+  std::size_t solves = 0;              ///< ADMM runs through the cache
+  std::size_t warm_starts = 0;         ///< solves seeded from a previous one
+  std::size_t factorization_reuse = 0; ///< solves that skipped refactorizing
 };
 
 /// The planned schedule for one interval.
@@ -108,10 +142,15 @@ class FlexibleSmoothing {
   /// of the upcoming window — one interval (m samples) in the paper's
   /// per-hour mode, or several when called from the receding-horizon path.
   /// `battery` provides capacity, rate limits and the current state of
-  /// charge. Pure function of its inputs — the battery is not mutated.
+  /// charge. The battery is not mutated; with `reuse_solver` enabled the
+  /// call updates the internal per-horizon solver cache (so repeated calls
+  /// warm-start — the schedule still satisfies the same tolerances, but an
+  /// instance must not be shared across threads; SweepRunner tasks each
+  /// construct their own middleware).
   /// `qp_override`, when non-null, replaces the configured solver settings
   /// for this one plan (live solver retuning; the fault-injection harness
-  /// uses it to force non-convergence through the real code path).
+  /// uses it to force non-convergence through the real code path) and
+  /// bypasses the solver cache entirely.
   /// Throws std::invalid_argument for windows shorter than 2 samples.
   [[nodiscard]] IntervalPlan plan_interval(
       const util::TimeSeries& generation, const battery::Battery& battery,
@@ -142,8 +181,24 @@ class FlexibleSmoothing {
       const util::TimeSeries& generation, const RegionClassifier& classifier,
       battery::Battery& battery, SupplyForecaster& forecaster) const;
 
+  /// Drops the warm-start iterates of every cached solver; the
+  /// factorizations stay. Call when the world state diverged from what the
+  /// cached duals describe — e.g. after degraded-mode fallback intervals
+  /// rewrote the battery trajectory (OnlineSmoother does this on recovery).
+  void reset_solver_warm_starts() const;
+
+  /// Aggregate counters over the per-horizon solver cache (all zero when
+  /// `reuse_solver` is off or nothing was planned yet).
+  [[nodiscard]] SolverCacheStats solver_cache_stats() const;
+
  private:
   FlexibleSmoothingConfig config_;
+
+  /// One stateful solver per horizon length m. plan_interval is logically
+  /// const (same schedule modulo solver tolerance), so the cache is
+  /// mutable; it is what makes a FlexibleSmoothing instance single-threaded
+  /// when reuse_solver is on.
+  mutable std::map<std::size_t, solver::QpSolver> solver_cache_;
 };
 
 }  // namespace smoother::core

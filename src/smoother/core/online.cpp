@@ -217,6 +217,11 @@ void OnlineSmoother::process_interval() {
     mode_ = Mode::kNormal;
     healthy_streak_ = 0;
     ++health_.recoveries;
+    // The fallback intervals rewrote the battery trajectory without going
+    // through the QP, so the cached duals describe a world that no longer
+    // exists — cold-start the first post-recovery plan instead of
+    // warm-starting from stale iterates.
+    smoothing_.reset_solver_warm_starts();
   }
 
   const std::size_t faulted_samples = pending_faulted_;

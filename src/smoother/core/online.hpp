@@ -53,7 +53,18 @@ namespace smoother::core {
 
 /// Streaming configuration.
 struct OnlineSmootherConfig {
-  FlexibleSmoothingConfig flexible_smoothing;
+  /// The streaming path defaults to warm-started solves: each interval's QP
+  /// seeds from the previous one's iterates (fewer ADMM iterations; see
+  /// micro_qp_warmstart). Unlike the batch figures there is no byte-exact
+  /// baseline to preserve, and the warm schedule is equally optimal.
+  /// OnlineSmoother cold-starts the first plan after a degraded-mode
+  /// recovery — fallback intervals rewrite the battery trajectory, so the
+  /// cached duals describe a stale world.
+  FlexibleSmoothingConfig flexible_smoothing = [] {
+    FlexibleSmoothingConfig fs;
+    fs.warm_start = true;
+    return fs;
+  }();
   util::Minutes sample_step = util::kFiveMinutes;
   util::Kilowatts rated_power{976.0};
 
@@ -145,6 +156,10 @@ class OnlineSmoother {
                  Hooks hooks);
 
   /// Replaces all hooks at once (clear by passing a default Hooks{}).
+  /// Precedence contract (pinned by tests): set_hooks() is wholesale — it
+  /// overwrites every field, including ones previously set through the
+  /// deprecated setters; each deprecated setter writes only its own field
+  /// and never clobbers the others. Last writer wins per field.
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
   [[nodiscard]] const Hooks& hooks() const { return hooks_; }

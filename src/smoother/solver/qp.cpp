@@ -4,58 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "smoother/obs/metrics.hpp"
-#include "smoother/obs/profile.hpp"
-#include "smoother/obs/trace.hpp"
+#include "smoother/solver/qp_solver.hpp"
 
 namespace smoother::solver {
-
-namespace {
-
-/// solve_qp's instrument handles, resolved once per (registry, thread)
-/// instead of by-name on every solve — the name lookup is a mutex + map
-/// walk, far more than the relaxed add it guards. Keyed on the registry's
-/// generation id so a new registry at a recycled address re-resolves.
-struct SolverInstruments {
-  obs::MetricsRegistry* registry = nullptr;
-  std::uint64_t registry_id = 0;
-  obs::Counter* solves = nullptr;
-  obs::Counter* infeasible = nullptr;
-  obs::Counter* factorizations = nullptr;
-  obs::Counter* numerical_errors = nullptr;
-  obs::Counter* iterations = nullptr;
-  obs::Counter* reuse_hits = nullptr;
-  obs::Counter* not_converged = nullptr;
-  obs::Gauge* last_primal = nullptr;
-  obs::Gauge* last_dual = nullptr;
-  obs::Histogram* solve_ms = nullptr;
-  obs::Histogram* iterations_hist = nullptr;
-};
-
-SolverInstruments* solver_instruments(obs::MetricsRegistry* metrics) {
-  if (metrics == nullptr) return nullptr;
-  thread_local SolverInstruments cache;
-  if (cache.registry != metrics || cache.registry_id != metrics->id()) {
-    cache.registry = metrics;
-    cache.registry_id = metrics->id();
-    cache.solves = &metrics->counter("solver.qp.solves");
-    cache.infeasible = &metrics->counter("solver.qp.infeasible");
-    cache.factorizations = &metrics->counter("solver.qp.factorizations");
-    cache.numerical_errors = &metrics->counter("solver.qp.numerical_errors");
-    cache.iterations = &metrics->counter("solver.qp.iterations");
-    cache.reuse_hits = &metrics->counter("solver.qp.factorization_reuse_hits");
-    cache.not_converged = &metrics->counter("solver.qp.not_converged");
-    cache.last_primal = &metrics->gauge("solver.qp.last_primal_residual");
-    cache.last_dual = &metrics->gauge("solver.qp.last_dual_residual");
-    cache.solve_ms = &metrics->timing_histogram("solver.qp.solve_ms");
-    cache.iterations_hist = &metrics->histogram(
-        "solver.qp.iterations_hist",
-        {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 20000});
-  }
-  return &cache;
-}
-
-}  // namespace
 
 void QpProblem::validate() const {
   const std::size_t n = q.size();
@@ -136,139 +87,11 @@ Matrix detrended_variance_quadratic_form(std::size_t n) {
 }
 
 QpResult solve_qp(const QpProblem& problem, const QpSettings& settings) {
-  problem.validate();
-  const std::size_t n = problem.num_variables();
-  const std::size_t m = problem.num_constraints();
-
-  // Observability (off = one relaxed load each): the qp-solve span and the
-  // solver counters that would otherwise die inside QpResult.
-  SolverInstruments* inst = solver_instruments(obs::global_metrics());
-  obs::Span span(obs::global_tracer(), "qp-solve");
-  span.field("variables", n).field("constraints", m);
-  obs::ScopedTimer solve_timer(inst ? inst->solve_ms : nullptr);
-  if (inst != nullptr) inst->solves->add(1);
-
-  QpResult result;
-  for (std::size_t i = 0; i < m; ++i) {
-    if (problem.lower[i] > problem.upper[i]) {
-      result.status = QpStatus::kInfeasible;
-      span.field("status", to_string(result.status));
-      if (inst != nullptr) inst->infeasible->add(1);
-      return result;
-    }
-  }
-
-  // KKT matrix K = P + sigma I + rho AᵀA, factorized once.
-  Matrix kkt = problem.p;
-  kkt.add_diagonal(settings.sigma);
-  const Matrix at = problem.a.transpose();
-  const Matrix ata = at * problem.a;
-  for (std::size_t r = 0; r < n; ++r)
-    for (std::size_t c = 0; c < n; ++c)
-      kkt(r, c) += settings.rho * ata(r, c);
-  const auto factor = Cholesky::factorize(kkt);
-  if (inst != nullptr) inst->factorizations->add(1);
-  if (!factor) {
-    result.status = QpStatus::kNumericalError;
-    span.field("status", to_string(result.status));
-    if (inst != nullptr) inst->numerical_errors->add(1);
-    return result;
-  }
-
-  Vector x(n, 0.0);
-  Vector z(m, 0.0);
-  Vector y(m, 0.0);
-  // Start z inside the bounds so the first iterations are sensible.
-  for (std::size_t i = 0; i < m; ++i)
-    z[i] = std::clamp(0.0, problem.lower[i], problem.upper[i]);
-
-  const double alpha = settings.alpha;
-  const double rho = settings.rho;
-
-  auto clamp_bounds = [&](Vector& v) {
-    for (std::size_t i = 0; i < m; ++i)
-      v[i] = std::clamp(v[i], problem.lower[i], problem.upper[i]);
-  };
-
-  std::size_t iter = 0;
-  for (; iter < settings.max_iterations; ++iter) {
-    // rhs = sigma x - q + Aᵀ (rho z - y)
-    Vector rz(m);
-    for (std::size_t i = 0; i < m; ++i) rz[i] = rho * z[i] - y[i];
-    Vector rhs = problem.a.transpose_times(rz);
-    for (std::size_t i = 0; i < n; ++i) rhs[i] += settings.sigma * x[i] - problem.q[i];
-
-    const Vector x_tilde = factor->solve(rhs);
-    const Vector ax_tilde = problem.a * x_tilde;
-
-    // Over-relaxed updates.
-    for (std::size_t i = 0; i < n; ++i)
-      x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
-
-    Vector z_next(m);
-    for (std::size_t i = 0; i < m; ++i)
-      z_next[i] = alpha * ax_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho;
-    clamp_bounds(z_next);
-
-    for (std::size_t i = 0; i < m; ++i)
-      y[i] += rho * (alpha * ax_tilde[i] + (1.0 - alpha) * z[i] - z_next[i]);
-    z = std::move(z_next);
-
-    if ((iter + 1) % settings.check_interval != 0) continue;
-
-    // Residuals (OSQP eq. 24-25).
-    const Vector ax = problem.a * x;
-    const Vector px = problem.p * x;
-    const Vector aty = problem.a.transpose_times(y);
-    double prim = 0.0;
-    for (std::size_t i = 0; i < m; ++i)
-      prim = std::max(prim, std::abs(ax[i] - z[i]));
-    double dual = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      dual = std::max(dual, std::abs(px[i] + problem.q[i] + aty[i]));
-
-    const double eps_prim =
-        settings.eps_abs +
-        settings.eps_rel * std::max(norm_inf(ax), norm_inf(z));
-    const double eps_dual =
-        settings.eps_abs +
-        settings.eps_rel * std::max({norm_inf(px), norm_inf(problem.q),
-                                     norm_inf(aty)});
-    result.primal_residual = prim;
-    result.dual_residual = dual;
-    if (prim <= eps_prim && dual <= eps_dual) {
-      ++iter;
-      result.status = QpStatus::kSolved;
-      break;
-    }
-  }
-
-  if (result.status != QpStatus::kSolved)
-    result.status = QpStatus::kMaxIterations;
-  result.iterations = iter;
-  result.x = std::move(x);
-  result.z = std::move(z);
-  if (settings.polish) clamp_bounds(result.z);
-  result.objective = problem.objective(result.x);
-
-  span.field("status", to_string(result.status))
-      .field("iterations", result.iterations)
-      .field("primal_residual", result.primal_residual)
-      .field("dual_residual", result.dual_residual);
-  if (inst != nullptr) {
-    inst->iterations->add(result.iterations);
-    // The KKT factor is computed once and reused by every ADMM iteration
-    // after the first — the reuse count is what makes the one-factorization
-    // design pay.
-    if (result.iterations > 1)
-      inst->reuse_hits->add(result.iterations - 1);
-    if (result.status == QpStatus::kMaxIterations)
-      inst->not_converged->add(1);
-    inst->last_primal->set(result.primal_residual);
-    inst->last_dual->set(result.dual_residual);
-    inst->iterations_hist->record(static_cast<double>(result.iterations));
-  }
-  return result;
+  // One-shot wrapper over the stateful solver: setup (validate + factorize)
+  // then a single cold solve. The ADMM core lives in qp_solver.cpp.
+  QpSolver solver;
+  (void)solver.setup(problem, settings);
+  return solver.solve();
 }
 
 }  // namespace smoother::solver

@@ -1,0 +1,320 @@
+#include "smoother/solver/qp_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/profile.hpp"
+#include "smoother/obs/trace.hpp"
+
+namespace smoother::solver {
+
+namespace {
+
+/// The solver's instrument handles, resolved once per (registry, thread)
+/// instead of by-name on every solve — the name lookup is a mutex + map
+/// walk, far more than the relaxed add it guards. Keyed on the registry's
+/// generation id so a new registry at a recycled address re-resolves.
+struct SolverInstruments {
+  obs::MetricsRegistry* registry = nullptr;
+  std::uint64_t registry_id = 0;
+  obs::Counter* solves = nullptr;
+  obs::Counter* infeasible = nullptr;
+  obs::Counter* factorizations = nullptr;
+  obs::Counter* numerical_errors = nullptr;
+  obs::Counter* iterations = nullptr;
+  obs::Counter* reuse_hits = nullptr;
+  obs::Counter* not_converged = nullptr;
+  obs::Counter* setups = nullptr;
+  obs::Counter* warm_starts = nullptr;
+  obs::Counter* factor_reuse = nullptr;
+  obs::Gauge* last_primal = nullptr;
+  obs::Gauge* last_dual = nullptr;
+  obs::Histogram* solve_ms = nullptr;
+  obs::Histogram* iterations_hist = nullptr;
+};
+
+SolverInstruments* solver_instruments(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return nullptr;
+  thread_local SolverInstruments cache;
+  if (cache.registry != metrics || cache.registry_id != metrics->id()) {
+    cache.registry = metrics;
+    cache.registry_id = metrics->id();
+    cache.solves = &metrics->counter("solver.qp.solves");
+    cache.infeasible = &metrics->counter("solver.qp.infeasible");
+    cache.factorizations = &metrics->counter("solver.qp.factorizations");
+    cache.numerical_errors = &metrics->counter("solver.qp.numerical_errors");
+    cache.iterations = &metrics->counter("solver.qp.iterations");
+    cache.reuse_hits = &metrics->counter("solver.qp.factorization_reuse_hits");
+    cache.not_converged = &metrics->counter("solver.qp.not_converged");
+    cache.setups = &metrics->counter("solver.qp.setup_count");
+    cache.warm_starts = &metrics->counter("solver.qp.warmstart_count");
+    cache.factor_reuse = &metrics->counter("solver.qp.factorization_reuse");
+    cache.last_primal = &metrics->gauge("solver.qp.last_primal_residual");
+    cache.last_dual = &metrics->gauge("solver.qp.last_dual_residual");
+    cache.solve_ms = &metrics->timing_histogram("solver.qp.solve_ms");
+    cache.iterations_hist = &metrics->histogram(
+        "solver.qp.iterations_hist",
+        {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 20000});
+  }
+  return &cache;
+}
+
+}  // namespace
+
+QpStatus QpSolver::setup(QpProblem problem, QpSettings settings) {
+  problem.validate();
+  problem_ = std::move(problem);
+  settings_ = settings;
+  reset_warm_start();
+  factor_used_ = false;
+  ++setup_count_;
+
+  SolverInstruments* inst = solver_instruments(obs::global_metrics());
+  obs::Span span(obs::global_tracer(), "qp-setup");
+  span.field("variables", problem_.num_variables())
+      .field("constraints", problem_.num_constraints());
+  if (inst != nullptr) {
+    inst->setups->add(1);
+    inst->factorizations->add(1);
+  }
+
+  // KKT matrix K = P + sigma I + rho AᵀA, factorized once per structure.
+  const std::size_t n = problem_.num_variables();
+  Matrix kkt = problem_.p;
+  kkt.add_diagonal(settings_.sigma);
+  const Matrix at = problem_.a.transpose();
+  const Matrix ata = at * problem_.a;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      kkt(r, c) += settings_.rho * ata(r, c);
+  factor_ = Cholesky::factorize(kkt);
+  if (!factor_) {
+    span.field("status", to_string(QpStatus::kNumericalError));
+    return QpStatus::kNumericalError;
+  }
+  span.field("status", to_string(QpStatus::kSolved));
+  return QpStatus::kSolved;
+}
+
+void QpSolver::update(Vector q, Vector lower, Vector upper) {
+  if (!is_setup())
+    throw std::invalid_argument("QpSolver::update: setup() has not run");
+  if (q.size() != problem_.num_variables())
+    throw std::invalid_argument("QpSolver::update: q size mismatch");
+  if (lower.size() != problem_.num_constraints() ||
+      upper.size() != problem_.num_constraints())
+    throw std::invalid_argument("QpSolver::update: bound size mismatch");
+  problem_.q = std::move(q);
+  problem_.lower = std::move(lower);
+  problem_.upper = std::move(upper);
+}
+
+void QpSolver::reset_warm_start() {
+  warm_x_.clear();
+  warm_y_.clear();
+  warm_z_.clear();
+  warm_valid_ = false;
+}
+
+bool QpSolver::structure_matches(const QpProblem& problem,
+                                 const QpSettings& settings) const {
+  return factor_.has_value() &&
+         problem.num_variables() == problem_.num_variables() &&
+         problem.num_constraints() == problem_.num_constraints() &&
+         settings.rho == settings_.rho && settings.sigma == settings_.sigma &&
+         problem.p == problem_.p && problem.a == problem_.a;
+}
+
+QpResult QpSolver::solve(const QpProblem& problem,
+                         const QpSettings& settings) {
+  if (structure_matches(problem, settings)) {
+    // Vector-only change: keep the factorization and the warm-start state,
+    // adopt the (non-structural) settings.
+    update(problem.q, problem.lower, problem.upper);
+    settings_ = settings;
+  } else {
+    // Structure or a KKT-relevant setting changed: full re-setup, never a
+    // silent reuse. setup() validates and reports factorization failure
+    // through the solve below (no factor cached).
+    (void)setup(problem, settings);
+  }
+  return solve();
+}
+
+QpResult QpSolver::solve() {
+  const std::size_t n = problem_.num_variables();
+  const std::size_t m = problem_.num_constraints();
+
+  // Observability (off = one relaxed load each): the qp-solve span and the
+  // solver counters that would otherwise die inside QpResult.
+  SolverInstruments* inst = solver_instruments(obs::global_metrics());
+  obs::Span span(obs::global_tracer(), "qp-solve");
+  span.field("variables", n).field("constraints", m);
+  obs::ScopedTimer solve_timer(inst ? inst->solve_ms : nullptr);
+  if (inst != nullptr) inst->solves->add(1);
+  ++solve_count_;
+
+  QpResult result;
+  if (!factor_) {
+    result.status = QpStatus::kNumericalError;
+    span.field("status", to_string(result.status));
+    if (inst != nullptr) inst->numerical_errors->add(1);
+    return result;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (problem_.lower[i] > problem_.upper[i]) {
+      result.status = QpStatus::kInfeasible;
+      span.field("status", to_string(result.status));
+      if (inst != nullptr) inst->infeasible->add(1);
+      return result;
+    }
+  }
+  if (factor_used_) {
+    ++factorization_reuse_count_;
+    if (inst != nullptr) inst->factor_reuse->add(1);
+  }
+  factor_used_ = true;
+
+  Vector x(n, 0.0);
+  Vector z(m, 0.0);
+  Vector y(m, 0.0);
+  const bool warm = warm_valid_ && warm_x_.size() == n &&
+                    warm_y_.size() == m && warm_z_.size() == m;
+  if (warm) {
+    // Previous solution as the starting iterate; z is projected into the
+    // current bounds so the first residuals are meaningful.
+    x = warm_x_;
+    y = warm_y_;
+    z = warm_z_;
+    for (std::size_t i = 0; i < m; ++i)
+      z[i] = std::clamp(z[i], problem_.lower[i], problem_.upper[i]);
+    ++warm_start_count_;
+    if (inst != nullptr) inst->warm_starts->add(1);
+  } else {
+    // Cold start: z inside the bounds so the first iterations are sensible.
+    for (std::size_t i = 0; i < m; ++i)
+      z[i] = std::clamp(0.0, problem_.lower[i], problem_.upper[i]);
+  }
+  span.field("warm", warm ? 1 : 0);
+
+  const double alpha = settings_.alpha;
+  const double rho = settings_.rho;
+  // A zero cadence would never check (and divide by zero); treat it as
+  // check-every-iteration.
+  const std::size_t check_interval =
+      std::max<std::size_t>(settings_.check_interval, 1);
+
+  auto clamp_bounds = [&](Vector& v) {
+    for (std::size_t i = 0; i < m; ++i)
+      v[i] = std::clamp(v[i], problem_.lower[i], problem_.upper[i]);
+  };
+
+  std::size_t iter = 0;
+  for (; iter < settings_.max_iterations; ++iter) {
+    // rhs = sigma x - q + Aᵀ (rho z - y)
+    Vector rz(m);
+    for (std::size_t i = 0; i < m; ++i) rz[i] = rho * z[i] - y[i];
+    Vector rhs = problem_.a.transpose_times(rz);
+    for (std::size_t i = 0; i < n; ++i)
+      rhs[i] += settings_.sigma * x[i] - problem_.q[i];
+
+    const Vector x_tilde = factor_->solve(rhs);
+    const Vector ax_tilde = problem_.a * x_tilde;
+
+    // Over-relaxed updates.
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
+
+    Vector z_next(m);
+    for (std::size_t i = 0; i < m; ++i)
+      z_next[i] = alpha * ax_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho;
+    clamp_bounds(z_next);
+
+    for (std::size_t i = 0; i < m; ++i)
+      y[i] += rho * (alpha * ax_tilde[i] + (1.0 - alpha) * z[i] - z_next[i]);
+    z = std::move(z_next);
+
+    if ((iter + 1) % check_interval != 0) continue;
+
+    // Residuals (OSQP eq. 24-25).
+    const Vector ax = problem_.a * x;
+    const Vector px = problem_.p * x;
+    const Vector aty = problem_.a.transpose_times(y);
+    double prim = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      prim = std::max(prim, std::abs(ax[i] - z[i]));
+    double dual = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dual = std::max(dual, std::abs(px[i] + problem_.q[i] + aty[i]));
+
+    const double eps_prim =
+        settings_.eps_abs +
+        settings_.eps_rel * std::max(norm_inf(ax), norm_inf(z));
+    const double eps_dual =
+        settings_.eps_abs +
+        settings_.eps_rel * std::max({norm_inf(px), norm_inf(problem_.q),
+                                      norm_inf(aty)});
+    if (prim <= eps_prim && dual <= eps_dual) {
+      ++iter;
+      result.status = QpStatus::kSolved;
+      break;
+    }
+  }
+
+  if (result.status != QpStatus::kSolved)
+    result.status = QpStatus::kMaxIterations;
+
+  // Residuals are recomputed unconditionally at loop exit: the in-loop
+  // values exist only on check iterations, so a max_iterations exit between
+  // checks would otherwise report stale (or never-computed) residuals.
+  {
+    const Vector ax = problem_.a * x;
+    const Vector px = problem_.p * x;
+    const Vector aty = problem_.a.transpose_times(y);
+    double prim = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      prim = std::max(prim, std::abs(ax[i] - z[i]));
+    double dual = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dual = std::max(dual, std::abs(px[i] + problem_.q[i] + aty[i]));
+    result.primal_residual = prim;
+    result.dual_residual = dual;
+  }
+
+  // Stash the iterates (pre-polish z: the ADMM state, not the report) so
+  // the next solve over the same structure warm-starts.
+  warm_x_ = x;
+  warm_y_ = y;
+  warm_z_ = z;
+  warm_valid_ = true;
+
+  result.iterations = iter;
+  result.x = std::move(x);
+  result.z = std::move(z);
+  if (settings_.polish) clamp_bounds(result.z);
+  result.objective = problem_.objective(result.x);
+
+  span.field("status", to_string(result.status))
+      .field("iterations", result.iterations)
+      .field("primal_residual", result.primal_residual)
+      .field("dual_residual", result.dual_residual);
+  if (inst != nullptr) {
+    inst->iterations->add(result.iterations);
+    // The KKT factor is computed once and reused by every ADMM iteration
+    // after the first — the reuse count is what makes the one-factorization
+    // design pay.
+    if (result.iterations > 1)
+      inst->reuse_hits->add(result.iterations - 1);
+    if (result.status == QpStatus::kMaxIterations)
+      inst->not_converged->add(1);
+    inst->last_primal->set(result.primal_residual);
+    inst->last_dual->set(result.dual_residual);
+    inst->iterations_hist->record(static_cast<double>(result.iterations));
+  }
+  return result;
+}
+
+}  // namespace smoother::solver

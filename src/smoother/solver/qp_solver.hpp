@@ -1,0 +1,134 @@
+// Stateful QP solver: factorize once per structure, warm-start across
+// solves.
+//
+// solve_qp() rebuilds and refactorizes the KKT matrix
+// K = P + sigma I + rho AᵀA on every call, even when only the vectors
+// (q, l, u) changed — which is exactly the situation of consecutive
+// Flexible Smoothing intervals: every interval of horizon length m shares
+// P, A and therefore K, and differs only in the energy vector and the
+// battery corridor bounds. QpSolver splits the OSQP lifecycle apart
+// (Stellato et al., "OSQP: An Operator Splitting Solver for Quadratic
+// Programs", §3):
+//
+//   setup(problem, settings)   validate + build + factorize K   (O(n³) once)
+//   update(q, l, u)            swap the vectors, keep the factor       (O(n))
+//   solve()                    ADMM, warm-started from the previous
+//                              solution's (x, y, z) when available
+//
+// Warm-start invalidation rules:
+//   * setup() always refactorizes and drops the warm-start state;
+//   * update() keeps both (that is its purpose) but throws
+//     std::invalid_argument on any dimension mismatch — a stale
+//     factorization is never silently reused against new shapes;
+//   * the convenience solve(problem, settings) overload re-runs setup()
+//     automatically whenever the structure changed: dimensions, the P or A
+//     entries, or a KKT-relevant setting (rho, sigma). Only an exact
+//     structural match reuses the cached factor;
+//   * reset_warm_start() drops the iterates but keeps the factorization —
+//     the next solve cold-starts (used after a caller's world state
+//     diverged from what the cached duals describe, e.g. degraded-mode
+//     fallback intervals rewriting the battery trajectory).
+//
+// A warm-started solve runs the same ADMM loop to the same tolerances as a
+// cold one; it converges in fewer iterations, to an iterate that can differ
+// from the cold result only within those tolerances.
+//
+// Ownership: a QpSolver is single-threaded mutable state. Concurrent sweeps
+// must give each task its own instance (see runtime::SweepRunner); the TSan
+// suite asserts per-task instances are clean.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "smoother/solver/cholesky.hpp"
+#include "smoother/solver/matrix.hpp"
+#include "smoother/solver/qp.hpp"
+
+namespace smoother::solver {
+
+/// Stateful ADMM QP solver with a cached KKT factorization and
+/// warm-started iterates. See the file comment for the lifecycle.
+class QpSolver {
+ public:
+  QpSolver() = default;
+
+  /// Builds and factorizes the KKT system for `problem` under `settings`.
+  /// Validates shapes (std::invalid_argument on mismatch). Returns kSolved
+  /// when the factorization succeeded, kNumericalError when K is not
+  /// numerically positive definite (non-PSD P). Drops any warm-start state.
+  QpStatus setup(QpProblem problem, QpSettings settings = {});
+
+  /// Replaces only the vectors of the problem; the cached factorization and
+  /// the warm-start state survive. Requires a successful setup() and exact
+  /// size matches (throws std::invalid_argument otherwise — structure is
+  /// never silently reused).
+  void update(Vector q, Vector lower, Vector upper);
+
+  /// Runs ADMM on the current problem data, warm-starting from the previous
+  /// solution when one is available. Without a successful setup() the
+  /// result is kNumericalError; inconsistent bounds give kInfeasible.
+  [[nodiscard]] QpResult solve();
+
+  /// One-shot convenience with automatic re-setup: reuses the cached
+  /// factorization iff `problem`/`settings` match the setup structure
+  /// (dimensions, P, A, rho, sigma); otherwise runs setup() again. The
+  /// non-structural knobs (tolerances, iteration caps, polish) are adopted
+  /// either way.
+  [[nodiscard]] QpResult solve(const QpProblem& problem,
+                               const QpSettings& settings = {});
+
+  /// Drops the warm-start iterates but keeps the factorization: the next
+  /// solve() cold-starts.
+  void reset_warm_start();
+
+  /// True after a successful setup() (a factorization is cached).
+  [[nodiscard]] bool is_setup() const { return factor_.has_value(); }
+
+  /// True when the next solve() will warm-start.
+  [[nodiscard]] bool warm_ready() const { return warm_valid_; }
+
+  [[nodiscard]] std::size_t num_variables() const {
+    return problem_.num_variables();
+  }
+  [[nodiscard]] std::size_t num_constraints() const {
+    return problem_.num_constraints();
+  }
+
+  [[nodiscard]] const QpSettings& settings() const { return settings_; }
+
+  /// Lifecycle counters (per instance, deterministic).
+  [[nodiscard]] std::size_t setup_count() const { return setup_count_; }
+  [[nodiscard]] std::size_t solve_count() const { return solve_count_; }
+  [[nodiscard]] std::size_t warm_start_count() const {
+    return warm_start_count_;
+  }
+  /// Solves that ran against a previously-used factorization (every solve
+  /// after the first per setup).
+  [[nodiscard]] std::size_t factorization_reuse_count() const {
+    return factorization_reuse_count_;
+  }
+
+ private:
+  /// Exact structural match: same shapes, same P/A entries, same
+  /// KKT-relevant settings.
+  [[nodiscard]] bool structure_matches(const QpProblem& problem,
+                                       const QpSettings& settings) const;
+
+  QpProblem problem_;
+  QpSettings settings_;
+  std::optional<Cholesky> factor_;
+
+  Vector warm_x_;
+  Vector warm_y_;
+  Vector warm_z_;
+  bool warm_valid_ = false;
+  bool factor_used_ = false;  ///< a solve has already run on this factor
+
+  std::size_t setup_count_ = 0;
+  std::size_t solve_count_ = 0;
+  std::size_t warm_start_count_ = 0;
+  std::size_t factorization_reuse_count_ = 0;
+};
+
+}  // namespace smoother::solver

@@ -14,28 +14,22 @@ RollingVariance::RollingVariance(std::size_t capacity) : capacity_(capacity) {
 
 void RollingVariance::add(double x) {
   window_.push_back(x);
-  sum_ += x;
-  sum_sq_ += x * x;
-  if (window_.size() > capacity_) {
-    const double old = window_.front();
-    window_.pop_front();
-    sum_ -= old;
-    sum_sq_ -= old * old;
-  }
+  if (window_.size() > capacity_) window_.pop_front();
 }
 
 double RollingVariance::mean() const {
   if (window_.empty()) return 0.0;
-  return sum_ / static_cast<double>(window_.size());
+  double acc = 0.0;
+  for (double v : window_) acc += v;
+  return acc / static_cast<double>(window_.size());
 }
 
 double RollingVariance::variance() const {
   const std::size_t n = window_.size();
   if (n < 2) return 0.0;
   const double m = mean();
-  // Cancellation-prone for ill-scaled data, so recompute exactly when small.
-  // Window sizes here are tiny (12-60), so the exact pass is cheap and we
-  // prefer it outright.
+  // Exact two-pass over the window — see the class comment for why there is
+  // no running-accumulator shortcut.
   double acc = 0.0;
   for (double v : window_) acc += (v - m) * (v - m);
   return std::max(acc / static_cast<double>(n), 0.0);

@@ -15,8 +15,13 @@ namespace smoother::stats {
 /// Fixed-capacity sliding-window mean/variance.
 ///
 /// add() pushes a sample and evicts the oldest once the window is full.
-/// Variance is the population variance of the samples currently in the
-/// window, recomputed incrementally.
+/// The window itself is the single source of truth: mean and variance are
+/// computed exactly from the samples currently held (windows here are tiny,
+/// 12-60 points). There are deliberately no running accumulators — a
+/// sum/sum-of-squares pair drifts from the window under cancellation and is
+/// poisoned forever by one non-finite sample (NaN - NaN stays NaN after the
+/// sample is evicted), while the exact pass recovers as soon as the bad
+/// sample leaves the window.
 class RollingVariance {
  public:
   /// Window of `capacity` samples; capacity must be >= 1.
@@ -35,8 +40,6 @@ class RollingVariance {
  private:
   std::size_t capacity_;
   std::deque<double> window_;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
 };
 
 /// Variance of each *disjoint* window of `window` consecutive samples.

@@ -270,5 +270,102 @@ TEST(FlexibleSmoothing, EndToEndOnSyntheticWind) {
   EXPECT_LE(battery.soc_fraction(), 1.0 + 1e-9);
 }
 
+util::TimeSeries volatile_wind() {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  return power::TurbineCurve::enercon_e48().power_series(
+      model.generate(util::days(2.0), util::kFiveMinutes, 33));
+}
+
+TEST(FlexibleSmoothingSolverCache, ReusesOneFactorizationAcrossIntervals) {
+  const FlexibleSmoothing fs;  // reuse_solver on, warm_start off (defaults)
+  battery::Battery battery(fs_battery_spec());
+  const auto result = fs.smooth(volatile_wind(), lenient_classifier(), battery);
+  ASSERT_GT(result.smoothed_intervals, 1u);
+
+  const SolverCacheStats stats = fs.solver_cache_stats();
+  EXPECT_EQ(stats.solvers, 1u);  // one horizon length (m = 12)
+  EXPECT_EQ(stats.setups, 1u);   // the KKT factorization was built once
+  EXPECT_EQ(stats.solves, result.smoothed_intervals);
+  EXPECT_EQ(stats.factorization_reuse, stats.solves - 1);
+  EXPECT_EQ(stats.warm_starts, 0u);  // batch default: cold iterates
+}
+
+TEST(FlexibleSmoothingSolverCache, CacheIsBitwiseNeutral) {
+  // The cached factor is the same matrix a one-shot solve would build, so
+  // enabling the cache must not change a single output bit.
+  const auto wind = volatile_wind();
+  FlexibleSmoothingConfig cold_config;
+  cold_config.reuse_solver = false;
+  const FlexibleSmoothing cold(cold_config);
+  const FlexibleSmoothing cached;
+  battery::Battery b1(fs_battery_spec()), b2(fs_battery_spec());
+  const auto without = cold.smooth(wind, lenient_classifier(), b1);
+  const auto with = cached.smooth(wind, lenient_classifier(), b2);
+  EXPECT_EQ(without.supply, with.supply);
+  EXPECT_EQ(without.required_max_rate_kw, with.required_max_rate_kw);
+  EXPECT_EQ(cold.solver_cache_stats().solves, 0u);
+}
+
+TEST(FlexibleSmoothingSolverCache, WarmStartStaysOptimalAndDeterministic) {
+  const auto wind = volatile_wind();
+  FlexibleSmoothingConfig warm_config;
+  warm_config.warm_start = true;
+  const FlexibleSmoothing warm(warm_config);
+  const FlexibleSmoothing cold;
+  battery::Battery b1(fs_battery_spec()), b2(fs_battery_spec());
+  const auto warm_result = warm.smooth(wind, lenient_classifier(), b1);
+  const auto cold_result = cold.smooth(wind, lenient_classifier(), b2);
+
+  // The warm schedule is a different point on the same optimal set: the
+  // achieved smoothing quality must match the cold run closely.
+  EXPECT_EQ(warm_result.smoothed_intervals, cold_result.smoothed_intervals);
+  EXPECT_NEAR(warm_result.mean_variance_reduction(),
+              cold_result.mean_variance_reduction(), 0.02);
+  EXPECT_GT(warm.solver_cache_stats().warm_starts, 0u);
+
+  // A full-series run starts cold, so repeated runs on one instance are
+  // bit-identical despite the intra-run warm-starting.
+  battery::Battery b3(fs_battery_spec());
+  const auto replay = warm.smooth(wind, lenient_classifier(), b3);
+  EXPECT_EQ(replay.supply, warm_result.supply);
+}
+
+TEST(FlexibleSmoothingSolverCache, WarmStartRequiresReuseSolver) {
+  FlexibleSmoothingConfig config;
+  config.warm_start = true;
+  config.reuse_solver = false;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FlexibleSmoothingSolverCache, OverrideBypassesCacheAndWarmState) {
+  FlexibleSmoothingConfig config;
+  config.warm_start = true;
+  const FlexibleSmoothing fs(config);
+  battery::Battery battery(fs_battery_spec());
+  const auto window = volatile_wind().slice(0, 12);
+
+  const auto first = fs.plan_interval(window, battery);
+  ASSERT_EQ(first.solver_status, solver::QpStatus::kSolved);
+  const SolverCacheStats before = fs.solver_cache_stats();
+  EXPECT_EQ(before.solves, 1u);
+
+  // An override (live retuning / fault injection) must not run through the
+  // cache: the cached solver's state is untouched.
+  solver::QpSettings retuned;
+  retuned.max_iterations = 2;
+  retuned.check_interval = 1;
+  const auto overridden = fs.plan_interval(window, battery, &retuned);
+  EXPECT_EQ(overridden.solver_status, solver::QpStatus::kMaxIterations);
+  const SolverCacheStats after = fs.solver_cache_stats();
+  EXPECT_EQ(after.solves, before.solves);
+  EXPECT_EQ(after.setups, before.setups);
+
+  // reset_solver_warm_starts drops the iterates; the factorization stays.
+  fs.reset_solver_warm_starts();
+  const auto replanned = fs.plan_interval(window, battery);
+  EXPECT_EQ(replanned.solver_iterations, first.solver_iterations);
+  EXPECT_EQ(fs.solver_cache_stats().setups, 1u);
+}
+
 }  // namespace
 }  // namespace smoother::core

@@ -49,6 +49,57 @@ TEST(OnlineSmootherConfig, Validation) {
   EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
+TEST(OnlineSmootherHooks, DeprecatedSettersNeverClobberOtherFields) {
+  // Precedence contract: each deprecated setter writes only its own hook
+  // field; everything previously installed — including through
+  // set_hooks() — must survive it. Last writer wins per field.
+  obs::TracingIntervalObserver observer(nullptr, nullptr);
+  OnlineSmoother smoother(small_config(), small_battery());
+
+  OnlineSmoother::Hooks hooks;
+  hooks.forecast_oracle = [](std::size_t) { return std::vector<double>(12); };
+  hooks.solver_settings = [](std::size_t) {
+    return std::optional<solver::QpSettings>{};
+  };
+  hooks.observer = &observer;
+  smoother.set_hooks(std::move(hooks));
+
+  smoother.set_battery_monitor([](std::size_t) { return true; });
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().forecast_oracle));
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().solver_settings));
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().battery_monitor));
+  EXPECT_EQ(smoother.hooks().observer, &observer);
+
+  smoother.set_forecast_oracle(nullptr);  // clears only its own field
+  EXPECT_FALSE(static_cast<bool>(smoother.hooks().forecast_oracle));
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().battery_monitor));
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().solver_settings));
+  EXPECT_EQ(smoother.hooks().observer, &observer);
+
+  smoother.set_solver_settings_hook([](std::size_t) {
+    return std::optional<solver::QpSettings>{solver::QpSettings{}};
+  });
+  EXPECT_TRUE(static_cast<bool>(smoother.hooks().battery_monitor));
+  EXPECT_EQ(smoother.hooks().observer, &observer);
+}
+
+TEST(OnlineSmootherHooks, SetHooksReplacesWholesale) {
+  // set_hooks() is documented as wholesale replacement: fields previously
+  // installed through the deprecated setters do not survive a set_hooks()
+  // with defaults.
+  OnlineSmoother smoother(small_config(), small_battery());
+  smoother.set_battery_monitor([](std::size_t) { return false; });
+  smoother.set_forecast_oracle(
+      [](std::size_t) { return std::vector<double>(12); });
+  ASSERT_TRUE(static_cast<bool>(smoother.hooks().battery_monitor));
+
+  smoother.set_hooks({});
+  EXPECT_FALSE(static_cast<bool>(smoother.hooks().forecast_oracle));
+  EXPECT_FALSE(static_cast<bool>(smoother.hooks().battery_monitor));
+  EXPECT_FALSE(static_cast<bool>(smoother.hooks().solver_settings));
+  EXPECT_EQ(smoother.hooks().observer, nullptr);
+}
+
 TEST(OnlineSmoother, EmitsOneRecordPerCompletedInterval) {
   OnlineSmoother smoother(small_config(), small_battery());
   int records = 0;

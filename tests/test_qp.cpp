@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <tuple>
+#include <vector>
 
+#include "smoother/runtime/sweep_runner.hpp"
+#include "smoother/solver/qp_solver.hpp"
 #include "smoother/stats/descriptive.hpp"
 #include "smoother/util/rng.hpp"
 
@@ -197,6 +200,329 @@ TEST(QpStatusNames, AllDistinct) {
   EXPECT_EQ(to_string(QpStatus::kMaxIterations), "max-iterations");
   EXPECT_EQ(to_string(QpStatus::kInfeasible), "infeasible");
   EXPECT_EQ(to_string(QpStatus::kNumericalError), "numerical-error");
+}
+
+// --- Residual staleness regression (the check_interval bug) ---------------
+
+/// A problem slow enough that it cannot converge within the iteration caps
+/// used below: an ill-conditioned SPD objective with active bounds.
+QpProblem slow_problem() {
+  QpProblem p;
+  p.p = Matrix{{100.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 0.01}};
+  p.q = {-50.0, 3.0, 1.0};
+  p.a = Matrix::identity(3);
+  p.lower = {-2.0, -2.0, -2.0};
+  p.upper = {2.0, 2.0, 2.0};
+  return p;
+}
+
+TEST(QpResiduals, ComputedEvenWhenMaxIterationsBeforeFirstCheck) {
+  // max_iterations below check_interval: the loop never reaches a residual
+  // check, so before the fix the reported residuals were the never-touched
+  // zero defaults — indistinguishable from a perfectly converged solve.
+  QpSettings settings;
+  settings.max_iterations = 3;
+  settings.check_interval = 10;
+  const QpResult r = solve_qp(slow_problem(), settings);
+  ASSERT_EQ(r.status, QpStatus::kMaxIterations);
+  EXPECT_GT(r.primal_residual + r.dual_residual, 0.0)
+      << "residuals must describe the returned iterate, not the defaults";
+}
+
+TEST(QpResiduals, ExitResidualsDescribeFinalIterateNotLastCheck) {
+  // max_iterations not a multiple of check_interval: the last in-loop
+  // residual evaluation happens iterations before the loop exits. Both
+  // cadences below run the same 15 ADMM iterations, so the exit residuals
+  // must be identical; with the stale-residual bug the 10-cadence run
+  // reported iteration 10's residuals and the 5-cadence run iteration 15's.
+  QpSettings coarse;
+  coarse.max_iterations = 15;
+  coarse.check_interval = 10;
+  const QpResult a = solve_qp(slow_problem(), coarse);
+
+  QpSettings fine = coarse;
+  fine.check_interval = 5;
+  const QpResult b = solve_qp(slow_problem(), fine);
+
+  ASSERT_EQ(a.status, QpStatus::kMaxIterations);
+  ASSERT_EQ(b.status, QpStatus::kMaxIterations);
+  ASSERT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_DOUBLE_EQ(a.primal_residual, b.primal_residual);
+  EXPECT_DOUBLE_EQ(a.dual_residual, b.dual_residual);
+}
+
+TEST(QpResiduals, ZeroCheckIntervalIsTreatedAsEveryIteration) {
+  QpSettings settings;
+  settings.check_interval = 0;  // would be a modulo-by-zero without the guard
+  const QpResult r = solve_qp(slow_problem(), settings);
+  EXPECT_TRUE(r.ok());
+}
+
+// --- QpResult status edge cases -------------------------------------------
+
+TEST(QpEdgeCases, OneVariableProblem) {
+  // min x^2 - 2x on [0, 10] -> x = 1.
+  QpProblem p;
+  p.p = Matrix::identity(1) * 2.0;
+  p.q = {-2.0};
+  p.a = Matrix::identity(1);
+  p.lower = {0.0};
+  p.upper = {10.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.x.size(), 1u);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.objective, -1.0, 1e-4);
+}
+
+TEST(QpEdgeCases, OneVariablePinnedByEqualBounds) {
+  // l == u turns the single box row into an equality: x = 4 regardless of
+  // the unconstrained minimum at 1.
+  QpProblem p;
+  p.p = Matrix::identity(1) * 2.0;
+  p.q = {-2.0};
+  p.a = Matrix::identity(1);
+  p.lower = {4.0};
+  p.upper = {4.0};
+  const QpResult r = solve_qp(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.x[0], 4.0, 1e-3);
+}
+
+TEST(QpEdgeCases, InfeasibleBoxReportsNoIterations) {
+  QpProblem p;
+  p.p = Matrix::identity(2);
+  p.q = {0.0, 0.0};
+  p.a = Matrix::identity(2);
+  p.lower = {0.0, 3.0};
+  p.upper = {1.0, 2.0};  // second row inverted
+  const QpResult r = solve_qp(p);
+  EXPECT_EQ(r.status, QpStatus::kInfeasible);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_TRUE(r.x.empty());
+}
+
+TEST(QpEdgeCases, NumericalErrorFromNonPsdObjective) {
+  // P = -10 makes K = P + sigma + rho negative under default settings, so
+  // the Cholesky factorization must fail loudly instead of "solving" a
+  // concave problem.
+  QpProblem p;
+  p.p = Matrix::identity(1) * -10.0;
+  p.q = {0.0};
+  p.a = Matrix::identity(1);
+  p.lower = {-1.0};
+  p.upper = {1.0};
+  const QpResult r = solve_qp(p);
+  EXPECT_EQ(r.status, QpStatus::kNumericalError);
+  EXPECT_TRUE(r.x.empty());
+}
+
+// --- Stateful solver lifecycle --------------------------------------------
+
+/// A Flexible-Smoothing-shaped problem: fixed P and A (horizon m), q and
+/// bounds derived from the per-point energy vector `u`.
+QpProblem fs_like_problem_for(const Vector& u) {
+  const std::size_t m = u.size();
+  QpProblem p;
+  p.p = variance_quadratic_form(m);
+  p.q = p.p * u;
+  p.a = Matrix(2 * m, m);
+  p.lower.assign(2 * m, 0.0);
+  p.upper.assign(2 * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    p.a(i, i) = 1.0;
+    p.lower[i] = -u[i];
+    p.upper[i] = 30.0;
+    for (std::size_t t = 0; t <= i; ++t) p.a(m + i, t) = 1.0;
+    p.lower[m + i] = -120.0;
+    p.upper[m + i] = 120.0;
+  }
+  return p;
+}
+
+/// Problem family keyed by seed (independent energy vectors).
+QpProblem fs_like_problem(std::size_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Vector u(m);
+  for (double& v : u) v = rng.uniform(0.0, 40.0);
+  return fs_like_problem_for(u);
+}
+
+TEST(QpSolverLifecycle, SetupThenSolveMatchesOneShotBitwise) {
+  // solve_qp is now a wrapper over the stateful solver; a manual
+  // setup + cold solve must be indistinguishable down to the last bit.
+  const QpProblem p = fs_like_problem(12, 7);
+  const QpResult one_shot = solve_qp(p);
+
+  QpSolver solver;
+  ASSERT_EQ(solver.setup(p), QpStatus::kSolved);
+  EXPECT_TRUE(solver.is_setup());
+  EXPECT_FALSE(solver.warm_ready());
+  const QpResult staged = solver.solve();
+
+  ASSERT_EQ(staged.status, one_shot.status);
+  EXPECT_EQ(staged.iterations, one_shot.iterations);
+  EXPECT_EQ(staged.x, one_shot.x);
+  EXPECT_EQ(staged.z, one_shot.z);
+  EXPECT_DOUBLE_EQ(staged.primal_residual, one_shot.primal_residual);
+  EXPECT_DOUBLE_EQ(staged.dual_residual, one_shot.dual_residual);
+  EXPECT_DOUBLE_EQ(staged.objective, one_shot.objective);
+}
+
+TEST(QpSolverLifecycle, WarmStartCutsIterations) {
+  // The continuation workload micro_qp_warmstart gates on: screen the
+  // interval at a loose tolerance, then commit it at the deployment
+  // tolerance. The warm commit solve continues the screening iterate on
+  // the cached factorization and must need at most half the iterations of
+  // a from-scratch commit solve. (Cross-interval warm starts are NOT
+  // expected to cut iterations — consecutive wind intervals are nearly
+  // independent, so the previous optimum is no closer than the cold
+  // z-clamp init; see the warm_start doc in flexible_smoothing.hpp.)
+  util::Rng rng(1);
+  Vector u(12);
+  for (double& v : u) v = rng.uniform(5.0, 40.0);
+  const QpProblem problem = fs_like_problem_for(u);
+
+  QpSettings screen;
+  screen.check_interval = 1;  // fine-grained iteration counts
+  screen.eps_abs = 1e-4;
+  screen.eps_rel = 1e-4;
+  QpSettings commit = screen;
+  commit.eps_abs = 1e-6;
+  commit.eps_rel = 1e-6;
+
+  QpSolver solver;
+  ASSERT_EQ(solver.setup(problem, screen), QpStatus::kSolved);
+  const QpResult screened = solver.solve();
+  ASSERT_TRUE(screened.ok());
+  ASSERT_TRUE(solver.warm_ready());
+
+  // Cold reference: commit-tolerance solve from scratch.
+  const QpResult cold = solve_qp(problem, commit);
+  ASSERT_TRUE(cold.ok());
+
+  // Warm: continue the screening iterate to the commit tolerance. The
+  // convenience overload adopts the new settings without re-factorizing
+  // (same structure, same rho/sigma).
+  const QpResult warm = solver.solve(problem, commit);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LE(2 * warm.iterations, cold.iterations);
+  // Same optimum within solver tolerance (objective, not iterate — the
+  // variance form is flat along the all-ones direction).
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-3);
+
+  EXPECT_EQ(solver.setup_count(), 1u);
+  EXPECT_EQ(solver.solve_count(), 2u);
+  EXPECT_EQ(solver.warm_start_count(), 1u);
+  EXPECT_EQ(solver.factorization_reuse_count(), 1u);
+}
+
+TEST(QpSolverLifecycle, ResetWarmStartColdStartsNextSolve) {
+  QpSolver solver;
+  ASSERT_EQ(solver.setup(fs_like_problem(8, 3)), QpStatus::kSolved);
+  const QpResult first = solver.solve();
+  ASSERT_TRUE(solver.warm_ready());
+  solver.reset_warm_start();
+  EXPECT_FALSE(solver.warm_ready());
+  EXPECT_TRUE(solver.is_setup());  // the factorization survives
+  const QpResult again = solver.solve();
+  // Cold + same factor -> bitwise identical replay.
+  EXPECT_EQ(again.iterations, first.iterations);
+  EXPECT_EQ(again.x, first.x);
+  EXPECT_EQ(solver.warm_start_count(), 0u);
+}
+
+TEST(QpSolverLifecycle, UpdateThrowsOnShapeMismatchOrMissingSetup) {
+  QpSolver solver;
+  const QpProblem p = fs_like_problem(6, 4);
+  EXPECT_THROW(solver.update(p.q, p.lower, p.upper), std::invalid_argument);
+  ASSERT_EQ(solver.setup(p), QpStatus::kSolved);
+  EXPECT_THROW(solver.update(Vector(5, 0.0), p.lower, p.upper),
+               std::invalid_argument);
+  EXPECT_THROW(solver.update(p.q, Vector(3, 0.0), Vector(3, 1.0)),
+               std::invalid_argument);
+  // A stale factorization is never applied to mismatched shapes.
+  EXPECT_NO_THROW(solver.update(p.q, p.lower, p.upper));
+}
+
+TEST(QpSolverLifecycle, ConvenienceSolveResetsOnStructureChange) {
+  QpSolver solver;
+  const QpResult a = solver.solve(fs_like_problem(12, 5));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(solver.setup_count(), 1u);
+
+  // Same structure -> factorization reused, warm start taken.
+  const QpResult b = solver.solve(fs_like_problem(12, 6));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(solver.setup_count(), 1u);
+  EXPECT_EQ(solver.warm_start_count(), 1u);
+
+  // Different horizon -> automatic re-setup, warm state dropped.
+  const QpResult c = solver.solve(fs_like_problem(10, 6));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(solver.setup_count(), 2u);
+  EXPECT_EQ(solver.warm_start_count(), 1u);
+  EXPECT_EQ(solver.num_variables(), 10u);
+
+  // A KKT-relevant setting change (rho) also forces re-setup.
+  QpSettings retuned;
+  retuned.rho = 0.5;
+  const QpResult d = solver.solve(fs_like_problem(10, 7), retuned);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(solver.setup_count(), 3u);
+}
+
+TEST(QpSolverLifecycle, InfeasibleBoundsAfterUpdate) {
+  QpSolver solver;
+  QpProblem p = fs_like_problem(6, 8);
+  ASSERT_EQ(solver.setup(p), QpStatus::kSolved);
+  ASSERT_TRUE(solver.solve().ok());
+
+  Vector bad_lower = p.lower;
+  bad_lower[2] = p.upper[2] + 1.0;  // inverted row
+  solver.update(p.q, bad_lower, p.upper);
+  const QpResult r = solver.solve();
+  EXPECT_EQ(r.status, QpStatus::kInfeasible);
+
+  // Restoring consistent bounds recovers without a re-setup.
+  solver.update(p.q, p.lower, p.upper);
+  EXPECT_TRUE(solver.solve().ok());
+  EXPECT_EQ(solver.setup_count(), 1u);
+}
+
+TEST(QpSolverLifecycle, SolveWithoutSetupIsNumericalError) {
+  QpSolver solver;
+  const QpResult r = solver.solve();
+  EXPECT_EQ(r.status, QpStatus::kNumericalError);
+}
+
+// --- Concurrency: per-task solver instances (TSan asserts cleanliness) ----
+
+TEST(QpSolverConcurrency, PerTaskInstancesAreRaceFreeAndDeterministic) {
+  // Mirrors how SweepRunner uses the solver: every task owns its instance
+  // and warm-starts across its own problem sequence. Run the sweep at two
+  // worker counts; results must match exactly (and TSan must stay quiet).
+  const auto sweep = [](std::size_t threads) {
+    runtime::SweepRunner runner(runtime::SweepOptions{threads, 0, "qp"});
+    return runner.run(24, [](runtime::TaskContext& ctx) {
+      QpSolver solver;
+      QpSettings settings;
+      settings.check_interval = 1;
+      double acc = 0.0;
+      for (std::uint64_t interval = 0; interval < 6; ++interval) {
+        const QpResult r = solver.solve(
+            fs_like_problem(12, 100 + 10 * ctx.index + interval), settings);
+        acc += r.objective + static_cast<double>(r.iterations);
+      }
+      return acc;
+    });
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial[i].value, parallel[i].value) << "task " << i;
 }
 
 }  // namespace

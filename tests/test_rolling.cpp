@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "smoother/stats/descriptive.hpp"
@@ -44,6 +46,56 @@ TEST(RollingVariance, PartialWindow) {
   EXPECT_FALSE(rolling.full());
   EXPECT_EQ(rolling.count(), 2u);
   EXPECT_EQ(rolling.capacity(), 5u);
+}
+
+TEST(RollingVariance, AddEvictSequencesMatchBatchStats) {
+  // Regression for the dead running-accumulator pair: mean and variance
+  // must always equal the batch statistics of the raw window, including
+  // through long add/evict sequences on ill-scaled data (a huge offset
+  // riding on tiny fluctuations is where an accumulated sum-of-squares
+  // would cancel catastrophically).
+  util::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(1.0e8 + rng.uniform(0.0, 1.0));
+
+  RollingVariance rolling(12);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    rolling.add(xs[i]);
+    const std::size_t n = std::min<std::size_t>(i + 1, 12);
+    const std::size_t start = i + 1 - n;
+    const auto window = std::span<const double>(xs).subspan(start, n);
+    // stats::variance runs Welford; the window pass here is two-pass. Both
+    // carry ~ulp(1e8) deviation rounding, so compare to that precision
+    // rather than bitwise.
+    EXPECT_NEAR(rolling.mean(), mean(window), 1e-6) << "at sample " << i;
+    if (n >= 2)
+      EXPECT_NEAR(rolling.variance(), variance(window), 1e-7)
+          << "at sample " << i;
+  }
+}
+
+TEST(RollingVariance, RecoversAfterNonFiniteSampleIsEvicted) {
+  // A NaN (or infinite) sample — a telemetry glitch — may poison the stats
+  // while it sits in the window, but once evicted the window holds only
+  // finite samples and the statistics must be exact again. With running
+  // accumulators this fails forever: NaN - NaN is still NaN.
+  RollingVariance rolling(3);
+  rolling.add(1.0);
+  rolling.add(std::numeric_limits<double>::quiet_NaN());
+  rolling.add(2.0);
+  EXPECT_TRUE(std::isnan(rolling.mean()));  // glitch is in the window
+
+  rolling.add(4.0);  // evicts 1.0
+  rolling.add(6.0);  // evicts the NaN
+  EXPECT_DOUBLE_EQ(rolling.mean(), 4.0);          // {2, 4, 6}
+  EXPECT_DOUBLE_EQ(rolling.variance(), 8.0 / 3.0);
+
+  RollingVariance with_inf(2);
+  with_inf.add(std::numeric_limits<double>::infinity());
+  with_inf.add(3.0);
+  with_inf.add(5.0);  // infinity evicted
+  EXPECT_DOUBLE_EQ(with_inf.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(with_inf.variance(), 1.0);
 }
 
 TEST(WindowedVariances, DisjointWindowsDropTail) {

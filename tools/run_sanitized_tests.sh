@@ -5,7 +5,8 @@
 #      >=10k-interval mixed-fault soak and friends must run clean — plus
 #      the obs exporter/trace tests.
 #   2. TSan (build-tsan/): the concurrency surface — obs recording from
-#      pool workers, the work-stealing ThreadPool, and SweepRunner.
+#      pool workers, the work-stealing ThreadPool, SweepRunner, and
+#      per-task QpSolver instances on sweep workers.
 #
 # By default each phase runs its focused subset, which keeps the loop
 # fast; pass --full to run the whole suite under both.
@@ -17,7 +18,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs"
-tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid"
+tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp"
 if [[ "${1:-}" == "--full" ]]; then
   asan_filter=""
   tsan_filter=""

@@ -1,0 +1,383 @@
+// Microbenchmark of the structured O(m) KKT fast path vs the dense solver.
+//
+// Ladder over horizon lengths m ∈ {72, 288, 1440} built from the Fig. 10
+// day traces. For every (m, day) the same FS problem is solved twice:
+//
+//   dense      — untagged QpProblem with materialized P and A: O(m³) setup
+//                (gram + Cholesky), O(m²) matvecs per ADMM iteration;
+//   structured — the kSmoothing-tagged problem: O(m) tridiagonal +
+//                Sherman-Morrison setup, O(m) implicit operators per
+//                iteration (see solver/structured_kkt.hpp, DESIGN.md §4g).
+//
+// Three measurements per arm: setup µs (factorization only), per-iteration
+// µs (fixed 120-iteration run at eps = 0, so both arms do identical
+// iteration counts), and end-to-end interval latency (setup + solve at the
+// deployment tolerance — what a cold plan_interval pays). Heap allocations
+// are counted with an instrumented operator new; the per-iteration
+// allocation delta must be zero on both paths (asserted in
+// test_structured_kkt; reported here).
+//
+// Gate: end-to-end speedup >= 10x at m = 288 (the paper's day horizon),
+// mirroring micro_qp_warmstart's 2x gate. The bench also replays the
+// Fig. 10 FS pipeline with structured_solver on vs off and prints the
+// supply/metric diffs (the two paths agree within solver tolerance, not
+// bitwise). Emits BENCH_solver.json; --metrics-out exercises the
+// solver.qp.structured_* counters for smoke_metrics_structured.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+
+#include "common.hpp"
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/solver/qp_solver.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace smoother;
+using namespace smoother::bench;
+using clock_type = std::chrono::steady_clock;
+
+double elapsed_us(clock_type::time_point since) {
+  return std::chrono::duration<double, std::micro>(clock_type::now() - since)
+      .count();
+}
+
+/// Energy vector of horizon m from a Fig. 10 day trace (tiled past one day
+/// for the 1440-point horizon).
+std::vector<double> day_energy(std::size_t day, std::size_t m,
+                               double dt_hours) {
+  const trace::WindSpeedModel model(trace::fig10_day_params(day));
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+                          model.generate_day(kSeedWind + day)) *
+                      (kCapacitySmall.value() / 800.0);
+  std::vector<double> u(m);
+  for (std::size_t i = 0; i < m; ++i)
+    u[i] = std::max(supply[i % supply.size()], 0.0) * dt_hours;
+  return u;
+}
+
+/// The FS problem exactly as plan_interval builds it on the dense path.
+solver::QpProblem dense_problem(const std::vector<double>& u, double b0,
+                                const battery::BatterySpec& spec,
+                                double dt_hours) {
+  const std::size_t m = u.size();
+  const double charge_cap = spec.max_charge_rate.value() * dt_hours;
+  const double discharge_cap = std::min(
+      spec.max_discharge_rate.value() * dt_hours, 0.9 * spec.capacity.value());
+  solver::QpProblem problem;
+  problem.p = solver::variance_quadratic_form(m);
+  problem.q = problem.p * solver::Vector(u);
+  problem.a = solver::Matrix(2 * m, m);
+  problem.lower.assign(2 * m, 0.0);
+  problem.upper.assign(2 * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.a(i, i) = 1.0;
+    problem.lower[i] = -std::min(u[i], charge_cap);
+    problem.upper[i] = discharge_cap;
+    for (std::size_t t = 0; t <= i; ++t) problem.a(m + i, t) = 1.0;
+    problem.lower[m + i] = std::min(b0 - spec.max_energy().value(), 0.0);
+    problem.upper[m + i] = std::max(b0 - spec.min_energy().value(), 0.0);
+  }
+  return problem;
+}
+
+/// The same problem on the structured path: tagged, no dense P/A, O(m)
+/// centered q.
+solver::QpProblem structured_problem(const solver::QpProblem& dense,
+                                     const std::vector<double>& u) {
+  solver::QpProblem problem;
+  const std::size_t m = u.size();
+  problem.structure = solver::QpStructure::kSmoothing;
+  double u_sum = 0.0;
+  for (const double v : u) u_sum += v;
+  const double u_mean = u_sum / static_cast<double>(m);
+  problem.q.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    problem.q[i] = 2.0 / static_cast<double>(m) * (u[i] - u_mean);
+  problem.lower = dense.lower;
+  problem.upper = dense.upper;
+  return problem;
+}
+
+struct ArmMeasurement {
+  double setup_us = 0.0;
+  double per_iter_us = 0.0;
+  double end_to_end_us = 0.0;   ///< setup + solve at deployment tolerance
+  double objective = 0.0;
+  double primal_residual = 0.0;
+  double dual_residual = 0.0;
+  std::size_t iterations = 0;
+  std::size_t solve_allocs = 0;     ///< allocations in one 120-iter solve
+  std::size_t per_iter_allocs = 0;  ///< allocation delta per extra iteration
+};
+
+constexpr std::size_t kTimedIterations = 120;
+
+ArmMeasurement measure_arm(const solver::QpProblem& problem,
+                           const solver::QpSettings& deploy) {
+  ArmMeasurement out;
+
+  // Setup cost: factorization only.
+  {
+    solver::QpSolver solver;
+    const auto t0 = clock_type::now();
+    (void)solver.setup(problem, deploy);
+    out.setup_us = elapsed_us(t0);
+  }
+
+  // Per-iteration cost and allocation counts at a fixed iteration budget
+  // (eps = 0 forces exactly max_iterations on both arms). Allocations are
+  // measured around a post-warm-up solve() only, so one-time buffer growth
+  // never pollutes the per-iteration delta.
+  const auto fixed_run = [&](std::size_t iterations, double* out_us) {
+    solver::QpSolver solver;
+    solver::QpSettings fixed = deploy;
+    fixed.eps_abs = 0.0;
+    fixed.eps_rel = 0.0;
+    fixed.max_iterations = iterations;
+    (void)solver.setup(problem, fixed);
+    (void)solver.solve();  // warm the one-time buffers
+    solver.reset_warm_start();
+    const std::size_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = clock_type::now();
+    (void)solver.solve();
+    if (out_us) *out_us = elapsed_us(t0);
+    return g_alloc_count.load(std::memory_order_relaxed) - a0;
+  };
+  {
+    double fixed_us = 0.0;
+    out.solve_allocs = fixed_run(kTimedIterations, &fixed_us);
+    out.per_iter_us = fixed_us / static_cast<double>(kTimedIterations);
+    const std::size_t doubled_allocs = fixed_run(2 * kTimedIterations, nullptr);
+    out.per_iter_allocs =
+        doubled_allocs > out.solve_allocs
+            ? (doubled_allocs - out.solve_allocs) / kTimedIterations
+            : 0;
+  }
+
+  // End-to-end interval latency: what a cold plan_interval pays.
+  {
+    solver::QpSolver solver;
+    const auto t0 = clock_type::now();
+    (void)solver.setup(problem, deploy);
+    const auto r = solver.solve();
+    out.end_to_end_us = elapsed_us(t0);
+    out.objective = r.objective;
+    out.primal_residual = r.primal_residual;
+    out.dual_residual = r.dual_residual;
+    out.iterations = r.iterations;
+  }
+  return out;
+}
+
+struct LadderRow {
+  std::size_t m = 0;
+  ArmMeasurement dense;
+  ArmMeasurement structured;
+  double objective_diff = 0.0;
+  [[nodiscard]] double end_to_end_speedup() const {
+    return structured.end_to_end_us > 0.0
+               ? dense.end_to_end_us / structured.end_to_end_us
+               : 0.0;
+  }
+};
+
+/// Fig. 10 pipeline replay: max supply divergence between structured-on and
+/// structured-off runs of the full FS pipeline on one day.
+struct PipelineDiff {
+  std::string day;
+  double max_supply_diff_kw = 0.0;
+  double variance_reduction_diff = 0.0;
+  double max_rate_diff_kw = 0.0;
+};
+
+PipelineDiff pipeline_diff(std::size_t day, const char* name) {
+  const trace::WindSpeedModel model(trace::fig10_day_params(day));
+  const auto supply = power::TurbineCurve::enercon_e48().power_series(
+                          model.generate_day(kSeedWind + day)) *
+                      (kCapacitySmall.value() / 800.0);
+  const auto history =
+      power::TurbineCurve::enercon_e48().power_series(
+          model.generate(util::days(28.0), util::kFiveMinutes,
+                         kSeedWind + 100 + day)) *
+      (kCapacitySmall.value() / 800.0);
+  auto config = sim::default_config(kCapacitySmall);
+  const core::Smoother middleware(config);
+  const auto classifier = middleware.make_classifier(history);
+
+  const auto run = [&](bool structured) {
+    auto fs_config = config.flexible_smoothing;
+    fs_config.structured_solver = structured;
+    const core::FlexibleSmoothing fs(fs_config);
+    battery::Battery battery(config.battery, config.initial_soc_fraction);
+    return fs.smooth(supply, classifier, battery);
+  };
+  const auto on = run(true);
+  const auto off = run(false);
+
+  PipelineDiff diff;
+  diff.day = name;
+  for (std::size_t i = 0; i < on.supply.size(); ++i)
+    diff.max_supply_diff_kw = std::max(
+        diff.max_supply_diff_kw, std::abs(on.supply[i] - off.supply[i]));
+  diff.variance_reduction_diff =
+      std::abs(on.mean_variance_reduction() - off.mean_variance_reduction());
+  diff.max_rate_diff_kw =
+      std::abs(on.required_max_rate_kw - off.required_max_rate_kw);
+  return diff;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smoother::bench::Harness harness(argc, argv);
+  sim::print_experiment_header(
+      std::cout, "micro: structured solver",
+      "structured O(m) KKT fast path vs dense QP (Fig. 10 day horizons)");
+
+  auto config = sim::default_config(kCapacitySmall);
+  const battery::Battery battery(config.battery, config.initial_soc_fraction);
+  const battery::BatterySpec& spec = battery.spec();
+  const double dt_hours = 5.0 / 60.0;
+  const double b0 = battery.energy().value();
+  solver::QpSettings deploy = config.flexible_smoothing.qp;
+  // Bound the worst case at m = 1440: the comparison needs identical
+  // stopping rules, not full convergence of the slow arm.
+  deploy.max_iterations = 4000;
+
+  static constexpr std::size_t kHorizons[] = {72, 288, 1440};
+  std::vector<LadderRow> rows;
+  for (std::size_t hi = 0; hi < 3; ++hi) {
+    const std::size_t m = kHorizons[hi];
+    const std::size_t day = hi % 4;  // one Fig. 10 day preset per rung
+    const std::vector<double> u = day_energy(day, m, dt_hours);
+    const solver::QpProblem dense = dense_problem(u, b0, spec, dt_hours);
+    const solver::QpProblem structured = structured_problem(dense, u);
+    LadderRow row;
+    row.m = m;
+    row.dense = measure_arm(dense, deploy);
+    row.structured = measure_arm(structured, deploy);
+    row.objective_diff =
+        std::abs(row.dense.objective - row.structured.objective);
+    rows.push_back(row);
+  }
+
+  sim::TablePrinter table({"m", "setup_us (dense/structured)",
+                           "per_iter_us (dense/structured)",
+                           "end_to_end_us (dense/structured)", "speedup",
+                           "obj_diff", "allocs/iter (d/s)"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {std::to_string(row.m),
+         util::strfmt("%.0f / %.1f", row.dense.setup_us,
+                      row.structured.setup_us),
+         util::strfmt("%.1f / %.2f", row.dense.per_iter_us,
+                      row.structured.per_iter_us),
+         util::strfmt("%.0f / %.0f", row.dense.end_to_end_us,
+                      row.structured.end_to_end_us),
+         util::strfmt("%.1fx", row.end_to_end_speedup()),
+         util::strfmt("%.2e", row.objective_diff),
+         util::strfmt("%zu / %zu", row.dense.per_iter_allocs,
+                      row.structured.per_iter_allocs)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFig. 10 pipeline, structured on vs off (solver-tolerance "
+               "agreement, not bitwise):\n";
+  static constexpr const char* kDayNames[] = {"May-02 (calm)", "May-14",
+                                              "May-23", "May-18 (roughest)"};
+  std::vector<PipelineDiff> diffs;
+  sim::TablePrinter diff_table({"day", "max_supply_diff_kw",
+                                "variance_reduction_diff", "max_rate_diff_kw"});
+  for (std::size_t day = 0; day < 4; ++day) {
+    diffs.push_back(pipeline_diff(day, kDayNames[day]));
+    const auto& d = diffs.back();
+    diff_table.add_row({d.day, util::strfmt("%.3e", d.max_supply_diff_kw),
+                        util::strfmt("%.3e", d.variance_reduction_diff),
+                        util::strfmt("%.3e", d.max_rate_diff_kw)});
+  }
+  diff_table.print(std::cout);
+
+  const LadderRow& gate_row = rows[1];  // m = 288
+  const double speedup = gate_row.end_to_end_speedup();
+  const bool pass = speedup >= 10.0;
+  std::cout << util::strfmt(
+      "\noverall: m=288 end-to-end %.0f us dense vs %.0f us structured "
+      "(%.1fx, target >= 10x): %s\n",
+      gate_row.dense.end_to_end_us, gate_row.structured.end_to_end_us, speedup,
+      pass ? "PASS" : "FAIL");
+
+  if (auto* metrics = harness.metrics()) {
+    metrics->gauge("bench.solver.structured_speedup_m288").set(speedup);
+    metrics->gauge("bench.solver.dense_setup_us_m288")
+        .set(gate_row.dense.setup_us);
+    metrics->gauge("bench.solver.structured_setup_us_m288")
+        .set(gate_row.structured.setup_us);
+    metrics->gauge("bench.solver.structured_per_iter_allocs")
+        .set(static_cast<double>(gate_row.structured.per_iter_allocs));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"micro_structured_solver\",\n"
+       << "  \"scenario\": \"FS interval QP, structured O(m) KKT vs dense, "
+          "Fig. 10 day horizons\",\n"
+       << util::strfmt("  \"speedup_m288\": %.2f,\n", speedup)
+       << "  \"ladder\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto arm_json = [](const ArmMeasurement& a) {
+      return util::strfmt(
+          "{\"setup_us\": %.2f, \"per_iter_us\": %.3f, "
+          "\"end_to_end_us\": %.2f, \"iterations\": %zu, "
+          "\"solve_allocs\": %zu, \"per_iter_allocs\": %zu, "
+          "\"objective\": %.6f, \"primal_residual\": %.3e, "
+          "\"dual_residual\": %.3e}",
+          a.setup_us, a.per_iter_us, a.end_to_end_us, a.iterations,
+          a.solve_allocs, a.per_iter_allocs, a.objective, a.primal_residual,
+          a.dual_residual);
+    };
+    json << util::strfmt(
+        "    {\"m\": %zu, \"speedup\": %.2f, \"objective_diff\": %.3e,\n"
+        "     \"dense\": %s,\n     \"structured\": %s}%s\n",
+        row.m, row.end_to_end_speedup(), row.objective_diff,
+        arm_json(row.dense).c_str(), arm_json(row.structured).c_str(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  json << "  ],\n  \"fig10_pipeline_diff\": [\n";
+  for (std::size_t i = 0; i < diffs.size(); ++i) {
+    const auto& d = diffs[i];
+    json << util::strfmt(
+        "    {\"day\": \"%s\", \"max_supply_diff_kw\": %.4e, "
+        "\"variance_reduction_diff\": %.4e, \"max_rate_diff_kw\": %.4e}%s\n",
+        d.day.c_str(), d.max_supply_diff_kw, d.variance_reduction_diff,
+        d.max_rate_diff_kw, i + 1 < diffs.size() ? "," : "");
+  }
+  json << "  ]\n}\n";
+  std::ofstream out("BENCH_solver.json");
+  out << json.str();
+  std::cout << "\nwrote BENCH_solver.json\n";
+  return pass ? 0 : 1;
+}

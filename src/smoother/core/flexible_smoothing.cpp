@@ -81,17 +81,32 @@ IntervalPlan FlexibleSmoothing::plan_interval(
   // QP data: minimize Var(u + s) subject to the box (Eq. 10 + rate limits)
   // and the SoC corridor (Eq. 11 in convex state-of-charge form).
   solver::QpProblem problem;
-  problem.p = config_.objective == SmoothingObjective::kAroundTrend
-                  ? solver::detrended_variance_quadratic_form(m)
-                  : solver::variance_quadratic_form(m);
-  problem.q = problem.p * u;
+  const bool structured = config_.structured_solver &&
+                          config_.objective == SmoothingObjective::kAroundMean;
+  if (structured) {
+    // Structured fast path: P and A are implied by the kSmoothing tag (the
+    // solver runs implicit O(m) operators) and q = P u is the O(m) centered
+    // form (2/m)(u - mean(u)) instead of an O(m²) dense product.
+    problem.structure = solver::QpStructure::kSmoothing;
+    double u_sum = 0.0;
+    for (const double v : u) u_sum += v;
+    const double u_mean = u_sum / static_cast<double>(m);
+    problem.q.resize(m);
+    for (std::size_t i = 0; i < m; ++i)
+      problem.q[i] = 2.0 / static_cast<double>(m) * (u[i] - u_mean);
+  } else {
+    problem.p = config_.objective == SmoothingObjective::kAroundTrend
+                    ? solver::detrended_variance_quadratic_form(m)
+                    : solver::variance_quadratic_form(m);
+    problem.q = problem.p * u;
+  }
 
   const std::size_t rows = 2 * m;  // box rows then cumulative rows
-  problem.a = solver::Matrix(rows, m);
+  if (!structured) problem.a = solver::Matrix(rows, m);
   problem.lower.assign(rows, 0.0);
   problem.upper.assign(rows, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
-    problem.a(i, i) = 1.0;
+    if (!structured) problem.a(i, i) = 1.0;
     problem.lower[i] = -std::min(u[i], charge_cap);  // charge <= u_i & rate
     problem.upper[i] = discharge_cap;                // Eq. 10 discharge cap
   }
@@ -99,7 +114,8 @@ IntervalPlan FlexibleSmoothing::plan_interval(
   const double cum_lower = b0 - spec.max_energy().value();
   const double cum_upper = b0 - spec.min_energy().value();
   for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t t = 0; t <= i; ++t) problem.a(m + i, t) = 1.0;
+    if (!structured)
+      for (std::size_t t = 0; t <= i; ++t) problem.a(m + i, t) = 1.0;
     problem.lower[m + i] = std::min(cum_lower, 0.0);
     problem.upper[m + i] = std::max(cum_upper, 0.0);
   }

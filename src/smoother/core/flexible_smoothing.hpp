@@ -84,6 +84,17 @@ struct FlexibleSmoothingConfig {
   /// no byte-exact baseline, enables it.
   bool warm_start = false;
 
+  /// Tag the per-interval QP with its FS structure so the solver takes the
+  /// O(m) structured KKT fast path (tridiagonal + rank-one, see
+  /// solver/structured_kkt.hpp) instead of the dense O(m³) setup — no dense
+  /// P or A is ever materialized, and q is built in the O(m) centered form.
+  /// Applies to the kAroundMean objective; kAroundTrend has a rank-two
+  /// quadratic form outside the structured shape and always solves densely.
+  /// The structured schedule agrees with the dense one within the solver
+  /// tolerances (not bitwise — see DESIGN.md §4g); disable to force the
+  /// dense path for A/B comparison.
+  bool structured_solver = true;
+
   void validate() const;
 };
 

@@ -60,6 +60,12 @@ struct OnlineSmootherConfig {
   /// OnlineSmoother cold-starts the first plan after a degraded-mode
   /// recovery — fallback intervals rewrite the battery trajectory, so the
   /// cached duals describe a stale world.
+  ///
+  /// The per-interval QP on this streaming hot path also rides the
+  /// structured O(m) KKT fast path (structured_solver, on by default):
+  /// setup and every ADMM iteration are linear in the horizon length and
+  /// allocation-free, which is what bounds the on-request plan latency
+  /// (see micro_structured_solver and DESIGN.md §4g).
   FlexibleSmoothingConfig flexible_smoothing = [] {
     FlexibleSmoothingConfig fs;
     fs.warm_start = true;

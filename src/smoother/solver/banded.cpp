@@ -1,0 +1,156 @@
+#include "smoother/solver/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace smoother::solver {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t bandwidth)
+    : n_(n), w_(bandwidth), band_(n * (bandwidth + 1), 0.0) {
+  if (n > 0 && bandwidth >= n)
+    throw std::invalid_argument(
+        "BandedMatrix: bandwidth must be < dimension (use dense Matrix)");
+}
+
+BandedMatrix BandedMatrix::tridiagonal(std::span<const double> diag,
+                                       std::span<const double> off) {
+  if (diag.empty())
+    throw std::invalid_argument("BandedMatrix::tridiagonal: empty diagonal");
+  if (off.size() + 1 != diag.size())
+    throw std::invalid_argument(
+        "BandedMatrix::tridiagonal: off-diagonal size must be n - 1");
+  BandedMatrix m(diag.size(), diag.size() == 1 ? 0 : 1);
+  for (std::size_t i = 0; i < diag.size(); ++i) m.entry(i, i) = diag[i];
+  for (std::size_t i = 0; i + 1 < diag.size(); ++i)
+    m.entry(i + 1, i) = off[i];
+  return m;
+}
+
+BandedMatrix BandedMatrix::from_dense(const Matrix& a, std::size_t bandwidth) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("BandedMatrix::from_dense: matrix not square");
+  BandedMatrix m(a.rows(), bandwidth);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (i - j <= bandwidth) {
+        m.entry(i, j) = a(i, j);
+      } else if (a(i, j) != 0.0) {
+        throw std::invalid_argument(
+            "BandedMatrix::from_dense: nonzero entry outside the band");
+      }
+    }
+  }
+  return m;
+}
+
+double BandedMatrix::operator()(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("BandedMatrix: index");
+  const std::size_t lo = i < j ? i : j;
+  const std::size_t hi = i < j ? j : i;
+  if (hi - lo > w_) return 0.0;
+  return band_[hi * (w_ + 1) + (hi - lo)];
+}
+
+double& BandedMatrix::entry(std::size_t i, std::size_t j) {
+  if (i >= n_ || j > i || i - j > w_)
+    throw std::out_of_range("BandedMatrix::entry: outside the lower band");
+  return band_[i * (w_ + 1) + (i - j)];
+}
+
+Matrix BandedMatrix::to_dense() const {
+  Matrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i < w_ ? 0 : i - w_; j <= i; ++j) {
+      const double v = band_[i * (w_ + 1) + (i - j)];
+      out(i, j) = v;
+      out(j, i) = v;
+    }
+  return out;
+}
+
+void BandedMatrix::times_into(std::span<const double> x,
+                              std::span<double> out) const {
+  if (x.size() != n_ || out.size() != n_)
+    throw std::invalid_argument("BandedMatrix::times_into: size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    // Lower band (including the diagonal) ...
+    for (std::size_t j = i < w_ ? 0 : i - w_; j <= i; ++j)
+      acc += band_[i * (w_ + 1) + (i - j)] * x[j];
+    // ... plus the mirrored strictly-upper entries.
+    const std::size_t hi_end = std::min(i + w_, n_ - 1);
+    for (std::size_t j = i + 1; j <= hi_end; ++j)
+      acc += band_[j * (w_ + 1) + (j - i)] * x[j];
+    out[i] = acc;
+  }
+}
+
+Vector BandedMatrix::operator*(std::span<const double> x) const {
+  Vector out(n_, 0.0);
+  times_into(x, out);
+  return out;
+}
+
+std::optional<BandedCholesky> BandedCholesky::factorize(
+    const BandedMatrix& a) {
+  const std::size_t n = a.dimension();
+  const std::size_t w = a.bandwidth();
+  Vector l(n * (w + 1), 0.0);
+  const auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return l[i * (w + 1) + (i - j)];
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = j < w ? 0 : j - w; k < j; ++k)
+      diag -= at(j, k) * at(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    at(j, j) = ljj;
+    const std::size_t i_end = std::min(j + w, n - 1);
+    for (std::size_t i = j + 1; i <= i_end; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = i < w ? 0 : i - w; k < j; ++k)
+        acc -= at(i, k) * at(j, k);
+      at(i, j) = acc / ljj;
+    }
+  }
+  return BandedCholesky(n, w, std::move(l));
+}
+
+void BandedCholesky::solve_into(std::span<const double> b,
+                                std::span<double> x) const {
+  if (b.size() != n_ || x.size() != n_)
+    throw std::invalid_argument("BandedCholesky::solve_into: size mismatch");
+  // Forward solve L y = b, in place on x.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[i];
+    for (std::size_t k = i < w_ ? 0 : i - w_; k < i; ++k)
+      acc -= l(i, k) * x[k];
+    x[i] = acc / l(i, i);
+  }
+  // Backward solve Lᵀ z = y, in place on x.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = x[ii];
+    const std::size_t k_end = std::min(ii + w_, n_ - 1);
+    for (std::size_t k = ii + 1; k <= k_end; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+}
+
+Vector BandedCholesky::solve(std::span<const double> b) const {
+  Vector x(n_, 0.0);
+  solve_into(b, x);
+  return x;
+}
+
+Matrix BandedCholesky::lower_dense() const {
+  Matrix out(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i < w_ ? 0 : i - w_; j <= i; ++j)
+      out(i, j) = l(i, j);
+  return out;
+}
+
+}  // namespace smoother::solver

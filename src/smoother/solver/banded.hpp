@@ -1,0 +1,99 @@
+// Symmetric banded matrices and banded Cholesky factorization.
+//
+// The structured FS fast path (structured_kkt.hpp) reduces the ADMM KKT
+// system to a tridiagonal solve; BandedMatrix/BandedCholesky are the
+// general-bandwidth carriers for that reduction, sitting alongside the
+// dense Cholesky. For bandwidth 1 the factorization degenerates to the
+// classic Thomas-style bidiagonal factor/solve: O(n) setup, O(n) solve,
+// and — with solve_into — zero allocations per solve.
+//
+// Storage is the lower band only, row-major by diagonal offset: entry
+// (i, j) with i >= j and i - j <= bandwidth lives at
+// band_[i * (bandwidth + 1) + (i - j)]. The matrix is symmetric by
+// construction — writes through entry(i, j) define both (i, j) and (j, i).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "smoother/solver/matrix.hpp"
+
+namespace smoother::solver {
+
+/// Symmetric n-by-n matrix with all entries zero outside |i - j| <= w.
+class BandedMatrix {
+ public:
+  /// Zero matrix with the given dimension and lower bandwidth w
+  /// (w = 0 diagonal, w = 1 tridiagonal, ...). Throws std::invalid_argument
+  /// when w >= n and n > 0 (use a dense Matrix at that point).
+  BandedMatrix(std::size_t n, std::size_t bandwidth);
+
+  /// Symmetric tridiagonal matrix from its diagonal and off-diagonal
+  /// (off.size() must be diag.size() - 1).
+  static BandedMatrix tridiagonal(std::span<const double> diag,
+                                  std::span<const double> off);
+
+  /// Extracts the band of a symmetric dense matrix; entries outside the
+  /// band must be zero (throws std::invalid_argument otherwise, so a wrong
+  /// bandwidth never silently drops mass).
+  static BandedMatrix from_dense(const Matrix& a, std::size_t bandwidth);
+
+  [[nodiscard]] std::size_t dimension() const { return n_; }
+  [[nodiscard]] std::size_t bandwidth() const { return w_; }
+
+  /// Symmetric read access; zero outside the band.
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const;
+
+  /// Mutable access to the stored lower-band entry (requires i >= j and
+  /// i - j <= bandwidth; the symmetric (j, i) entry is implied).
+  [[nodiscard]] double& entry(std::size_t i, std::size_t j);
+
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Symmetric banded matrix-vector product, O(n * w).
+  [[nodiscard]] Vector operator*(std::span<const double> x) const;
+  void times_into(std::span<const double> x, std::span<double> out) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t w_ = 0;
+  Vector band_;  ///< lower band, row-major (see file comment)
+};
+
+/// LLᵀ factorization of a symmetric positive-definite banded matrix. The
+/// factor keeps the bandwidth, so factorize is O(n * w^2) and each solve is
+/// O(n * w) — for the tridiagonal KKT reduction both are O(n).
+class BandedCholesky {
+ public:
+  /// Factorizes `a`; std::nullopt when `a` is not numerically positive
+  /// definite (a pivot fell to <= 0 or lost finiteness).
+  static std::optional<BandedCholesky> factorize(const BandedMatrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Allocation-free solve: forward then backward substitution in place on
+  /// `x` (b is copied into x first; b and x must not alias).
+  void solve_into(std::span<const double> b, std::span<double> x) const;
+
+  [[nodiscard]] std::size_t dimension() const { return n_; }
+  [[nodiscard]] std::size_t bandwidth() const { return w_; }
+
+  /// The lower-triangular factor as a dense matrix (diagnostics/tests).
+  [[nodiscard]] Matrix lower_dense() const;
+
+ private:
+  BandedCholesky(std::size_t n, std::size_t w, Vector band)
+      : n_(n), w_(w), band_(std::move(band)) {}
+
+  [[nodiscard]] double l(std::size_t i, std::size_t j) const {
+    return band_[i * (w_ + 1) + (i - j)];
+  }
+
+  std::size_t n_ = 0;
+  std::size_t w_ = 0;
+  Vector band_;  ///< lower-triangular factor, same banded layout
+};
+
+}  // namespace smoother::solver

@@ -27,22 +27,30 @@ std::optional<Cholesky> Cholesky::factorize(const Matrix& a) {
 
 Vector Cholesky::solve(std::span<const double> b) const {
   const std::size_t n = l_.rows();
-  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
-  // Forward solve L y = b.
   Vector y(n);
+  Vector x(n);
+  solve_into(b, y, x);
+  return x;
+}
+
+void Cholesky::solve_into(std::span<const double> b,
+                          std::span<double> y_scratch,
+                          std::span<double> x) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n || y_scratch.size() != n || x.size() != n)
+    throw std::invalid_argument("Cholesky::solve_into: size");
+  // Forward solve L y = b.
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
-    y[i] = acc / l_(i, i);
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y_scratch[k];
+    y_scratch[i] = acc / l_(i, i);
   }
   // Backward solve Lᵀ x = y.
-  Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
+    double acc = y_scratch[ii];
     for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
     x[ii] = acc / l_(ii, ii);
   }
-  return x;
 }
 
 std::optional<Ldlt> Ldlt::factorize(const Matrix& a, double pivot_floor) {

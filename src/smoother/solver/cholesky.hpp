@@ -21,6 +21,13 @@ class Cholesky {
   /// Solves A x = b.
   [[nodiscard]] Vector solve(std::span<const double> b) const;
 
+  /// Allocation-free solve with caller-provided scratch for the forward
+  /// pass: y_scratch and x must each have dimension() entries and b,
+  /// y_scratch, x must be pairwise non-aliasing. Same arithmetic as
+  /// solve().
+  void solve_into(std::span<const double> b, std::span<double> y_scratch,
+                  std::span<double> x) const;
+
   [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
 
   /// The lower-triangular factor.

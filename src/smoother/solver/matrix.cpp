@@ -101,6 +101,18 @@ Vector Matrix::operator*(std::span<const double> x) const {
   return y;
 }
 
+void Matrix::times_into(std::span<const double> x,
+                        std::span<double> out) const {
+  if (x.size() != cols_ || out.size() != rows_)
+    throw std::invalid_argument("Matrix::times_into: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+}
+
 Vector Matrix::transpose_times(std::span<const double> x) const {
   if (x.size() != rows_)
     throw std::invalid_argument("Matrix::transpose_times: size mismatch");
@@ -112,6 +124,37 @@ Vector Matrix::transpose_times(std::span<const double> x) const {
     for (std::size_t c = 0; c < cols_; ++c) y[c] += v * row[c];
   }
   return y;
+}
+
+void Matrix::transpose_times_into(std::span<const double> x,
+                                  std::span<double> out) const {
+  if (x.size() != rows_ || out.size() != cols_)
+    throw std::invalid_argument(
+        "Matrix::transpose_times_into: size mismatch");
+  for (double& v : out) v = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double v = x[r];
+    if (v == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += v * row[c];
+  }
+}
+
+Matrix Matrix::gram() const {
+  Matrix out(cols_, cols_);
+  // Upper triangle (i <= j): out(i, j) = Σ_r A(r, i) A(r, j), accumulated
+  // in row order and skipping A(r, i) == 0 — the exact arithmetic of the
+  // i-th row of transpose() * (*this). The lower triangle mirrors it.
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double v = (*this)(r, i);
+      if (v == 0.0) continue;
+      const double* row = data_.data() + r * cols_;
+      for (std::size_t j = i; j < cols_; ++j) out(i, j) += v * row[j];
+    }
+    for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  }
+  return out;
 }
 
 void Matrix::add_diagonal(double s) {

@@ -58,8 +58,23 @@ class Matrix {
   /// Matrix-vector product (x.size() must equal cols()).
   [[nodiscard]] Vector operator*(std::span<const double> x) const;
 
+  /// Allocation-free matrix-vector product: out = this * x. Same arithmetic
+  /// as operator*; out must not alias x.
+  void times_into(std::span<const double> x, std::span<double> out) const;
+
   /// yᵀ = xᵀ * this, i.e. transpose-product without materializing Aᵀ.
   [[nodiscard]] Vector transpose_times(std::span<const double> x) const;
+
+  /// Allocation-free transpose-product: out = thisᵀ * x. Same arithmetic as
+  /// transpose_times; out must not alias x.
+  void transpose_times_into(std::span<const double> x,
+                            std::span<double> out) const;
+
+  /// Gram matrix AᵀA, computed directly (upper triangle then mirrored)
+  /// without materializing the transpose. Entry (i, j) accumulates
+  /// Σ_r A(r,i)·A(r,j) in row order, matching transpose()*this bit-for-bit
+  /// on the upper triangle.
+  [[nodiscard]] Matrix gram() const;
 
   /// Adds s to every diagonal entry (square matrices only).
   void add_diagonal(double s);

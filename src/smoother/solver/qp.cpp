@@ -5,27 +5,53 @@
 #include <stdexcept>
 
 #include "smoother/solver/qp_solver.hpp"
+#include "smoother/solver/structured_kkt.hpp"
 
 namespace smoother::solver {
 
 void QpProblem::validate() const {
   const std::size_t n = q.size();
   const std::size_t m = lower.size();
+  if (upper.size() != m)
+    throw std::invalid_argument("QpProblem: bound size mismatch");
+  if (structure == QpStructure::kSmoothing) {
+    if (n == 0)
+      throw std::invalid_argument("QpProblem: kSmoothing needs n >= 1");
+    if (m != 2 * n)
+      throw std::invalid_argument(
+          "QpProblem: kSmoothing requires 2n constraint rows (box + SoC)");
+    // P and A are implied by the tag; when materialized (dense A/B runs)
+    // they must still carry the generic shapes.
+    const bool p_ok = p.rows() == 0 ? p.cols() == 0
+                                    : p.rows() == n && p.cols() == n;
+    const bool a_ok = a.rows() == 0 ? a.cols() == 0
+                                    : a.rows() == m && a.cols() == n;
+    if (!p_ok || !a_ok)
+      throw std::invalid_argument(
+          "QpProblem: kSmoothing matrices must be empty or full-shape");
+    return;
+  }
   if (p.rows() != n || p.cols() != n)
     throw std::invalid_argument("QpProblem: P must be n-by-n");
   if (a.rows() != m || a.cols() != n)
     throw std::invalid_argument("QpProblem: A must be m-by-n");
-  if (upper.size() != m)
-    throw std::invalid_argument("QpProblem: bound size mismatch");
 }
 
 double QpProblem::objective(std::span<const double> x) const {
+  if (structure == QpStructure::kSmoothing && p.rows() == 0)
+    return fs_ops::half_quadratic(x) + dot(q, x);
   const Vector px = p * x;
   return 0.5 * dot(x, px) + dot(q, x);
 }
 
 double QpProblem::constraint_violation(std::span<const double> x) const {
-  const Vector ax = a * x;
+  Vector ax;
+  if (structure == QpStructure::kSmoothing && a.rows() == 0) {
+    ax.assign(2 * x.size(), 0.0);
+    fs_ops::apply_a(x, ax);
+  } else {
+    ax = a * x;
+  }
   double worst = 0.0;
   for (std::size_t i = 0; i < ax.size(); ++i) {
     worst = std::max(worst, lower[i] - ax[i]);

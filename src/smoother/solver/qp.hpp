@@ -27,14 +27,31 @@
 
 namespace smoother::solver {
 
+/// Algebraic structure of a QP, used by QpSolver to pick a solve path.
+enum class QpStructure {
+  /// No assumed structure: P and A are dense, setup is O(n³).
+  kGeneric,
+  /// Flexible Smoothing shape (paper Eq. 9-11): P is the population-variance
+  /// form (2/n)(I - (1/n)11ᵀ) and A = [I ; L] with L the lower-triangular
+  /// all-ones prefix-sum block, so num_constraints == 2 * num_variables.
+  /// P and A may be left empty — the solver never materializes them and
+  /// runs O(n) structured kernels instead (see structured_kkt.hpp).
+  kSmoothing,
+};
+
 /// Problem data for the QP. Shapes: P is n-by-n, q has n entries, A is
 /// m-by-n, l and u have m entries with l <= u elementwise.
+///
+/// For `structure == kSmoothing`, P and A are implied by the tag and may be
+/// empty (0-by-0); when present they must still have the generic shapes so a
+/// tagged problem can also be solved densely for A/B comparison.
 struct QpProblem {
   Matrix p;
   Vector q;
   Matrix a;
   Vector lower;
   Vector upper;
+  QpStructure structure = QpStructure::kGeneric;
 
   [[nodiscard]] std::size_t num_variables() const { return q.size(); }
   [[nodiscard]] std::size_t num_constraints() const { return lower.size(); }
@@ -42,10 +59,12 @@ struct QpProblem {
   /// Validates shapes and bound ordering; throws std::invalid_argument.
   void validate() const;
 
-  /// Objective value (1/2)xᵀPx + qᵀx.
+  /// Objective value (1/2)xᵀPx + qᵀx. For kSmoothing problems with no
+  /// materialized P this is the O(n) variance form Var(x) + qᵀx.
   [[nodiscard]] double objective(std::span<const double> x) const;
 
-  /// Worst elementwise constraint violation of x (0 when feasible).
+  /// Worst elementwise constraint violation of x (0 when feasible). For
+  /// kSmoothing problems with no materialized A, A x is computed implicitly.
   [[nodiscard]] double constraint_violation(std::span<const double> x) const;
 };
 

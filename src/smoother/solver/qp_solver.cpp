@@ -30,6 +30,8 @@ struct SolverInstruments {
   obs::Counter* setups = nullptr;
   obs::Counter* warm_starts = nullptr;
   obs::Counter* factor_reuse = nullptr;
+  obs::Counter* structured_setups = nullptr;
+  obs::Counter* structured_solves = nullptr;
   obs::Gauge* last_primal = nullptr;
   obs::Gauge* last_dual = nullptr;
   obs::Histogram* solve_ms = nullptr;
@@ -52,6 +54,10 @@ SolverInstruments* solver_instruments(obs::MetricsRegistry* metrics) {
     cache.setups = &metrics->counter("solver.qp.setup_count");
     cache.warm_starts = &metrics->counter("solver.qp.warmstart_count");
     cache.factor_reuse = &metrics->counter("solver.qp.factorization_reuse");
+    cache.structured_setups =
+        &metrics->counter("solver.qp.structured_setups");
+    cache.structured_solves =
+        &metrics->counter("solver.qp.structured_solves");
     cache.last_primal = &metrics->gauge("solver.qp.last_primal_residual");
     cache.last_dual = &metrics->gauge("solver.qp.last_dual_residual");
     cache.solve_ms = &metrics->timing_histogram("solver.qp.solve_ms");
@@ -64,12 +70,30 @@ SolverInstruments* solver_instruments(obs::MetricsRegistry* metrics) {
 
 }  // namespace
 
+void QpSolver::Workspace::resize(std::size_t n, std::size_t m) {
+  x.assign(n, 0.0);
+  rhs.assign(n, 0.0);
+  x_tilde.assign(n, 0.0);
+  px.assign(n, 0.0);
+  aty.assign(n, 0.0);
+  chol_y.assign(n, 0.0);
+  scratch.assign(n, 0.0);
+  z.assign(m, 0.0);
+  y.assign(m, 0.0);
+  rz.assign(m, 0.0);
+  ax_tilde.assign(m, 0.0);
+  z_next.assign(m, 0.0);
+  ax.assign(m, 0.0);
+}
+
 QpStatus QpSolver::setup(QpProblem problem, QpSettings settings) {
   problem.validate();
   problem_ = std::move(problem);
   settings_ = settings;
   reset_warm_start();
   factor_used_ = false;
+  factor_.reset();
+  structured_.reset();
   ++setup_count_;
 
   SolverInstruments* inst = solver_instruments(obs::global_metrics());
@@ -81,12 +105,29 @@ QpStatus QpSolver::setup(QpProblem problem, QpSettings settings) {
     inst->factorizations->add(1);
   }
 
-  // KKT matrix K = P + sigma I + rho AᵀA, factorized once per structure.
   const std::size_t n = problem_.num_variables();
+  ws_.resize(n, problem_.num_constraints());
+
+  if (problem_.structure == QpStructure::kSmoothing) {
+    // Structured fast path: K = cI + rho LᵀL - beta 11ᵀ reduces to one
+    // tridiagonal factorization plus a rank-one correction — O(n) setup,
+    // no dense matrices formed (see structured_kkt.hpp).
+    span.field("structured", 1);
+    if (inst != nullptr) inst->structured_setups->add(1);
+    structured_ =
+        StructuredKkt::factorize(n, settings_.sigma, settings_.rho);
+    if (!structured_) {
+      span.field("status", to_string(QpStatus::kNumericalError));
+      return QpStatus::kNumericalError;
+    }
+    span.field("status", to_string(QpStatus::kSolved));
+    return QpStatus::kSolved;
+  }
+
+  // KKT matrix K = P + sigma I + rho AᵀA, factorized once per structure.
   Matrix kkt = problem_.p;
   kkt.add_diagonal(settings_.sigma);
-  const Matrix at = problem_.a.transpose();
-  const Matrix ata = at * problem_.a;
+  const Matrix ata = problem_.a.gram();
   for (std::size_t r = 0; r < n; ++r)
     for (std::size_t c = 0; c < n; ++c)
       kkt(r, c) += settings_.rho * ata(r, c);
@@ -121,7 +162,7 @@ void QpSolver::reset_warm_start() {
 
 bool QpSolver::structure_matches(const QpProblem& problem,
                                  const QpSettings& settings) const {
-  return factor_.has_value() &&
+  return is_setup() && problem.structure == problem_.structure &&
          problem.num_variables() == problem_.num_variables() &&
          problem.num_constraints() == problem_.num_constraints() &&
          settings.rho == settings_.rho && settings.sigma == settings_.sigma &&
@@ -158,7 +199,7 @@ QpResult QpSolver::solve() {
   ++solve_count_;
 
   QpResult result;
-  if (!factor_) {
+  if (!is_setup()) {
     result.status = QpStatus::kNumericalError;
     span.field("status", to_string(result.status));
     if (inst != nullptr) inst->numerical_errors->add(1);
@@ -178,9 +219,14 @@ QpResult QpSolver::solve() {
   }
   factor_used_ = true;
 
-  Vector x(n, 0.0);
-  Vector z(m, 0.0);
-  Vector y(m, 0.0);
+  const bool structured = structured_.has_value();
+  if (structured && inst != nullptr) inst->structured_solves->add(1);
+
+  // The iterate and scratch vectors live in the member workspace (sized by
+  // setup()), so the loop below never allocates — on either path.
+  Vector& x = ws_.x;
+  Vector& z = ws_.z;
+  Vector& y = ws_.y;
   const bool warm = warm_valid_ && warm_x_.size() == n &&
                     warm_y_.size() == m && warm_z_.size() == m;
   if (warm) {
@@ -195,10 +241,12 @@ QpResult QpSolver::solve() {
     if (inst != nullptr) inst->warm_starts->add(1);
   } else {
     // Cold start: z inside the bounds so the first iterations are sensible.
+    std::fill(x.begin(), x.end(), 0.0);
+    std::fill(y.begin(), y.end(), 0.0);
     for (std::size_t i = 0; i < m; ++i)
       z[i] = std::clamp(0.0, problem_.lower[i], problem_.upper[i]);
   }
-  span.field("warm", warm ? 1 : 0);
+  span.field("warm", warm ? 1 : 0).field("structured", structured ? 1 : 0);
 
   const double alpha = settings_.alpha;
   const double rho = settings_.rho;
@@ -211,52 +259,82 @@ QpResult QpSolver::solve() {
     for (std::size_t i = 0; i < m; ++i)
       v[i] = std::clamp(v[i], problem_.lower[i], problem_.upper[i]);
   };
+  // The path-dependent kernels: dense matvecs vs the implicit O(n) FS
+  // operators. Both write fully into preallocated outputs.
+  auto apply_a = [&](std::span<const double> v, std::span<double> out) {
+    if (structured)
+      fs_ops::apply_a(v, out);
+    else
+      problem_.a.times_into(v, out);
+  };
+  auto apply_at = [&](std::span<const double> v, std::span<double> out) {
+    if (structured)
+      fs_ops::apply_at(v, out);
+    else
+      problem_.a.transpose_times_into(v, out);
+  };
+  auto apply_p = [&](std::span<const double> v, std::span<double> out) {
+    if (structured)
+      fs_ops::apply_p(v, out);
+    else
+      problem_.p.times_into(v, out);
+  };
+  auto kkt_solve = [&](std::span<const double> b, std::span<double> out) {
+    if (structured)
+      structured_->solve_into(b, out, ws_.scratch);
+    else
+      factor_->solve_into(b, ws_.chol_y, out);
+  };
 
   std::size_t iter = 0;
   for (; iter < settings_.max_iterations; ++iter) {
     // rhs = sigma x - q + Aᵀ (rho z - y)
-    Vector rz(m);
+    Vector& rz = ws_.rz;
     for (std::size_t i = 0; i < m; ++i) rz[i] = rho * z[i] - y[i];
-    Vector rhs = problem_.a.transpose_times(rz);
+    Vector& rhs = ws_.rhs;
+    apply_at(rz, rhs);
     for (std::size_t i = 0; i < n; ++i)
       rhs[i] += settings_.sigma * x[i] - problem_.q[i];
 
-    const Vector x_tilde = factor_->solve(rhs);
-    const Vector ax_tilde = problem_.a * x_tilde;
+    Vector& x_tilde = ws_.x_tilde;
+    kkt_solve(rhs, x_tilde);
+    Vector& ax_tilde = ws_.ax_tilde;
+    apply_a(x_tilde, ax_tilde);
 
     // Over-relaxed updates.
     for (std::size_t i = 0; i < n; ++i)
       x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
 
-    Vector z_next(m);
+    Vector& z_next = ws_.z_next;
     for (std::size_t i = 0; i < m; ++i)
       z_next[i] = alpha * ax_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho;
     clamp_bounds(z_next);
 
     for (std::size_t i = 0; i < m; ++i)
       y[i] += rho * (alpha * ax_tilde[i] + (1.0 - alpha) * z[i] - z_next[i]);
-    z = std::move(z_next);
+    std::swap(z, z_next);
 
     if ((iter + 1) % check_interval != 0) continue;
 
     // Residuals (OSQP eq. 24-25).
-    const Vector ax = problem_.a * x;
-    const Vector px = problem_.p * x;
-    const Vector aty = problem_.a.transpose_times(y);
+    apply_a(x, ws_.ax);
+    apply_p(x, ws_.px);
+    apply_at(y, ws_.aty);
     double prim = 0.0;
     for (std::size_t i = 0; i < m; ++i)
-      prim = std::max(prim, std::abs(ax[i] - z[i]));
+      prim = std::max(prim, std::abs(ws_.ax[i] - z[i]));
     double dual = 0.0;
     for (std::size_t i = 0; i < n; ++i)
-      dual = std::max(dual, std::abs(px[i] + problem_.q[i] + aty[i]));
+      dual = std::max(dual, std::abs(ws_.px[i] + problem_.q[i] + ws_.aty[i]));
 
     const double eps_prim =
         settings_.eps_abs +
-        settings_.eps_rel * std::max(norm_inf(ax), norm_inf(z));
+        settings_.eps_rel * std::max(norm_inf(ws_.ax), norm_inf(z));
     const double eps_dual =
         settings_.eps_abs +
-        settings_.eps_rel * std::max({norm_inf(px), norm_inf(problem_.q),
-                                      norm_inf(aty)});
+        settings_.eps_rel * std::max({norm_inf(ws_.px),
+                                      norm_inf(problem_.q),
+                                      norm_inf(ws_.aty)});
     if (prim <= eps_prim && dual <= eps_dual) {
       ++iter;
       result.status = QpStatus::kSolved;
@@ -271,15 +349,15 @@ QpResult QpSolver::solve() {
   // values exist only on check iterations, so a max_iterations exit between
   // checks would otherwise report stale (or never-computed) residuals.
   {
-    const Vector ax = problem_.a * x;
-    const Vector px = problem_.p * x;
-    const Vector aty = problem_.a.transpose_times(y);
+    apply_a(x, ws_.ax);
+    apply_p(x, ws_.px);
+    apply_at(y, ws_.aty);
     double prim = 0.0;
     for (std::size_t i = 0; i < m; ++i)
-      prim = std::max(prim, std::abs(ax[i] - z[i]));
+      prim = std::max(prim, std::abs(ws_.ax[i] - z[i]));
     double dual = 0.0;
     for (std::size_t i = 0; i < n; ++i)
-      dual = std::max(dual, std::abs(px[i] + problem_.q[i] + aty[i]));
+      dual = std::max(dual, std::abs(ws_.px[i] + problem_.q[i] + ws_.aty[i]));
     result.primal_residual = prim;
     result.dual_residual = dual;
   }
@@ -292,8 +370,8 @@ QpResult QpSolver::solve() {
   warm_valid_ = true;
 
   result.iterations = iter;
-  result.x = std::move(x);
-  result.z = std::move(z);
+  result.x = x;
+  result.z = z;
   if (settings_.polish) clamp_bounds(result.z);
   result.objective = problem_.objective(result.x);
 

@@ -33,6 +33,14 @@
 // cold one; it converges in fewer iterations, to an iterate that can differ
 // from the cold result only within those tolerances.
 //
+// Structured fast path: problems tagged QpStructure::kSmoothing are set up
+// with the O(n) StructuredKkt factorization (tridiagonal + Sherman-Morrison,
+// see structured_kkt.hpp) instead of the dense O(n³) Cholesky, and the ADMM
+// loop runs the implicit O(n) FS operators in place of dense matvecs.
+// Untagged problems take the dense path unchanged. Both paths share one
+// ADMM loop and a preallocated workspace, so no heap allocation happens
+// inside the iteration loop on either path.
+//
 // Ownership: a QpSolver is single-threaded mutable state. Concurrent sweeps
 // must give each task its own instance (see runtime::SweepRunner); the TSan
 // suite asserts per-task instances are clean.
@@ -44,6 +52,7 @@
 #include "smoother/solver/cholesky.hpp"
 #include "smoother/solver/matrix.hpp"
 #include "smoother/solver/qp.hpp"
+#include "smoother/solver/structured_kkt.hpp"
 
 namespace smoother::solver {
 
@@ -83,7 +92,12 @@ class QpSolver {
   void reset_warm_start();
 
   /// True after a successful setup() (a factorization is cached).
-  [[nodiscard]] bool is_setup() const { return factor_.has_value(); }
+  [[nodiscard]] bool is_setup() const {
+    return factor_.has_value() || structured_.has_value();
+  }
+
+  /// True when the cached factorization is the structured O(n) fast path.
+  [[nodiscard]] bool structured() const { return structured_.has_value(); }
 
   /// True when the next solve() will warm-start.
   [[nodiscard]] bool warm_ready() const { return warm_valid_; }
@@ -118,6 +132,19 @@ class QpSolver {
   QpProblem problem_;
   QpSettings settings_;
   std::optional<Cholesky> factor_;
+  std::optional<StructuredKkt> structured_;
+
+  /// Preallocated per-solve/per-iteration buffers, sized once in setup() so
+  /// the ADMM loop never touches the heap. Names follow the loop variables.
+  struct Workspace {
+    // n-sized (variable space)
+    Vector x, rhs, x_tilde, px, aty, chol_y, scratch;
+    // m-sized (constraint space)
+    Vector z, y, rz, ax_tilde, z_next, ax;
+
+    void resize(std::size_t n, std::size_t m);
+  };
+  Workspace ws_;
 
   Vector warm_x_;
   Vector warm_y_;

@@ -1,0 +1,120 @@
+#include "smoother/solver/structured_kkt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace smoother::solver {
+
+namespace fs_ops {
+
+void apply_a(std::span<const double> x, std::span<double> out) {
+  const std::size_t m = x.size();
+  if (out.size() != 2 * m)
+    throw std::invalid_argument("fs_ops::apply_a: out must have 2m entries");
+  double running = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    out[i] = x[i];
+    running += x[i];
+    out[m + i] = running;
+  }
+}
+
+void apply_at(std::span<const double> y, std::span<double> out) {
+  const std::size_t m = out.size();
+  if (y.size() != 2 * m)
+    throw std::invalid_argument("fs_ops::apply_at: y must have 2m entries");
+  // (Aᵀy)_c = y_box[c] + Σ_{i >= c} y_soc[i]: one suffix-sum pass.
+  double suffix = 0.0;
+  for (std::size_t ii = m; ii-- > 0;) {
+    suffix += y[m + ii];
+    out[ii] = y[ii] + suffix;
+  }
+}
+
+void apply_p(std::span<const double> x, std::span<double> out) {
+  const std::size_t m = x.size();
+  if (out.size() != m)
+    throw std::invalid_argument("fs_ops::apply_p: size mismatch");
+  if (m == 0) return;
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  const double mean = sum / static_cast<double>(m);
+  const double scale = 2.0 / static_cast<double>(m);
+  for (std::size_t i = 0; i < m; ++i) out[i] = scale * (x[i] - mean);
+}
+
+double half_quadratic(std::span<const double> x) {
+  const std::size_t m = x.size();
+  if (m == 0) return 0.0;
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  const double mean = sum / static_cast<double>(m);
+  double acc = 0.0;
+  for (const double v : x) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(m);
+}
+
+}  // namespace fs_ops
+
+std::optional<StructuredKkt> StructuredKkt::factorize(std::size_t m,
+                                                      double sigma,
+                                                      double rho) {
+  if (m == 0) return std::nullopt;
+  const double md = static_cast<double>(m);
+  const double c = 2.0 / md + sigma + rho;
+  const double beta = 2.0 / (md * md);
+  // M = c DᵀD + rho I where D is the first-difference bidiagonal. DᵀD has
+  // diagonal 2 (except 1 in the last row) and off-diagonal -1.
+  Vector diag(m, rho + 2.0 * c);
+  diag[m - 1] = rho + c;
+  Vector off(m > 1 ? m - 1 : 0, -c);
+  auto factor = BandedCholesky::factorize(BandedMatrix::tridiagonal(diag, off));
+  if (!factor) return std::nullopt;
+
+  // w = K₀⁻¹ 1 = D M⁻¹ Dᵀ 1. The differences telescope: Dᵀ1 = e_{m-1},
+  // so one tridiagonal solve plus a first-difference pass (descending, so
+  // the update is in place) gives w.
+  Vector rhs(m, 0.0);
+  rhs[m - 1] = 1.0;
+  Vector w(m, 0.0);
+  factor->solve_into(rhs, w);
+  for (std::size_t ii = m; ii-- > 1;) w[ii] -= w[ii - 1];
+
+  double wsum = 0.0;
+  for (const double v : w) wsum += v;
+  const double denom = 1.0 - beta * wsum;
+  if (!(denom > 0.0) || !std::isfinite(denom)) return std::nullopt;
+  return StructuredKkt(m, beta, denom, std::move(*factor), std::move(w));
+}
+
+void StructuredKkt::solve_into(std::span<const double> b, std::span<double> x,
+                               std::span<double> scratch) const {
+  if (b.size() != m_ || x.size() != m_ || scratch.size() != m_)
+    throw std::invalid_argument("StructuredKkt::solve_into: size mismatch");
+  // scratch = Dᵀ b: (Dᵀb)_i = b_i - b_{i+1}, last entry b_{m-1}.
+  for (std::size_t i = 0; i + 1 < m_; ++i) scratch[i] = b[i] - b[i + 1];
+  scratch[m_ - 1] = b[m_ - 1];
+  // x = M⁻¹ scratch (tridiagonal solve), then x = D x (first differences,
+  // descending so it is in place): x0 = K₀⁻¹ b.
+  factor_.solve_into(scratch, x);
+  for (std::size_t ii = m_; ii-- > 1;) x[ii] -= x[ii - 1];
+  // Sherman-Morrison rank-one correction for the -beta 1 1ᵀ term:
+  // K⁻¹b = x0 + beta (1ᵀx0) / denom · w.
+  double xsum = 0.0;
+  for (const double v : x) xsum += v;
+  const double gamma = beta_ * xsum / denom_;
+  for (std::size_t i = 0; i < m_; ++i) x[i] += gamma * w_[i];
+}
+
+Vector StructuredKkt::solve(std::span<const double> b) const {
+  Vector x(m_, 0.0);
+  Vector scratch(m_, 0.0);
+  solve_into(b, x, scratch);
+  return x;
+}
+
+}  // namespace smoother::solver

@@ -1,0 +1,110 @@
+// Structure-exploiting kernels for the Flexible Smoothing QP.
+//
+// Every FS interval (paper Eq. 8-11) has the same algebraic shape for
+// horizon length m:
+//
+//   P = (2/m) (I - (1/m) 1 1ᵀ)      rank-one-corrected scaled identity
+//   A = [ I ; L ]                    identity box rows stacked on the
+//                                    lower-triangular all-ones prefix-sum
+//                                    block L (the SoC corridor rows)
+//
+// which makes every dense operation of the ADMM loop replaceable by an
+// O(m) implicit one:
+//
+//   A x   = [ x ; prefix-sums of x ]
+//   Aᵀ y  = y_box + suffix-sums of y_soc
+//   P x   = (2/m) (x - mean(x))
+//
+// and reduces the KKT matrix to tridiagonal-plus-rank-one. With
+// c = 2/m + sigma + rho and beta = 2/m²:
+//
+//   K = P + sigma I + rho AᵀA
+//     = c I + rho LᵀL - beta 1 1ᵀ
+//
+// The prefix-sum operator L is inverted by the first-difference operator
+// D = L⁻¹ (bidiagonal: +1 diagonal, -1 subdiagonal), which gives the
+// congruence
+//
+//   c I + rho LᵀL = Lᵀ (c DᵀD + rho I) L,      M := c DᵀD + rho I
+//
+// where M is tridiagonal SPD (DᵀD is the second-difference Laplacian).
+// Hence K₀⁻¹ b = D · M⁻¹ · Dᵀ b — two O(m) difference passes around one
+// O(m) tridiagonal solve — and the rank-one term folds in by
+// Sherman-Morrison with w = K₀⁻¹ 1 precomputed at setup:
+//
+//   K⁻¹ b = K₀⁻¹ b + beta (1ᵀ K₀⁻¹ b) / (1 - beta 1ᵀ w) · w
+//
+// Setup is O(m) (one tridiagonal factorization + one solve for w) and each
+// application is O(m) with zero allocations, versus O(m³)/O(m²) for the
+// dense path. See DESIGN.md §4g for the derivation and fallback rules.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "smoother/solver/banded.hpp"
+#include "smoother/solver/matrix.hpp"
+
+namespace smoother::solver {
+
+/// Implicit operators of the FS constraint/objective structure. All are
+/// O(m), allocation-free, and require out.size() to match the documented
+/// shape (std::invalid_argument otherwise). x and out must not alias.
+namespace fs_ops {
+
+/// out = A x = [ x ; prefix-sums of x ]; out.size() == 2 * x.size().
+void apply_a(std::span<const double> x, std::span<double> out);
+
+/// out = Aᵀ y = y[0..m) + suffix-sums of y[m..2m); out.size() == y.size()/2.
+void apply_at(std::span<const double> y, std::span<double> out);
+
+/// out = P x = (2/m) (x - mean(x)); out.size() == x.size().
+void apply_p(std::span<const double> x, std::span<double> out);
+
+/// 0.5 xᵀ P x = population variance of x (the FS objective's quadratic
+/// part) — O(m), no matrix.
+[[nodiscard]] double half_quadratic(std::span<const double> x);
+
+}  // namespace fs_ops
+
+/// Structured factorization of the FS KKT matrix
+/// K = (2/m + sigma + rho) I + rho LᵀL - (2/m²) 1 1ᵀ: one tridiagonal
+/// Cholesky factor plus the Sherman-Morrison rank-one state. O(m) setup,
+/// O(m) allocation-free solves.
+class StructuredKkt {
+ public:
+  /// Factorizes the KKT system for horizon length m under (sigma, rho).
+  /// std::nullopt when the system is not numerically positive definite
+  /// (tridiagonal pivot failure or a non-positive Sherman-Morrison
+  /// denominator) — the same contract as the dense Cholesky.
+  static std::optional<StructuredKkt> factorize(std::size_t m, double sigma,
+                                                double rho);
+
+  /// x = K⁻¹ b. scratch must have m entries; b, x and scratch must be
+  /// pairwise non-aliasing. Zero allocations.
+  void solve_into(std::span<const double> b, std::span<double> x,
+                  std::span<double> scratch) const;
+
+  /// Allocating convenience (tests/diagnostics).
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t dimension() const { return m_; }
+
+ private:
+  StructuredKkt(std::size_t m, double beta, double denom,
+                BandedCholesky factor, Vector w)
+      : m_(m),
+        beta_(beta),
+        denom_(denom),
+        factor_(std::move(factor)),
+        w_(std::move(w)) {}
+
+  std::size_t m_;
+  double beta_;   ///< rank-one weight 2/m²
+  double denom_;  ///< Sherman-Morrison denominator 1 - beta 1ᵀw
+  BandedCholesky factor_;  ///< tridiagonal factor of M = c DᵀD + rho I
+  Vector w_;               ///< K₀⁻¹ 1
+};
+
+}  // namespace smoother::solver

@@ -1,0 +1,156 @@
+#include "smoother/solver/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "smoother/solver/cholesky.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::solver {
+namespace {
+
+/// Random symmetric positive-definite matrix with the given bandwidth:
+/// random entries inside the band plus a diagonal shift that guarantees
+/// strict diagonal dominance.
+BandedMatrix random_spd_banded(std::size_t n, std::size_t w,
+                               std::uint64_t seed) {
+  util::Rng rng(seed);
+  BandedMatrix a(n, w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i < w ? 0 : i - w; j <= i; ++j)
+      a.entry(i, j) = rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i)
+    a.entry(i, i) = std::abs(a(i, i)) + 2.0 * static_cast<double>(w + 1);
+  return a;
+}
+
+TEST(BandedMatrix, AccessorsAndSymmetry) {
+  BandedMatrix a(4, 1);
+  a.entry(0, 0) = 2.0;
+  a.entry(1, 0) = -1.0;
+  a.entry(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), -1.0);  // symmetric read
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.0);   // outside the band
+  EXPECT_DOUBLE_EQ(a(3, 0), 0.0);
+  EXPECT_THROW(a.entry(0, 1), std::out_of_range);  // upper triangle
+  EXPECT_THROW(a.entry(2, 0), std::out_of_range);  // outside the band
+  EXPECT_THROW((void)a(4, 0), std::out_of_range);
+  EXPECT_THROW(BandedMatrix(3, 3), std::invalid_argument);
+}
+
+TEST(BandedMatrix, TridiagonalBuilder) {
+  const Vector diag{2.0, 2.0, 2.0};
+  const Vector off{-1.0, -1.0};
+  const BandedMatrix a = BandedMatrix::tridiagonal(diag, off);
+  EXPECT_EQ(a.dimension(), 3u);
+  EXPECT_EQ(a.bandwidth(), 1u);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.0);
+  const Vector empty;
+  EXPECT_THROW(BandedMatrix::tridiagonal(empty, empty),
+               std::invalid_argument);
+  const Vector short_off{-1.0};
+  EXPECT_THROW(BandedMatrix::tridiagonal(diag, short_off),
+               std::invalid_argument);
+}
+
+TEST(BandedMatrix, DenseRoundTrip) {
+  const BandedMatrix a = random_spd_banded(7, 2, 42);
+  const Matrix dense = a.to_dense();
+  const BandedMatrix back = BandedMatrix::from_dense(dense, 2);
+  EXPECT_DOUBLE_EQ(back.to_dense().max_abs_diff(dense), 0.0);
+  // A too-small bandwidth must refuse, never silently truncate.
+  EXPECT_THROW(BandedMatrix::from_dense(dense, 1), std::invalid_argument);
+}
+
+TEST(BandedMatrix, MatvecMatchesDense) {
+  for (const std::size_t w : {0u, 1u, 3u}) {
+    const std::size_t n = 9;
+    const BandedMatrix a = random_spd_banded(n, w, 7 + w);
+    const Matrix dense = a.to_dense();
+    util::Rng rng(99);
+    Vector x(n);
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    const Vector got = a * x;
+    const Vector want = dense * x;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-12);
+  }
+}
+
+TEST(BandedCholesky, MatchesDenseFactorizationOnRandomSpdBands) {
+  for (const std::size_t w : {0u, 1u, 2u, 4u}) {
+    for (const std::size_t n : {1u, 2u, 5u, 12u, 30u}) {
+      if (w >= n) continue;
+      const BandedMatrix a = random_spd_banded(n, w, 1000 + 10 * n + w);
+      const auto banded = BandedCholesky::factorize(a);
+      ASSERT_TRUE(banded.has_value()) << "n=" << n << " w=" << w;
+      const auto dense = Cholesky::factorize(a.to_dense());
+      ASSERT_TRUE(dense.has_value());
+      // Same factor (unique for SPD matrices) ...
+      EXPECT_LT(banded->lower_dense().max_abs_diff(dense->lower()), 1e-10)
+          << "n=" << n << " w=" << w;
+      // ... and the same solutions.
+      util::Rng rng(5 + n);
+      Vector b(n);
+      for (double& v : b) v = rng.uniform(-10.0, 10.0);
+      const Vector xb = banded->solve(b);
+      const Vector xd = dense->solve(b);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xb[i], xd[i], 1e-10);
+      // Residual check closes the loop independently of the dense factor.
+      const Vector ax = a * xb;
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+    }
+  }
+}
+
+TEST(BandedCholesky, ThomasStyleTridiagonalSolve) {
+  // The FS KKT reduction's exact shape: tridiagonal SPD, bandwidth 1.
+  const std::size_t n = 288;
+  Vector diag(n, 4.0);
+  Vector off(n - 1, -1.0);
+  const BandedMatrix a = BandedMatrix::tridiagonal(diag, off);
+  const auto chol = BandedCholesky::factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  util::Rng rng(3);
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-1.0, 1.0);
+  const Vector x = chol->solve(b);
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(BandedCholesky, SolveIntoMatchesSolve) {
+  const BandedMatrix a = random_spd_banded(15, 2, 77);
+  const auto chol = BandedCholesky::factorize(a);
+  ASSERT_TRUE(chol.has_value());
+  util::Rng rng(8);
+  Vector b(15);
+  for (double& v : b) v = rng.uniform(-4.0, 4.0);
+  const Vector x = chol->solve(b);
+  Vector x2(15, 0.0);
+  chol->solve_into(b, x2);
+  EXPECT_EQ(x, x2);
+}
+
+TEST(BandedCholesky, RejectsNonPositiveDefinite) {
+  // Indefinite: negative diagonal.
+  Vector diag{1.0, -2.0, 1.0};
+  Vector off{0.0, 0.0};
+  EXPECT_FALSE(
+      BandedCholesky::factorize(BandedMatrix::tridiagonal(diag, off))
+          .has_value());
+  // Singular: a zero row/column.
+  Vector diag2{1.0, 0.0, 1.0};
+  EXPECT_FALSE(
+      BandedCholesky::factorize(BandedMatrix::tridiagonal(diag2, off))
+          .has_value());
+}
+
+}  // namespace
+}  // namespace smoother::solver

@@ -1,0 +1,348 @@
+#include "smoother/solver/structured_kkt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+
+#include "smoother/runtime/sweep_runner.hpp"
+#include "smoother/solver/cholesky.hpp"
+#include "smoother/solver/qp.hpp"
+#include "smoother/solver/qp_solver.hpp"
+#include "smoother/util/rng.hpp"
+
+// Binary-wide allocation counter for the zero-allocation-per-iteration
+// assertions (SolverWorkspace suite). Counting every successful operator
+// new is enough: the test compares totals between runs that differ only in
+// ADMM iteration count.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace smoother::solver {
+namespace {
+
+/// Dense FS constraint matrix A = [I ; L] for horizon m.
+Matrix dense_fs_a(std::size_t m) {
+  Matrix a(2 * m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    a(i, i) = 1.0;
+    for (std::size_t t = 0; t <= i; ++t) a(m + i, t) = 1.0;
+  }
+  return a;
+}
+
+/// Dense KKT matrix K = P + sigma I + rho AᵀA for the FS structure.
+Matrix dense_fs_kkt(std::size_t m, double sigma, double rho) {
+  Matrix kkt = variance_quadratic_form(m);
+  kkt.add_diagonal(sigma);
+  const Matrix ata = dense_fs_a(m).gram();
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < m; ++c) kkt(r, c) += rho * ata(r, c);
+  return kkt;
+}
+
+struct FsShape {
+  Vector u;
+  double charge_cap = 0.0;
+  double discharge_cap = 0.0;
+  double cum_lower = 0.0;
+  double cum_upper = 0.0;
+};
+
+FsShape random_fs_shape(std::size_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  FsShape s;
+  s.u.resize(m);
+  for (double& v : s.u) v = rng.uniform(0.0, 40.0);
+  s.charge_cap = rng.uniform(5.0, 50.0);
+  s.discharge_cap = rng.uniform(5.0, 50.0);
+  const double half_corridor = rng.uniform(10.0, 200.0);
+  s.cum_lower = -half_corridor;
+  s.cum_upper = rng.uniform(5.0, half_corridor);
+  return s;
+}
+
+/// FS problem in the dense untagged form (the control arm).
+QpProblem dense_problem(const FsShape& s) {
+  const std::size_t m = s.u.size();
+  QpProblem p;
+  p.p = variance_quadratic_form(m);
+  p.q = p.p * s.u;
+  p.a = dense_fs_a(m);
+  p.lower.assign(2 * m, 0.0);
+  p.upper.assign(2 * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    p.lower[i] = -std::min(s.u[i], s.charge_cap);
+    p.upper[i] = s.discharge_cap;
+    p.lower[m + i] = s.cum_lower;
+    p.upper[m + i] = s.cum_upper;
+  }
+  return p;
+}
+
+/// The same FS problem tagged kSmoothing: no materialized P/A, centered q.
+QpProblem structured_problem(const FsShape& s) {
+  QpProblem p = dense_problem(s);
+  const std::size_t m = s.u.size();
+  p.structure = QpStructure::kSmoothing;
+  p.p = Matrix();
+  p.a = Matrix();
+  double u_sum = 0.0;
+  for (const double v : s.u) u_sum += v;
+  const double u_mean = u_sum / static_cast<double>(m);
+  for (std::size_t i = 0; i < m; ++i)
+    p.q[i] = 2.0 / static_cast<double>(m) * (s.u[i] - u_mean);
+  return p;
+}
+
+TEST(StructuredKkt, SolveMatchesDenseKktInverse) {
+  for (const std::size_t m : {2u, 3u, 12u, 77u}) {
+    const double sigma = 1e-6;
+    const double rho = 0.1;
+    const auto structured = StructuredKkt::factorize(m, sigma, rho);
+    ASSERT_TRUE(structured.has_value()) << "m=" << m;
+    EXPECT_EQ(structured->dimension(), m);
+    const auto dense = Cholesky::factorize(dense_fs_kkt(m, sigma, rho));
+    ASSERT_TRUE(dense.has_value());
+    util::Rng rng(13 + m);
+    Vector b(m);
+    for (double& v : b) v = rng.uniform(-10.0, 10.0);
+    const Vector xs = structured->solve(b);
+    const Vector xd = dense->solve(b);
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(xs[i], xd[i], 1e-9) << "m=" << m << " i=" << i;
+  }
+}
+
+TEST(StructuredKkt, SolveIntoMatchesSolveAndChecksSizes) {
+  const auto k = StructuredKkt::factorize(12, 1e-6, 0.1);
+  ASSERT_TRUE(k.has_value());
+  util::Rng rng(2);
+  Vector b(12);
+  for (double& v : b) v = rng.uniform(-5.0, 5.0);
+  const Vector x = k->solve(b);
+  Vector x2(12, 0.0);
+  Vector scratch(12, 0.0);
+  k->solve_into(b, x2, scratch);
+  EXPECT_EQ(x, x2);
+  Vector wrong(11, 0.0);
+  EXPECT_THROW(k->solve_into(b, wrong, scratch), std::invalid_argument);
+}
+
+TEST(StructuredKkt, RejectsNonPositiveDefiniteSystems) {
+  // A strongly negative sigma drives c (and the tridiagonal pivots) below
+  // zero — the structured factorization must fail exactly like the dense
+  // Cholesky does.
+  EXPECT_FALSE(StructuredKkt::factorize(12, -1e3, 0.1).has_value());
+  EXPECT_FALSE(StructuredKkt::factorize(0, 1e-6, 0.1).has_value());
+  EXPECT_FALSE(
+      Cholesky::factorize(dense_fs_kkt(12, -1e3, 0.1)).has_value());
+}
+
+TEST(FsOps, ImplicitOperatorsMatchDenseProducts) {
+  for (const std::size_t m : {1u, 2u, 12u, 50u}) {
+    const Matrix a = dense_fs_a(m);
+    const Matrix p = variance_quadratic_form(m);
+    util::Rng rng(21 + m);
+    Vector x(m);
+    for (double& v : x) v = rng.uniform(-20.0, 20.0);
+    Vector y(2 * m);
+    for (double& v : y) v = rng.uniform(-20.0, 20.0);
+
+    Vector ax(2 * m, 0.0);
+    fs_ops::apply_a(x, ax);
+    const Vector ax_dense = a * x;
+    for (std::size_t i = 0; i < 2 * m; ++i)
+      EXPECT_NEAR(ax[i], ax_dense[i], 1e-10);
+
+    Vector aty(m, 0.0);
+    fs_ops::apply_at(y, aty);
+    const Vector aty_dense = a.transpose_times(y);
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(aty[i], aty_dense[i], 1e-10);
+
+    Vector px(m, 0.0);
+    fs_ops::apply_p(x, px);
+    const Vector px_dense = p * x;
+    for (std::size_t i = 0; i < m; ++i)
+      EXPECT_NEAR(px[i], px_dense[i], 1e-10);
+
+    const Vector px2 = p * x;
+    EXPECT_NEAR(fs_ops::half_quadratic(x), 0.5 * dot(x, px2), 1e-9);
+  }
+}
+
+TEST(StructuredQpProblem, ValidateAndImplicitEvaluators) {
+  const FsShape s = random_fs_shape(12, 9);
+  QpProblem tagged = structured_problem(s);
+  EXPECT_NO_THROW(tagged.validate());
+  // Wrong row count for the tag.
+  QpProblem bad = tagged;
+  bad.lower.resize(12);
+  bad.upper.resize(12);
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  // Materialized matrices must be full-shape or absent.
+  QpProblem half = tagged;
+  half.p = Matrix::identity(3);
+  EXPECT_THROW(half.validate(), std::invalid_argument);
+
+  // Implicit objective/violation agree with the dense evaluators.
+  const QpProblem dense = dense_problem(s);
+  util::Rng rng(33);
+  Vector x(12);
+  for (double& v : x) v = rng.uniform(-10.0, 10.0);
+  // Same q for an apples-to-apples objective comparison.
+  QpProblem tagged_same_q = tagged;
+  tagged_same_q.q = dense.q;
+  EXPECT_NEAR(tagged_same_q.objective(x), dense.objective(x), 1e-9);
+  EXPECT_NEAR(tagged.constraint_violation(x), dense.constraint_violation(x),
+              1e-9);
+}
+
+TEST(StructuredQpDifferential, FiftyRandomIntervalsMatchDenseWithinTolerance) {
+  QpSettings settings;  // defaults: eps 1e-6, polish on
+  std::size_t solved = 0;
+  for (std::size_t trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 4 + (trial % 5) * 11;  // 4..48
+    const FsShape s = random_fs_shape(m, 1000 + trial);
+    const QpResult rd = solve_qp(dense_problem(s), settings);
+    const QpResult rs = solve_qp(structured_problem(s), settings);
+
+    ASSERT_EQ(rs.status, rd.status) << "trial " << trial;
+    if (rs.status != QpStatus::kSolved) continue;
+    ++solved;
+    // Two eps-accurate optima of the same convex program: objectives agree
+    // to solver tolerance (the variance objective is invariant along the
+    // all-ones null direction, so objective agreement is the meaningful
+    // uniqueness check).
+    EXPECT_NEAR(rs.objective, rd.objective,
+                1e-5 * std::max(1.0, std::abs(rd.objective)))
+        << "trial " << trial;
+    // Both iterates satisfy the constraints to tolerance.
+    const QpProblem check = dense_problem(s);
+    EXPECT_LE(check.constraint_violation(rs.x), 1e-5) << "trial " << trial;
+    EXPECT_LE(check.constraint_violation(rd.x), 1e-5) << "trial " << trial;
+    // Both residual pairs are under the same convergence tolerances the
+    // solver reports convergence with.
+    EXPECT_LE(rs.primal_residual, settings.eps_abs + settings.eps_rel * 1e3);
+    EXPECT_LE(rd.primal_residual, settings.eps_abs + settings.eps_rel * 1e3);
+    EXPECT_TRUE(std::isfinite(rs.dual_residual));
+    EXPECT_TRUE(std::isfinite(rd.dual_residual));
+  }
+  // The family is built to be solvable; a mass of non-converged trials
+  // would make the comparison vacuous.
+  EXPECT_GE(solved, 45u);
+}
+
+TEST(StructuredQpSolver, TaggedSetupTakesStructuredPath) {
+  const FsShape s = random_fs_shape(24, 4);
+  QpSolver solver;
+  ASSERT_EQ(solver.setup(structured_problem(s)), QpStatus::kSolved);
+  EXPECT_TRUE(solver.is_setup());
+  EXPECT_TRUE(solver.structured());
+  const QpResult r = solver.solve();
+  EXPECT_EQ(r.status, QpStatus::kSolved);
+
+  // An untagged problem re-setups onto the dense path.
+  ASSERT_EQ(solver.setup(dense_problem(s)), QpStatus::kSolved);
+  EXPECT_FALSE(solver.structured());
+  const QpResult rd = solver.solve();
+  EXPECT_EQ(rd.status, QpStatus::kSolved);
+  EXPECT_NEAR(rd.objective, r.objective,
+              1e-5 * std::max(1.0, std::abs(rd.objective)));
+}
+
+TEST(StructuredQpSolver, StructuredFactorizationFailureSurfacesStatus) {
+  QpSettings bad;
+  bad.sigma = -1e3;
+  QpSolver solver;
+  EXPECT_EQ(solver.setup(structured_problem(random_fs_shape(12, 6)), bad),
+            QpStatus::kNumericalError);
+  EXPECT_FALSE(solver.is_setup());
+  EXPECT_EQ(solver.solve().status, QpStatus::kNumericalError);
+}
+
+/// Allocations during one solve() with every knob fixed except the
+/// iteration budget (eps = 0 forces exactly max_iterations iterations).
+std::size_t allocations_for_iterations(QpSolver& solver,
+                                       const QpProblem& problem,
+                                       std::size_t iterations) {
+  QpSettings settings;
+  settings.eps_abs = 0.0;
+  settings.eps_rel = 0.0;
+  settings.max_iterations = iterations;
+  solver.reset_warm_start();
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const QpResult r = solver.solve(problem, settings);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(r.status, QpStatus::kMaxIterations);
+  EXPECT_EQ(r.iterations, iterations);
+  return after - before;
+}
+
+TEST(SolverWorkspace, ZeroAllocationsPerIterationOnBothPaths) {
+  const FsShape s = random_fs_shape(24, 11);
+  for (const bool structured : {false, true}) {
+    const QpProblem problem =
+        structured ? structured_problem(s) : dense_problem(s);
+    QpSolver solver;
+    ASSERT_EQ(solver.setup(problem), QpStatus::kSolved);
+    // Warm up so one-time buffers (warm stash, result capacity) exist...
+    (void)allocations_for_iterations(solver, problem, 10);
+    // ...then the allocation count must not depend on the iteration count:
+    // everything inside the ADMM loop lives in the member workspace.
+    const std::size_t short_run =
+        allocations_for_iterations(solver, problem, 50);
+    const std::size_t long_run =
+        allocations_for_iterations(solver, problem, 200);
+    EXPECT_EQ(short_run, long_run)
+        << (structured ? "structured" : "dense")
+        << " path allocates inside the iteration loop";
+  }
+}
+
+TEST(StructuredQpConcurrency, PerTaskSolversAreRaceFreeAndDeterministic) {
+  // Structured solvers inside SweepRunner tasks, mirroring how parallel
+  // sweeps drive FS plans: one instance per task, serial == parallel.
+  const auto sweep = [](std::size_t threads) {
+    runtime::SweepRunner runner(
+        runtime::SweepOptions{threads, 0, "structured-qp"});
+    return runner.run(16, [](runtime::TaskContext& ctx) {
+      QpSolver solver;
+      QpSettings settings;
+      settings.check_interval = 1;
+      double acc = 0.0;
+      for (std::uint64_t interval = 0; interval < 4; ++interval) {
+        const FsShape s =
+            random_fs_shape(24, 500 + 10 * ctx.index + interval);
+        const QpResult r = solver.solve(structured_problem(s), settings);
+        acc += r.objective + static_cast<double>(r.iterations);
+      }
+      return acc;
+    });
+  };
+  const auto serial = sweep(1);
+  const auto parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial[i].value, parallel[i].value) << "task " << i;
+}
+
+}  // namespace
+}  // namespace smoother::solver

@@ -14,9 +14,13 @@ contract), so the ctest smoke targets fail when an exporter regresses.
 Usage:
     check_metrics_json.py FILE [--require-span NAME]... \
         [--require-counter NAME]...
+
+NAME accepts fnmatch globs (e.g. 'solver.qp.structured_*'), which require at
+least one matching span/counter; plain names keep exact-match semantics.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -145,11 +149,14 @@ def main():
     span_names = check_trace(doc["trace"])
 
     for name in args.require_span:
-        expect(name in span_names,
+        expect(any(fnmatch.fnmatchcase(span, name) for span in span_names),
                f"required span {name!r} absent (saw {sorted(span_names)})")
     for name in args.require_counter:
-        expect(metrics["counters"].get(name, 0) > 0,
-               f"required counter {name!r} absent or zero")
+        matches = [value for counter, value in metrics["counters"].items()
+                   if fnmatch.fnmatchcase(counter, name)]
+        expect(any(value > 0 for value in matches),
+               f"required counter {name!r} absent or zero "
+               f"(saw {sorted(metrics['counters'])})")
 
     print(f"check_metrics_json: OK: {args.file} "
           f"({len(metrics['counters'])} counters, "

@@ -3,10 +3,12 @@
 #
 #   1. ASan+UBSan (build-asan/): the resilience acceptance gate — the
 #      >=10k-interval mixed-fault soak and friends must run clean — plus
-#      the obs exporter/trace tests.
+#      the obs exporter/trace tests and the structured-KKT/banded-Cholesky
+#      numerics (span-heavy code, worth the bounds checking).
 #   2. TSan (build-tsan/): the concurrency surface — obs recording from
 #      pool workers, the work-stealing ThreadPool, SweepRunner, and
-#      per-task QpSolver instances on sweep workers.
+#      per-task QpSolver instances (dense and structured paths) on sweep
+#      workers.
 #
 # By default each phase runs its focused subset, which keeps the loop
 # fast; pass --full to run the whole suite under both.
@@ -17,8 +19,8 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs"
-tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp"
+asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace"
+tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured"
 if [[ "${1:-}" == "--full" ]]; then
   asan_filter=""
   tsan_filter=""

@@ -74,10 +74,9 @@ struct CellResult {
   bool push_threw = false;
 };
 
-CellResult run_cell(const util::TimeSeries& supply, std::size_t kind,
-                    double rate) {
-  resilience::FaultInjector injector(
-      faults_for(kind, rate), kSeedWind + kind);
+CellResult run_cell(const util::TimeSeries& supply, std::uint64_t seed,
+                    std::size_t kind, double rate) {
+  resilience::FaultInjector injector(faults_for(kind, rate), seed + kind);
 
   core::OnlineSmootherConfig config;
   config.rated_power = util::Kilowatts{800.0};
@@ -136,19 +135,20 @@ CellResult run_cell(const util::TimeSeries& supply, std::size_t kind,
 }
 
 std::vector<runtime::SweepResult<CellResult>> run_sweep(
-    const util::TimeSeries& supply, const std::vector<double>& rates,
-    std::size_t threads) {
+    const util::TimeSeries& supply, std::uint64_t seed,
+    const std::vector<double>& rates, std::size_t threads) {
   runtime::ParamGrid grid;
   std::vector<double> kind_axis;
   for (std::size_t k = 0; k < kKindCount; ++k)
     kind_axis.push_back(static_cast<double>(k));
   grid.axis("kind", kind_axis).axis("rate", rates);
   runtime::SweepRunner runner(
-      runtime::SweepOptions{threads, 0, "ext-fault-injection"});
+      runtime::SweepOptions{threads, seed, "ext-fault-injection"});
   return runner.run_grid(
-      grid, [&supply](const runtime::ParamGrid::Point& point,
-                      runtime::TaskContext&) {
-        return run_cell(supply, static_cast<std::size_t>(point["kind"]),
+      grid, [&supply, seed](const runtime::ParamGrid::Point& point,
+                            runtime::TaskContext&) {
+        return run_cell(supply, seed,
+                        static_cast<std::size_t>(point["kind"]),
                         point["rate"]);
       });
 }
@@ -167,6 +167,7 @@ std::string digest(const std::vector<runtime::SweepResult<CellResult>>& grid) {
 int main(int argc, char** argv) {
   const smoother::bench::Harness harness(argc, argv);
   const std::size_t threads = harness.threads();
+  const std::uint64_t seed = harness.seed_or(kSeedWind);
   sim::print_experiment_header(
       std::cout, "ext: fault injection",
       "online-middleware fallback behaviour under injected faults "
@@ -174,10 +175,10 @@ int main(int argc, char** argv) {
 
   const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
   const auto supply = power::TurbineCurve::enercon_e48().power_series(
-      model.generate(kWeek, util::kFiveMinutes, kSeedWind));
+      model.generate(kWeek, util::kFiveMinutes, seed));
 
   const std::vector<double> rates = {0.0, 0.02, 0.05, 0.1, 0.2, 0.4};
-  const auto results = run_sweep(supply, rates, threads);
+  const auto results = run_sweep(supply, seed, rates, threads);
 
   sim::TablePrinter table({"kind", "rate", "intervals", "fallbacks",
                            "fallback_rate", "injected", "detected_samples",
@@ -204,7 +205,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   // Determinism: the grid must be byte-identical serial vs parallel.
-  const auto serial = run_sweep(supply, rates, 1);
+  const auto serial = run_sweep(supply, seed, rates, 1);
   const bool deterministic = digest(results) == digest(serial);
 
   std::cout << "\ninvariants: zero-rate clean: "
@@ -217,7 +218,7 @@ int main(int argc, char** argv) {
   std::ostringstream json;
   json << "{\n  \"bench\": \"ext_fault_injection\",\n"
        << "  \"supply\": \"texas_10 week, enercon_e48, seed "
-       << kSeedWind << "\",\n"
+       << seed << "\",\n"
        << "  \"zero_rate_clean\": " << (zero_rate_clean ? "true" : "false")
        << ",\n  \"monotone\": " << (monotone ? "true" : "false")
        << ",\n  \"no_throws\": " << (no_throws ? "true" : "false")

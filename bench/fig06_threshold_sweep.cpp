@@ -16,13 +16,14 @@ int main(int argc, char** argv) {
   using namespace smoother::bench;
   const smoother::bench::Harness harness(argc, argv);
   const std::size_t threads = harness.threads();
+  const std::uint64_t seed = harness.seed_or(kSeedWind);
   sim::print_experiment_header(
       std::cout, "Fig. 6",
       "threshold sweep: switching times and required battery rate vs CDF");
 
   const auto scenario = sim::make_web_scenario(
       trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
-      kCapacitySmall, kWeek, kSeedWind);
+      kCapacitySmall, kWeek, seed);
 
   const std::size_t raw_switches =
       sim::dispatch(scenario.supply, scenario.demand,
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   // shared read-only), so they run on the work-stealing pool; ordered
   // collection keeps the printed table identical for every --threads.
   runtime::SweepRunner runner(
-      runtime::SweepOptions{threads, 0, "fig06-threshold-sweep"});
+      runtime::SweepOptions{threads, seed, "fig06-threshold-sweep"});
 
   sim::TablePrinter table({"cdf_level", "wo_smooth_switches",
                            "w_smooth_switches", "battery_maxvol_kw",

@@ -14,6 +14,12 @@
 //                     the flag no registry/tracer is installed and every
 //                     instrumentation site is a single relaxed null-check —
 //                     the figure outputs are byte-identical either way.
+//   --seed N          override the binary's base experiment seed. Absent,
+//                     every binary keeps its fixed built-in seed (so the
+//                     checked-in figures stay byte-identical run to run);
+//                     present, it reseeds the stochastic inputs — the dsim
+//                     fuzz campaigns and sweep benches use it to explore
+//                     fresh seed universes without recompiling.
 //
 // The harness also centralizes the experiment constants (seeds, installed
 // capacities) behind accessors and exposes the output sink the binaries
@@ -90,6 +96,15 @@ class Harness {
   /// --threads value (0 = one worker per hardware thread, 1 = serial).
   [[nodiscard]] std::size_t threads() const { return threads_; }
 
+  /// True when --seed was passed on the command line.
+  [[nodiscard]] bool has_seed() const { return seed_.has_value(); }
+
+  /// The --seed value, or `fallback` (the binary's fixed built-in seed)
+  /// when the flag is absent.
+  [[nodiscard]] std::uint64_t seed_or(std::uint64_t fallback) const {
+    return seed_.value_or(fallback);
+  }
+
   /// The shared experiment seeds.
   [[nodiscard]] static constexpr Seeds seeds() { return Seeds{}; }
 
@@ -133,12 +148,18 @@ class Harness {
                       "write collected obs metrics + trace to FILE as JSON "
                       "(empty = observability off)",
                       "");
+    parser.add_option("seed",
+                      "override the base experiment seed (empty = the "
+                      "binary's fixed built-in seed)",
+                      "");
     try {
       const auto parsed =
           parser.parse(std::vector<std::string>(argv + 1, argv + argc));
       threads_ =
           static_cast<std::size_t>(parsed.unsigned_integer("threads"));
       metrics_path_ = parsed.get("metrics-out");
+      if (!parsed.get("seed").empty())
+        seed_ = parsed.unsigned_integer("seed");
     } catch (const util::ArgError& error) {
       std::cerr << error.what() << "\n" << parser.usage();
       std::exit(2);
@@ -173,6 +194,8 @@ class Harness {
             value.c_str(), nullptr, 10));
       } else if (value_of("--metrics-out", value)) {
         metrics_path_ = value;
+      } else if (value_of("--seed", value)) {
+        seed_ = std::strtoull(value.c_str(), nullptr, 10);
       } else {
         argv[write++] = argv[read];
       }
@@ -197,6 +220,7 @@ class Harness {
 
   std::string program_;
   std::size_t threads_ = 0;
+  std::optional<std::uint64_t> seed_;
   std::string metrics_path_;
   std::ostream* out_ = &std::cout;
   std::optional<obs::MetricsRegistry> registry_;

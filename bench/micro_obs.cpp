@@ -113,7 +113,7 @@ int main(int argc, char** argv) {
 
   const auto scenario = sim::make_web_scenario(
       trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
-      kCapacitySmall, kWeek, kSeedWind);
+      kCapacitySmall, kWeek, harness.seed_or(kSeedWind));
 
   constexpr int kReps = 5;
   const std::size_t threads = harness.threads();

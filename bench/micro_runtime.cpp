@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
 
   const auto scenario = sim::make_web_scenario(
       trace::WebWorkloadPresets::nasa(), trace::WindSitePresets::texas_10(),
-      kCapacitySmall, kWeek, kSeedWind);
+      kCapacitySmall, kWeek, harness.seed_or(kSeedWind));
 
   const std::vector<std::size_t> ladder = {1, 2, 4, 8};
 

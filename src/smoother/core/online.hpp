@@ -221,6 +221,15 @@ class OnlineSmoother {
 
   [[nodiscard]] const battery::Battery& battery() const { return battery_; }
 
+  /// Aggregate solver-cache lifecycle counters of the planning engine
+  /// (setups, solves, warm starts, factorization reuse). The degraded-mode
+  /// recovery contract — the first post-recovery plan cold-starts, later
+  /// ones warm-start again — is pinned through these counters by
+  /// test_online and observed by the dsim harness.
+  [[nodiscard]] SolverCacheStats solver_cache_stats() const {
+    return smoothing_.solver_cache_stats();
+  }
+
  private:
   enum class Mode { kNormal, kDegraded };
 

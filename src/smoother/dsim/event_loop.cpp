@@ -1,0 +1,92 @@
+#include "smoother/dsim/event_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::dsim {
+
+namespace {
+constexpr std::uint64_t kBuggifyStream = 0;
+constexpr std::uint64_t kCallbackStream = 1;
+}  // namespace
+
+void BuggifyConfig::validate() const {
+  if (!(delay_probability >= 0.0 && delay_probability <= 1.0))
+    throw std::invalid_argument("BuggifyConfig: probability in [0,1]");
+  if (!(max_delay_minutes >= 0.0))
+    throw std::invalid_argument("BuggifyConfig: max delay must be >= 0");
+}
+
+EventLoop::EventLoop(std::uint64_t seed, BuggifyConfig buggify)
+    : buggify_(buggify),
+      buggify_rng_(util::Rng(seed).split(kBuggifyStream)),
+      callback_rng_(util::Rng(seed).split(kCallbackStream)) {
+  buggify_.validate();
+}
+
+double EventLoop::buggified(double delay_minutes) {
+  if (!buggify_.enabled || buggify_.max_delay_minutes <= 0.0)
+    return delay_minutes;
+  // Two draws per schedule() call, unconditionally, so the stream position
+  // stays aligned regardless of which branch is taken.
+  const double gate = buggify_rng_.uniform();
+  const double magnitude = buggify_rng_.uniform();
+  if (gate < buggify_.delay_probability)
+    delay_minutes +=
+        buggify_.max_delay_minutes * std::pow(magnitude, 1000.0);
+  return delay_minutes;
+}
+
+std::uint64_t EventLoop::schedule(util::Minutes delay, std::string label,
+                                  Callback fn) {
+  if (delay < util::Minutes{0.0})
+    throw std::invalid_argument("EventLoop::schedule: negative delay");
+  const double at = now_.value() + buggified(delay.value());
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{at, seq, std::move(label), std::move(fn)});
+  return seq;
+}
+
+std::uint64_t EventLoop::schedule_at(util::Minutes at, std::string label,
+                                     Callback fn) {
+  const double delay = std::max(at.value() - now_.value(), 0.0);
+  return schedule(util::Minutes{delay}, std::move(label), std::move(fn));
+}
+
+bool EventLoop::step(double until_minutes) {
+  if (queue_.empty() || queue_.top().time_minutes > until_minutes)
+    return false;
+  // priority_queue::top() is const; the event is copied out rather than
+  // moved, which is fine — callbacks are scheduled once and run once.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = util::Minutes{std::max(now_.value(), event.time_minutes)};
+  ++executed_;
+  if (record_trace_)
+    trace_.push_back(util::strfmt("t=%.6f seq=%llu %s", event.time_minutes,
+                                  static_cast<unsigned long long>(event.seq),
+                                  event.label.c_str()));
+  event.fn();
+  return true;
+}
+
+std::size_t EventLoop::run() {
+  running_ = true;
+  std::size_t count = 0;
+  while (running_ && step(std::numeric_limits<double>::infinity())) ++count;
+  return count;
+}
+
+std::size_t EventLoop::run_until(util::Minutes until) {
+  running_ = true;
+  std::size_t count = 0;
+  while (running_ && step(until.value())) ++count;
+  return count;
+}
+
+}  // namespace smoother::dsim

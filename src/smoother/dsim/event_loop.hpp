@@ -1,0 +1,130 @@
+// Deterministic discrete-event simulation core (FDB-style).
+//
+// EventLoop is a priority queue of timed callbacks over a *virtual* clock:
+// no wall time is ever read, ties are broken by a stable insertion sequence
+// number, and every random decision — most importantly the "buggified"
+// scheduling jitter that perturbs event order the way a loaded host would —
+// is drawn from util::Rng::split streams of one seed. An entire simulation
+// is therefore a pure function of (seed, scheduled work): running it twice
+// produces byte-identical event traces, which is the property the replay
+// invariant in dsim/invariants.hpp asserts and every dsim test leans on.
+//
+// Buggification follows the FoundationDB recipe: with a small probability a
+// scheduled delay is stretched by `max_delay * pow(u, 1000)` — almost
+// always a tiny nudge, very occasionally a near-full-size stall — which is
+// exactly the long-tailed perturbation that flushes out event-order
+// assumptions without destroying the schedule's coarse shape.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::dsim {
+
+/// Randomized scheduling jitter ("buggification").
+struct BuggifyConfig {
+  bool enabled = true;
+  /// Probability a scheduled delay is stretched at all.
+  double delay_probability = 0.25;
+  /// Upper bound of the stretch, virtual minutes. pow(u, 1000) keeps almost
+  /// every stretch microscopic; keep this below the telemetry step so
+  /// buggification reorders *nearby* events rather than whole intervals.
+  double max_delay_minutes = 2.0;
+
+  /// Throws std::invalid_argument on values outside their domains.
+  void validate() const;
+};
+
+/// A deterministic discrete-event loop over a virtual clock.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// All randomness (buggified jitter and the rng() handed to callbacks)
+  /// derives from `seed` via Rng::split; two loops with the same seed and
+  /// the same schedule calls execute identically.
+  explicit EventLoop(std::uint64_t seed, BuggifyConfig buggify = {});
+
+  /// Current virtual time. Never goes backwards; advances only when an
+  /// event is executed.
+  [[nodiscard]] util::Minutes now() const { return now_; }
+
+  /// Schedules `fn` at now() + delay (+ buggified jitter). The label is
+  /// carried into the executed-event trace. Returns the event's stable
+  /// sequence number. Negative delays throw std::invalid_argument.
+  std::uint64_t schedule(util::Minutes delay, std::string label, Callback fn);
+
+  /// Schedules `fn` at the absolute virtual time `at` (+ jitter); times in
+  /// the past are clamped to now().
+  std::uint64_t schedule_at(util::Minutes at, std::string label, Callback fn);
+
+  /// Runs events in (time, seq) order until the queue drains or stop() is
+  /// called. Returns the number of events executed by this call.
+  std::size_t run();
+
+  /// Runs events with time <= `until`; the clock ends at max(executed
+  /// event times, previous now) and never exceeds `until`.
+  std::size_t run_until(util::Minutes until);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Simulation-owned randomness for callbacks that need draws of their
+  /// own; an independent split stream of the loop seed (stream 1; the
+  /// buggify stream is 0).
+  [[nodiscard]] util::Rng& rng() { return callback_rng_; }
+
+  /// When enabled (default), every executed event appends one line
+  /// "t=<time> seq=<seq> <label>" to trace(); the concatenation is the
+  /// replay-determinism witness. Disable for soak runs that only need the
+  /// side effects.
+  void set_record_trace(bool record) { record_trace_ = record; }
+  [[nodiscard]] const std::vector<std::string>& trace() const {
+    return trace_;
+  }
+
+ private:
+  struct Event {
+    double time_minutes;
+    std::uint64_t seq;
+    std::string label;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_minutes != b.time_minutes)
+        return a.time_minutes > b.time_minutes;
+      return a.seq > b.seq;  // stable tie-break: insertion order
+    }
+  };
+
+  /// Pops and executes one event; returns false when the queue is empty or
+  /// the next event lies beyond `until`.
+  bool step(double until_minutes);
+
+  [[nodiscard]] double buggified(double delay_minutes);
+
+  BuggifyConfig buggify_;
+  util::Rng buggify_rng_;
+  util::Rng callback_rng_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  util::Minutes now_{0.0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool running_ = true;
+  bool record_trace_ = true;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace smoother::dsim

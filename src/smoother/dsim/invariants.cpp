@@ -1,0 +1,127 @@
+#include "smoother/dsim/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smoother/util/format.hpp"
+
+namespace smoother::dsim {
+
+void InvariantChecker::record(std::string invariant, std::string detail,
+                              double sim_time_minutes, std::size_t interval) {
+  violations_.push_back(InvariantViolation{std::move(invariant),
+                                           std::move(detail),
+                                           sim_time_minutes, interval});
+}
+
+void InvariantChecker::check_interval(std::size_t interval,
+                                      double sim_time_minutes,
+                                      const battery::Battery& battery,
+                                      const BatterySnapshot& before,
+                                      double step_minutes,
+                                      const std::vector<double>& accepted,
+                                      const std::vector<double>& delivered) {
+  ++intervals_checked_;
+  const battery::BatterySpec& spec = battery.spec();
+  const BatterySnapshot after = BatterySnapshot::of(battery);
+
+  // SoC corridor. The battery clamps internally, so anything beyond
+  // floating-point dust is a real model breach.
+  const double soc = battery.soc_fraction();
+  const double soc_eps = 1e-9;
+  if (soc < spec.min_soc_fraction - soc_eps ||
+      soc > spec.max_soc_fraction + soc_eps)
+    record("soc-corridor",
+           util::strfmt("soc %.12f outside [%.3f, %.3f]", soc,
+                        spec.min_soc_fraction, spec.max_soc_fraction),
+           sim_time_minutes, interval);
+
+  // Cell-level conservation: stored-energy delta == charge - discharge at
+  // the cell. The battery's ceiling/floor clamps can shave floating-point
+  // overshoot, hence the tolerance.
+  const double delta_e = after.energy_kwh - before.energy_kwh;
+  const double delta_c = after.total_charged_kwh - before.total_charged_kwh;
+  const double delta_d =
+      after.total_discharged_kwh - before.total_discharged_kwh;
+  const double scale =
+      std::max({1.0, std::abs(delta_c), std::abs(delta_d),
+                spec.capacity.value() * 1e-9});
+  if (std::abs(delta_e - (delta_c - delta_d)) > tolerance_kwh_ * scale)
+    record("energy-conservation-cell",
+           util::strfmt("dE %.9f != charged %.9f - discharged %.9f", delta_e,
+                        delta_c, delta_d),
+           sim_time_minutes, interval);
+  if (delta_c < 0.0 || delta_d < 0.0)
+    record("energy-conservation-cell",
+           util::strfmt("cumulative counters decreased (dC %.9f, dD %.9f)",
+                        delta_c, delta_d),
+           sim_time_minutes, interval);
+
+  // Stream integrity + terminal-level conservation.
+  if (delivered.size() != accepted.size()) {
+    record("stream-integrity",
+           util::strfmt("delivered %zu samples for %zu accepted",
+                        delivered.size(), accepted.size()),
+           sim_time_minutes, interval);
+    return;
+  }
+  const double dt_hours = step_minutes / 60.0;
+  double accepted_kwh = 0.0, delivered_kwh = 0.0;
+  bool finite = true;
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    if (!std::isfinite(delivered[i]) || delivered[i] < 0.0) finite = false;
+    accepted_kwh += accepted[i] * dt_hours;
+    delivered_kwh += delivered[i] * dt_hours;
+  }
+  if (!finite) {
+    record("stream-integrity", "non-finite or negative delivered sample",
+           sim_time_minutes, interval);
+    return;
+  }
+  const double terminal_out = delta_d * spec.discharge_efficiency;
+  const double terminal_in = delta_c / spec.charge_efficiency;
+  const double imbalance =
+      (delivered_kwh - accepted_kwh) - (terminal_out - terminal_in);
+  const double flow_scale = std::max(
+      {1.0, std::abs(delivered_kwh), std::abs(accepted_kwh)});
+  if (std::abs(imbalance) > tolerance_kwh_ * flow_scale)
+    record("energy-conservation-terminal",
+           util::strfmt("delivered-accepted %.9f kWh != battery exchange "
+                        "%.9f kWh",
+                        delivered_kwh - accepted_kwh,
+                        terminal_out - terminal_in),
+           sim_time_minutes, interval);
+}
+
+std::optional<std::string> InvariantChecker::check_monotone_fallback(
+    const std::vector<std::pair<double, double>>& rate_to_fallback) {
+  for (std::size_t i = 1; i < rate_to_fallback.size(); ++i) {
+    const auto& [rate_prev, fb_prev] = rate_to_fallback[i - 1];
+    const auto& [rate, fb] = rate_to_fallback[i];
+    if (rate >= rate_prev && fb < fb_prev)
+      return util::strfmt(
+          "fallback rate decreased from %.6f (injected %.3f) to %.6f "
+          "(injected %.3f)",
+          fb_prev, rate_prev, fb, rate);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> InvariantChecker::check_replay(
+    const std::string& first, const std::string& second) {
+  if (first == second) return std::nullopt;
+  const std::size_t n = std::min(first.size(), second.size());
+  std::size_t i = 0;
+  while (i < n && first[i] == second[i]) ++i;
+  const auto context = [&](const std::string& s) {
+    return s.substr(i < 40 ? 0 : i - 40,
+                    std::min<std::size_t>(80, s.size() - (i < 40 ? 0 : i - 40)));
+  };
+  return util::strfmt(
+      "replay diverged at byte %zu (sizes %zu vs %zu): \"...%s\" vs "
+      "\"...%s\"",
+      i, first.size(), second.size(), context(first).c_str(),
+      context(second).c_str());
+}
+
+}  // namespace smoother::dsim

@@ -1,0 +1,102 @@
+// Invariants the simulated online pipeline must never violate.
+//
+// The checker watches one PipelineSim run interval by interval and records
+// violations instead of throwing — a fuzz campaign wants every violation a
+// mutated trace can produce, not just the first. The per-interval physics:
+//
+//   * SoC corridor: the battery's state of charge stays inside
+//     [min_soc, max_soc] (modulo floating-point dust);
+//   * cell-level energy conservation: the change in stored energy equals
+//     cell charge minus cell discharge over the interval;
+//   * terminal-level energy conservation: the energy the delivered supply
+//     gained over the accepted telemetry equals what the battery exchanged
+//     at its terminals (discharge * eff_d - charge / eff_c);
+//   * stream integrity: delivered samples are finite and non-negative and
+//     the output advances by exactly one interval per interval.
+//
+// Two cross-run invariants are exposed as statics: monotone fallback in
+// the injected fault rate (fault sets are nested by construction, so the
+// measured curve must be non-decreasing) and byte-identical replay from
+// the same seed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::dsim {
+
+struct InvariantViolation {
+  std::string invariant;  ///< e.g. "soc-corridor"
+  std::string detail;
+  double sim_time_minutes = 0.0;
+  std::size_t interval = 0;
+};
+
+/// Snapshot of the battery's cumulative counters (taken before and after
+/// each interval).
+struct BatterySnapshot {
+  double energy_kwh = 0.0;
+  double total_charged_kwh = 0.0;
+  double total_discharged_kwh = 0.0;
+
+  static BatterySnapshot of(const battery::Battery& battery) {
+    return {battery.energy().value(), battery.total_charged().value(),
+            battery.total_discharged().value()};
+  }
+};
+
+class InvariantChecker {
+ public:
+  /// `tolerance_kwh` absorbs floating-point dust in the energy balances
+  /// (scaled internally by the interval's energy magnitude).
+  explicit InvariantChecker(double tolerance_kwh = 1e-6)
+      : tolerance_kwh_(tolerance_kwh) {}
+
+  /// Checks one completed interval. `accepted` holds the sanitized samples
+  /// (kW) the smoother actually planned on — the shadow TelemetryGuard's
+  /// view of the raw stream — and `delivered` the samples (kW) appended to
+  /// the output; `step_minutes` is their shared sample step.
+  void check_interval(std::size_t interval, double sim_time_minutes,
+                      const battery::Battery& battery,
+                      const BatterySnapshot& before, double step_minutes,
+                      const std::vector<double>& accepted,
+                      const std::vector<double>& delivered);
+
+  /// Records a free-form violation (crash containment, contract breaches).
+  void record(std::string invariant, std::string detail,
+              double sim_time_minutes, std::size_t interval);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t intervals_checked() const {
+    return intervals_checked_;
+  }
+
+  /// Cross-run invariant: fallback rates measured at non-decreasing
+  /// injected fault rates (same seed) must be non-decreasing — the
+  /// injector's fault sets are nested in the rate. Returns the description
+  /// of the first decrease, or nullopt when monotone.
+  static std::optional<std::string> check_monotone_fallback(
+      const std::vector<std::pair<double, double>>& rate_to_fallback);
+
+  /// Cross-run invariant: two runs of the same seed must be byte-identical
+  /// witnesses (event trace + records digest). Returns the description of
+  /// the first difference, or nullopt when identical.
+  static std::optional<std::string> check_replay(const std::string& first,
+                                                 const std::string& second);
+
+ private:
+  double tolerance_kwh_;
+  std::size_t intervals_checked_ = 0;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace smoother::dsim

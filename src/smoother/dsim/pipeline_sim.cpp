@@ -1,0 +1,280 @@
+#include "smoother/dsim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/resilience/telemetry_guard.hpp"
+#include "smoother/util/format.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::dsim {
+
+namespace {
+
+// Stream ids for Rng::split derivation. The EventLoop owns 0 (buggify) and
+// 1 (callback rng) of the same seed, so the pipeline's streams start high.
+constexpr std::uint64_t kSupplyStream = 10;
+constexpr std::uint64_t kForecastStream = 11;
+constexpr std::uint64_t kInjectorStream = 12;
+
+}  // namespace
+
+void PipelineSimConfig::validate() const {
+  if (duration <= util::Minutes{0.0})
+    throw std::invalid_argument("PipelineSimConfig: duration must be > 0");
+  if (sample_step <= util::Minutes{0.0})
+    throw std::invalid_argument("PipelineSimConfig: step must be > 0");
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("PipelineSimConfig: rated power must be > 0");
+  if (battery_rate_fraction <= 0.0)
+    throw std::invalid_argument(
+        "PipelineSimConfig: battery rate fraction must be > 0");
+  if (battery_headroom < 1.0)
+    throw std::invalid_argument(
+        "PipelineSimConfig: battery headroom must be >= 1");
+  if (forecast_error_sd < 0.0)
+    throw std::invalid_argument(
+        "PipelineSimConfig: forecast error sd must be >= 0");
+  if (invariant_tolerance_kwh <= 0.0)
+    throw std::invalid_argument(
+        "PipelineSimConfig: invariant tolerance must be > 0");
+  site.validate();
+  faults.validate();
+  buggify.validate();
+  // Clean runs rely on forecast updates landing before their interval
+  // boundary and on telemetry arriving in order; both hold as long as the
+  // jitter stays below one sample step.
+  if (buggify.enabled && buggify.max_delay_minutes >= sample_step.value())
+    throw std::invalid_argument(
+        "PipelineSimConfig: buggified delay must stay below the sample step");
+}
+
+PipelineSim::PipelineSim(PipelineSimConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  config_.validate();
+}
+
+TelemetryTape PipelineSim::clean_tape() const {
+  const trace::WindSpeedModel model(config_.site);
+  const util::TimeSeries supply =
+      power::TurbineCurve::enercon_e48().power_series(model.generate(
+          config_.duration, config_.sample_step,
+          util::Rng::derive_stream_seed(seed_, kSupplyStream)));
+  TelemetryTape tape;
+  tape.reserve(supply.size());
+  for (std::size_t i = 0; i < supply.size(); ++i)
+    tape.push_back(TelemetryEvent{
+        config_.sample_step.value() * static_cast<double>(i), false,
+        supply[i]});
+  return tape;
+}
+
+PipelineSimResult PipelineSim::run() { return run(clean_tape()); }
+
+PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  obs::Span span(obs::global_tracer(), "dsim-run");
+
+  PipelineSimResult result;
+  result.seed = seed_;
+
+  EventLoop loop(seed_, config_.buggify);
+  loop.set_record_trace(config_.record_trace);
+
+  // --- the pipeline under test -------------------------------------------
+  resilience::FaultInjector injector(
+      config_.faults, util::Rng::derive_stream_seed(seed_, kInjectorStream));
+
+  core::OnlineSmootherConfig smoother_config;
+  smoother_config.rated_power = config_.rated_power;
+  smoother_config.sample_step = config_.sample_step;
+  smoother_config.warmup_intervals = config_.warmup_intervals;
+  smoother_config.history_intervals = config_.history_intervals;
+  smoother_config.recovery_intervals = config_.recovery_intervals;
+  const std::size_t points =
+      smoother_config.flexible_smoothing.points_per_interval;
+
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      config_.rated_power * config_.battery_rate_fraction,
+      config_.sample_step, config_.battery_headroom);
+
+  // Forecast store: updates land here as events; the oracle reads it. A
+  // missing entry (update skewed past the boundary by a fuzz mutation)
+  // surfaces as an oracle failure, never a crash.
+  const std::size_t num_intervals = points == 0 ? 0 : tape.size() / points;
+  std::vector<std::optional<std::vector<double>>> forecast_store(
+      num_intervals);
+
+  core::OnlineSmoother::Hooks hooks;
+  hooks.forecast_oracle = injector.wrap_oracle(
+      [&forecast_store](std::size_t interval) -> std::vector<double> {
+        if (interval >= forecast_store.size() || !forecast_store[interval])
+          throw std::runtime_error("forecast unavailable for interval " +
+                                   std::to_string(interval));
+        return *forecast_store[interval];
+      });
+  hooks.battery_monitor = [&injector](std::size_t interval) {
+    return injector.battery_available(interval);
+  };
+  solver::QpSettings crippled = smoother_config.flexible_smoothing.qp;
+  crippled.max_iterations = 0;
+  hooks.solver_settings =
+      [&injector, crippled](
+          std::size_t interval) -> std::optional<solver::QpSettings> {
+    if (injector.solver_should_fail(interval)) return crippled;
+    return std::nullopt;
+  };
+
+  core::OnlineSmoother smoother(
+      smoother_config, battery::Battery(injector.faded_spec(spec)),
+      std::move(hooks));
+
+  // --- the audit ---------------------------------------------------------
+  InvariantChecker checker(config_.invariant_tolerance_kwh);
+  // Shadow guard: bit-identical to the smoother's internal one (same
+  // config, same call sequence), so the checker knows the accepted value
+  // of every pushed sample without reaching into the smoother.
+  resilience::TelemetryGuardConfig shadow_config =
+      smoother_config.telemetry_guard;
+  shadow_config.rated_power_kw = config_.rated_power.value();
+  resilience::TelemetryGuard shadow_guard(shadow_config);
+
+  std::vector<double> accepted;
+  accepted.reserve(points);
+  BatterySnapshot battery_before = BatterySnapshot::of(smoother.battery());
+
+  const auto on_record = [&](const core::OnlineIntervalRecord& record) {
+    const util::TimeSeries& output = smoother.output();
+    std::vector<double> delivered;
+    if (output.size() >= points) {
+      delivered.reserve(points);
+      for (std::size_t i = output.size() - points; i < output.size(); ++i)
+        delivered.push_back(output[i]);
+    }
+    checker.check_interval(record.index, loop.now().value(),
+                           smoother.battery(), battery_before,
+                           config_.sample_step.value(), accepted, delivered);
+    battery_before = BatterySnapshot::of(smoother.battery());
+    accepted.clear();
+    ++result.intervals;
+    if (record.smoothed) ++result.smoothed_intervals;
+    result.records_digest += util::strfmt(
+        "i=%zu region=%s smoothed=%d warmup=%d degraded=%d fallback=%s "
+        "cfvar=%.12e vb=%.12e va=%.12e iters=%zu\n",
+        record.index, core::to_string(record.region).c_str(),
+        record.smoothed ? 1 : 0, record.warmup ? 1 : 0,
+        record.degraded ? 1 : 0,
+        resilience::to_string(record.fallback).c_str(), record.cf_variance,
+        record.variance_before, record.variance_after,
+        record.solver_iterations);
+  };
+
+  // --- wire the tape and forecast updates as events ----------------------
+  for (std::size_t k = 0; k < num_intervals; ++k) {
+    // The forecast for interval k is needed when its last sample arrives;
+    // publishing at the interval's first-sample time leaves m-1 steps of
+    // margin, so clean runs never plan on a missing forecast.
+    const double at =
+        config_.sample_step.value() * static_cast<double>(k * points);
+    loop.schedule_at(
+        util::Minutes{at}, util::strfmt("forecast-update k=%zu", k),
+        [this, &forecast_store, &tape, k, points]() {
+          util::Rng noise =
+              util::Rng(seed_).split(kForecastStream).split(k);
+          std::vector<double> predicted(points);
+          for (std::size_t j = 0; j < points; ++j) {
+            const TelemetryEvent& truth = tape[k * points + j];
+            const double clean = truth.missing ? 0.0 : truth.value_kw;
+            const double base = std::isfinite(clean) ? clean : 0.0;
+            const double noisy =
+                config_.forecast_error_sd > 0.0
+                    ? base * (1.0 +
+                              config_.forecast_error_sd * noise.normal())
+                    : base;
+            predicted[j] = std::max(noisy, 0.0);
+          }
+          forecast_store[k] = std::move(predicted);
+        });
+  }
+
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    loop.schedule_at(
+        util::Minutes{tape[i].time_minutes},
+        util::strfmt("telemetry i=%zu%s", i,
+                     tape[i].missing ? " missing" : ""),
+        [&, i]() {
+          ++result.samples;
+          std::optional<core::OnlineIntervalRecord> record;
+          try {
+            if (tape[i].missing) {
+              accepted.push_back(
+                  std::max(shadow_guard.fill_gap().value_kw, 0.0));
+              record = smoother.push_missing();
+            } else {
+              const double wire =
+                  injector.corrupt_sample(i, tape[i].value_kw);
+              accepted.push_back(
+                  std::max(shadow_guard.sanitize(wire).value_kw, 0.0));
+              record = smoother.push(wire);
+            }
+          } catch (const std::exception& e) {
+            checker.record("push-no-throw", e.what(), loop.now().value(),
+                           result.intervals);
+            accepted.clear();
+            return;
+          } catch (...) {
+            checker.record("push-no-throw", "non-exception thrown",
+                           loop.now().value(), result.intervals);
+            accepted.clear();
+            return;
+          }
+          if (record) on_record(*record);
+        });
+  }
+
+  // --- run to completion --------------------------------------------------
+  loop.run();
+
+  result.events_executed = loop.events_executed();
+  result.sim_minutes = loop.now().value();
+  result.health = smoother.health();
+  result.violations = checker.violations();
+  result.final_soc = smoother.battery().soc_fraction();
+  for (std::size_t i = 0; i < smoother.output().size(); ++i)
+    result.output_checksum += smoother.output()[i];
+  if (config_.record_trace) {
+    std::string trace;
+    for (const std::string& line : loop.trace()) {
+      trace += line;
+      trace += '\n';
+    }
+    result.event_trace = std::move(trace);
+  }
+
+  if (metrics != nullptr) {
+    metrics->counter("dsim.runs").add(1);
+    metrics->counter("dsim.events").add(result.events_executed);
+    metrics->counter("dsim.samples").add(result.samples);
+    metrics->counter("dsim.intervals").add(result.intervals);
+    if (!result.violations.empty())
+      metrics->counter("dsim.violations").add(result.violations.size());
+    metrics->gauge("dsim.sim_minutes").set(result.sim_minutes);
+  }
+  span.field("seed", result.seed)
+      .field("events", static_cast<std::uint64_t>(result.events_executed))
+      .field("intervals", static_cast<std::uint64_t>(result.intervals))
+      .field("violations",
+             static_cast<std::uint64_t>(result.violations.size()))
+      .field("sim_minutes", result.sim_minutes);
+
+  return result;
+}
+
+}  // namespace smoother::dsim

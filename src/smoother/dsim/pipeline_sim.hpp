@@ -1,0 +1,132 @@
+// PipelineSim: the full online smoothing pipeline on the deterministic
+// event loop.
+//
+// Everything a deployed OnlineSmoother interacts with becomes a timed
+// event: telemetry samples arrive one by one (with buggified scheduling
+// jitter, so nearby arrivals can swap order exactly as they would across a
+// loaded collector), forecast updates land shortly before each interval
+// boundary and fill the store the forecast oracle reads, the
+// resilience::FaultInjector corrupts samples / gates the battery monitor /
+// wraps the oracle / cripples the solver as the nemesis, and every
+// completed interval is audited by the InvariantChecker against the SoC
+// corridor and both energy-conservation balances.
+//
+// The whole run is a pure function of (config, seed): the event trace, the
+// interval records, the delivered output and every violation reproduce
+// byte-identically — which is what makes a failing fuzz case a one-line
+// (seed, mutation) reproducer. Years of 5-minute telemetry simulate in
+// seconds because virtual time is free (see bench/macro_dsim).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smoother/core/online.hpp"
+#include "smoother/dsim/event_loop.hpp"
+#include "smoother/dsim/invariants.hpp"
+#include "smoother/resilience/fault_injector.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/time_series.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::dsim {
+
+/// One telemetry arrival on the wire. The fuzzer mutates tapes: values
+/// spike or go NaN, samples go missing (gaps), arrival times skew or swap.
+struct TelemetryEvent {
+  double time_minutes = 0.0;  ///< nominal arrival time
+  bool missing = false;       ///< telemetry gap: reported via push_missing
+  double value_kw = 0.0;      ///< raw wire value (may be NaN / corrupt)
+};
+using TelemetryTape = std::vector<TelemetryEvent>;
+
+struct PipelineSimConfig {
+  /// Simulated span; the tape length is duration / sample_step.
+  util::Minutes duration = util::days(30.0);
+  util::Minutes sample_step = util::kFiveMinutes;
+
+  /// Supply model: a synthetic wind site through the E48 turbine curve.
+  trace::WindSiteParams site = trace::WindSitePresets::texas_10();
+  util::Kilowatts rated_power{800.0};
+
+  /// Battery sizing: max rate as a fraction of rated power, capacity
+  /// headroom over the one-step paper sizing.
+  double battery_rate_fraction = 0.5;
+  double battery_headroom = 2.0;
+
+  /// Streaming smoother knobs (warmup kept short so a month of simulated
+  /// time exercises the planned path, not just threshold learning).
+  std::size_t warmup_intervals = 4;
+  std::size_t history_intervals = 48;
+  std::size_t recovery_intervals = 3;
+
+  /// Relative (fractional) gaussian error on the forecast store entries;
+  /// 0 = perfect forecasts.
+  double forecast_error_sd = 0.05;
+
+  /// The nemesis. All-zero rates = clean run.
+  resilience::FaultInjectorConfig faults;
+
+  /// Scheduling jitter. max_delay_minutes must stay below sample_step so
+  /// clean runs keep forecast updates ahead of their interval boundaries.
+  BuggifyConfig buggify;
+
+  /// Record the executed-event trace (the replay witness). Soak runs that
+  /// only need side effects can turn it off.
+  bool record_trace = true;
+
+  /// Invariant tolerance passed to the InvariantChecker.
+  double invariant_tolerance_kwh = 1e-6;
+
+  void validate() const;
+};
+
+struct PipelineSimResult {
+  std::uint64_t seed = 0;
+  std::size_t events_executed = 0;
+  std::size_t samples = 0;
+  std::size_t intervals = 0;
+  std::size_t smoothed_intervals = 0;
+  double sim_minutes = 0.0;
+  resilience::HealthReport health;
+  std::vector<InvariantViolation> violations;
+  double output_checksum = 0.0;  ///< determinism witness over the output
+  double final_soc = 0.0;
+
+  /// Replay witnesses: the executed-event trace and a formatted digest of
+  /// every interval record. Two runs of the same (config, seed) must match
+  /// both byte for byte.
+  std::string event_trace;
+  std::string records_digest;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+class PipelineSim {
+ public:
+  /// Throws std::invalid_argument on bad config.
+  PipelineSim(PipelineSimConfig config, std::uint64_t seed);
+
+  /// The clean telemetry tape this (config, seed) would feed the pipeline:
+  /// the deterministic supply trace at nominal arrival times. Fuzzers
+  /// mutate a copy and pass it to run(tape).
+  [[nodiscard]] TelemetryTape clean_tape() const;
+
+  /// Runs the pipeline over its own clean tape.
+  [[nodiscard]] PipelineSimResult run();
+
+  /// Runs the pipeline over an arbitrary (possibly mutated) tape. Events
+  /// are scheduled in tape order; out-of-order arrival times are honoured
+  /// by the event loop's (time, seq) ordering. Exceptions escaping the
+  /// pipeline are caught and recorded as "no-crash" violations, so a fuzz
+  /// campaign collects them instead of dying.
+  [[nodiscard]] PipelineSimResult run(const TelemetryTape& tape);
+
+ private:
+  PipelineSimConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace smoother::dsim

@@ -1,0 +1,209 @@
+#include "smoother/dsim/trace_fuzz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/util/format.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::dsim {
+
+namespace {
+constexpr std::uint64_t kCaseStream = 0xFCA5E;
+}  // namespace
+
+std::string to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kSpike: return "spike";
+    case MutationKind::kGap: return "gap";
+    case MutationKind::kNanBurst: return "nan-burst";
+    case MutationKind::kReorder: return "reorder";
+    case MutationKind::kClockSkew: return "clock-skew";
+    case MutationKind::kStuck: return "stuck";
+  }
+  return "unknown";
+}
+
+TraceFuzzer::TraceFuzzer(PipelineSimConfig base, FuzzerConfig fuzzer)
+    : base_(std::move(base)), fuzzer_(fuzzer) {
+  if (fuzzer_.min_mutations == 0 ||
+      fuzzer_.min_mutations > fuzzer_.max_mutations)
+    throw std::invalid_argument(
+        "FuzzerConfig: need 1 <= min_mutations <= max_mutations");
+  if (fuzzer_.max_window == 0)
+    throw std::invalid_argument("FuzzerConfig: max_window must be >= 1");
+}
+
+FuzzCase TraceFuzzer::generate_case(std::uint64_t case_seed) const {
+  // All draws come from a split stream of the case seed, so the case is a
+  // pure function of the seed — the reproducer a report prints is the
+  // whole bug, no hidden fuzzer state.
+  util::Rng rng = util::Rng(case_seed).split(kCaseStream);
+  const std::size_t tape_len = static_cast<std::size_t>(
+      base_.duration.value() / base_.sample_step.value());
+  FuzzCase fuzz_case;
+  fuzz_case.seed = case_seed;
+  const std::size_t count =
+      fuzzer_.min_mutations +
+      static_cast<std::size_t>(rng.uniform_index(
+          fuzzer_.max_mutations - fuzzer_.min_mutations + 1));
+  for (std::size_t i = 0; i < count; ++i) {
+    Mutation m;
+    m.kind = static_cast<MutationKind>(
+        rng.uniform_index(kMutationKindCount));
+    m.position = tape_len == 0
+                     ? 0
+                     : static_cast<std::size_t>(rng.uniform_index(tape_len));
+    m.length = 1 + static_cast<std::size_t>(
+                       rng.uniform_index(fuzzer_.max_window));
+    switch (m.kind) {
+      case MutationKind::kSpike:
+        // Log-uniform factor in [1/max, max]: both implausible surges and
+        // near-zero sags.
+        m.magnitude = std::exp(rng.uniform(-std::log(fuzzer_.max_spike_factor),
+                                           std::log(fuzzer_.max_spike_factor)));
+        break;
+      case MutationKind::kClockSkew:
+        // Signed skew; forward skews delay telemetry past forecast
+        // updates, backward skews bunch arrivals together.
+        m.magnitude = rng.uniform(-fuzzer_.max_skew_minutes,
+                                  fuzzer_.max_skew_minutes);
+        break;
+      default:
+        m.magnitude = 0.0;
+        break;
+    }
+    fuzz_case.mutations.push_back(m);
+  }
+  return fuzz_case;
+}
+
+TelemetryTape TraceFuzzer::mutate(
+    const TelemetryTape& tape, const std::vector<Mutation>& mutations) const {
+  TelemetryTape mutated = tape;
+  for (const Mutation& m : mutations) {
+    if (mutated.empty()) break;
+    const std::size_t first = std::min(m.position, mutated.size() - 1);
+    const std::size_t last =
+        std::min(first + std::max<std::size_t>(m.length, 1), mutated.size());
+    switch (m.kind) {
+      case MutationKind::kSpike:
+        for (std::size_t i = first; i < last; ++i)
+          mutated[i].value_kw *= m.magnitude;
+        break;
+      case MutationKind::kGap:
+        for (std::size_t i = first; i < last; ++i) mutated[i].missing = true;
+        break;
+      case MutationKind::kNanBurst:
+        for (std::size_t i = first; i < last; ++i)
+          mutated[i].value_kw = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case MutationKind::kReorder: {
+        // Reverse the *arrival times* within the window: the values keep
+        // their identities but hit the wire out of order.
+        std::size_t lo = first, hi = last;
+        while (lo + 1 < hi) {
+          std::swap(mutated[lo].time_minutes, mutated[hi - 1].time_minutes);
+          ++lo;
+          --hi;
+        }
+        break;
+      }
+      case MutationKind::kClockSkew:
+        for (std::size_t i = first; i < mutated.size(); ++i)
+          mutated[i].time_minutes =
+              std::max(mutated[i].time_minutes + m.magnitude, 0.0);
+        break;
+      case MutationKind::kStuck: {
+        const double frozen = mutated[first].value_kw;
+        for (std::size_t i = first; i < last; ++i)
+          mutated[i].value_kw = frozen;
+        break;
+      }
+    }
+  }
+  return mutated;
+}
+
+FuzzOutcome TraceFuzzer::run_case(const FuzzCase& fuzz_case) const {
+  FuzzOutcome outcome;
+  try {
+    PipelineSimConfig config = base_;
+    config.record_trace = false;  // soak speed; replay identity is gated
+                                  // separately (macro_dsim, tests)
+    PipelineSim sim(config, fuzz_case.seed);
+    const TelemetryTape tape =
+        mutate(sim.clean_tape(), fuzz_case.mutations);
+    const PipelineSimResult result = sim.run(tape);
+    outcome.violations = result.violations;
+    outcome.intervals = result.intervals;
+  } catch (const std::exception& e) {
+    outcome.crashed = true;
+    outcome.crash_what = e.what();
+  } catch (...) {
+    outcome.crashed = true;
+    outcome.crash_what = "non-exception thrown";
+  }
+  return outcome;
+}
+
+FuzzCase TraceFuzzer::minimize(const FuzzCase& failing) const {
+  FuzzCase current = failing;
+  bool shrunk = true;
+  while (shrunk && current.mutations.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.mutations.size(); ++i) {
+      FuzzCase candidate = current;
+      candidate.mutations.erase(candidate.mutations.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (run_case(candidate).failed()) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // restart the scan over the smaller list
+      }
+    }
+  }
+  return current;
+}
+
+FuzzReport TraceFuzzer::run(std::size_t cases,
+                            std::uint64_t base_seed) const {
+  FuzzReport report;
+  for (std::size_t k = 0; k < cases; ++k) {
+    const FuzzCase fuzz_case =
+        generate_case(util::Rng::derive_stream_seed(base_seed, k));
+    const FuzzOutcome outcome = run_case(fuzz_case);
+    ++report.cases_run;
+    if (outcome.crashed) ++report.crashes;
+    if (!outcome.violations.empty()) ++report.violation_cases;
+    if (outcome.failed() && !report.reproducer) {
+      const FuzzCase minimal = minimize(fuzz_case);
+      report.reproducer = minimal;
+      const FuzzOutcome witness = run_case(minimal);
+      report.reproducer_description = util::strfmt(
+          "%s -> %s", describe(minimal).c_str(),
+          witness.crashed
+              ? ("crash: " + witness.crash_what).c_str()
+              : (witness.violations.empty()
+                     ? "transient (did not reproduce after minimization)"
+                     : (witness.violations.front().invariant + ": " +
+                        witness.violations.front().detail)
+                           .c_str()));
+    }
+  }
+  return report;
+}
+
+std::string TraceFuzzer::describe(const FuzzCase& fuzz_case) {
+  std::string out = util::strfmt("seed=%llu", static_cast<unsigned long long>(
+                                                  fuzz_case.seed));
+  for (const Mutation& m : fuzz_case.mutations)
+    out += util::strfmt(" %s@%zu+%zu(mag=%.4g)", to_string(m.kind).c_str(),
+                        m.position, m.length, m.magnitude);
+  return out;
+}
+
+}  // namespace smoother::dsim

@@ -1,0 +1,118 @@
+// TraceFuzzer: mutate telemetry tapes hunting for crashes and invariant
+// violations.
+//
+// A fuzz case is (seed, mutation list): the seed fixes the clean tape, the
+// buggified event schedule and the nemesis; the mutations corrupt the tape
+// the way real collectors do — magnitude spikes, gaps, NaN bursts, sample
+// reordering, clock skew, stuck windows. Because a PipelineSim run is a
+// pure function of (config, seed, tape), any failing case replays exactly,
+// and the fuzzer shrinks it to a *minimal* reproducer by greedy delta
+// debugging over the mutation list before reporting it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smoother/dsim/pipeline_sim.hpp"
+
+namespace smoother::dsim {
+
+enum class MutationKind {
+  kSpike,      ///< multiply a window of samples by a magnitude
+  kGap,        ///< mark a window of samples missing
+  kNanBurst,   ///< replace a window with quiet NaN
+  kReorder,    ///< reverse the arrival order of a window
+  kClockSkew,  ///< shift all arrival times from a position onward
+  kStuck,      ///< freeze a window at its first sample's value
+};
+inline constexpr std::size_t kMutationKindCount = 6;
+
+[[nodiscard]] std::string to_string(MutationKind kind);
+
+struct Mutation {
+  MutationKind kind = MutationKind::kSpike;
+  std::size_t position = 0;  ///< first affected tape index
+  std::size_t length = 1;    ///< affected window (clamped to the tape)
+  double magnitude = 0.0;    ///< spike factor / skew minutes (kind-specific)
+};
+
+/// One reproducible fuzz case.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  std::vector<Mutation> mutations;
+};
+
+/// Outcome of running one case.
+struct FuzzOutcome {
+  bool crashed = false;       ///< an exception escaped the simulation
+  std::string crash_what;
+  std::vector<InvariantViolation> violations;
+  std::size_t intervals = 0;
+
+  [[nodiscard]] bool failed() const {
+    return crashed || !violations.empty();
+  }
+};
+
+struct FuzzerConfig {
+  std::size_t min_mutations = 1;
+  std::size_t max_mutations = 4;
+  std::size_t max_window = 48;        ///< longest mutated window, samples
+  double max_spike_factor = 50.0;
+  double max_skew_minutes = 30.0;
+};
+
+struct FuzzReport {
+  std::size_t cases_run = 0;
+  std::size_t crashes = 0;
+  std::size_t violation_cases = 0;
+  /// The smallest failing reproducer found (after minimization).
+  std::optional<FuzzCase> reproducer;
+  std::string reproducer_description;
+
+  [[nodiscard]] bool clean() const {
+    return crashes == 0 && violation_cases == 0;
+  }
+};
+
+class TraceFuzzer {
+ public:
+  /// `base` describes the pipeline under test; each case derives its own
+  /// tape/schedule/nemesis from its case seed.
+  TraceFuzzer(PipelineSimConfig base, FuzzerConfig fuzzer = {});
+
+  /// The deterministic mutation list of `case_seed` (all draws keyed by
+  /// Rng::split of the seed — the same seed always generates the same
+  /// case, independent of any other fuzzing state).
+  [[nodiscard]] FuzzCase generate_case(std::uint64_t case_seed) const;
+
+  /// Applies the mutations to a copy of the tape (in list order).
+  [[nodiscard]] TelemetryTape mutate(const TelemetryTape& tape,
+                                     const std::vector<Mutation>& mutations)
+      const;
+
+  /// Runs one case, containing any escaping exception as a crash record.
+  [[nodiscard]] FuzzOutcome run_case(const FuzzCase& fuzz_case) const;
+
+  /// Greedy delta debugging: drops mutations one at a time while the case
+  /// still fails, until no single removal keeps it failing. The result has
+  /// the same seed and a subset of the mutations.
+  [[nodiscard]] FuzzCase minimize(const FuzzCase& failing) const;
+
+  /// Runs `cases` seeds derived from `base_seed` (case k uses
+  /// split(base_seed, k)), minimizing and recording the first failure.
+  [[nodiscard]] FuzzReport run(std::size_t cases,
+                               std::uint64_t base_seed) const;
+
+  /// One-line human/JSON-safe rendering of a case ("seed=... spike@...").
+  [[nodiscard]] static std::string describe(const FuzzCase& fuzz_case);
+
+ private:
+  PipelineSimConfig base_;
+  FuzzerConfig fuzzer_;
+};
+
+}  // namespace smoother::dsim

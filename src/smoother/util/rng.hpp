@@ -5,6 +5,29 @@
 // machines. The engine is xoshiro256** seeded through splitmix64, both
 // implemented here so the project does not depend on unspecified libstdc++
 // distribution internals.
+//
+// Portability guarantee (audited: no std::*_distribution, std::mt19937 or
+// std::shuffle anywhere in the repo — every draw goes through this file):
+//
+//   * Engine outputs (SplitMix64, Xoshiro256), uniform_index() and
+//     derive_stream_seed() are pure 64-bit integer arithmetic: bit-exact on
+//     every conforming C++ implementation, any compiler, any platform.
+//   * uniform() maps the top 53 engine bits through one exact IEEE-754
+//     multiply by 2^-53: bit-exact everywhere, and every derived draw that
+//     only rescales it linearly (uniform(lo,hi), bernoulli) consumes the
+//     engine identically everywhere.
+//   * Draws that pass through libm transcendentals (normal, exponential,
+//     weibull, poisson above mean 64, lognormal, pareto) consume the same
+//     engine outputs everywhere, but their values are only bit-exact per
+//     libm: log/sin/cos/pow are not required to be correctly rounded, so
+//     the last ulps may differ across C libraries. On one platform they are
+//     bit-reproducible run to run; cross-platform comparisons of artifacts
+//     built on them should use tolerances, not byte equality.
+//
+// test_rng pins golden values for all three tiers (exact for the integer/
+// uniform tier, tight tolerances for the transcendental tier) so any change
+// to the draw algorithms — which would silently reseed every generated
+// trace in the repo — fails loudly.
 #pragma once
 
 #include <array>

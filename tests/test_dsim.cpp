@@ -1,0 +1,390 @@
+// smoother::dsim: deterministic event loop, pipeline simulation,
+// invariant checking and the trace fuzzer.
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "smoother/dsim/event_loop.hpp"
+#include "smoother/dsim/invariants.hpp"
+#include "smoother/dsim/pipeline_sim.hpp"
+#include "smoother/dsim/trace_fuzz.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::dsim {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260809;
+
+PipelineSimConfig week_config() {
+  PipelineSimConfig config;
+  config.duration = util::days(7.0);
+  return config;
+}
+
+// ---------------------------------------------------------------- EventLoop
+
+TEST(EventLoop, ExecutesInTimeOrderWithStableTieBreak) {
+  BuggifyConfig quiet;
+  quiet.enabled = false;
+  EventLoop loop(1, quiet);
+  std::vector<int> order;
+  loop.schedule(util::Minutes{10.0}, "b", [&] { order.push_back(2); });
+  loop.schedule(util::Minutes{5.0}, "a", [&] { order.push_back(1); });
+  // Equal times: insertion order decides.
+  loop.schedule(util::Minutes{10.0}, "c", [&] { order.push_back(3); });
+  loop.schedule(util::Minutes{20.0}, "d", [&] { order.push_back(4); });
+  EXPECT_EQ(loop.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(loop.now().value(), 20.0);
+}
+
+TEST(EventLoop, VirtualClockNeverRunsBackwards) {
+  EventLoop loop(7);
+  double last = 0.0;
+  bool monotone = true;
+  for (int i = 0; i < 200; ++i)
+    loop.schedule(util::Minutes{static_cast<double>(200 - i)}, "e", [&] {
+      monotone = monotone && loop.now().value() >= last;
+      last = loop.now().value();
+    });
+  loop.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(EventLoop, NestedSchedulingFromCallbacks) {
+  BuggifyConfig quiet;
+  quiet.enabled = false;
+  EventLoop loop(3, quiet);
+  int fired = 0;
+  loop.schedule(util::Minutes{1.0}, "outer", [&] {
+    loop.schedule(util::Minutes{1.0}, "inner", [&] { ++fired; });
+  });
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now().value(), 2.0);
+}
+
+TEST(EventLoop, RunUntilStopsAtTheLimit) {
+  BuggifyConfig quiet;
+  quiet.enabled = false;
+  EventLoop loop(3, quiet);
+  int fired = 0;
+  loop.schedule(util::Minutes{5.0}, "in", [&] { ++fired; });
+  loop.schedule(util::Minutes{50.0}, "out", [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(util::Minutes{10.0}), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_EQ(loop.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, StopEndsTheRun) {
+  EventLoop loop(3);
+  int fired = 0;
+  loop.schedule(util::Minutes{1.0}, "a", [&] {
+    ++fired;
+    loop.stop();
+  });
+  loop.schedule(util::Minutes{2.0}, "b", [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, BuggifiedDelaysAreDeterministicInTheSeed) {
+  const auto trace_of = [](std::uint64_t seed) {
+    EventLoop loop(seed);
+    for (int i = 0; i < 100; ++i)
+      loop.schedule(util::Minutes{static_cast<double>(i)}, "e", [] {});
+    loop.run();
+    std::string joined;
+    for (const std::string& line : loop.trace()) joined += line + "\n";
+    return joined;
+  };
+  EXPECT_EQ(trace_of(42), trace_of(42));
+  EXPECT_NE(trace_of(42), trace_of(43));
+}
+
+TEST(EventLoop, BuggifyStretchesSomeDelays) {
+  // With an aggressive config some delays must stretch, and none shrink.
+  BuggifyConfig aggressive;
+  aggressive.delay_probability = 1.0;
+  aggressive.max_delay_minutes = 4.0;
+  EventLoop loop(11, aggressive);
+  std::vector<double> times;
+  for (int i = 0; i < 2000; ++i)
+    loop.schedule(util::Minutes{1.0}, "e",
+                  [&] { times.push_back(loop.now().value()); });
+  loop.run();
+  bool stretched = false;
+  for (double t : times) {
+    EXPECT_GE(t, 1.0);
+    EXPECT_LE(t, 5.0);
+    if (t > 1.0) stretched = true;
+  }
+  EXPECT_TRUE(stretched);
+}
+
+TEST(EventLoop, NegativeDelayThrows) {
+  EventLoop loop(1);
+  EXPECT_THROW(loop.schedule(util::Minutes{-1.0}, "bad", [] {}),
+               std::invalid_argument);
+}
+
+TEST(BuggifyConfig, Validation) {
+  BuggifyConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.delay_probability = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = BuggifyConfig{};
+  config.max_delay_minutes = -1.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// --------------------------------------------------------- InvariantChecker
+
+TEST(InvariantChecker, MonotoneFallbackDetectsDecreases) {
+  EXPECT_FALSE(InvariantChecker::check_monotone_fallback(
+      {{0.0, 0.0}, {0.1, 0.2}, {0.2, 0.2}, {0.4, 0.5}}));
+  const auto violation = InvariantChecker::check_monotone_fallback(
+      {{0.0, 0.0}, {0.1, 0.3}, {0.2, 0.1}});
+  ASSERT_TRUE(violation);
+  EXPECT_NE(violation->find("decreased"), std::string::npos);
+}
+
+TEST(InvariantChecker, ReplayCompareFindsFirstDivergence) {
+  EXPECT_FALSE(InvariantChecker::check_replay("abc", "abc"));
+  const auto violation = InvariantChecker::check_replay("abcd", "abXd");
+  ASSERT_TRUE(violation);
+  EXPECT_NE(violation->find("byte 2"), std::string::npos);
+}
+
+TEST(InvariantChecker, FlagsTerminalImbalance) {
+  battery::BatterySpec spec;
+  battery::Battery cell(spec);  // mid-corridor
+  InvariantChecker checker;
+  BatterySnapshot before = BatterySnapshot::of(cell);
+  // Claim the battery delivered energy it never exchanged: terminal
+  // imbalance.
+  checker.check_interval(0, 0.0, cell, before, 5.0, {100.0, 100.0},
+                         {150.0, 150.0});
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].invariant,
+            "energy-conservation-terminal");
+}
+
+TEST(InvariantChecker, CleanIntervalPasses) {
+  battery::BatterySpec spec;
+  battery::Battery cell(spec);
+  InvariantChecker checker;
+  BatterySnapshot before = BatterySnapshot::of(cell);
+  checker.check_interval(0, 0.0, cell, before, 5.0, {100.0, 100.0},
+                         {100.0, 100.0});
+  EXPECT_TRUE(checker.ok());
+  // Real exchange: discharge shows up in both the battery and the series.
+  before = BatterySnapshot::of(cell);
+  const util::Kilowatts delivered =
+      cell.discharge(util::Kilowatts{60.0}, util::kFiveMinutes);
+  checker.check_interval(1, 5.0, cell, before, 5.0, {100.0},
+                         {100.0 + delivered.value()});
+  EXPECT_TRUE(checker.ok())
+      << (checker.violations().empty() ? std::string{}
+                                       : checker.violations()[0].detail);
+}
+
+TEST(InvariantChecker, FlagsNonFiniteDelivery) {
+  battery::BatterySpec spec;
+  battery::Battery cell(spec);
+  InvariantChecker checker;
+  checker.check_interval(0, 0.0, cell, BatterySnapshot::of(cell), 5.0,
+                         {100.0}, {std::numeric_limits<double>::quiet_NaN()});
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(checker.violations()[0].invariant, "stream-integrity");
+}
+
+// -------------------------------------------------------------- PipelineSim
+
+TEST(PipelineSim, CleanWeekHasZeroViolationsAndZeroFallbacks) {
+  PipelineSim sim(week_config(), kSeed);
+  const PipelineSimResult result = sim.run();
+  EXPECT_TRUE(result.ok()) << result.violations[0].invariant << ": "
+                           << result.violations[0].detail;
+  EXPECT_EQ(result.health.intervals_fallback, 0u);
+  EXPECT_EQ(result.intervals, 7u * 24u);
+  EXPECT_EQ(result.samples, 7u * 24u * 12u);
+  EXPECT_GT(result.smoothed_intervals, 0u);
+  EXPECT_GT(result.events_executed, result.samples);
+}
+
+TEST(PipelineSim, ReplayIsByteIdentical) {
+  PipelineSimConfig config = week_config();
+  config.duration = util::days(3.0);
+  const PipelineSimResult a = PipelineSim(config, kSeed).run();
+  const PipelineSimResult b = PipelineSim(config, kSeed).run();
+  EXPECT_FALSE(InvariantChecker::check_replay(a.event_trace, b.event_trace));
+  EXPECT_FALSE(
+      InvariantChecker::check_replay(a.records_digest, b.records_digest));
+  EXPECT_EQ(a.output_checksum, b.output_checksum);
+  EXPECT_EQ(a.final_soc, b.final_soc);
+}
+
+TEST(PipelineSim, DifferentSeedsDiverge) {
+  PipelineSimConfig config = week_config();
+  config.duration = util::days(2.0);
+  const PipelineSimResult a = PipelineSim(config, 1).run();
+  const PipelineSimResult b = PipelineSim(config, 2).run();
+  EXPECT_NE(a.output_checksum, b.output_checksum);
+}
+
+TEST(PipelineSim, FaultsProduceFallbacksButNoViolations) {
+  PipelineSimConfig config = week_config();
+  config.faults.telemetry_nan_rate = 0.02;
+  config.faults.battery_outage_rate = 0.05;
+  config.faults.oracle_throw_rate = 0.05;
+  config.faults.solver_failure_rate = 0.05;
+  PipelineSim sim(config, kSeed);
+  const PipelineSimResult result = sim.run();
+  EXPECT_TRUE(result.ok()) << result.violations[0].invariant << ": "
+                           << result.violations[0].detail;
+  EXPECT_GT(result.health.intervals_fallback, 0u);
+  EXPECT_GT(result.health.degraded_entries, 0u);
+}
+
+TEST(PipelineSim, FallbackRateMonotoneInFaultRate) {
+  std::vector<std::pair<double, double>> curve;
+  for (double rate : {0.0, 0.05, 0.15, 0.3}) {
+    PipelineSimConfig config = week_config();
+    config.duration = util::days(3.0);
+    config.record_trace = false;
+    config.faults.solver_failure_rate = rate;
+    config.faults.oracle_throw_rate = rate / 2.0;
+    const PipelineSimResult result = PipelineSim(config, kSeed).run();
+    EXPECT_TRUE(result.ok());
+    curve.emplace_back(rate, result.health.fallback_rate());
+  }
+  EXPECT_GT(curve.back().second, 0.0);
+  EXPECT_FALSE(InvariantChecker::check_monotone_fallback(curve))
+      << *InvariantChecker::check_monotone_fallback(curve);
+}
+
+TEST(PipelineSimConfig, Validation) {
+  PipelineSimConfig config;
+  EXPECT_NO_THROW(config.validate());
+  config.buggify.max_delay_minutes = 10.0;  // >= sample step
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = PipelineSimConfig{};
+  config.duration = util::Minutes{0.0};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = PipelineSimConfig{};
+  config.forecast_error_sd = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- TraceFuzzer
+
+TEST(TraceFuzzer, CasesArePureFunctionsOfTheSeed) {
+  PipelineSimConfig config = week_config();
+  config.duration = util::days(2.0);
+  const TraceFuzzer fuzzer(config);
+  const FuzzCase a = fuzzer.generate_case(99);
+  const FuzzCase b = fuzzer.generate_case(99);
+  EXPECT_EQ(TraceFuzzer::describe(a), TraceFuzzer::describe(b));
+  EXPECT_NE(TraceFuzzer::describe(a),
+            TraceFuzzer::describe(fuzzer.generate_case(100)));
+}
+
+TEST(TraceFuzzer, MutationsCoverEveryKind) {
+  PipelineSimConfig config = week_config();
+  const TraceFuzzer fuzzer(config);
+  std::vector<bool> seen(kMutationKindCount, false);
+  for (std::uint64_t s = 0; s < 64; ++s)
+    for (const Mutation& m : fuzzer.generate_case(s).mutations)
+      seen[static_cast<std::size_t>(m.kind)] = true;
+  for (std::size_t k = 0; k < kMutationKindCount; ++k)
+    EXPECT_TRUE(seen[k]) << "kind " << k << " never generated";
+}
+
+TEST(TraceFuzzer, MutateAppliesEachKind) {
+  PipelineSimConfig config = week_config();
+  config.duration = util::Minutes{60.0};
+  const TraceFuzzer fuzzer(config);
+  PipelineSim sim(config, kSeed);
+  const TelemetryTape tape = sim.clean_tape();
+  ASSERT_EQ(tape.size(), 12u);
+
+  auto one = [&](MutationKind kind, double magnitude) {
+    return fuzzer.mutate(
+        tape, {Mutation{kind, 2, 3, magnitude}});
+  };
+  EXPECT_DOUBLE_EQ(one(MutationKind::kSpike, 2.0)[2].value_kw,
+                   tape[2].value_kw * 2.0);
+  EXPECT_TRUE(one(MutationKind::kGap, 0.0)[3].missing);
+  EXPECT_TRUE(std::isnan(one(MutationKind::kNanBurst, 0.0)[4].value_kw));
+  const TelemetryTape reordered = one(MutationKind::kReorder, 0.0);
+  EXPECT_DOUBLE_EQ(reordered[2].time_minutes, tape[4].time_minutes);
+  EXPECT_DOUBLE_EQ(reordered[4].time_minutes, tape[2].time_minutes);
+  const TelemetryTape skewed = one(MutationKind::kClockSkew, 7.5);
+  EXPECT_DOUBLE_EQ(skewed[2].time_minutes, tape[2].time_minutes + 7.5);
+  EXPECT_DOUBLE_EQ(skewed[11].time_minutes, tape[11].time_minutes + 7.5);
+  EXPECT_DOUBLE_EQ(skewed[1].time_minutes, tape[1].time_minutes);
+  const TelemetryTape stuck = one(MutationKind::kStuck, 0.0);
+  EXPECT_DOUBLE_EQ(stuck[4].value_kw, tape[2].value_kw);
+}
+
+TEST(TraceFuzzer, MutatedWeekSurvivesWithoutViolations) {
+  PipelineSimConfig config = week_config();
+  config.duration = util::days(2.0);
+  config.record_trace = false;
+  const TraceFuzzer fuzzer(config);
+  const FuzzReport report = fuzzer.run(8, kSeed);
+  EXPECT_EQ(report.cases_run, 8u);
+  EXPECT_TRUE(report.clean())
+      << report.reproducer_description << " (crashes=" << report.crashes
+      << ", violation_cases=" << report.violation_cases << ")";
+}
+
+TEST(TraceFuzzer, MinimizeShrinksToTheCulpritMutation) {
+  // Plant a synthetic "failure": a case fails iff it contains a NaN burst.
+  // We can't inject a fake oracle into run_case, so instead verify the
+  // shrinking logic through a case whose outcome we can predict: an empty
+  // minimization keeps at least one mutation and preserves the seed.
+  PipelineSimConfig config = week_config();
+  config.duration = util::days(1.0);
+  config.record_trace = false;
+  const TraceFuzzer fuzzer(config);
+  FuzzCase failing = fuzzer.generate_case(5);
+  const FuzzCase minimal = fuzzer.minimize(failing);
+  EXPECT_EQ(minimal.seed, failing.seed);
+  EXPECT_GE(minimal.mutations.size(), 1u);
+  EXPECT_LE(minimal.mutations.size(), failing.mutations.size());
+}
+
+// ------------------------------------------------------------------- Soak
+//
+// The fuzz soak: N mutated seeds, one simulated month each, zero crashes
+// and zero invariant violations. Plain ctest runs a fast slice; the
+// dsim_soak ctest target (tools/run_sanitized_tests.sh) raises the case
+// count to 100 via SMOOTHER_DSIM_SOAK_CASES for the sanitized gate.
+
+TEST(DsimSoak, FuzzedMonthsRunCleanUnderEverySeed) {
+  std::size_t cases = 6;
+  if (const char* env = std::getenv("SMOOTHER_DSIM_SOAK_CASES"))
+    cases = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  PipelineSimConfig config;  // one simulated month per case
+  config.record_trace = false;
+  const TraceFuzzer fuzzer(config);
+  const FuzzReport report = fuzzer.run(cases, 0xD51A);
+  EXPECT_EQ(report.cases_run, cases);
+  EXPECT_TRUE(report.clean())
+      << "reproducer: " << report.reproducer_description
+      << " (crashes=" << report.crashes
+      << ", violation_cases=" << report.violation_cases << ")";
+}
+
+}  // namespace
+}  // namespace smoother::dsim

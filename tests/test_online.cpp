@@ -278,6 +278,167 @@ TEST(OnlineSmoother, NegativeInputClampedToZero) {
     EXPECT_DOUBLE_EQ(smoother.output()[i], 0.0);
 }
 
+TEST(OnlineSmoother, RecoveryAfterExactlyNHealthyIntervals) {
+  // Boundary pin for the recovery hysteresis: with recovery_intervals = 3,
+  // the smoother must still be degraded after 2 healthy intervals and leave
+  // degraded mode at the end of the 3rd — not the 2nd, not the 4th.
+  auto config = small_config();
+  config.recovery_intervals = 3;
+  OnlineSmoother smoother(config, small_battery());
+  const std::size_t fault_interval = 5;
+  smoother.set_battery_monitor(
+      [fault_interval](std::size_t interval) {
+        return interval != fault_interval;
+      });
+
+  auto complete_interval = [&] {
+    std::optional<OnlineIntervalRecord> record;
+    for (int i = 0; i < 12; ++i) record = smoother.push(300.0);
+    return *record;
+  };
+
+  for (std::size_t k = 0; k < fault_interval; ++k) complete_interval();
+  ASSERT_FALSE(smoother.degraded());
+
+  const auto faulted = complete_interval();
+  EXPECT_EQ(faulted.fallback, resilience::FallbackReason::kBatteryFaulted);
+  EXPECT_TRUE(smoother.degraded());
+
+  // Healthy intervals 1 and 2: still inside the hysteresis window, and
+  // their records carry the degraded flag.
+  EXPECT_TRUE(complete_interval().degraded);
+  EXPECT_TRUE(smoother.degraded());
+  EXPECT_TRUE(complete_interval().degraded);
+  EXPECT_TRUE(smoother.degraded());
+
+  // Healthy interval 3: processed while degraded, but recovery fires at
+  // its end.
+  EXPECT_TRUE(complete_interval().degraded);
+  EXPECT_FALSE(smoother.degraded());
+  EXPECT_FALSE(complete_interval().degraded);
+
+  EXPECT_EQ(smoother.health().degraded_entries, 1u);
+  EXPECT_EQ(smoother.health().recoveries, 1u);
+}
+
+TEST(OnlineSmoother, FaultOnTheRecoveryIntervalRestartsTheStreak) {
+  // A fault landing on the interval that would have completed the healthy
+  // streak zeroes it: the smoother stays degraded (one episode, no second
+  // degraded_entries tick) and needs a full fresh streak to recover.
+  auto config = small_config();
+  config.recovery_intervals = 3;
+  OnlineSmoother smoother(config, small_battery());
+  const std::size_t first_fault = 5;
+  // 5 faults, then 6-7 healthy, then 8 faults again — exactly the interval
+  // whose healthy completion would have triggered recovery.
+  smoother.set_battery_monitor([first_fault](std::size_t interval) {
+    return interval != first_fault && interval != first_fault + 3;
+  });
+
+  auto complete_interval = [&] {
+    std::optional<OnlineIntervalRecord> record;
+    for (int i = 0; i < 12; ++i) record = smoother.push(300.0);
+    return *record;
+  };
+
+  for (std::size_t k = 0; k < first_fault; ++k) complete_interval();
+  const auto faulted = complete_interval();
+  EXPECT_EQ(faulted.fallback, resilience::FallbackReason::kBatteryFaulted);
+  complete_interval();  // healthy 1
+  complete_interval();  // healthy 2
+  const auto refaulted = complete_interval();  // would-be recovery: fault
+  EXPECT_EQ(refaulted.fallback, resilience::FallbackReason::kBatteryFaulted);
+  EXPECT_TRUE(smoother.degraded());
+  EXPECT_EQ(smoother.health().recoveries, 0u);
+
+  // A fresh full streak is required now.
+  complete_interval();
+  complete_interval();
+  EXPECT_TRUE(smoother.degraded());
+  complete_interval();
+  EXPECT_FALSE(smoother.degraded());
+  EXPECT_EQ(smoother.health().degraded_entries, 1u);  // one episode
+  EXPECT_EQ(smoother.health().recoveries, 1u);
+}
+
+TEST(OnlineSmoother, FirstPlanAfterRecoveryColdStarts) {
+  // The cached QP duals describe the pre-fault battery trajectory; the
+  // recovery contract is that the first post-recovery plan cold-starts
+  // (no warm_starts tick for its solve) and later plans warm-start again.
+  // Pinned through the public solver_cache_stats() counters.
+  auto config = small_config();
+  config.recovery_intervals = 2;
+
+  // Pass 1 (clean): find the planned intervals so the fault can be aimed
+  // at the middle of the planned region deterministically.
+  const auto supply = wind_day(33, 4.0);
+  const auto oracle = [&supply](std::size_t interval) {
+    std::vector<double> predicted(12);
+    for (std::size_t i = 0; i < 12; ++i)
+      predicted[i] = supply[interval * 12 + i];
+    return predicted;
+  };
+  std::vector<std::size_t> planned;
+  {
+    OnlineSmoother probe(config, small_battery());
+    probe.set_forecast_oracle(oracle);
+    for (std::size_t i = 0; i < supply.size(); ++i) probe.push(supply[i]);
+    for (const auto& record : probe.records())
+      if (record.smoothed &&
+          record.fallback == resilience::FallbackReason::kNone &&
+          record.solver_iterations > 0)
+        planned.push_back(record.index);
+  }
+  ASSERT_GE(planned.size(), 4u);
+  const std::size_t fault_interval = planned[planned.size() / 2];
+
+  // Pass 2: same stream, battery outage on one mid-run planned interval.
+  OnlineSmoother smoother(config, small_battery());
+  smoother.set_forecast_oracle(oracle);
+  smoother.set_battery_monitor([fault_interval](std::size_t interval) {
+    return interval != fault_interval;
+  });
+
+  // Per-interval deltas of the cache counters, via interval-by-interval
+  // stepping.
+  struct PlanDelta {
+    std::size_t index;
+    std::size_t solves;
+    std::size_t warm_starts;
+  };
+  std::vector<PlanDelta> deltas;
+  SolverCacheStats last = smoother.solver_cache_stats();
+  for (std::size_t i = 0; i < supply.size(); ++i) {
+    const auto record = smoother.push(supply[i]);
+    if (!record) continue;
+    const SolverCacheStats now = smoother.solver_cache_stats();
+    if (now.solves > last.solves)
+      deltas.push_back({record->index, now.solves - last.solves,
+                        now.warm_starts - last.warm_starts});
+    last = now;
+  }
+  EXPECT_EQ(smoother.health().recoveries, 1u);
+
+  // Locate the first plan after the recovery. Recovery completes at the
+  // end of interval fault_interval + recovery_intervals; any solve after
+  // that is post-recovery.
+  const std::size_t recovered_at = fault_interval + config.recovery_intervals;
+  bool saw_cold_restart = false, saw_warm_after = false;
+  for (const auto& delta : deltas) {
+    if (delta.index <= recovered_at) continue;
+    if (!saw_cold_restart) {
+      // First post-recovery plan: must not be seeded from stale duals.
+      EXPECT_EQ(delta.warm_starts, 0u)
+          << "interval " << delta.index << " warm-started off stale iterates";
+      saw_cold_restart = true;
+    } else if (delta.warm_starts > 0) {
+      saw_warm_after = true;
+    }
+  }
+  EXPECT_TRUE(saw_cold_restart);  // the QP path did resume
+  EXPECT_TRUE(saw_warm_after);    // and warm starts re-engaged afterwards
+}
+
 TEST(OnlineSmoother, ConstantSupplyNeverSmoothed) {
   // Constant supply: every interval variance is 0; after calibration the
   // thresholds are degenerate-but-valid and nothing is labelled smoothable.

@@ -277,5 +277,63 @@ TEST(Xoshiro, KnownBitsAreStable) {
   EXPECT_EQ(first, engine2());
 }
 
+// Golden pins for the portability guarantee documented in rng.hpp: the
+// integer/uniform tier is bit-exact on every platform (EXPECT_EQ); the
+// transcendental tier consumes the same engine outputs everywhere but its
+// values are only exact per libm (EXPECT_NEAR with tight tolerances).
+// splitmix64(0)'s first output matches Vigna's published reference vector,
+// which pins the whole derivation chain to the upstream algorithms.
+
+TEST(RngGolden, SplitMix64MatchesReferenceVector) {
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 16294208416658607535ULL);  // 0xE220A8397B1DCDAF
+  EXPECT_EQ(sm.next(), 7960286522194355700ULL);
+  EXPECT_EQ(sm.next(), 487617019471545679ULL);
+}
+
+TEST(RngGolden, XoshiroOutputsArePinned) {
+  Xoshiro256 engine(12345);
+  EXPECT_EQ(engine(), 13720838825685603483ULL);
+  EXPECT_EQ(engine(), 2398916695208396998ULL);
+  EXPECT_EQ(engine(), 17770384849984869256ULL);
+  EXPECT_EQ(engine(), 891717726879801395ULL);
+}
+
+TEST(RngGolden, UniformTierIsBitExact) {
+  // uniform(): top 53 engine bits * 2^-53 — every operation is exact in
+  // IEEE-754, so these are EXPECT_EQ on any platform.
+  Rng uniform_rng(42);
+  // 17-significant-digit literals round-trip exactly to the pinned doubles.
+  EXPECT_EQ(uniform_rng.uniform(), 0.083862971059882163);
+  EXPECT_EQ(uniform_rng.uniform(), 0.37898025066266861);
+  EXPECT_EQ(uniform_rng.uniform(), 0.68004341102813937);
+
+  Rng index_rng(42);
+  EXPECT_EQ(index_rng.uniform_index(1000), 742u);
+  EXPECT_EQ(index_rng.uniform_index(1000), 102u);
+  EXPECT_EQ(index_rng.uniform_index(1000), 9u);
+}
+
+TEST(RngGolden, StreamDerivationIsPinned) {
+  // derive_stream_seed is the identity every split stream in the repo —
+  // sweeps, the fault injector, dsim — hangs off; integer-only, bit-exact.
+  EXPECT_EQ(Rng::derive_stream_seed(42, 0), 4882731714671798318ULL);
+  EXPECT_EQ(Rng::derive_stream_seed(42, 7), 1090120882629537808ULL);
+  EXPECT_EQ(Rng::derive_stream_seed(0, 0), 13734107598367015650ULL);
+}
+
+TEST(RngGolden, TranscendentalTierIsPinnedPerLibm) {
+  // Box-Muller / inverse-CDF draws route through libm (log, sin, cos, pow),
+  // which is not correctly rounded — pin to a few ulps, not bytes.
+  constexpr double kTol = 1e-12;
+  Rng normal_rng(42);
+  EXPECT_NEAR(normal_rng.normal(), -1.6132237513849161, kTol);
+  EXPECT_NEAR(normal_rng.normal(), 1.5344873235334195, kTol);
+  Rng exp_rng(42);
+  EXPECT_NEAR(exp_rng.exponential(1.0), 2.4785711090585898, kTol);
+  Rng weibull_rng(42);
+  EXPECT_NEAR(weibull_rng.weibull(2.0, 8.0), 12.594782688865646, kTol);
+}
+
 }  // namespace
 }  // namespace smoother::util

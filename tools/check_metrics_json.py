@@ -14,9 +14,16 @@ contract), so the ctest smoke targets fail when an exporter regresses.
 Usage:
     check_metrics_json.py FILE [--require-span NAME]... \
         [--require-counter NAME]...
+    check_metrics_json.py BENCH_dsim.json --dsim
 
 NAME accepts fnmatch globs (e.g. 'solver.qp.structured_*'), which require at
 least one matching span/counter; plain names keep exact-match semantics.
+
+--dsim switches to the BENCH_dsim.json schema emitted by bench/macro_dsim:
+year-run gates (zero violations, byte-identical replay, wall < 60 s), the
+fault-rate sweep (rates strictly increasing, fallback curve monotone
+non-decreasing, zero violations) and the fuzz section (zero crashes and
+violation cases, empty reproducer).
 """
 
 import argparse
@@ -117,6 +124,78 @@ def check_trace(trace):
     return {event["name"] for event in trace if event.get("type") == "span"}
 
 
+def check_dsim(path, doc):
+    """Validate the BENCH_dsim.json schema (bench/macro_dsim)."""
+    expect(isinstance(doc, dict), "top level must be an object")
+    want = {"bench", "seed", "year", "rate_sweep", "fuzz", "monotone",
+            "deterministic", "ok"}
+    expect(set(doc) == want,
+           f"top-level keys {sorted(doc)} != {sorted(want)}")
+    expect(doc["bench"] == "macro_dsim",
+           f"bench must be 'macro_dsim', got {doc['bench']!r}")
+    expect(isinstance(doc["seed"], int) and doc["seed"] >= 0,
+           f"seed must be a non-negative integer, got {doc['seed']!r}")
+
+    year = doc["year"]
+    expect(isinstance(year, dict), "year must be an object")
+    year_keys = {"days", "samples", "intervals", "events", "fallback_rate",
+                 "violations", "wall_seconds", "sim_speedup",
+                 "replay_identical"}
+    expect(set(year) == year_keys,
+           f"year keys {sorted(year)} != {sorted(year_keys)}")
+    expect(year["days"] >= 365, f"year.days must cover a year: {year['days']}")
+    for key in ("samples", "intervals", "events"):
+        expect(isinstance(year[key], int) and year[key] > 0,
+               f"year.{key} must be a positive integer, got {year[key]!r}")
+    expect(year["events"] >= year["samples"],
+           "year.events must cover at least one event per sample")
+    expect(0.0 <= year["fallback_rate"] <= 1.0,
+           f"year.fallback_rate outside [0,1]: {year['fallback_rate']}")
+    expect(year["violations"] == 0,
+           f"year run recorded {year['violations']} invariant violations")
+    expect(0.0 < year["wall_seconds"] < 60.0,
+           f"year.wall_seconds outside (0,60): {year['wall_seconds']}")
+    expect(year["sim_speedup"] > 1.0,
+           f"year.sim_speedup must be > 1: {year['sim_speedup']}")
+    expect(year["replay_identical"] is True, "year replay was not identical")
+
+    sweep = doc["rate_sweep"]
+    expect(isinstance(sweep, list) and len(sweep) >= 2,
+           "rate_sweep must list at least two cells")
+    for i, cell in enumerate(sweep):
+        expect(isinstance(cell, dict) and
+               set(cell) == {"rate", "fallback_rate", "violations"},
+               f"rate_sweep[{i}] must hold rate/fallback_rate/violations")
+        expect(cell["violations"] == 0,
+               f"rate_sweep[{i}] recorded {cell['violations']} violations")
+    rates = [cell["rate"] for cell in sweep]
+    expect(all(a < b for a, b in zip(rates, rates[1:])),
+           f"rate_sweep rates not strictly increasing: {rates}")
+    curve = [cell["fallback_rate"] for cell in sweep]
+    expect(all(a <= b for a, b in zip(curve, curve[1:])),
+           f"fallback curve not monotone non-decreasing: {curve}")
+
+    fuzz = doc["fuzz"]
+    expect(isinstance(fuzz, dict) and
+           set(fuzz) == {"cases", "crashes", "violation_cases", "reproducer"},
+           "fuzz must hold cases/crashes/violation_cases/reproducer")
+    expect(isinstance(fuzz["cases"], int) and fuzz["cases"] > 0,
+           f"fuzz.cases must be positive, got {fuzz['cases']!r}")
+    expect(fuzz["crashes"] == 0, f"fuzz recorded {fuzz['crashes']} crashes")
+    expect(fuzz["violation_cases"] == 0,
+           f"fuzz recorded {fuzz['violation_cases']} violation cases")
+    expect(fuzz["reproducer"] == "",
+           f"fuzz left a reproducer: {fuzz['reproducer']!r}")
+
+    expect(doc["monotone"] is True, "monotone gate is false")
+    expect(doc["deterministic"] is True, "deterministic gate is false")
+    expect(doc["ok"] is True, "overall ok gate is false")
+
+    print(f"check_metrics_json: OK: {path} (dsim schema; "
+          f"{year['intervals']} intervals, {len(sweep)} sweep cells, "
+          f"{fuzz['cases']} fuzz cases)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="--metrics-out JSON file to validate")
@@ -126,6 +205,9 @@ def main():
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME",
                         help="fail unless this counter is present and > 0")
+    parser.add_argument("--dsim", action="store_true",
+                        help="validate the BENCH_dsim.json schema instead of "
+                             "a --metrics-out file")
     args = parser.parse_args()
 
     try:
@@ -133,6 +215,10 @@ def main():
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         fail(f"{args.file}: {error}")
+
+    if args.dsim:
+        check_dsim(args.file, doc)
+        return
 
     expect(isinstance(doc, dict), "top level must be an object")
     expect(set(doc) == {"bench", "metrics", "trace"},

@@ -3,8 +3,11 @@
 #
 #   1. ASan+UBSan (build-asan/): the resilience acceptance gate — the
 #      >=10k-interval mixed-fault soak and friends must run clean — plus
-#      the obs exporter/trace tests and the structured-KKT/banded-Cholesky
-#      numerics (span-heavy code, worth the bounds checking).
+#      the obs exporter/trace tests, the structured-KKT/banded-Cholesky
+#      numerics (span-heavy code, worth the bounds checking), and the dsim
+#      suites including the dsim_soak target (100 fuzzed seeds x 1 simulated
+#      month through the full online pipeline on the deterministic event
+#      loop).
 #   2. TSan (build-tsan/): the concurrency surface — obs recording from
 #      pool workers, the work-stealing ThreadPool, SweepRunner, and
 #      per-task QpSolver instances (dense and structured paths) on sweep
@@ -19,7 +22,7 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace"
+asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace|EventLoop|BuggifyConfig|InvariantChecker|PipelineSim|TraceFuzzer|dsim_soak"
 tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured"
 if [[ "${1:-}" == "--full" ]]; then
   asan_filter=""

@@ -19,11 +19,11 @@
 //   * the whole grid is byte-identical serial vs parallel (--threads N).
 //
 // Emits BENCH_resilience.json for the perf/robustness trajectory.
-#include <fstream>
 #include <sstream>
 
 #include "common.hpp"
 #include "smoother/core/online.hpp"
+#include "smoother/persist/engine.hpp"
 #include "smoother/resilience/fault_injector.hpp"
 
 namespace {
@@ -235,8 +235,7 @@ int main(int argc, char** argv) {
         cell.recoveries, i + 1 < results.size() ? "," : "");
   }
   json << "  ]\n}\n";
-  std::ofstream out("BENCH_resilience.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_resilience.json", json.str());
 
   const bool ok = zero_rate_clean && monotone && no_throws && deterministic;
   std::cout << "wrote BENCH_resilience.json"

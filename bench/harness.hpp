@@ -33,14 +33,15 @@
 
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "smoother/obs/metrics.hpp"
 #include "smoother/obs/trace.hpp"
+#include "smoother/persist/engine.hpp"
 #include "smoother/util/args.hpp"
 #include "smoother/util/units.hpp"
 
@@ -205,17 +206,21 @@ class Harness {
   }
 
   void write_metrics_file() const {
-    std::ofstream file(metrics_path_);
-    if (!file) {
-      std::cerr << program_ << ": cannot write " << metrics_path_ << "\n";
-      return;
-    }
+    std::ostringstream file;
     file << "{\n  \"bench\": \"" << program_ << "\",\n  \"metrics\": "
          << registry_->to_json() << ",\n  \"trace\": [";
     const std::vector<std::string> events = tracer_->lines();
     for (std::size_t i = 0; i < events.size(); ++i)
       file << (i == 0 ? "\n    " : ",\n    ") << events[i];
     file << (events.empty() ? "]" : "\n  ]") << "\n}\n";
+    // Temp file + rename: a crashed or concurrent bench run can never leave
+    // a truncated metrics file behind for the smoke checks to choke on.
+    try {
+      persist::atomic_write_file(metrics_path_, file.str());
+    } catch (const std::exception& e) {
+      std::cerr << program_ << ": cannot write " << metrics_path_ << ": "
+                << e.what() << "\n";
+    }
   }
 
   std::string program_;

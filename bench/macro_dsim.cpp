@@ -24,12 +24,12 @@
 // BENCH_dsim.json for the perf/robustness trajectory
 // (tools/check_metrics_json.py --dsim validates the schema).
 #include <chrono>
-#include <fstream>
 #include <sstream>
 
 #include "common.hpp"
 #include "smoother/dsim/pipeline_sim.hpp"
 #include "smoother/dsim/trace_fuzz.hpp"
+#include "smoother/persist/engine.hpp"
 
 namespace {
 
@@ -233,8 +233,7 @@ int main(int argc, char** argv) {
        << "  \"monotone\": " << (monotone ? "true" : "false") << ",\n"
        << "  \"deterministic\": " << (deterministic ? "true" : "false")
        << ",\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
-  std::ofstream out("BENCH_dsim.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_dsim.json", json.str());
 
   std::cout << "wrote BENCH_dsim.json"
             << (ok ? "; all dsim invariants hold.\n"

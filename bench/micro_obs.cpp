@@ -19,11 +19,11 @@
 // Emits BENCH_obs.json (and the same JSON on stdout). Exits non-zero when
 // the overhead budget or the identity check fails, so ctest catches a
 // regression in either.
-#include <fstream>
 #include <sstream>
 
 #include "common.hpp"
 #include "smoother/obs/metrics.hpp"
+#include "smoother/persist/engine.hpp"
 #include "smoother/obs/profile.hpp"
 #include "smoother/obs/trace.hpp"
 
@@ -172,8 +172,7 @@ int main(int argc, char** argv) {
        << "}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_obs.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_obs.json", json.str());
   std::cout << "\nwrote BENCH_obs.json";
   if (!identical)
     std::cout << "; ERROR: sweep results changed with observability on!";

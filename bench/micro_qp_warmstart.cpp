@@ -24,10 +24,10 @@
 // counters for the smoke_metrics_qp schema check. Iteration counts are
 // bit-reproducible run to run; only the wall-ms fields vary.
 #include <chrono>
-#include <fstream>
 #include <sstream>
 
 #include "common.hpp"
+#include "smoother/persist/engine.hpp"
 
 #include "smoother/battery/battery.hpp"
 #include "smoother/power/turbine.hpp"
@@ -215,8 +215,7 @@ int main(int argc, char** argv) {
         i + 1 < days.size() ? "," : "");
   }
   json << "  ]\n}\n";
-  std::ofstream out("BENCH_qp.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_qp.json", json.str());
   std::cout << "\nwrote BENCH_qp.json\n";
   return pass ? 0 : 1;
 }

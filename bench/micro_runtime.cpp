@@ -12,10 +12,10 @@
 // have a perf trajectory to regress against, and asserts that the sweep
 // results are byte-identical across thread counts — the determinism
 // contract, checked on every bench run.
-#include <fstream>
 #include <sstream>
 
 #include "common.hpp"
+#include "smoother/persist/engine.hpp"
 
 namespace {
 
@@ -136,8 +136,7 @@ int main(int argc, char** argv) {
   json << "  ]\n}\n";
 
   std::cout << json.str();
-  std::ofstream out("BENCH_runtime.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_runtime.json", json.str());
   std::cout << "\nwrote BENCH_runtime.json"
             << (deterministic
                     ? "; sweep results byte-identical at every thread count.\n"

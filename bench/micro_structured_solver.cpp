@@ -27,11 +27,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <new>
 #include <sstream>
 
 #include "common.hpp"
+#include "smoother/persist/engine.hpp"
 
 #include "smoother/battery/battery.hpp"
 #include "smoother/power/turbine.hpp"
@@ -376,8 +376,7 @@ int main(int argc, char** argv) {
         d.max_rate_diff_kw, i + 1 < diffs.size() ? "," : "");
   }
   json << "  ]\n}\n";
-  std::ofstream out("BENCH_solver.json");
-  out << json.str();
+  persist::atomic_write_file("BENCH_solver.json", json.str());
   std::cout << "\nwrote BENCH_solver.json\n";
   return pass ? 0 : 1;
 }

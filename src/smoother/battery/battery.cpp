@@ -1,6 +1,7 @@
 #include "smoother/battery/battery.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace smoother::battery {
@@ -95,6 +96,23 @@ util::Kilowatts Battery::discharge(util::Kilowatts power, util::Minutes dt) {
 util::Kilowatts Battery::apply_signed(util::Kilowatts s, util::Minutes dt) {
   if (s >= util::Kilowatts{0.0}) return discharge(s, dt);
   return -charge(-s, dt);
+}
+
+void Battery::restore(const BatteryState& state) {
+  if (!std::isfinite(state.energy_kwh) ||
+      !std::isfinite(state.total_charged_kwh) ||
+      !std::isfinite(state.total_discharged_kwh))
+    throw std::invalid_argument("Battery::restore: non-finite state");
+  if (state.total_charged_kwh < 0.0 || state.total_discharged_kwh < 0.0)
+    throw std::invalid_argument(
+        "Battery::restore: throughput totals must be >= 0");
+  const util::KilowattHours energy{state.energy_kwh};
+  if (energy < spec_.min_energy() || energy > spec_.max_energy())
+    throw std::invalid_argument(
+        "Battery::restore: energy outside the SoC corridor");
+  energy_ = energy;
+  total_charged_ = util::KilowattHours{state.total_charged_kwh};
+  total_discharged_ = util::KilowattHours{state.total_discharged_kwh};
 }
 
 double Battery::equivalent_full_cycles() const {

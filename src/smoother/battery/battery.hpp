@@ -41,6 +41,18 @@ struct BatterySpec {
                                             util::Minutes sustain,
                                             double headroom = 1.0);
 
+/// The serializable dynamic state of a Battery: everything that changes
+/// after construction. The spec is deliberately excluded — it is
+/// configuration, reconstructed from config on restart, and restore()
+/// validates the checkpointed energy against the *current* spec's corridor
+/// so a stale checkpoint cannot smuggle an out-of-corridor SoC past the
+/// invariants.
+struct BatteryState {
+  double energy_kwh = 0.0;
+  double total_charged_kwh = 0.0;
+  double total_discharged_kwh = 0.0;
+};
+
 /// Mutable battery state with rate- and SoC-limited operations.
 ///
 /// Sign convention matches the paper's S vector: a *discharge* adds power to
@@ -96,6 +108,17 @@ class Battery {
 
   /// Equivalent full cycles so far: cell throughput / (2 * usable window).
   [[nodiscard]] double equivalent_full_cycles() const;
+
+  /// Captures the dynamic state for checkpointing.
+  [[nodiscard]] BatteryState state() const {
+    return {energy_.value(), total_charged_.value(),
+            total_discharged_.value()};
+  }
+
+  /// Restores a state captured with state(). Throws std::invalid_argument
+  /// when the energy lies outside this spec's SoC corridor, a throughput
+  /// total is negative, or any field is non-finite.
+  void restore(const BatteryState& state);
 
  private:
   BatterySpec spec_;

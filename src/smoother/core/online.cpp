@@ -119,7 +119,7 @@ void OnlineSmoother::process_interval() {
   const util::TimeSeries window(config_.sample_step, pending_);
 
   OnlineIntervalRecord record;
-  record.index = records_.size();
+  record.index = interval_base_ + records_.size();
   record.variance_before = window.variance();
   record.variance_after = record.variance_before;
   record.degraded = mode_ == Mode::kDegraded;
@@ -291,6 +291,101 @@ void OnlineSmoother::process_interval() {
         metrics->counter("core.online.observer_errors").add(1);
     }
   }
+}
+
+OnlineSmoother::StreamState OnlineSmoother::export_state() const {
+  StreamState state;
+  export_state_into(state);
+  return state;
+}
+
+void OnlineSmoother::export_state_into(StreamState& state) const {
+  state.degraded = mode_ == Mode::kDegraded;
+  state.healthy_streak = healthy_streak_;
+  state.pending_faulted = pending_faulted_;
+  state.pending = pending_;
+  state.previous_interval = previous_interval_;
+  state.variance_history.assign(variance_history_.begin(),
+                                variance_history_.end());
+  state.stable_below = thresholds_.stable_below;
+  state.extreme_above = thresholds_.extreme_above;
+  state.calibrated = calibrated_;
+  state.intervals_completed = interval_base_ + records_.size();
+  state.output_samples = output_base_ + output_.size();
+  const std::size_t points = config_.flexible_smoothing.points_per_interval;
+  const std::size_t tail = std::min(points, output_.size());
+  state.output_tail.assign(output_.values().end() -
+                               static_cast<std::ptrdiff_t>(tail),
+                           output_.values().end());
+  state.guard_last_good_kw = guard_.last_good_kw();
+  state.battery = battery_.state();
+  state.health = health_;
+}
+
+void OnlineSmoother::import_state(const StreamState& state) {
+  const std::size_t points = config_.flexible_smoothing.points_per_interval;
+  auto all_finite = [](const std::vector<double>& values) {
+    for (double v : values)
+      if (!std::isfinite(v)) return false;
+    return true;
+  };
+  if (state.pending.size() >= points)
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: a full pending window should have "
+        "been processed, never captured");
+  if (!state.previous_interval.empty() &&
+      state.previous_interval.size() != points)
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: previous interval length mismatch");
+  if (state.variance_history.size() > config_.history_intervals)
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: variance history exceeds the window");
+  if (!all_finite(state.pending) || !all_finite(state.previous_interval) ||
+      !all_finite(state.variance_history) || !all_finite(state.output_tail))
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: non-finite sample in state");
+  if (state.calibrated) {
+    if (state.variance_history.size() < config_.warmup_intervals)
+      throw std::invalid_argument(
+          "OnlineSmoother::import_state: calibrated without enough history");
+    if (!(state.stable_below > 0.0 &&
+          state.stable_below < state.extreme_above))
+      throw std::invalid_argument(
+          "OnlineSmoother::import_state: calibrated thresholds must satisfy "
+          "0 < stable < extreme");
+  }
+  if (state.pending_faulted > state.pending.size())
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: more faulted samples than pending");
+  if (static_cast<std::uint64_t>(state.output_tail.size()) >
+      state.output_samples)
+    throw std::invalid_argument(
+        "OnlineSmoother::import_state: output tail longer than the output");
+  battery_.restore(state.battery);  // validates against the current spec
+  guard_.restore_last_good(state.guard_last_good_kw);
+
+  mode_ = state.degraded ? Mode::kDegraded : Mode::kNormal;
+  healthy_streak_ = static_cast<std::size_t>(state.healthy_streak);
+  pending_faulted_ = static_cast<std::size_t>(state.pending_faulted);
+  pending_ = state.pending;
+  pending_.reserve(points);
+  previous_interval_ = state.previous_interval;
+  variance_history_.assign(state.variance_history.begin(),
+                           state.variance_history.end());
+  thresholds_.stable_below = state.stable_below;
+  thresholds_.extreme_above = state.extreme_above;
+  calibrated_ = state.calibrated;
+  health_ = state.health;
+  records_.clear();
+  interval_base_ = static_cast<std::size_t>(state.intervals_completed);
+  output_base_ = static_cast<std::size_t>(state.output_samples) -
+                 state.output_tail.size();
+  output_ = util::TimeSeries(config_.sample_step, state.output_tail);
+  // A restored smoother re-plans from scratch: the cached solver iterates
+  // described the pre-checkpoint world (and after a crash, possibly a world
+  // that never committed), exactly the situation the degraded-mode recovery
+  // cold-start exists for.
+  smoothing_.reset_solver_warm_starts();
 }
 
 resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(

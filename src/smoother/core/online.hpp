@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -155,6 +156,36 @@ class OnlineSmoother {
     obs::IntervalObserver* observer = nullptr;
   };
 
+  /// The complete streaming state as plain data: everything push() mutates,
+  /// nothing that is configuration. export_state()/import_state() are the
+  /// checkpoint boundary the smoother::persist codec serializes — the core
+  /// layer stays free of any on-disk format knowledge.
+  ///
+  /// Deliberately absent: the QP solver cache and its warm-start iterates.
+  /// Warm starts are an optimization, not stream state — import_state()
+  /// cold-starts the planner (exactly like a degraded-mode recovery), so a
+  /// restored smoother re-plans from scratch rather than trusting iterates
+  /// from a world it can no longer verify.
+  struct StreamState {
+    bool degraded = false;
+    std::uint64_t healthy_streak = 0;
+    std::uint64_t pending_faulted = 0;
+    std::vector<double> pending;            ///< samples of the open interval
+    std::vector<double> previous_interval;  ///< persistence forecast source
+    std::vector<double> variance_history;   ///< threshold learning window
+    double stable_below = 0.0;              ///< RegionThresholds
+    double extreme_above = 0.0;
+    bool calibrated = false;
+    std::uint64_t intervals_completed = 0;  ///< interval cursor
+    std::uint64_t output_samples = 0;       ///< total output produced ever
+    /// Last <= points_per_interval output samples: what on-line consumers
+    /// (and the dsim audit) read back after an interval commits.
+    std::vector<double> output_tail;
+    double guard_last_good_kw = 0.0;
+    battery::BatteryState battery;
+    resilience::HealthReport health;
+  };
+
   /// Battery is owned by the smoother (moved in). Throws
   /// std::invalid_argument on bad config.
   OnlineSmoother(OnlineSmootherConfig config, battery::Battery battery);
@@ -194,13 +225,41 @@ class OnlineSmoother {
   /// persistence. Same return contract as push().
   std::optional<OnlineIntervalRecord> push_missing();
 
-  /// All smoothed output produced so far (same step as the input;
-  /// trails the input by up to one interval).
+  /// Captures the complete streaming state (see StreamState). Pure
+  /// observation: the smoother is unchanged.
+  [[nodiscard]] StreamState export_state() const;
+
+  /// export_state() into a caller-owned StreamState, reusing its vector
+  /// capacity. For per-interval checkpoint loops, where a fresh StreamState
+  /// per capture would pay four allocations per interval.
+  void export_state_into(StreamState& state) const;
+
+  /// Replaces the streaming state wholesale with a captured one. The
+  /// configuration (and hooks) stay as constructed — a checkpoint restores
+  /// *state*, never config — and the state is validated against it: throws
+  /// std::invalid_argument on any internally inconsistent or out-of-domain
+  /// field (oversized pending window, non-finite samples, thresholds that
+  /// contradict the calibration flag, battery outside the corridor...).
+  /// On success records() restarts empty with indices continuing from
+  /// intervals_completed, output() restarts from the tail, and the first
+  /// subsequent plan cold-starts the solver.
+  void import_state(const StreamState& state);
+
+  /// All smoothed output produced since construction or the last
+  /// import_state() (same step as the input; trails the input by up to one
+  /// interval).
   [[nodiscard]] const util::TimeSeries& output() const { return output_; }
 
-  /// Intervals processed so far.
+  /// Intervals processed since construction or the last import_state().
   [[nodiscard]] const std::vector<OnlineIntervalRecord>& records() const {
     return records_;
+  }
+
+  /// Lifetime interval cursor: intervals completed across import_state()
+  /// boundaries. Equals records().size() unless a state was imported; the
+  /// next completed interval gets this index.
+  [[nodiscard]] std::size_t intervals_completed() const {
+    return interval_base_ + records_.size();
   }
 
   /// Current thresholds (defaults until warmup completes).
@@ -264,6 +323,10 @@ class OnlineSmoother {
   bool calibrated_ = false;
   util::TimeSeries output_;
   std::vector<OnlineIntervalRecord> records_;
+  /// Cursor bases carried across import_state(): records_/output_ hold only
+  /// what happened since, the bases remember what came before.
+  std::size_t interval_base_ = 0;
+  std::size_t output_base_ = 0;
 };
 
 }  // namespace smoother::core

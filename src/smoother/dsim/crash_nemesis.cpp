@@ -1,0 +1,176 @@
+#include "smoother/dsim/crash_nemesis.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smoother/dsim/invariants.hpp"
+#include "smoother/util/format.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::dsim {
+
+namespace {
+
+/// Rng::split stream for crash placement; distinct from every pipeline and
+/// fuzzer stream of the same seed.
+constexpr std::uint64_t kNemesisStream = 0xC2A54;
+
+/// wal.bin header size (magic + u32 version); tear offsets stay at or past
+/// it so the torn file still parses as a WAL with a damaged record tail.
+constexpr std::uintmax_t kWalHeaderBytes = 8;
+
+/// Splits a records digest into its per-interval lines.
+std::vector<std::string> digest_lines(const std::string& digest) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < digest.size()) {
+    const std::size_t end = digest.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(digest.substr(start));
+      break;
+    }
+    lines.push_back(digest.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+void CrashNemesisConfig::validate() const {
+  pipeline.validate();
+  if (pipeline.solver_warm_start)
+    throw std::invalid_argument(
+        "CrashNemesisConfig: solver_warm_start must be off — warm-start "
+        "iterates are not checkpointed, so recovered runs legitimately "
+        "diverge from the reference with it on");
+  if (crash_points == 0)
+    throw std::invalid_argument(
+        "CrashNemesisConfig: need at least one crash point");
+  if (!(torn_write_fraction >= 0.0 && torn_write_fraction <= 1.0))
+    throw std::invalid_argument(
+        "CrashNemesisConfig: torn fraction must be in [0,1]");
+  persist.validate();
+}
+
+CrashNemesis::CrashNemesis(CrashNemesisConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  config_.validate();
+}
+
+CrashNemesisReport CrashNemesis::run() {
+  CrashNemesisReport report;
+  report.points = config_.crash_points;
+
+  PipelineSim sim(config_.pipeline, seed_);
+  const TelemetryTape tape = sim.clean_tape();
+  const PipelineSimResult reference = sim.run(tape);
+  if (!reference.ok())
+    throw std::runtime_error(
+        "CrashNemesis: the uninterrupted reference run violates invariants; "
+        "nothing to compare recovery against");
+  report.reference_intervals = reference.intervals;
+  const std::vector<std::string> ref_lines =
+      digest_lines(reference.records_digest);
+
+  for (std::size_t i = 0; i < config_.crash_points; ++i) {
+    // Pure per-case stream: a failing case is reproducible from (seed, i).
+    util::Rng rng = util::Rng(seed_).split(kNemesisStream).split(i);
+    CrashOutcome outcome;
+    const std::uint64_t span =
+        reference.events_executed > 1
+            ? static_cast<std::uint64_t>(reference.events_executed) - 1
+            : 1;
+    outcome.crash_after_events =
+        1 + static_cast<std::uint64_t>(rng.uniform() *
+                                       static_cast<double>(span));
+    const bool want_torn = rng.uniform() < config_.torn_write_fraction;
+
+    persist::PersistConfig engine_config = config_.persist;
+    engine_config.directory =
+        (std::filesystem::path(config_.persist.directory) /
+         util::strfmt("point-%zu", i))
+            .string();
+    std::filesystem::remove_all(engine_config.directory);
+
+    {
+      persist::PersistEngine engine(engine_config);
+      SimControls controls;
+      controls.engine = &engine;
+      controls.halt_after_events = outcome.crash_after_events;
+      PipelineSim crashed(config_.pipeline, seed_);
+      static_cast<void>(crashed.run(tape, controls));
+    }
+
+    if (want_torn) {
+      // Tear mid-append: cut the WAL at a random byte offset past the
+      // header, exactly what a crash during a write leaves behind.
+      const std::string wal =
+          (std::filesystem::path(engine_config.directory) / "wal.bin")
+              .string();
+      std::error_code ec;
+      const std::uintmax_t size = std::filesystem::file_size(wal, ec);
+      if (!ec && size > kWalHeaderBytes) {
+        const std::uintmax_t cut =
+            kWalHeaderBytes +
+            static_cast<std::uintmax_t>(
+                rng.uniform() *
+                static_cast<double>(size - kWalHeaderBytes));
+        std::filesystem::resize_file(wal, cut, ec);
+        if (!ec) {
+          outcome.torn = true;
+          ++report.torn;
+        }
+      }
+    }
+
+    persist::PersistEngine engine(engine_config);
+    const persist::RecoveredState recovered = engine.recover();
+    outcome.recovered = recovered.found;
+    outcome.from_snapshot = recovered.from_snapshot;
+    outcome.wal_records_replayed = recovered.wal_records_replayed;
+    outcome.wal_bytes_truncated = recovered.wal_bytes_truncated;
+    if (recovered.found) {
+      outcome.committed_intervals =
+          peek_checkpoint(recovered.state).committed_intervals;
+      ++report.recovered;
+    } else {
+      ++report.cold_starts;
+    }
+
+    SimControls controls;
+    controls.engine = &engine;
+    if (recovered.found) controls.resume_state = &recovered.state;
+    PipelineSim resumed_sim(config_.pipeline, seed_);
+    const PipelineSimResult resumed = resumed_sim.run(tape, controls);
+
+    std::string expected;
+    for (std::size_t k =
+             static_cast<std::size_t>(outcome.committed_intervals);
+         k < ref_lines.size(); ++k) {
+      expected += ref_lines[k];
+      expected += '\n';
+    }
+    const std::optional<std::string> diff =
+        InvariantChecker::check_replay(expected, resumed.records_digest);
+    outcome.identical = !diff.has_value();
+    outcome.clean = resumed.ok();
+    if (outcome.identical) ++report.identical;
+    if (outcome.clean) ++report.clean;
+    if (report.first_failure.empty() && (!outcome.identical || !outcome.clean))
+      report.first_failure = util::strfmt(
+          "case %zu (crash after %llu events%s, %llu committed): %s", i,
+          static_cast<unsigned long long>(outcome.crash_after_events),
+          outcome.torn ? ", torn WAL" : "",
+          static_cast<unsigned long long>(outcome.committed_intervals),
+          !outcome.identical ? diff->c_str() : "invariant violations");
+    report.outcomes.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace smoother::dsim

@@ -72,6 +72,7 @@ bool EventLoop::step(double until_minutes) {
                                   static_cast<unsigned long long>(event.seq),
                                   event.label.c_str()));
   event.fn();
+  if (halt_after_ > 0 && executed_ >= halt_after_) running_ = false;
   return true;
 }
 

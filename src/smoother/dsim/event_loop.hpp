@@ -76,6 +76,12 @@ class EventLoop {
   /// Makes run()/run_until() return after the current event completes.
   void stop() { running_ = false; }
 
+  /// Crash point for the persistence nemesis: run()/run_until() halt after
+  /// the loop's lifetime events_executed() reaches `count` (0 disables).
+  /// The event at the crash point completes — the "kill" lands between
+  /// events, exactly where a process death interrupts a run loop.
+  void set_halt_after_events(std::uint64_t count) { halt_after_ = count; }
+
   [[nodiscard]] std::uint64_t events_scheduled() const { return next_seq_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
@@ -122,6 +128,7 @@ class EventLoop {
   util::Minutes now_{0.0};
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t halt_after_ = 0;
   bool running_ = true;
   bool record_trace_ = true;
   std::vector<std::string> trace_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "smoother/battery/battery.hpp"
 #include "smoother/obs/metrics.hpp"
 #include "smoother/obs/trace.hpp"
+#include "smoother/persist/state.hpp"
 #include "smoother/power/turbine.hpp"
 #include "smoother/resilience/telemetry_guard.hpp"
 #include "smoother/util/format.hpp"
@@ -76,9 +78,23 @@ TelemetryTape PipelineSim::clean_tape() const {
   return tape;
 }
 
+CheckpointInfo peek_checkpoint(std::string_view payload) {
+  persist::Reader reader(payload);
+  CheckpointInfo info;
+  info.committed_intervals = reader.u64();
+  info.samples_consumed = reader.u64();
+  info.soc_fraction = reader.f64();
+  return info;
+}
+
 PipelineSimResult PipelineSim::run() { return run(clean_tape()); }
 
 PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
+  return run(tape, SimControls{});
+}
+
+PipelineSimResult PipelineSim::run(const TelemetryTape& tape,
+                                   const SimControls& controls) {
   obs::MetricsRegistry* metrics = obs::global_metrics();
   obs::Span span(obs::global_tracer(), "dsim-run");
 
@@ -87,6 +103,8 @@ PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
 
   EventLoop loop(seed_, config_.buggify);
   loop.set_record_trace(config_.record_trace);
+  if (controls.halt_after_events > 0)
+    loop.set_halt_after_events(controls.halt_after_events);
 
   // --- the pipeline under test -------------------------------------------
   resilience::FaultInjector injector(
@@ -98,6 +116,7 @@ PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
   smoother_config.warmup_intervals = config_.warmup_intervals;
   smoother_config.history_intervals = config_.history_intervals;
   smoother_config.recovery_intervals = config_.recovery_intervals;
+  smoother_config.flexible_smoothing.warm_start = config_.solver_warm_start;
   const std::size_t points =
       smoother_config.flexible_smoothing.points_per_interval;
 
@@ -146,9 +165,53 @@ PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
   shadow_config.rated_power_kw = config_.rated_power.value();
   resilience::TelemetryGuard shadow_guard(shadow_config);
 
+  // --- resume: restore the checkpoint, mark the consumed tape prefix -----
+  std::uint64_t sample_base = 0;
+  std::vector<char> consumed(tape.size(), 0);
+  if (controls.resume_state != nullptr) {
+    persist::Reader reader(*controls.resume_state);
+    const std::uint64_t committed = reader.u64();
+    sample_base = reader.u64();
+    // SoC preamble: diagnostic only; the battery state below is
+    // authoritative.
+    static_cast<void>(reader.f64());
+    const double injector_last_clean = reader.f64();
+    const double guard_last_good = reader.f64();
+    persist::restore_state(reader, smoother);
+    reader.expect_done();
+    try {
+      injector.restore_last_clean(injector_last_clean);
+      shadow_guard.restore_last_good(guard_last_good);
+    } catch (const std::invalid_argument& e) {
+      throw persist::PersistError(persist::ErrorKind::kCorrupt, e.what());
+    }
+    if (committed != smoother.intervals_completed())
+      throw persist::PersistError(
+          persist::ErrorKind::kCorrupt,
+          "checkpoint preamble and smoother state disagree on the interval "
+          "cursor");
+    // The consumed events are the first sample_base in execution order —
+    // the stable sort of the tape by arrival time (see SimControls).
+    std::vector<std::size_t> order(tape.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&tape](std::size_t a, std::size_t b) {
+                       return tape[a].time_minutes < tape[b].time_minutes;
+                     });
+    const std::size_t cut = std::min(
+        static_cast<std::size_t>(sample_base), order.size());
+    for (std::size_t j = 0; j < cut; ++j) consumed[order[j]] = 1;
+  }
+
   std::vector<double> accepted;
   accepted.reserve(points);
   BatterySnapshot battery_before = BatterySnapshot::of(smoother.battery());
+
+  // Checkpoint scratch, reused across intervals so the per-interval persist
+  // path stays allocation-free (the macro_recovery overhead gate).
+  persist::Writer checkpoint_writer;
+  checkpoint_writer.reserve(1024);
+  core::OnlineSmoother::StreamState checkpoint_state;
 
   const auto on_record = [&](const core::OnlineIntervalRecord& record) {
     const util::TimeSeries& output = smoother.output();
@@ -174,6 +237,17 @@ PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
         resilience::to_string(record.fallback).c_str(), record.cf_variance,
         record.variance_before, record.variance_after,
         record.solver_iterations);
+    if (controls.engine != nullptr) {
+      checkpoint_writer.clear();  // reused across intervals: one allocation
+      checkpoint_writer.u64(smoother.intervals_completed());
+      checkpoint_writer.u64(sample_base + result.samples);
+      checkpoint_writer.f64(smoother.battery().soc_fraction());
+      checkpoint_writer.f64(injector.last_clean_kw());
+      checkpoint_writer.f64(shadow_guard.last_good_kw());
+      smoother.export_state_into(checkpoint_state);
+      persist::save_state(checkpoint_writer, checkpoint_state);
+      controls.engine->append(checkpoint_writer.bytes());
+    }
   };
 
   // --- wire the tape and forecast updates as events ----------------------
@@ -205,6 +279,7 @@ PipelineSimResult PipelineSim::run(const TelemetryTape& tape) {
   }
 
   for (std::size_t i = 0; i < tape.size(); ++i) {
+    if (consumed[i] != 0) continue;
     loop.schedule_at(
         util::Minutes{tape[i].time_minutes},
         util::strfmt("telemetry i=%zu%s", i,

@@ -26,6 +26,7 @@
 #include "smoother/core/online.hpp"
 #include "smoother/dsim/event_loop.hpp"
 #include "smoother/dsim/invariants.hpp"
+#include "smoother/persist/engine.hpp"
 #include "smoother/resilience/fault_injector.hpp"
 #include "smoother/trace/wind_speed_model.hpp"
 #include "smoother/util/time_series.hpp"
@@ -66,6 +67,13 @@ struct PipelineSimConfig {
   /// 0 = perfect forecasts.
   double forecast_error_sd = 0.05;
 
+  /// Seed ADMM solves from the previous interval's solution (the deployed
+  /// default). Crash-recovery byte-identity tests turn this off: warm-start
+  /// iterates are deliberately not checkpointed (DESIGN.md §4i), so a
+  /// recovered run cold-starts a solve the uninterrupted run ran warm, and
+  /// the per-interval iteration counts in the records digest would differ.
+  bool solver_warm_start = true;
+
   /// The nemesis. All-zero rates = clean run.
   resilience::FaultInjectorConfig faults;
 
@@ -82,6 +90,43 @@ struct PipelineSimConfig {
 
   void validate() const;
 };
+
+/// Crash/recovery controls for one run(). Default-constructed it is the
+/// plain uninterrupted run; the persistence nemesis combines the fields:
+/// attach an engine to checkpoint, halt_after_events to kill, resume_state
+/// to restart from a recovered checkpoint.
+///
+/// Resume identifies the already-consumed telemetry events by position in
+/// the execution order, which it reconstructs as the stable sort of the
+/// tape by arrival time. That reconstruction is exact when the tape's
+/// arrival spacing exceeds the buggified jitter (any clean tape) or when
+/// buggification is disabled (what the fuzzer's crash cases do for mutated
+/// tapes); other combinations may resume from the wrong cut.
+struct SimControls {
+  /// When set, one checkpoint payload is appended per committed interval.
+  persist::PersistEngine* engine = nullptr;
+
+  /// When > 0, the event loop halts after executing this many events — the
+  /// simulated process kill. The run returns whatever had committed.
+  std::uint64_t halt_after_events = 0;
+
+  /// When set, the run restores this checkpoint payload (as recovered from
+  /// a PersistEngine) and replays only the unconsumed tail of the tape.
+  const std::string* resume_state = nullptr;
+};
+
+/// The preamble of a checkpoint payload: enough to place the checkpoint on
+/// the tape without decoding the full smoother state. tools/wal_dump.py
+/// decodes exactly these fields, in this order, from each WAL record.
+struct CheckpointInfo {
+  std::uint64_t committed_intervals = 0;
+  std::uint64_t samples_consumed = 0;
+  double soc_fraction = 0.0;
+};
+
+/// Decodes the preamble of a checkpoint payload produced by a run with an
+/// engine attached. Throws persist::PersistError on malformed input.
+[[nodiscard]] CheckpointInfo peek_checkpoint(std::string_view payload);
 
 struct PipelineSimResult {
   std::uint64_t seed = 0;
@@ -123,6 +168,13 @@ class PipelineSim {
   /// pipeline are caught and recorded as "no-crash" violations, so a fuzz
   /// campaign collects them instead of dying.
   [[nodiscard]] PipelineSimResult run(const TelemetryTape& tape);
+
+  /// Runs with crash/recovery controls: checkpointing one WAL record per
+  /// committed interval, halting at a crash point, and/or resuming from a
+  /// recovered checkpoint. run(tape) is exactly run(tape, {}) — a run with
+  /// no controls takes the identical code path, draw for draw.
+  [[nodiscard]] PipelineSimResult run(const TelemetryTape& tape,
+                                      const SimControls& controls);
 
  private:
   PipelineSimConfig config_;

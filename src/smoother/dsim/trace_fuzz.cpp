@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "smoother/persist/engine.hpp"
 #include "smoother/util/format.hpp"
 #include "smoother/util/rng.hpp"
 
@@ -13,6 +15,20 @@ namespace smoother::dsim {
 
 namespace {
 constexpr std::uint64_t kCaseStream = 0xFCA5E;
+/// Crash-point placement for crash_restart cases; distinct from every
+/// pipeline, nemesis and case stream of the same seed.
+constexpr std::uint64_t kCrashStream = 0xC4A58;
+
+/// The reference digest from interval `committed` on (line-granular cut).
+std::string digest_tail(const std::string& digest, std::uint64_t committed) {
+  std::size_t start = 0;
+  for (std::uint64_t skipped = 0; skipped < committed; ++skipped) {
+    const std::size_t end = digest.find('\n', start);
+    if (end == std::string::npos) return {};
+    start = end + 1;
+  }
+  return digest.substr(start);
+}
 }  // namespace
 
 std::string to_string(MutationKind kind) {
@@ -28,13 +44,16 @@ std::string to_string(MutationKind kind) {
 }
 
 TraceFuzzer::TraceFuzzer(PipelineSimConfig base, FuzzerConfig fuzzer)
-    : base_(std::move(base)), fuzzer_(fuzzer) {
+    : base_(std::move(base)), fuzzer_(std::move(fuzzer)) {
   if (fuzzer_.min_mutations == 0 ||
       fuzzer_.min_mutations > fuzzer_.max_mutations)
     throw std::invalid_argument(
         "FuzzerConfig: need 1 <= min_mutations <= max_mutations");
   if (fuzzer_.max_window == 0)
     throw std::invalid_argument("FuzzerConfig: max_window must be >= 1");
+  if (fuzzer_.crash_restart && fuzzer_.crash_dir.empty())
+    throw std::invalid_argument(
+        "FuzzerConfig: crash_restart needs a crash_dir");
 }
 
 FuzzCase TraceFuzzer::generate_case(std::uint64_t case_seed) const {
@@ -147,7 +166,80 @@ FuzzOutcome TraceFuzzer::run_case(const FuzzCase& fuzz_case) const {
     outcome.crashed = true;
     outcome.crash_what = "non-exception thrown";
   }
+  if (fuzzer_.crash_restart && !outcome.crashed) {
+    try {
+      check_crash_restart(fuzz_case, outcome);
+    } catch (const std::exception& e) {
+      outcome.crashed = true;
+      outcome.crash_what = std::string("crash-restart cycle: ") + e.what();
+    } catch (...) {
+      outcome.crashed = true;
+      outcome.crash_what = "crash-restart cycle: non-exception thrown";
+    }
+  }
   return outcome;
+}
+
+void TraceFuzzer::check_crash_restart(const FuzzCase& fuzz_case,
+                                      FuzzOutcome& outcome) const {
+  // The cycle's own pipeline variant: buggification off so the resume cut
+  // is reconstructible on arbitrarily mutated tapes, warm starts off so
+  // the resumed run is comparable to the reference (neither is persisted).
+  PipelineSimConfig config = base_;
+  config.record_trace = false;
+  config.buggify.enabled = false;
+  config.solver_warm_start = false;
+
+  PipelineSim sim(config, fuzz_case.seed);
+  const TelemetryTape tape = mutate(sim.clean_tape(), fuzz_case.mutations);
+  const PipelineSimResult reference = sim.run(tape);
+  if (reference.events_executed <= 1) return;
+
+  util::Rng rng = util::Rng(fuzz_case.seed).split(kCrashStream);
+  const std::uint64_t halt =
+      1 + rng.uniform_index(
+              static_cast<std::uint64_t>(reference.events_executed) - 1);
+
+  persist::PersistConfig engine_config;
+  engine_config.directory =
+      (std::filesystem::path(fuzzer_.crash_dir) /
+       util::strfmt("case-%llu",
+                    static_cast<unsigned long long>(fuzz_case.seed)))
+          .string();
+  std::filesystem::remove_all(engine_config.directory);
+
+  {
+    persist::PersistEngine engine(engine_config);
+    SimControls controls;
+    controls.engine = &engine;
+    controls.halt_after_events = halt;
+    PipelineSim crashed(config, fuzz_case.seed);
+    static_cast<void>(crashed.run(tape, controls));
+  }
+
+  persist::PersistEngine engine(engine_config);
+  const persist::RecoveredState recovered = engine.recover();
+  SimControls controls;
+  controls.engine = &engine;
+  if (recovered.found) controls.resume_state = &recovered.state;
+  PipelineSim resumed_sim(config, fuzz_case.seed);
+  const PipelineSimResult resumed = resumed_sim.run(tape, controls);
+
+  const std::uint64_t committed =
+      recovered.found ? peek_checkpoint(recovered.state).committed_intervals
+                      : 0;
+  const std::optional<std::string> diff = InvariantChecker::check_replay(
+      digest_tail(reference.records_digest, committed),
+      resumed.records_digest);
+  if (diff) {
+    outcome.recovery_diverged = true;
+    outcome.recovery_detail = util::strfmt(
+        "killed after %llu events, %llu intervals committed: %s",
+        static_cast<unsigned long long>(halt),
+        static_cast<unsigned long long>(committed), diff->c_str());
+    return;  // keep the failing directory for inspection
+  }
+  std::filesystem::remove_all(engine_config.directory);
 }
 
 FuzzCase TraceFuzzer::minimize(const FuzzCase& failing) const {
@@ -179,19 +271,23 @@ FuzzReport TraceFuzzer::run(std::size_t cases,
     ++report.cases_run;
     if (outcome.crashed) ++report.crashes;
     if (!outcome.violations.empty()) ++report.violation_cases;
+    if (outcome.recovery_diverged) ++report.recovery_divergences;
     if (outcome.failed() && !report.reproducer) {
       const FuzzCase minimal = minimize(fuzz_case);
       report.reproducer = minimal;
       const FuzzOutcome witness = run_case(minimal);
+      std::string verdict;
+      if (witness.crashed)
+        verdict = "crash: " + witness.crash_what;
+      else if (!witness.violations.empty())
+        verdict = witness.violations.front().invariant + ": " +
+                  witness.violations.front().detail;
+      else if (witness.recovery_diverged)
+        verdict = "recovery diverged: " + witness.recovery_detail;
+      else
+        verdict = "transient (did not reproduce after minimization)";
       report.reproducer_description = util::strfmt(
-          "%s -> %s", describe(minimal).c_str(),
-          witness.crashed
-              ? ("crash: " + witness.crash_what).c_str()
-              : (witness.violations.empty()
-                     ? "transient (did not reproduce after minimization)"
-                     : (witness.violations.front().invariant + ": " +
-                        witness.violations.front().detail)
-                           .c_str()));
+          "%s -> %s", describe(minimal).c_str(), verdict.c_str());
     }
   }
   return report;

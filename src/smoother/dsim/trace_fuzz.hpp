@@ -51,9 +51,13 @@ struct FuzzOutcome {
   std::string crash_what;
   std::vector<InvariantViolation> violations;
   std::size_t intervals = 0;
+  /// crash_restart only: the kill-and-recover cycle of this case did not
+  /// reproduce the uninterrupted run's remaining intervals byte for byte.
+  bool recovery_diverged = false;
+  std::string recovery_detail;
 
   [[nodiscard]] bool failed() const {
-    return crashed || !violations.empty();
+    return crashed || !violations.empty() || recovery_diverged;
   }
 };
 
@@ -63,18 +67,33 @@ struct FuzzerConfig {
   std::size_t max_window = 48;        ///< longest mutated window, samples
   double max_spike_factor = 50.0;
   double max_skew_minutes = 30.0;
+
+  /// When set, every case also runs a kill-and-recover cycle on its mutated
+  /// tape: checkpoint to crash_dir, halt at a case-seeded event, recover
+  /// from disk, resume, and require the resumed records digest to match the
+  /// case's own uninterrupted run from the committed interval on. The cycle
+  /// runs with buggification and solver warm starts disabled (resume
+  /// reconstruction on mutated tapes needs the deterministic consumption
+  /// order, and warm-start iterates are not checkpointed).
+  bool crash_restart = false;
+  /// Parent directory for per-case engine state; caller makes it unique per
+  /// process (the same suite can run concurrently under ctest -j).
+  std::string crash_dir;
 };
 
 struct FuzzReport {
   std::size_t cases_run = 0;
   std::size_t crashes = 0;
   std::size_t violation_cases = 0;
+  /// crash_restart only: cases whose kill-and-recover cycle diverged.
+  std::size_t recovery_divergences = 0;
   /// The smallest failing reproducer found (after minimization).
   std::optional<FuzzCase> reproducer;
   std::string reproducer_description;
 
   [[nodiscard]] bool clean() const {
-    return crashes == 0 && violation_cases == 0;
+    return crashes == 0 && violation_cases == 0 &&
+           recovery_divergences == 0;
   }
 };
 
@@ -111,6 +130,11 @@ class TraceFuzzer {
   [[nodiscard]] static std::string describe(const FuzzCase& fuzz_case);
 
  private:
+  /// crash_restart: kill-and-recover on the case's mutated tape; fills
+  /// outcome.recovery_diverged / recovery_detail on divergence.
+  void check_crash_restart(const FuzzCase& fuzz_case,
+                           FuzzOutcome& outcome) const;
+
   PipelineSimConfig base_;
   FuzzerConfig fuzzer_;
 };

@@ -1,0 +1,208 @@
+#include "smoother/persist/codec.hpp"
+
+#include <array>
+#include <bit>
+
+namespace smoother::persist {
+
+std::string to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTruncated: return "truncated";
+    case ErrorKind::kBadMagic: return "bad-magic";
+    case ErrorKind::kFutureVersion: return "future-version";
+    case ErrorKind::kChecksum: return "checksum-mismatch";
+    case ErrorKind::kCorrupt: return "corrupt";
+    case ErrorKind::kIo: return "io-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial. Built once;
+/// the table contents are a pure function of the polynomial, so checksums
+/// are identical on every platform.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+/// Raw update over the un-inverted state (pre/post xor lives in
+/// crc32c_extend so both implementations can be chained byte-for-byte).
+std::uint32_t crc32c_update_table(std::uint32_t state,
+                                  std::string_view bytes) {
+  for (char c : bytes)
+    state = (state >> 8) ^
+            kCrc32cTable[(state ^ static_cast<std::uint8_t>(c)) & 0xffu];
+  return state;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SMOOTHER_CRC32C_HW 1
+/// SSE4.2 crc32 instruction: same reflected Castagnoli polynomial, ~8
+/// bytes per cycle vs ~1 byte per table lookup. Values are identical to
+/// the table path (the golden-vector test pins both).
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_update_hw(
+    std::uint32_t state, std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  std::uint64_t wide = state;
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint64_t word;
+    __builtin_memcpy(&word, p, sizeof word);
+    wide = __builtin_ia32_crc32di(wide, word);
+  }
+  state = static_cast<std::uint32_t>(wide);
+  for (; n > 0; ++p, --n)
+    state = __builtin_ia32_crc32qi(state, static_cast<std::uint8_t>(*p));
+  return state;
+}
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, std::string_view bytes) {
+  std::uint32_t state = crc ^ 0xffffffffu;
+#ifdef SMOOTHER_CRC32C_HW
+  static const bool kHaveHw = __builtin_cpu_supports("sse4.2");
+  state = kHaveHw ? crc32c_update_hw(state, bytes)
+                  : crc32c_update_table(state, bytes);
+#else
+  state = crc32c_update_table(state, bytes);
+#endif
+  return state ^ 0xffffffffu;
+}
+
+std::uint32_t crc32c(std::string_view bytes) {
+  return crc32c_extend(0, bytes);
+}
+
+void Writer::u32(std::uint32_t v) {
+  // One append of a stack buffer, not four push_backs: this encoder sits on
+  // the per-interval checkpoint hot path (see macro_recovery's overhead
+  // gate). The byte order stays explicitly little-endian.
+  char bytes[4];
+  for (int i = 0; i < 4; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  buffer_.append(bytes, sizeof bytes);
+}
+
+void Writer::u64(std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  buffer_.append(bytes, sizeof bytes);
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::doubles(std::span<const double> values) {
+  buffer_.reserve(buffer_.size() + 8 * (values.size() + 1));
+  u64(values.size());
+  for (double v : values) f64(v);
+}
+
+void Writer::u64s(std::span<const std::uint64_t> values) {
+  buffer_.reserve(buffer_.size() + 8 * (values.size() + 1));
+  u64(values.size());
+  for (std::uint64_t v : values) u64(v);
+}
+
+void Writer::str(std::string_view s) {
+  u64(s.size());
+  buffer_.append(s);
+}
+
+void Reader::require(std::size_t n) const {
+  if (bytes_.size() - offset_ < n)
+    throw PersistError(ErrorKind::kTruncated,
+                       "need " + std::to_string(n) + " bytes, have " +
+                           std::to_string(bytes_.size() - offset_));
+}
+
+std::uint8_t Reader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(bytes_[offset_++]);
+}
+
+std::uint32_t Reader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(
+             static_cast<std::uint8_t>(bytes_[offset_++]))
+         << shift;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(bytes_[offset_++]))
+         << shift;
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1)
+    throw PersistError(ErrorKind::kCorrupt,
+                       "boolean byte is " + std::to_string(v));
+  return v == 1;
+}
+
+std::vector<double> Reader::doubles() {
+  const std::uint64_t count = u64();
+  // Each element takes 8 bytes: a count beyond the remaining input cannot
+  // be satisfied, and catching it here avoids a pathological allocation.
+  if (count > remaining() / 8)
+    throw PersistError(ErrorKind::kCorrupt,
+                       "double count " + std::to_string(count) +
+                           " exceeds the remaining input");
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (double& v : values) v = f64();
+  return values;
+}
+
+std::vector<std::uint64_t> Reader::u64s() {
+  const std::uint64_t count = u64();
+  if (count > remaining() / 8)
+    throw PersistError(ErrorKind::kCorrupt,
+                       "u64 count " + std::to_string(count) +
+                           " exceeds the remaining input");
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(count));
+  for (std::uint64_t& v : values) v = u64();
+  return values;
+}
+
+std::string Reader::str() {
+  const std::uint64_t length = u64();
+  if (length > remaining())
+    throw PersistError(ErrorKind::kCorrupt,
+                       "string length " + std::to_string(length) +
+                           " exceeds the remaining input");
+  std::string s(bytes_.substr(offset_, static_cast<std::size_t>(length)));
+  offset_ += static_cast<std::size_t>(length);
+  return s;
+}
+
+void Reader::expect_done() const {
+  if (!done())
+    throw PersistError(ErrorKind::kCorrupt,
+                       std::to_string(remaining()) +
+                           " trailing bytes after the decoded value");
+}
+
+}  // namespace smoother::persist

@@ -1,0 +1,137 @@
+// Canonical binary codec for crash-safe state persistence.
+//
+// Every persisted artifact in Smoother — snapshots, WAL records, the
+// component states inside them — is encoded through this one Writer/Reader
+// pair so the on-disk format has a single definition:
+//
+//   * canonical little-endian byte order, assembled bytewise (the encoding
+//     does not depend on host endianness or struct layout);
+//   * doubles as their IEEE-754 bit patterns (bit_cast), so a round trip is
+//     bit-exact — including negative zero and the NaNs a checkpoint must
+//     never contain but a corrupted file might;
+//   * length-prefixed containers (u64 count, then payloads);
+//   * CRC32C (Castagnoli) over whole records — hardware-accelerated where
+//     the CPU offers it (SSE4.2), with a table fallback computing the same
+//     reflected polynomial, so the checksum value is platform-independent.
+//
+// Failures are typed: every decode error throws PersistError with an
+// ErrorKind the recovery path can dispatch on — a torn tail is recoverable
+// (truncate and resume), a future format version is not (refuse loudly
+// rather than misinterpret newer state).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smoother::persist {
+
+/// Current on-disk format version. Bump on any incompatible layout change;
+/// readers accept versions <= theirs and reject newer ones with
+/// ErrorKind::kFutureVersion.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class ErrorKind {
+  kTruncated,      ///< input ended mid-value (torn write)
+  kBadMagic,       ///< not a Smoother persistence file
+  kFutureVersion,  ///< written by a newer format than this reader knows
+  kChecksum,       ///< CRC32C mismatch (bit rot / partial overwrite)
+  kCorrupt,        ///< structurally invalid content
+  kIo,             ///< filesystem operation failed
+};
+
+[[nodiscard]] std::string to_string(ErrorKind kind);
+
+/// The one exception type of the persistence layer. kind() lets recovery
+/// code distinguish "truncate and carry on" (kTruncated/kChecksum on a WAL
+/// tail) from "refuse to start" (kFutureVersion, kBadMagic).
+class PersistError : public std::runtime_error {
+ public:
+  PersistError(ErrorKind kind, const std::string& what)
+      : std::runtime_error(to_string(kind) + ": " + what), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). Golden vector:
+/// crc32c("123456789") == 0xE3069283.
+[[nodiscard]] std::uint32_t crc32c(std::string_view bytes);
+
+/// Streaming form: crc32c_extend(crc32c(a), b) == crc32c(a || b), so a
+/// record's checksum over seq || payload never needs the two contiguous.
+/// crc32c(bytes) == crc32c_extend(0, bytes).
+[[nodiscard]] std::uint32_t crc32c_extend(std::uint32_t crc,
+                                          std::string_view bytes);
+
+/// Appends values to a byte buffer in the canonical encoding.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// IEEE-754 bit pattern; bit-exact round trip.
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// u64 count followed by the doubles.
+  void doubles(std::span<const double> values);
+  /// u64 count followed by the values.
+  void u64s(std::span<const std::uint64_t> values);
+  /// u64 length followed by the raw bytes.
+  void str(std::string_view s);
+
+  /// Capacity hint for hot paths that know their encoded size (the
+  /// per-interval checkpoint); purely an optimization.
+  void reserve(std::size_t total_bytes) { buffer_.reserve(total_bytes); }
+
+  /// Empties the buffer but keeps its capacity, so one Writer can encode a
+  /// stream of records with a single allocation.
+  void clear() { buffer_.clear(); }
+
+  [[nodiscard]] const std::string& bytes() const { return buffer_; }
+  [[nodiscard]] std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Decodes a byte buffer written by Writer. Reads past the end throw
+/// PersistError{kTruncated}; domain violations (a boolean byte that is
+/// neither 0 nor 1, a container longer than the remaining input) throw
+/// PersistError{kCorrupt}.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::vector<double> doubles();
+  [[nodiscard]] std::vector<std::uint64_t> u64s();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - offset_;
+  }
+  [[nodiscard]] bool done() const { return offset_ == bytes_.size(); }
+
+  /// Decoders call this when they finish: trailing bytes mean the payload
+  /// was written by something this decoder does not fully understand.
+  void expect_done() const;
+
+ private:
+  void require(std::size_t n) const;
+
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace smoother::persist

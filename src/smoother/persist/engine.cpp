@@ -1,0 +1,377 @@
+#include "smoother/persist/engine.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace smoother::persist {
+
+namespace {
+
+constexpr std::string_view kWalMagic = "SMWL";
+constexpr std::string_view kSnapshotMagic = "SMSN";
+constexpr std::size_t kHeaderBytes = 8;   // magic + u32 version
+constexpr std::size_t kRecordHeaderBytes = 16;  // u32 len + u32 crc + u64 seq
+/// stdio buffer for the WAL stream: at ~1 KB per checkpoint record, 64 KB
+/// turns one write syscall per few records into one per few dozen.
+constexpr std::size_t kWalBufferBytes = 64 * 1024;
+
+std::string header_bytes(std::string_view magic) {
+  std::string bytes(magic);
+  Writer version;
+  version.u32(kFormatVersion);
+  bytes += version.bytes();
+  return bytes;
+}
+
+std::string errno_detail(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+void sync_file(std::FILE* file, const std::string& path) {
+#ifdef _WIN32
+  if (_commit(_fileno(file)) != 0)
+#else
+  if (fsync(fileno(file)) != 0)
+#endif
+    throw PersistError(ErrorKind::kIo, errno_detail("fsync", path));
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    throw PersistError(ErrorKind::kIo, errno_detail("open", path));
+  std::string bytes;
+  char chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, file)) > 0)
+    bytes.append(chunk, got);
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) throw PersistError(ErrorKind::kIo, errno_detail("read", path));
+  return bytes;
+}
+
+/// Validates a file header in place: magic match, version <= ours.
+void check_header(std::string_view bytes, std::string_view magic,
+                  const std::string& path) {
+  if (bytes.size() < kHeaderBytes)
+    throw PersistError(ErrorKind::kTruncated,
+                       path + ": header cut short at " +
+                           std::to_string(bytes.size()) + " bytes");
+  if (bytes.substr(0, magic.size()) != magic)
+    throw PersistError(ErrorKind::kBadMagic,
+                       path + ": not a Smoother persistence file");
+  Reader reader(bytes.substr(magic.size(), 4));
+  const std::uint32_t version = reader.u32();
+  if (version > kFormatVersion)
+    throw PersistError(ErrorKind::kFutureVersion,
+                       path + ": format version " + std::to_string(version) +
+                           " is newer than this build's " +
+                           std::to_string(kFormatVersion));
+}
+
+/// One parsed WAL/snapshot record.
+struct ParsedRecord {
+  std::uint64_t seq = 0;
+  std::string_view payload;
+  std::size_t end_offset = 0;  ///< offset just past this record
+};
+
+/// Parses the record starting at `offset`; returns nullopt when the bytes
+/// from `offset` do not contain one complete, checksum-valid record (a torn
+/// or corrupt tail — recovery truncates there).
+std::optional<ParsedRecord> parse_record(std::string_view bytes,
+                                         std::size_t offset) {
+  if (bytes.size() - offset < kRecordHeaderBytes) return std::nullopt;
+  Reader header(bytes.substr(offset, kRecordHeaderBytes));
+  const std::uint32_t len = header.u32();
+  const std::uint32_t stored_crc = header.u32();
+  const std::uint64_t seq = header.u64();
+  if (bytes.size() - offset - kRecordHeaderBytes < len) return std::nullopt;
+  // The CRC covers seq + payload, so a record whose length field was torn
+  // into pointing at other records' bytes still fails verification.
+  const std::string_view seq_and_payload =
+      bytes.substr(offset + kRecordHeaderBytes - 8, 8 + len);
+  if (crc32c(seq_and_payload) != stored_crc) return std::nullopt;
+  ParsedRecord record;
+  record.seq = seq;
+  record.payload = bytes.substr(offset + kRecordHeaderBytes, len);
+  record.end_offset = offset + kRecordHeaderBytes + len;
+  return record;
+}
+
+std::string encode_record(std::string_view payload, std::uint64_t seq) {
+  Writer seq_bytes;
+  seq_bytes.u64(seq);
+  std::string checksummed = seq_bytes.bytes() + std::string(payload);
+  Writer record;
+  record.u32(static_cast<std::uint32_t>(payload.size()));
+  record.u32(crc32c(checksummed));
+  std::string bytes = record.take() + checksummed;
+  return bytes;
+}
+
+}  // namespace
+
+std::string to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kEveryAppend: return "every-append";
+    case FsyncPolicy::kSnapshotOnly: return "snapshot-only";
+  }
+  return "unknown";
+}
+
+void PersistConfig::validate() const {
+  if (directory.empty())
+    throw std::invalid_argument("PersistConfig: directory must be set");
+}
+
+void atomic_write_file(const std::string& path, std::string_view content,
+                       bool sync) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr)
+    throw PersistError(ErrorKind::kIo, errno_detail("open", temp));
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(),
+                                        file);
+  if (written != content.size() || std::fflush(file) != 0) {
+    std::fclose(file);
+    std::remove(temp.c_str());
+    throw PersistError(ErrorKind::kIo, errno_detail("write", temp));
+  }
+  if (sync) {
+    try {
+      sync_file(file, temp);
+    } catch (...) {
+      std::fclose(file);
+      std::remove(temp.c_str());
+      throw;
+    }
+  }
+  if (std::fclose(file) != 0) {
+    std::remove(temp.c_str());
+    throw PersistError(ErrorKind::kIo, errno_detail("close", temp));
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::remove(temp.c_str());
+    throw PersistError(ErrorKind::kIo,
+                       "rename " + temp + " -> " + path + ": " + ec.message());
+  }
+}
+
+PersistEngine::PersistEngine(PersistConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.directory, ec);
+  if (ec)
+    throw PersistError(ErrorKind::kIo,
+                       "create " + config_.directory + ": " + ec.message());
+  open_wal_for_append();
+}
+
+PersistEngine::~PersistEngine() {
+  if (wal_ != nullptr) std::fclose(wal_);
+}
+
+std::string PersistEngine::wal_path() const {
+  return (std::filesystem::path(config_.directory) / "wal.bin").string();
+}
+
+std::string PersistEngine::snapshot_path() const {
+  return (std::filesystem::path(config_.directory) / "snapshot.bin").string();
+}
+
+void PersistEngine::open_wal_for_append() {
+  const std::string path = wal_path();
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size < kHeaderBytes) {
+    // Fresh (or torn-below-the-header) WAL: write a clean header. The torn
+    // case only arises when a crash cut the very first header write short,
+    // in which case there is nothing after it to preserve.
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+      throw PersistError(ErrorKind::kIo, errno_detail("open", path));
+    static_cast<void>(std::setvbuf(file, nullptr, _IOFBF, kWalBufferBytes));
+    const std::string header = header_bytes(kWalMagic);
+    if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+        std::fflush(file) != 0) {
+      std::fclose(file);
+      throw PersistError(ErrorKind::kIo, errno_detail("write", path));
+    }
+    wal_ = file;
+    return;
+  }
+  wal_ = std::fopen(path.c_str(), "ab");
+  if (wal_ == nullptr)
+    throw PersistError(ErrorKind::kIo, errno_detail("open", path));
+  static_cast<void>(std::setvbuf(wal_, nullptr, _IOFBF, kWalBufferBytes));
+}
+
+void PersistEngine::write_record(std::string_view payload, std::uint64_t seq) {
+  // Framing identical to encode_record, assembled in a stack header with a
+  // streaming CRC so the per-interval append allocates nothing.
+  char header[kRecordHeaderBytes];
+  for (std::size_t i = 0; i < 4; ++i)
+    header[i] = static_cast<char>((payload.size() >> (8 * i)) & 0xffu);
+  for (std::size_t i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<char>((seq >> (8 * i)) & 0xffu);
+  const std::uint32_t crc =
+      crc32c_extend(crc32c(std::string_view(header + 8, 8)), payload);
+  for (std::size_t i = 0; i < 4; ++i)
+    header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xffu);
+  if (std::fwrite(header, 1, sizeof header, wal_) != sizeof header ||
+      std::fwrite(payload.data(), 1, payload.size(), wal_) != payload.size())
+    throw PersistError(ErrorKind::kIo, errno_detail("append", wal_path()));
+  // The user->kernel flush follows the fsync policy: under kEveryAppend the
+  // record must reach the kernel before fdatasync can make it durable;
+  // under kNone/kSnapshotOnly appends ride the stdio buffer (flushed on
+  // spill, snapshot, and close) — an abrupt death can cost the buffered
+  // tail, which is exactly the torn/missing-suffix shape recovery truncates.
+  if (config_.fsync == FsyncPolicy::kEveryAppend) {
+    if (std::fflush(wal_) != 0)
+      throw PersistError(ErrorKind::kIo, errno_detail("append", wal_path()));
+    sync_file(wal_, wal_path());
+  }
+}
+
+void PersistEngine::append(std::string_view payload) {
+  write_record(payload, next_seq_);
+  ++next_seq_;
+  ++wal_records_;
+  last_payload_.assign(payload.data(), payload.size());
+  if (config_.snapshot_every_records > 0 &&
+      wal_records_ >= config_.snapshot_every_records)
+    snapshot(last_payload_);
+}
+
+void PersistEngine::snapshot(std::string_view payload) {
+  // Order matters for crash safety: (1) the snapshot lands atomically with
+  // a seq newer than every WAL record, then (2) the WAL is truncated. A
+  // crash between the two leaves stale WAL records that recovery ignores
+  // by sequence number.
+  const std::uint64_t seq = next_seq_++;
+  std::string bytes = header_bytes(kSnapshotMagic);
+  bytes += encode_record(payload, seq);
+  atomic_write_file(snapshot_path(), bytes,
+                    config_.fsync != FsyncPolicy::kNone);
+  truncate_wal_to_header();
+  last_payload_.assign(payload.data(), payload.size());
+}
+
+void PersistEngine::truncate_wal_to_header() {
+  if (wal_ != nullptr) {
+    std::fclose(wal_);
+    wal_ = nullptr;
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(wal_path(), kHeaderBytes, ec);
+  if (ec)
+    throw PersistError(ErrorKind::kIo,
+                       "truncate " + wal_path() + ": " + ec.message());
+  wal_records_ = 0;
+  open_wal_for_append();
+}
+
+RecoveredState PersistEngine::recover() {
+  if (wal_ != nullptr) {
+    std::fclose(wal_);
+    wal_ = nullptr;
+  }
+  RecoveredState recovered;
+
+  // --- snapshot: atomic writes make it all-or-nothing, so unlike the WAL
+  // tail, damage here is an error to surface, not to silently truncate.
+  std::error_code ec;
+  const std::string snap_path = snapshot_path();
+  const auto snap_size = std::filesystem::file_size(snap_path, ec);
+  if (!ec && snap_size > 0) {
+    const std::string bytes = read_whole_file(snap_path);
+    check_header(bytes, kSnapshotMagic, snap_path);
+    const auto record = parse_record(bytes, kHeaderBytes);
+    if (!record)
+      throw PersistError(ErrorKind::kChecksum,
+                         snap_path + ": snapshot record failed verification");
+    if (record->end_offset != bytes.size())
+      throw PersistError(ErrorKind::kCorrupt,
+                         snap_path + ": trailing bytes after the snapshot");
+    recovered.found = true;
+    recovered.from_snapshot = true;
+    recovered.state.assign(record->payload.data(), record->payload.size());
+    recovered.sequence = record->seq;
+  }
+
+  // --- WAL: scan forward, stop at the first torn/CRC-failing record,
+  // truncate the tail back to the end of the valid prefix.
+  const std::string path = wal_path();
+  const auto wal_size = std::filesystem::file_size(path, ec);
+  std::size_t valid_end = kHeaderBytes;
+  std::uint64_t last_seq = recovered.sequence;
+  bool any_valid_record = false;
+  if (!ec && wal_size >= kHeaderBytes) {
+    const std::string bytes = read_whole_file(path);
+    check_header(bytes, kWalMagic, path);
+    std::size_t offset = kHeaderBytes;
+    std::uint64_t previous_seq = 0;
+    while (offset < bytes.size()) {
+      const auto record = parse_record(bytes, offset);
+      if (!record) break;  // torn or corrupt tail starts here
+      // Sequence numbers must strictly increase; a repeat or regression
+      // means the framing resynchronized on garbage that happened to
+      // checksum — stop trusting the file there.
+      if (any_valid_record && record->seq <= previous_seq) break;
+      previous_seq = record->seq;
+      any_valid_record = true;
+      valid_end = record->end_offset;
+      if (record->seq <= recovered.sequence && recovered.from_snapshot) {
+        // Older than the snapshot: a crash landed between snapshot-rename
+        // and WAL-truncate. Durable, but superseded.
+        ++recovered.wal_records_stale;
+      } else {
+        ++recovered.wal_records_replayed;
+        recovered.found = true;
+        recovered.state.assign(record->payload.data(),
+                               record->payload.size());
+        recovered.sequence = record->seq;
+        recovered.from_snapshot = false;
+      }
+      last_seq = std::max(last_seq, record->seq);
+      offset = record->end_offset;
+    }
+    recovered.wal_bytes_truncated = bytes.size() - valid_end;
+    if (recovered.wal_bytes_truncated > 0) {
+      std::filesystem::resize_file(path, valid_end, ec);
+      if (ec)
+        throw PersistError(ErrorKind::kIo,
+                           "truncate " + path + ": " + ec.message());
+    }
+  } else if (ec || wal_size < kHeaderBytes) {
+    // Missing or header-torn WAL: nothing durable in it. open_wal_for_append
+    // rewrites a clean header below.
+    recovered.wal_bytes_truncated = ec ? 0 : wal_size;
+  }
+
+  next_seq_ = std::max<std::uint64_t>(last_seq, recovered.sequence) + 1;
+  wal_records_ =
+      recovered.wal_records_replayed + recovered.wal_records_stale;
+  open_wal_for_append();
+  return recovered;
+}
+
+}  // namespace smoother::persist

@@ -1,0 +1,138 @@
+// Snapshot + write-ahead-log engine for crash-safe state.
+//
+// One PersistEngine owns one directory holding two files:
+//
+//   wal.bin       header [magic "SMWL"][u32 version], then records
+//                 [u32 payload_len][u32 crc32c(seq || payload)][u64 seq]
+//                 [payload]
+//   snapshot.bin  header [magic "SMSN"][u32 version], then one record in
+//                 the same framing
+//
+// The caller appends one opaque payload per durable step (the dsim pipeline
+// appends one per committed interval). Payloads are whole-state, not
+// deltas: recovery needs only the *last* valid record, so compaction is
+// trivial — write the newest payload as the snapshot (temp file + fsync +
+// atomic rename, so a crash mid-snapshot leaves the old one intact), then
+// truncate the WAL. The monotone sequence number ties the two files
+// together: a crash between snapshot-rename and WAL-truncate leaves stale
+// WAL records behind, and recovery ignores any record whose seq is not
+// newer than the snapshot's.
+//
+// Recovery scans the WAL front to back and stops at the first record that
+// is torn (fewer bytes than its header promises, or a header cut short) or
+// fails its CRC — everything before it is durable, everything after never
+// happened. The file is truncated back to the valid prefix so the next
+// append continues from a clean tail. A missing directory or empty files
+// recover to "nothing found" (found == false), which callers treat as a
+// cold start; a bad magic or a future format version is an error — that
+// file is not ours to rewrite.
+//
+// Fsync policy is configurable: kEveryAppend flushes and fdatasyncs each
+// record for power-loss durability; kNone and kSnapshotOnly let appends
+// ride the stdio buffer (reaching the kernel on spill, compaction, and
+// close), with kSnapshotOnly additionally fsyncing snapshot writes. Under
+// the buffered policies an abrupt death can lose the buffered tail — the
+// same torn/missing-suffix shape recovery already truncates, so the
+// guarantee degrades to "some durable prefix", never a corrupt state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "smoother/persist/codec.hpp"
+
+namespace smoother::persist {
+
+/// Writes `content` to `path` via a temp file in the same directory plus an
+/// atomic rename: readers (and crashes) see either the old file or the
+/// complete new one, never a truncated hybrid. Throws PersistError{kIo} on
+/// filesystem failure. When `sync` is true the data is fsynced before the
+/// rename, so the atomicity also holds across power loss.
+void atomic_write_file(const std::string& path, std::string_view content,
+                       bool sync = false);
+
+enum class FsyncPolicy {
+  kNone,         ///< buffered appends, no explicit syncs; fastest
+  kEveryAppend,  ///< flush + fdatasync per append; durable per record
+  kSnapshotOnly, ///< buffered appends, but snapshots are fsynced
+};
+
+[[nodiscard]] std::string to_string(FsyncPolicy policy);
+
+struct PersistConfig {
+  /// Directory for wal.bin / snapshot.bin; created if absent.
+  std::string directory;
+
+  FsyncPolicy fsync = FsyncPolicy::kNone;
+
+  /// Appends between automatic compactions (snapshot + WAL truncate).
+  /// 0 disables automatic compaction; the WAL then grows until the caller
+  /// compacts explicitly with snapshot().
+  std::size_t snapshot_every_records = 288;
+
+  /// Throws std::invalid_argument on an empty directory.
+  void validate() const;
+};
+
+/// What recover() found on disk.
+struct RecoveredState {
+  bool found = false;        ///< any durable state at all
+  std::string state;         ///< newest durable payload (when found)
+  std::uint64_t sequence = 0;           ///< its sequence number
+  bool from_snapshot = false;           ///< state came from snapshot.bin
+  std::size_t wal_records_replayed = 0; ///< valid WAL records scanned
+  std::size_t wal_records_stale = 0;    ///< seq <= snapshot seq (ignored)
+  std::uint64_t wal_bytes_truncated = 0;  ///< torn/corrupt tail removed
+};
+
+class PersistEngine {
+ public:
+  /// Opens (creating the directory and an empty WAL as needed) without
+  /// reading existing state; call recover() first to resume from disk.
+  /// Throws std::invalid_argument on bad config, PersistError{kIo} on
+  /// filesystem failure.
+  explicit PersistEngine(PersistConfig config);
+  ~PersistEngine();
+
+  PersistEngine(const PersistEngine&) = delete;
+  PersistEngine& operator=(const PersistEngine&) = delete;
+
+  /// Loads the newest durable state: snapshot, then any newer WAL records;
+  /// truncates a torn/CRC-failing WAL tail; positions this engine to append
+  /// after what survived. Safe to call on a fresh directory (found=false).
+  /// Throws PersistError on bad magic / future version / unreadable files.
+  RecoveredState recover();
+
+  /// Appends one payload as a WAL record (applying the fsync policy), then
+  /// compacts when the record count reaches snapshot_every_records.
+  void append(std::string_view payload);
+
+  /// Explicit compaction: writes `payload` as the snapshot and truncates
+  /// the WAL. Crash-ordering-safe (see file comment).
+  void snapshot(std::string_view payload);
+
+  [[nodiscard]] const PersistConfig& config() const { return config_; }
+  /// WAL records appended since the last compaction (or recovery).
+  [[nodiscard]] std::size_t wal_records() const { return wal_records_; }
+  /// Next sequence number an append will use.
+  [[nodiscard]] std::uint64_t next_sequence() const { return next_seq_; }
+
+  [[nodiscard]] std::string wal_path() const;
+  [[nodiscard]] std::string snapshot_path() const;
+
+ private:
+  void open_wal_for_append();
+  void write_record(std::string_view payload, std::uint64_t seq);
+  void truncate_wal_to_header();
+
+  PersistConfig config_;
+  std::FILE* wal_ = nullptr;
+  std::size_t wal_records_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::string last_payload_;  ///< newest appended payload (compaction source)
+};
+
+}  // namespace smoother::persist

@@ -1,0 +1,151 @@
+#include "smoother/persist/state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smoother::persist {
+
+namespace {
+
+/// Components validate restored state with std::invalid_argument; at the
+/// persistence boundary that is corrupt input, not a programming error.
+template <typename Fn>
+void apply_or_corrupt(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& e) {
+    throw PersistError(ErrorKind::kCorrupt, e.what());
+  }
+}
+
+}  // namespace
+
+void save_state(Writer& writer, const util::RngState& state) {
+  for (std::uint64_t word : state.engine) writer.u64(word);
+  writer.u64(state.seed);
+  writer.u64(state.forks);
+  writer.f64(state.cached_normal);
+  writer.boolean(state.has_cached_normal);
+}
+
+void save_state(Writer& writer, const util::Rng& rng) {
+  save_state(writer, rng.state());
+}
+
+util::RngState read_rng_state(Reader& reader) {
+  util::RngState state;
+  for (std::uint64_t& word : state.engine) word = reader.u64();
+  state.seed = reader.u64();
+  state.forks = reader.u64();
+  state.cached_normal = reader.f64();
+  state.has_cached_normal = reader.boolean();
+  return state;
+}
+
+void restore_state(Reader& reader, util::Rng& rng) {
+  const util::RngState state = read_rng_state(reader);
+  apply_or_corrupt([&] { rng.restore(state); });
+}
+
+void save_state(Writer& writer, const battery::Battery& battery) {
+  const battery::BatteryState state = battery.state();
+  writer.f64(state.energy_kwh);
+  writer.f64(state.total_charged_kwh);
+  writer.f64(state.total_discharged_kwh);
+}
+
+void restore_state(Reader& reader, battery::Battery& battery) {
+  battery::BatteryState state;
+  state.energy_kwh = reader.f64();
+  state.total_charged_kwh = reader.f64();
+  state.total_discharged_kwh = reader.f64();
+  apply_or_corrupt([&] { battery.restore(state); });
+}
+
+void save_state(Writer& writer, const resilience::HealthReport& health) {
+  writer.u64(health.samples_seen);
+  writer.u64(health.samples_faulted);
+  writer.u64s(health.faults);
+  writer.u64(health.intervals_seen);
+  writer.u64(health.intervals_fallback);
+  writer.u64s(health.fallbacks);
+  writer.u64(health.degraded_entries);
+  writer.u64(health.recoveries);
+}
+
+void restore_state(Reader& reader, resilience::HealthReport& health) {
+  resilience::HealthReport decoded;
+  decoded.samples_seen = reader.u64();
+  decoded.samples_faulted = reader.u64();
+  const std::vector<std::uint64_t> faults = reader.u64s();
+  if (faults.size() != decoded.faults.size())
+    throw PersistError(ErrorKind::kCorrupt,
+                       "fault counter array has " +
+                           std::to_string(faults.size()) + " entries, want " +
+                           std::to_string(decoded.faults.size()));
+  std::copy(faults.begin(), faults.end(), decoded.faults.begin());
+  decoded.intervals_seen = reader.u64();
+  decoded.intervals_fallback = reader.u64();
+  const std::vector<std::uint64_t> fallbacks = reader.u64s();
+  if (fallbacks.size() != decoded.fallbacks.size())
+    throw PersistError(ErrorKind::kCorrupt,
+                       "fallback counter array has " +
+                           std::to_string(fallbacks.size()) +
+                           " entries, want " +
+                           std::to_string(decoded.fallbacks.size()));
+  std::copy(fallbacks.begin(), fallbacks.end(), decoded.fallbacks.begin());
+  decoded.degraded_entries = reader.u64();
+  decoded.recoveries = reader.u64();
+  health = decoded;
+}
+
+void save_state(Writer& writer, const core::OnlineSmoother& smoother) {
+  save_state(writer, smoother.export_state());
+}
+
+void save_state(Writer& writer,
+                const core::OnlineSmoother::StreamState& state) {
+  writer.boolean(state.degraded);
+  writer.u64(state.healthy_streak);
+  writer.u64(state.pending_faulted);
+  writer.doubles(state.pending);
+  writer.doubles(state.previous_interval);
+  writer.doubles(state.variance_history);
+  writer.f64(state.stable_below);
+  writer.f64(state.extreme_above);
+  writer.boolean(state.calibrated);
+  writer.u64(state.intervals_completed);
+  writer.u64(state.output_samples);
+  writer.doubles(state.output_tail);
+  writer.f64(state.guard_last_good_kw);
+  writer.f64(state.battery.energy_kwh);
+  writer.f64(state.battery.total_charged_kwh);
+  writer.f64(state.battery.total_discharged_kwh);
+  save_state(writer, state.health);
+}
+
+void restore_state(Reader& reader, core::OnlineSmoother& smoother) {
+  core::OnlineSmoother::StreamState state;
+  state.degraded = reader.boolean();
+  state.healthy_streak = reader.u64();
+  state.pending_faulted = reader.u64();
+  state.pending = reader.doubles();
+  state.previous_interval = reader.doubles();
+  state.variance_history = reader.doubles();
+  state.stable_below = reader.f64();
+  state.extreme_above = reader.f64();
+  state.calibrated = reader.boolean();
+  state.intervals_completed = reader.u64();
+  state.output_samples = reader.u64();
+  state.output_tail = reader.doubles();
+  state.guard_last_good_kw = reader.f64();
+  state.battery.energy_kwh = reader.f64();
+  state.battery.total_charged_kwh = reader.f64();
+  state.battery.total_discharged_kwh = reader.f64();
+  restore_state(reader, state.health);
+  apply_or_corrupt([&] { smoother.import_state(state); });
+}
+
+}  // namespace smoother::persist

@@ -1,0 +1,60 @@
+// save_state / restore_state: component states through the canonical codec.
+//
+// Each overload pair serializes one component's complete dynamic state —
+// util::Rng engine/stream positions, battery::Battery energy and throughput
+// totals, resilience::HealthReport counters, and the whole
+// core::OnlineSmoother streaming state (interval cursor, degraded-mode
+// state machine, recovery streak, threshold-learning window, persistence
+// forecast source, guard state). The components expose their state as plain
+// data (Rng::state(), Battery::state(), OnlineSmoother::export_state());
+// this layer owns the byte layout, so the core stays free of any format
+// knowledge and the format stays in one reviewable place.
+//
+// restore_state validates as it decodes: structural problems (truncation,
+// impossible lengths) and semantic ones (a component rejecting the decoded
+// state) both surface as PersistError{kCorrupt or kTruncated} — a
+// checkpoint either restores completely or fails loudly; it never
+// half-applies.
+//
+// What is deliberately NOT here: solver warm-start iterates and the KKT
+// factorization cache (OnlineSmoother::import_state cold-starts the
+// planner; see DESIGN.md §4i), and the FaultInjector/forecast-oracle
+// decision streams — those are pure functions of (seed, stream, index), so
+// persisting the index cursor (the smoother's interval/sample counters)
+// reconstructs them exactly.
+#pragma once
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/online.hpp"
+#include "smoother/persist/codec.hpp"
+#include "smoother/resilience/health.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::persist {
+
+void save_state(Writer& writer, const util::RngState& state);
+void save_state(Writer& writer, const util::Rng& rng);
+/// Decodes into `rng`; throws PersistError on malformed input (including a
+/// state the Rng itself rejects, e.g. the all-zero engine).
+void restore_state(Reader& reader, util::Rng& rng);
+[[nodiscard]] util::RngState read_rng_state(Reader& reader);
+
+void save_state(Writer& writer, const battery::Battery& battery);
+/// Restores energy and throughput totals; the spec stays as constructed and
+/// the decoded energy is validated against its SoC corridor.
+void restore_state(Reader& reader, battery::Battery& battery);
+
+void save_state(Writer& writer, const resilience::HealthReport& health);
+void restore_state(Reader& reader, resilience::HealthReport& health);
+
+void save_state(Writer& writer, const core::OnlineSmoother& smoother);
+/// Same encoding from an already-captured StreamState; checkpoint loops
+/// pair this with OnlineSmoother::export_state_into to reuse buffers.
+void save_state(Writer& writer,
+                const core::OnlineSmoother::StreamState& state);
+/// Applies the decoded state via OnlineSmoother::import_state (wholesale,
+/// validated, cold-starts the solver). Configuration is not serialized:
+/// the caller reconstructs the smoother from config, then restores state.
+void restore_state(Reader& reader, core::OnlineSmoother& smoother);
+
+}  // namespace smoother::persist

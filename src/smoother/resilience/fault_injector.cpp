@@ -1,5 +1,6 @@
 #include "smoother/resilience/fault_injector.hpp"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -101,6 +102,13 @@ double FaultInjector::corrupt_sample(std::size_t index, double clean_kw) {
   }
   last_clean_kw_ = clean_kw;
   return clean_kw;
+}
+
+void FaultInjector::restore_last_clean(double kw) {
+  if (!std::isfinite(kw))
+    throw std::invalid_argument(
+        "FaultInjector::restore_last_clean: value must be finite");
+  last_clean_kw_ = kw;
 }
 
 bool FaultInjector::battery_available(std::size_t interval) const {

@@ -88,6 +88,18 @@ class FaultInjector {
   /// forecast, or substitute the forecast of an earlier interval.
   [[nodiscard]] Oracle wrap_oracle(Oracle inner);
 
+  /// The stuck-at replay source: the last clean value seen before the
+  /// current position. This is the injector's one piece of sequential
+  /// state — every other decision is pure in (seed, stream, index) — so a
+  /// checkpoint/restore cycle that wants corrupt_sample() to continue
+  /// byte-identically must carry it across (the injected() counters, by
+  /// contrast, are per-run observations and restart at zero).
+  [[nodiscard]] double last_clean_kw() const { return last_clean_kw_; }
+
+  /// Restores the stuck-at replay source from a checkpoint. Throws
+  /// std::invalid_argument on a non-finite value.
+  void restore_last_clean(double kw);
+
   /// Ground-truth injection counters by FaultKind (what was injected, as
   /// opposed to what the guard detected).
   [[nodiscard]] const std::array<std::uint64_t, kFaultKindCount>& injected()

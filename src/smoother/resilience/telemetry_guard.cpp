@@ -38,4 +38,11 @@ GuardedSample TelemetryGuard::fill_gap() {
   return {last_good_kw_, FaultKind::kTelemetryDropout};
 }
 
+void TelemetryGuard::restore_last_good(double kw) {
+  if (!std::isfinite(kw))
+    throw std::invalid_argument(
+        "TelemetryGuard::restore_last_good: value must be finite");
+  last_good_kw_ = kw;
+}
+
 }  // namespace smoother::resilience

@@ -54,6 +54,12 @@ class TelemetryGuard {
   /// first good sample arrives.
   [[nodiscard]] double last_good_kw() const { return last_good_kw_; }
 
+  /// Restores the persistence source from a checkpoint, so gap fills after
+  /// a recovery repeat the same value the uninterrupted guard would have
+  /// used. Throws std::invalid_argument on a non-finite value (a genuine
+  /// capture is always finite — sanitize() never accepts anything else).
+  void restore_last_good(double kw);
+
  private:
   TelemetryGuardConfig config_;
   double last_good_kw_ = 0.0;

@@ -116,4 +116,32 @@ Rng Rng::split(std::uint64_t stream_id) const {
   return Rng(derive_stream_seed(seed_, stream_id));
 }
 
+void Xoshiro256::set_state(const std::array<std::uint64_t, 4>& state) {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+    throw std::invalid_argument(
+        "Xoshiro256::set_state: the all-zero state is degenerate");
+  state_ = state;
+}
+
+RngState Rng::state() const {
+  RngState state;
+  state.engine = engine_.state();
+  state.seed = seed_;
+  state.forks = forks_;
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::restore(const RngState& state) {
+  if (state.has_cached_normal && !std::isfinite(state.cached_normal))
+    throw std::invalid_argument(
+        "Rng::restore: cached normal variate must be finite");
+  engine_.set_state(state.engine);  // rejects the all-zero state
+  seed_ = state.seed;
+  forks_ = state.forks;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace smoother::util

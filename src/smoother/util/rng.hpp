@@ -81,6 +81,18 @@ class Xoshiro256 {
     return result;
   }
 
+  /// The raw 256-bit engine state, for checkpointing. Restoring it with
+  /// set_state() resumes the output sequence exactly where it left off.
+  [[nodiscard]] constexpr const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+
+  /// Restores a state captured with state(). The all-zero state is the one
+  /// fixed point of xoshiro256** (it would emit zeros forever), so it is
+  /// rejected; a valid checkpoint can never contain it because seeding
+  /// through splitmix64 never produces it.
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
   /// Equivalent to 2^128 calls of operator(); used to derive independent
   /// streams from one seed.
   constexpr void jump() {
@@ -105,6 +117,19 @@ class Xoshiro256 {
   }
 
   std::array<std::uint64_t, 4> state_{};
+};
+
+/// The complete serializable state of an Rng: the engine words plus the
+/// wrapper's own bookkeeping. The cached Box-Muller variate is part of the
+/// draw sequence — dropping it would shift every subsequent normal() by one
+/// half-pair — so it rides along. smoother::persist encodes this struct;
+/// it lives here so the Rng stays the single owner of its invariants.
+struct RngState {
+  std::array<std::uint64_t, 4> engine{};
+  std::uint64_t seed = 0;   ///< split()/fork() derivation base
+  std::uint64_t forks = 0;  ///< fork counter (part of fork identity)
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
 };
 
 /// Convenience wrapper bundling an engine with the distributions Smoother's
@@ -169,6 +194,17 @@ class Rng {
   /// Exposed so tests can pin the derivation.
   static std::uint64_t derive_stream_seed(std::uint64_t seed,
                                           std::uint64_t stream_id);
+
+  /// Captures the complete draw state. restore()ing it on any Rng resumes
+  /// the exact output sequence: the next N draws equal the next N draws the
+  /// captured generator would have produced (test_rng pins this with a
+  /// 64-draw golden comparison).
+  [[nodiscard]] RngState state() const;
+
+  /// Restores a state captured with state(). Throws std::invalid_argument
+  /// on an all-zero engine state or a non-finite cached variate (neither
+  /// can come from a genuine capture).
+  void restore(const RngState& state);
 
  private:
   explicit Rng(Xoshiro256 engine, std::uint64_t seed)

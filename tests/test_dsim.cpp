@@ -1,7 +1,8 @@
 // smoother::dsim: deterministic event loop, pipeline simulation,
-// invariant checking and the trace fuzzer.
+// invariant checking, the trace fuzzer, and crash-recovery fuzzing.
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -9,10 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include "smoother/dsim/crash_nemesis.hpp"
 #include "smoother/dsim/event_loop.hpp"
 #include "smoother/dsim/invariants.hpp"
 #include "smoother/dsim/pipeline_sim.hpp"
 #include "smoother/dsim/trace_fuzz.hpp"
+#include "smoother/persist/engine.hpp"
 #include "smoother/util/rng.hpp"
 
 namespace smoother::dsim {
@@ -24,6 +29,27 @@ PipelineSimConfig week_config() {
   PipelineSimConfig config;
   config.duration = util::days(7.0);
   return config;
+}
+
+/// Fresh per-test scratch directory; pid-qualified because test_dsim and
+/// the dsim_soak target run the same binary concurrently under ctest -j.
+std::string crash_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("smoother_dsim_" + name + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// The digest from interval `committed` on (skips that many lines).
+std::string digest_from(const std::string& digest, std::uint64_t committed) {
+  std::size_t start = 0;
+  for (std::uint64_t skipped = 0; skipped < committed; ++skipped) {
+    const std::size_t end = digest.find('\n', start);
+    if (end == std::string::npos) return {};
+    start = end + 1;
+  }
+  return digest.substr(start);
 }
 
 // ---------------------------------------------------------------- EventLoop
@@ -94,6 +120,23 @@ TEST(EventLoop, StopEndsTheRun) {
   loop.run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, HaltAfterEventsKillsBetweenEvents) {
+  // The crash point the nemesis uses: the event at the limit completes
+  // (writes are never cut mid-callback by the loop itself — torn writes
+  // are modelled separately, on the file), then the loop dies.
+  BuggifyConfig quiet;
+  quiet.enabled = false;
+  EventLoop loop(3, quiet);
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i)
+    loop.schedule(util::Minutes{static_cast<double>(i)}, "e",
+                  [&] { ++fired; });
+  loop.set_halt_after_events(3);
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.pending(), 2u);
 }
 
 TEST(EventLoop, BuggifiedDelaysAreDeterministicInTheSeed) {
@@ -364,6 +407,108 @@ TEST(TraceFuzzer, MinimizeShrinksToTheCulpritMutation) {
   EXPECT_LE(minimal.mutations.size(), failing.mutations.size());
 }
 
+// ----------------------------------------------------------- CrashRecovery
+
+/// Pipeline config for crash-recovery tests: warm starts off (their
+/// iterates are deliberately not checkpointed, so a recovered run would
+/// legitimately diverge from the reference in solver iteration counts).
+PipelineSimConfig recovery_config(double days) {
+  PipelineSimConfig config;
+  config.duration = util::days(days);
+  config.record_trace = false;
+  config.solver_warm_start = false;
+  return config;
+}
+
+TEST(PipelineSim, CheckpointedRunIsIdenticalToTheUncheckpointedOne) {
+  // Persistence must be write-only on the happy path: attaching an engine
+  // changes nothing about the simulation's output.
+  const PipelineSimConfig config = recovery_config(3.0);
+  PipelineSim plain(config, kSeed);
+  const TelemetryTape tape = plain.clean_tape();
+  const PipelineSimResult reference = plain.run(tape);
+
+  persist::PersistConfig engine_config;
+  engine_config.directory = crash_dir("writeonly");
+  persist::PersistEngine engine(engine_config);
+  SimControls controls;
+  controls.engine = &engine;
+  PipelineSim checkpointed(config, kSeed);
+  const PipelineSimResult result = checkpointed.run(tape, controls);
+
+  EXPECT_FALSE(InvariantChecker::check_replay(reference.records_digest,
+                                              result.records_digest));
+  EXPECT_EQ(reference.output_checksum, result.output_checksum);
+  EXPECT_EQ(reference.final_soc, result.final_soc);
+  // One WAL record per committed interval.
+  EXPECT_EQ(engine.next_sequence(), result.intervals + 1);
+}
+
+TEST(PipelineSim, CrashRecoverResumeIsByteIdentical) {
+  const PipelineSimConfig config = recovery_config(3.0);
+  PipelineSim sim(config, kSeed);
+  const TelemetryTape tape = sim.clean_tape();
+  const PipelineSimResult reference = sim.run(tape);
+  ASSERT_TRUE(reference.ok());
+
+  persist::PersistConfig engine_config;
+  engine_config.directory = crash_dir("single");
+  {
+    persist::PersistEngine engine(engine_config);
+    SimControls controls;
+    controls.engine = &engine;
+    controls.halt_after_events =
+        static_cast<std::uint64_t>(reference.events_executed) / 2;
+    PipelineSim crashed(config, kSeed);
+    static_cast<void>(crashed.run(tape, controls));
+  }
+
+  persist::PersistEngine engine(engine_config);
+  const persist::RecoveredState recovered = engine.recover();
+  ASSERT_TRUE(recovered.found);  // half a 3-day run commits many intervals
+  const CheckpointInfo info = peek_checkpoint(recovered.state);
+  EXPECT_GT(info.committed_intervals, 0u);
+  EXPECT_LT(info.committed_intervals, reference.intervals);
+
+  SimControls controls;
+  controls.engine = &engine;
+  controls.resume_state = &recovered.state;
+  PipelineSim resumed_sim(config, kSeed);
+  const PipelineSimResult resumed = resumed_sim.run(tape, controls);
+  EXPECT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.intervals,
+            reference.intervals - info.committed_intervals);
+  const auto diff = InvariantChecker::check_replay(
+      digest_from(reference.records_digest, info.committed_intervals),
+      resumed.records_digest);
+  EXPECT_FALSE(diff) << *diff;
+}
+
+TEST(CrashNemesis, RejectsAWarmStartedPipeline) {
+  CrashNemesisConfig config;
+  config.pipeline = recovery_config(1.0);
+  config.pipeline.solver_warm_start = true;
+  config.persist.directory = crash_dir("reject");
+  EXPECT_THROW(CrashNemesis(config, kSeed), std::invalid_argument);
+}
+
+TEST(CrashNemesis, FuzzedCrashPointsAllRecoverByteIdentically) {
+  CrashNemesisConfig config;
+  config.pipeline = recovery_config(3.0);
+  config.crash_points = 8;
+  config.torn_write_fraction = 0.5;
+  config.persist.directory = crash_dir("nemesis");
+  CrashNemesis nemesis(config, kSeed);
+  const CrashNemesisReport report = nemesis.run();
+  EXPECT_TRUE(report.ok()) << report.first_failure;
+  EXPECT_EQ(report.identical, report.points);
+  EXPECT_EQ(report.clean, report.points);
+  EXPECT_EQ(report.recovered + report.cold_starts, report.points);
+  EXPECT_GT(report.torn, 0u);  // half the cases tear the WAL tail
+  EXPECT_GT(report.recovered, 0u);
+  std::filesystem::remove_all(config.persist.directory);
+}
+
 // ------------------------------------------------------------------- Soak
 //
 // The fuzz soak: N mutated seeds, one simulated month each, zero crashes
@@ -384,6 +529,30 @@ TEST(DsimSoak, FuzzedMonthsRunCleanUnderEverySeed) {
       << "reproducer: " << report.reproducer_description
       << " (crashes=" << report.crashes
       << ", violation_cases=" << report.violation_cases << ")";
+}
+
+TEST(DsimSoak, CrashRestartCyclesRecoverByteIdentically) {
+  // Every fuzzed case additionally runs a kill-and-recover cycle on its
+  // mutated tape; the resumed run must match the case's own uninterrupted
+  // run byte for byte. Shorter horizon than the month soak: each case here
+  // costs three runs (reference, crashed, resumed).
+  std::size_t cases = 6;
+  if (const char* env = std::getenv("SMOOTHER_DSIM_SOAK_CASES"))
+    cases = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  PipelineSimConfig config;
+  config.duration = util::days(10.0);
+  config.record_trace = false;
+  FuzzerConfig fuzzer_config;
+  fuzzer_config.crash_restart = true;
+  fuzzer_config.crash_dir = crash_dir("soak_crash_restart");
+  const TraceFuzzer fuzzer(config, fuzzer_config);
+  const FuzzReport report = fuzzer.run(cases, 0xC4A5);
+  EXPECT_EQ(report.cases_run, cases);
+  EXPECT_TRUE(report.clean())
+      << "reproducer: " << report.reproducer_description
+      << " (crashes=" << report.crashes
+      << ", violation_cases=" << report.violation_cases << ")";
+  std::filesystem::remove_all(fuzzer_config.crash_dir);
 }
 
 }  // namespace

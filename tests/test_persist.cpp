@@ -1,0 +1,582 @@
+// smoother::persist: the canonical codec, component state serialization,
+// and the snapshot + WAL engine's recovery and corruption semantics.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/online.hpp"
+#include "smoother/persist/codec.hpp"
+#include "smoother/persist/engine.hpp"
+#include "smoother/persist/state.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/resilience/health.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory (pid-qualified: the binary can run concurrently
+/// under ctest -j).
+std::string test_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("smoother_persist_" + name + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// File header in the engine's on-disk framing: magic + u32 version.
+std::string file_header(std::string_view magic, std::uint32_t version) {
+  Writer w;
+  w.u32(version);
+  return std::string(magic) + w.bytes();
+}
+
+/// One record in the engine's framing:
+/// [u32 len][u32 crc32c(seq || payload)][u64 seq][payload].
+std::string framed_record(std::uint64_t seq, std::string_view payload) {
+  Writer seq_bytes;
+  seq_bytes.u64(seq);
+  const std::string checksummed = seq_bytes.bytes() + std::string(payload);
+  Writer head;
+  head.u32(static_cast<std::uint32_t>(payload.size()));
+  head.u32(crc32c(checksummed));
+  return head.bytes() + checksummed;
+}
+
+ErrorKind kind_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const PersistError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a PersistError";
+  return ErrorKind::kIo;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(Crc32c, MatchesTheGoldenVector) {
+  // The standard CRC32C check value; pins polynomial, reflection, and the
+  // init/final xor in one shot.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+}
+
+TEST(Crc32c, ExtendChainsAcrossSplitPoints) {
+  // crc32c_extend(crc32c(a), b) == crc32c(a || b) at every split,
+  // including splits that are not multiples of the hardware word size.
+  const std::string_view whole = "123456789";
+  for (std::size_t cut = 0; cut <= whole.size(); ++cut)
+    EXPECT_EQ(crc32c_extend(crc32c(whole.substr(0, cut)), whole.substr(cut)),
+              0xE3069283u)
+        << "split at " << cut;
+}
+
+TEST(Codec, RoundTripsEveryType) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-0.0);
+  w.f64(1.0 / 3.0);
+  w.boolean(true);
+  w.boolean(false);
+  const std::vector<double> doubles = {1.5, -2.25, 1e300};
+  w.doubles(doubles);
+  const std::vector<std::uint64_t> words = {1, 0, ~0ull};
+  w.u64s(words);
+  const std::string with_nul("hi\0!", 4);
+  w.str(with_nul);  // embedded NUL must survive (length-prefixed, not C-str)
+
+  Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // bit-exact, not just value-equal
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.doubles(), doubles);
+  EXPECT_EQ(r.u64s(), words);
+  EXPECT_EQ(r.str(), with_nul);
+  r.expect_done();
+}
+
+TEST(Codec, EncodingIsCanonicalLittleEndian) {
+  Writer w;
+  w.u32(0x01020304u);
+  const std::string& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(Codec, TruncatedInputThrowsTyped) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.bytes());
+  EXPECT_EQ(kind_of([&] { (void)r.u64(); }), ErrorKind::kTruncated);
+}
+
+TEST(Codec, BadBooleanByteIsCorrupt) {
+  Reader r(std::string_view("\x02", 1));
+  EXPECT_EQ(kind_of([&] { (void)r.boolean(); }), ErrorKind::kCorrupt);
+}
+
+TEST(Codec, OversizedContainerCountIsCorruptNotBadAlloc) {
+  Writer w;
+  w.u64(~0ull);  // a count no input could satisfy
+  Reader doubles_reader(w.bytes());
+  EXPECT_EQ(kind_of([&] { (void)doubles_reader.doubles(); }),
+            ErrorKind::kCorrupt);
+  Reader str_reader(w.bytes());
+  EXPECT_EQ(kind_of([&] { (void)str_reader.str(); }), ErrorKind::kCorrupt);
+}
+
+TEST(Codec, TrailingBytesAreDetected) {
+  Writer w;
+  w.u32(1);
+  w.u8(0);
+  Reader r(w.bytes());
+  (void)r.u32();
+  EXPECT_EQ(kind_of([&] { r.expect_done(); }), ErrorKind::kCorrupt);
+}
+
+// ------------------------------------------------------- component states
+
+TEST(StateCodec, RngRoundTripContinuesIdentically) {
+  util::Rng original(0xABCD);
+  for (int i = 0; i < 17; ++i) (void)original.uniform();
+  (void)original.normal();  // loads the Box-Muller cache
+
+  Writer w;
+  save_state(w, original);
+  Reader r(w.bytes());
+  util::Rng restored(1);
+  restore_state(r, restored);
+  r.expect_done();
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(original.uniform(), restored.uniform());
+}
+
+TEST(StateCodec, RngAllZeroEngineIsCorrupt) {
+  util::RngState zero;  // all-zero engine: outside xoshiro's orbit
+  Writer w;
+  save_state(w, zero);
+  Reader r(w.bytes());
+  util::Rng rng(1);
+  EXPECT_EQ(kind_of([&] { restore_state(r, rng); }), ErrorKind::kCorrupt);
+}
+
+TEST(StateCodec, BatteryRoundTripIsBitExact) {
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      util::Kilowatts{400.0}, util::kFiveMinutes, 2.0);
+  battery::Battery original(spec);
+  (void)original.charge(util::Kilowatts{120.0}, util::Minutes{5.0});
+  (void)original.discharge(util::Kilowatts{65.0}, util::Minutes{5.0});
+
+  Writer w;
+  save_state(w, original);
+  Reader r(w.bytes());
+  battery::Battery restored(spec);
+  restore_state(r, restored);
+  EXPECT_EQ(restored.energy().value(), original.energy().value());
+  EXPECT_EQ(restored.total_charged().value(),
+            original.total_charged().value());
+  EXPECT_EQ(restored.total_discharged().value(),
+            original.total_discharged().value());
+}
+
+TEST(StateCodec, BatteryEnergyOutsideTheCorridorIsCorrupt) {
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      util::Kilowatts{400.0}, util::kFiveMinutes, 2.0);
+  Writer w;
+  w.f64(spec.max_energy().value() * 2.0);  // beyond any legal SoC
+  w.f64(0.0);
+  w.f64(0.0);
+  Reader r(w.bytes());
+  battery::Battery restored(spec);
+  EXPECT_EQ(kind_of([&] { restore_state(r, restored); }),
+            ErrorKind::kCorrupt);
+}
+
+TEST(StateCodec, HealthReportRoundTrips) {
+  resilience::HealthReport original;
+  original.samples_seen = 1234;
+  original.samples_faulted = 56;
+  original.faults[0] = 7;
+  original.intervals_seen = 102;
+  original.intervals_fallback = 9;
+  original.fallbacks[1] = 4;
+  original.degraded_entries = 2;
+  original.recoveries = 1;
+
+  Writer w;
+  save_state(w, original);
+  Reader r(w.bytes());
+  resilience::HealthReport restored;
+  restore_state(r, restored);
+  EXPECT_EQ(restored.samples_seen, original.samples_seen);
+  EXPECT_EQ(restored.samples_faulted, original.samples_faulted);
+  EXPECT_EQ(restored.faults, original.faults);
+  EXPECT_EQ(restored.intervals_seen, original.intervals_seen);
+  EXPECT_EQ(restored.intervals_fallback, original.intervals_fallback);
+  EXPECT_EQ(restored.fallbacks, original.fallbacks);
+  EXPECT_EQ(restored.degraded_entries, original.degraded_entries);
+  EXPECT_EQ(restored.recoveries, original.recoveries);
+}
+
+TEST(StateCodec, OnlineSmootherRoundTripContinuesByteIdentically) {
+  // The tentpole contract end to end at the component level: checkpoint a
+  // live smoother mid-interval, restore into a fresh one, feed both the
+  // same remaining telemetry, and demand byte-identical interval records
+  // and output samples. Warm starts stay off — their iterates are
+  // deliberately not persisted (DESIGN.md §4i).
+  core::OnlineSmootherConfig config;
+  config.rated_power = util::Kilowatts{800.0};
+  config.warmup_intervals = 4;
+  config.history_intervals = 24;
+  config.flexible_smoothing.warm_start = false;
+
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const util::TimeSeries series =
+      power::TurbineCurve::enercon_e48().power_series(
+          model.generate(util::days(4.0), util::kFiveMinutes, 99));
+  const std::size_t points = config.flexible_smoothing.points_per_interval;
+
+  const auto oracle = [&series, points](std::size_t k) {
+    std::vector<double> forecast(points, 0.0);
+    for (std::size_t j = 0; j < points; ++j)
+      if (k * points + j < series.size()) forecast[j] = series[k * points + j];
+    return forecast;
+  };
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      util::Kilowatts{400.0}, util::kFiveMinutes, 2.0);
+  const auto make_smoother = [&] {
+    core::OnlineSmoother::Hooks hooks;
+    hooks.forecast_oracle = oracle;
+    return core::OnlineSmoother(config, battery::Battery(spec),
+                                std::move(hooks));
+  };
+
+  core::OnlineSmoother original = make_smoother();
+  const std::size_t checkpoint_at = 10 * points + 7;  // mid-interval
+  ASSERT_LT(checkpoint_at, series.size());
+  for (std::size_t i = 0; i < checkpoint_at; ++i)
+    (void)original.push(series[i]);
+
+  Writer w;
+  save_state(w, original);
+  Reader r(w.bytes());
+  core::OnlineSmoother restored = make_smoother();
+  restore_state(r, restored);
+  r.expect_done();
+  EXPECT_EQ(restored.intervals_completed(), original.intervals_completed());
+
+  std::size_t records = 0;
+  for (std::size_t i = checkpoint_at; i < series.size(); ++i) {
+    const auto a = original.push(series[i]);
+    const auto b = restored.push(series[i]);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "sample " << i;
+    if (!a) continue;
+    ++records;
+    EXPECT_EQ(a->index, b->index);
+    EXPECT_EQ(a->region, b->region);
+    EXPECT_EQ(a->smoothed, b->smoothed);
+    EXPECT_EQ(a->warmup, b->warmup);
+    EXPECT_EQ(a->degraded, b->degraded);
+    EXPECT_EQ(a->fallback, b->fallback);
+    EXPECT_EQ(a->cf_variance, b->cf_variance);
+    EXPECT_EQ(a->variance_before, b->variance_before);
+    EXPECT_EQ(a->variance_after, b->variance_after);
+    EXPECT_EQ(a->solver_iterations, b->solver_iterations);
+  }
+  EXPECT_GT(records, 50u);
+
+  // Post-restore output samples must match the uninterrupted run's tail.
+  const util::TimeSeries& out_a = original.output();
+  const util::TimeSeries& out_b = restored.output();
+  ASSERT_LE(out_b.size(), out_a.size());
+  for (std::size_t i = 0; i < out_b.size(); ++i)
+    EXPECT_EQ(out_b[out_b.size() - 1 - i], out_a[out_a.size() - 1 - i])
+        << "output sample " << i << " from the end";
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(AtomicWrite, ReplacesTheWholeFile) {
+  const std::string dir = test_dir("atomic");
+  fs::create_directories(dir);
+  const std::string path = (fs::path(dir) / "metrics.json").string();
+  atomic_write_file(path, "first version, long enough to leave a tail");
+  atomic_write_file(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(Engine, FreshDirectoryRecoversNothing) {
+  PersistConfig config;
+  config.directory = test_dir("fresh");
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_FALSE(recovered.found);
+  EXPECT_EQ(recovered.wal_records_replayed, 0u);
+  EXPECT_EQ(engine.next_sequence(), 1u);
+}
+
+TEST(Engine, AppendThenRecoverReturnsTheNewestPayload) {
+  PersistConfig config;
+  config.directory = test_dir("roundtrip");
+  config.snapshot_every_records = 0;  // no compaction in this test
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    engine.append("beta");
+    engine.append("gamma");
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "gamma");
+  EXPECT_EQ(recovered.sequence, 3u);
+  EXPECT_FALSE(recovered.from_snapshot);
+  EXPECT_EQ(recovered.wal_records_replayed, 3u);
+  EXPECT_EQ(recovered.wal_bytes_truncated, 0u);
+  EXPECT_EQ(engine.next_sequence(), 4u);
+}
+
+TEST(Engine, TornFinalRecordIsTruncatedToTheLastValidOne) {
+  PersistConfig config;
+  config.directory = test_dir("torn");
+  config.snapshot_every_records = 0;
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    engine.append("beta");
+    engine.append("gamma");
+  }
+  const std::string wal =
+      (fs::path(config.directory) / "wal.bin").string();
+  const auto full_size = fs::file_size(wal);
+  fs::resize_file(wal, full_size - 3);  // tear into "gamma"'s payload
+
+  {
+    PersistEngine engine(config);
+    const RecoveredState recovered = engine.recover();
+    EXPECT_TRUE(recovered.found);
+    EXPECT_EQ(recovered.state, "beta");
+    EXPECT_EQ(recovered.wal_records_replayed, 2u);
+    EXPECT_GT(recovered.wal_bytes_truncated, 0u);
+    // The torn tail is gone from disk and appending resumes cleanly (the
+    // buffered append becomes durable when the engine closes).
+    engine.append("delta");
+  }
+  PersistEngine again(config);
+  const RecoveredState after = again.recover();
+  EXPECT_EQ(after.state, "delta");
+  EXPECT_EQ(after.wal_records_replayed, 3u);
+}
+
+TEST(Engine, BitFlippedPayloadFailsItsCrcAndTruncatesThere) {
+  PersistConfig config;
+  config.directory = test_dir("bitflip");
+  config.snapshot_every_records = 0;
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    engine.append("beta");
+    engine.append("gamma");
+  }
+  const std::string wal =
+      (fs::path(config.directory) / "wal.bin").string();
+  std::string bytes = read_file(wal);
+  // Offset of "beta"'s payload: 8 header + (16 + 5) for "alpha" + 16.
+  const std::size_t flip_at = 8 + 21 + 16 + 1;
+  ASSERT_LT(flip_at, bytes.size());
+  bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x40);
+  write_file(wal, bytes);
+
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  // Scanning stops at the checksum failure: "gamma", though intact on
+  // disk after the damaged record, is unreachable and must not resurface.
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "alpha");
+  EXPECT_EQ(recovered.wal_records_replayed, 1u);
+  EXPECT_GT(recovered.wal_bytes_truncated, 0u);
+  EXPECT_EQ(fs::file_size(wal), 8u + 21u);
+}
+
+TEST(Engine, EmptyAndHeaderlessWalsRecoverNothing) {
+  PersistConfig config;
+  config.directory = test_dir("emptywal");
+  fs::create_directories(config.directory);
+  const std::string wal =
+      (fs::path(config.directory) / "wal.bin").string();
+  write_file(wal, "");  // zero-length file
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_FALSE(recovered.found);
+  // A half-written header (shorter than magic + version) is equally void.
+  write_file(wal, "SMW");
+  PersistEngine again(config);
+  EXPECT_FALSE(again.recover().found);
+}
+
+TEST(Engine, FutureFormatVersionIsRejectedWithTheTypedError) {
+  PersistConfig config;
+  config.directory = test_dir("future");
+  fs::create_directories(config.directory);
+  write_file((fs::path(config.directory) / "snapshot.bin").string(),
+             file_header("SMSN", kFormatVersion + 1) +
+                 framed_record(1, "from the future"));
+  PersistEngine engine(config);
+  EXPECT_EQ(kind_of([&] { (void)engine.recover(); }),
+            ErrorKind::kFutureVersion);
+
+  PersistConfig wal_config;
+  wal_config.directory = test_dir("future_wal");
+  fs::create_directories(wal_config.directory);
+  write_file((fs::path(wal_config.directory) / "wal.bin").string(),
+             file_header("SMWL", kFormatVersion + 1) + framed_record(1, "x"));
+  PersistEngine wal_engine(wal_config);
+  EXPECT_EQ(kind_of([&] { (void)wal_engine.recover(); }),
+            ErrorKind::kFutureVersion);
+}
+
+TEST(Engine, ForeignFileIsRejectedAsBadMagic) {
+  PersistConfig config;
+  config.directory = test_dir("magic");
+  fs::create_directories(config.directory);
+  write_file((fs::path(config.directory) / "snapshot.bin").string(),
+             "PK\x03\x04 definitely not ours, padded past the header");
+  PersistEngine engine(config);
+  EXPECT_EQ(kind_of([&] { (void)engine.recover(); }), ErrorKind::kBadMagic);
+}
+
+TEST(Engine, CorruptSnapshotSurfacesAsChecksumError) {
+  PersistConfig config;
+  config.directory = test_dir("snapcrc");
+  fs::create_directories(config.directory);
+  std::string snapshot =
+      file_header("SMSN", kFormatVersion) + framed_record(4, "state");
+  snapshot[snapshot.size() - 2] =
+      static_cast<char>(snapshot[snapshot.size() - 2] ^ 0x01);  // bit rot
+  write_file((fs::path(config.directory) / "snapshot.bin").string(),
+             snapshot);
+  PersistEngine engine(config);
+  // Snapshots are written atomically, so unlike a WAL tail this is not a
+  // torn write to shrug off — it must fail loudly.
+  EXPECT_EQ(kind_of([&] { (void)engine.recover(); }), ErrorKind::kChecksum);
+}
+
+TEST(Engine, AutoCompactionSnapshotsAndTruncatesTheWal) {
+  PersistConfig config;
+  config.directory = test_dir("compact");
+  config.snapshot_every_records = 2;
+  {
+    PersistEngine engine(config);
+    engine.append("p1");
+    engine.append("p2");  // compaction: snapshot(p2), WAL truncated
+    engine.append("p3");
+    EXPECT_EQ(engine.wal_records(), 1u);
+    EXPECT_TRUE(fs::exists(engine.snapshot_path()));
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "p3");
+  EXPECT_FALSE(recovered.from_snapshot);  // the WAL record is newer
+  EXPECT_EQ(recovered.wal_records_replayed, 1u);
+}
+
+TEST(Engine, RecoveryFromSnapshotAloneWorks) {
+  PersistConfig config;
+  config.directory = test_dir("snaponly");
+  config.snapshot_every_records = 2;
+  {
+    PersistEngine engine(config);
+    engine.append("p1");
+    engine.append("p2");  // compaction leaves snapshot(p2) + empty WAL
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "p2");
+  EXPECT_TRUE(recovered.from_snapshot);
+  EXPECT_EQ(recovered.wal_records_replayed, 0u);
+}
+
+TEST(Engine, StaleWalRecordsBehindANewerSnapshotAreIgnored) {
+  // The crash window between snapshot-rename and WAL-truncate: the WAL
+  // still holds records the snapshot supersedes. Sequence numbers tie the
+  // files together, so recovery must prefer the snapshot.
+  PersistConfig config;
+  config.directory = test_dir("stale");
+  config.snapshot_every_records = 0;
+  {
+    PersistEngine engine(config);
+    engine.append("old1");
+    engine.append("old2");
+  }
+  write_file((fs::path(config.directory) / "snapshot.bin").string(),
+             file_header("SMSN", kFormatVersion) +
+                 framed_record(9, "newer than the wal"));
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "newer than the wal");
+  EXPECT_TRUE(recovered.from_snapshot);
+  EXPECT_EQ(recovered.wal_records_stale, 2u);
+  EXPECT_EQ(recovered.wal_records_replayed, 0u);
+  EXPECT_EQ(engine.next_sequence(), 10u);
+}
+
+TEST(Engine, FsyncPoliciesAllPersist) {
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::kNone, FsyncPolicy::kEveryAppend,
+        FsyncPolicy::kSnapshotOnly}) {
+    PersistConfig config;
+    config.directory = test_dir("fsync_" + to_string(policy));
+    config.fsync = policy;
+    config.snapshot_every_records = 2;
+    {
+      PersistEngine engine(config);
+      engine.append("a");
+      engine.append("b");
+      engine.append("c");
+    }
+    PersistEngine engine(config);
+    EXPECT_EQ(engine.recover().state, "c") << to_string(policy);
+  }
+}
+
+}  // namespace
+}  // namespace smoother::persist

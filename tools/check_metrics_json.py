@@ -15,6 +15,7 @@ Usage:
     check_metrics_json.py FILE [--require-span NAME]... \
         [--require-counter NAME]...
     check_metrics_json.py BENCH_dsim.json --dsim
+    check_metrics_json.py BENCH_recovery.json --recovery
 
 NAME accepts fnmatch globs (e.g. 'solver.qp.structured_*'), which require at
 least one matching span/counter; plain names keep exact-match semantics.
@@ -24,6 +25,12 @@ year-run gates (zero violations, byte-identical replay, wall < 60 s), the
 fault-rate sweep (rates strictly increasing, fallback curve monotone
 non-decreasing, zero violations) and the fuzz section (zero crashes and
 violation cases, empty reproducer).
+
+--recovery switches to the BENCH_recovery.json schema emitted by
+bench/macro_recovery: the crash sweep (>= 50 points, every one recovered
+byte-identically and violation-free, torn-write cases present), the WAL
+append overhead (< 5 %, byte-identical output) and the recovery-time
+ladder (replay counts exact, records strictly increasing).
 """
 
 import argparse
@@ -196,6 +203,89 @@ def check_dsim(path, doc):
           f"{fuzz['cases']} fuzz cases)")
 
 
+def check_recovery(path, doc):
+    """Validate the BENCH_recovery.json schema (bench/macro_recovery)."""
+    expect(isinstance(doc, dict), "top level must be an object")
+    want = {"bench", "seed", "crash_sweep", "overhead", "recovery_ladder",
+            "ok"}
+    expect(set(doc) == want,
+           f"top-level keys {sorted(doc)} != {sorted(want)}")
+    expect(doc["bench"] == "macro_recovery",
+           f"bench must be 'macro_recovery', got {doc['bench']!r}")
+    expect(isinstance(doc["seed"], int) and doc["seed"] >= 0,
+           f"seed must be a non-negative integer, got {doc['seed']!r}")
+
+    sweep = doc["crash_sweep"]
+    expect(isinstance(sweep, dict), "crash_sweep must be an object")
+    sweep_keys = {"points", "recovered", "cold_starts", "torn", "identical",
+                  "clean", "reference_intervals", "first_failure"}
+    expect(set(sweep) == sweep_keys,
+           f"crash_sweep keys {sorted(sweep)} != {sorted(sweep_keys)}")
+    expect(sweep["points"] >= 50,
+           f"crash_sweep.points must be >= 50, got {sweep['points']}")
+    expect(sweep["recovered"] + sweep["cold_starts"] == sweep["points"],
+           "crash_sweep: recovered + cold_starts != points")
+    expect(sweep["recovered"] > 0, "crash sweep never recovered durable state")
+    expect(sweep["torn"] > 0, "crash sweep exercised no torn-write cases")
+    expect(sweep["identical"] == sweep["points"],
+           f"only {sweep['identical']}/{sweep['points']} crash cases resumed "
+           f"byte-identically")
+    expect(sweep["clean"] == sweep["points"],
+           f"only {sweep['clean']}/{sweep['points']} crash cases resumed "
+           f"violation-free")
+    expect(sweep["reference_intervals"] > 0,
+           "crash_sweep.reference_intervals must be positive")
+    expect(sweep["first_failure"] == "",
+           f"crash sweep failed: {sweep['first_failure']!r}")
+
+    overhead = doc["overhead"]
+    expect(isinstance(overhead, dict), "overhead must be an object")
+    overhead_keys = {"baseline_seconds", "persist_seconds",
+                     "overhead_fraction", "wal_records", "wal_bytes",
+                     "output_identical"}
+    expect(set(overhead) == overhead_keys,
+           f"overhead keys {sorted(overhead)} != {sorted(overhead_keys)}")
+    expect(overhead["baseline_seconds"] > 0.0,
+           "overhead.baseline_seconds must be positive")
+    expect(overhead["persist_seconds"] > 0.0,
+           "overhead.persist_seconds must be positive")
+    expect(overhead["overhead_fraction"] < 0.05,
+           f"WAL append overhead {overhead['overhead_fraction']:.4f} "
+           f"breaches the 5% budget")
+    expect(overhead["wal_records"] > 0, "overhead run appended no WAL records")
+    expect(overhead["wal_bytes"] > 0, "overhead run wrote an empty WAL")
+    expect(overhead["output_identical"] is True,
+           "attaching the engine changed the simulation output")
+
+    ladder = doc["recovery_ladder"]
+    expect(isinstance(ladder, list) and len(ladder) >= 2,
+           "recovery_ladder must list at least two rungs")
+    for i, rung in enumerate(ladder):
+        expect(isinstance(rung, dict) and
+               set(rung) == {"wal_records", "wal_bytes", "recover_us",
+                             "replayed"},
+               f"recovery_ladder[{i}] must hold wal_records/wal_bytes/"
+               f"recover_us/replayed")
+        expect(rung["replayed"] == rung["wal_records"],
+               f"recovery_ladder[{i}]: replayed {rung['replayed']} != "
+               f"wal_records {rung['wal_records']}")
+        expect(rung["recover_us"] > 0.0,
+               f"recovery_ladder[{i}]: non-positive recover_us")
+    records = [rung["wal_records"] for rung in ladder]
+    expect(all(a < b for a, b in zip(records, records[1:])),
+           f"recovery_ladder records not strictly increasing: {records}")
+    bytes_col = [rung["wal_bytes"] for rung in ladder]
+    expect(all(a < b for a, b in zip(bytes_col, bytes_col[1:])),
+           f"recovery_ladder bytes not strictly increasing: {bytes_col}")
+
+    expect(doc["ok"] is True, "overall ok gate is false")
+
+    print(f"check_metrics_json: OK: {path} (recovery schema; "
+          f"{sweep['points']} crash points ({sweep['torn']} torn), "
+          f"{overhead['overhead_fraction'] * 100.0:.2f}% append overhead, "
+          f"{len(ladder)} ladder rungs)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="--metrics-out JSON file to validate")
@@ -208,6 +298,9 @@ def main():
     parser.add_argument("--dsim", action="store_true",
                         help="validate the BENCH_dsim.json schema instead of "
                              "a --metrics-out file")
+    parser.add_argument("--recovery", action="store_true",
+                        help="validate the BENCH_recovery.json schema instead "
+                             "of a --metrics-out file")
     args = parser.parse_args()
 
     try:
@@ -218,6 +311,9 @@ def main():
 
     if args.dsim:
         check_dsim(args.file, doc)
+        return
+    if args.recovery:
+        check_recovery(args.file, doc)
         return
 
     expect(isinstance(doc, dict), "top level must be an object")

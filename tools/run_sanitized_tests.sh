@@ -4,14 +4,17 @@
 #   1. ASan+UBSan (build-asan/): the resilience acceptance gate — the
 #      >=10k-interval mixed-fault soak and friends must run clean — plus
 #      the obs exporter/trace tests, the structured-KKT/banded-Cholesky
-#      numerics (span-heavy code, worth the bounds checking), and the dsim
-#      suites including the dsim_soak target (100 fuzzed seeds x 1 simulated
-#      month through the full online pipeline on the deterministic event
-#      loop).
+#      numerics (span-heavy code, worth the bounds checking), the persist
+#      codec/engine suites (byte-level decoders fed corrupted input — prime
+#      bounds-check territory), and the dsim suites including crash
+#      recovery (CrashNemesis) and the dsim_soak target (100 fuzzed seeds
+#      x 1 simulated month through the full online pipeline, with
+#      crash-restart cycles).
 #   2. TSan (build-tsan/): the concurrency surface — obs recording from
 #      pool workers, the work-stealing ThreadPool, SweepRunner, and
 #      per-task QpSolver instances (dense and structured paths) on sweep
-#      workers.
+#      workers — plus the dsim_soak crash-restart soak, which exercises the
+#      persist engine's file lifecycle under the instrumented runtime.
 #
 # By default each phase runs its focused subset, which keeps the loop
 # fast; pass --full to run the whole suite under both.
@@ -22,8 +25,8 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace|EventLoop|BuggifyConfig|InvariantChecker|PipelineSim|TraceFuzzer|dsim_soak"
-tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured"
+asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace|EventLoop|BuggifyConfig|InvariantChecker|PipelineSim|TraceFuzzer|Crc32c|Codec|StateCodec|Engine|CrashNemesis|dsim_soak"
+tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured|dsim_soak"
 if [[ "${1:-}" == "--full" ]]; then
   asan_filter=""
   tsan_filter=""

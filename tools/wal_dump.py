@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Inspect smoother::persist WAL and snapshot files.
+
+Decodes the frozen on-disk framing (see src/smoother/persist/engine.hpp):
+
+    wal.bin       [magic "SMWL"][u32 version LE]
+                  records: [u32 payload_len][u32 crc32c(seq || payload)]
+                           [u64 seq][payload]
+    snapshot.bin  [magic "SMSN"][u32 version LE] + one record, same framing
+
+Every record's CRC32C is re-verified. A torn or CRC-failing tail is reported
+with its byte offset — the same prefix rule PersistEngine::recover() applies.
+With --checkpoint, the leading fields of the dsim pipeline's checkpoint
+payload (u64 committed_intervals, u64 samples_consumed, f64 soc_fraction,
+f64 injector_last_clean_kw, f64 shadow_guard_last_good_kw) are decoded too.
+
+Usage:
+    tools/wal_dump.py STATE_DIR              # dumps snapshot.bin + wal.bin
+    tools/wal_dump.py path/to/wal.bin --checkpoint
+    tools/wal_dump.py DIR --limit 5          # first/last records only
+
+Exit status: 0 if every file parsed clean, 1 if any tail was torn or failed
+its CRC, 2 on usage/IO errors.
+"""
+
+import argparse
+import os
+import struct
+import sys
+
+WAL_MAGIC = b"SMWL"
+SNAPSHOT_MAGIC = b"SMSN"
+HEADER_BYTES = 8
+RECORD_HEADER_BYTES = 16
+FORMAT_VERSION = 1
+
+# Reflected Castagnoli polynomial; matches smoother::persist::crc32c
+# (golden vector: crc32c(b"123456789") == 0xE3069283).
+_CRC_TABLE = []
+for _i in range(256):
+    _crc = _i
+    for _ in range(8):
+        _crc = (_crc >> 1) ^ (0x82F63B78 if _crc & 1 else 0)
+    _CRC_TABLE.append(_crc)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def checkpoint_preamble(payload: bytes) -> str:
+    if len(payload) < 40:
+        return "payload too short for a checkpoint preamble"
+    committed, samples = struct.unpack_from("<QQ", payload, 0)
+    soc, clean_kw, good_kw = struct.unpack_from("<ddd", payload, 16)
+    return (
+        f"committed={committed} samples={samples} soc={soc:.6f} "
+        f"injector_clean_kw={clean_kw:.3f} guard_good_kw={good_kw:.3f}"
+    )
+
+
+def dump_file(path: str, args) -> bool:
+    """Prints the file's records; returns True when the whole file is clean."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError as e:
+        print(f"wal_dump: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"== {path} ({len(data)} bytes)")
+    if len(data) < HEADER_BYTES:
+        print(f"   torn header: {len(data)} bytes, need {HEADER_BYTES}")
+        return False
+    magic, version = data[:4], struct.unpack_from("<I", data, 4)[0]
+    kind = {WAL_MAGIC: "wal", SNAPSHOT_MAGIC: "snapshot"}.get(magic)
+    if kind is None:
+        print(f"   bad magic {magic!r}: not a smoother persistence file")
+        return False
+    newer = " (NEWER THAN THIS TOOL)" if version > FORMAT_VERSION else ""
+    print(f"   {kind} file, format version {version}{newer}")
+
+    # Collect records first so --limit can elide the middle.
+    records = []  # (offset, seq, payload, crc_ok)
+    offset = HEADER_BYTES
+    clean = True
+    while offset < len(data):
+        if offset + RECORD_HEADER_BYTES > len(data):
+            print(
+                f"   torn record header at offset {offset}: "
+                f"{len(data) - offset} bytes (recovery truncates here)"
+            )
+            clean = False
+            break
+        length, stored_crc, seq = struct.unpack_from("<IIQ", data, offset)
+        end = offset + RECORD_HEADER_BYTES + length
+        if end > len(data):
+            print(
+                f"   torn record at offset {offset}: seq={seq} promises "
+                f"{length} payload bytes, file has {len(data) - offset - RECORD_HEADER_BYTES}"
+                " (recovery truncates here)"
+            )
+            clean = False
+            break
+        checksummed = data[offset + 8 : end]
+        payload = data[offset + RECORD_HEADER_BYTES : end]
+        crc_ok = crc32c(checksummed) == stored_crc
+        records.append((offset, seq, payload, crc_ok))
+        if not crc_ok:
+            clean = False
+            break  # recovery stops at the first bad record too
+        offset = end
+
+    shown = range(len(records))
+    if args.limit and len(records) > 2 * args.limit:
+        shown = list(range(args.limit)) + list(
+            range(len(records) - args.limit, len(records))
+        )
+    last_printed = -1
+    for i in shown:
+        if i != last_printed + 1:
+            print(f"   ... {i - last_printed - 1} records elided ...")
+        last_printed = i
+        off, seq, payload, crc_ok = records[i]
+        line = (
+            f"   record {i}: offset={off} seq={seq} "
+            f"payload={len(payload)}B crc={'ok' if crc_ok else 'BAD'}"
+        )
+        if args.checkpoint:
+            line += f"\n      {checkpoint_preamble(payload)}"
+        print(line)
+    if records and not records[-1][3]:
+        print(
+            f"   CRC mismatch at offset {records[-1][0]}: scan stopped "
+            "(recovery truncates here)"
+        )
+    print(f"   {len(records)} valid record(s)" + ("" if clean else " before damage"))
+    return clean
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="dump smoother::persist WAL/snapshot files"
+    )
+    parser.add_argument("paths", nargs="+", help="state directory or file")
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="decode the dsim checkpoint preamble of each payload",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print only the first/last N records of each file",
+    )
+    args = parser.parse_args()
+
+    files = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            found = [
+                os.path.join(path, name)
+                for name in ("snapshot.bin", "wal.bin")
+                if os.path.exists(os.path.join(path, name))
+            ]
+            if not found:
+                print(f"wal_dump: no persistence files in {path}", file=sys.stderr)
+                return 2
+            files.extend(found)
+        else:
+            files.append(path)
+
+    all_clean = True
+    for path in files:
+        all_clean = dump_file(path, args) and all_clean
+    return 0 if all_clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+// Macro: the multi-tenant fleet engine at service scale.
+//
+// Drives fleet::FleetEngine with 10,000 tenants — each an independent
+// OnlineSmoother fed its own wind-derived telemetry stream — and gates the
+// properties the subsystem exists for (exit code 1 on violation):
+//
+//   * serial (no pool) and pooled runs at every ladder width produce the
+//     same output_digest() — the sharding determinism contract, checked
+//     bit for bit;
+//   * factorization sharing works: fleet.batched_factorizations (KKT
+//     setups across the shard solver pools) stays far below the tenant
+//     count — near shards x 1 key for a same-shaped fleet;
+//   * throughput and tail latency are recorded: plans/sec plus
+//     p50/p99/p999 per-interval-plan latency at the 10k-tenant scale, and
+//     a 1/2/4/8 thread-scaling ladder for the perf trajectory.
+//
+// The >= 3x-at-8-threads speedup gate is hardware-conditional: it only
+// arms when the host actually has 8 hardware threads (same precedent as
+// micro_runtime); otherwise the JSON records "skipped-hardware" and the
+// ladder is informational. Emits BENCH_fleet.json
+// (tools/check_metrics_json.py --fleet validates the schema).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "common.hpp"
+#include "smoother/fleet/fleet.hpp"
+#include "smoother/persist/engine.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace {
+
+using namespace smoother;
+using namespace smoother::bench;
+
+constexpr std::size_t kTenants = 10000;
+constexpr std::size_t kIntervals = 8;  ///< completed intervals per tenant
+constexpr double kSpeedupGateAt8 = 3.0;
+constexpr std::size_t kSupplyStream = 20;  ///< same derivation as FleetSim
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  double wall_seconds = 0.0;       ///< total submit() wall time
+  std::uint64_t plans = 0;
+  fleet::FleetStats stats;
+  std::vector<double> plan_latency_us;  ///< one entry per interval plan
+};
+
+fleet::FleetConfig fleet_config(std::uint64_t seed) {
+  fleet::FleetConfig config;
+  config.seed = seed;
+  config.smoother.rated_power = util::Kilowatts{800.0};
+  config.smoother.sample_step = util::kFiveMinutes;
+  config.smoother.warmup_intervals = 1;
+  config.smoother.history_intervals = 24;
+  return config;
+}
+
+/// Per-tenant supply: independent wind traces of the same climate, each
+/// from a split stream keyed on the tenant id (the FleetSim derivation).
+std::vector<util::TimeSeries> make_supply(std::uint64_t seed,
+                                          std::size_t ticks) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  const power::TurbineCurve& curve = power::TurbineCurve::enercon_e48();
+  const util::Minutes duration{util::kFiveMinutes.value() *
+                               static_cast<double>(ticks)};
+  const std::uint64_t stream =
+      util::Rng::derive_stream_seed(seed, kSupplyStream);
+  std::vector<util::TimeSeries> supply;
+  supply.reserve(kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t)
+    supply.push_back(curve.power_series(model.generate(
+        duration, util::kFiveMinutes,
+        util::Rng::derive_stream_seed(stream, t + 1))));
+  return supply;
+}
+
+/// One full fleet run: admit every tenant, feed every tick as one batch,
+/// time each submit and attribute per-plan latency on interval ticks.
+RunResult run_fleet(std::uint64_t seed,
+                    const std::vector<util::TimeSeries>& supply,
+                    std::size_t ticks, runtime::ThreadPool* pool) {
+  fleet::FleetEngine engine(fleet_config(seed), pool);
+  for (std::size_t t = 0; t < kTenants; ++t)
+    engine.add_tenant(static_cast<std::uint64_t>(t + 1));
+
+  RunResult result;
+  std::vector<fleet::SampleRequest> batch(kTenants);
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      batch[t].tenant_id = static_cast<std::uint64_t>(t + 1);
+      batch[t].generation_kw = supply[t][tick];
+      batch[t].missing = false;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<fleet::IntervalEvent> events = engine.submit(batch);
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start;
+    result.wall_seconds += wall.count();
+    if (!events.empty()) {
+      const double per_plan_us =
+          wall.count() * 1e6 / static_cast<double>(events.size());
+      result.plan_latency_us.insert(result.plan_latency_us.end(),
+                                    events.size(), per_plan_us);
+    }
+  }
+  result.digest = engine.output_digest();
+  result.stats = engine.stats();
+  result.plans = result.stats.plans;
+  return result;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smoother::bench::Harness harness(argc, argv);
+  const std::uint64_t seed = harness.seed_or(kSeedWind);
+  sim::print_experiment_header(
+      std::cout, "macro: fleet engine",
+      "10k-tenant sharded service layer: determinism, factorization "
+      "sharing, plans/sec and tail latency, thread-scaling ladder");
+
+  const std::size_t points =
+      fleet_config(seed).smoother.flexible_smoothing.points_per_interval;
+  const std::size_t ticks = kIntervals * points;
+  const auto supply = make_supply(seed, ticks);
+
+  // --- Reference: strictly serial (no pool) --------------------------------
+  const RunResult serial = run_fleet(seed, supply, ticks, nullptr);
+
+  std::vector<double> latencies = serial.plan_latency_us;
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double p999 = percentile(latencies, 0.999);
+  const double plans_per_sec =
+      static_cast<double>(serial.plans) / std::max(serial.wall_seconds, 1e-9);
+
+  sim::TablePrinter fleet_table({"tenants", "shards", "plans", "plans_per_s",
+                                 "p50_us", "p99_us", "p999_us",
+                                 "kkt_setups", "pooled_solvers"});
+  fleet_table.add_row(
+      {std::to_string(serial.stats.tenants),
+       std::to_string(serial.stats.shards), std::to_string(serial.plans),
+       util::strfmt("%.0f", plans_per_sec), util::strfmt("%.1f", p50),
+       util::strfmt("%.1f", p99), util::strfmt("%.1f", p999),
+       std::to_string(serial.stats.batched_factorizations),
+       std::to_string(serial.stats.shared_solvers)});
+  fleet_table.print(std::cout);
+
+  const bool sharing_ok =
+      serial.stats.batched_factorizations < serial.stats.tenants;
+  const bool scale_ok = serial.stats.tenants >= kTenants &&
+                        serial.plans >= kTenants * (kIntervals - 1);
+
+  // --- Thread-scaling ladder -----------------------------------------------
+  const std::vector<std::size_t> ladder = {1, 2, 4, 8};
+  struct LadderPoint {
+    std::size_t threads = 0;
+    double wall_seconds = 0.0;
+    double speedup = 1.0;
+    bool digest_match = false;
+  };
+  std::vector<LadderPoint> scaling;
+  bool deterministic = true;
+  for (const std::size_t threads : ladder) {
+    runtime::ThreadPool pool(threads);
+    const RunResult run = run_fleet(seed, supply, ticks, &pool);
+    LadderPoint point;
+    point.threads = threads;
+    point.wall_seconds = run.wall_seconds;
+    point.digest_match = run.digest == serial.digest;
+    deterministic = deterministic && point.digest_match;
+    scaling.push_back(point);
+  }
+  for (auto& point : scaling)
+    point.speedup = scaling.front().wall_seconds / point.wall_seconds;
+
+  std::cout << "\n";
+  sim::TablePrinter ladder_table(
+      {"threads", "wall_s", "speedup", "digest"});
+  for (const auto& point : scaling)
+    ladder_table.add_row({std::to_string(point.threads),
+                          util::strfmt("%.3f", point.wall_seconds),
+                          util::strfmt("%.2fx", point.speedup),
+                          point.digest_match ? "match" : "MISMATCH"});
+  ladder_table.print(std::cout);
+
+  // Hardware-conditional speedup gate: only arms with >= 8 real threads.
+  const std::size_t hardware = runtime::resolve_thread_count(0);
+  std::string speedup_gate = "skipped-hardware";
+  bool speedup_ok = true;
+  if (hardware >= 8) {
+    speedup_ok = scaling.back().speedup >= kSpeedupGateAt8;
+    speedup_gate = speedup_ok ? "pass" : "fail";
+  }
+
+  const bool ok =
+      deterministic && sharing_ok && scale_ok && speedup_ok;
+  std::cout << "\ninvariants: serial-vs-parallel byte-identical: "
+            << (deterministic ? "yes" : "NO")
+            << "; factorizations shared (" << serial.stats.batched_factorizations
+            << " setups for " << serial.stats.tenants
+            << " tenants): " << (sharing_ok ? "yes" : "NO")
+            << "; >= " << kTenants << " tenants planned: "
+            << (scale_ok ? "yes" : "NO") << "; 8-thread speedup gate: "
+            << speedup_gate << "\n";
+
+  // --- BENCH_fleet.json ----------------------------------------------------
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"macro_fleet\",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"tenants\": " << serial.stats.tenants << ",\n"
+       << "  \"shards\": " << serial.stats.shards << ",\n"
+       << "  \"intervals\": " << kIntervals << ",\n"
+       << "  \"plans\": " << serial.plans << ",\n"
+       << util::strfmt("  \"plans_per_sec\": %.0f,\n", plans_per_sec)
+       << "  \"latency_us\": {\n"
+       << util::strfmt("    \"p50\": %.2f,\n", p50)
+       << util::strfmt("    \"p99\": %.2f,\n", p99)
+       << util::strfmt("    \"p999\": %.2f\n  },\n", p999)
+       << "  \"batched_factorizations\": "
+       << serial.stats.batched_factorizations << ",\n"
+       << "  \"shared_solvers\": " << serial.stats.shared_solvers << ",\n"
+       << "  \"arena_bytes\": " << serial.stats.arena_bytes << ",\n"
+       << "  \"hardware_concurrency\": " << hardware << ",\n"
+       << "  \"ladder\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i)
+    json << util::strfmt(
+        "    {\"threads\": %zu, \"wall_s\": %.4f, \"speedup\": %.2f}%s\n",
+        scaling[i].threads, scaling[i].wall_seconds, scaling[i].speedup,
+        i + 1 < scaling.size() ? "," : "");
+  json << "  ],\n"
+       << "  \"speedup_gate\": \"" << speedup_gate << "\",\n"
+       << "  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
+  persist::atomic_write_file("BENCH_fleet.json", json.str());
+
+  std::cout << "wrote BENCH_fleet.json"
+            << (ok ? "; all fleet invariants hold.\n"
+                   : "; INVARIANT VIOLATION — see flags above.\n");
+  return ok ? 0 : 1;
+}

@@ -40,7 +40,19 @@ FlexibleSmoothing::FlexibleSmoothing(FlexibleSmoothingConfig config)
   config_.validate();
 }
 
+void FlexibleSmoothing::set_shared_solver_pool(solver::SolverPool* pool) {
+  if (pool != nullptr && config_.warm_start)
+    throw std::invalid_argument(
+        "FlexibleSmoothing: a shared solver pool requires warm_start off — "
+        "ADMM iterates are per-stream state and must not cross instances");
+  shared_pool_ = pool;
+}
+
 void FlexibleSmoothing::reset_solver_warm_starts() const {
+  // Only the private cache: a shared pool serves cold-started solves by
+  // contract (set_shared_solver_pool rejects warm_start), so there are no
+  // iterates of ours in it to drop — and resetting it here would touch
+  // sibling instances' solvers mid-plan.
   for (auto& [m, qp_solver] : solver_cache_) qp_solver.reset_warm_start();
 }
 
@@ -130,7 +142,12 @@ IntervalPlan FlexibleSmoothing::plan_interval(
       qp_override ? *qp_override : config_.qp;
   solver::QpResult solution;
   if (config_.reuse_solver && qp_override == nullptr) {
-    solver::QpSolver& qp_solver = solver_cache_[m];
+    // A shared pool (fleet batched planning) replaces the private cache:
+    // same lifecycle, but the factorization is keyed by (m, rho, sigma)
+    // across every instance attached to the pool.
+    solver::QpSolver& qp_solver =
+        shared_pool_ != nullptr ? shared_pool_->solver_for(m, qp_settings)
+                                : solver_cache_[m];
     if (!config_.warm_start) qp_solver.reset_warm_start();
     solution = qp_solver.solve(problem, qp_settings);
   } else {

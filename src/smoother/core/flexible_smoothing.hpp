@@ -30,6 +30,7 @@
 #include "smoother/core/region.hpp"
 #include "smoother/solver/qp.hpp"
 #include "smoother/solver/qp_solver.hpp"
+#include "smoother/solver/solver_pool.hpp"
 #include "smoother/util/time_series.hpp"
 #include "smoother/util/units.hpp"
 
@@ -199,8 +200,25 @@ class FlexibleSmoothing {
   void reset_solver_warm_starts() const;
 
   /// Aggregate counters over the per-horizon solver cache (all zero when
-  /// `reuse_solver` is off or nothing was planned yet).
+  /// `reuse_solver` is off, a shared pool is attached, or nothing was
+  /// planned yet).
   [[nodiscard]] SolverCacheStats solver_cache_stats() const;
+
+  /// Routes cached solves through an externally-owned solver::SolverPool
+  /// instead of the private per-horizon cache, so many FlexibleSmoothing
+  /// instances with the same horizon length share one KKT factorization
+  /// (the fleet engine's batched planning; see solver/solver_pool.hpp for
+  /// the sharing contract). Non-owning — the pool must outlive this
+  /// instance and belong to the same single-threaded domain. Null detaches
+  /// and restores the private cache.
+  /// Throws std::invalid_argument when warm_start is enabled: ADMM iterates
+  /// are per-stream state and must never leak across the instances sharing
+  /// a pool.
+  void set_shared_solver_pool(solver::SolverPool* pool);
+
+  [[nodiscard]] solver::SolverPool* shared_solver_pool() const {
+    return shared_pool_;
+  }
 
  private:
   FlexibleSmoothingConfig config_;
@@ -210,6 +228,10 @@ class FlexibleSmoothing {
   /// mutable; it is what makes a FlexibleSmoothing instance single-threaded
   /// when reuse_solver is on.
   mutable std::map<std::size_t, solver::QpSolver> solver_cache_;
+
+  /// Optional shared pool (see set_shared_solver_pool); replaces
+  /// solver_cache_ while attached.
+  solver::SolverPool* shared_pool_ = nullptr;
 };
 
 }  // namespace smoother::core

@@ -25,6 +25,23 @@ resilience::TelemetryGuardConfig guard_config(
   return guard;
 }
 
+/// The one place region thresholds are derived from a variance history:
+/// refresh_thresholds() (live updates) and import_state() (the calibrated-
+/// snapshot consistency check) must agree bitwise, so they share this.
+RegionThresholds derive_thresholds(const std::vector<double>& history,
+                                   double stable_cdf, double extreme_cdf) {
+  const stats::EmpiricalCdf cdf(history);
+  RegionThresholds thresholds;
+  // Epsilon floor: a degenerate history (all-constant supply) must map
+  // zero-variance intervals to Region-I, not Region-II-1.
+  thresholds.stable_below = std::max(cdf.value_at(stable_cdf), 1e-12);
+  thresholds.extreme_above = cdf.value_at(extreme_cdf);
+  if (!(thresholds.stable_below < thresholds.extreme_above))
+    thresholds.extreme_above =
+        thresholds.stable_below * (1.0 + 1e-9) + 1e-12;
+  return thresholds;
+}
+
 resilience::FallbackReason fallback_reason_for(resilience::FaultKind kind) {
   switch (kind) {
     case resilience::FaultKind::kOracleThrow:
@@ -353,6 +370,27 @@ void OnlineSmoother::import_state(const StreamState& state) {
       throw std::invalid_argument(
           "OnlineSmoother::import_state: calibrated thresholds must satisfy "
           "0 < stable < extreme");
+    // Config-consistency gate: every genuine same-config export satisfies
+    // thresholds == derive(variance_history) bitwise, because
+    // process_interval() commits the history and refreshes the thresholds
+    // in the same step. A snapshot that fails this was written under
+    // different CDF levels (or hand-edited) — reject with the typed error
+    // rather than silently adopting thresholds this config would never
+    // have derived. Exact comparison is deliberate: the derivation is
+    // pure arithmetic on the same inputs, so the only way to differ at
+    // all is to differ in provenance.
+    const RegionThresholds derived = derive_thresholds(
+        state.variance_history, config_.stable_cdf, config_.extreme_cdf);
+    if (state.stable_below != derived.stable_below ||
+        state.extreme_above != derived.extreme_above)
+      throw StateMismatchError(
+          "OnlineSmoother::import_state: snapshot thresholds disagree with "
+          "the constructing config's CDF levels (snapshot " +
+          std::to_string(state.stable_below) + "/" +
+          std::to_string(state.extreme_above) + ", derived " +
+          std::to_string(derived.stable_below) + "/" +
+          std::to_string(derived.extreme_above) +
+          ") — the state was captured under a different configuration");
   }
   if (state.pending_faulted > state.pending.size())
     throw std::invalid_argument(
@@ -386,6 +424,25 @@ void OnlineSmoother::import_state(const StreamState& state) {
   // that never committed), exactly the situation the degraded-mode recovery
   // cold-start exists for.
   smoothing_.reset_solver_warm_starts();
+}
+
+void OnlineSmoother::compact(std::size_t keep_output_samples,
+                             std::size_t keep_records) {
+  // Never truncate below one full interval: export_state() reads the last
+  // points_per_interval output samples as the checkpoint tail.
+  const std::size_t floor = config_.flexible_smoothing.points_per_interval;
+  keep_output_samples = std::max(keep_output_samples, floor);
+  if (records_.size() > keep_records) {
+    const std::size_t drop = records_.size() - keep_records;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(drop));
+    interval_base_ += drop;
+  }
+  if (output_.size() > keep_output_samples) {
+    const std::size_t drop = output_.size() - keep_output_samples;
+    output_.drop_front(drop);
+    output_base_ += drop;
+  }
 }
 
 resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(
@@ -461,15 +518,8 @@ util::TimeSeries OnlineSmoother::execute_fallback_plan(
 void OnlineSmoother::refresh_thresholds() {
   const std::vector<double> history(variance_history_.begin(),
                                     variance_history_.end());
-  const stats::EmpiricalCdf cdf(history);
-  // Epsilon floor: a degenerate history (all-constant supply) must map
-  // zero-variance intervals to Region-I, not Region-II-1.
-  thresholds_.stable_below =
-      std::max(cdf.value_at(config_.stable_cdf), 1e-12);
-  thresholds_.extreme_above = cdf.value_at(config_.extreme_cdf);
-  if (!(thresholds_.stable_below < thresholds_.extreme_above))
-    thresholds_.extreme_above = thresholds_.stable_below * (1.0 + 1e-9) +
-                                1e-12;
+  thresholds_ = derive_thresholds(history, config_.stable_cdf,
+                                  config_.extreme_cdf);
 }
 
 }  // namespace smoother::core

@@ -100,6 +100,21 @@ struct OnlineSmootherConfig {
   void validate() const;
 };
 
+/// Typed rejection for OnlineSmoother::import_state when a snapshot is
+/// internally coherent but *disagrees with the constructing configuration*
+/// — calibrated thresholds that are not what this config derives from the
+/// snapshot's own variance history. The decided behaviour is REJECT, never
+/// silently adopt: a fleet restoring 10k tenants must fail loudly on the
+/// tenant whose checkpoint came from a differently-configured smoother,
+/// because adopting foreign thresholds would silently change every
+/// subsequent region decision. Derives from std::invalid_argument so
+/// existing catch sites keep working; callers that want to distinguish
+/// "config drift" from "corrupt state" catch this type.
+class StateMismatchError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// A completed interval's decision record.
 struct OnlineIntervalRecord {
   std::size_t index = 0;          ///< interval sequence number
@@ -243,7 +258,33 @@ class OnlineSmoother {
   /// On success records() restarts empty with indices continuing from
   /// intervals_completed, output() restarts from the tail, and the first
   /// subsequent plan cold-starts the solver.
+  /// Config-disagreement is additionally rejected with StateMismatchError:
+  /// a calibrated snapshot's thresholds must be exactly (bitwise) what this
+  /// smoother's CDF levels derive from the snapshot's variance history —
+  /// the invariant every genuine same-config export satisfies, and the
+  /// check that catches a checkpoint written under different
+  /// stable_cdf/extreme_cdf settings before it can silently skew every
+  /// subsequent region decision.
   void import_state(const StreamState& state);
+
+  /// Bounds the per-stream memory that otherwise grows forever: keeps only
+  /// the newest `keep_output_samples` of output() and `keep_records` of
+  /// records(), advancing the import_state-style cursor bases so
+  /// intervals_completed() and the absolute sample positions are unchanged.
+  /// Erase-only (no allocation) — the fleet engine calls this once per
+  /// completed interval to hold 10k+ tenants at a fixed footprint. Keeping
+  /// fewer output samples than points_per_interval would truncate the tail
+  /// a checkpoint needs, so the floor is one full interval.
+  void compact(std::size_t keep_output_samples, std::size_t keep_records);
+
+  /// Routes this stream's QP solves through a shared solver::SolverPool
+  /// (batched factorization sharing across tenants; see
+  /// FlexibleSmoothing::set_shared_solver_pool for the contract — requires
+  /// warm_start off, pool must outlive the smoother, one pool per thread
+  /// domain). Null detaches.
+  void set_shared_solver_pool(solver::SolverPool* pool) {
+    smoothing_.set_shared_solver_pool(pool);
+  }
 
   /// All smoothed output produced since construction or the last
   /// import_state() (same step as the input; trails the input by up to one

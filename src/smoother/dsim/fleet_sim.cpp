@@ -1,0 +1,239 @@
+#include "smoother/dsim/fleet_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smoother/core/online.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/util/rng.hpp"
+#include "smoother/util/time_series.hpp"
+
+namespace smoother::dsim {
+
+namespace {
+
+// Stream ids for Rng::split derivation off the simulation seed. The
+// EventLoop owns 0/1; PipelineSim uses 10-12; FleetSim starts at 20. The
+// per-tenant streams hang off these via a second split keyed on the
+// tenant id, so every tenant's weather and faults are independent AND
+// reproducible in isolation.
+constexpr std::uint64_t kSupplyStream = 20;
+constexpr std::uint64_t kInjectorStream = 21;
+
+std::uint64_t tenant_stream_seed(std::uint64_t seed, std::uint64_t stream,
+                                 std::uint64_t tenant_id) {
+  return util::Rng::derive_stream_seed(
+      util::Rng::derive_stream_seed(seed, stream), tenant_id);
+}
+
+}  // namespace
+
+void FleetSimConfig::validate() const {
+  if (tenants == 0)
+    throw std::invalid_argument("FleetSimConfig: tenants must be >= 1");
+  if (shards == 0)
+    throw std::invalid_argument("FleetSimConfig: shards must be >= 1");
+  if (duration <= util::Minutes{0.0})
+    throw std::invalid_argument("FleetSimConfig: duration must be > 0");
+  if (sample_step <= util::Minutes{0.0})
+    throw std::invalid_argument("FleetSimConfig: step must be > 0");
+  if (rated_power <= util::Kilowatts{0.0})
+    throw std::invalid_argument("FleetSimConfig: rated power must be > 0");
+  site.validate();
+  faults.validate();
+  buggify.validate();
+  if (buggify.enabled && buggify.max_delay_minutes >= sample_step.value())
+    throw std::invalid_argument(
+        "FleetSimConfig: buggified delay must stay below the sample step");
+}
+
+FleetSim::FleetSim(FleetSimConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed) {
+  config_.validate();
+}
+
+FleetSimResult FleetSim::run() { return run(nullptr); }
+
+FleetSimResult FleetSim::run(runtime::ThreadPool* pool) {
+  return run(pool, FleetSimControls{});
+}
+
+FleetSimResult FleetSim::run(runtime::ThreadPool* pool,
+                             const FleetSimControls& controls) {
+  FleetSimResult result;
+  result.seed = seed_;
+  result.tenants = config_.tenants;
+
+  EventLoop loop(seed_, config_.buggify);
+  loop.set_record_trace(config_.record_trace);
+  if (controls.halt_after_events > 0)
+    loop.set_halt_after_events(controls.halt_after_events);
+
+  // --- the fleet under test ----------------------------------------------
+  fleet::FleetConfig fleet_config;
+  fleet_config.shards = config_.shards;
+  fleet_config.seed = seed_;
+  fleet_config.smoother.rated_power = config_.rated_power;
+  fleet_config.smoother.sample_step = config_.sample_step;
+  fleet_config.smoother.warmup_intervals = config_.warmup_intervals;
+  fleet_config.smoother.history_intervals = config_.history_intervals;
+  const std::size_t points =
+      fleet_config.smoother.flexible_smoothing.points_per_interval;
+
+  // Per-tenant injectors outlive the engine (hooks capture raw pointers),
+  // so they are declared first and the vector is sized once.
+  std::vector<resilience::FaultInjector> injectors;
+  injectors.reserve(config_.tenants);
+
+  fleet::FleetEngine engine(fleet_config, pool);
+
+  // Per-tenant supply traces through the E48 curve, each from a split
+  // stream keyed on the tenant id: same climate, independent weather.
+  const trace::WindSpeedModel model(config_.site);
+  const power::TurbineCurve& curve = power::TurbineCurve::enercon_e48();
+  std::vector<util::TimeSeries> supply;
+  supply.reserve(config_.tenants);
+  for (std::size_t t = 0; t < config_.tenants; ++t) {
+    const std::uint64_t tenant_id = t + 1;
+    supply.push_back(curve.power_series(
+        model.generate(config_.duration, config_.sample_step,
+                       tenant_stream_seed(seed_, kSupplyStream, tenant_id))));
+    injectors.emplace_back(
+        config_.faults,
+        tenant_stream_seed(seed_, kInjectorStream, tenant_id));
+    resilience::FaultInjector* injector = &injectors.back();
+    core::OnlineSmoother::Hooks hooks;
+    hooks.battery_monitor = [injector](std::size_t interval) {
+      return injector->battery_available(interval);
+    };
+    engine.add_tenant(tenant_id, std::move(hooks));
+  }
+
+  // --- the equivalence audit ---------------------------------------------
+  // Standalone shadows of the first audit_tenants tenants, fed the same
+  // corrupted stream through twin injectors (same split seed => same fault
+  // decisions). Skipped on resume: a shadow cannot be reconstructed
+  // mid-stream without replaying the consumed prefix.
+  const std::size_t audit_count =
+      controls.resume_state != nullptr
+          ? 0
+          : std::min(config_.audit_tenants, config_.tenants);
+  std::vector<resilience::FaultInjector> shadow_injectors;
+  std::vector<core::OnlineSmoother> shadows;
+  shadow_injectors.reserve(audit_count);
+  shadows.reserve(audit_count);
+  for (std::size_t t = 0; t < audit_count; ++t) {
+    const std::uint64_t tenant_id = t + 1;
+    shadow_injectors.emplace_back(
+        config_.faults,
+        tenant_stream_seed(seed_, kInjectorStream, tenant_id));
+    resilience::FaultInjector* injector = &shadow_injectors.back();
+    core::OnlineSmoother::Hooks hooks;
+    hooks.battery_monitor = [injector](std::size_t interval) {
+      return injector->battery_available(interval);
+    };
+    const battery::BatterySpec spec = battery::spec_for_max_rate(
+        fleet_config.smoother.rated_power * fleet_config.battery_rate_fraction,
+        fleet_config.smoother.sample_step, fleet_config.battery_headroom);
+    shadows.emplace_back(fleet_config.smoother, battery::Battery(spec),
+                         std::move(hooks));
+  }
+
+  // --- resume ------------------------------------------------------------
+  // A checkpoint is appended after every completed tick, so the number of
+  // consumed ticks is exactly any tenant's consumed sample count
+  // (intervals * points + open-interval pending samples).
+  std::size_t first_tick = 0;
+  if (controls.resume_state != nullptr) {
+    engine.restore_checkpoint(*controls.resume_state);
+    const core::OnlineSmoother* tenant = engine.find_tenant(1);
+    if (tenant != nullptr) {
+      const core::OnlineSmoother::StreamState state = tenant->export_state();
+      first_tick = static_cast<std::size_t>(
+          state.intervals_completed * points + state.pending.size());
+    }
+    // Every injector decision is pure in (seed, stream, index) EXCEPT the
+    // dropout repair value (last clean sample seen). Replaying the consumed
+    // prefix through the fresh injectors rebuilds that one piece of
+    // sequential state, so the resumed stream corrupts tick `first_tick`
+    // exactly as the uninterrupted run did.
+    for (std::size_t t = 0; t < config_.tenants; ++t)
+      for (std::size_t tick = 0; tick < first_tick; ++tick)
+        (void)injectors[t].corrupt_sample(tick, supply[t][tick]);
+  }
+
+  // --- collector ticks ---------------------------------------------------
+  const auto total_ticks = static_cast<std::size_t>(
+      config_.duration.value() / config_.sample_step.value());
+  std::vector<fleet::SampleRequest> batch;
+  batch.reserve(config_.tenants);
+  for (std::size_t tick = first_tick; tick < total_ticks; ++tick) {
+    loop.schedule_at(
+        util::Minutes{config_.sample_step.value() * static_cast<double>(tick)},
+        "tick " + std::to_string(tick),
+        [&, tick] {
+          batch.clear();
+          for (std::size_t t = 0; t < config_.tenants; ++t) {
+            const std::uint64_t tenant_id = t + 1;
+            fleet::SampleRequest request;
+            request.tenant_id = tenant_id;
+            request.generation_kw =
+                injectors[t].corrupt_sample(tick, supply[t][tick]);
+            batch.push_back(request);
+          }
+          const std::vector<fleet::IntervalEvent> events =
+              engine.submit(batch);
+          result.samples += batch.size();
+          result.interval_events += events.size();
+          ++result.ticks;
+
+          // Shadows consume the identical corrupted values; after each
+          // completed interval the output tails must agree bitwise.
+          for (std::size_t t = 0; t < audit_count; ++t) {
+            const double value =
+                shadow_injectors[t].corrupt_sample(tick, supply[t][tick]);
+            const std::optional<core::OnlineIntervalRecord> record =
+                shadows[t].push(value);
+            if (!record) continue;
+            const core::OnlineSmoother* tenant =
+                engine.find_tenant(t + 1);
+            const util::TimeSeries& fleet_out = tenant->output();
+            const util::TimeSeries& shadow_out = shadows[t].output();
+            const std::size_t tail =
+                std::min({points, fleet_out.size(), shadow_out.size()});
+            for (std::size_t i = 0; i < tail; ++i) {
+              const double a = fleet_out[fleet_out.size() - tail + i];
+              const double b = shadow_out[shadow_out.size() - tail + i];
+              if (std::bit_cast<std::uint64_t>(a) !=
+                  std::bit_cast<std::uint64_t>(b))
+                ++result.audit_mismatches;
+            }
+          }
+
+          if (controls.engine != nullptr)
+            controls.engine->append(engine.encode_checkpoint());
+        });
+  }
+
+  loop.run();
+
+  result.events_executed = static_cast<std::size_t>(loop.events_executed());
+  result.halted = loop.pending() > 0;
+  result.output_digest = engine.output_digest();
+  if (config_.record_trace) {
+    std::string trace;
+    for (const std::string& line : loop.trace()) {
+      trace += line;
+      trace += '\n';
+    }
+    result.event_trace = std::move(trace);
+  }
+  return result;
+}
+
+}  // namespace smoother::dsim

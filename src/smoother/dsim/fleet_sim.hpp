@@ -1,0 +1,123 @@
+// FleetSim: the multi-tenant fleet engine on the deterministic event loop.
+//
+// Where PipelineSim exercises one OnlineSmoother against a nemesis,
+// FleetSim drives a whole fleet::FleetEngine: every sample step is a
+// "collector tick" event that batches one telemetry sample per tenant
+// (each tenant's supply is an independent wind trace, each corrupted by
+// its own per-tenant FaultInjector — both derived from the simulation
+// seed via split streams keyed on the tenant id) and submits the batch to
+// the engine. Completed interval plans come back as fleet events.
+//
+// Two audits ride along:
+//
+//   * Equivalence: the first `audit_tenants` tenants are shadowed by
+//     standalone OnlineSmoothers fed the identical corrupted stream. After
+//     every completed interval the shadow's output tail must match the
+//     fleet tenant's bit for bit — the witness that sharding, pooling and
+//     arena placement change *where* tenants compute, never *what*.
+//   * Determinism: the run is a pure function of (config, seed) — the
+//     executed-event trace and the engine's output digest reproduce
+//     byte-identically, serial or on any thread pool.
+//
+// The persistence nemesis composes the same way as PipelineSim: attach a
+// PersistEngine to checkpoint the whole fleet each tick, halt after N
+// events to simulate a kill, resume from a recovered checkpoint and run
+// the remaining ticks — the final digest must equal the uninterrupted
+// run's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "smoother/dsim/event_loop.hpp"
+#include "smoother/fleet/fleet.hpp"
+#include "smoother/persist/engine.hpp"
+#include "smoother/resilience/fault_injector.hpp"
+#include "smoother/runtime/thread_pool.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+#include "smoother/util/units.hpp"
+
+namespace smoother::dsim {
+
+struct FleetSimConfig {
+  std::size_t tenants = 32;
+  util::Minutes duration = util::days(1.0);
+  util::Minutes sample_step = util::kFiveMinutes;
+  std::size_t shards = 8;
+
+  /// Streaming smoother knobs (short warmup, as in PipelineSim, so a short
+  /// simulated span reaches the planned path).
+  std::size_t warmup_intervals = 2;
+  std::size_t history_intervals = 24;
+
+  /// Supply model shared by every tenant; each tenant draws its own trace
+  /// from a split seed, so tenants see independent weather of the same
+  /// climate.
+  trace::WindSiteParams site = trace::WindSitePresets::texas_10();
+  util::Kilowatts rated_power{800.0};
+
+  /// Per-tenant nemesis rates (each tenant gets its own injector on a
+  /// split seed). All-zero = clean fleet.
+  resilience::FaultInjectorConfig faults;
+
+  /// Collector-tick scheduling jitter; must stay below sample_step so
+  /// ticks never reorder.
+  BuggifyConfig buggify;
+
+  /// Tenants shadowed by standalone smoothers for the equivalence audit
+  /// (clamped to the tenant count; 0 disables; ignored when resuming).
+  std::size_t audit_tenants = 2;
+
+  bool record_trace = true;
+
+  void validate() const;
+};
+
+/// Crash/recovery controls, mirroring PipelineSim::SimControls.
+struct FleetSimControls {
+  /// When set, one whole-fleet checkpoint payload is appended per tick.
+  persist::PersistEngine* engine = nullptr;
+  /// When > 0, the event loop halts after this many executed events.
+  std::uint64_t halt_after_events = 0;
+  /// When set, restores this recovered checkpoint and replays only the
+  /// remaining ticks.
+  const std::string* resume_state = nullptr;
+};
+
+struct FleetSimResult {
+  std::uint64_t seed = 0;
+  std::size_t tenants = 0;
+  std::size_t ticks = 0;            ///< collector ticks executed
+  std::size_t samples = 0;          ///< samples submitted to the engine
+  std::size_t interval_events = 0;  ///< interval plans emitted
+  std::uint64_t output_digest = 0;  ///< FleetEngine::output_digest()
+  std::size_t audit_mismatches = 0; ///< equivalence audit failures
+  std::size_t events_executed = 0;
+  bool halted = false;              ///< stopped at a crash point
+  std::string event_trace;
+
+  [[nodiscard]] bool ok() const { return audit_mismatches == 0; }
+};
+
+class FleetSim {
+ public:
+  /// Throws std::invalid_argument on bad config.
+  FleetSim(FleetSimConfig config, std::uint64_t seed);
+
+  /// Serial run (no pool).
+  [[nodiscard]] FleetSimResult run();
+
+  /// Run with shards processed on `pool` (null = serial). The result is
+  /// byte-identical for every pool size.
+  [[nodiscard]] FleetSimResult run(runtime::ThreadPool* pool);
+
+  [[nodiscard]] FleetSimResult run(runtime::ThreadPool* pool,
+                                   const FleetSimControls& controls);
+
+ private:
+  FleetSimConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace smoother::dsim

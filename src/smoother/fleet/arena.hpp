@@ -1,0 +1,138 @@
+// Bump-pointer slab arena for per-tenant fleet state.
+//
+// A shard hosting thousands of tenants allocates each tenant's control
+// block once, at admission, and never frees it individually — tenants
+// live until the shard does. That lifetime pattern is exactly what a bump
+// arena serves best: allocation is a pointer increment into a large slab,
+// tenants admitted together sit adjacent in memory (the shard's steady-
+// state sweep walks them in admission order), and there is no per-object
+// heap metadata to thrash the allocator with at 100k tenants.
+//
+// Deliberately NOT a general allocator:
+//   * no deallocate — memory is reclaimed all at once when the arena is
+//     destroyed (or reset); the owner of a non-trivially-destructible
+//     object placed here must run its destructor itself before that;
+//   * not thread-safe — one arena per shard, touched only by whichever
+//     worker is processing that shard (the same single-threaded-domain
+//     discipline as solver::SolverPool);
+//   * allocations that do not fit the slab size get a dedicated slab, so
+//     an oversized request degrades to malloc, never fails artificially.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace smoother::fleet {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes == 0 ? kDefaultSlabBytes : slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage aligned to `alignment` (any power of two), valid until
+  /// the arena is destroyed or reset(). Alignment is done by over-
+  /// allocating and rounding the pointer up, so plain new[]/delete[] pair
+  /// correctly regardless of how strict the request is.
+  void* allocate(std::size_t size, std::size_t alignment) {
+    if (size == 0) size = 1;
+    if (alignment == 0) alignment = 1;
+    bytes_used_ += size;
+    // Worst case the bump cursor needs alignment-1 padding; a request that
+    // might not fit an empty slab gets its own dedicated slab instead.
+    if (size + alignment - 1 > slab_bytes_) {
+      Slab slab;
+      slab.size = size + alignment - 1;
+      slab.bytes = std::make_unique<std::byte[]>(slab.size);
+      bytes_reserved_ += slab.size;
+      void* aligned = align_pointer(slab.bytes.get(), alignment);
+      // Keep the current small slab (and its cursor) live at the back. If
+      // there is none, the dedicated slab lands at the back fully consumed
+      // (cursor at the small-slab bound) so no later bump reuses its bytes.
+      if (slabs_.empty()) {
+        slabs_.push_back(std::move(slab));
+        offset_ = slab_bytes_;
+      } else {
+        slabs_.insert(slabs_.end() - 1, std::move(slab));
+      }
+      return aligned;
+    }
+    if (!slabs_.empty()) {
+      std::byte* base = slabs_.back().bytes.get();
+      std::byte* cursor =
+          static_cast<std::byte*>(align_pointer(base + offset_, alignment));
+      if (static_cast<std::size_t>(cursor - base) + size <= slab_bytes_) {
+        offset_ = static_cast<std::size_t>(cursor - base) + size;
+        return cursor;
+      }
+    }
+    Slab slab;
+    slab.size = slab_bytes_;
+    slab.bytes = std::make_unique<std::byte[]>(slab_bytes_);
+    bytes_reserved_ += slab_bytes_;
+    slabs_.push_back(std::move(slab));
+    std::byte* cursor = static_cast<std::byte*>(
+        align_pointer(slabs_.back().bytes.get(), alignment));
+    offset_ = static_cast<std::size_t>(cursor - slabs_.back().bytes.get()) +
+              size;
+    return cursor;
+  }
+
+  /// Placement-constructs a T in arena storage. The arena never runs
+  /// destructors: the caller owns the object's end of life (call destroy()
+  /// or the destructor explicitly before the arena goes away if T is not
+  /// trivially destructible).
+  template <class T, class... Args>
+  T* create(Args&&... args) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Runs the destructor of an object created with create(). The storage
+  /// is not reclaimed (bump arenas do not free individually).
+  template <class T>
+  static void destroy(T* object) {
+    if (object != nullptr) object->~T();
+  }
+
+  /// Drops every slab. Only callable when every object placed in the arena
+  /// has already been destroyed (or is trivially destructible).
+  void reset() {
+    slabs_.clear();
+    offset_ = 0;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+  [[nodiscard]] std::size_t slab_count() const { return slabs_.size(); }
+  /// Sum of requested allocation sizes (excludes alignment padding).
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  static void* align_pointer(void* p, std::size_t alignment) {
+    const auto value = reinterpret_cast<std::uintptr_t>(p);
+    const auto aligned = (value + alignment - 1) & ~(alignment - 1);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  struct Slab {
+    std::unique_ptr<std::byte[]> bytes;
+    std::size_t size = 0;
+  };
+
+  std::vector<Slab> slabs_;
+  std::size_t offset_ = 0;  ///< bump cursor within slabs_.back()
+  std::size_t slab_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace smoother::fleet

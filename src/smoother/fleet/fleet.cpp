@@ -1,0 +1,335 @@
+#include "smoother/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/obs/metrics.hpp"
+#include "smoother/persist/state.hpp"
+
+namespace smoother::fleet {
+
+namespace {
+
+/// Checkpoint payload version (inside whatever framing the caller's
+/// PersistEngine adds).
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+std::size_t shard_of(std::uint64_t tenant_id, std::size_t shard_count) {
+  // splitmix64 scrambles dense id ranges (0..n, site codes) into a uniform
+  // 64-bit space before the mod, so real-world id schemes spread evenly.
+  util::SplitMix64 mix(tenant_id);
+  return static_cast<std::size_t>(mix.next() %
+                                  static_cast<std::uint64_t>(shard_count));
+}
+
+void FleetConfig::validate() const {
+  smoother.validate();
+  if (shards == 0)
+    throw std::invalid_argument("FleetConfig: shards must be >= 1");
+  if (smoother.flexible_smoothing.warm_start)
+    throw std::invalid_argument(
+        "FleetConfig: warm starts are incompatible with the shared solver "
+        "pool (ADMM iterates are per-stream state; see SolverPool)");
+  if (battery_rate_fraction <= 0.0)
+    throw std::invalid_argument(
+        "FleetConfig: battery_rate_fraction must be positive");
+  if (battery_headroom < 1.0)
+    throw std::invalid_argument("FleetConfig: battery_headroom must be >= 1");
+  if (keep_records == 0)
+    throw std::invalid_argument("FleetConfig: keep_records must be >= 1");
+}
+
+/// One tenant's control block, placement-constructed in the shard arena.
+struct FleetEngine::Tenant {
+  Tenant(std::uint64_t id_, core::OnlineSmootherConfig config,
+         battery::Battery battery, core::OnlineSmoother::Hooks hooks)
+      : id(id_),
+        smoother(std::move(config), std::move(battery), std::move(hooks)) {}
+
+  std::uint64_t id;
+  /// Running CRC32C over every interval this tenant has completed (record
+  /// fields + the interval's output sample bit patterns). Survives
+  /// checkpoints, so it witnesses the tenant's *entire* output history.
+  std::uint32_t digest = 0;
+  core::OnlineSmoother smoother;
+};
+
+/// One shard: a single-threaded domain. Everything here is touched only by
+/// whichever thread is processing this shard — tenants, the shared solver
+/// pool, the arena, and the per-batch scratch all stay unsynchronized.
+/// `arena` is declared first so it outlives the tenant map during
+/// destruction (~Shard runs the tenant destructors explicitly; the arena
+/// frees the storage afterwards).
+struct FleetEngine::Shard {
+  Arena arena;
+  solver::SolverPool pool;
+  /// Ordered by id: the deterministic iteration order for checkpoints and
+  /// digests.
+  std::map<std::uint64_t, Tenant*> tenants;
+  /// The requests routed here this batch, in submission order, with the
+  /// tenant resolved up front (routing is serial; processing must not
+  /// touch the map).
+  std::vector<std::pair<Tenant*, const SampleRequest*>> batch;
+  std::vector<IntervalEvent> events;
+  persist::Writer digest_scratch;
+  core::OnlineSmoother::StreamState state_scratch;
+
+  ~Shard() {
+    for (auto& [id, tenant] : tenants) Arena::destroy(tenant);
+  }
+};
+
+FleetEngine::FleetEngine(FleetConfig config, runtime::ThreadPool* pool)
+    : config_(std::move(config)), pool_(pool) {
+  config_.validate();
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+FleetEngine::~FleetEngine() = default;
+
+void FleetEngine::add_tenant(std::uint64_t tenant_id) {
+  add_tenant(tenant_id, core::OnlineSmoother::Hooks{});
+}
+
+void FleetEngine::add_tenant(std::uint64_t tenant_id,
+                             core::OnlineSmoother::Hooks hooks) {
+  Shard& shard = *shards_[shard_of(tenant_id, shards_.size())];
+  if (shard.tenants.contains(tenant_id))
+    throw std::invalid_argument("FleetEngine: tenant " +
+                                std::to_string(tenant_id) +
+                                " is already admitted");
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      config_.smoother.rated_power * config_.battery_rate_fraction,
+      config_.smoother.sample_step, config_.battery_headroom);
+  Tenant* tenant = shard.arena.create<Tenant>(
+      tenant_id, config_.smoother, battery::Battery(spec), std::move(hooks));
+  tenant->smoother.set_shared_solver_pool(&shard.pool);
+  shard.tenants.emplace(tenant_id, tenant);
+  ++tenant_count_;
+}
+
+const core::OnlineSmoother* FleetEngine::find_tenant(
+    std::uint64_t tenant_id) const {
+  const Shard& shard = *shards_[shard_of(tenant_id, shards_.size())];
+  const auto it = shard.tenants.find(tenant_id);
+  return it == shard.tenants.end() ? nullptr : &it->second->smoother;
+}
+
+std::vector<IntervalEvent> FleetEngine::submit(
+    std::span<const SampleRequest> requests) {
+  // Route serially (cheap map lookups, fail-fast on unknown tenants), then
+  // process shards as units — under the pool when one is attached.
+  for (const SampleRequest& request : requests) {
+    Shard& shard = *shards_[shard_of(request.tenant_id, shards_.size())];
+    const auto it = shard.tenants.find(request.tenant_id);
+    if (it == shard.tenants.end())
+      throw std::invalid_argument("FleetEngine: unknown tenant " +
+                                  std::to_string(request.tenant_id));
+    shard.batch.emplace_back(it->second, &request);
+  }
+  return run_batch();
+}
+
+std::vector<IntervalEvent> FleetEngine::run_batch() {
+  if (pool_ != nullptr) {
+    pool_->parallel_for(shards_.size(), [this](std::size_t i) {
+      process_shard(*shards_[i]);
+    });
+  } else {
+    for (auto& shard : shards_) process_shard(*shard);
+  }
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->events.size();
+  std::vector<IntervalEvent> events;
+  events.reserve(total);
+  // Shard-major concatenation: the deterministic order the documentation
+  // (and the serial-vs-parallel tests) promise.
+  for (auto& shard : shards_) {
+    events.insert(events.end(), shard->events.begin(), shard->events.end());
+    shard->events.clear();
+  }
+  plans_total_ += events.size();
+  publish_metrics();
+  return events;
+}
+
+void FleetEngine::process_shard(Shard& shard) {
+  const std::size_t points =
+      config_.smoother.flexible_smoothing.points_per_interval;
+  const std::size_t keep_output = config_.keep_output_samples > 0
+                                      ? config_.keep_output_samples
+                                      : 2 * points;
+  for (auto& [tenant, request] : shard.batch) {
+    const std::optional<core::OnlineIntervalRecord> record =
+        request->missing ? tenant->smoother.push_missing()
+                         : tenant->smoother.push(request->generation_kw);
+    if (!record) continue;
+    IntervalEvent event;
+    event.tenant_id = tenant->id;
+    event.interval_index = record->index;
+    event.region = static_cast<std::uint8_t>(record->region);
+    event.fallback = static_cast<std::uint8_t>(record->fallback);
+    event.smoothed = record->smoothed;
+    event.warmup = record->warmup;
+    event.degraded = record->degraded;
+    event.variance_before = record->variance_before;
+    event.variance_after = record->variance_after;
+    event.solver_iterations = record->solver_iterations;
+
+    // Fold the interval into the tenant digest before compaction trims the
+    // tail: record fields plus the interval's output bit patterns.
+    persist::Writer& scratch = shard.digest_scratch;
+    scratch.clear();
+    scratch.u64(event.interval_index);
+    scratch.u8(event.region);
+    scratch.u8(event.fallback);
+    scratch.boolean(event.smoothed);
+    scratch.boolean(event.warmup);
+    scratch.boolean(event.degraded);
+    scratch.f64(event.variance_before);
+    scratch.f64(event.variance_after);
+    scratch.u64(event.solver_iterations);
+    const util::TimeSeries& output = tenant->smoother.output();
+    const std::size_t tail = std::min(points, output.size());
+    for (std::size_t i = output.size() - tail; i < output.size(); ++i)
+      scratch.f64(output[i]);
+    tenant->digest = persist::crc32c_extend(tenant->digest, scratch.bytes());
+
+    tenant->smoother.compact(keep_output, config_.keep_records);
+    shard.events.push_back(event);
+  }
+  shard.batch.clear();
+}
+
+WireApplyResult FleetEngine::apply_wire(std::string_view requests,
+                                        std::string& events_out) {
+  FrameCursor cursor(requests);
+  std::vector<SampleRequest> samples;
+  WireApplyResult result;
+  while (const std::optional<Frame> frame = cursor.next()) {
+    ++result.frames_applied;
+    switch (frame->type) {
+      case MessageType::kAddTenant: {
+        const AddTenantRequest request = decode_add_tenant(frame->body);
+        // Idempotent on the wire: re-admitting an existing tenant is a
+        // no-op, so a replayed request stream converges instead of dying.
+        if (find_tenant(request.tenant_id) == nullptr)
+          add_tenant(request.tenant_id);
+        break;
+      }
+      case MessageType::kSample:
+        samples.push_back(decode_sample(frame->body, false));
+        break;
+      case MessageType::kMissingSample:
+        samples.push_back(decode_sample(frame->body, true));
+        break;
+      case MessageType::kIntervalEvent:
+        throw persist::PersistError(
+            persist::ErrorKind::kCorrupt,
+            "wire stream: event frame in a request stream");
+    }
+  }
+  result.torn = cursor.torn();
+  const std::vector<IntervalEvent> events = submit(samples);
+  result.events = events.size();
+  FrameWriter writer;
+  writer.begin_stream(events_out);
+  for (const IntervalEvent& event : events) writer.append(events_out, event);
+  return result;
+}
+
+std::uint64_t FleetEngine::output_digest() const {
+  std::uint32_t crc = 0;
+  persist::Writer scratch;
+  for (const auto& shard : shards_) {
+    for (const auto& [id, tenant] : shard->tenants) {
+      scratch.clear();
+      scratch.u64(id);
+      scratch.u32(tenant->digest);
+      crc = persist::crc32c_extend(crc, scratch.bytes());
+    }
+  }
+  return (static_cast<std::uint64_t>(tenant_count_) << 32) |
+         static_cast<std::uint64_t>(crc);
+}
+
+std::string FleetEngine::encode_checkpoint() const {
+  persist::Writer writer;
+  writer.u32(kCheckpointVersion);
+  writer.u64(tenant_count_);
+  for (const auto& shard : shards_) {
+    for (const auto& [id, tenant] : shard->tenants) {
+      writer.u64(id);
+      writer.u32(tenant->digest);
+      tenant->smoother.export_state_into(shard->state_scratch);
+      persist::save_state(writer, shard->state_scratch);
+    }
+  }
+  return writer.take();
+}
+
+void FleetEngine::restore_checkpoint(std::string_view bytes) {
+  persist::Reader reader(bytes);
+  const std::uint32_t version = reader.u32();
+  if (version > kCheckpointVersion)
+    throw persist::PersistError(
+        persist::ErrorKind::kFutureVersion,
+        "fleet checkpoint: version " + std::to_string(version) +
+            " is newer than this build's " +
+            std::to_string(kCheckpointVersion));
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = reader.u64();
+    const std::uint32_t digest = reader.u32();
+    Shard& shard = *shards_[shard_of(id, shards_.size())];
+    auto it = shard.tenants.find(id);
+    if (it == shard.tenants.end()) {
+      add_tenant(id);
+      it = shard.tenants.find(id);
+    }
+    persist::restore_state(reader, it->second->smoother);
+    it->second->digest = digest;
+  }
+  reader.expect_done();
+}
+
+FleetStats FleetEngine::stats() const {
+  FleetStats stats;
+  stats.tenants = tenant_count_;
+  stats.shards = shards_.size();
+  stats.plans = plans_total_;
+  stats.min_shard_tenants = tenant_count_;  // min over shards, seeded high
+  for (const auto& shard : shards_) {
+    const solver::SolverPoolStats pool = shard->pool.stats();
+    stats.batched_factorizations += pool.setups;
+    stats.shared_solvers += pool.solvers;
+    stats.max_shard_tenants =
+        std::max(stats.max_shard_tenants, shard->tenants.size());
+    stats.min_shard_tenants =
+        std::min(stats.min_shard_tenants, shard->tenants.size());
+    stats.arena_bytes += shard->arena.bytes_reserved();
+  }
+  return stats;
+}
+
+void FleetEngine::publish_metrics() {
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  if (metrics == nullptr) return;
+  const FleetStats current = stats();
+  metrics->counter("fleet.plans").add(current.plans - published_plans_);
+  published_plans_ = current.plans;
+  metrics->counter("fleet.batched_factorizations")
+      .add(current.batched_factorizations - published_factorizations_);
+  published_factorizations_ = current.batched_factorizations;
+  metrics->gauge("fleet.shard_imbalance")
+      .set(static_cast<double>(current.max_shard_tenants) -
+           static_cast<double>(current.min_shard_tenants));
+}
+
+}  // namespace smoother::fleet

@@ -1,0 +1,222 @@
+// FleetEngine: many independent OnlineSmoothers behind one sharded,
+// deterministic service layer.
+//
+// A renewable-smoothing middleware deployed as a service does not run one
+// stream — it runs one per site, per turbine cluster, per tenant: 1k-100k
+// independent OnlineSmoother instances fed by batched telemetry. The
+// FleetEngine is that multi-tenant layer:
+//
+//   * Sharding is a pure function of the tenant id (splitmix64 hash mod a
+//     *fixed* shard count), never of the thread count. A batch is routed
+//     shard by shard, each shard is processed as one sequential unit
+//     (possibly on a ThreadPool worker), and events concatenate in shard-
+//     major order — so serial and parallel runs of the same batch produce
+//     byte-identical outputs, the same discipline as runtime's sweeps.
+//
+//   * Batched planning shares factorizations. Tenants with the same
+//     horizon length and QP settings hit one cached structured-KKT setup
+//     per (m, rho, sigma) key in the shard's solver::SolverPool instead of
+//     one solver per tenant; the pool contract forces warm starts off
+//     (ADMM iterates are per-stream state), so sharing never couples
+//     tenants. fleet.batched_factorizations counts pool setups — at 10k
+//     same-shaped tenants it stays at shard-count, not tenant-count.
+//
+//   * Per-tenant state is slab-allocated. Each shard owns an Arena;
+//     tenant control blocks are placement-constructed into it in admission
+//     order, and after every completed interval the smoother is
+//     compact()ed back to a bounded tail — steady state allocates nothing
+//     and the per-tenant footprint is fixed, which is what makes 100k
+//     tenants a memory-plausible deployment.
+//
+//   * The wire boundary is binary. Request streams (admissions, samples,
+//     gaps) and event streams (interval plans) use the length-prefixed,
+//     CRC32C-framed format in wire.hpp; checkpoints serialize every
+//     tenant's StreamState through the persist codec, so a fleet restores
+//     through the same PersistEngine WAL/snapshot machinery as a single
+//     stream — and a tenant whose checkpoint disagrees with the engine's
+//     config fails loudly (core::StateMismatchError), never silently.
+//
+// Determinism contract: submit() output (events, per-tenant digests,
+// checkpoint bytes) is a pure function of (config, admission sequence,
+// request sequence) — independent of the thread pool, its size, or
+// scheduling. Per-tenant randomness, where a caller wants it (synthetic
+// traces, fault streams), derives from Rng::split(tenant_id) off the
+// fleet seed, so it is reproducible per tenant no matter the batch order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smoother/core/online.hpp"
+#include "smoother/fleet/arena.hpp"
+#include "smoother/fleet/wire.hpp"
+#include "smoother/persist/codec.hpp"
+#include "smoother/runtime/thread_pool.hpp"
+#include "smoother/solver/solver_pool.hpp"
+#include "smoother/util/rng.hpp"
+
+namespace smoother::fleet {
+
+/// Deterministic tenant-to-shard assignment: splitmix64 of the tenant id
+/// mod the shard count. Pure in (tenant_id, shard_count); independent of
+/// admission order, thread count, and everything else.
+[[nodiscard]] std::size_t shard_of(std::uint64_t tenant_id,
+                                   std::size_t shard_count);
+
+struct FleetConfig {
+  /// Per-tenant streaming config. Warm starts default OFF here (unlike the
+  /// single-stream default): every tenant's solves route through the
+  /// shard's shared SolverPool, whose sharing contract requires cold
+  /// starts. validate() rejects a config that re-enables them.
+  core::OnlineSmootherConfig smoother = [] {
+    core::OnlineSmootherConfig config;
+    config.flexible_smoothing.warm_start = false;
+    return config;
+  }();
+
+  /// Fixed shard count — the unit of parallelism AND the unit of
+  /// determinism. Independent of how many threads process a batch.
+  std::size_t shards = 16;
+
+  /// Base seed for per-tenant derived streams (tenant_rng()).
+  std::uint64_t seed = 20190701;
+
+  /// Battery sizing per tenant, as in the dsim pipeline: max rate as a
+  /// fraction of rated power, capacity headroom over the one-step sizing.
+  double battery_rate_fraction = 0.5;
+  double battery_headroom = 2.0;
+
+  /// Post-interval compaction bounds (see OnlineSmoother::compact).
+  /// keep_output_samples == 0 means two full intervals.
+  std::size_t keep_output_samples = 0;
+  std::size_t keep_records = 4;
+
+  /// Throws std::invalid_argument on zero shards or warm starts on.
+  void validate() const;
+};
+
+/// Aggregate fleet counters, also published to obs::global_metrics() (when
+/// installed) as fleet.plans, fleet.batched_factorizations and the
+/// fleet.shard_imbalance gauge after every batch.
+struct FleetStats {
+  std::size_t tenants = 0;
+  std::size_t shards = 0;
+  std::uint64_t plans = 0;  ///< completed interval plans (events emitted)
+  /// KKT setups across all shard pools. Factorization sharing working
+  /// means this stays near shards * distinct-(m,settings) keys — far below
+  /// the tenant count.
+  std::uint64_t batched_factorizations = 0;
+  std::uint64_t shared_solvers = 0;  ///< live pooled solvers across shards
+  std::size_t max_shard_tenants = 0;
+  std::size_t min_shard_tenants = 0;
+  std::size_t arena_bytes = 0;  ///< slab bytes reserved across shards
+};
+
+/// Result of applying one wire request stream.
+struct WireApplyResult {
+  std::size_t frames_applied = 0;
+  std::size_t events = 0;
+  /// The request stream ended mid-frame; every complete frame before the
+  /// tear was applied.
+  bool torn = false;
+};
+
+class FleetEngine {
+ public:
+  /// `pool` is non-owning and optional: null processes shards serially on
+  /// the calling thread; with a pool, shards run under parallel_for. The
+  /// output is byte-identical either way.
+  explicit FleetEngine(FleetConfig config,
+                       runtime::ThreadPool* pool = nullptr);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Admits a tenant (battery sized from config, solves routed through the
+  /// shard pool). Throws std::invalid_argument on a duplicate id.
+  void add_tenant(std::uint64_t tenant_id);
+
+  /// Admits a tenant with per-tenant hooks (forecast oracle, battery
+  /// monitor — e.g. a FaultInjector-backed nemesis keyed off
+  /// tenant_rng(tenant_id)).
+  void add_tenant(std::uint64_t tenant_id, core::OnlineSmoother::Hooks hooks);
+
+  [[nodiscard]] std::size_t tenant_count() const { return tenant_count_; }
+
+  /// Processes one batch of requests: routes by shard, runs shards
+  /// (in parallel when a pool is attached), returns every completed
+  /// interval event in shard-major, submission order. Per-tenant request
+  /// order within the batch is preserved. Throws std::invalid_argument on
+  /// an unknown tenant id.
+  std::vector<IntervalEvent> submit(std::span<const SampleRequest> requests);
+
+  /// Wire boundary: decodes a request stream, applies admissions (at scan
+  /// time, so a batch may admit and feed the same tenant) and samples (as
+  /// one submit() batch), and appends the resulting event stream (with
+  /// header) to `events_out`. A torn trailing frame stops the scan
+  /// gracefully (result.torn); corruption throws persist::PersistError.
+  WireApplyResult apply_wire(std::string_view requests,
+                             std::string& events_out);
+
+  /// Running digest over everything every tenant has output: folds the
+  /// per-tenant interval digests (updated after each completed interval
+  /// over the record fields and the interval's output samples, bit
+  /// patterns included) in shard-major, tenant-id order. Two engines fed
+  /// the same batches agree here iff every tenant's full output history
+  /// matches byte for byte — the serial-vs-parallel witness.
+  [[nodiscard]] std::uint64_t output_digest() const;
+
+  /// Serializes every tenant's StreamState (plus digest) through the
+  /// persist codec — the payload to hand to PersistEngine::append /
+  /// snapshot. Deterministic: shard-major, tenant-id order.
+  [[nodiscard]] std::string encode_checkpoint() const;
+
+  /// Restores a checkpoint: missing tenants are admitted, existing ones
+  /// wholesale-replaced via OnlineSmoother::import_state (which validates
+  /// and cold-starts; config mismatch throws core::StateMismatchError).
+  /// Throws persist::PersistError on malformed bytes.
+  void restore_checkpoint(std::string_view bytes);
+
+  /// The tenant's smoother, or null when not admitted.
+  [[nodiscard]] const core::OnlineSmoother* find_tenant(
+      std::uint64_t tenant_id) const;
+
+  /// The tenant's derived random stream: Rng::split(tenant_id) off the
+  /// fleet seed. Pure — same tenant, same stream, regardless of admission
+  /// or batch order.
+  [[nodiscard]] util::Rng tenant_rng(std::uint64_t tenant_id) const {
+    return util::Rng(config_.seed).split(tenant_id);
+  }
+
+  [[nodiscard]] FleetStats stats() const;
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  struct Tenant;
+  struct Shard;
+
+  Tenant& require_tenant(Shard& shard, std::uint64_t tenant_id);
+  void process_shard(Shard& shard);
+  void publish_metrics();
+  /// Routes the batch, runs every shard, gathers shard-major events.
+  std::vector<IntervalEvent> run_batch();
+
+  FleetConfig config_;
+  runtime::ThreadPool* pool_;  ///< non-owning; null = serial
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t tenant_count_ = 0;
+  std::uint64_t plans_total_ = 0;
+  /// Cumulative values already published to the global metrics counters
+  /// (counters are monotone; we add deltas).
+  std::uint64_t published_plans_ = 0;
+  std::uint64_t published_factorizations_ = 0;
+};
+
+}  // namespace smoother::fleet

@@ -1,0 +1,163 @@
+#include "smoother/fleet/wire.hpp"
+
+namespace smoother::fleet {
+
+namespace {
+
+constexpr std::string_view kWireMagic = "SMFW";
+constexpr std::size_t kHeaderBytes = 8;        // magic + u32 version
+constexpr std::size_t kFrameHeaderBytes = 8;   // u32 len + u32 crc
+
+bool known_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MessageType::kAddTenant) &&
+         type <= static_cast<std::uint8_t>(MessageType::kIntervalEvent);
+}
+
+}  // namespace
+
+void FrameWriter::begin_stream(std::string& out) const {
+  out.clear();
+  out.append(kWireMagic);
+  persist::Writer version;
+  version.u32(kWireVersion);
+  out += version.bytes();
+}
+
+void FrameWriter::append_frame(std::string& out, MessageType type,
+                               std::string_view body) {
+  // len counts the type byte + body; the CRC covers the same bytes, so a
+  // frame re-framed by a torn length field still fails verification.
+  const auto len = static_cast<std::uint32_t>(1 + body.size());
+  const char type_byte = static_cast<char>(type);
+  const std::uint32_t crc = persist::crc32c_extend(
+      persist::crc32c(std::string_view(&type_byte, 1)), body);
+  scratch_.clear();
+  scratch_.u32(len);
+  scratch_.u32(crc);
+  out += scratch_.bytes();
+  out.push_back(type_byte);
+  out.append(body);
+}
+
+void FrameWriter::append(std::string& out, const AddTenantRequest& request) {
+  scratch_.clear();
+  scratch_.u64(request.tenant_id);
+  const std::string body = scratch_.take();
+  append_frame(out, MessageType::kAddTenant, body);
+}
+
+void FrameWriter::append(std::string& out, const SampleRequest& request) {
+  scratch_.clear();
+  scratch_.u64(request.tenant_id);
+  if (!request.missing) scratch_.f64(request.generation_kw);
+  const std::string body = scratch_.take();
+  append_frame(
+      out, request.missing ? MessageType::kMissingSample : MessageType::kSample,
+      body);
+}
+
+void FrameWriter::append(std::string& out, const IntervalEvent& event) {
+  scratch_.clear();
+  scratch_.u64(event.tenant_id);
+  scratch_.u64(event.interval_index);
+  scratch_.u8(event.region);
+  scratch_.u8(event.fallback);
+  scratch_.boolean(event.smoothed);
+  scratch_.boolean(event.warmup);
+  scratch_.boolean(event.degraded);
+  scratch_.f64(event.variance_before);
+  scratch_.f64(event.variance_after);
+  scratch_.u64(event.solver_iterations);
+  const std::string body = scratch_.take();
+  append_frame(out, MessageType::kIntervalEvent, body);
+}
+
+FrameCursor::FrameCursor(std::string_view bytes) : bytes_(bytes) {
+  if (bytes_.size() < kHeaderBytes)
+    throw persist::PersistError(
+        persist::ErrorKind::kTruncated,
+        "wire stream: header cut short at " + std::to_string(bytes_.size()) +
+            " bytes");
+  if (bytes_.substr(0, kWireMagic.size()) != kWireMagic)
+    throw persist::PersistError(persist::ErrorKind::kBadMagic,
+                                "wire stream: not a fleet wire stream");
+  persist::Reader reader(bytes_.substr(kWireMagic.size(), 4));
+  const std::uint32_t version = reader.u32();
+  if (version > kWireVersion)
+    throw persist::PersistError(
+        persist::ErrorKind::kFutureVersion,
+        "wire stream: version " + std::to_string(version) +
+            " is newer than this build's " + std::to_string(kWireVersion));
+  offset_ = kHeaderBytes;
+}
+
+std::optional<Frame> FrameCursor::next() {
+  if (offset_ == bytes_.size()) return std::nullopt;  // clean end
+  if (bytes_.size() - offset_ < kFrameHeaderBytes) {
+    torn_ = true;
+    return std::nullopt;
+  }
+  persist::Reader header(bytes_.substr(offset_, kFrameHeaderBytes));
+  const std::uint32_t len = header.u32();
+  const std::uint32_t stored_crc = header.u32();
+  if (len == 0)
+    throw persist::PersistError(persist::ErrorKind::kCorrupt,
+                                "wire frame: zero-length frame");
+  if (bytes_.size() - offset_ - kFrameHeaderBytes < len) {
+    torn_ = true;
+    return std::nullopt;
+  }
+  const std::string_view typed_body =
+      bytes_.substr(offset_ + kFrameHeaderBytes, len);
+  if (persist::crc32c(typed_body) != stored_crc)
+    throw persist::PersistError(persist::ErrorKind::kChecksum,
+                                "wire frame: CRC mismatch at offset " +
+                                    std::to_string(offset_));
+  const auto type = static_cast<std::uint8_t>(typed_body[0]);
+  if (!known_type(type))
+    throw persist::PersistError(
+        persist::ErrorKind::kCorrupt,
+        "wire frame: unknown message type " + std::to_string(type));
+  Frame frame;
+  frame.type = static_cast<MessageType>(type);
+  frame.body = typed_body.substr(1);
+  offset_ += kFrameHeaderBytes + len;
+  return frame;
+}
+
+AddTenantRequest decode_add_tenant(std::string_view body) {
+  persist::Reader reader(body);
+  AddTenantRequest request;
+  request.tenant_id = reader.u64();
+  reader.expect_done();
+  return request;
+}
+
+SampleRequest decode_sample(std::string_view body, bool missing) {
+  persist::Reader reader(body);
+  SampleRequest request;
+  request.missing = missing;
+  request.tenant_id = reader.u64();
+  if (!missing) request.generation_kw = reader.f64();
+  reader.expect_done();
+  return request;
+}
+
+IntervalEvent decode_interval_event(std::string_view body) {
+  persist::Reader reader(body);
+  IntervalEvent event;
+  event.tenant_id = reader.u64();
+  event.interval_index = reader.u64();
+  event.region = reader.u8();
+  event.fallback = reader.u8();
+  event.smoothed = reader.boolean();
+  event.warmup = reader.boolean();
+  event.degraded = reader.boolean();
+  event.variance_before = reader.f64();
+  event.variance_after = reader.f64();
+  event.solver_iterations = reader.u64();
+  reader.expect_done();
+  return event;
+}
+
+}  // namespace smoother::fleet

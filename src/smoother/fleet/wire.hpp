@@ -1,0 +1,143 @@
+// Compact binary wire format for fleet requests and events.
+//
+// A fleet front-end batches tenant telemetry into request streams and
+// reads interval-plan events back; both directions use one little-endian
+// framing built on the persist codec so the byte layout has a single
+// definition and the same CRC32C implementation guards disk and wire:
+//
+//   stream  := header frame*
+//   header  := magic "SMFW" | u32 version        (8 bytes)
+//   frame   := u32 payload_len                   (type byte + body)
+//            | u32 crc32c(type || body)
+//            | u8  type                          (MessageType)
+//            | body
+//
+// The CRC covers the type byte and the body, so a frame whose length field
+// was torn into pointing at another frame's bytes still fails verification
+// — the same trick the WAL records use. Decoding distinguishes the two
+// failure shapes a reader cares about:
+//
+//   * a *torn tail* (stream ends mid-frame): FrameCursor::next() returns
+//     nullopt with torn() == true — the producer died mid-write; everything
+//     decoded so far is intact;
+//   * *corruption* (CRC mismatch, unknown type, body that does not decode):
+//     throws persist::PersistError — the stream cannot be trusted past the
+//     previous frame.
+//
+// Bodies are fixed-layout (no containers), so every encode is
+// allocation-free after the buffer warms up and every decode is a handful
+// of bounded reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "smoother/persist/codec.hpp"
+
+namespace smoother::fleet {
+
+/// Wire format version, independent of the persist file format (the two
+/// evolve separately; both start at 1).
+inline constexpr std::uint32_t kWireVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kAddTenant = 1,      ///< request: admit a tenant (idempotent identity)
+  kSample = 2,         ///< request: one telemetry sample for a tenant
+  kMissingSample = 3,  ///< request: telemetry gap for a tenant
+  kIntervalEvent = 4,  ///< event: one completed interval plan
+};
+
+/// Admit a tenant. The engine derives everything else (battery sizing,
+/// RNG stream, shard) from its config and the tenant id.
+struct AddTenantRequest {
+  std::uint64_t tenant_id = 0;
+};
+
+/// One telemetry sample (or gap, via kMissingSample) for a tenant.
+struct SampleRequest {
+  std::uint64_t tenant_id = 0;
+  double generation_kw = 0.0;  ///< ignored for kMissingSample
+  bool missing = false;        ///< encoded via the frame type, not a field
+};
+
+/// One completed interval plan, the event a request batch produces.
+/// Mirrors core::OnlineIntervalRecord plus the tenant identity.
+struct IntervalEvent {
+  std::uint64_t tenant_id = 0;
+  std::uint64_t interval_index = 0;
+  std::uint8_t region = 0;       ///< core::Region
+  std::uint8_t fallback = 0;     ///< resilience::FallbackReason
+  bool smoothed = false;
+  bool warmup = false;
+  bool degraded = false;
+  double variance_before = 0.0;
+  double variance_after = 0.0;
+  std::uint64_t solver_iterations = 0;
+
+  friend bool operator==(const IntervalEvent&, const IntervalEvent&) =
+      default;
+};
+
+/// Appends the stream header / frames to a caller-owned byte buffer. The
+/// buffer is plain std::string so it can go straight to a socket, a file,
+/// or FrameCursor in a test; reusing one FrameWriter across batches reuses
+/// its scratch capacity.
+class FrameWriter {
+ public:
+  /// Starts a stream: clears `out` and writes the header.
+  void begin_stream(std::string& out) const;
+
+  /// Appends one frame. `body` is the encoded message body (no type byte).
+  void append_frame(std::string& out, MessageType type,
+                    std::string_view body);
+
+  void append(std::string& out, const AddTenantRequest& request);
+  void append(std::string& out, const SampleRequest& request);
+  void append(std::string& out, const IntervalEvent& event);
+
+ private:
+  persist::Writer scratch_;
+};
+
+/// One decoded frame; `body` points into the cursor's underlying bytes.
+struct Frame {
+  MessageType type = MessageType::kAddTenant;
+  std::string_view body;
+};
+
+/// Forward scanner over a wire stream. Construction validates the header
+/// (throws PersistError on bad magic / future version / header cut short).
+class FrameCursor {
+ public:
+  explicit FrameCursor(std::string_view bytes);
+
+  /// The next frame, or nullopt at end of stream. A cleanly terminated
+  /// stream ends with torn() == false; a stream that stops mid-frame ends
+  /// with torn() == true. Throws PersistError{kChecksum} on a CRC
+  /// mismatch and {kCorrupt} on an unknown message type.
+  std::optional<Frame> next();
+
+  /// True once next() hit an incomplete trailing frame.
+  [[nodiscard]] bool torn() const { return torn_; }
+
+  /// Byte offset just past the last fully decoded frame (the resume point
+  /// after a torn tail).
+  [[nodiscard]] std::size_t valid_end() const { return offset_; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t offset_ = 0;
+  bool torn_ = false;
+};
+
+/// Body decoders for the typed messages. Throw PersistError{kCorrupt or
+/// kTruncated} on malformed bodies (including trailing bytes).
+[[nodiscard]] AddTenantRequest decode_add_tenant(std::string_view body);
+[[nodiscard]] SampleRequest decode_sample(std::string_view body,
+                                          bool missing);
+[[nodiscard]] IntervalEvent decode_interval_event(std::string_view body);
+
+}  // namespace smoother::fleet

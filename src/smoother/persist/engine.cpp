@@ -216,15 +216,22 @@ void PersistEngine::open_wal_for_append() {
       throw PersistError(ErrorKind::kIo, errno_detail("write", path));
     }
     wal_ = file;
+    durable_wal_bytes_ = kHeaderBytes;
     return;
   }
   wal_ = std::fopen(path.c_str(), "ab");
   if (wal_ == nullptr)
     throw PersistError(ErrorKind::kIo, errno_detail("open", path));
   static_cast<void>(std::setvbuf(wal_, nullptr, _IOFBF, kWalBufferBytes));
+  // Everything on disk at open is the verified tail: the constructor opens
+  // after recover()'s truncation (or a fresh header), and rollback reopens
+  // after truncating back to the previous tail.
+  durable_wal_bytes_ = size;
 }
 
 void PersistEngine::write_record(std::string_view payload, std::uint64_t seq) {
+  const AppendFault fault =
+      config_.append_fault ? config_.append_fault(seq) : AppendFault::kNone;
   // Framing identical to encode_record, assembled in a stack header with a
   // streaming CRC so the per-interval append allocates nothing.
   char header[kRecordHeaderBytes];
@@ -236,9 +243,27 @@ void PersistEngine::write_record(std::string_view payload, std::uint64_t seq) {
       crc32c_extend(crc32c(std::string_view(header + 8, 8)), payload);
   for (std::size_t i = 0; i < 4; ++i)
     header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xffu);
+  if (fault == AppendFault::kTornWrite) {
+    // Half the record reaches the file (flushed so it is really there, like
+    // a kernel that accepted the first iovec and died on the second), then
+    // the write "fails".
+    static_cast<void>(std::fwrite(header, 1, sizeof header, wal_));
+    static_cast<void>(
+        std::fwrite(payload.data(), 1, payload.size() / 2, wal_));
+    static_cast<void>(std::fflush(wal_));
+    throw PersistError(ErrorKind::kIo, "injected torn write at seq " +
+                                           std::to_string(seq));
+  }
   if (std::fwrite(header, 1, sizeof header, wal_) != sizeof header ||
       std::fwrite(payload.data(), 1, payload.size(), wal_) != payload.size())
     throw PersistError(ErrorKind::kIo, errno_detail("append", wal_path()));
+  if (fault == AppendFault::kFsyncFailure) {
+    // The record is complete and flushed — but "fsync failed", so the
+    // caller must treat it as not durable and will retry the sequence.
+    static_cast<void>(std::fflush(wal_));
+    throw PersistError(ErrorKind::kIo, "injected fsync failure at seq " +
+                                           std::to_string(seq));
+  }
   // The user->kernel flush follows the fsync policy: under kEveryAppend the
   // record must reach the kernel before fdatasync can make it durable;
   // under kNone/kSnapshotOnly appends ride the stdio buffer (flushed on
@@ -252,7 +277,24 @@ void PersistEngine::write_record(std::string_view payload, std::uint64_t seq) {
 }
 
 void PersistEngine::append(std::string_view payload) {
-  write_record(payload, next_seq_);
+  if (poisoned_)
+    throw PersistError(
+        ErrorKind::kIo,
+        "append: WAL tail is unverified after a failed rollback; "
+        "compact with snapshot() to re-establish a clean WAL");
+  try {
+    write_record(payload, next_seq_);
+  } catch (...) {
+    // The record may be partly on disk (torn write) or fully on disk but
+    // not durable (failed fsync). Either way: roll the file back to the
+    // verified tail so the in-memory position never runs ahead of what
+    // recovery would accept, then rethrow. Without this, every later
+    // successful append lands beyond bytes recovery rejects and gets
+    // silently truncated with them.
+    rollback_wal_to_durable_tail();
+    throw;
+  }
+  durable_wal_bytes_ += kRecordHeaderBytes + payload.size();
   ++next_seq_;
   ++wal_records_;
   last_payload_.assign(payload.data(), payload.size());
@@ -261,17 +303,50 @@ void PersistEngine::append(std::string_view payload) {
     snapshot(last_payload_);
 }
 
+void PersistEngine::rollback_wal_to_durable_tail() {
+  // fclose first: it flushes any buffered *good* records ahead of the
+  // failed one, so the file holds at least durable_wal_bytes_ bytes unless
+  // that flush also failed.
+  if (wal_ != nullptr) {
+    static_cast<void>(std::fclose(wal_));
+    wal_ = nullptr;
+  }
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(wal_path(), ec);
+  if (!ec && size >= durable_wal_bytes_) {
+    std::filesystem::resize_file(wal_path(), durable_wal_bytes_, ec);
+    if (!ec) {
+      try {
+        open_wal_for_append();
+        return;  // clean rollback: the failed append never happened
+      } catch (const PersistError&) {
+        // fall through to poison
+      }
+    }
+  }
+  // The file is shorter than the verified tail (a buffered good record was
+  // lost) or the truncate/reopen failed: the tail is unverified. Poison
+  // until snapshot() rebuilds durable state from scratch.
+  poisoned_ = true;
+}
+
 void PersistEngine::snapshot(std::string_view payload) {
   // Order matters for crash safety: (1) the snapshot lands atomically with
   // a seq newer than every WAL record, then (2) the WAL is truncated. A
   // crash between the two leaves stale WAL records that recovery ignores
-  // by sequence number.
-  const std::uint64_t seq = next_seq_++;
+  // by sequence number. The sequence advances only after the atomic write
+  // succeeds — a failed snapshot must not leave next_seq_ pointing past
+  // anything durable.
+  const std::uint64_t seq = next_seq_;
   std::string bytes = header_bytes(kSnapshotMagic);
   bytes += encode_record(payload, seq);
   atomic_write_file(snapshot_path(), bytes,
                     config_.fsync != FsyncPolicy::kNone);
+  next_seq_ = seq + 1;
   truncate_wal_to_header();
+  // The snapshot now holds the newest durable state and the WAL is a bare
+  // header again: any earlier unverified tail is gone.
+  poisoned_ = false;
   last_payload_.assign(payload.data(), payload.size());
 }
 
@@ -370,6 +445,7 @@ RecoveredState PersistEngine::recover() {
   next_seq_ = std::max<std::uint64_t>(last_seq, recovered.sequence) + 1;
   wal_records_ =
       recovered.wal_records_replayed + recovered.wal_records_stale;
+  poisoned_ = false;  // the scan just re-verified the tail
   open_wal_for_append();
   return recovered;
 }

@@ -34,11 +34,24 @@
 // the buffered policies an abrupt death can lose the buffered tail — the
 // same torn/missing-suffix shape recovery already truncates, so the
 // guarantee degrades to "some durable prefix", never a corrupt state.
+//
+// Failed appends roll back. A torn fwrite leaves garbage bytes mid-WAL,
+// and a failed fsync leaves a record the caller will retry with the same
+// sequence number; either way the in-memory position (next_sequence) would
+// run ahead of the durable tail, and every *later* successful append would
+// land beyond bytes that recovery rejects — silently truncating them. So
+// append() tracks the byte offset of the verified tail and, when a write
+// step throws, truncates the WAL back to it before rethrowing: the failed
+// record never happened, and a retry reuses its sequence number at the
+// same offset. If the rollback itself fails, the engine poisons itself —
+// further appends throw until a successful snapshot() re-establishes a
+// clean, truncated WAL.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -62,6 +75,14 @@ enum class FsyncPolicy {
 
 [[nodiscard]] std::string to_string(FsyncPolicy policy);
 
+/// Injectable append failure modes (test hook; see
+/// PersistConfig::append_fault).
+enum class AppendFault {
+  kNone,          ///< append proceeds normally
+  kTornWrite,     ///< half the record reaches the file, then the write fails
+  kFsyncFailure,  ///< the record is written and flushed, then fsync fails
+};
+
 struct PersistConfig {
   /// Directory for wal.bin / snapshot.bin; created if absent.
   std::string directory;
@@ -72,6 +93,13 @@ struct PersistConfig {
   /// 0 disables automatic compaction; the WAL then grows until the caller
   /// compacts explicitly with snapshot().
   std::size_t snapshot_every_records = 288;
+
+  /// Test hook: consulted once per append with the record's sequence
+  /// number, before anything touches the file. Returning kTornWrite or
+  /// kFsyncFailure makes that append fail the way a dying disk would
+  /// (partial bytes on disk / written-but-not-durable), exercising the
+  /// rollback path. Leave empty in production.
+  std::function<AppendFault(std::uint64_t)> append_fault;
 
   /// Throws std::invalid_argument on an empty directory.
   void validate() const;
@@ -108,6 +136,14 @@ class PersistEngine {
 
   /// Appends one payload as a WAL record (applying the fsync policy), then
   /// compacts when the record count reaches snapshot_every_records.
+  ///
+  /// Failure-atomic: if the write or fsync throws, the WAL is rolled back
+  /// to the last verified tail and neither next_sequence() nor
+  /// wal_records() advances — the caller may retry the same payload (it
+  /// reuses the sequence number) or carry on; durable state is exactly
+  /// what it was before the call. If the rollback itself fails the engine
+  /// is poisoned: appends throw PersistError{kIo} until a successful
+  /// snapshot() rebuilds a clean WAL.
   void append(std::string_view payload);
 
   /// Explicit compaction: writes `payload` as the snapshot and truncates
@@ -127,12 +163,19 @@ class PersistEngine {
   void open_wal_for_append();
   void write_record(std::string_view payload, std::uint64_t seq);
   void truncate_wal_to_header();
+  void rollback_wal_to_durable_tail();
 
   PersistConfig config_;
   std::FILE* wal_ = nullptr;
   std::size_t wal_records_ = 0;
   std::uint64_t next_seq_ = 1;
   std::string last_payload_;  ///< newest appended payload (compaction source)
+  /// Byte offset of the end of the last fully-written record (or the
+  /// header): where a failed append rolls the file back to.
+  std::uint64_t durable_wal_bytes_ = 0;
+  /// Set when a rollback failed and the WAL tail is unverified; cleared by
+  /// the truncate inside a successful snapshot().
+  bool poisoned_ = false;
 };
 
 }  // namespace smoother::persist

@@ -11,10 +11,17 @@ namespace {
 
 /// Components validate restored state with std::invalid_argument; at the
 /// persistence boundary that is corrupt input, not a programming error.
+/// core::StateMismatchError is the exception to the mapping: the bytes are
+/// perfectly coherent — they were written under a different configuration
+/// — and callers (a fleet restoring thousands of tenants) distinguish
+/// "config drift" from "corrupt checkpoint" by the type, so it passes
+/// through unwrapped.
 template <typename Fn>
 void apply_or_corrupt(Fn&& fn) {
   try {
     fn();
+  } catch (const core::StateMismatchError&) {
+    throw;
   } catch (const std::invalid_argument& e) {
     throw PersistError(ErrorKind::kCorrupt, e.what());
   }

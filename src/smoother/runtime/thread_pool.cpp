@@ -49,8 +49,17 @@ void ThreadPool::push(std::function<void()> task) {
     const std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
-  queued_.fetch_add(1);
+  queued_.fetch_add(1);  // seq_cst: published before the parked_ read below
+  // Dekker pairing with worker_loop's park sequence (parked_ ++ then
+  // queued_ read): both sides seq_cst, so "pusher sees parked_ == 0" and
+  // "worker blocks having seen queued_ == 0" cannot both happen — skipping
+  // the notify here is safe exactly when no worker can be committing to
+  // block. See the parking-protocol comment in the header.
+  if (parked_.load() == 0) return;
   {
+    // Empty critical section: orders this push's queued_ increment against
+    // any parked worker's predicate evaluation, so the notify below cannot
+    // land in the gap between a worker's predicate check and its block.
     const std::lock_guard<std::mutex> lock(park_mutex_);
   }
   park_cv_.notify_one();
@@ -142,9 +151,16 @@ void ThreadPool::worker_loop(std::size_t index) {
       continue;
     }
     std::unique_lock<std::mutex> lock(park_mutex_);
+    // Count ourselves parked *before* the predicate runs (wait() evaluates
+    // it once before ever blocking): from here until the decrement a racing
+    // push() either sees parked_ > 0 and notifies through the mutex, or we
+    // see its queued_ increment and do not block. Over-counting is benign —
+    // a worker that turns out not to block just earns a spurious notify.
+    parked_.fetch_add(1);
     park_cv_.wait(lock, [this] {
       return stopping_.load() || queued_.load() > 0;
     });
+    parked_.fetch_sub(1);
     // Graceful shutdown: only exit once every queued task has been taken;
     // tasks still *executing* on other workers may push more, which keeps
     // queued_ > 0 and keeps us alive until the pool is truly drained.

@@ -9,6 +9,29 @@
 //   * shutdown is graceful: the destructor lets every already-submitted
 //     task run to completion before joining.
 //
+// Parking protocol (audited for the missed-wakeup window between a
+// worker's empty-deque sweep and its CV wait; pool_stress re-runs the
+// audit's adversarial schedule under TSan):
+//   * queued_ is the wait predicate: push() increments it *before* its
+//     wake-up step, workers re-check it under park_mutex_ inside
+//     park_cv_.wait. A worker that swept empty deques, lost the race to a
+//     concurrent push and then parks re-evaluates the predicate under the
+//     mutex, sees queued_ > 0 and returns without blocking — the sweep
+//     result is never trusted across the lock acquisition.
+//   * push()'s wake-up step is Dekker-shaped on two seq_cst atomics:
+//     publish queued_, then read parked_; a parking worker publishes
+//     parked_, then reads queued_ (the predicate). If the pusher skipped
+//     notifying (read parked_ == 0) AND the worker blocked (read
+//     queued_ == 0), the single total order over seq_cst operations would
+//     need each read to precede the other side's write — a cycle — so at
+//     least one side sees the other: the pusher notifies, or the worker
+//     never blocks. When someone *is* parked, the pusher takes (and
+//     releases) park_mutex_ before notify_one so the notify cannot land
+//     between a worker's predicate check and its block.
+//   * the parked_ == 0 fast path is what keeps fleet-scale submit storms
+//     (many tiny tasks from worker threads) off the global park mutex: a
+//     busy pool pushes with one uncontended deque lock plus two atomics.
+//
 // Each per-worker deque is guarded by its own mutex rather than the
 // lock-free Chase–Lev protocol: contention is one cheap lock per *task*
 // (Smoother's tasks are whole scenario evaluations, micro- to milli-
@@ -194,6 +217,10 @@ class ThreadPool {
   std::mutex park_mutex_;
   std::condition_variable park_cv_;
   std::atomic<std::size_t> queued_{0};
+  /// Workers inside the park_cv_ wait (incremented under park_mutex_ before
+  /// the predicate runs). Lets push() skip the fence + notify when nobody
+  /// can possibly be blocked; see the parking-protocol file comment.
+  std::atomic<std::size_t> parked_{0};
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stopping_{false};
 

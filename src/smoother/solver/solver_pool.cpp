@@ -1,0 +1,28 @@
+#include "smoother/solver/solver_pool.hpp"
+
+#include <bit>
+
+namespace smoother::solver {
+
+QpSolver& SolverPool::solver_for(std::size_t num_variables,
+                                 const QpSettings& settings) {
+  return solvers_[Key{num_variables, std::bit_cast<std::uint64_t>(settings.rho),
+                      std::bit_cast<std::uint64_t>(settings.sigma)}];
+}
+
+void SolverPool::reset_warm_starts() {
+  for (auto& [key, qp_solver] : solvers_) qp_solver.reset_warm_start();
+}
+
+SolverPoolStats SolverPool::stats() const {
+  SolverPoolStats stats;
+  stats.solvers = solvers_.size();
+  for (const auto& [key, qp_solver] : solvers_) {
+    stats.setups += qp_solver.setup_count();
+    stats.solves += qp_solver.solve_count();
+    stats.factorization_reuse += qp_solver.factorization_reuse_count();
+  }
+  return stats;
+}
+
+}  // namespace smoother::solver

@@ -1,0 +1,83 @@
+// SolverPool: shared, keyed QpSolver instances for batched planning.
+//
+// FlexibleSmoothing's private per-horizon cache gives every middleware
+// instance its own solver — the right call for one stream, ruinous for a
+// fleet: 10k tenants on one box would hold 10k identical factorizations of
+// the same m-point FS KKT system. Every tenant with the same horizon length
+// and the same KKT-relevant settings (rho, sigma — the two knobs baked into
+// K = P + sigma I + rho AᵀA) solves against *the same matrix*, so one
+// factorization can serve them all.
+//
+// SolverPool is that sharing point: a map from (num_variables, rho bit
+// pattern, sigma bit pattern) to one stateful QpSolver. FlexibleSmoothing
+// instances attach a pool with set_shared_solver_pool() and route their
+// reuse_solver-cached solves through it; the first tenant to plan a given
+// (m, settings) key pays the setup, every later tenant reuses the cached
+// factor (QpSolver::solve's structural match sees identical P/A/rho/sigma
+// and skips re-setup). `fleet.batched_factorizations` — the pool's setup
+// count — stays at the number of distinct keys, not the number of tenants.
+//
+// Keys use the exact IEEE-754 bit patterns of rho and sigma, not their
+// values: two settings that differ in any bit must not share a factor, and
+// bitwise keying keeps the lookup exact without tolerance policy.
+//
+// Sharing contract (enforced where it can be):
+//   * warm starts must be OFF for every attached instance
+//     (FlexibleSmoothing::set_shared_solver_pool throws otherwise): ADMM
+//     iterates are per-stream state, and seeding tenant B's solve from
+//     tenant A's duals would couple their outputs. With warm_start off each
+//     cached solve cold-starts, so only the factorization — which is
+//     bitwise identical to the one a private solver would build — is
+//     shared, and per-tenant outputs are unchanged by pooling.
+//   * a pool is single-threaded mutable state, exactly like QpSolver.
+//     Parallel users give each concurrency domain its own pool (the fleet
+//     engine: one pool per shard, shards never run concurrently with
+//     themselves).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "smoother/solver/qp.hpp"
+#include "smoother/solver/qp_solver.hpp"
+
+namespace smoother::solver {
+
+/// Aggregate lifecycle counters over a pool (sums of the member solvers'
+/// counters; see QpSolver).
+struct SolverPoolStats {
+  std::size_t solvers = 0;             ///< distinct (m, settings) keys
+  std::size_t setups = 0;              ///< KKT factorizations built
+  std::size_t solves = 0;              ///< ADMM runs through the pool
+  std::size_t factorization_reuse = 0; ///< solves on a previously-used factor
+};
+
+/// Shared pool of stateful QpSolvers keyed by problem size and the
+/// KKT-relevant settings. See the file comment for the sharing contract.
+class SolverPool {
+ public:
+  /// The solver for problems with `num_variables` unknowns under
+  /// `settings`' KKT knobs, created on first use. The reference is stable
+  /// for the pool's lifetime.
+  [[nodiscard]] QpSolver& solver_for(std::size_t num_variables,
+                                     const QpSettings& settings);
+
+  /// Drops every member solver's warm-start iterates (factorizations stay).
+  /// A defensive sweep — attached instances must run with warm_start off,
+  /// so member solvers normally hold no iterates to drop.
+  void reset_warm_starts();
+
+  [[nodiscard]] std::size_t size() const { return solvers_.size(); }
+
+  [[nodiscard]] SolverPoolStats stats() const;
+
+ private:
+  /// (n, rho bits, sigma bits); bitwise so the match is exact.
+  using Key = std::tuple<std::size_t, std::uint64_t, std::uint64_t>;
+
+  std::map<Key, QpSolver> solvers_;
+};
+
+}  // namespace smoother::solver

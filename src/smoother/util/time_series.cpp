@@ -27,6 +27,11 @@ std::size_t TimeSeries::index_at(Minutes t) const {
   return static_cast<std::size_t>(t.value() / step_.value());
 }
 
+void TimeSeries::drop_front(std::size_t count) {
+  const std::size_t n = std::min(count, values_.size());
+  values_.erase(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
 TimeSeries TimeSeries::slice(std::size_t first, std::size_t count) const {
   if (first + count > values_.size())
     throw std::out_of_range("TimeSeries::slice");

@@ -62,6 +62,11 @@ class TimeSeries {
   void push_back(double v) { values_.push_back(v); }
   void reserve(std::size_t n) { values_.reserve(n); }
 
+  /// Removes the first `count` samples in place, keeping capacity (no
+  /// allocation — the retention primitive behind OnlineSmoother::compact).
+  /// `count` past the end clears the series.
+  void drop_front(std::size_t count);
+
   /// Contiguous sub-series of `count` samples starting at `first`.
   [[nodiscard]] TimeSeries slice(std::size_t first, std::size_t count) const;
 

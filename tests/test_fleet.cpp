@@ -1,0 +1,614 @@
+// smoother::fleet: the sharded multi-tenant service layer — arena
+// allocation, deterministic shard assignment, the binary wire format, the
+// engine's determinism/equivalence/checkpoint contracts, and the
+// FleetSim crash/resume witness.
+#include "smoother/fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "smoother/battery/battery.hpp"
+#include "smoother/core/online.hpp"
+#include "smoother/dsim/fleet_sim.hpp"
+#include "smoother/fleet/arena.hpp"
+#include "smoother/fleet/wire.hpp"
+#include "smoother/persist/engine.hpp"
+#include "smoother/power/turbine.hpp"
+#include "smoother/resilience/fault_injector.hpp"
+#include "smoother/runtime/thread_pool.hpp"
+#include "smoother/solver/solver_pool.hpp"
+#include "smoother/trace/wind_speed_model.hpp"
+
+namespace smoother::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string test_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       ("smoother_fleet_" + name + "_" +
+                        std::to_string(::getpid()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// A small, fast fleet config: short warmup so tests reach the planned
+/// path in a handful of intervals.
+FleetConfig small_fleet(std::size_t shards = 4) {
+  FleetConfig config;
+  config.shards = shards;
+  config.smoother.rated_power = util::Kilowatts{800.0};
+  config.smoother.warmup_intervals = 2;
+  config.smoother.history_intervals = 12;
+  return config;
+}
+
+/// Per-tenant wind supply, split-seeded like the engine's tenant_rng.
+util::TimeSeries tenant_supply(std::uint64_t seed, std::uint64_t tenant_id,
+                               double days = 0.5) {
+  const trace::WindSpeedModel model(trace::WindSitePresets::texas_10());
+  return power::TurbineCurve::enercon_e48().power_series(model.generate(
+      util::days(days), util::kFiveMinutes,
+      util::Rng::derive_stream_seed(seed, tenant_id)));
+}
+
+/// Feeds `ticks` one-sample-per-tenant batches from the given supplies.
+std::size_t feed(FleetEngine& engine,
+                 const std::vector<util::TimeSeries>& supply,
+                 std::size_t ticks) {
+  std::size_t events = 0;
+  std::vector<SampleRequest> batch(supply.size());
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    for (std::size_t t = 0; t < supply.size(); ++t) {
+      batch[t].tenant_id = static_cast<std::uint64_t>(t + 1);
+      batch[t].generation_kw = supply[t][tick];
+      batch[t].missing = false;
+    }
+    events += engine.submit(batch).size();
+  }
+  return events;
+}
+
+// ------------------------------------------------------------------- arena
+
+TEST(Arena, AllocationsAreAlignedAndAccounted) {
+  Arena arena(256);
+  for (const std::size_t alignment : {1u, 2u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(24, alignment);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignment, 0u)
+        << "alignment " << alignment;
+  }
+  EXPECT_GE(arena.bytes_used(), 5u * 24u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnSlabWithoutBreakingTheBump) {
+  Arena arena(128);
+  void* small_a = arena.allocate(16, 8);
+  void* big = arena.allocate(4096, 8);  // far beyond the slab size
+  void* small_b = arena.allocate(16, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 8, 0u);
+  // The bump slab stayed live: both small blocks are in the same slab,
+  // adjacent up to alignment.
+  const auto a = reinterpret_cast<std::uintptr_t>(small_a);
+  const auto b = reinterpret_cast<std::uintptr_t>(small_b);
+  EXPECT_LT(b - a, 128u);
+  EXPECT_GE(arena.slab_count(), 2u);
+}
+
+TEST(Arena, CreateRunsConstructorsAndDestroyRunsDestructors) {
+  static int live = 0;
+  struct Tracked {
+    explicit Tracked(int v) : value(v) { ++live; }
+    ~Tracked() { --live; }
+    int value;
+  };
+  Arena arena;
+  Tracked* a = arena.create<Tracked>(7);
+  Tracked* b = arena.create<Tracked>(11);
+  EXPECT_EQ(a->value, 7);
+  EXPECT_EQ(b->value, 11);
+  EXPECT_EQ(live, 2);
+  Arena::destroy(a);
+  Arena::destroy(b);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(Arena, ResetDropsEverything) {
+  Arena arena(128);
+  (void)arena.allocate(64, 8);
+  (void)arena.allocate(1024, 8);
+  arena.reset();
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+}
+
+// ---------------------------------------------------------------- sharding
+
+TEST(ShardOf, PureBoundedAndSpread) {
+  constexpr std::size_t kShards = 16;
+  std::vector<std::size_t> population(kShards, 0);
+  for (std::uint64_t id = 1; id <= 10000; ++id) {
+    const std::size_t shard = shard_of(id, kShards);
+    ASSERT_LT(shard, kShards);
+    // Pure: same id, same shard, every time.
+    ASSERT_EQ(shard, shard_of(id, kShards));
+    ++population[shard];
+  }
+  // Splitmix64 spreads sequential ids: no shard is empty or hoards the
+  // fleet (a fixed-modulo-of-raw-id would put all of 1..10000 in order).
+  for (const std::size_t count : population) {
+    EXPECT_GT(count, 0u);
+    EXPECT_LT(count, 2000u);
+  }
+}
+
+// -------------------------------------------------------------------- wire
+
+TEST(Wire, RoundTripsEveryMessageType) {
+  FrameWriter writer;
+  std::string out;
+  writer.begin_stream(out);
+  writer.append(out, AddTenantRequest{42});
+  writer.append(out, SampleRequest{42, 513.25, false});
+  writer.append(out, SampleRequest{42, 0.0, true});
+  IntervalEvent event;
+  event.tenant_id = 42;
+  event.interval_index = 9;
+  event.region = 2;
+  event.fallback = 1;
+  event.smoothed = true;
+  event.degraded = true;
+  event.variance_before = 0.125;
+  event.variance_after = 0.0625;
+  event.solver_iterations = 17;
+  writer.append(out, event);
+
+  FrameCursor cursor(out);
+  auto f1 = cursor.next();
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_EQ(f1->type, MessageType::kAddTenant);
+  EXPECT_EQ(decode_add_tenant(f1->body).tenant_id, 42u);
+
+  auto f2 = cursor.next();
+  ASSERT_TRUE(f2.has_value());
+  ASSERT_EQ(f2->type, MessageType::kSample);
+  const SampleRequest sample = decode_sample(f2->body, false);
+  EXPECT_EQ(sample.tenant_id, 42u);
+  EXPECT_EQ(sample.generation_kw, 513.25);
+
+  auto f3 = cursor.next();
+  ASSERT_TRUE(f3.has_value());
+  ASSERT_EQ(f3->type, MessageType::kMissingSample);
+  EXPECT_TRUE(decode_sample(f3->body, true).missing);
+
+  auto f4 = cursor.next();
+  ASSERT_TRUE(f4.has_value());
+  ASSERT_EQ(f4->type, MessageType::kIntervalEvent);
+  EXPECT_EQ(decode_interval_event(f4->body), event);
+
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.torn());
+  EXPECT_EQ(cursor.valid_end(), out.size());
+}
+
+TEST(Wire, TornTailStopsCleanlyAfterTheLastFullFrame) {
+  FrameWriter writer;
+  std::string out;
+  writer.begin_stream(out);
+  writer.append(out, AddTenantRequest{1});
+  const std::size_t full = out.size();
+  writer.append(out, AddTenantRequest{2});
+  // Kill the producer mid-write of the second frame.
+  const std::string torn = out.substr(0, out.size() - 3);
+
+  FrameCursor cursor(torn);
+  ASSERT_TRUE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_TRUE(cursor.torn());
+  EXPECT_EQ(cursor.valid_end(), full);  // the resume point
+}
+
+TEST(Wire, BitFlipFailsTheCrc) {
+  FrameWriter writer;
+  std::string out;
+  writer.begin_stream(out);
+  writer.append(out, SampleRequest{7, 100.0, false});
+  out[out.size() - 1] = static_cast<char>(out[out.size() - 1] ^ 0x01);
+  FrameCursor cursor(out);
+  try {
+    (void)cursor.next();
+    FAIL() << "expected a checksum error";
+  } catch (const persist::PersistError& e) {
+    EXPECT_EQ(e.kind(), persist::ErrorKind::kChecksum);
+  }
+}
+
+TEST(Wire, HeaderIsValidated) {
+  EXPECT_THROW(FrameCursor(std::string_view("XXXX\x01\x00\x00\x00", 8)),
+               persist::PersistError);
+  EXPECT_THROW(FrameCursor(std::string_view("SMFW", 4)),
+               persist::PersistError);
+  // Future version: readers must refuse rather than misparse.
+  EXPECT_THROW(FrameCursor(std::string_view("SMFW\x63\x00\x00\x00", 8)),
+               persist::PersistError);
+  // Header-only stream is a clean end.
+  FrameWriter writer;
+  std::string out;
+  writer.begin_stream(out);
+  FrameCursor cursor(out);
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.torn());
+}
+
+// ------------------------------------------------------------- solver pool
+
+TEST(SolverPool, OneSolverPerKeyAndSetupsStayAtKeyCount) {
+  solver::SolverPool pool;
+  solver::QpSettings settings;
+  solver::QpSolver& a = pool.solver_for(12, settings);
+  solver::QpSolver& b = pool.solver_for(12, settings);
+  EXPECT_EQ(&a, &b);  // stable shared instance
+  solver::QpSolver& c = pool.solver_for(24, settings);
+  EXPECT_NE(&a, &c);
+  solver::QpSettings other = settings;
+  other.rho *= 2.0;  // different KKT matrix => different key
+  solver::QpSolver& d = pool.solver_for(12, other);
+  EXPECT_NE(&a, &d);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(FleetEngine, SingleTenantMatchesAStandaloneSmootherBitForBit) {
+  const FleetConfig config = small_fleet();
+  const util::TimeSeries supply = tenant_supply(config.seed, 1);
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  const std::size_t ticks = 6 * points;
+
+  FleetEngine engine(config);
+  engine.add_tenant(1);
+
+  const battery::BatterySpec spec = battery::spec_for_max_rate(
+      config.smoother.rated_power * config.battery_rate_fraction,
+      config.smoother.sample_step, config.battery_headroom);
+  core::OnlineSmoother standalone(config.smoother, battery::Battery(spec));
+
+  std::vector<SampleRequest> batch(1);
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    batch[0] = SampleRequest{1, supply[tick], false};
+    const std::vector<IntervalEvent> events = engine.submit(batch);
+    const auto record = standalone.push(supply[tick]);
+    ASSERT_EQ(events.size(), record.has_value() ? 1u : 0u) << "tick " << tick;
+    if (!record) continue;
+    const IntervalEvent& event = events.front();
+    EXPECT_EQ(event.tenant_id, 1u);
+    EXPECT_EQ(event.interval_index, record->index);
+    EXPECT_EQ(event.region, static_cast<std::uint8_t>(record->region));
+    EXPECT_EQ(event.smoothed, record->smoothed);
+    EXPECT_EQ(event.warmup, record->warmup);
+    EXPECT_EQ(event.degraded, record->degraded);
+    EXPECT_EQ(event.variance_before, record->variance_before);
+    EXPECT_EQ(event.variance_after, record->variance_after);
+    EXPECT_EQ(event.solver_iterations, record->solver_iterations);
+    // The compacted fleet tenant keeps exactly the standalone tail.
+    const core::OnlineSmoother* tenant = engine.find_tenant(1);
+    ASSERT_NE(tenant, nullptr);
+    const util::TimeSeries& fleet_out = tenant->output();
+    const util::TimeSeries& solo_out = standalone.output();
+    ASSERT_LE(fleet_out.size(), solo_out.size());
+    for (std::size_t i = 0; i < fleet_out.size(); ++i)
+      ASSERT_EQ(fleet_out[fleet_out.size() - 1 - i],
+                solo_out[solo_out.size() - 1 - i]);
+  }
+}
+
+TEST(FleetEngine, AdmissionAndRoutingErrorsAreTyped) {
+  FleetEngine engine(small_fleet());
+  engine.add_tenant(5);
+  EXPECT_THROW(engine.add_tenant(5), std::invalid_argument);
+  const std::vector<SampleRequest> batch = {{99, 1.0, false}};
+  EXPECT_THROW((void)engine.submit(batch), std::invalid_argument);
+}
+
+TEST(FleetEngine, SerialAndParallelRunsAreByteIdenticalUnderFaults) {
+  constexpr std::size_t kTenants = 24;
+  const FleetConfig config = small_fleet(8);
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  const std::size_t ticks = 8 * points;
+
+  std::vector<util::TimeSeries> supply;
+  supply.reserve(kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t)
+    supply.push_back(tenant_supply(config.seed, t + 1));
+
+  resilience::FaultInjectorConfig faults;
+  faults.telemetry_nan_rate = 0.02;
+  faults.telemetry_dropout_rate = 0.02;
+  faults.battery_outage_rate = 0.05;
+
+  // Per-tenant fault streams off the engine's split-seed derivation: both
+  // engines build injectors the same way, so the nemesis is part of the
+  // determinism contract, not exempt from it.
+  const auto run = [&](runtime::ThreadPool* pool) {
+    std::vector<resilience::FaultInjector> injectors;
+    injectors.reserve(kTenants);
+    FleetEngine engine(config, pool);
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      injectors.emplace_back(
+          faults, util::Rng::derive_stream_seed(config.seed, 1000 + t));
+      resilience::FaultInjector* injector = &injectors.back();
+      core::OnlineSmoother::Hooks hooks;
+      hooks.battery_monitor = [injector](std::size_t interval) {
+        return injector->battery_available(interval);
+      };
+      engine.add_tenant(t + 1, std::move(hooks));
+    }
+    std::vector<SampleRequest> batch(kTenants);
+    std::size_t events = 0;
+    for (std::size_t tick = 0; tick < ticks; ++tick) {
+      for (std::size_t t = 0; t < kTenants; ++t) {
+        batch[t].tenant_id = t + 1;
+        batch[t].generation_kw =
+            injectors[t].corrupt_sample(tick, supply[t][tick]);
+        batch[t].missing = false;
+      }
+      events += engine.submit(batch).size();
+    }
+    return std::pair<std::uint64_t, std::size_t>(engine.output_digest(),
+                                                 events);
+  };
+
+  const auto serial = run(nullptr);
+  runtime::ThreadPool two(2);
+  const auto parallel2 = run(&two);
+  runtime::ThreadPool eight(8);
+  const auto parallel8 = run(&eight);
+  runtime::ThreadPool hardware(0);
+  const auto parallel_hw = run(&hardware);
+
+  EXPECT_GT(serial.second, 0u);
+  EXPECT_EQ(serial.first, parallel2.first);
+  EXPECT_EQ(serial.first, parallel8.first);
+  EXPECT_EQ(serial.first, parallel_hw.first);
+  EXPECT_EQ(serial.second, parallel8.second);
+}
+
+TEST(FleetEngine, FactorizationsAreSharedAcrossTenants) {
+  constexpr std::size_t kTenants = 32;
+  const FleetConfig config = small_fleet(4);
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  FleetEngine engine(config);
+  std::vector<util::TimeSeries> supply;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    supply.push_back(tenant_supply(config.seed, t + 1));
+    engine.add_tenant(t + 1);
+  }
+  (void)feed(engine, supply, 8 * points);
+  const FleetStats stats = engine.stats();
+  EXPECT_EQ(stats.tenants, kTenants);
+  EXPECT_GT(stats.plans, 0u);
+  // Same-shaped fleet: one key per shard pool, so setups stay at the
+  // shard count — the whole point of batched planning.
+  EXPECT_GT(stats.batched_factorizations, 0u);
+  EXPECT_LE(stats.batched_factorizations, config.shards);
+  EXPECT_LT(stats.batched_factorizations, kTenants);
+  EXPECT_GE(stats.min_shard_tenants, 1u);
+  EXPECT_GT(stats.arena_bytes, 0u);
+}
+
+TEST(FleetEngine, CheckpointRestoreContinuesByteIdentically) {
+  constexpr std::size_t kTenants = 12;
+  const FleetConfig config = small_fleet(4);
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  const std::size_t half = 5 * points + 7;  // mid-interval checkpoint
+  const std::size_t ticks = 10 * points;
+
+  std::vector<util::TimeSeries> supply;
+  for (std::size_t t = 0; t < kTenants; ++t)
+    supply.push_back(tenant_supply(config.seed, t + 1));
+
+  FleetEngine original(config);
+  for (std::size_t t = 0; t < kTenants; ++t) original.add_tenant(t + 1);
+  std::vector<SampleRequest> batch(kTenants);
+  const auto feed_range = [&](FleetEngine& engine, std::size_t from,
+                              std::size_t to) {
+    for (std::size_t tick = from; tick < to; ++tick) {
+      for (std::size_t t = 0; t < kTenants; ++t)
+        batch[t] = SampleRequest{t + 1, supply[t][tick], false};
+      (void)engine.submit(batch);
+    }
+  };
+  feed_range(original, 0, half);
+
+  // Through the real persistence machinery, not just in-memory bytes.
+  persist::PersistConfig pconfig;
+  pconfig.directory = test_dir("checkpoint");
+  {
+    persist::PersistEngine wal(pconfig);
+    wal.append(original.encode_checkpoint());
+  }
+  persist::PersistEngine wal(pconfig);
+  const persist::RecoveredState recovered = wal.recover();
+  ASSERT_TRUE(recovered.found);
+
+  FleetEngine restored(config);
+  restored.restore_checkpoint(recovered.state);
+  EXPECT_EQ(restored.tenant_count(), kTenants);
+  EXPECT_EQ(restored.output_digest(), original.output_digest());
+
+  feed_range(original, half, ticks);
+  feed_range(restored, half, ticks);
+  EXPECT_EQ(restored.output_digest(), original.output_digest());
+}
+
+TEST(FleetEngine, RestoreIntoAForeignConfigFailsLoudly) {
+  const FleetConfig config = small_fleet();
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  FleetEngine engine(config);
+  engine.add_tenant(1);
+  std::vector<util::TimeSeries> supply = {tenant_supply(config.seed, 1)};
+  (void)feed(engine, supply, 6 * points);  // well past calibration
+  const std::string checkpoint = engine.encode_checkpoint();
+
+  FleetConfig foreign = small_fleet();
+  // A clearly different quantile of the variance history (value_at is a
+  // step function; nearby levels can collide on a short history).
+  foreign.smoother.stable_cdf = 0.75;
+  FleetEngine other(foreign);
+  EXPECT_THROW(other.restore_checkpoint(checkpoint),
+               core::StateMismatchError);
+}
+
+TEST(FleetEngine, WireRequestsMatchTheDirectSubmitPath) {
+  const FleetConfig config = small_fleet();
+  const std::size_t points =
+      config.smoother.flexible_smoothing.points_per_interval;
+  constexpr std::size_t kTenants = 3;
+  std::vector<util::TimeSeries> supply;
+  for (std::size_t t = 0; t < kTenants; ++t)
+    supply.push_back(tenant_supply(config.seed, t + 1));
+
+  // Wire path: admissions and one interval of samples in a single stream.
+  FrameWriter writer;
+  std::string requests;
+  writer.begin_stream(requests);
+  for (std::size_t t = 0; t < kTenants; ++t)
+    writer.append(requests, AddTenantRequest{t + 1});
+  for (std::size_t tick = 0; tick < points; ++tick)
+    for (std::size_t t = 0; t < kTenants; ++t)
+      writer.append(requests, SampleRequest{t + 1, supply[t][tick], false});
+
+  FleetEngine wired(config);
+  std::string events_out;
+  const WireApplyResult applied = wired.apply_wire(requests, events_out);
+  EXPECT_FALSE(applied.torn);
+  EXPECT_EQ(applied.frames_applied, kTenants + kTenants * points);
+  EXPECT_EQ(applied.events, kTenants);  // one completed interval each
+
+  // Direct path, same requests.
+  FleetEngine direct(config);
+  for (std::size_t t = 0; t < kTenants; ++t) direct.add_tenant(t + 1);
+  (void)feed(direct, supply, points);
+  EXPECT_EQ(wired.output_digest(), direct.output_digest());
+
+  // The emitted event stream decodes and names every tenant once.
+  FrameCursor cursor(events_out);
+  std::size_t decoded = 0;
+  while (auto frame = cursor.next()) {
+    ASSERT_EQ(frame->type, MessageType::kIntervalEvent);
+    const IntervalEvent event = decode_interval_event(frame->body);
+    EXPECT_GE(event.tenant_id, 1u);
+    EXPECT_LE(event.tenant_id, kTenants);
+    ++decoded;
+  }
+  EXPECT_FALSE(cursor.torn());
+  EXPECT_EQ(decoded, kTenants);
+
+  // Idempotent re-admission over the wire: a duplicate kAddTenant frame is
+  // a no-op, not an error (retried streams must be safe to replay).
+  std::string readmit;
+  writer.begin_stream(readmit);
+  writer.append(readmit, AddTenantRequest{1});
+  std::string ignored;
+  EXPECT_EQ(wired.apply_wire(readmit, ignored).frames_applied, 1u);
+  EXPECT_EQ(wired.tenant_count(), kTenants);
+}
+
+TEST(FleetEngine, TornWireStreamAppliesThePrefix) {
+  const FleetConfig config = small_fleet();
+  FleetEngine engine(config);
+  FrameWriter writer;
+  std::string requests;
+  writer.begin_stream(requests);
+  writer.append(requests, AddTenantRequest{1});
+  writer.append(requests, AddTenantRequest{2});
+  writer.append(requests, SampleRequest{1, 100.0, false});
+  const std::string torn = requests.substr(0, requests.size() - 5);
+  std::string events_out;
+  const WireApplyResult applied = engine.apply_wire(torn, events_out);
+  EXPECT_TRUE(applied.torn);
+  EXPECT_EQ(applied.frames_applied, 2u);  // both admissions, no sample
+  EXPECT_EQ(engine.tenant_count(), 2u);
+}
+
+// ---------------------------------------------------------------- FleetSim
+
+dsim::FleetSimConfig small_sim() {
+  dsim::FleetSimConfig config;
+  config.tenants = 8;
+  config.shards = 4;
+  config.duration = util::days(0.5);
+  config.audit_tenants = 2;
+  config.faults.telemetry_nan_rate = 0.01;
+  config.faults.telemetry_dropout_rate = 0.01;
+  config.faults.battery_outage_rate = 0.02;
+  return config;
+}
+
+TEST(FleetSim, DeterministicAcrossPoolsWithCleanAudit) {
+  const dsim::FleetSimConfig config = small_sim();
+  const dsim::FleetSimResult serial = dsim::FleetSim(config, 42).run();
+  EXPECT_TRUE(serial.ok());
+  EXPECT_EQ(serial.audit_mismatches, 0u);
+  EXPECT_GT(serial.interval_events, 0u);
+
+  runtime::ThreadPool pool(4);
+  const dsim::FleetSimResult parallel =
+      dsim::FleetSim(config, 42).run(&pool);
+  EXPECT_EQ(parallel.output_digest, serial.output_digest);
+  EXPECT_EQ(parallel.event_trace, serial.event_trace);
+  EXPECT_EQ(parallel.interval_events, serial.interval_events);
+}
+
+TEST(FleetSim, CrashAndResumeMatchesTheUninterruptedRun) {
+  const dsim::FleetSimConfig config = small_sim();
+  constexpr std::uint64_t kSeed = 77;
+  const dsim::FleetSimResult whole = dsim::FleetSim(config, kSeed).run();
+  ASSERT_TRUE(whole.ok());
+
+  // Crash: checkpoint every tick, kill after 40 events.
+  persist::PersistConfig pconfig;
+  pconfig.directory = test_dir("fleet_crash");
+  pconfig.snapshot_every_records = 8;
+  dsim::FleetSimResult crashed;
+  {
+    persist::PersistEngine wal(pconfig);
+    dsim::FleetSimControls controls;
+    controls.engine = &wal;
+    controls.halt_after_events = 40;
+    crashed = dsim::FleetSim(config, kSeed).run(nullptr, controls);
+    EXPECT_TRUE(crashed.halted);
+    EXPECT_LT(crashed.ticks, whole.ticks);
+  }
+
+  // Recover the newest fleet checkpoint and replay the remaining ticks.
+  persist::PersistEngine wal(pconfig);
+  const persist::RecoveredState recovered = wal.recover();
+  ASSERT_TRUE(recovered.found);
+  dsim::FleetSimControls resume;
+  resume.resume_state = &recovered.state;
+  const dsim::FleetSimResult resumed =
+      dsim::FleetSim(config, kSeed).run(nullptr, resume);
+  EXPECT_FALSE(resumed.halted);
+  EXPECT_EQ(resumed.ticks + crashed.ticks, whole.ticks);
+  EXPECT_EQ(resumed.output_digest, whole.output_digest);
+}
+
+}  // namespace
+}  // namespace smoother::fleet

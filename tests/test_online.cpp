@@ -450,5 +450,125 @@ TEST(OnlineSmoother, ConstantSupplyNeverSmoothed) {
     EXPECT_DOUBLE_EQ(smoother.output()[i], 250.0);
 }
 
+// -------------------------------------------------- import_state mismatch
+
+/// Runs a smoother long enough to calibrate and returns its exported state.
+OnlineSmoother::StreamState calibrated_state(
+    const OnlineSmootherConfig& config, std::uint64_t seed = 7) {
+  OnlineSmoother smoother(config, small_battery());
+  const util::TimeSeries supply = wind_day(seed);
+  const std::size_t points = config.flexible_smoothing.points_per_interval;
+  const std::size_t samples = (config.warmup_intervals + 6) * points;
+  for (std::size_t i = 0; i < samples && i < supply.size(); ++i)
+    (void)smoother.push(supply[i]);
+  OnlineSmoother::StreamState state = smoother.export_state();
+  EXPECT_TRUE(state.calibrated);
+  return state;
+}
+
+TEST(OnlineSmootherState, SameConfigImportAccepts) {
+  const OnlineSmootherConfig config = small_config();
+  const auto state = calibrated_state(config);
+  OnlineSmoother restored(config, small_battery());
+  EXPECT_NO_THROW(restored.import_state(state));
+  EXPECT_EQ(restored.intervals_completed(),
+            static_cast<std::size_t>(state.intervals_completed));
+}
+
+TEST(OnlineSmootherState, ForeignCdfLevelsAreRejectedTyped) {
+  // The decided behaviour: a snapshot written under different CDF levels
+  // is rejected with StateMismatchError — never silently adopted. The
+  // thresholds in the state are internally coherent (0 < stable <
+  // extreme), so only the config-consistency gate can catch it.
+  const auto state = calibrated_state(small_config());
+  OnlineSmootherConfig other = small_config();
+  // Far enough from the default 0.25 to land on a different order
+  // statistic of the (small) variance history — value_at is a step
+  // function, so nearby levels can derive the identical threshold.
+  other.stable_cdf = 0.75;
+  OnlineSmoother restored(other, small_battery());
+  EXPECT_THROW(restored.import_state(state), StateMismatchError);
+  // StateMismatchError IS-A invalid_argument, so pre-existing catch sites
+  // (and the persist codec's error mapping) keep working unchanged.
+  EXPECT_THROW(restored.import_state(state), std::invalid_argument);
+}
+
+TEST(OnlineSmootherState, HandEditedThresholdsAreRejectedTyped) {
+  const OnlineSmootherConfig config = small_config();
+  auto state = calibrated_state(config);
+  state.stable_below *= 1.0000001;  // no longer derive(variance_history)
+  OnlineSmoother restored(config, small_battery());
+  EXPECT_THROW(restored.import_state(state), StateMismatchError);
+}
+
+TEST(OnlineSmootherState, UncalibratedSnapshotSkipsTheMismatchGate) {
+  // Pre-calibration there are no thresholds to disagree about: a warmup
+  // snapshot imports into any config whose structural checks pass.
+  OnlineSmootherConfig config = small_config();
+  OnlineSmoother smoother(config, small_battery());
+  const util::TimeSeries supply = wind_day(11);
+  const std::size_t points = config.flexible_smoothing.points_per_interval;
+  for (std::size_t i = 0; i < points + 3; ++i) (void)smoother.push(supply[i]);
+  const auto state = smoother.export_state();
+  ASSERT_FALSE(state.calibrated);
+  OnlineSmootherConfig other = small_config();
+  other.stable_cdf = 0.30;
+  OnlineSmoother restored(other, small_battery());
+  EXPECT_NO_THROW(restored.import_state(state));
+}
+
+// -------------------------------------------------------------- compaction
+
+TEST(OnlineSmoother, CompactBoundsMemoryWithoutChangingTheStream) {
+  const OnlineSmootherConfig config = small_config();
+  const std::size_t points = config.flexible_smoothing.points_per_interval;
+  const util::TimeSeries supply = wind_day(13);
+
+  OnlineSmoother plain(config, small_battery());
+  OnlineSmoother compacted(config, small_battery());
+  const std::size_t samples = (config.warmup_intervals + 10) * points;
+  ASSERT_LE(samples, supply.size());
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto a = plain.push(supply[i]);
+    const auto b = compacted.push(supply[i]);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->index, b->index);
+      EXPECT_EQ(a->smoothed, b->smoothed);
+      EXPECT_EQ(a->variance_after, b->variance_after);
+      compacted.compact(2 * points, 3);
+    }
+  }
+
+  // Memory actually bounded...
+  EXPECT_LE(compacted.output().size(), 2 * points);
+  EXPECT_LE(compacted.records().size(), 3u);
+  // ...while the lifetime cursors and the output tail are untouched.
+  EXPECT_EQ(compacted.intervals_completed(), plain.intervals_completed());
+  const util::TimeSeries& full = plain.output();
+  const util::TimeSeries& tail = compacted.output();
+  for (std::size_t i = 0; i < tail.size(); ++i)
+    EXPECT_EQ(tail[tail.size() - 1 - i], full[full.size() - 1 - i]) << i;
+
+  // A checkpoint taken from the compacted stream still restores exactly.
+  const auto state = compacted.export_state();
+  EXPECT_EQ(state.intervals_completed, plain.intervals_completed());
+  OnlineSmoother restored(config, small_battery());
+  EXPECT_NO_THROW(restored.import_state(state));
+}
+
+TEST(OnlineSmoother, CompactFloorsAtOneInterval) {
+  // Keeping less than points_per_interval of output would truncate the
+  // tail a checkpoint needs; the floor silently applies.
+  const OnlineSmootherConfig config = small_config();
+  const std::size_t points = config.flexible_smoothing.points_per_interval;
+  OnlineSmoother smoother(config, small_battery());
+  const util::TimeSeries supply = wind_day(17);
+  for (std::size_t i = 0; i < 3 * points; ++i) (void)smoother.push(supply[i]);
+  smoother.compact(0, 1);
+  EXPECT_GE(smoother.output().size(), points);
+  EXPECT_EQ(smoother.intervals_completed(), 3u);
+}
+
 }  // namespace
 }  // namespace smoother::core

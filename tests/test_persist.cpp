@@ -6,6 +6,7 @@
 #include <fstream>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -557,6 +558,119 @@ TEST(Engine, StaleWalRecordsBehindANewerSnapshotAreIgnored) {
   EXPECT_EQ(recovered.wal_records_stale, 2u);
   EXPECT_EQ(recovered.wal_records_replayed, 0u);
   EXPECT_EQ(engine.next_sequence(), 10u);
+}
+
+// ------------------------------------------------- append fault injection
+//
+// The failure-atomicity contract: an append that throws leaves the engine
+// exactly where it was — sequence unchanged, no partial bytes on disk — so
+// the caller can retry, continue, or snapshot, and a later recovery never
+// silently truncates records appended after the failure.
+
+/// Config whose append faults fire exactly once, on the given sequence.
+PersistConfig one_shot_fault(const std::string& dir, std::uint64_t target,
+                             AppendFault kind) {
+  PersistConfig config;
+  config.directory = dir;
+  config.snapshot_every_records = 0;
+  auto fired = std::make_shared<bool>(false);
+  config.append_fault = [fired, target, kind](std::uint64_t seq) {
+    if (seq == target && !*fired) {
+      *fired = true;
+      return kind;
+    }
+    return AppendFault::kNone;
+  };
+  return config;
+}
+
+TEST(Engine, TornAppendRollsBackAndTheRetryReusesTheSequence) {
+  const PersistConfig config = one_shot_fault(
+      test_dir("append_torn"), 2, AppendFault::kTornWrite);
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    EXPECT_EQ(kind_of([&] { engine.append("beta"); }), ErrorKind::kIo);
+    // The failed append is invisible: sequence did not advance and the
+    // retry lands on the same slot.
+    EXPECT_EQ(engine.next_sequence(), 2u);
+    engine.append("beta");
+    engine.append("gamma");
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_TRUE(recovered.found);
+  EXPECT_EQ(recovered.state, "gamma");
+  EXPECT_EQ(recovered.sequence, 3u);
+  EXPECT_EQ(recovered.wal_records_replayed, 3u);
+  // Rollback removed the torn bytes at append time; recovery has nothing
+  // left to repair.
+  EXPECT_EQ(recovered.wal_bytes_truncated, 0u);
+}
+
+TEST(Engine, FsyncFailureLeavesNoPhantomRecord) {
+  // The record's bytes reached the file, but durability was never
+  // confirmed — it must be rolled back, not kept, or the retry would
+  // write a duplicate sequence and recovery would stop at the first one.
+  const PersistConfig config = one_shot_fault(
+      test_dir("append_fsync"), 2, AppendFault::kFsyncFailure);
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    EXPECT_EQ(kind_of([&] { engine.append("beta"); }), ErrorKind::kIo);
+    engine.append("beta");
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_EQ(recovered.state, "beta");
+  EXPECT_EQ(recovered.sequence, 2u);
+  EXPECT_EQ(recovered.wal_records_replayed, 2u);
+  EXPECT_EQ(recovered.wal_bytes_truncated, 0u);
+}
+
+TEST(Engine, AppendsAfterAFailureSurviveRecoveryIntact) {
+  // The original bug shape: garbage from a failed append sitting mid-WAL
+  // makes recovery truncate there, silently discarding every *valid*
+  // record appended afterwards. Rollback-on-failure closes it.
+  const PersistConfig config = one_shot_fault(
+      test_dir("append_continue"), 2, AppendFault::kTornWrite);
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    EXPECT_EQ(kind_of([&] { engine.append("beta"); }), ErrorKind::kIo);
+    // Continue WITHOUT retrying the failed payload: later appends must
+    // still be recoverable in full.
+    engine.append("gamma");
+    engine.append("delta");
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_EQ(recovered.state, "delta");
+  EXPECT_EQ(recovered.sequence, 3u);
+  EXPECT_EQ(recovered.wal_records_replayed, 3u);
+  EXPECT_EQ(recovered.wal_bytes_truncated, 0u);
+}
+
+TEST(Engine, SnapshotAfterAFailedAppendCompactsCleanly) {
+  // snapshot() is the escape hatch that re-establishes a clean WAL no
+  // matter what the append path did; the sequence it claims is the next
+  // unclaimed one, assigned only after the snapshot file is durable.
+  const PersistConfig config = one_shot_fault(
+      test_dir("append_snapshot"), 2, AppendFault::kTornWrite);
+  {
+    PersistEngine engine(config);
+    engine.append("alpha");
+    EXPECT_EQ(kind_of([&] { engine.append("beta"); }), ErrorKind::kIo);
+    engine.snapshot("beta-snapshot");
+    EXPECT_EQ(engine.next_sequence(), 3u);
+    engine.append("gamma");
+  }
+  PersistEngine engine(config);
+  const RecoveredState recovered = engine.recover();
+  EXPECT_EQ(recovered.state, "gamma");
+  EXPECT_EQ(recovered.sequence, 3u);
+  EXPECT_FALSE(recovered.from_snapshot);
+  EXPECT_EQ(recovered.wal_records_replayed, 1u);
 }
 
 TEST(Engine, FsyncPoliciesAllPersist) {

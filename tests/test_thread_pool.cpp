@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <future>
 #include <memory>
 #include <stdexcept>
@@ -179,6 +180,37 @@ TEST(ThreadPool, ManyConcurrentSubmitters) {
   }
   for (auto& submitter : submitters) submitter.join();
   EXPECT_EQ(count.load(), 1000);
+}
+
+// Missed-wakeup stress for the parking protocol: repeated rounds of 10k
+// tiny tasks with deliberate drain points, so workers park between bursts
+// and every post-park submit exercises the queued_-publish / parked_-read
+// pairing. A lost notify leaves a task queued with every worker parked and
+// the round hangs in future.get() (surfaced by the ctest timeout).
+//
+// Rounds default low so the tier-1 run stays fast; the pool_stress_soak
+// ctest entry (and the TSan script, where the data-race check has teeth)
+// re-runs the suite with SMOOTHER_POOL_STRESS_ROUNDS=100.
+TEST(ThreadPoolStress, ParkUnparkChurnLosesNoWakeups) {
+  const char* env = std::getenv("SMOOTHER_POOL_STRESS_ROUNDS");
+  const std::size_t rounds =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : 8;
+  constexpr std::size_t kTasks = 10000;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    ThreadPool pool(4);
+    std::atomic<std::size_t> done{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+      // Let the workers drain and park so the next submit hits the
+      // empty-pool wakeup path instead of an always-busy fast path.
+      if (i % 512 == 511)
+        while (done.load() <= i - 8) std::this_thread::yield();
+    }
+    for (auto& future : futures) future.get();
+    ASSERT_EQ(done.load(), kTasks) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -16,6 +16,7 @@ Usage:
         [--require-counter NAME]...
     check_metrics_json.py BENCH_dsim.json --dsim
     check_metrics_json.py BENCH_recovery.json --recovery
+    check_metrics_json.py BENCH_fleet.json --fleet
 
 NAME accepts fnmatch globs (e.g. 'solver.qp.structured_*'), which require at
 least one matching span/counter; plain names keep exact-match semantics.
@@ -31,6 +32,13 @@ bench/macro_recovery: the crash sweep (>= 50 points, every one recovered
 byte-identically and violation-free, torn-write cases present), the WAL
 append overhead (< 5 %, byte-identical output) and the recovery-time
 ladder (replay counts exact, records strictly increasing).
+
+--fleet switches to the BENCH_fleet.json schema emitted by
+bench/macro_fleet: the 10k-tenant scale gate, serial-vs-parallel
+byte-identity, factorization sharing (pooled setups far below the tenant
+count), ordered p50/p99/p999 latency, and the thread ladder (the >= 3x
+speedup gate arms only on hosts with 8 hardware threads; others record
+"skipped-hardware").
 """
 
 import argparse
@@ -286,6 +294,77 @@ def check_recovery(path, doc):
           f"{len(ladder)} ladder rungs)")
 
 
+def check_fleet(path, doc):
+    """Validate the BENCH_fleet.json schema (bench/macro_fleet)."""
+    expect(isinstance(doc, dict), "top level must be an object")
+    want = {"bench", "seed", "tenants", "shards", "intervals", "plans",
+            "plans_per_sec", "latency_us", "batched_factorizations",
+            "shared_solvers", "arena_bytes", "hardware_concurrency",
+            "ladder", "speedup_gate", "deterministic", "ok"}
+    expect(set(doc) == want,
+           f"top-level keys {sorted(doc)} != {sorted(want)}")
+    expect(doc["bench"] == "macro_fleet",
+           f"bench must be 'macro_fleet', got {doc['bench']!r}")
+    expect(isinstance(doc["seed"], int) and doc["seed"] >= 0,
+           f"seed must be a non-negative integer, got {doc['seed']!r}")
+    expect(doc["tenants"] >= 10000,
+           f"fleet scale gate: tenants must be >= 10000, got {doc['tenants']}")
+    expect(doc["shards"] >= 1, "shards must be >= 1")
+    expect(doc["plans"] >= doc["tenants"],
+           f"plans {doc['plans']} < tenants {doc['tenants']}: the run never "
+           f"completed one interval per tenant")
+    expect(doc["plans_per_sec"] > 0.0, "plans_per_sec must be positive")
+
+    latency = doc["latency_us"]
+    expect(isinstance(latency, dict) and
+           set(latency) == {"p50", "p99", "p999"},
+           "latency_us must hold exactly p50/p99/p999")
+    expect(latency["p50"] > 0.0, "latency_us.p50 must be positive")
+    expect(latency["p50"] <= latency["p99"] <= latency["p999"],
+           f"latency percentiles not ordered: {latency}")
+
+    expect(doc["batched_factorizations"] > 0,
+           "batched_factorizations must be positive (no pooled setups ran)")
+    expect(doc["batched_factorizations"] < doc["tenants"],
+           f"factorization sharing gate: {doc['batched_factorizations']} "
+           f"setups for {doc['tenants']} tenants — pooling is not sharing")
+    expect(doc["arena_bytes"] > 0, "arena_bytes must be positive")
+
+    ladder = doc["ladder"]
+    expect(isinstance(ladder, list) and len(ladder) >= 2,
+           "ladder must list at least two thread counts")
+    for i, rung in enumerate(ladder):
+        expect(isinstance(rung, dict) and
+               set(rung) == {"threads", "wall_s", "speedup"},
+               f"ladder[{i}] must hold threads/wall_s/speedup")
+        expect(rung["threads"] >= 1, f"ladder[{i}]: threads must be >= 1")
+        expect(rung["wall_s"] > 0.0, f"ladder[{i}]: non-positive wall_s")
+        expect(rung["speedup"] > 0.0, f"ladder[{i}]: non-positive speedup")
+    threads = [rung["threads"] for rung in ladder]
+    expect(all(a < b for a, b in zip(threads, threads[1:])),
+           f"ladder threads not strictly increasing: {threads}")
+
+    # The speedup gate is hardware-conditional: hosts without 8 real
+    # threads record "skipped-hardware" and the ladder is informational.
+    expect(doc["speedup_gate"] in ("pass", "skipped-hardware"),
+           f"speedup_gate must be 'pass' or 'skipped-hardware', got "
+           f"{doc['speedup_gate']!r}")
+    if doc["hardware_concurrency"] >= 8:
+        expect(doc["speedup_gate"] == "pass",
+               "host has >= 8 hardware threads but the speedup gate did "
+               "not pass")
+
+    expect(doc["deterministic"] is True,
+           "serial-vs-parallel outputs were not byte-identical")
+    expect(doc["ok"] is True, "overall ok gate is false")
+
+    print(f"check_metrics_json: OK: {path} (fleet schema; "
+          f"{doc['tenants']} tenants x {doc['shards']} shards, "
+          f"{doc['plans_per_sec']:.0f} plans/s, "
+          f"p999 {latency['p999']:.1f} us, "
+          f"speedup gate {doc['speedup_gate']})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="--metrics-out JSON file to validate")
@@ -301,6 +380,9 @@ def main():
     parser.add_argument("--recovery", action="store_true",
                         help="validate the BENCH_recovery.json schema instead "
                              "of a --metrics-out file")
+    parser.add_argument("--fleet", action="store_true",
+                        help="validate the BENCH_fleet.json schema instead "
+                             "of a --metrics-out file")
     args = parser.parse_args()
 
     try:
@@ -314,6 +396,9 @@ def main():
         return
     if args.recovery:
         check_recovery(args.file, doc)
+        return
+    if args.fleet:
+        check_fleet(args.file, doc)
         return
 
     expect(isinstance(doc, dict), "top level must be an object")

@@ -6,15 +6,19 @@
 #      the obs exporter/trace tests, the structured-KKT/banded-Cholesky
 #      numerics (span-heavy code, worth the bounds checking), the persist
 #      codec/engine suites (byte-level decoders fed corrupted input — prime
-#      bounds-check territory), and the dsim suites including crash
-#      recovery (CrashNemesis) and the dsim_soak target (100 fuzzed seeds
-#      x 1 simulated month through the full online pipeline, with
-#      crash-restart cycles).
+#      bounds-check territory), the dsim suites including crash recovery
+#      (CrashNemesis) and the dsim_soak target (100 fuzzed seeds x 1
+#      simulated month through the full online pipeline, with crash-restart
+#      cycles), and the fleet layer (arena placement, wire decoders fed
+#      torn/corrupt streams, the sharded engine and FleetSim).
 #   2. TSan (build-tsan/): the concurrency surface — obs recording from
-#      pool workers, the work-stealing ThreadPool, SweepRunner, and
+#      pool workers, the work-stealing ThreadPool (including the
+#      pool_stress_soak missed-wakeup stress: 100 rounds x 10k tasks
+#      through the queued_/parked_ parking protocol), SweepRunner, and
 #      per-task QpSolver instances (dense and structured paths) on sweep
-#      workers — plus the dsim_soak crash-restart soak, which exercises the
-#      persist engine's file lifecycle under the instrumented runtime.
+#      workers — plus the dsim_soak crash-restart soak and the FleetEngine
+#      serial-vs-parallel suites (shards on pool workers), which exercise
+#      the persist engine's file lifecycle under the instrumented runtime.
 #
 # By default each phase runs its focused subset, which keeps the loop
 # fast; pass --full to run the whole suite under both.
@@ -25,8 +29,8 @@
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace|EventLoop|BuggifyConfig|InvariantChecker|PipelineSim|TraceFuzzer|Crc32c|Codec|StateCodec|Engine|CrashNemesis|dsim_soak"
-tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured|dsim_soak"
+asan_filter="Resilience|TelemetryGuard|FaultInjector|HealthReport|Taxonomy|ResultType|OnlineSmoother|Csv|Battery|FlexibleSmoothing|Obs|Banded|Structured|FsOps|SolverWorkspace|EventLoop|BuggifyConfig|InvariantChecker|PipelineSim|TraceFuzzer|Crc32c|Codec|StateCodec|Engine|CrashNemesis|dsim_soak|Arena|ShardOf|Wire|SolverPool|FleetEngine|FleetSim"
+tsan_filter="Obs|ThreadPool|SweepRunner|TaskRng|ParamGrid|Qp|Structured|dsim_soak|FleetEngine|FleetSim|pool_stress_soak"
 if [[ "${1:-}" == "--full" ]]; then
   asan_filter=""
   tsan_filter=""

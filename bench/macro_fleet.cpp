@@ -145,20 +145,35 @@ int main(int argc, char** argv) {
   const double plans_per_sec =
       static_cast<double>(serial.plans) / std::max(serial.wall_seconds, 1e-9);
 
+  // Mean SoA batch occupancy (tenant intervals per BatchSolver chunk
+  // solve): the iteration-sharing witness — at 10k same-shaped tenants per
+  // 16 shards this sits near the 64-lane chunk cap.
+  const double batch_occupancy =
+      serial.stats.batched_solves > 0
+          ? static_cast<double>(serial.stats.batched_lanes) /
+                static_cast<double>(serial.stats.batched_solves)
+          : 0.0;
+
   sim::TablePrinter fleet_table({"tenants", "shards", "plans", "plans_per_s",
                                  "p50_us", "p99_us", "p999_us",
-                                 "kkt_setups", "pooled_solvers"});
+                                 "kkt_setups", "pooled_solvers",
+                                 "batch_occ"});
   fleet_table.add_row(
       {std::to_string(serial.stats.tenants),
        std::to_string(serial.stats.shards), std::to_string(serial.plans),
        util::strfmt("%.0f", plans_per_sec), util::strfmt("%.1f", p50),
        util::strfmt("%.1f", p99), util::strfmt("%.1f", p999),
        std::to_string(serial.stats.batched_factorizations),
-       std::to_string(serial.stats.shared_solvers)});
+       std::to_string(serial.stats.shared_solvers),
+       util::strfmt("%.1f", batch_occupancy)});
   fleet_table.print(std::cout);
 
   const bool sharing_ok =
       serial.stats.batched_factorizations < serial.stats.tenants;
+  // With batching on (the default config) the SoA path must have carried
+  // the fleet's solves at real occupancy, not one lane at a time.
+  const bool batching_ok =
+      serial.stats.batched_solves > 0 && batch_occupancy > 1.0;
   const bool scale_ok = serial.stats.tenants >= kTenants &&
                         serial.plans >= kTenants * (kIntervals - 1);
 
@@ -205,12 +220,15 @@ int main(int argc, char** argv) {
   }
 
   const bool ok =
-      deterministic && sharing_ok && scale_ok && speedup_ok;
+      deterministic && sharing_ok && batching_ok && scale_ok && speedup_ok;
   std::cout << "\ninvariants: serial-vs-parallel byte-identical: "
             << (deterministic ? "yes" : "NO")
             << "; factorizations shared (" << serial.stats.batched_factorizations
             << " setups for " << serial.stats.tenants
             << " tenants): " << (sharing_ok ? "yes" : "NO")
+            << util::strfmt("; batched solves at %.1f lanes/solve: ",
+                            batch_occupancy)
+            << (batching_ok ? "yes" : "NO")
             << "; >= " << kTenants << " tenants planned: "
             << (scale_ok ? "yes" : "NO") << "; 8-thread speedup gate: "
             << speedup_gate << "\n";
@@ -230,6 +248,9 @@ int main(int argc, char** argv) {
        << util::strfmt("    \"p999\": %.2f\n  },\n", p999)
        << "  \"batched_factorizations\": "
        << serial.stats.batched_factorizations << ",\n"
+       << "  \"batched_solves\": " << serial.stats.batched_solves << ",\n"
+       << "  \"batched_lanes\": " << serial.stats.batched_lanes << ",\n"
+       << util::strfmt("  \"batch_occupancy\": %.2f,\n", batch_occupancy)
        << "  \"shared_solvers\": " << serial.stats.shared_solvers << ",\n"
        << "  \"arena_bytes\": " << serial.stats.arena_bytes << ",\n"
        << "  \"hardware_concurrency\": " << hardware << ",\n"

@@ -71,6 +71,14 @@ SolverCacheStats FlexibleSmoothing::solver_cache_stats() const {
 IntervalPlan FlexibleSmoothing::plan_interval(
     const util::TimeSeries& generation, const battery::Battery& battery,
     const solver::QpSettings* qp_override) const {
+  const PreparedPlan prepared = prepare_plan(generation, battery, qp_override);
+  const solver::QpResult solution = solve_prepared(prepared);
+  return finish_plan(prepared, solution, generation);
+}
+
+PreparedPlan FlexibleSmoothing::prepare_plan(
+    const util::TimeSeries& generation, const battery::Battery& battery,
+    const solver::QpSettings* qp_override) const {
   const std::size_t m = generation.size();
   if (m < 2)
     throw std::invalid_argument(
@@ -132,28 +140,48 @@ IntervalPlan FlexibleSmoothing::plan_interval(
     problem.upper[m + i] = std::max(cum_upper, 0.0);
   }
 
+  PreparedPlan prepared;
+  prepared.problem = std::move(problem);
+  prepared.settings = qp_override ? *qp_override : config_.qp;
+  prepared.m = m;
+  prepared.dt_hours = dt_hours;
+  // An override bypasses the cache — retuned settings (the fault harness
+  // forces non-convergence this way) must not pollute the warm state.
+  prepared.cached = config_.reuse_solver && qp_override == nullptr;
+  // Batch-safe means a batched lane reproduces what the scalar route would
+  // do: the solve must be structured (BatchSolver runs the structured SoA
+  // loop), pooled (the fleet seam — a private-cache solve has no batching
+  // caller) and cold-started (a warm-started lane would need per-stream
+  // iterates the SoA loop does not carry).
+  prepared.batchable = structured && prepared.cached &&
+                       shared_pool_ != nullptr && !config_.warm_start;
+  return prepared;
+}
+
+solver::QpResult FlexibleSmoothing::solve_prepared(
+    const PreparedPlan& prepared) const {
   // Route through the per-horizon solver cache when enabled: every interval
   // of length m shares P and A, so the cached solver reuses its KKT
   // factorization; with warm_start on it also seeds ADMM from the previous
-  // interval's iterates. An override bypasses the cache — retuned settings
-  // (the fault harness forces non-convergence this way) must not pollute
-  // the warm state.
-  const solver::QpSettings& qp_settings =
-      qp_override ? *qp_override : config_.qp;
-  solver::QpResult solution;
-  if (config_.reuse_solver && qp_override == nullptr) {
+  // interval's iterates.
+  if (prepared.cached) {
     // A shared pool (fleet batched planning) replaces the private cache:
     // same lifecycle, but the factorization is keyed by (m, rho, sigma)
     // across every instance attached to the pool.
     solver::QpSolver& qp_solver =
-        shared_pool_ != nullptr ? shared_pool_->solver_for(m, qp_settings)
-                                : solver_cache_[m];
+        shared_pool_ != nullptr
+            ? shared_pool_->solver_for(prepared.m, prepared.settings)
+            : solver_cache_[prepared.m];
     if (!config_.warm_start) qp_solver.reset_warm_start();
-    solution = qp_solver.solve(problem, qp_settings);
-  } else {
-    solution = solver::solve_qp(problem, qp_settings);
+    return qp_solver.solve(prepared.problem, prepared.settings);
   }
+  return solver::solve_qp(prepared.problem, prepared.settings);
+}
 
+IntervalPlan FlexibleSmoothing::finish_plan(
+    const PreparedPlan& prepared, const solver::QpResult& solution,
+    const util::TimeSeries& generation) const {
+  const std::size_t m = prepared.m;
   IntervalPlan plan;
   plan.solver_status = solution.status;
   plan.solver_iterations = solution.iterations;
@@ -165,8 +193,9 @@ IntervalPlan FlexibleSmoothing::plan_interval(
     plan.schedule_kwh = solution.x;
     // Clamp numerical fuzz back into the per-point box.
     for (std::size_t i = 0; i < m; ++i)
-      plan.schedule_kwh[i] =
-          std::clamp(plan.schedule_kwh[i], problem.lower[i], problem.upper[i]);
+      plan.schedule_kwh[i] = std::clamp(plan.schedule_kwh[i],
+                                        prepared.problem.lower[i],
+                                        prepared.problem.upper[i]);
   } else {
     plan.schedule_kwh.assign(m, 0.0);  // infeasible/numerical: do nothing
   }
@@ -174,7 +203,7 @@ IntervalPlan FlexibleSmoothing::plan_interval(
   std::vector<double> smoothed_kw(m);
   double max_rate = 0.0;
   for (std::size_t i = 0; i < m; ++i) {
-    const double rate = plan.schedule_kwh[i] / dt_hours;
+    const double rate = plan.schedule_kwh[i] / prepared.dt_hours;
     smoothed_kw[i] = generation[i] + rate;
     max_rate = std::max(max_rate, std::abs(rate));
   }

@@ -126,6 +126,27 @@ struct IntervalPlan {
   double solver_dual_residual = 0.0;
 };
 
+/// A QP-ready interval: everything plan_interval derives from the window
+/// before the solve, plus the routing facts the solve and finish steps
+/// need. Produced by FlexibleSmoothing::prepare_plan, consumed by
+/// solve_prepared / finish_plan — the seam the fleet engine batches across
+/// tenants (solver::BatchSolver solves many PreparedPlans with one SoA
+/// ADMM loop; see fleet/fleet.hpp).
+struct PreparedPlan {
+  solver::QpProblem problem;   ///< built exactly as plan_interval builds it
+  solver::QpSettings settings; ///< resolved: the override or the config's
+  std::size_t m = 0;           ///< horizon length (problem.q.size())
+  double dt_hours = 0.0;       ///< energy<->power conversion for this window
+  /// plan_interval would route this solve through the reuse cache / shared
+  /// pool (reuse_solver on, no override) rather than a one-shot solve_qp.
+  bool cached = false;
+  /// Safe to hand to solver::BatchSolver instead of the scalar pool route:
+  /// structured problem + pooled cold-started solve. A batched lane then
+  /// produces what the scalar route produces (bit-identical on
+  /// non-reassociating SIMD tiers; see solver/batch_solver.hpp).
+  bool batchable = false;
+};
+
 /// Result of smoothing a whole series.
 struct SmoothingResult {
   util::TimeSeries supply;  ///< power delivered to the system (kW)
@@ -167,6 +188,31 @@ class FlexibleSmoothing {
   [[nodiscard]] IntervalPlan plan_interval(
       const util::TimeSeries& generation, const battery::Battery& battery,
       const solver::QpSettings* qp_override = nullptr) const;
+
+  /// The three phases of plan_interval, split so a caller can interpose on
+  /// the solve — the fleet engine collects PreparedPlans from many tenants
+  /// and solves the batchable ones together through solver::BatchSolver.
+  /// plan_interval(g, b, o) is exactly
+  ///   finish_plan(p, solve_prepared(p), g) with p = prepare_plan(g, b, o)
+  /// (same arithmetic in the same order), so the split path is
+  /// bit-identical to the monolithic one whenever the solves agree.
+  [[nodiscard]] PreparedPlan prepare_plan(
+      const util::TimeSeries& generation, const battery::Battery& battery,
+      const solver::QpSettings* qp_override = nullptr) const;
+
+  /// Runs the scalar solve routing plan_interval would run: the per-horizon
+  /// cache or shared pool when `prepared.cached`, a one-shot solve_qp
+  /// otherwise.
+  [[nodiscard]] solver::QpResult solve_prepared(
+      const PreparedPlan& prepared) const;
+
+  /// Assembles the IntervalPlan from a solution — however it was obtained
+  /// (solve_prepared or a batched lane). `generation` must be the window
+  /// prepare_plan saw.
+  [[nodiscard]] IntervalPlan finish_plan(const PreparedPlan& prepared,
+                                         const solver::QpResult& solution,
+                                         const util::TimeSeries& generation)
+      const;
 
   /// Executes a plan against the battery: applies each signed step and
   /// returns the delivered power series (kW), which may deviate from the

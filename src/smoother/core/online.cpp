@@ -110,6 +110,35 @@ std::optional<OnlineIntervalRecord> OnlineSmoother::push_missing() {
 
 std::optional<OnlineIntervalRecord> OnlineSmoother::accept_sample(
     resilience::GuardedSample sample) {
+  PendingInterval pending;
+  if (!prepare_sample(sample, pending)) return std::nullopt;
+  finish_interval(pending);
+  return records_.back();
+}
+
+bool OnlineSmoother::push_prepare(double generation_kw,
+                                  PendingInterval& pending) {
+  return prepare_sample(guard_.sanitize(generation_kw), pending);
+}
+
+bool OnlineSmoother::push_missing_prepare(PendingInterval& pending) {
+  return prepare_sample(guard_.fill_gap(), pending);
+}
+
+OnlineIntervalRecord OnlineSmoother::push_commit(PendingInterval& pending) {
+  if (!pending.active_)
+    throw std::logic_error(
+        "OnlineSmoother::push_commit: no interval in flight");
+  finish_interval(pending);
+  return records_.back();
+}
+
+bool OnlineSmoother::prepare_sample(resilience::GuardedSample sample,
+                                    PendingInterval& pending) {
+  if (interval_in_flight_)
+    throw std::logic_error(
+        "OnlineSmoother: commit the in-flight interval before pushing "
+        "another sample (push_prepare without push_commit)");
   ++health_.samples_seen;
   if (sample.fault != resilience::FaultKind::kNone) {
     health_.record_sample_fault(sample.fault);
@@ -117,25 +146,24 @@ std::optional<OnlineIntervalRecord> OnlineSmoother::accept_sample(
   }
   pending_.push_back(std::max(sample.value_kw, 0.0));
   if (pending_.size() < config_.flexible_smoothing.points_per_interval)
-    return std::nullopt;
-  process_interval();
-  return records_.back();
+    return false;
+  begin_interval(pending);
+  return true;
 }
 
-void OnlineSmoother::process_interval() {
-  using resilience::FallbackReason;
+void OnlineSmoother::begin_interval(PendingInterval& pending) {
+  pending = PendingInterval{};
+  pending.active_ = true;
+  interval_in_flight_ = true;
+  // Wall-clock anchor for the plan-latency histogram (the explicitly
+  // non-deterministic metric): on the batched path it includes the time the
+  // interval waits for its batch, which is the latency a caller observes.
+  pending.interval_start_ = std::chrono::steady_clock::now();
 
-  // Observability: one registry/tracer load per interval (not per sample);
-  // all recorded values are deterministic counts except the plan-latency
-  // timing histogram and the span's wall_ms, which are the explicitly
-  // marked wall-clock fields.
-  obs::MetricsRegistry* metrics = obs::global_metrics();
-  obs::Span span(obs::global_tracer(), "interval-plan");
-  const auto interval_start = std::chrono::steady_clock::now();
+  pending.window_ = util::TimeSeries(config_.sample_step, pending_);
+  const util::TimeSeries& window = pending.window_;
 
-  const util::TimeSeries window(config_.sample_step, pending_);
-
-  OnlineIntervalRecord record;
+  OnlineIntervalRecord& record = pending.record_;
   record.index = interval_base_ + records_.size();
   record.variance_before = window.variance();
   record.variance_after = record.variance_before;
@@ -163,33 +191,81 @@ void OnlineSmoother::process_interval() {
   // Per-interval health inputs. The battery monitor is polled exactly once
   // per interval; an interval whose window is mostly guard-fabricated data
   // is not planned on.
-  const bool battery_ok =
+  pending.battery_ok_ =
       !hooks_.battery_monitor || hooks_.battery_monitor(record.index);
-  const bool telemetry_ok =
+  pending.telemetry_ok_ =
       static_cast<double>(pending_faulted_) <=
       config_.max_faulted_fraction * static_cast<double>(pending_.size());
 
-  const bool smoothable = calibrated_ && region == Region::kSmoothable &&
-                          (!previous_interval_.empty() ||
-                           hooks_.forecast_oracle);
+  pending.smoothable_ = calibrated_ && region == Region::kSmoothable &&
+                        (!previous_interval_.empty() ||
+                         hooks_.forecast_oracle);
+
+  // The fallible pre-solve half of the planning step — forecast, override
+  // hook, QP preparation — runs exactly when the monolithic path would have
+  // entered plan_and_execute. Failures are parked for finish_interval to
+  // turn into the same fallbacks.
+  if (pending.telemetry_ok_ && pending.battery_ok_ && pending.smoothable_ &&
+      mode_ != Mode::kDegraded) {
+    using resilience::Error;
+    using resilience::FaultKind;
+    try {
+      auto forecast = fetch_forecast(record.index);
+      if (!forecast) {
+        pending.plan_error_ = forecast.error();
+      } else {
+        pending.predicted_ = util::TimeSeries(config_.sample_step,
+                                              std::move(forecast.value()));
+        std::optional<solver::QpSettings> qp_override;
+        if (hooks_.solver_settings)
+          qp_override = hooks_.solver_settings(record.index);
+        pending.prepared_ = smoothing_.prepare_plan(
+            pending.predicted_, battery_, qp_override ? &*qp_override
+                                                      : nullptr);
+        pending.needs_solve_ = true;
+      }
+    } catch (const std::exception& e) {
+      pending.plan_error_ = Error{FaultKind::kInternalError, e.what()};
+    } catch (...) {
+      pending.plan_error_ =
+          Error{FaultKind::kInternalError, "non-exception thrown"};
+    }
+  }
+}
+
+void OnlineSmoother::finish_interval(PendingInterval& pending) {
+  using resilience::FallbackReason;
+
+  // Observability: one registry/tracer load per interval (not per sample);
+  // all recorded values are deterministic counts except the plan-latency
+  // timing histogram and the span's wall_ms, which are the explicitly
+  // marked wall-clock fields.
+  obs::MetricsRegistry* metrics = obs::global_metrics();
+  obs::Span span(obs::global_tracer(), "interval-plan");
+  const auto interval_start = pending.interval_start_;
+
+  const util::TimeSeries& window = pending.window_;
+  OnlineIntervalRecord record = pending.record_;
 
   std::optional<util::TimeSeries> delivered;
-  if (!telemetry_ok) {
+  if (!pending.telemetry_ok_) {
     // Most of the window is guard-fabricated data: the variance
     // classification itself rests on invented samples, so regardless of
     // the region label the interval is not planned on — it passes through.
     record.fallback = FallbackReason::kTelemetryUnreliable;
-  } else if (!battery_ok) {
+  } else if (!pending.battery_ok_) {
     // Recorded whatever the region: the interval was processed without the
     // battery. (Keying the fallback on the injected fault alone — never on
     // the corruption-sensitive region label — is what keeps measured
     // fallback curves monotone in the injected fault rate.)
     record.fallback = FallbackReason::kBatteryFaulted;
-  } else if (smoothable) {
-    if (mode_ == Mode::kDegraded) {
+  } else if (pending.smoothable_) {
+    // record.degraded captured mode_ at begin time; nothing between begin
+    // and commit mutates the mode.
+    if (record.degraded) {
       record.fallback = FallbackReason::kDegradedHold;
     } else {
-      auto planned = plan_and_execute(record.index, window, record);
+      auto planned = complete_plan(pending, record);
       if (planned) {
         delivered = std::move(planned.value());
       } else {
@@ -219,7 +295,7 @@ void OnlineSmoother::process_interval() {
   ++health_.intervals_seen;
   health_.record_fallback(record.fallback);
   const bool fault_observed =
-      !telemetry_ok || !battery_ok ||
+      !pending.telemetry_ok_ || !pending.battery_ok_ ||
       record.fallback == FallbackReason::kOracleFailed ||
       record.fallback == FallbackReason::kSolverNotConverged ||
       record.fallback == FallbackReason::kInternalError;
@@ -285,6 +361,9 @@ void OnlineSmoother::process_interval() {
       .field("fallback", resilience::to_string(record.fallback))
       .field("smoothed", record.smoothed ? 1 : 0)
       .field("solver_iterations", record.solver_iterations);
+
+  pending.active_ = false;
+  interval_in_flight_ = false;
 
   if (hooks_.observer != nullptr) {
     obs::IntervalEvent event;
@@ -445,25 +524,23 @@ void OnlineSmoother::compact(std::size_t keep_output_samples,
   }
 }
 
-resilience::Result<util::TimeSeries> OnlineSmoother::plan_and_execute(
-    std::size_t index, const util::TimeSeries& window,
-    OnlineIntervalRecord& record) {
+resilience::Result<util::TimeSeries> OnlineSmoother::complete_plan(
+    PendingInterval& pending, OnlineIntervalRecord& record) {
   using resilience::Error;
   using resilience::FaultKind;
+  // A forecast/preparation failure from begin_interval surfaces here so the
+  // fallback decision happens where the monolithic path made it.
+  if (pending.plan_error_) return *pending.plan_error_;
   try {
-    auto forecast = fetch_forecast(index);
-    if (!forecast) return forecast.error();
-    const util::TimeSeries predicted(config_.sample_step,
-                                     std::move(forecast.value()));
-    std::optional<solver::QpSettings> qp_override;
-    if (hooks_.solver_settings) qp_override = hooks_.solver_settings(index);
-    const IntervalPlan plan = smoothing_.plan_interval(
-        predicted, battery_, qp_override ? &*qp_override : nullptr);
+    if (!pending.solved_)
+      pending.solution_ = smoothing_.solve_prepared(pending.prepared_);
+    const IntervalPlan plan = smoothing_.finish_plan(
+        pending.prepared_, pending.solution_, pending.predicted_);
     record.solver_iterations = plan.solver_iterations;
     if (plan.solver_status != solver::QpStatus::kSolved)
       return Error{FaultKind::kSolverFailure,
                    "QP status " + solver::to_string(plan.solver_status)};
-    return smoothing_.execute_plan(plan, window, battery_);
+    return smoothing_.execute_plan(plan, pending.window_, battery_);
   } catch (const std::exception& e) {
     return Error{FaultKind::kInternalError, e.what()};
   } catch (...) {

@@ -32,6 +32,7 @@
 // the output is bit-identical to the unhardened pipeline.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -240,6 +241,83 @@ class OnlineSmoother {
   /// persistence. Same return contract as push().
   std::optional<OnlineIntervalRecord> push_missing();
 
+  /// An interval caught mid-flight between push_prepare and push_commit:
+  /// everything the smoother decided before the QP solve, and — when
+  /// needs_solve() — the prepared problem a batching caller may solve
+  /// externally. Opaque apart from the listed accessors; one PendingInterval
+  /// serves one prepare/commit round trip and may be reused across rounds.
+  class PendingInterval {
+   public:
+    PendingInterval() = default;
+
+    /// A QP solve is pending (smoothable interval on the planned path, the
+    /// forecast and preparation succeeded, no solution provided yet). False
+    /// once provide_solution() ran or when the interval needs no solve —
+    /// push_commit then completes it without one.
+    [[nodiscard]] bool needs_solve() const { return needs_solve_ && !solved_; }
+
+    /// needs_solve() and the prepared problem is batch-safe (structured,
+    /// pooled, cold-started — see PreparedPlan::batchable). The batching
+    /// caller solves problem() under qp_settings() through a
+    /// solver::BatchSolver and hands the lane's result back with
+    /// provide_solution(); non-batchable pending solves are left for
+    /// push_commit's scalar routing.
+    [[nodiscard]] bool batchable() const {
+      return needs_solve() && prepared_.batchable;
+    }
+
+    [[nodiscard]] const solver::QpProblem& problem() const {
+      return prepared_.problem;
+    }
+    [[nodiscard]] const solver::QpSettings& qp_settings() const {
+      return prepared_.settings;
+    }
+    [[nodiscard]] std::size_t horizon() const { return prepared_.m; }
+
+    /// Supplies the externally-computed solution for the pending solve.
+    void provide_solution(solver::QpResult solution) {
+      solution_ = std::move(solution);
+      solved_ = true;
+    }
+
+   private:
+    friend class OnlineSmoother;
+
+    bool active_ = false;        ///< between begin_interval and commit
+    bool needs_solve_ = false;   ///< the QP path was reached and prepared
+    bool solved_ = false;        ///< solution_ holds a usable result
+    bool telemetry_ok_ = false;
+    bool battery_ok_ = false;
+    bool smoothable_ = false;
+    util::TimeSeries window_;     ///< the completed interval's samples
+    util::TimeSeries predicted_;  ///< the forecast the plan was prepared on
+    OnlineIntervalRecord record_;
+    PreparedPlan prepared_;
+    solver::QpResult solution_;
+    /// Forecast/preparation failure captured in begin_interval; commit
+    /// turns it into the fallback the monolithic path would take.
+    std::optional<resilience::Error> plan_error_;
+    std::chrono::steady_clock::time_point interval_start_;
+  };
+
+  /// Two-phase push for batching callers (the fleet engine): identical to
+  /// push() except that when the sample completes an interval, processing
+  /// stops at the QP-solve boundary and the half-open interval is parked in
+  /// `pending`. Returns true exactly when push() would have returned a
+  /// record; the caller MUST then push_commit(pending) before pushing any
+  /// further sample to this smoother (the open-interval state is shared).
+  /// Unlike push() this may throw — on the contract violation above.
+  bool push_prepare(double generation_kw, PendingInterval& pending);
+
+  /// push_missing()'s counterpart to push_prepare.
+  bool push_missing_prepare(PendingInterval& pending);
+
+  /// Completes an interval parked by push_prepare: runs the scalar solve if
+  /// one is still pending (exactly what push() would have run), executes the
+  /// plan or the fallback, commits the stream state and returns the record.
+  /// Throws std::logic_error when `pending` holds no in-flight interval.
+  OnlineIntervalRecord push_commit(PendingInterval& pending);
+
   /// Captures the complete streaming state (see StreamState). Pure
   /// observation: the smoother is unchanged.
   [[nodiscard]] StreamState export_state() const;
@@ -335,13 +413,24 @@ class OnlineSmoother {
 
   std::optional<OnlineIntervalRecord> accept_sample(
       resilience::GuardedSample sample);
-  void process_interval();
-  /// The fallible planning step: forecast -> QP plan -> execute. Returns
-  /// the delivered series, or the fault that forced a fallback; solver
+  /// Shared push body: accounts the sample; when it completes an interval,
+  /// runs begin_interval into `pending` and returns true.
+  bool prepare_sample(resilience::GuardedSample sample,
+                      PendingInterval& pending);
+  /// First half of interval processing: classification, health gates, and —
+  /// on the planned path — forecast + QP preparation. Mutates nothing the
+  /// commit half reads back except through `pending`.
+  void begin_interval(PendingInterval& pending);
+  /// Second half: solve (if still pending), execute/fallback, output and
+  /// stream-state commit, telemetry. begin_interval + finish_interval is
+  /// the old monolithic process path, split at the solve.
+  void finish_interval(PendingInterval& pending);
+  /// The fallible planning tail after begin_interval: scalar-solve when no
+  /// solution was provided, assemble and execute the plan. Returns the
+  /// delivered series, or the fault that forced a fallback; solver
   /// telemetry (iteration count) is written onto `record` either way.
-  resilience::Result<util::TimeSeries> plan_and_execute(
-      std::size_t index, const util::TimeSeries& window,
-      OnlineIntervalRecord& record);
+  resilience::Result<util::TimeSeries> complete_plan(
+      PendingInterval& pending, OnlineIntervalRecord& record);
   resilience::Result<std::vector<double>> fetch_forecast(std::size_t index);
   /// Cheap degraded-mode plan: track the previous interval's mean with the
   /// battery, no QP. Returns the delivered series.
@@ -355,6 +444,9 @@ class OnlineSmoother {
   resilience::TelemetryGuard guard_;
   resilience::HealthReport health_;
   Mode mode_ = Mode::kNormal;
+  /// push_prepare ran begin_interval and the commit is still outstanding;
+  /// guards against pushing into the half-processed open interval.
+  bool interval_in_flight_ = false;
   std::size_t healthy_streak_ = 0;
   std::size_t pending_faulted_ = 0;  ///< guard-repaired samples this interval
   std::vector<double> pending_;          ///< samples of the open interval

@@ -1,6 +1,7 @@
 #include "smoother/fleet/fleet.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <utility>
 
@@ -55,6 +56,11 @@ struct FleetEngine::Tenant {
   /// fields + the interval's output sample bit patterns). Survives
   /// checkpoints, so it witnesses the tenant's *entire* output history.
   std::uint32_t digest = 0;
+  /// An interval parked at the QP-solve boundary (push_prepare ran, the
+  /// commit is pending in the shard's flush). At most one per tenant; any
+  /// further request for this tenant flushes the shard first.
+  bool in_flight = false;
+  core::OnlineSmoother::PendingInterval pending;
   core::OnlineSmoother smoother;
 };
 
@@ -75,6 +81,9 @@ struct FleetEngine::Shard {
   /// touch the map).
   std::vector<std::pair<Tenant*, const SampleRequest*>> batch;
   std::vector<IntervalEvent> events;
+  /// Tenants with a parked interval this batch, in completion (submission)
+  /// order — the commit and event-emission order flush_pending preserves.
+  std::vector<Tenant*> pending_slots;
   persist::Writer digest_scratch;
   core::OnlineSmoother::StreamState state_scratch;
 
@@ -165,46 +174,129 @@ void FleetEngine::process_shard(Shard& shard) {
   const std::size_t keep_output = config_.keep_output_samples > 0
                                       ? config_.keep_output_samples
                                       : 2 * points;
+  // Two-pass drain: feed requests in submission order, parking every
+  // completed interval at the QP-solve boundary; flush (batch-solve +
+  // commit in completion order) when the scan ends or a parked tenant
+  // receives its next request — the open-interval state a further push
+  // would touch belongs to the uncommitted interval.
   for (auto& [tenant, request] : shard.batch) {
-    const std::optional<core::OnlineIntervalRecord> record =
-        request->missing ? tenant->smoother.push_missing()
-                         : tenant->smoother.push(request->generation_kw);
-    if (!record) continue;
-    IntervalEvent event;
-    event.tenant_id = tenant->id;
-    event.interval_index = record->index;
-    event.region = static_cast<std::uint8_t>(record->region);
-    event.fallback = static_cast<std::uint8_t>(record->fallback);
-    event.smoothed = record->smoothed;
-    event.warmup = record->warmup;
-    event.degraded = record->degraded;
-    event.variance_before = record->variance_before;
-    event.variance_after = record->variance_after;
-    event.solver_iterations = record->solver_iterations;
-
-    // Fold the interval into the tenant digest before compaction trims the
-    // tail: record fields plus the interval's output bit patterns.
-    persist::Writer& scratch = shard.digest_scratch;
-    scratch.clear();
-    scratch.u64(event.interval_index);
-    scratch.u8(event.region);
-    scratch.u8(event.fallback);
-    scratch.boolean(event.smoothed);
-    scratch.boolean(event.warmup);
-    scratch.boolean(event.degraded);
-    scratch.f64(event.variance_before);
-    scratch.f64(event.variance_after);
-    scratch.u64(event.solver_iterations);
-    const util::TimeSeries& output = tenant->smoother.output();
-    const std::size_t tail = std::min(points, output.size());
-    for (std::size_t i = output.size() - tail; i < output.size(); ++i)
-      scratch.f64(output[i]);
-    tenant->digest = persist::crc32c_extend(tenant->digest, scratch.bytes());
-
-    tenant->smoother.compact(keep_output, config_.keep_records);
-    shard.events.push_back(event);
+    if (tenant->in_flight) flush_pending(shard, points, keep_output);
+    const bool completed =
+        request->missing
+            ? tenant->smoother.push_missing_prepare(tenant->pending)
+            : tenant->smoother.push_prepare(request->generation_kw,
+                                            tenant->pending);
+    if (!completed) continue;
+    tenant->in_flight = true;
+    shard.pending_slots.push_back(tenant);
   }
+  flush_pending(shard, points, keep_output);
   shard.batch.clear();
+}
+
+void FleetEngine::flush_pending(Shard& shard, std::size_t points,
+                                std::size_t keep_output) {
+  if (shard.pending_slots.empty()) return;
+
+  if (config_.batched_solves) {
+    // Group the batchable parked intervals by everything that must match
+    // for lanes to share one BatchSolver pass: the horizon and every QP
+    // settings field, bitwise (the solve runs all lanes under one
+    // QpSettings). std::map keys keep the grouping deterministic; lanes
+    // within a group stay in completion order.
+    struct BatchKey {
+      std::size_t m;
+      std::uint64_t rho, sigma, alpha, eps_abs, eps_rel;
+      std::uint64_t max_iterations, check_interval;
+      bool polish;
+      auto operator<=>(const BatchKey&) const = default;
+    };
+    std::map<BatchKey, std::vector<Tenant*>> groups;
+    for (Tenant* tenant : shard.pending_slots) {
+      const core::OnlineSmoother::PendingInterval& pending = tenant->pending;
+      if (!pending.batchable()) continue;
+      const solver::QpSettings& qp = pending.qp_settings();
+      groups[BatchKey{pending.horizon(),
+                      std::bit_cast<std::uint64_t>(qp.rho),
+                      std::bit_cast<std::uint64_t>(qp.sigma),
+                      std::bit_cast<std::uint64_t>(qp.alpha),
+                      std::bit_cast<std::uint64_t>(qp.eps_abs),
+                      std::bit_cast<std::uint64_t>(qp.eps_rel),
+                      static_cast<std::uint64_t>(qp.max_iterations),
+                      static_cast<std::uint64_t>(qp.check_interval),
+                      qp.polish}]
+          .push_back(tenant);
+    }
+    std::vector<solver::BatchSolver::Lane> lanes;
+    std::vector<solver::QpResult> results;
+    for (auto& [key, members] : groups) {
+      solver::BatchSolver& batch = shard.pool.batch_solver_for(
+          key.m, members.front()->pending.qp_settings());
+      // Factorization failure: leave the lanes unsolved — each commit then
+      // runs the scalar route and reports the error per tenant.
+      if (!batch.is_setup()) continue;
+      lanes.clear();
+      lanes.reserve(members.size());
+      for (Tenant* tenant : members) {
+        const solver::QpProblem& problem = tenant->pending.problem();
+        lanes.push_back({problem.q, problem.lower, problem.upper});
+      }
+      results.assign(members.size(), solver::QpResult{});
+      try {
+        batch.solve(lanes, results);
+      } catch (...) {
+        continue;  // scalar fallback per lane, as above
+      }
+      for (std::size_t i = 0; i < members.size(); ++i)
+        members[i]->pending.provide_solution(std::move(results[i]));
+    }
+  }
+
+  for (Tenant* tenant : shard.pending_slots) {
+    const core::OnlineIntervalRecord record =
+        tenant->smoother.push_commit(tenant->pending);
+    tenant->in_flight = false;
+    emit_event(shard, *tenant, record, points, keep_output);
+  }
+  shard.pending_slots.clear();
+}
+
+void FleetEngine::emit_event(Shard& shard, Tenant& tenant,
+                             const core::OnlineIntervalRecord& record,
+                             std::size_t points, std::size_t keep_output) {
+  IntervalEvent event;
+  event.tenant_id = tenant.id;
+  event.interval_index = record.index;
+  event.region = static_cast<std::uint8_t>(record.region);
+  event.fallback = static_cast<std::uint8_t>(record.fallback);
+  event.smoothed = record.smoothed;
+  event.warmup = record.warmup;
+  event.degraded = record.degraded;
+  event.variance_before = record.variance_before;
+  event.variance_after = record.variance_after;
+  event.solver_iterations = record.solver_iterations;
+
+  // Fold the interval into the tenant digest before compaction trims the
+  // tail: record fields plus the interval's output bit patterns.
+  persist::Writer& scratch = shard.digest_scratch;
+  scratch.clear();
+  scratch.u64(event.interval_index);
+  scratch.u8(event.region);
+  scratch.u8(event.fallback);
+  scratch.boolean(event.smoothed);
+  scratch.boolean(event.warmup);
+  scratch.boolean(event.degraded);
+  scratch.f64(event.variance_before);
+  scratch.f64(event.variance_after);
+  scratch.u64(event.solver_iterations);
+  const util::TimeSeries& output = tenant.smoother.output();
+  const std::size_t tail = std::min(points, output.size());
+  for (std::size_t i = output.size() - tail; i < output.size(); ++i)
+    scratch.f64(output[i]);
+  tenant.digest = persist::crc32c_extend(tenant.digest, scratch.bytes());
+
+  tenant.smoother.compact(keep_output, config_.keep_records);
+  shard.events.push_back(event);
 }
 
 WireApplyResult FleetEngine::apply_wire(std::string_view requests,
@@ -308,7 +400,9 @@ FleetStats FleetEngine::stats() const {
   for (const auto& shard : shards_) {
     const solver::SolverPoolStats pool = shard->pool.stats();
     stats.batched_factorizations += pool.setups;
-    stats.shared_solvers += pool.solvers;
+    stats.shared_solvers += pool.solvers + pool.batch_solvers;
+    stats.batched_solves += pool.batched_solves;
+    stats.batched_lanes += pool.batched_lanes;
     stats.max_shard_tenants =
         std::max(stats.max_shard_tenants, shard->tenants.size());
     stats.min_shard_tenants =
@@ -327,9 +421,21 @@ void FleetEngine::publish_metrics() {
   metrics->counter("fleet.batched_factorizations")
       .add(current.batched_factorizations - published_factorizations_);
   published_factorizations_ = current.batched_factorizations;
+  if (current.batched_solves > published_batched_solves_) {
+    metrics->counter("fleet.batched_solves")
+        .add(current.batched_solves - published_batched_solves_);
+    published_batched_solves_ = current.batched_solves;
+  }
   metrics->gauge("fleet.shard_imbalance")
       .set(static_cast<double>(current.max_shard_tenants) -
            static_cast<double>(current.min_shard_tenants));
+  // Mean lanes per SoA solve over the fleet's lifetime: how full the
+  // batches actually run. 0 until a batched solve happened.
+  metrics->gauge("fleet.batch_occupancy")
+      .set(current.batched_solves == 0
+               ? 0.0
+               : static_cast<double>(current.batched_lanes) /
+                     static_cast<double>(current.batched_solves));
 }
 
 }  // namespace smoother::fleet

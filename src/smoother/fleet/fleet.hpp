@@ -21,6 +21,16 @@
 //     tenants. fleet.batched_factorizations counts pool setups — at 10k
 //     same-shaped tenants it stays at shard-count, not tenant-count.
 //
+//   * Batched planning shares the iteration work too. Within a shard,
+//     requests that complete an interval park at the QP-solve boundary
+//     (OnlineSmoother::push_prepare); once the shard's batch is scanned —
+//     or a parked tenant receives another request — every group of parked
+//     intervals with the same (horizon, QP settings) solves as one
+//     solver::BatchSolver SoA batch and the intervals commit in submission
+//     order. Lanes are bit-identical to the scalar solves they replace on
+//     non-reassociating SIMD tiers (the default build), so the events and
+//     digests are unchanged; see FleetConfig::batched_solves.
+//
 //   * Per-tenant state is slab-allocated. Each shard owns an Arena;
 //     tenant control blocks are placement-constructed into it in admission
 //     order, and after every completed interval the smoother is
@@ -97,13 +107,26 @@ struct FleetConfig {
   std::size_t keep_output_samples = 0;
   std::size_t keep_records = 4;
 
+  /// Drain same-shaped tenant solves through solver::BatchSolver: within a
+  /// shard, completed intervals park at the QP-solve boundary
+  /// (OnlineSmoother::push_prepare) and every batchable group with the same
+  /// (horizon, QP settings) is solved as one SoA ADMM batch before the
+  /// intervals commit in submission order. On SIMD tiers whose kernels do
+  /// not reassociate (the default build — see solver/simd.hpp) a batched
+  /// lane is bit-identical to the scalar solve it replaces, so events,
+  /// digests and checkpoints are byte-identical with this on or off; on the
+  /// avx2 tier results agree within solver tolerance instead. Off = the
+  /// scalar one-solve-per-tenant path.
+  bool batched_solves = true;
+
   /// Throws std::invalid_argument on zero shards or warm starts on.
   void validate() const;
 };
 
 /// Aggregate fleet counters, also published to obs::global_metrics() (when
-/// installed) as fleet.plans, fleet.batched_factorizations and the
-/// fleet.shard_imbalance gauge after every batch.
+/// installed) as fleet.plans, fleet.batched_factorizations,
+/// fleet.batched_solves and the fleet.shard_imbalance /
+/// fleet.batch_occupancy gauges after every batch.
 struct FleetStats {
   std::size_t tenants = 0;
   std::size_t shards = 0;
@@ -113,6 +136,11 @@ struct FleetStats {
   /// the tenant count.
   std::uint64_t batched_factorizations = 0;
   std::uint64_t shared_solvers = 0;  ///< live pooled solvers across shards
+  /// Batched solving (FleetConfig::batched_solves): SoA chunk solves run
+  /// and lanes (tenant intervals) they carried. lanes/solves is the mean
+  /// batch occupancy, published as the fleet.batch_occupancy gauge.
+  std::uint64_t batched_solves = 0;
+  std::uint64_t batched_lanes = 0;
   std::size_t max_shard_tenants = 0;
   std::size_t min_shard_tenants = 0;
   std::size_t arena_bytes = 0;  ///< slab bytes reserved across shards
@@ -204,6 +232,15 @@ class FleetEngine {
 
   Tenant& require_tenant(Shard& shard, std::uint64_t tenant_id);
   void process_shard(Shard& shard);
+  /// Solves the batchable parked intervals (grouped by horizon + settings)
+  /// through the shard pool's BatchSolvers, then commits every parked
+  /// interval in completion order, emitting its event.
+  void flush_pending(Shard& shard, std::size_t points,
+                     std::size_t keep_output);
+  /// Event emission + digest fold + compaction for one committed interval.
+  void emit_event(Shard& shard, Tenant& tenant,
+                  const core::OnlineIntervalRecord& record,
+                  std::size_t points, std::size_t keep_output);
   void publish_metrics();
   /// Routes the batch, runs every shard, gathers shard-major events.
   std::vector<IntervalEvent> run_batch();
@@ -217,6 +254,7 @@ class FleetEngine {
   /// (counters are monotone; we add deltas).
   std::uint64_t published_plans_ = 0;
   std::uint64_t published_factorizations_ = 0;
+  std::uint64_t published_batched_solves_ = 0;
 };
 
 }  // namespace smoother::fleet

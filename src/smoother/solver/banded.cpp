@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "smoother/solver/simd.hpp"
+
 namespace smoother::solver {
 
 BandedMatrix::BandedMatrix(std::size_t n, std::size_t bandwidth)
@@ -136,6 +138,49 @@ void BandedCholesky::solve_into(std::span<const double> b,
     const std::size_t k_end = std::min(ii + w_, n_ - 1);
     for (std::size_t k = ii + 1; k <= k_end; ++k) acc -= l(k, ii) * x[k];
     x[ii] = acc / l(ii, ii);
+  }
+}
+
+void BandedCholesky::solve_lanes_into(const double* b, double* x,
+                                      std::size_t lanes,
+                                      std::size_t stride) const {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  std::size_t c = 0;
+  for (; c + kW <= lanes; c += kW) {
+    // Forward solve L y = b, in place on x.
+    for (std::size_t i = 0; i < n_; ++i) {
+      VecD acc = VecD::load(b + i * stride + c);
+      for (std::size_t k = i < w_ ? 0 : i - w_; k < i; ++k) {
+        acc = acc - VecD::broadcast(l(i, k)) * VecD::load(x + k * stride + c);
+      }
+      (acc / VecD::broadcast(l(i, i))).store(x + i * stride + c);
+    }
+    // Backward solve Lᵀ z = y, in place on x.
+    for (std::size_t ii = n_; ii-- > 0;) {
+      VecD acc = VecD::load(x + ii * stride + c);
+      const std::size_t k_end = std::min(ii + w_, n_ - 1);
+      for (std::size_t k = ii + 1; k <= k_end; ++k) {
+        acc = acc - VecD::broadcast(l(k, ii)) * VecD::load(x + k * stride + c);
+      }
+      (acc / VecD::broadcast(l(ii, ii))).store(x + ii * stride + c);
+    }
+  }
+  // Remainder lanes: the scalar substitution, per lane.
+  for (; c < lanes; ++c) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      double acc = b[i * stride + c];
+      for (std::size_t k = i < w_ ? 0 : i - w_; k < i; ++k)
+        acc -= l(i, k) * x[k * stride + c];
+      x[i * stride + c] = acc / l(i, i);
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+      double acc = x[ii * stride + c];
+      const std::size_t k_end = std::min(ii + w_, n_ - 1);
+      for (std::size_t k = ii + 1; k <= k_end; ++k)
+        acc -= l(k, ii) * x[k * stride + c];
+      x[ii * stride + c] = acc / l(ii, ii);
+    }
   }
 }
 

@@ -77,6 +77,15 @@ class BandedCholesky {
   /// `x` (b is copied into x first; b and x must not alias).
   void solve_into(std::span<const double> b, std::span<double> x) const;
 
+  /// Lane-batched solve: `lanes` independent right-hand sides stored
+  /// lane-major with row stride `stride` (element (i, lane) lives at
+  /// [i * stride + lane]; b and x are n * stride arrays, non-aliasing).
+  /// The substitution sweeps are vectorized ACROSS the lane dimension and
+  /// sequential in i, so every lane is bit-identical to a solve_into on
+  /// that lane alone (see simd.hpp for the exactness contract).
+  void solve_lanes_into(const double* b, double* x, std::size_t lanes,
+                        std::size_t stride) const;
+
   [[nodiscard]] std::size_t dimension() const { return n_; }
   [[nodiscard]] std::size_t bandwidth() const { return w_; }
 

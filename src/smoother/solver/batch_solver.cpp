@@ -1,0 +1,418 @@
+#include "smoother/solver/batch_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "smoother/obs/metrics.hpp"
+#include "smoother/obs/trace.hpp"
+
+namespace smoother::solver {
+
+namespace {
+
+/// Batched-path instrument handles, cached per (registry, thread) like the
+/// scalar solver's (see qp_solver.cpp). The batched counters are additive
+/// to the scalar ones: each lane also counts as a solver.qp.solves so
+/// fleet dashboards stay comparable when batching toggles.
+struct BatchInstruments {
+  obs::MetricsRegistry* registry = nullptr;
+  std::uint64_t registry_id = 0;
+  obs::Counter* batched_solves = nullptr;
+  obs::Counter* batched_lanes = nullptr;
+  obs::Counter* solves = nullptr;
+  obs::Counter* structured_solves = nullptr;
+  obs::Counter* infeasible = nullptr;
+  obs::Counter* iterations = nullptr;
+  obs::Counter* not_converged = nullptr;
+  obs::Histogram* iterations_hist = nullptr;
+};
+
+BatchInstruments* batch_instruments(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return nullptr;
+  thread_local BatchInstruments cache;
+  if (cache.registry != metrics || cache.registry_id != metrics->id()) {
+    cache.registry = metrics;
+    cache.registry_id = metrics->id();
+    cache.batched_solves = &metrics->counter("solver.qp.batched_solves");
+    cache.batched_lanes = &metrics->counter("solver.qp.batched_lanes");
+    cache.solves = &metrics->counter("solver.qp.solves");
+    cache.structured_solves =
+        &metrics->counter("solver.qp.structured_solves");
+    cache.infeasible = &metrics->counter("solver.qp.infeasible");
+    cache.iterations = &metrics->counter("solver.qp.iterations");
+    cache.not_converged = &metrics->counter("solver.qp.not_converged");
+    cache.iterations_hist = &metrics->histogram(
+        "solver.qp.iterations_hist",
+        {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 20000});
+  }
+  return &cache;
+}
+
+constexpr std::size_t round_up(std::size_t n, std::size_t w) {
+  return (n + w - 1) / w * w;
+}
+
+}  // namespace
+
+QpStatus BatchSolver::setup(std::size_t m, const QpSettings& settings) {
+  m_ = m;
+  settings_ = settings;
+  stride_ = round_up(kMaxLanes, simd::kWidth);
+  ++setup_count_;
+  structured_ = StructuredKkt::factorize(m, settings.sigma, settings.rho);
+  if (!structured_) return QpStatus::kNumericalError;
+  ensure_workspace();
+  return QpStatus::kSolved;
+}
+
+void BatchSolver::adopt_settings(const QpSettings& settings) {
+  if (settings.rho != settings_.rho || settings.sigma != settings_.sigma)
+    throw std::invalid_argument(
+        "BatchSolver::adopt_settings: rho/sigma differ from the factorized "
+        "system; run setup() instead");
+  settings_ = settings;
+}
+
+void BatchSolver::ensure_workspace() {
+  const std::size_t n_elems = m_ * stride_;
+  const std::size_t c_elems = 2 * n_elems;
+  q_.assign(n_elems, 0.0);
+  x_.assign(n_elems, 0.0);
+  x_tilde_.assign(n_elems, 0.0);
+  rhs_.assign(n_elems, 0.0);
+  px_.assign(n_elems, 0.0);
+  aty_.assign(n_elems, 0.0);
+  scratch_.assign(n_elems, 0.0);
+  lower_.assign(c_elems, 0.0);
+  upper_.assign(c_elems, 0.0);
+  z_.assign(c_elems, 0.0);
+  z_next_.assign(c_elems, 0.0);
+  y_.assign(c_elems, 0.0);
+  rz_.assign(c_elems, 0.0);
+  ax_tilde_.assign(c_elems, 0.0);
+  ax_.assign(c_elems, 0.0);
+  prim_.assign(stride_, 0.0);
+  dual_.assign(stride_, 0.0);
+  eps_prim_.assign(stride_, 0.0);
+  eps_dual_.assign(stride_, 0.0);
+}
+
+void BatchSolver::lanes_apply_a(const double* src, double* dst) const {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  const std::size_t S = chunk_stride_;
+  std::memcpy(dst, src, m_ * S * sizeof(double));
+  for (std::size_t c = 0; c < S; c += kW) {
+    VecD running = VecD::zero();
+    for (std::size_t i = 0; i < m_; ++i) {
+      running = running + VecD::load(src + i * S + c);
+      running.store(dst + (m_ + i) * S + c);
+    }
+  }
+}
+
+void BatchSolver::lanes_apply_at(const double* src, double* dst) const {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  const std::size_t S = chunk_stride_;
+  for (std::size_t c = 0; c < S; c += kW) {
+    VecD suffix = VecD::zero();
+    for (std::size_t i = m_; i-- > 0;) {
+      suffix = suffix + VecD::load(src + (m_ + i) * S + c);
+      (VecD::load(src + i * S + c) + suffix)
+          .store(dst + i * S + c);
+    }
+  }
+}
+
+void BatchSolver::lanes_apply_p(const double* src, double* dst) const {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  const double md = static_cast<double>(m_);
+  const VecD vm = VecD::broadcast(md);
+  const VecD vscale = VecD::broadcast(2.0 / md);
+  const std::size_t S = chunk_stride_;
+  for (std::size_t c = 0; c < S; c += kW) {
+    VecD acc = VecD::zero();
+    for (std::size_t i = 0; i < m_; ++i)
+      acc = acc + VecD::load(src + i * S + c);
+    const VecD mean = acc / vm;
+    for (std::size_t i = 0; i < m_; ++i) {
+      (vscale * (VecD::load(src + i * S + c) - mean))
+          .store(dst + i * S + c);
+    }
+  }
+}
+
+void BatchSolver::lanes_residuals(const double* q_soa) {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  const VecD veps_abs = VecD::broadcast(settings_.eps_abs);
+  const VecD veps_rel = VecD::broadcast(settings_.eps_rel);
+  const std::size_t S = chunk_stride_;
+  for (std::size_t c = 0; c < S; c += kW) {
+    VecD prim = VecD::zero(), norm_ax = VecD::zero(), norm_z = VecD::zero();
+    for (std::size_t i = 0; i < 2 * m_; ++i) {
+      const VecD ax = VecD::load(ax_.data() + i * S + c);
+      const VecD z = VecD::load(z_.data() + i * S + c);
+      prim = simd::max_std(prim, VecD::abs(ax - z));
+      norm_ax = simd::max_std(norm_ax, VecD::abs(ax));
+      norm_z = simd::max_std(norm_z, VecD::abs(z));
+    }
+    VecD dual = VecD::zero(), norm_px = VecD::zero(), norm_q = VecD::zero(),
+         norm_aty = VecD::zero();
+    for (std::size_t i = 0; i < m_; ++i) {
+      const VecD px = VecD::load(px_.data() + i * S + c);
+      const VecD q = VecD::load(q_soa + i * S + c);
+      const VecD aty = VecD::load(aty_.data() + i * S + c);
+      dual = simd::max_std(dual, VecD::abs(px + q + aty));
+      norm_px = simd::max_std(norm_px, VecD::abs(px));
+      norm_q = simd::max_std(norm_q, VecD::abs(q));
+      norm_aty = simd::max_std(norm_aty, VecD::abs(aty));
+    }
+    prim.store(prim_.data() + c);
+    dual.store(dual_.data() + c);
+    (veps_abs + veps_rel * simd::max_std(norm_ax, norm_z))
+        .store(eps_prim_.data() + c);
+    (veps_abs +
+     veps_rel * simd::max_std(simd::max_std(norm_px, norm_q), norm_aty))
+        .store(eps_dual_.data() + c);
+  }
+}
+
+void BatchSolver::solve(std::span<const Lane> lanes,
+                        std::span<QpResult> results) {
+  if (!is_setup())
+    throw std::invalid_argument("BatchSolver::solve: setup() has not run");
+  if (lanes.size() != results.size())
+    throw std::invalid_argument(
+        "BatchSolver::solve: lanes/results size mismatch");
+  for (std::size_t off = 0; off < lanes.size(); off += kMaxLanes) {
+    const std::size_t count = std::min(kMaxLanes, lanes.size() - off);
+    solve_chunk(lanes.subspan(off, count), results.subspan(off, count));
+  }
+}
+
+void BatchSolver::solve_chunk(std::span<const Lane> lanes,
+                              std::span<QpResult> results) {
+  const std::size_t count = lanes.size();
+  chunk_stride_ = (count + simd::kWidth - 1) / simd::kWidth * simd::kWidth;
+  std::size_t S = chunk_stride_;
+  std::size_t n_elems = m_ * S;
+  std::size_t c_elems = 2 * n_elems;
+
+  BatchInstruments* inst = batch_instruments(obs::global_metrics());
+  obs::Span span(obs::global_tracer(), "qp-batch-solve");
+  span.field("lanes", count).field("variables", m_);
+  ++solve_count_;
+  lane_count_ += count;
+  if (inst != nullptr) {
+    inst->batched_solves->add(1);
+    inst->batched_lanes->add(count);
+    inst->solves->add(count);
+  }
+
+  for (const Lane& lane : lanes) {
+    if (lane.q.size() != m_ || lane.lower.size() != 2 * m_ ||
+        lane.upper.size() != 2 * m_)
+      throw std::invalid_argument("BatchSolver::solve: lane shape mismatch");
+  }
+
+  // Pack AoS lanes into the SoA workspace; padding lanes stay zero (their
+  // zero q and zero bounds pin every padding iterate at exactly 0.0).
+  std::fill_n(q_.data(), n_elems, 0.0);
+  std::fill_n(lower_.data(), c_elems, 0.0);
+  std::fill_n(upper_.data(), c_elems, 0.0);
+  for (std::size_t l = 0; l < count; ++l) {
+    for (std::size_t i = 0; i < m_; ++i) q_[i * S + l] = lanes[l].q[i];
+    for (std::size_t i = 0; i < 2 * m_; ++i) {
+      lower_[i * S + l] = lanes[l].lower[i];
+      upper_[i * S + l] = lanes[l].upper[i];
+    }
+  }
+
+  // Per-lane lifecycle state, indexed by *column* of the current chunk;
+  // orig[] maps a column back to its results slot (columns move when the
+  // chunk compacts, below). kMaxLanes is small enough for the stack.
+  QpStatus status[kMaxLanes];
+  std::size_t iters[kMaxLanes];
+  bool frozen[kMaxLanes];
+  std::size_t orig[kMaxLanes];
+  std::size_t cols = count;    // columns currently in the chunk
+  std::size_t active = count;  // columns still iterating
+  for (std::size_t l = 0; l < count; ++l) {
+    status[l] = QpStatus::kMaxIterations;
+    iters[l] = 0;
+    frozen[l] = false;
+    orig[l] = l;
+    for (std::size_t i = 0; i < 2 * m_; ++i) {
+      if (lanes[l].lower[i] > lanes[l].upper[i]) {
+        // Same early-out as the scalar solver: default (empty) result with
+        // the infeasible status, lane never enters the iteration.
+        status[l] = QpStatus::kInfeasible;
+        frozen[l] = true;
+        --active;
+        results[l] = QpResult{};
+        results[l].status = QpStatus::kInfeasible;
+        if (inst != nullptr) inst->infeasible->add(1);
+        break;
+      }
+    }
+  }
+  const std::size_t feasible = active;
+  if (inst != nullptr && feasible > 0)
+    inst->structured_solves->add(feasible);
+
+  // Cold start, exactly like the scalar path with warm starts off: x and y
+  // zero, z projected into the bounds.
+  std::fill(x_.begin(), x_.end(), 0.0);
+  std::fill(y_.begin(), y_.end(), 0.0);
+  simd::clamp_value(0.0, lower_.data(), upper_.data(), z_.data(), c_elems);
+
+  const double alpha = settings_.alpha;
+  const double rho = settings_.rho;
+  const std::size_t check_interval =
+      std::max<std::size_t>(settings_.check_interval, 1);
+
+  // Column gather of a finished lane: the snapshot the scalar solver would
+  // return from this exact iterate.
+  auto capture = [&](std::size_t c) {
+    QpResult& r = results[orig[c]];
+    r.status = status[c];
+    r.iterations = iters[c];
+    r.primal_residual = prim_[c];
+    r.dual_residual = dual_[c];
+    r.x.resize(m_);
+    r.z.resize(2 * m_);
+    for (std::size_t i = 0; i < m_; ++i) r.x[i] = x_[i * S + c];
+    for (std::size_t i = 0; i < 2 * m_; ++i) r.z[i] = z_[i * S + c];
+  };
+
+  // Left-pack the still-active columns into the narrowest stride that
+  // holds them, so the remaining iterations pay for live lanes only (the
+  // chunk would otherwise run every lane until its *slowest* lane
+  // converges). Pure column moves of per-lane state — no surviving lane's
+  // arithmetic sees a different value, so bit-identity is untouched.
+  // Derived arrays (rhs_, x_tilde_, ax_*, z_next_, rz_, px_, aty_) are
+  // rewritten before their next read and need no repacking.
+  std::size_t keep[kMaxLanes];
+  auto compact = [&]() {
+    const std::size_t ns =
+        std::max<std::size_t>((active + simd::kWidth - 1) / simd::kWidth,
+                              1) *
+        simd::kWidth;
+    if (ns >= S) return;
+    std::size_t j = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (frozen[c]) continue;
+      keep[j] = c;
+      orig[j] = orig[c];  // j <= c: safe in place, ascending
+      ++j;
+    }
+    // In place: within a row writes trail reads (k <= keep[k], ns < S),
+    // and row i's writes end before row i+1's reads begin.
+    auto pack = [&](double* a, std::size_t rows) {
+      for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t k = 0; k < active; ++k)
+          a[i * ns + k] = a[i * S + keep[k]];
+        for (std::size_t k = active; k < ns; ++k) a[i * ns + k] = 0.0;
+      }
+    };
+    pack(q_.data(), m_);       // problem data ...
+    pack(lower_.data(), 2 * m_);
+    pack(upper_.data(), 2 * m_);
+    pack(x_.data(), m_);       // ... and iterate state
+    pack(z_.data(), 2 * m_);
+    pack(y_.data(), 2 * m_);
+    for (std::size_t k = 0; k < active; ++k) {
+      status[k] = QpStatus::kMaxIterations;
+      iters[k] = 0;
+      frozen[k] = false;
+    }
+    cols = active;
+    S = ns;
+    chunk_stride_ = ns;
+    n_elems = m_ * S;
+    c_elems = 2 * n_elems;
+  };
+
+  std::size_t iter = 0;
+  for (; iter < settings_.max_iterations && active > 0; ++iter) {
+    // One ADMM step over every lane at once; see QpSolver::solve for the
+    // scalar original each line mirrors.
+    simd::scale_sub(rho, z_.data(), y_.data(), rz_.data(), c_elems);
+    lanes_apply_at(rz_.data(), rhs_.data());
+    simd::add_scaled_sub(settings_.sigma, x_.data(), q_.data(), rhs_.data(),
+                         n_elems);
+    structured_->solve_lanes_into(rhs_.data(), x_tilde_.data(),
+                                  scratch_.data(), S, S);
+    lanes_apply_a(x_tilde_.data(), ax_tilde_.data());
+    simd::axpby(alpha, x_tilde_.data(), 1.0 - alpha, x_.data(), x_.data(),
+                n_elems);
+    simd::relaxed_step_add_scaled(alpha, ax_tilde_.data(), 1.0 - alpha,
+                                  z_.data(), y_.data(), rho, z_next_.data(),
+                                  c_elems);
+    simd::clamp_spans(z_next_.data(), lower_.data(), upper_.data(), c_elems);
+    simd::dual_update(rho, alpha, ax_tilde_.data(), 1.0 - alpha, z_.data(),
+                      z_next_.data(), y_.data(), c_elems);
+    std::swap(z_, z_next_);
+
+    if ((iter + 1) % check_interval != 0) continue;
+
+    lanes_apply_a(x_.data(), ax_.data());
+    lanes_apply_p(x_.data(), px_.data());
+    lanes_apply_at(y_.data(), aty_.data());
+    lanes_residuals(q_.data());
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (frozen[c]) continue;
+      if (prim_[c] <= eps_prim_[c] && dual_[c] <= eps_dual_[c]) {
+        status[c] = QpStatus::kSolved;
+        iters[c] = iter + 1;
+        frozen[c] = true;
+        --active;
+        capture(c);
+      }
+    }
+    compact();
+  }
+
+  // Lanes that hit the iteration cap: recompute residuals from the final
+  // state (the scalar path's unconditional exit recompute) and snapshot.
+  if (active > 0) {
+    lanes_apply_a(x_.data(), ax_.data());
+    lanes_apply_p(x_.data(), px_.data());
+    lanes_apply_at(y_.data(), aty_.data());
+    lanes_residuals(q_.data());
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (frozen[c]) continue;
+      status[c] = QpStatus::kMaxIterations;
+      iters[c] = iter;
+      capture(c);
+      if (inst != nullptr) inst->not_converged->add(1);
+    }
+  }
+
+  // Per-lane finish, identical to the scalar epilogue: optional polish of
+  // the reported z, objective at x. Everything is in results[] by now, so
+  // this runs over the caller's slots, not chunk columns.
+  std::size_t converged = 0;
+  for (std::size_t l = 0; l < count; ++l) {
+    QpResult& r = results[l];
+    if (r.status == QpStatus::kInfeasible) continue;
+    if (r.status == QpStatus::kSolved) ++converged;
+    if (settings_.polish)
+      simd::clamp_spans(r.z.data(), lanes[l].lower.data(),
+                        lanes[l].upper.data(), 2 * m_);
+    r.objective = fs_ops::half_quadratic(r.x) + dot(lanes[l].q, r.x);
+    if (inst != nullptr) {
+      inst->iterations->add(r.iterations);
+      inst->iterations_hist->record(static_cast<double>(r.iterations));
+    }
+  }
+  span.field("converged", converged);
+}
+
+}  // namespace smoother::solver

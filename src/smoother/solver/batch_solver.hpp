@@ -1,0 +1,123 @@
+// BatchSolver: K same-(m, rho, sigma) structured FS solves in one pass.
+//
+// The fleet funnels thousands of same-horizon tenant intervals through the
+// structured scalar path one tenant at a time (solver_pool.hpp shares the
+// factorization, not the iteration work). BatchSolver shares both: one
+// StructuredKkt factorization and a structure-of-arrays ADMM loop whose
+// inner dimension is the *lane* (tenant), so every vector update, the
+// tridiagonal substitution sweeps and the residual reductions vectorize
+// across lanes with unit stride regardless of the horizon length m.
+//
+// Layout: lane-major SoA — element (i, lane) of an m-row quantity lives at
+// [i * stride + lane] with stride rounded up to the SIMD width and the
+// padding lanes zero-filled (zero bounds + zero q keep padding lanes at
+// exactly 0.0, so they can ride along in every kernel without diverging).
+//
+// Exactness contract (DESIGN.md §4k): every lane performs the scalar ADMM's
+// operation sequence exactly — elementwise kernels are shared with
+// qp_solver.cpp, reductions run sequentially over i with one vector of
+// per-lane accumulators, projection uses std::clamp semantics, and there is
+// no cross-lane arithmetic anywhere. On tiers whose single-stream scan
+// kernels do not reassociate (scalar/sse2/neon — see simd::kReassociates) a
+// lane's result is bit-identical to a cold QpSolver::solve of the same
+// problem, including the iteration count, residuals and statuses; on the
+// avx2 tier the single-stream path reassociates its scans, so agreement is
+// within solver tolerance instead.
+//
+// Lanes converge independently: each lane's result is snapshotted at the
+// residual-check cadence where it converges (the same iterate the scalar
+// solver would return) and the remaining lanes keep iterating. Finished
+// lanes are then compacted out — the active columns are left-packed into
+// the narrowest stride that holds them (pure column moves, bit patterns
+// untouched), so total work tracks the per-lane iteration sum instead of
+// lanes x slowest-lane.
+//
+// Like QpSolver, a BatchSolver is single-threaded mutable state; the fleet
+// gives each shard its own (via that shard's SolverPool). Steady-state
+// solves are allocation-free once the workspace has grown to the chunk
+// size, and solve() processes at most kMaxLanes lanes per chunk.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "smoother/solver/qp.hpp"
+#include "smoother/solver/simd.hpp"
+#include "smoother/solver/structured_kkt.hpp"
+
+namespace smoother::solver {
+
+class BatchSolver {
+ public:
+  /// Upper bound on lanes per SoA chunk; solve() splits larger batches.
+  /// Keeps the workspace cache-resident at fleet horizons (23 SoA rows of
+  /// 64 lanes at m = 1440 is ~17 MB) without limiting batch sizes.
+  static constexpr std::size_t kMaxLanes = 64;
+
+  /// One lane's problem data: views into caller storage, shapes as in the
+  /// structured QpProblem (q has m entries, bounds have 2m).
+  struct Lane {
+    std::span<const double> q;
+    std::span<const double> lower;
+    std::span<const double> upper;
+  };
+
+  /// Factorizes the shared structured KKT system for horizon m under
+  /// `settings` (rho/sigma are baked into the factor, the rest are adopted
+  /// as the per-solve knobs). kNumericalError when the factorization fails.
+  QpStatus setup(std::size_t m, const QpSettings& settings);
+
+  /// Adopts non-structural settings (eps, alpha, iteration caps, polish)
+  /// without refactorizing. Throws std::invalid_argument if rho or sigma
+  /// differ from the factorized ones — that needs a new setup().
+  void adopt_settings(const QpSettings& settings);
+
+  /// Solves lanes[l] for every l; results[l] receives what a cold
+  /// QpSolver::solve of that lane would produce (see the file comment for
+  /// the exactness contract). results.size() must equal lanes.size();
+  /// std::invalid_argument on shape mismatches. Requires setup().
+  void solve(std::span<const Lane> lanes, std::span<QpResult> results);
+
+  [[nodiscard]] bool is_setup() const { return structured_.has_value(); }
+  [[nodiscard]] std::size_t dimension() const { return m_; }
+  [[nodiscard]] const QpSettings& settings() const { return settings_; }
+
+  /// Lifetime counters (mirrored into obs as solver.qp.batched_*).
+  [[nodiscard]] std::size_t setup_count() const { return setup_count_; }
+  [[nodiscard]] std::size_t solve_count() const { return solve_count_; }
+  [[nodiscard]] std::size_t lane_count() const { return lane_count_; }
+
+ private:
+  void ensure_workspace();
+  void solve_chunk(std::span<const Lane> lanes, std::span<QpResult> results);
+
+  // Lane-batched fs_ops: sequential in i, vectorized across lanes.
+  void lanes_apply_a(const double* src, double* dst) const;
+  void lanes_apply_at(const double* src, double* dst) const;
+  void lanes_apply_p(const double* src, double* dst) const;
+  void lanes_residuals(const double* q_soa);
+
+  std::size_t m_ = 0;
+  std::size_t stride_ = 0;  ///< workspace capacity: kMaxLanes rounded up
+  /// Row stride of the chunk being solved: the lane count rounded up to
+  /// the SIMD width. Work (elementwise sweeps, tridiagonal lanes, residual
+  /// columns) scales with the occupied lanes, not the 64-lane capacity —
+  /// a 1-lane batch costs ~kWidth lanes, not kMaxLanes.
+  std::size_t chunk_stride_ = 0;
+  QpSettings settings_;
+  std::optional<StructuredKkt> structured_;
+
+  // SoA workspace, 64-byte aligned. m rows x stride_ lanes...
+  simd::AlignedVector q_, x_, x_tilde_, rhs_, px_, aty_, scratch_;
+  // ... and 2m rows x stride_ lanes.
+  simd::AlignedVector lower_, upper_, z_, z_next_, y_, rz_, ax_tilde_, ax_;
+  // Per-lane residual state, written by lanes_residuals.
+  std::vector<double> prim_, dual_, eps_prim_, eps_dual_;
+
+  std::size_t setup_count_ = 0;
+  std::size_t solve_count_ = 0;
+  std::size_t lane_count_ = 0;
+};
+
+}  // namespace smoother::solver

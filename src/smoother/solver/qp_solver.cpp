@@ -8,6 +8,7 @@
 #include "smoother/obs/metrics.hpp"
 #include "smoother/obs/profile.hpp"
 #include "smoother/obs/trace.hpp"
+#include "smoother/solver/simd.hpp"
 
 namespace smoother::solver {
 
@@ -235,16 +236,16 @@ QpResult QpSolver::solve() {
     x = warm_x_;
     y = warm_y_;
     z = warm_z_;
-    for (std::size_t i = 0; i < m; ++i)
-      z[i] = std::clamp(z[i], problem_.lower[i], problem_.upper[i]);
+    simd::clamp_spans(z.data(), problem_.lower.data(), problem_.upper.data(),
+                      m);
     ++warm_start_count_;
     if (inst != nullptr) inst->warm_starts->add(1);
   } else {
     // Cold start: z inside the bounds so the first iterations are sensible.
     std::fill(x.begin(), x.end(), 0.0);
     std::fill(y.begin(), y.end(), 0.0);
-    for (std::size_t i = 0; i < m; ++i)
-      z[i] = std::clamp(0.0, problem_.lower[i], problem_.upper[i]);
+    simd::clamp_value(0.0, problem_.lower.data(), problem_.upper.data(),
+                      z.data(), m);
   }
   span.field("warm", warm ? 1 : 0).field("structured", structured ? 1 : 0);
 
@@ -256,8 +257,8 @@ QpResult QpSolver::solve() {
       std::max<std::size_t>(settings_.check_interval, 1);
 
   auto clamp_bounds = [&](Vector& v) {
-    for (std::size_t i = 0; i < m; ++i)
-      v[i] = std::clamp(v[i], problem_.lower[i], problem_.upper[i]);
+    simd::clamp_spans(v.data(), problem_.lower.data(), problem_.upper.data(),
+                      m);
   };
   // The path-dependent kernels: dense matvecs vs the implicit O(n) FS
   // operators. Both write fully into preallocated outputs.
@@ -290,11 +291,11 @@ QpResult QpSolver::solve() {
   for (; iter < settings_.max_iterations; ++iter) {
     // rhs = sigma x - q + Aᵀ (rho z - y)
     Vector& rz = ws_.rz;
-    for (std::size_t i = 0; i < m; ++i) rz[i] = rho * z[i] - y[i];
+    simd::scale_sub(rho, z.data(), y.data(), rz.data(), m);
     Vector& rhs = ws_.rhs;
     apply_at(rz, rhs);
-    for (std::size_t i = 0; i < n; ++i)
-      rhs[i] += settings_.sigma * x[i] - problem_.q[i];
+    simd::add_scaled_sub(settings_.sigma, x.data(), problem_.q.data(),
+                         rhs.data(), n);
 
     Vector& x_tilde = ws_.x_tilde;
     kkt_solve(rhs, x_tilde);
@@ -302,16 +303,15 @@ QpResult QpSolver::solve() {
     apply_a(x_tilde, ax_tilde);
 
     // Over-relaxed updates.
-    for (std::size_t i = 0; i < n; ++i)
-      x[i] = alpha * x_tilde[i] + (1.0 - alpha) * x[i];
+    simd::axpby(alpha, x_tilde.data(), 1.0 - alpha, x.data(), x.data(), n);
 
     Vector& z_next = ws_.z_next;
-    for (std::size_t i = 0; i < m; ++i)
-      z_next[i] = alpha * ax_tilde[i] + (1.0 - alpha) * z[i] + y[i] / rho;
+    simd::relaxed_step_add_scaled(alpha, ax_tilde.data(), 1.0 - alpha,
+                                  z.data(), y.data(), rho, z_next.data(), m);
     clamp_bounds(z_next);
 
-    for (std::size_t i = 0; i < m; ++i)
-      y[i] += rho * (alpha * ax_tilde[i] + (1.0 - alpha) * z[i] - z_next[i]);
+    simd::dual_update(rho, alpha, ax_tilde.data(), 1.0 - alpha, z.data(),
+                      z_next.data(), y.data(), m);
     std::swap(z, z_next);
 
     if ((iter + 1) % check_interval != 0) continue;
@@ -320,21 +320,20 @@ QpResult QpSolver::solve() {
     apply_a(x, ws_.ax);
     apply_p(x, ws_.px);
     apply_at(y, ws_.aty);
-    double prim = 0.0;
-    for (std::size_t i = 0; i < m; ++i)
-      prim = std::max(prim, std::abs(ws_.ax[i] - z[i]));
-    double dual = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      dual = std::max(dual, std::abs(ws_.px[i] + problem_.q[i] + ws_.aty[i]));
+    const double prim = simd::max_abs_diff(ws_.ax.data(), z.data(), m);
+    const double dual = simd::max_abs_sum3(ws_.px.data(), problem_.q.data(),
+                                           ws_.aty.data(), n);
 
     const double eps_prim =
         settings_.eps_abs +
-        settings_.eps_rel * std::max(norm_inf(ws_.ax), norm_inf(z));
+        settings_.eps_rel * std::max(simd::max_abs(ws_.ax.data(), m),
+                                     simd::max_abs(z.data(), m));
     const double eps_dual =
         settings_.eps_abs +
-        settings_.eps_rel * std::max({norm_inf(ws_.px),
-                                      norm_inf(problem_.q),
-                                      norm_inf(ws_.aty)});
+        settings_.eps_rel *
+            std::max({simd::max_abs(ws_.px.data(), n),
+                      simd::max_abs(problem_.q.data(), n),
+                      simd::max_abs(ws_.aty.data(), n)});
     if (prim <= eps_prim && dual <= eps_dual) {
       ++iter;
       result.status = QpStatus::kSolved;
@@ -352,14 +351,9 @@ QpResult QpSolver::solve() {
     apply_a(x, ws_.ax);
     apply_p(x, ws_.px);
     apply_at(y, ws_.aty);
-    double prim = 0.0;
-    for (std::size_t i = 0; i < m; ++i)
-      prim = std::max(prim, std::abs(ws_.ax[i] - z[i]));
-    double dual = 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-      dual = std::max(dual, std::abs(ws_.px[i] + problem_.q[i] + ws_.aty[i]));
-    result.primal_residual = prim;
-    result.dual_residual = dual;
+    result.primal_residual = simd::max_abs_diff(ws_.ax.data(), z.data(), m);
+    result.dual_residual = simd::max_abs_sum3(
+        ws_.px.data(), problem_.q.data(), ws_.aty.data(), n);
   }
 
   // Stash the iterates (pre-polish z: the ADMM state, not the report) so

@@ -1,0 +1,151 @@
+#include "smoother/solver/simd.hpp"
+
+// scalar_ref lives out of line so the no-auto-vectorize attribute sticks:
+// inlined copies would be re-vectorized by the caller's optimization flags
+// and the micro-bench baseline would silently measure SIMD vs SIMD.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define SMOOTHER_NO_AUTOVEC \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define SMOOTHER_NO_AUTOVEC
+#endif
+
+namespace smoother::solver::simd {
+
+const char* tier_name() noexcept {
+  switch (kTier) {
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kSse2:
+      return "sse2";
+    case Tier::kNeon:
+      return "neon";
+    case Tier::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+namespace scalar_ref {
+
+SMOOTHER_NO_AUTOVEC
+void axpby(double a, const double* x, double b, const double* y, double* out,
+           std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a * x[i] + b * y[i];
+}
+
+SMOOTHER_NO_AUTOVEC
+void add_scaled_sub(double a, const double* x, const double* y, double* out,
+                    std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] += a * x[i] - y[i];
+}
+
+SMOOTHER_NO_AUTOVEC
+void relaxed_step_add_scaled(double a, const double* u, double b,
+                             const double* v, const double* y, double rho,
+                             double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = a * u[i] + b * v[i] + y[i] / rho;
+  }
+}
+
+SMOOTHER_NO_AUTOVEC
+void dual_update(double rho, double a, const double* u, double b,
+                 const double* v, const double* w, double* y,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += rho * (a * u[i] + b * v[i] - w[i]);
+  }
+}
+
+SMOOTHER_NO_AUTOVEC
+void scale_sub(double a, const double* x, const double* y, double* out,
+               std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = a * x[i] - y[i];
+}
+
+SMOOTHER_NO_AUTOVEC
+void clamp_spans(double* x, const double* lo, const double* hi,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    x[i] = (v < lo[i]) ? lo[i] : (hi[i] < v) ? hi[i] : v;
+  }
+}
+
+SMOOTHER_NO_AUTOVEC
+void clamp_value(double value, const double* lo, const double* hi,
+                 double* out, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (value < lo[i]) ? lo[i] : (hi[i] < value) ? hi[i] : value;
+  }
+}
+
+SMOOTHER_NO_AUTOVEC
+double max_abs(const double* x, std::size_t n) noexcept {
+  double out = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = std::abs(x[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+SMOOTHER_NO_AUTOVEC
+double max_abs_diff(const double* a, const double* b, std::size_t n) noexcept {
+  double out = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = std::abs(a[i] - b[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+SMOOTHER_NO_AUTOVEC
+double max_abs_sum3(const double* a, const double* b, const double* c,
+                    std::size_t n) noexcept {
+  double out = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = std::abs(a[i] + b[i] + c[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+SMOOTHER_NO_AUTOVEC
+double prefix_sum_into(const double* x, double* out, std::size_t n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += x[i];
+    out[i] = total;
+  }
+  return total;
+}
+
+SMOOTHER_NO_AUTOVEC
+void suffix_sum_add(const double* head, const double* tail, double* out,
+                    std::size_t n) noexcept {
+  double suffix = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    suffix += tail[i];
+    out[i] = head[i] + suffix;
+  }
+}
+
+SMOOTHER_NO_AUTOVEC
+double sum(const double* x, std::size_t n) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+SMOOTHER_NO_AUTOVEC
+void scale_center(double scale, const double* x, double mean, double* out,
+                  std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = scale * (x[i] - mean);
+}
+
+}  // namespace scalar_ref
+
+}  // namespace smoother::solver::simd

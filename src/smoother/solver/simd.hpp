@@ -1,0 +1,614 @@
+#pragma once
+
+// Portable SIMD primitives for the solver hot loops (fs_ops scans, the ADMM
+// vector updates, and the lane dimension of BatchSolver).
+//
+// Dispatch is compile-time only: one tier is selected per build and baked
+// into every translation unit, so there is exactly one arithmetic story per
+// binary and differential tests compare builds, not runtime branches.
+//
+//   tier     width  selected when
+//   -------  -----  -------------------------------------------------------
+//   avx2     4      __AVX2__ (e.g. SMOOTHER_NATIVE=ON on an AVX2 host)
+//   sse2     2      __SSE2__ / x86-64 baseline
+//   neon     2      __ARM_NEON on aarch64
+//   scalar   1      everything else, or SMOOTHER_SIMD=scalar
+//
+// A build can force a tier with SMOOTHER_SIMD=avx2|sse2|neon|scalar (CMake
+// option, surfaced here as SMOOTHER_SIMD_FORCE_*). Forcing a tier the
+// compiler cannot target is a hard error, not a silent fallback.
+//
+// Bit-exactness contract (see DESIGN.md §4k):
+//  * Elementwise kernels (axpby and friends, clamp, abs) and the max
+//    reductions are bit-exact with the reference scalar loops on EVERY
+//    tier: they perform the same IEEE operations per element, clamp is
+//    implemented with compare+select replicating std::clamp (including the
+//    sign of +-0.0, which minpd/maxpd would flip), and max uses
+//    std::max's (a < b) ? b : a semantics (NaN-dropping) via
+//    compare+select, never native min/max.
+//  * Scans and sums (prefix_sum_into, suffix_sum_add, sum) REASSOCIATE on
+//    tiers with width >= 4 (avx2) and are then only tolerance-equal to the
+//    sequential reference. On width <= 2 tiers they fall back to the
+//    sequential loop, so the default (sse2) build stays byte-identical to
+//    the pre-SIMD scalar code. kReassociates exposes this to tests.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#if defined(SMOOTHER_SIMD_FORCE_SCALAR)
+#define SMOOTHER_SIMD_TIER_SCALAR 1
+#elif defined(SMOOTHER_SIMD_FORCE_AVX2)
+#if !defined(__AVX2__)
+#error "SMOOTHER_SIMD=avx2 requires an AVX2 target (-mavx2 or SMOOTHER_NATIVE=ON)"
+#endif
+#define SMOOTHER_SIMD_TIER_AVX2 1
+#elif defined(SMOOTHER_SIMD_FORCE_SSE2)
+#if !defined(__SSE2__) && !defined(__x86_64__) && !defined(_M_X64)
+#error "SMOOTHER_SIMD=sse2 requires an x86 SSE2 target"
+#endif
+#define SMOOTHER_SIMD_TIER_SSE2 1
+#elif defined(SMOOTHER_SIMD_FORCE_NEON)
+#if !defined(__ARM_NEON) && !defined(__ARM_NEON__)
+#error "SMOOTHER_SIMD=neon requires an ARM NEON target"
+#endif
+#define SMOOTHER_SIMD_TIER_NEON 1
+#elif defined(__AVX2__)
+#define SMOOTHER_SIMD_TIER_AVX2 1
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define SMOOTHER_SIMD_TIER_SSE2 1
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+#define SMOOTHER_SIMD_TIER_NEON 1
+#else
+#define SMOOTHER_SIMD_TIER_SCALAR 1
+#endif
+
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+#include <immintrin.h>
+#elif defined(SMOOTHER_SIMD_TIER_SSE2)
+#include <emmintrin.h>
+#elif defined(SMOOTHER_SIMD_TIER_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace smoother::solver::simd {
+
+enum class Tier { kScalar, kSse2, kNeon, kAvx2 };
+
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+inline constexpr Tier kTier = Tier::kAvx2;
+inline constexpr std::size_t kWidth = 4;
+#elif defined(SMOOTHER_SIMD_TIER_SSE2)
+inline constexpr Tier kTier = Tier::kSse2;
+inline constexpr std::size_t kWidth = 2;
+#elif defined(SMOOTHER_SIMD_TIER_NEON)
+inline constexpr Tier kTier = Tier::kNeon;
+inline constexpr std::size_t kWidth = 2;
+#else
+inline constexpr Tier kTier = Tier::kScalar;
+inline constexpr std::size_t kWidth = 1;
+#endif
+
+// True when the scan/sum kernels reassociate floating-point addition and
+// are therefore only tolerance-equal (not bit-equal) to the sequential
+// reference. Tests use this to pick bitwise vs tolerance comparison.
+inline constexpr bool kReassociates = kWidth >= 4;
+
+// "avx2" | "sse2" | "neon" | "scalar" — recorded in BENCH_kernels.json so
+// tools/bench_regress.py never compares runs across tiers.
+const char* tier_name() noexcept;
+
+// ---------------------------------------------------------------------------
+// Aligned storage. 64-byte alignment covers AVX-512-width loads and keeps
+// every lane-major SoA row on its own cache line boundary.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::size_t kAlignment = 64;
+
+template <class T, std::size_t Align = kAlignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+// ---------------------------------------------------------------------------
+// VecD: one register of kWidth doubles. All kernels below are written once
+// against this type; the scalar tier instantiates it as a plain double, so
+// the "vector" code path is the reference semantics by construction.
+// ---------------------------------------------------------------------------
+
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+
+struct VecD {
+  __m256d v;
+
+  static VecD load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+  static VecD broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static VecD zero() noexcept { return {_mm256_setzero_pd()}; }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) noexcept {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend VecD operator-(VecD a, VecD b) noexcept {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend VecD operator*(VecD a, VecD b) noexcept {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  friend VecD operator/(VecD a, VecD b) noexcept {
+    return {_mm256_div_pd(a.v, b.v)};
+  }
+
+  // (a < b) ? t : f per lane; NaN compares false, selecting f — exactly the
+  // branch std::clamp / std::max take on unordered operands.
+  static VecD select_lt(VecD a, VecD b, VecD t, VecD f) noexcept {
+    const __m256d mask = _mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ);
+    return {_mm256_blendv_pd(f.v, t.v, mask)};
+  }
+  static VecD abs(VecD a) noexcept {
+    return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+  }
+  double lane(std::size_t i) const noexcept {
+    alignas(32) double out[4];
+    _mm256_store_pd(out, v);
+    return out[i];
+  }
+};
+
+#elif defined(SMOOTHER_SIMD_TIER_SSE2)
+
+struct VecD {
+  __m128d v;
+
+  static VecD load(const double* p) noexcept { return {_mm_loadu_pd(p)}; }
+  static VecD broadcast(double x) noexcept { return {_mm_set1_pd(x)}; }
+  static VecD zero() noexcept { return {_mm_setzero_pd()}; }
+  void store(double* p) const noexcept { _mm_storeu_pd(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) noexcept {
+    return {_mm_add_pd(a.v, b.v)};
+  }
+  friend VecD operator-(VecD a, VecD b) noexcept {
+    return {_mm_sub_pd(a.v, b.v)};
+  }
+  friend VecD operator*(VecD a, VecD b) noexcept {
+    return {_mm_mul_pd(a.v, b.v)};
+  }
+  friend VecD operator/(VecD a, VecD b) noexcept {
+    return {_mm_div_pd(a.v, b.v)};
+  }
+
+  static VecD select_lt(VecD a, VecD b, VecD t, VecD f) noexcept {
+    // SSE2 has no blendv: mask-select with and/andnot/or.
+    const __m128d mask = _mm_cmplt_pd(a.v, b.v);
+    return {_mm_or_pd(_mm_and_pd(mask, t.v), _mm_andnot_pd(mask, f.v))};
+  }
+  static VecD abs(VecD a) noexcept {
+    return {_mm_andnot_pd(_mm_set1_pd(-0.0), a.v)};
+  }
+  double lane(std::size_t i) const noexcept {
+    alignas(16) double out[2];
+    _mm_store_pd(out, v);
+    return out[i];
+  }
+};
+
+#elif defined(SMOOTHER_SIMD_TIER_NEON)
+
+struct VecD {
+  float64x2_t v;
+
+  static VecD load(const double* p) noexcept { return {vld1q_f64(p)}; }
+  static VecD broadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+  static VecD zero() noexcept { return {vdupq_n_f64(0.0)}; }
+  void store(double* p) const noexcept { vst1q_f64(p, v); }
+
+  friend VecD operator+(VecD a, VecD b) noexcept {
+    return {vaddq_f64(a.v, b.v)};
+  }
+  friend VecD operator-(VecD a, VecD b) noexcept {
+    return {vsubq_f64(a.v, b.v)};
+  }
+  friend VecD operator*(VecD a, VecD b) noexcept {
+    return {vmulq_f64(a.v, b.v)};
+  }
+  friend VecD operator/(VecD a, VecD b) noexcept {
+    return {vdivq_f64(a.v, b.v)};
+  }
+
+  static VecD select_lt(VecD a, VecD b, VecD t, VecD f) noexcept {
+    const uint64x2_t mask = vcltq_f64(a.v, b.v);
+    return {vbslq_f64(mask, t.v, f.v)};
+  }
+  static VecD abs(VecD a) noexcept { return {vabsq_f64(a.v)}; }
+  double lane(std::size_t i) const noexcept {
+    double out[2];
+    vst1q_f64(out, v);
+    return out[i];
+  }
+};
+
+#else  // scalar tier
+
+struct VecD {
+  double v;
+
+  static VecD load(const double* p) noexcept { return {*p}; }
+  static VecD broadcast(double x) noexcept { return {x}; }
+  static VecD zero() noexcept { return {0.0}; }
+  void store(double* p) const noexcept { *p = v; }
+
+  friend VecD operator+(VecD a, VecD b) noexcept { return {a.v + b.v}; }
+  friend VecD operator-(VecD a, VecD b) noexcept { return {a.v - b.v}; }
+  friend VecD operator*(VecD a, VecD b) noexcept { return {a.v * b.v}; }
+  friend VecD operator/(VecD a, VecD b) noexcept { return {a.v / b.v}; }
+
+  static VecD select_lt(VecD a, VecD b, VecD t, VecD f) noexcept {
+    return {(a.v < b.v) ? t.v : f.v};
+  }
+  static VecD abs(VecD a) noexcept { return {std::abs(a.v)}; }
+  double lane(std::size_t) const noexcept { return v; }
+};
+
+#endif
+
+// std::max semantics per lane: (acc < x) ? x : acc. Never native max —
+// minpd/maxpd pick the second operand on equal/unordered lanes, which
+// diverges from std::max on -0.0 and NaN.
+inline VecD max_std(VecD acc, VecD x) noexcept {
+  return VecD::select_lt(acc, x, x, acc);
+}
+
+// std::clamp semantics per lane: hi wins over lo like std::clamp's
+// (v < lo) ? lo : (hi < v) ? hi : v, preserving the sign of zero bounds.
+inline VecD clamp_std(VecD x, VecD lo, VecD hi) noexcept {
+  return VecD::select_lt(x, lo, lo, VecD::select_lt(hi, x, hi, x));
+}
+
+// Horizontal std::max over the lanes of acc, folded sequentially from lane
+// 0 — order-invariant for the post-abs (sign-free) values it is used on.
+inline double hmax_std(VecD acc) noexcept {
+  double out = acc.lane(0);
+  for (std::size_t l = 1; l < kWidth; ++l) {
+    const double x = acc.lane(l);
+    out = (out < x) ? x : out;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels — bit-exact with the scalar reference on every tier.
+// No aliasing between out and inputs unless stated; n is the element count.
+// ---------------------------------------------------------------------------
+
+// out[i] = a*x[i] + b*y[i]
+inline void axpby(double a, const double* x, double b, const double* y,
+                  double* out, std::size_t n) noexcept {
+  const VecD va = VecD::broadcast(a);
+  const VecD vb = VecD::broadcast(b);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (va * VecD::load(x + i) + vb * VecD::load(y + i)).store(out + i);
+  }
+  for (; i < n; ++i) out[i] = a * x[i] + b * y[i];
+}
+
+// out[i] += a*x[i] - y[i]        (ADMM rhs: rhs += sigma*x - q)
+inline void add_scaled_sub(double a, const double* x, const double* y,
+                           double* out, std::size_t n) noexcept {
+  const VecD va = VecD::broadcast(a);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (VecD::load(out + i) + (va * VecD::load(x + i) - VecD::load(y + i)))
+        .store(out + i);
+  }
+  for (; i < n; ++i) out[i] += a * x[i] - y[i];
+}
+
+// out[i] = a*u[i] + b*v[i] + y[i]/rho   (ADMM z_next before projection)
+inline void relaxed_step_add_scaled(double a, const double* u, double b,
+                                    const double* v, const double* y,
+                                    double rho, double* out,
+                                    std::size_t n) noexcept {
+  const VecD va = VecD::broadcast(a);
+  const VecD vb = VecD::broadcast(b);
+  const VecD vrho = VecD::broadcast(rho);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (va * VecD::load(u + i) + vb * VecD::load(v + i) +
+     VecD::load(y + i) / vrho)
+        .store(out + i);
+  }
+  for (; i < n; ++i) out[i] = a * u[i] + b * v[i] + y[i] / rho;
+}
+
+// y[i] += rho*(a*u[i] + b*v[i] - w[i])  (ADMM dual update)
+inline void dual_update(double rho, double a, const double* u, double b,
+                        const double* v, const double* w, double* y,
+                        std::size_t n) noexcept {
+  const VecD vrho = VecD::broadcast(rho);
+  const VecD va = VecD::broadcast(a);
+  const VecD vb = VecD::broadcast(b);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (VecD::load(y + i) +
+     vrho * (va * VecD::load(u + i) + vb * VecD::load(v + i) -
+             VecD::load(w + i)))
+        .store(y + i);
+  }
+  for (; i < n; ++i) y[i] += rho * (a * u[i] + b * v[i] - w[i]);
+}
+
+// out[i] = a*x[i] - y[i]          (ADMM rz = rho*z - y)
+inline void scale_sub(double a, const double* x, const double* y, double* out,
+                      std::size_t n) noexcept {
+  const VecD va = VecD::broadcast(a);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (va * VecD::load(x + i) - VecD::load(y + i)).store(out + i);
+  }
+  for (; i < n; ++i) out[i] = a * x[i] - y[i];
+}
+
+// x[i] = clamp(x[i], lo[i], hi[i]) with std::clamp semantics (in place).
+inline void clamp_spans(double* x, const double* lo, const double* hi,
+                        std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    clamp_std(VecD::load(x + i), VecD::load(lo + i), VecD::load(hi + i))
+        .store(x + i);
+  }
+  for (; i < n; ++i) {
+    const double v = x[i];
+    x[i] = (v < lo[i]) ? lo[i] : (hi[i] < v) ? hi[i] : v;
+  }
+}
+
+// out[i] = clamp(value, lo[i], hi[i])  (cold-start z init with value = 0).
+inline void clamp_value(double value, const double* lo, const double* hi,
+                        double* out, std::size_t n) noexcept {
+  const VecD vv = VecD::broadcast(value);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    clamp_std(vv, VecD::load(lo + i), VecD::load(hi + i)).store(out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = (value < lo[i]) ? lo[i] : (hi[i] < value) ? hi[i] : value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Max reductions — bit-exact with the sequential std::max/std::abs loops on
+// every tier (max over sign-free magnitudes is order-invariant, and the
+// per-lane combine keeps std::max's NaN-dropping branch).
+// ---------------------------------------------------------------------------
+
+// max_i |x[i]|
+inline double max_abs(const double* x, std::size_t n) noexcept {
+  VecD acc = VecD::zero();
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    acc = max_std(acc, VecD::abs(VecD::load(x + i)));
+  }
+  double out = hmax_std(acc);
+  for (; i < n; ++i) {
+    const double v = std::abs(x[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+// max_i |a[i] - b[i]|
+inline double max_abs_diff(const double* a, const double* b,
+                           std::size_t n) noexcept {
+  VecD acc = VecD::zero();
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    acc = max_std(acc, VecD::abs(VecD::load(a + i) - VecD::load(b + i)));
+  }
+  double out = hmax_std(acc);
+  for (; i < n; ++i) {
+    const double v = std::abs(a[i] - b[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+// max_i |a[i] + b[i] + c[i]|  (dual residual: |Px + q + A^T y|)
+inline double max_abs_sum3(const double* a, const double* b, const double* c,
+                           std::size_t n) noexcept {
+  VecD acc = VecD::zero();
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    acc = max_std(acc, VecD::abs(VecD::load(a + i) + VecD::load(b + i) +
+                                 VecD::load(c + i)));
+  }
+  double out = hmax_std(acc);
+  for (; i < n; ++i) {
+    const double v = std::abs(a[i] + b[i] + c[i]);
+    out = (out < v) ? v : out;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scans and sums — reassociate only when kWidth >= 4 (see kReassociates);
+// sequential (bit-exact) on narrower tiers, where in-register scans do not
+// pay for their shuffle overhead.
+// ---------------------------------------------------------------------------
+
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+namespace detail {
+// [a b c d] -> [a, a+b, a+b+c, a+b+c+d]
+inline __m256d scan4_inclusive(__m256d x) noexcept {
+  __m256d t = _mm256_permute4x64_pd(x, _MM_SHUFFLE(2, 1, 0, 3));
+  t = _mm256_blend_pd(t, _mm256_setzero_pd(), 0x1);
+  x = _mm256_add_pd(x, t);
+  t = _mm256_permute4x64_pd(x, _MM_SHUFFLE(1, 0, 3, 2));
+  t = _mm256_blend_pd(t, _mm256_setzero_pd(), 0x3);
+  return _mm256_add_pd(x, t);
+}
+}  // namespace detail
+#endif
+
+// out[i] = x[0] + ... + x[i] (inclusive prefix sum); returns the total.
+inline double prefix_sum_into(const double* x, double* out,
+                              std::size_t n) noexcept {
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+  __m256d running = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d scan = detail::scan4_inclusive(_mm256_loadu_pd(x + i));
+    const __m256d res = _mm256_add_pd(scan, running);
+    _mm256_storeu_pd(out + i, res);
+    running = _mm256_permute4x64_pd(res, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  double total = _mm256_cvtsd_f64(running);
+  for (; i < n; ++i) {
+    total += x[i];
+    out[i] = total;
+  }
+  return total;
+#else
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += x[i];
+    out[i] = total;
+  }
+  return total;
+#endif
+}
+
+// out[i] = head[i] + (tail[i] + tail[i+1] + ... + tail[n-1]) — the fs_ops
+// apply_at shape: add the inclusive suffix sum of tail onto head.
+inline void suffix_sum_add(const double* head, const double* tail, double* out,
+                           std::size_t n) noexcept {
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+  __m256d running = _mm256_setzero_pd();
+  std::size_t i = n;
+  while (i >= 4) {
+    i -= 4;
+    // Reverse the block so the inclusive prefix scan computes suffix sums.
+    const __m256d rev = _mm256_permute4x64_pd(_mm256_loadu_pd(tail + i),
+                                              _MM_SHUFFLE(0, 1, 2, 3));
+    const __m256d scan = _mm256_add_pd(detail::scan4_inclusive(rev), running);
+    running = _mm256_permute4x64_pd(scan, _MM_SHUFFLE(3, 3, 3, 3));
+    const __m256d suffix =
+        _mm256_permute4x64_pd(scan, _MM_SHUFFLE(0, 1, 2, 3));
+    _mm256_storeu_pd(out + i,
+                     _mm256_add_pd(_mm256_loadu_pd(head + i), suffix));
+  }
+  double suffix = _mm256_cvtsd_f64(running);
+  while (i-- > 0) {
+    suffix += tail[i];
+    out[i] = head[i] + suffix;
+  }
+#else
+  double suffix = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    suffix += tail[i];
+    out[i] = head[i] + suffix;
+  }
+#endif
+}
+
+// sum_i x[i]
+inline double sum(const double* x, std::size_t n) noexcept {
+#if defined(SMOOTHER_SIMD_TIER_AVX2)
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double total =
+      _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) total += x[i];
+  return total;
+#else
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += x[i];
+  return total;
+#endif
+}
+
+// out[i] = scale * (x[i] - mean)   (fs_ops centering pass)
+inline void scale_center(double scale, const double* x, double mean,
+                         double* out, std::size_t n) noexcept {
+  const VecD vs = VecD::broadcast(scale);
+  const VecD vm = VecD::broadcast(mean);
+  std::size_t i = 0;
+  for (; i + kWidth <= n; i += kWidth) {
+    (vs * (VecD::load(x + i) - vm)).store(out + i);
+  }
+  for (; i < n; ++i) out[i] = scale * (x[i] - mean);
+}
+
+// ---------------------------------------------------------------------------
+// scalar_ref: the reference loops, compiled with auto-vectorization off so
+// bench/micro_kernels measures hand-SIMD against honest scalar code rather
+// than against whatever the compiler vectorized on its own. Also the oracle
+// for the kernel differential tests. Out of line (simd.cpp) so the
+// no-tree-vectorize attribute survives.
+// ---------------------------------------------------------------------------
+
+namespace scalar_ref {
+
+void axpby(double a, const double* x, double b, const double* y, double* out,
+           std::size_t n) noexcept;
+void add_scaled_sub(double a, const double* x, const double* y, double* out,
+                    std::size_t n) noexcept;
+void relaxed_step_add_scaled(double a, const double* u, double b,
+                             const double* v, const double* y, double rho,
+                             double* out, std::size_t n) noexcept;
+void dual_update(double rho, double a, const double* u, double b,
+                 const double* v, const double* w, double* y,
+                 std::size_t n) noexcept;
+void scale_sub(double a, const double* x, const double* y, double* out,
+               std::size_t n) noexcept;
+void clamp_spans(double* x, const double* lo, const double* hi,
+                 std::size_t n) noexcept;
+void clamp_value(double value, const double* lo, const double* hi,
+                 double* out, std::size_t n) noexcept;
+double max_abs(const double* x, std::size_t n) noexcept;
+double max_abs_diff(const double* a, const double* b, std::size_t n) noexcept;
+double max_abs_sum3(const double* a, const double* b, const double* c,
+                    std::size_t n) noexcept;
+double prefix_sum_into(const double* x, double* out, std::size_t n) noexcept;
+void suffix_sum_add(const double* head, const double* tail, double* out,
+                    std::size_t n) noexcept;
+double sum(const double* x, std::size_t n) noexcept;
+void scale_center(double scale, const double* x, double mean, double* out,
+                  std::size_t n) noexcept;
+
+}  // namespace scalar_ref
+
+}  // namespace smoother::solver::simd

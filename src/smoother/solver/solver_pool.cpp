@@ -10,6 +10,19 @@ QpSolver& SolverPool::solver_for(std::size_t num_variables,
                       std::bit_cast<std::uint64_t>(settings.sigma)}];
 }
 
+BatchSolver& SolverPool::batch_solver_for(std::size_t m,
+                                          const QpSettings& settings) {
+  BatchSolver& batch =
+      batch_solvers_[Key{m, std::bit_cast<std::uint64_t>(settings.rho),
+                         std::bit_cast<std::uint64_t>(settings.sigma)}];
+  if (!batch.is_setup() && batch.setup_count() == 0) {
+    (void)batch.setup(m, settings);
+  } else {
+    batch.adopt_settings(settings);
+  }
+  return batch;
+}
+
 void SolverPool::reset_warm_starts() {
   for (auto& [key, qp_solver] : solvers_) qp_solver.reset_warm_start();
 }
@@ -21,6 +34,12 @@ SolverPoolStats SolverPool::stats() const {
     stats.setups += qp_solver.setup_count();
     stats.solves += qp_solver.solve_count();
     stats.factorization_reuse += qp_solver.factorization_reuse_count();
+  }
+  stats.batch_solvers = batch_solvers_.size();
+  for (const auto& [key, batch] : batch_solvers_) {
+    stats.setups += batch.setup_count();
+    stats.batched_solves += batch.solve_count();
+    stats.batched_lanes += batch.lane_count();
   }
   return stats;
 }

@@ -40,18 +40,22 @@
 #include <map>
 #include <tuple>
 
+#include "smoother/solver/batch_solver.hpp"
 #include "smoother/solver/qp.hpp"
 #include "smoother/solver/qp_solver.hpp"
 
 namespace smoother::solver {
 
 /// Aggregate lifecycle counters over a pool (sums of the member solvers'
-/// counters; see QpSolver).
+/// counters; see QpSolver and BatchSolver).
 struct SolverPoolStats {
   std::size_t solvers = 0;             ///< distinct (m, settings) keys
   std::size_t setups = 0;              ///< KKT factorizations built
   std::size_t solves = 0;              ///< ADMM runs through the pool
   std::size_t factorization_reuse = 0; ///< solves on a previously-used factor
+  std::size_t batch_solvers = 0;       ///< distinct batched keys
+  std::size_t batched_solves = 0;      ///< SoA chunk solves
+  std::size_t batched_lanes = 0;       ///< lanes across all chunk solves
 };
 
 /// Shared pool of stateful QpSolvers keyed by problem size and the
@@ -63,6 +67,15 @@ class SolverPool {
   /// for the pool's lifetime.
   [[nodiscard]] QpSolver& solver_for(std::size_t num_variables,
                                      const QpSettings& settings);
+
+  /// The batched structured solver for horizon `m` under `settings`,
+  /// created (and set up — the factorization is determined by the key) on
+  /// first use; later calls adopt the non-structural settings. The
+  /// reference is stable for the pool's lifetime. Callers must check
+  /// is_setup(): a false return means the factorization failed and every
+  /// lane should take the scalar path for its error reporting.
+  [[nodiscard]] BatchSolver& batch_solver_for(std::size_t m,
+                                              const QpSettings& settings);
 
   /// Drops every member solver's warm-start iterates (factorizations stay).
   /// A defensive sweep — attached instances must run with warm_start off,
@@ -78,6 +91,7 @@ class SolverPool {
   using Key = std::tuple<std::size_t, std::uint64_t, std::uint64_t>;
 
   std::map<Key, QpSolver> solvers_;
+  std::map<Key, BatchSolver> batch_solvers_;
 };
 
 }  // namespace smoother::solver

@@ -1,8 +1,11 @@
 #include "smoother/solver/structured_kkt.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
+
+#include "smoother/solver/simd.hpp"
 
 namespace smoother::solver {
 
@@ -12,24 +15,18 @@ void apply_a(std::span<const double> x, std::span<double> out) {
   const std::size_t m = x.size();
   if (out.size() != 2 * m)
     throw std::invalid_argument("fs_ops::apply_a: out must have 2m entries");
-  double running = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    out[i] = x[i];
-    running += x[i];
-    out[m + i] = running;
-  }
+  if (m == 0) return;
+  std::memcpy(out.data(), x.data(), m * sizeof(double));
+  simd::prefix_sum_into(x.data(), out.data() + m, m);
 }
 
 void apply_at(std::span<const double> y, std::span<double> out) {
   const std::size_t m = out.size();
   if (y.size() != 2 * m)
     throw std::invalid_argument("fs_ops::apply_at: y must have 2m entries");
+  if (m == 0) return;
   // (Aᵀy)_c = y_box[c] + Σ_{i >= c} y_soc[i]: one suffix-sum pass.
-  double suffix = 0.0;
-  for (std::size_t ii = m; ii-- > 0;) {
-    suffix += y[m + ii];
-    out[ii] = y[ii] + suffix;
-  }
+  simd::suffix_sum_add(y.data(), y.data() + m, out.data(), m);
 }
 
 void apply_p(std::span<const double> x, std::span<double> out) {
@@ -37,11 +34,10 @@ void apply_p(std::span<const double> x, std::span<double> out) {
   if (out.size() != m)
     throw std::invalid_argument("fs_ops::apply_p: size mismatch");
   if (m == 0) return;
-  double sum = 0.0;
-  for (const double v : x) sum += v;
+  const double sum = simd::sum(x.data(), m);
   const double mean = sum / static_cast<double>(m);
   const double scale = 2.0 / static_cast<double>(m);
-  for (std::size_t i = 0; i < m; ++i) out[i] = scale * (x[i] - mean);
+  simd::scale_center(scale, x.data(), mean, out.data(), m);
 }
 
 double half_quadratic(std::span<const double> x) {
@@ -108,6 +104,54 @@ void StructuredKkt::solve_into(std::span<const double> b, std::span<double> x,
   for (const double v : x) xsum += v;
   const double gamma = beta_ * xsum / denom_;
   for (std::size_t i = 0; i < m_; ++i) x[i] += gamma * w_[i];
+}
+
+void StructuredKkt::solve_lanes_into(const double* b, double* x,
+                                     double* scratch, std::size_t lanes,
+                                     std::size_t stride) const {
+  using simd::VecD;
+  constexpr std::size_t kW = simd::kWidth;
+  // scratch = Dᵀ b per lane: rows 0..m-2 are b_i - b_{i+1}, last row b_{m-1}.
+  for (std::size_t i = 0; i + 1 < m_; ++i) {
+    const double* bi = b + i * stride;
+    const double* bn = bi + stride;
+    double* si = scratch + i * stride;
+    std::size_t c = 0;
+    for (; c + kW <= lanes; c += kW)
+      (VecD::load(bi + c) - VecD::load(bn + c)).store(si + c);
+    for (; c < lanes; ++c) si[c] = bi[c] - bn[c];
+  }
+  std::memcpy(scratch + (m_ - 1) * stride, b + (m_ - 1) * stride,
+              lanes * sizeof(double));
+  // x = M⁻¹ scratch (shared tridiagonal factor, vectorized across lanes),
+  // then x = D x: descending rows so the first-difference pass is in place.
+  factor_.solve_lanes_into(scratch, x, lanes, stride);
+  for (std::size_t ii = m_; ii-- > 1;) {
+    double* xi = x + ii * stride;
+    const double* xp = x + (ii - 1) * stride;
+    std::size_t c = 0;
+    for (; c + kW <= lanes; c += kW)
+      (VecD::load(xi + c) - VecD::load(xp + c)).store(xi + c);
+    for (; c < lanes; ++c) xi[c] -= xp[c];
+  }
+  // Sherman-Morrison correction with a per-lane gamma = beta (1ᵀx) / denom.
+  std::size_t c = 0;
+  for (; c + kW <= lanes; c += kW) {
+    VecD acc = VecD::zero();
+    for (std::size_t i = 0; i < m_; ++i)
+      acc = acc + VecD::load(x + i * stride + c);
+    const VecD gamma = (VecD::broadcast(beta_) * acc) / VecD::broadcast(denom_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double* xi = x + i * stride + c;
+      (VecD::load(xi) + gamma * VecD::broadcast(w_[i])).store(xi);
+    }
+  }
+  for (; c < lanes; ++c) {
+    double xsum = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) xsum += x[i * stride + c];
+    const double gamma = beta_ * xsum / denom_;
+    for (std::size_t i = 0; i < m_; ++i) x[i * stride + c] += gamma * w_[i];
+  }
 }
 
 Vector StructuredKkt::solve(std::span<const double> b) const {

@@ -86,6 +86,15 @@ class StructuredKkt {
   void solve_into(std::span<const double> b, std::span<double> x,
                   std::span<double> scratch) const;
 
+  /// Lane-batched K⁻¹: `lanes` independent right-hand sides in lane-major
+  /// layout with row stride `stride` (element (i, lane) at
+  /// [i * stride + lane]; b, x and scratch are m * stride arrays, pairwise
+  /// non-aliasing). One shared factorization, difference/solve/rank-one
+  /// sweeps vectorized across lanes; per lane bit-identical to solve_into.
+  /// Zero allocations.
+  void solve_lanes_into(const double* b, double* x, double* scratch,
+                        std::size_t lanes, std::size_t stride) const;
+
   /// Allocating convenience (tests/diagnostics).
   [[nodiscard]] Vector solve(std::span<const double> b) const;
 

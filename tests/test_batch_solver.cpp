@@ -1,0 +1,307 @@
+#include "smoother/solver/batch_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "smoother/solver/qp.hpp"
+#include "smoother/solver/qp_solver.hpp"
+#include "smoother/util/rng.hpp"
+
+// Binary-wide allocation counter for the steady-state zero-allocation
+// assertion. BatchSolver's workspace is AlignedVector-backed, so the
+// aligned operator new overloads must be counted too — an uncounted
+// aligned path would let workspace churn hide from the test.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align))
+    return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace smoother::solver {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// The FS interval problem exactly as FlexibleSmoothing builds it: centered
+/// q from a jittered generation profile, per-step charge/discharge bounds,
+/// a symmetric energy corridor.
+QpProblem structured_interval(std::size_t m, util::Rng& rng) {
+  const double dt_hours = 5.0 / 60.0;
+  std::vector<double> u(m);
+  for (double& v : u) v = std::max(rng.normal(450.0, 140.0), 0.0) * dt_hours;
+  QpProblem problem;
+  problem.structure = QpStructure::kSmoothing;
+  double u_sum = 0.0;
+  for (const double v : u) u_sum += v;
+  const double u_mean = u_sum / static_cast<double>(m);
+  problem.q.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    problem.q[i] = 2.0 / static_cast<double>(m) * (u[i] - u_mean);
+  problem.lower.assign(2 * m, 0.0);
+  problem.upper.assign(2 * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    problem.lower[i] = -std::min(u[i], 40.0 * dt_hours);
+    problem.upper[i] = 80.0 * dt_hours;
+    problem.lower[m + i] = -400.0;
+    problem.upper[m + i] = 400.0;
+  }
+  return problem;
+}
+
+std::vector<BatchSolver::Lane> lane_views(
+    const std::vector<QpProblem>& problems) {
+  std::vector<BatchSolver::Lane> lanes;
+  lanes.reserve(problems.size());
+  for (const auto& p : problems) lanes.push_back({p.q, p.lower, p.upper});
+  return lanes;
+}
+
+/// The oracle: a cold scalar solve of the same problem (what the fleet
+/// would have run with batching off).
+QpResult cold_scalar_solve(const QpProblem& problem,
+                           const QpSettings& settings) {
+  QpSolver solver;
+  EXPECT_EQ(solver.setup(problem, settings), QpStatus::kSolved);
+  solver.reset_warm_start();
+  return solver.solve(problem, settings);
+}
+
+void expect_lane_matches_scalar(const QpResult& batched,
+                                const QpResult& scalar, std::size_t lane) {
+  EXPECT_EQ(batched.status, scalar.status) << "lane " << lane;
+  if (!simd::kReassociates) {
+    // The bit-exactness contract: same iterate, same iteration count, same
+    // residuals, bit for bit.
+    EXPECT_EQ(batched.iterations, scalar.iterations) << "lane " << lane;
+    EXPECT_EQ(bits(batched.primal_residual), bits(scalar.primal_residual))
+        << "lane " << lane;
+    EXPECT_EQ(bits(batched.dual_residual), bits(scalar.dual_residual))
+        << "lane " << lane;
+    EXPECT_EQ(bits(batched.objective), bits(scalar.objective))
+        << "lane " << lane;
+    ASSERT_EQ(batched.x.size(), scalar.x.size()) << "lane " << lane;
+    for (std::size_t i = 0; i < scalar.x.size(); ++i)
+      EXPECT_EQ(bits(batched.x[i]), bits(scalar.x[i]))
+          << "lane " << lane << " x[" << i << "]";
+    ASSERT_EQ(batched.z.size(), scalar.z.size()) << "lane " << lane;
+    for (std::size_t i = 0; i < scalar.z.size(); ++i)
+      EXPECT_EQ(bits(batched.z[i]), bits(scalar.z[i]))
+          << "lane " << lane << " z[" << i << "]";
+  } else {
+    ASSERT_EQ(batched.x.size(), scalar.x.size()) << "lane " << lane;
+    for (std::size_t i = 0; i < scalar.x.size(); ++i)
+      EXPECT_NEAR(batched.x[i], scalar.x[i], 1e-6)
+          << "lane " << lane << " x[" << i << "]";
+  }
+}
+
+TEST(BatchSolver, SetupRequiredBeforeSolveAndShapesAreChecked) {
+  BatchSolver batch;
+  util::Rng rng(1);
+  const auto problem = structured_interval(24, rng);
+  std::vector<BatchSolver::Lane> lanes = {{problem.q, problem.lower,
+                                           problem.upper}};
+  std::vector<QpResult> results(1);
+  EXPECT_THROW(batch.solve(lanes, results), std::invalid_argument);
+
+  ASSERT_EQ(batch.setup(24, QpSettings{}), QpStatus::kSolved);
+  std::vector<QpResult> wrong_count(2);
+  EXPECT_THROW(batch.solve(lanes, wrong_count), std::invalid_argument);
+
+  BatchSolver wrong_m;
+  ASSERT_EQ(wrong_m.setup(25, QpSettings{}), QpStatus::kSolved);
+  EXPECT_THROW(wrong_m.solve(lanes, results), std::invalid_argument);
+}
+
+TEST(BatchSolver, MatchesColdScalarSolvesAcrossRandomizedGrid) {
+  // The differential sweep the exactness contract is stated over:
+  // (m, K, rho) grid, fresh random problems per cell, every lane compared
+  // against a cold scalar solve.
+  util::Rng rng(20190701);
+  QpSettings settings;
+  settings.max_iterations = 4000;
+  for (const std::size_t m : {24u, 72u, 160u}) {
+    for (const std::size_t lanes_count : {1u, 3u, 8u}) {
+      for (const double rho : {0.05, 0.1, 0.4}) {
+        settings.rho = rho;
+        std::vector<QpProblem> problems;
+        for (std::size_t l = 0; l < lanes_count; ++l)
+          problems.push_back(structured_interval(m, rng));
+
+        BatchSolver batch;
+        ASSERT_EQ(batch.setup(m, settings), QpStatus::kSolved);
+        const auto lanes = lane_views(problems);
+        std::vector<QpResult> results(lanes_count);
+        batch.solve(lanes, results);
+
+        for (std::size_t l = 0; l < lanes_count; ++l) {
+          SCOPED_TRACE("m=" + std::to_string(m) +
+                       " K=" + std::to_string(lanes_count) +
+                       " rho=" + std::to_string(rho));
+          expect_lane_matches_scalar(results[l],
+                                     cold_scalar_solve(problems[l], settings),
+                                     l);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchSolver, ChunksBatchesLargerThanMaxLanes) {
+  // kMaxLanes + 6 lanes forces two chunks; every lane must still match its
+  // scalar oracle and the chunking must be invisible in the results.
+  util::Rng rng(77);
+  QpSettings settings;
+  settings.max_iterations = 1500;
+  const std::size_t m = 36;
+  const std::size_t lanes_count = BatchSolver::kMaxLanes + 6;
+  std::vector<QpProblem> problems;
+  for (std::size_t l = 0; l < lanes_count; ++l)
+    problems.push_back(structured_interval(m, rng));
+
+  BatchSolver batch;
+  ASSERT_EQ(batch.setup(m, settings), QpStatus::kSolved);
+  const auto lanes = lane_views(problems);
+  std::vector<QpResult> results(lanes_count);
+  batch.solve(lanes, results);
+
+  EXPECT_EQ(batch.solve_count(), 2u);  // two SoA chunks
+  EXPECT_EQ(batch.lane_count(), lanes_count);
+  for (std::size_t l = 0; l < lanes_count; ++l)
+    expect_lane_matches_scalar(results[l],
+                               cold_scalar_solve(problems[l], settings), l);
+}
+
+TEST(BatchSolver, InfeasibleLanesFreezeWithoutPoisoningNeighbors) {
+  util::Rng rng(5);
+  QpSettings settings;
+  settings.max_iterations = 1500;
+  const std::size_t m = 30;
+  std::vector<QpProblem> problems;
+  for (std::size_t l = 0; l < 4; ++l)
+    problems.push_back(structured_interval(m, rng));
+  // Lane 1: inconsistent bounds (lower > upper) — the scalar path returns
+  // kInfeasible without iterating.
+  problems[1].lower[3] = 1.0;
+  problems[1].upper[3] = -1.0;
+
+  BatchSolver batch;
+  ASSERT_EQ(batch.setup(m, settings), QpStatus::kSolved);
+  const auto lanes = lane_views(problems);
+  std::vector<QpResult> results(4);
+  batch.solve(lanes, results);
+
+  EXPECT_EQ(results[1].status, QpStatus::kInfeasible);
+  EXPECT_TRUE(results[1].x.empty());
+  for (const std::size_t l : {0u, 2u, 3u})
+    expect_lane_matches_scalar(results[l],
+                               cold_scalar_solve(problems[l], settings), l);
+}
+
+TEST(BatchSolver, AdoptSettingsRejectsFactorChangesAndAdoptsKnobs) {
+  BatchSolver batch;
+  QpSettings settings;
+  ASSERT_EQ(batch.setup(48, settings), QpStatus::kSolved);
+
+  QpSettings new_rho = settings;
+  new_rho.rho = settings.rho * 2.0;
+  EXPECT_THROW(batch.adopt_settings(new_rho), std::invalid_argument);
+
+  QpSettings new_caps = settings;
+  new_caps.max_iterations = 123;
+  new_caps.eps_abs = 1e-4;
+  batch.adopt_settings(new_caps);
+  EXPECT_EQ(batch.settings().max_iterations, 123u);
+  EXPECT_EQ(batch.setup_count(), 1u);  // no refactorization
+}
+
+TEST(BatchSolver, SteadyStateSolvesAreAllocationFree) {
+  // Warm-up: one solve grows the workspace to the chunk size and sizes the
+  // result vectors. Every solve after that must not touch the allocator —
+  // the fleet calls this on the shard hot path.
+  util::Rng rng(11);
+  QpSettings settings;
+  settings.max_iterations = 800;
+  const std::size_t m = 48;
+  const std::size_t lanes_count = 8;
+  std::vector<QpProblem> problems;
+  for (std::size_t l = 0; l < lanes_count; ++l)
+    problems.push_back(structured_interval(m, rng));
+
+  BatchSolver batch;
+  ASSERT_EQ(batch.setup(m, settings), QpStatus::kSolved);
+  const auto lanes = lane_views(problems);
+  std::vector<QpResult> results(lanes_count);
+  batch.solve(lanes, results);  // warm-up populates workspace + results
+
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  batch.solve(lanes, results);
+  batch.solve(lanes, results);
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state BatchSolver::solve allocated " << (after - before)
+      << " times";
+}
+
+TEST(BatchSolver, CountersTrackSolvesAndLanes)
+{
+  util::Rng rng(3);
+  QpSettings settings;
+  settings.max_iterations = 400;
+  BatchSolver batch;
+  ASSERT_EQ(batch.setup(24, settings), QpStatus::kSolved);
+  EXPECT_EQ(batch.setup_count(), 1u);
+
+  std::vector<QpProblem> problems;
+  for (std::size_t l = 0; l < 5; ++l)
+    problems.push_back(structured_interval(24, rng));
+  const auto lanes = lane_views(problems);
+  std::vector<QpResult> results(5);
+  batch.solve(lanes, results);
+  batch.solve(lanes, results);
+  EXPECT_EQ(batch.solve_count(), 2u);
+  EXPECT_EQ(batch.lane_count(), 10u);
+  EXPECT_EQ(batch.dimension(), 24u);
+}
+
+}  // namespace
+}  // namespace smoother::solver

@@ -1,0 +1,239 @@
+#include "smoother/solver/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "smoother/util/rng.hpp"
+
+// Differential tests of the solver::simd kernels against the out-of-line
+// scalar reference (simd::scalar_ref, compiled with auto-vectorization
+// off). The contract under test is the one qp_solver.cpp and
+// batch_solver.cpp rely on:
+//
+//   * Elementwise kernels and the max reductions are bit-identical to the
+//     sequential loops on EVERY tier — including signed zeros and the
+//     NaN-dropping branch of std::max/std::clamp.
+//   * The scans/sums (prefix_sum_into, suffix_sum_add, sum) are
+//     bit-identical on tiers where simd::kReassociates is false (scalar,
+//     sse2, neon — the default builds) and tolerance-equal where it is
+//     true (avx2).
+//
+// Lengths are chosen to cover the vector body plus every possible scalar
+// tail (n mod kWidth), and n < kWidth (pure-tail) cases.
+
+namespace smoother::solver::simd {
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Bitwise comparison that treats NaNs with equal payloads as equal.
+void expect_bitwise(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(bits(got[i]), bits(want[i]))
+        << label << " diverges at i=" << i << ": got " << got[i] << " want "
+        << want[i];
+  }
+}
+
+std::vector<double> random_vec(std::size_t n, util::Rng& rng, double lo = -3.0,
+                               double hi = 3.0) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Every length from pure-tail through several full vector blocks plus
+/// every tail residue.
+std::vector<std::size_t> test_lengths() {
+  std::vector<std::size_t> lengths;
+  for (std::size_t n = 0; n <= 4 * kWidth + 3; ++n) lengths.push_back(n);
+  lengths.push_back(144);
+  lengths.push_back(577);  // prime, guarantees a ragged tail on every tier
+  return lengths;
+}
+
+TEST(SimdKernels, TierMetadataIsConsistent) {
+  EXPECT_GE(kWidth, 1u);
+  EXPECT_EQ(kReassociates, kWidth >= 4);
+  const std::string name = tier_name();
+  EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "neon" ||
+              name == "avx2")
+      << name;
+}
+
+TEST(SimdKernels, ElementwiseKernelsAreBitwiseEqualToReference) {
+  util::Rng rng(4242);
+  for (const std::size_t n : test_lengths()) {
+    const auto x = random_vec(n, rng);
+    const auto y = random_vec(n, rng);
+    const auto w = random_vec(n, rng);
+    std::vector<double> got(n, 0.5), want(n, 0.5);
+
+    axpby(1.7, x.data(), -0.3, y.data(), got.data(), n);
+    scalar_ref::axpby(1.7, x.data(), -0.3, y.data(), want.data(), n);
+    expect_bitwise(got, want, "axpby");
+
+    got.assign(n, 0.25);
+    want.assign(n, 0.25);
+    add_scaled_sub(0.1, x.data(), y.data(), got.data(), n);
+    scalar_ref::add_scaled_sub(0.1, x.data(), y.data(), want.data(), n);
+    expect_bitwise(got, want, "add_scaled_sub");
+
+    relaxed_step_add_scaled(1.6, x.data(), -0.6, y.data(), w.data(), 0.1,
+                            got.data(), n);
+    scalar_ref::relaxed_step_add_scaled(1.6, x.data(), -0.6, y.data(),
+                                        w.data(), 0.1, want.data(), n);
+    expect_bitwise(got, want, "relaxed_step_add_scaled");
+
+    got = want = random_vec(n, rng);
+    dual_update(0.1, 1.6, x.data(), -0.6, y.data(), w.data(), got.data(), n);
+    scalar_ref::dual_update(0.1, 1.6, x.data(), -0.6, y.data(), w.data(),
+                            want.data(), n);
+    expect_bitwise(got, want, "dual_update");
+
+    scale_sub(0.1, x.data(), y.data(), got.data(), n);
+    scalar_ref::scale_sub(0.1, x.data(), y.data(), want.data(), n);
+    expect_bitwise(got, want, "scale_sub");
+
+    scale_center(2.0 / 7.0, x.data(), 0.123, got.data(), n);
+    scalar_ref::scale_center(2.0 / 7.0, x.data(), 0.123, want.data(), n);
+    expect_bitwise(got, want, "scale_center");
+  }
+}
+
+TEST(SimdKernels, ClampKernelsKeepStdClampSemantics) {
+  util::Rng rng(99);
+  for (const std::size_t n : test_lengths()) {
+    const auto lo = random_vec(n, rng, -2.0, -0.5);
+    const auto hi = random_vec(n, rng, 0.5, 2.0);
+    auto got = random_vec(n, rng, -4.0, 4.0);
+    auto want = got;
+
+    clamp_spans(got.data(), lo.data(), hi.data(), n);
+    scalar_ref::clamp_spans(want.data(), lo.data(), hi.data(), n);
+    expect_bitwise(got, want, "clamp_spans");
+
+    clamp_value(0.0, lo.data(), hi.data(), got.data(), n);
+    scalar_ref::clamp_value(0.0, lo.data(), hi.data(), want.data(), n);
+    expect_bitwise(got, want, "clamp_value");
+  }
+}
+
+TEST(SimdKernels, ClampAndMaxHandleSignedZeroAndNanLikeStd) {
+  // The exact special values the std semantics pin down: clamp keeps the
+  // operand's comparison branches (NaN compares false -> passes through;
+  // -0.0 == 0.0 so bounds of the opposite zero do not rewrite it), and the
+  // max reductions drop NaN exactly like (out < v) does.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x = {-0.0, 0.0, nan, 1.0, -1.0, -0.0, nan, 0.0};
+  std::vector<double> lo(x.size(), -0.0);
+  std::vector<double> hi(x.size(), 0.0);
+  const std::size_t n = x.size();
+
+  auto got = x;
+  auto want = x;
+  clamp_spans(got.data(), lo.data(), hi.data(), n);
+  scalar_ref::clamp_spans(want.data(), lo.data(), hi.data(), n);
+  expect_bitwise(got, want, "clamp_spans special values");
+
+  EXPECT_EQ(bits(max_abs(x.data(), n)),
+            bits(scalar_ref::max_abs(x.data(), n)));
+  std::vector<double> y = {nan, -0.0, 2.0, nan, 0.5, -3.0, 0.0, nan};
+  EXPECT_EQ(bits(max_abs_diff(x.data(), y.data(), n)),
+            bits(scalar_ref::max_abs_diff(x.data(), y.data(), n)));
+}
+
+TEST(SimdKernels, MaxReductionsAreBitwiseEqualToReference) {
+  util::Rng rng(7);
+  for (const std::size_t n : test_lengths()) {
+    const auto a = random_vec(n, rng);
+    const auto b = random_vec(n, rng);
+    const auto c = random_vec(n, rng);
+    EXPECT_EQ(bits(max_abs(a.data(), n)),
+              bits(scalar_ref::max_abs(a.data(), n)))
+        << "max_abs n=" << n;
+    EXPECT_EQ(bits(max_abs_diff(a.data(), b.data(), n)),
+              bits(scalar_ref::max_abs_diff(a.data(), b.data(), n)))
+        << "max_abs_diff n=" << n;
+    EXPECT_EQ(bits(max_abs_sum3(a.data(), b.data(), c.data(), n)),
+              bits(scalar_ref::max_abs_sum3(a.data(), b.data(), c.data(), n)))
+        << "max_abs_sum3 n=" << n;
+  }
+}
+
+TEST(SimdKernels, ScansMatchReferenceBitwiseOrWithinTolerance) {
+  util::Rng rng(1234);
+  for (const std::size_t n : test_lengths()) {
+    const auto x = random_vec(n, rng);
+    const auto head = random_vec(n, rng);
+    std::vector<double> got(n, 0.0), want(n, 0.0);
+
+    const double got_total = prefix_sum_into(x.data(), got.data(), n);
+    const double want_total =
+        scalar_ref::prefix_sum_into(x.data(), want.data(), n);
+    if (!kReassociates) {
+      expect_bitwise(got, want, "prefix_sum_into");
+      EXPECT_EQ(bits(got_total), bits(want_total));
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + std::abs(want[i])))
+            << "prefix_sum_into n=" << n << " i=" << i;
+      EXPECT_NEAR(got_total, want_total,
+                  1e-9 * (1.0 + std::abs(want_total)));
+    }
+
+    suffix_sum_add(head.data(), x.data(), got.data(), n);
+    scalar_ref::suffix_sum_add(head.data(), x.data(), want.data(), n);
+    if (!kReassociates) {
+      expect_bitwise(got, want, "suffix_sum_add");
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-9 * (1.0 + std::abs(want[i])))
+            << "suffix_sum_add n=" << n << " i=" << i;
+    }
+
+    const double got_sum = sum(x.data(), n);
+    const double want_sum = scalar_ref::sum(x.data(), n);
+    if (!kReassociates) {
+      EXPECT_EQ(bits(got_sum), bits(want_sum)) << "sum n=" << n;
+    } else {
+      EXPECT_NEAR(got_sum, want_sum, 1e-9 * (1.0 + std::abs(want_sum)));
+    }
+  }
+}
+
+TEST(SimdKernels, AlignedVectorIsCacheLineAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedVector v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u)
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, KernelsAcceptUnalignedInputs) {
+  // The kernels use unaligned loads by contract — callers pass views into
+  // plain std::vectors (QpProblem fields). Run one kernel at every offset
+  // within a cache line to prove it.
+  util::Rng rng(31);
+  const std::size_t n = 97;
+  const auto backing = random_vec(n + 8, rng);
+  for (std::size_t offset = 0; offset < 8; ++offset) {
+    std::vector<double> got(n, 0.0), want(n, 0.0);
+    axpby(2.0, backing.data() + offset, 1.0, backing.data() + offset + 1,
+          got.data(), n);
+    scalar_ref::axpby(2.0, backing.data() + offset, 1.0,
+                      backing.data() + offset + 1, want.data(), n);
+    expect_bitwise(got, want, "axpby unaligned");
+  }
+}
+
+}  // namespace
+}  // namespace smoother::solver::simd

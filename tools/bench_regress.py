@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Latency-regression gate: diff a fresh BENCH_*.json against its baseline.
+
+The bench harness binaries emit machine-readable result files
+(BENCH_kernels.json, BENCH_solver.json, BENCH_fleet.json, ...); the
+checked-in baselines under bench/baselines/ record the performance of the
+commit that last touched the hot paths. This tool compares the metrics
+that matter for each bench against the baseline within a tolerance band
+and exits non-zero on regression, so a ctest run catches "the solver got
+2x slower" the same way it catches "the solver got wrong".
+
+Design notes:
+
+  * Tolerance bands, not equality: micro-benchmark numbers on shared CI
+    hosts jitter. The default band is generous (a metric may be up to
+    --tolerance x worse than baseline, default 1.5x) — the gate exists to
+    catch step-function regressions (an accidental O(m^2) loop, a dropped
+    factorization cache, a deoptimized kernel), not 5% noise.
+
+  * Only ratio metrics and throughputs are gated. Absolute wall times
+    vary with the host; speedup-vs-scalar and lanes-per-second style
+    metrics are self-normalizing (both sides run on the same machine), so
+    they transfer across hosts far better.
+
+  * Tier-aware: BENCH_kernels.json records the SIMD tier it was built
+    with. Comparing an avx2 run against an sse2 baseline is meaningless,
+    so a tier mismatch skips the comparison (exit 0) with a notice.
+
+  * --self-test runs the comparator against synthetic pass/fail fixtures
+    and is wired as the bench_regress_smoke ctest, so the gate itself is
+    tested: a regressed fixture must fail, an identical one must pass.
+
+Usage:
+    bench_regress.py CURRENT.json BASELINE.json [--tolerance 1.5]
+    bench_regress.py --self-test
+
+Exit codes: 0 = within tolerance (or skipped: tier mismatch / no gated
+metrics), 1 = regression, 2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"bench_regress: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def schema_error(message):
+    print(f"bench_regress: ERROR: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        schema_error(f"{path}: {error}")
+
+
+class Comparison:
+    """Accumulates gated metrics and evaluates the tolerance band."""
+
+    def __init__(self, tolerance):
+        self.tolerance = tolerance
+        self.rows = []  # (metric, current, baseline, ratio, ok)
+        self.regressions = []
+
+    def gate_higher_is_better(self, metric, current, baseline):
+        """current must be >= baseline / tolerance."""
+        if baseline <= 0.0:
+            return  # nothing meaningful to compare against
+        ratio = current / baseline
+        ok = ratio >= 1.0 / self.tolerance
+        self.rows.append((metric, current, baseline, ratio, ok))
+        if not ok:
+            self.regressions.append(
+                f"{metric}: {current:.3f} vs baseline {baseline:.3f} "
+                f"({ratio:.2f}x, floor {1.0 / self.tolerance:.2f}x)")
+
+    def report(self, label):
+        if not self.rows:
+            print(f"bench_regress: SKIP: {label}: no gated metrics in common")
+            return 0
+        width = max(len(row[0]) for row in self.rows)
+        for metric, current, baseline, ratio, ok in self.rows:
+            print(f"  {metric:<{width}}  current {current:>12.3f}  "
+                  f"baseline {baseline:>12.3f}  ratio {ratio:5.2f}x  "
+                  f"{'ok' if ok else 'REGRESSED'}")
+        if self.regressions:
+            print(f"bench_regress: FAIL: {label}: "
+                  f"{len(self.regressions)} metric(s) regressed beyond "
+                  f"{self.tolerance:.2f}x:", file=sys.stderr)
+            for line in self.regressions:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"bench_regress: OK: {label}: {len(self.rows)} metric(s) "
+              f"within {self.tolerance:.2f}x of baseline")
+        return 0
+
+
+def index_rows(rows, *keys):
+    """{(row[k] for k in keys): row} over a list of JSON objects."""
+    out = {}
+    for row in rows:
+        out[tuple(row[k] for k in keys)] = row
+    return out
+
+
+def compare_kernels(current, baseline, comparison):
+    """BENCH_kernels.json: kernel speedups + BatchSolver throughput ratios.
+
+    Returns None when gated (caller reports), or a skip-notice string.
+    """
+    if current.get("tier") != baseline.get("tier"):
+        return (f"SIMD tier mismatch (current {current.get('tier')!r}, "
+                f"baseline {baseline.get('tier')!r}); kernel numbers are "
+                f"not comparable across tiers")
+    base_kernels = index_rows(baseline.get("kernels", []),
+                              "name", "m", "lanes")
+    for row in current.get("kernels", []):
+        key = (row["name"], row["m"], row["lanes"])
+        base = base_kernels.get(key)
+        if base is None:
+            continue
+        name = f"kernel.{row['name']}.m{row['m']}.k{row['lanes']}.speedup"
+        comparison.gate_higher_is_better(name, row["speedup"],
+                                         base["speedup"])
+    base_batch = index_rows(baseline.get("batch_solver", []), "m", "lanes")
+    for row in current.get("batch_solver", []):
+        base = base_batch.get((row["m"], row["lanes"]))
+        if base is None:
+            continue
+        stem = f"batch.m{row['m']}.k{row['lanes']}"
+        comparison.gate_higher_is_better(f"{stem}.speedup", row["speedup"],
+                                         base["speedup"])
+    return None
+
+
+def compare_solver(current, baseline, comparison):
+    """BENCH_solver.json: structured-vs-dense speedup ladder."""
+    base_ladder = index_rows(baseline.get("ladder", []), "m")
+    for row in current.get("ladder", []):
+        base = base_ladder.get((row["m"],))
+        if base is None:
+            continue
+        comparison.gate_higher_is_better(f"structured.m{row['m']}.speedup",
+                                         row["speedup"], base["speedup"])
+    return None
+
+
+def compare_fleet(current, baseline, comparison):
+    """BENCH_fleet.json: end-to-end plans/sec throughput."""
+    comparison.gate_higher_is_better("fleet.plans_per_sec",
+                                     current.get("plans_per_sec", 0.0),
+                                     baseline.get("plans_per_sec", 0.0))
+    return None
+
+
+COMPARATORS = {
+    "micro_kernels": compare_kernels,
+    "micro_structured_solver": compare_solver,
+    "macro_fleet": compare_fleet,
+}
+
+
+def run_compare(current_path, baseline_path, tolerance):
+    current = load(current_path)
+    baseline = load(baseline_path)
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        schema_error(f"bench mismatch: current {bench!r} vs baseline "
+                     f"{baseline.get('bench')!r}")
+    comparator = COMPARATORS.get(bench)
+    if comparator is None:
+        schema_error(f"no comparator for bench {bench!r} "
+                     f"(know: {sorted(COMPARATORS)})")
+    comparison = Comparison(tolerance)
+    skip = comparator(current, baseline, comparison)
+    if skip is not None:
+        print(f"bench_regress: SKIP: {current_path}: {skip}")
+        return 0
+    return comparison.report(f"{current_path} vs {baseline_path}")
+
+
+def self_test():
+    """The gate gates: a regressed fixture fails, the baseline passes."""
+    baseline = {
+        "bench": "micro_kernels", "tier": "sse2",
+        "kernels": [
+            {"name": "axpby", "m": 1440, "lanes": 1, "speedup": 1.0},
+            {"name": "kkt_solve_lanes", "m": 288, "lanes": 64,
+             "speedup": 2.0},
+        ],
+        "batch_solver": [{"m": 288, "lanes": 64, "speedup": 1.4}],
+    }
+    identical = json.loads(json.dumps(baseline))
+    regressed = json.loads(json.dumps(baseline))
+    regressed["kernels"][1]["speedup"] = 0.5  # 4x slower than baseline
+    other_tier = json.loads(json.dumps(baseline))
+    other_tier["tier"] = "avx2"
+
+    def run_case(current, want_exit, label):
+        comparison = Comparison(1.5)
+        skip = compare_kernels(current, baseline, comparison)
+        if skip is not None:
+            got = 0
+            print(f"  (skip: {skip})")
+        else:
+            got = comparison.report(label)
+        if got != want_exit:
+            fail(f"self-test {label!r}: exit {got}, want {want_exit}")
+        print(f"bench_regress: self-test case ok: {label}")
+
+    run_case(identical, 0, "identical-run-passes")
+    run_case(regressed, 1, "regressed-run-fails")
+    run_case(other_tier, 0, "tier-mismatch-skips")
+
+    # The solver and fleet comparators on minimal fixtures.
+    comparison = Comparison(1.5)
+    compare_solver({"bench": "micro_structured_solver",
+                    "ladder": [{"m": 288, "speedup": 4.0}]},
+                   {"bench": "micro_structured_solver",
+                    "ladder": [{"m": 288, "speedup": 30.0}]},
+                   comparison)
+    if comparison.report("solver-regressed") != 1:
+        fail("self-test: solver regression not caught")
+    print("bench_regress: self-test case ok: solver-regression-caught")
+
+    comparison = Comparison(1.5)
+    compare_fleet({"bench": "macro_fleet", "plans_per_sec": 50000.0},
+                  {"bench": "macro_fleet", "plans_per_sec": 60000.0},
+                  comparison)
+    if comparison.report("fleet-within-band") != 0:
+        fail("self-test: fleet within-band run flagged")
+    print("bench_regress: self-test case ok: fleet-within-band-passes")
+
+    print("bench_regress: self-test OK")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="?",
+                        help="fresh BENCH_*.json from this run")
+    parser.add_argument("baseline", nargs="?",
+                        help="checked-in baseline JSON to compare against")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="max allowed worsening factor (default 1.5x)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the comparator against synthetic "
+                             "pass/fail fixtures")
+    args = parser.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.current or not args.baseline:
+        parser.error("CURRENT and BASELINE are required unless --self-test")
+    if args.tolerance <= 1.0:
+        schema_error(f"--tolerance must be > 1.0, got {args.tolerance}")
+    sys.exit(run_compare(args.current, args.baseline, args.tolerance))
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ Usage:
     check_metrics_json.py BENCH_dsim.json --dsim
     check_metrics_json.py BENCH_recovery.json --recovery
     check_metrics_json.py BENCH_fleet.json --fleet
+    check_metrics_json.py BENCH_kernels.json --kernels
 
 NAME accepts fnmatch globs (e.g. 'solver.qp.structured_*'), which require at
 least one matching span/counter; plain names keep exact-match semantics.
@@ -39,6 +40,13 @@ byte-identity, factorization sharing (pooled setups far below the tenant
 count), ordered p50/p99/p999 latency, and the thread ladder (the >= 3x
 speedup gate arms only on hosts with 8 hardware threads; others record
 "skipped-hardware").
+
+--kernels switches to the BENCH_kernels.json schema emitted by
+bench/micro_kernels: the SIMD tier record (tier/width/reassociates
+consistent), the kernel roofline rows (full m x kernel coverage, positive
+timings), the BatchSolver rows (batched-vs-scalar agreement: max_x_diff
+exactly 0 on non-reassociating tiers, within solver tolerance otherwise)
+and the gate_armed flag agreeing with the recorded width.
 """
 
 import argparse
@@ -299,6 +307,7 @@ def check_fleet(path, doc):
     expect(isinstance(doc, dict), "top level must be an object")
     want = {"bench", "seed", "tenants", "shards", "intervals", "plans",
             "plans_per_sec", "latency_us", "batched_factorizations",
+            "batched_solves", "batched_lanes", "batch_occupancy",
             "shared_solvers", "arena_bytes", "hardware_concurrency",
             "ladder", "speedup_gate", "deterministic", "ok"}
     expect(set(doc) == want,
@@ -328,6 +337,13 @@ def check_fleet(path, doc):
     expect(doc["batched_factorizations"] < doc["tenants"],
            f"factorization sharing gate: {doc['batched_factorizations']} "
            f"setups for {doc['tenants']} tenants — pooling is not sharing")
+    expect(doc["batched_solves"] > 0,
+           "batched_solves must be positive (the SoA batch path never ran)")
+    expect(doc["batched_lanes"] >= doc["batched_solves"],
+           "batched_lanes must cover at least one lane per solve")
+    expect(doc["batch_occupancy"] > 1.0,
+           f"batch occupancy gate: {doc['batch_occupancy']} lanes/solve — "
+           f"batching is not sharing iteration work")
     expect(doc["arena_bytes"] > 0, "arena_bytes must be positive")
 
     ladder = doc["ladder"]
@@ -365,6 +381,75 @@ def check_fleet(path, doc):
           f"speedup gate {doc['speedup_gate']})")
 
 
+def check_kernels(path, doc):
+    """Validate the BENCH_kernels.json schema (bench/micro_kernels)."""
+    expect(isinstance(doc, dict), "top level must be an object")
+    want = {"bench", "scenario", "tier", "width", "reassociates",
+            "gate_armed", "kernels", "batch_solver"}
+    expect(set(doc) == want,
+           f"top-level keys {sorted(doc)} != {sorted(want)}")
+    expect(doc["bench"] == "micro_kernels",
+           f"bench must be 'micro_kernels', got {doc['bench']!r}")
+    expect(doc["tier"] in ("scalar", "sse2", "neon", "avx2"),
+           f"unknown SIMD tier {doc['tier']!r}")
+    expect(isinstance(doc["width"], int) and doc["width"] >= 1,
+           f"width must be a positive integer, got {doc['width']!r}")
+    expect(doc["reassociates"] == (doc["width"] >= 4),
+           f"reassociates {doc['reassociates']} disagrees with width "
+           f"{doc['width']} (the reassociation contract is width >= 4)")
+    expect(doc["gate_armed"] == (doc["width"] >= 4),
+           f"gate_armed {doc['gate_armed']} disagrees with width "
+           f"{doc['width']} (the 2x gate arms on width >= 4)")
+
+    kernels = doc["kernels"]
+    expect(isinstance(kernels, list) and kernels, "kernels must be non-empty")
+    row_keys = {"name", "m", "lanes", "simd_ns_per_elem",
+                "scalar_ns_per_elem", "gb_per_s", "speedup"}
+    seen = set()
+    for i, row in enumerate(kernels):
+        expect(isinstance(row, dict) and set(row) == row_keys,
+               f"kernels[{i}] keys {sorted(row)} != {sorted(row_keys)}")
+        key = (row["name"], row["m"], row["lanes"])
+        expect(key not in seen, f"kernels[{i}]: duplicate row {key}")
+        seen.add(key)
+        for field in ("simd_ns_per_elem", "scalar_ns_per_elem", "gb_per_s",
+                      "speedup"):
+            expect(row[field] > 0.0,
+                   f"kernels[{i}].{field} must be positive: {row[field]}")
+    stream = {"axpby", "dual_update", "clamp", "residual_max",
+              "prefix_sum", "suffix_sum"}
+    for m in (72, 288, 1440):
+        for name in stream:
+            expect((name, m, 1) in seen,
+                   f"missing stream kernel row ({name!r}, m={m})")
+        for lanes in (1, 8, 64):
+            expect(("kkt_solve_lanes", m, lanes) in seen,
+                   f"missing kkt_solve_lanes row (m={m}, lanes={lanes})")
+
+    batch = doc["batch_solver"]
+    expect(isinstance(batch, list) and batch,
+           "batch_solver must be non-empty")
+    batch_keys = {"m", "lanes", "batched_lanes_per_s", "scalar_lanes_per_s",
+                  "speedup", "max_x_diff"}
+    tolerance = 1e-6 if doc["reassociates"] else 0.0
+    for i, row in enumerate(batch):
+        expect(isinstance(row, dict) and set(row) == batch_keys,
+               f"batch_solver[{i}] keys {sorted(row)} != "
+               f"{sorted(batch_keys)}")
+        expect(row["batched_lanes_per_s"] > 0.0 and
+               row["scalar_lanes_per_s"] > 0.0,
+               f"batch_solver[{i}]: non-positive throughput")
+        expect(row["max_x_diff"] <= tolerance,
+               f"batch_solver[{i}] (m={row['m']}, K={row['lanes']}): "
+               f"batched-vs-scalar max_x_diff {row['max_x_diff']} breaches "
+               f"the {doc['tier']} agreement contract (tol {tolerance})")
+
+    print(f"check_metrics_json: OK: {path} (kernels schema; tier "
+          f"{doc['tier']} width {doc['width']}, {len(kernels)} kernel rows, "
+          f"{len(batch)} batch rows, gate "
+          f"{'armed' if doc['gate_armed'] else 'skipped'})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="--metrics-out JSON file to validate")
@@ -383,6 +468,9 @@ def main():
     parser.add_argument("--fleet", action="store_true",
                         help="validate the BENCH_fleet.json schema instead "
                              "of a --metrics-out file")
+    parser.add_argument("--kernels", action="store_true",
+                        help="validate the BENCH_kernels.json schema instead "
+                             "of a --metrics-out file")
     args = parser.parse_args()
 
     try:
@@ -399,6 +487,9 @@ def main():
         return
     if args.fleet:
         check_fleet(args.file, doc)
+        return
+    if args.kernels:
+        check_kernels(args.file, doc)
         return
 
     expect(isinstance(doc, dict), "top level must be an object")

@@ -19,9 +19,15 @@
 #      workers — plus the dsim_soak crash-restart soak and the FleetEngine
 #      serial-vs-parallel suites (shards on pool workers), which exercise
 #      the persist engine's file lifecycle under the instrumented runtime.
+#   3. Scalar SIMD tier (build-scalar/): the kernel/batched-solver suites
+#      rebuilt with SMOOTHER_SIMD=scalar, so the width-1 fallback paths in
+#      solver/simd.hpp (the tier every other tier's bit-exactness contract
+#      is stated against) are exercised on every sanitized run, not only
+#      on hosts without SSE2.
 #
 # By default each phase runs its focused subset, which keeps the loop
-# fast; pass --full to run the whole suite under both.
+# fast; pass --full to run the whole suite under both sanitizers (the
+# scalar-tier phase keeps its kernel focus either way).
 #
 # Usage:
 #   tools/run_sanitized_tests.sh           # focused subsets
@@ -37,9 +43,10 @@ if [[ "${1:-}" == "--full" ]]; then
 fi
 
 run_phase() {
-  local build="$1" sanitize="$2" filter="$3"
+  local build="$1" sanitize="$2" filter="$3" simd_tier="${4:-}"
   cmake -B "$build" -S "$repo" \
     -DSMOOTHER_SANITIZE="$sanitize" \
+    -DSMOOTHER_SIMD="$simd_tier" \
     -DSMOOTHER_BUILD_BENCH=OFF \
     -DSMOOTHER_BUILD_EXAMPLES=OFF \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -54,8 +61,15 @@ run_phase() {
 export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 run_phase "$repo/build-asan" "address,undefined" "$asan_filter"
-echo "phase 1/2 complete (ASan+UBSan)."
+echo "phase 1/3 complete (ASan+UBSan)."
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 run_phase "$repo/build-tsan" "thread" "$tsan_filter"
-echo "phase 2/2 complete (TSan). sanitized test pass complete."
+echo "phase 2/3 complete (TSan)."
+
+# The width-1 tier is the semantic reference every wider tier is tested
+# against; run the kernel-facing suites once with it forced on so a
+# refactor of the fallback loops cannot hide behind the host's SIMD.
+scalar_filter="SimdKernels|BatchSolver|Qp|Structured|Banded|FsOps|SolverWorkspace|SolverPool|FleetEngine"
+run_phase "$repo/build-scalar" "address,undefined" "$scalar_filter" "scalar"
+echo "phase 3/3 complete (scalar SIMD tier). sanitized test pass complete."
